@@ -1,0 +1,120 @@
+//! E13 — checker scalability and the memoization ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+
+use tm_bench::{blind_writers_history, chain_history, mixed_history};
+use tm_harness::randhist::{random_history, GenConfig};
+use tm_model::builder::paper;
+use tm_model::SpecRegistry;
+use tm_opacity::graph::{build_opg, with_initial_tx, INIT_TX};
+use tm_opacity::incremental::OpacityMonitor;
+use tm_opacity::opacity::{is_opaque, is_opaque_with};
+use tm_opacity::SearchConfig;
+
+fn bench_paper_histories(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("checker/paper");
+    for (name, h) in [
+        ("h1_not_opaque", paper::h1()),
+        ("h4_commit_pending", paper::h4()),
+        ("h5_opaque", paper::h5()),
+    ] {
+        group.bench_function(name, |b| b.iter(|| is_opaque(&h, &specs).unwrap().opaque));
+    }
+    group.finish();
+}
+
+fn bench_history_size_scaling(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("checker/size");
+    for n in [4u32, 8, 12, 16] {
+        let chain = chain_history(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, h| {
+            b.iter(|| is_opaque(h, &specs).unwrap().opaque)
+        });
+        let mixed = mixed_history(n);
+        group.bench_with_input(BenchmarkId::new("mixed", n), &mixed, |b, h| {
+            b.iter(|| is_opaque(h, &specs).unwrap().opaque)
+        });
+    }
+    group.finish();
+}
+
+fn bench_memoization_ablation(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("checker/memo_ablation");
+    group.sample_size(10);
+    // Blind writers: factorial orders, tiny state space — memo's best case.
+    for n in [6u32, 8] {
+        let h = blind_writers_history(n);
+        group.bench_with_input(BenchmarkId::new("memo_on", n), &h, |b, h| {
+            b.iter(|| {
+                is_opaque_with(h, &specs, SearchConfig { memoize: true, node_limit: None })
+                    .unwrap()
+                    .opaque
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("memo_off", n), &h, |b, h| {
+            b.iter(|| {
+                is_opaque_with(
+                    h,
+                    &specs,
+                    SearchConfig { memoize: false, node_limit: Some(10_000_000) },
+                )
+                .unwrap()
+                .opaque
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_histories(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let config = GenConfig::default();
+    let histories: Vec<_> = (0..32).map(|s| random_history(&config, s)).collect();
+    c.bench_function("checker/random_batch_32", |b| {
+        b.iter(|| {
+            histories
+                .iter()
+                .filter(|h| is_opaque(h, &specs).unwrap().opaque)
+                .count()
+        })
+    });
+}
+
+fn bench_opg_construction(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let h5 = with_initial_tx(&paper::h5(), &specs);
+    let order = vec![INIT_TX, tm_model::TxId(2), tm_model::TxId(1), tm_model::TxId(3)];
+    let v = HashSet::new();
+    c.bench_function("checker/opg_build_h5", |b| {
+        b.iter(|| {
+            let g = build_opg(&h5, &order, &v);
+            g.is_well_formed() && g.is_acyclic()
+        })
+    });
+}
+
+fn bench_online_monitor(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let h = chain_history(8);
+    c.bench_function("checker/monitor_chain8", |b| {
+        b.iter(|| {
+            let mut m = OpacityMonitor::new(&specs);
+            m.feed_all(&h).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_paper_histories,
+    bench_history_size_scaling,
+    bench_memoization_ablation,
+    bench_random_histories,
+    bench_opg_construction,
+    bench_online_monitor
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criteria-suite benchmark: the relative cost of deciding each criterion
+//! of the Section-3 lattice (plus snapshot isolation and the Theorem-2
+//! graph decider) on the same histories, and the online-monitor ablation.
+//!
+//! Two practical questions this answers:
+//!
+//! * **what does opacity cost over serializability?** — both are
+//!   permutation searches; opacity additionally places aborted/live
+//!   transactions, SI additionally chooses snapshot points;
+//! * **is incremental monitoring cheaper than re-checking every prefix?**
+//!   — the monitor skips invocation events and reuses nothing else; this
+//!   quantifies how much the skip argument buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tm_bench::{chain_history, mixed_history};
+use tm_harness::{random_history, GenConfig};
+use tm_model::SpecRegistry;
+use tm_opacity::criteria::{
+    is_serializable, is_strictly_serializable, snapshot_isolated, ScheduleProperties,
+};
+use tm_opacity::graphcheck::decide_via_graph;
+use tm_opacity::incremental::OpacityMonitor;
+use tm_opacity::opacity::is_opaque;
+
+fn bench_criteria_suite(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("criteria/suite");
+    let h = random_history(
+        &GenConfig { txs: 5, objs: 3, max_ops: 4, noise: 0.2, commit_pending: 0.1, abort: 0.2 },
+        7,
+    );
+    group.bench_function("opacity", |b| b.iter(|| is_opaque(&h, &specs).unwrap().opaque));
+    group.bench_function("serializability", |b| {
+        b.iter(|| is_serializable(&h, &specs).unwrap())
+    });
+    group.bench_function("strict_serializability", |b| {
+        b.iter(|| is_strictly_serializable(&h, &specs).unwrap())
+    });
+    group.bench_function("snapshot_isolation", |b| {
+        b.iter(|| snapshot_isolated(&h, &specs).unwrap())
+    });
+    group.bench_function("recoverability_family", |b| {
+        b.iter(|| ScheduleProperties::of(&h))
+    });
+    group.bench_function("graph_decider", |b| {
+        b.iter(|| decide_via_graph(&h, &specs, 8).unwrap().opaque())
+    });
+    group.finish();
+}
+
+fn bench_monitor_vs_offline(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("criteria/monitor_ablation");
+    group.sample_size(20);
+    for n in [4u32, 8, 12] {
+        for (name, h) in [("chain", chain_history(n)), ("mixed", mixed_history(n))] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("online_{name}"), n),
+                &h,
+                |b, h| {
+                    b.iter(|| {
+                        let mut monitor = OpacityMonitor::new(&specs);
+                        monitor.feed_all(h).unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("offline_per_prefix_{name}"), n),
+                &h,
+                |b, h| {
+                    b.iter(|| {
+                        // The naive alternative: a fresh full check after
+                        // every event.
+                        let mut bad = None;
+                        for i in 1..=h.len() {
+                            if !is_opaque(&h.prefix(i), &specs).unwrap().opaque {
+                                bad = Some(i);
+                                break;
+                            }
+                        }
+                        bad
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_si_scaling(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("criteria/si_scaling");
+    group.sample_size(20);
+    for txs in [3usize, 4, 5, 6] {
+        let h = random_history(
+            &GenConfig {
+                txs,
+                objs: 3,
+                max_ops: 3,
+                noise: 0.2,
+                commit_pending: 0.1,
+                abort: 0.2,
+            },
+            11,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(txs), &h, |b, h| {
+            b.iter(|| snapshot_isolated(h, &specs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_criteria_suite, bench_monitor_vs_offline, bench_si_scaling);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E8/E9 — the Theorem-3 lower-bound scenarios as wall-clock benchmarks.
+//!
+//! The *step counts* (the quantity the theorem bounds) are exact and printed
+//! by `cargo run --release --example lower_bound`; this bench confirms the
+//! same separation shows up in wall-clock time: DSTM's per-operation cost
+//! grows with k, everyone else's stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tm_harness::complexity::{paper_scenario, solo_scan};
+use tm_stm::{AstmStm, DstmStm, MvStm, NonOpaqueStm, SiStm, Stm, Tl2Stm, TplStm, VisibleStm};
+
+fn stm_factories() -> Vec<(&'static str, fn(usize) -> Box<dyn Stm>)> {
+    vec![
+        ("dstm", |k| Box::new(DstmStm::new(k)) as Box<dyn Stm>),
+        ("astm", |k| Box::new(AstmStm::new(k)) as Box<dyn Stm>),
+        ("tl2", |k| Box::new(Tl2Stm::new(k)) as Box<dyn Stm>),
+        ("visible", |k| Box::new(VisibleStm::new(k)) as Box<dyn Stm>),
+        ("mvstm", |k| Box::new(MvStm::new(k)) as Box<dyn Stm>),
+        ("nonopaque", |k| Box::new(NonOpaqueStm::new(k)) as Box<dyn Stm>),
+        ("sistm", |k| Box::new(SiStm::new(k)) as Box<dyn Stm>),
+        ("tpl", |k| Box::new(TplStm::new(k)) as Box<dyn Stm>),
+        ("sistm", |k| Box::new(SiStm::new(k)) as Box<dyn Stm>),
+        ("tpl", |k| Box::new(TplStm::new(k)) as Box<dyn Stm>),
+    ]
+}
+
+fn bench_paper_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_scenario");
+    group.sample_size(20);
+    for k in [16usize, 64, 256] {
+        for (name, make) in stm_factories() {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| {
+                    let stm = make(k);
+                    stm.recorder().set_enabled(false);
+                    paper_scenario(stm.as_ref(), k)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_solo_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solo_scan");
+    group.sample_size(20);
+    for k in [16usize, 64, 256] {
+        for (name, make) in stm_factories() {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, &k| {
+                b.iter(|| {
+                    let stm = make(k);
+                    stm.recorder().set_enabled(false);
+                    solo_scan(stm.as_ref(), k)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_scenario, bench_solo_scan);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Model-layer micro-benchmarks: the primitives every checker invocation is
+//! built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tm_bench::{chain_history, mixed_history};
+use tm_model::builder::paper;
+use tm_model::{
+    all_txs_legal, check_well_formed, complete_histories, RealTimeOrder, SpecRegistry, TxId,
+};
+
+fn bench_well_formedness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/well_formed");
+    for n in [8u32, 32, 128] {
+        let h = chain_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| check_well_formed(h).is_ok())
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let h = chain_history(64);
+    c.bench_function("model/per_tx_projection", |b| {
+        b.iter(|| h.per_tx(TxId(32)).len())
+    });
+    c.bench_function("model/tx_view", |b| b.iter(|| h.tx_view(TxId(32)).ops.len()));
+}
+
+fn bench_real_time_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model/real_time");
+    for n in [8u32, 32, 128] {
+        let h = chain_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| RealTimeOrder::of(h).pairs().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_legality(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let mut group = c.benchmark_group("model/legality");
+    for n in [8u32, 32, 128] {
+        let h = chain_history(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
+            b.iter(|| all_txs_legal(h, &specs).is_ok())
+        });
+    }
+    group.finish();
+}
+
+fn bench_completions(c: &mut Criterion) {
+    let h4 = paper::h4();
+    c.bench_function("model/completions_h4", |b| {
+        b.iter(|| complete_histories(&h4).len())
+    });
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let a = mixed_history(16);
+    let b2 = mixed_history(16);
+    c.bench_function("model/equivalence_16", |b| b.iter(|| a.equivalent(&b2)));
+}
+
+criterion_group!(
+    benches,
+    bench_well_formedness,
+    bench_projection,
+    bench_real_time_order,
+    bench_legality,
+    bench_completions,
+    bench_equivalence
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! E14 — throughput and abort behaviour across the TM design space.
+//!
+//! Supports the paper's framing of the safety/performance trade-off
+//! (Section 1): the non-opaque TM and TL2 buy cheap operations, DSTM pays
+//! validation, visible reads pay on writes, the global lock serializes
+//! everything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tm_harness::workload::{bank, counter, read_mostly};
+use tm_stm::{AstmStm, ContentionManager, DstmStm, GlockStm, MvStm, NonOpaqueStm, SiStm, Stm, Tl2Stm, TplStm, VisibleStm};
+
+fn stm_factories() -> Vec<(&'static str, fn(usize) -> Box<dyn Stm>)> {
+    vec![
+        ("glock", |k| Box::new(GlockStm::new(k)) as Box<dyn Stm>),
+        ("tl2", |k| Box::new(Tl2Stm::new(k)) as Box<dyn Stm>),
+        ("dstm", |k| Box::new(DstmStm::new(k)) as Box<dyn Stm>),
+        ("astm", |k| Box::new(AstmStm::new(k)) as Box<dyn Stm>),
+        ("visible", |k| Box::new(VisibleStm::new(k)) as Box<dyn Stm>),
+        ("mvstm", |k| Box::new(MvStm::new(k)) as Box<dyn Stm>),
+        ("nonopaque", |k| Box::new(NonOpaqueStm::new(k)) as Box<dyn Stm>),
+        ("sistm", |k| Box::new(SiStm::new(k)) as Box<dyn Stm>),
+        ("tpl", |k| Box::new(TplStm::new(k)) as Box<dyn Stm>),
+    ]
+}
+
+fn bench_bank(c: &mut Criterion) {
+    let transfers = 200usize;
+    let threads = 2usize;
+    let mut group = c.benchmark_group("throughput/bank");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((threads * transfers) as u64));
+    for (name, make) in stm_factories() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let stm = make(16);
+                stm.recorder().set_enabled(false);
+                bank(stm.as_ref(), threads, 16, transfers, 42)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter(c: &mut Criterion) {
+    let increments = 200usize;
+    let threads = 2usize;
+    let mut group = c.benchmark_group("throughput/counter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((threads * increments) as u64));
+    for (name, make) in stm_factories() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let stm = make(1);
+                stm.recorder().set_enabled(false);
+                counter(stm.as_ref(), threads, increments)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_mostly(c: &mut Criterion) {
+    let txs = 200usize;
+    let threads = 2usize;
+    let mut group = c.benchmark_group("throughput/read_mostly");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((threads * txs) as u64));
+    for (name, make) in stm_factories() {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let stm = make(64);
+                stm.recorder().set_enabled(false);
+                read_mostly(stm.as_ref(), threads, txs, 8, 10, 7)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention_manager_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("throughput/cm_ablation");
+    group.sample_size(10);
+    for (name, cm) in [
+        ("aggressive", ContentionManager::Aggressive),
+        ("timid", ContentionManager::Timid),
+        ("karma", ContentionManager::Karma),
+        ("greedy", ContentionManager::Greedy),
+    ] {
+        group.bench_function(BenchmarkId::new("dstm_bank", name), |b| {
+            b.iter(|| {
+                let stm = DstmStm::with_cm(16, cm);
+                stm.recorder().set_enabled(false);
+                bank(&stm, 2, 16, 100, 42)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bank,
+    bench_counter,
+    bench_read_mostly,
+    bench_contention_manager_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! `report` — regenerates the full experiment report as markdown.
+//!
+//! ```sh
+//! cargo run --release -p tm-bench --bin report > results.md
+//! ```
+//!
+//! Covers: the criteria table on the paper's histories (E1/E2), the
+//! Theorem-2 cross-validation summary (E7), and the Theorem-3 step-count
+//! sweeps (E8/E9). Wall-clock numbers live in the Criterion benches; this
+//! report contains only machine-independent quantities (verdicts and exact
+//! step counts), so it is diff-stable across runs.
+
+use tm_harness::complexity::{paper_scenario, solo_scan, sweep};
+use tm_harness::randhist::{random_history, GenConfig};
+use tm_model::builder::paper;
+use tm_model::SpecRegistry;
+use tm_opacity::criteria::classify;
+use tm_opacity::graphcheck::decide_via_graph;
+use tm_opacity::opacity::is_opaque;
+
+fn yesno(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+fn main() {
+    let specs = SpecRegistry::registers();
+    println!("# opacity-tm experiment report\n");
+
+    // ---- E1/E2: criteria table ------------------------------------------
+    println!("## Criteria on the paper's histories (E1/E2)\n");
+    println!("| history | serializable | strict-ser | recoverable | ACA | strict | rigorous | SI | opaque |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for (name, h) in [
+        ("H1 (Fig. 1)", paper::h1()),
+        ("H2", paper::h2()),
+        ("H3", paper::h3()),
+        ("H4", paper::h4()),
+        ("H5 (Fig. 2)", paper::h5()),
+    ] {
+        let p = classify(&h, &specs).expect("paper histories are checkable");
+        let si = tm_opacity::criteria::snapshot_isolated(&h, &specs).expect("registers");
+        println!(
+            "| {name} | {} | {} | {} | {} | {} | {} | {} | **{}** |",
+            yesno(p.serializable),
+            yesno(p.strictly_serializable),
+            yesno(p.recoverable),
+            yesno(p.avoids_cascading_aborts),
+            yesno(p.strict),
+            yesno(p.rigorous),
+            yesno(si),
+            yesno(p.opaque),
+        );
+    }
+
+    // ---- E7: Theorem-2 cross-validation summary --------------------------
+    println!("\n## Theorem 2 cross-validation (E7)\n");
+    let config = GenConfig::default();
+    let n = 400u64;
+    let mut agree = 0;
+    let mut opaque_count = 0;
+    for seed in 0..n {
+        let h = random_history(&config, seed);
+        let d = is_opaque(&h, &specs).unwrap().opaque;
+        let g = decide_via_graph(&h, &specs, 6).unwrap().opaque();
+        if d == g {
+            agree += 1;
+        }
+        if d {
+            opaque_count += 1;
+        }
+    }
+    println!(
+        "- definitional vs graph decider: **{agree}/{n} agree** \
+         ({opaque_count} opaque, {} non-opaque)\n",
+        n - opaque_count
+    );
+
+    // ---- E8: paper scenario ----------------------------------------------
+    println!("## Theorem 3 — paper scenario, steps of T1's final read (E8)\n");
+    let ks = [8usize, 32, 128, 512];
+    let rows = sweep(&ks, true, paper_scenario);
+    print!("| stm |");
+    for k in ks {
+        print!(" k={k} |");
+    }
+    println!(" T1 outcome |");
+    print!("|---|");
+    for _ in ks {
+        print!("---|");
+    }
+    println!("---|");
+    for name in ["dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"] {
+        print!("| {name} |");
+        let mut outcome = "";
+        for k in ks {
+            let r = rows.iter().find(|r| r.stm == name && r.k == k).unwrap();
+            print!(" {} |", r.last_read_steps);
+            outcome = if r.t1_committed { "commit" } else { "abort" };
+        }
+        println!(" {outcome} |");
+    }
+
+    // ---- E9: solo scan ----------------------------------------------------
+    println!("\n## Theorem 3 — solo scan, total read steps per transaction (E9)\n");
+    let rows = sweep(&ks, false, solo_scan);
+    print!("| stm |");
+    for k in ks {
+        print!(" k={k} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in ks {
+        print!("---|");
+    }
+    println!();
+    for name in ["glock", "dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"] {
+        print!("| {name} |");
+        for k in ks {
+            let r = rows.iter().find(|r| r.stm == name && r.k == k).unwrap();
+            print!(" {} |", r.total_read_steps);
+        }
+        println!();
+    }
+
+    println!("\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._");
+}

@@ -1,0 +1,81 @@
+//! # tm-bench — benchmark harness
+//!
+//! Criterion benchmarks regenerating the paper's quantitative content:
+//!
+//! * `benches/lower_bound.rs` — E8/E9: the Theorem-3 scenarios (wall-clock
+//!   companion to the exact step counts printed by
+//!   `cargo run --release --example lower_bound`);
+//! * `benches/checker.rs` — E13: definitional checker, graph construction,
+//!   online monitor, and the memoization ablation;
+//! * `benches/throughput.rs` — E14: committed-transaction throughput and
+//!   abort rates across the TM design space, plus the contention-manager
+//!   ablation;
+//! * `benches/model_ops.rs` — model-layer primitives (projection, legality,
+//!   well-formedness).
+//!
+//! The library itself only hosts shared history generators for the benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tm_model::{History, HistoryBuilder};
+
+/// Builds a legal sequential chain history: `n` transactions, each reading
+/// the previous value of `x` and writing the next (a checker-friendly
+/// baseline whose serialization is unique).
+pub fn chain_history(n: u32) -> History {
+    let mut b = HistoryBuilder::new();
+    for t in 1..=n {
+        b = b
+            .read(t, "x", (t - 1) as i64)
+            .write(t, "x", t as i64)
+            .commit_ok(t);
+    }
+    b.build()
+}
+
+/// Builds a history of `n` concurrent committed blind writers to one
+/// register (the stress case for the serialization search: n! orders, tiny
+/// state space — memoization's best case).
+pub fn blind_writers_history(n: u32) -> History {
+    let mut b = HistoryBuilder::new();
+    for t in 1..=n {
+        b = b.write(t, "x", t as i64);
+    }
+    for t in 1..=n {
+        b = b.commit_ok(t);
+    }
+    b.build()
+}
+
+/// Builds a mixed reader/writer history with `n` committed transactions on
+/// two registers that exercises backtracking in the checker.
+pub fn mixed_history(n: u32) -> History {
+    let mut b = HistoryBuilder::new();
+    let mut last_x = 0i64;
+    for t in 1..=n {
+        if t % 2 == 1 {
+            b = b.write(t, "x", t as i64).write(t, "y", t as i64).commit_ok(t);
+            last_x = t as i64;
+        } else {
+            b = b.read(t, "x", last_x).read(t, "y", last_x).commit_ok(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::SpecRegistry;
+    use tm_opacity::opacity::is_opaque;
+
+    #[test]
+    fn generated_bench_histories_are_opaque() {
+        let specs = SpecRegistry::registers();
+        for h in [chain_history(6), blind_writers_history(6), mixed_history(8)] {
+            assert!(tm_model::is_well_formed(&h));
+            assert!(is_opaque(&h, &specs).unwrap().opaque, "{h}");
+        }
+    }
+}

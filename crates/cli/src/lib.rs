@@ -1,0 +1,466 @@
+//! # tm-cli — the `tmcheck` command-line opacity checker
+//!
+//! The paper's criterion is only useful to practitioners if arbitrary TM
+//! traces can be judged without writing Rust. `tmcheck` reads a history in
+//! either trace format of `tm-trace` (JSON or line-oriented text,
+//! auto-detected) and runs the full `tm-opacity` toolbox over it:
+//!
+//! ```text
+//! tmcheck check    <file>   # opacity verdict + serialization witness
+//! tmcheck explain  <file>   # first fatal event + stuck-transaction analysis
+//! tmcheck criteria <file>   # the Section-3 criteria lattice, one verdict per row
+//! tmcheck graph    <file>   # Graphviz DOT of the Section-5.4 opacity graph
+//! tmcheck convert  <file> --json|--text   # format conversion
+//! tmcheck generate [--seed N --txs N --objs N --ops N --json]
+//! ```
+//!
+//! Exit codes: `0` — the property holds (or output was produced), `1` — the
+//! history violates opacity, `2` — usage or input error. `-` reads stdin.
+//!
+//! The library surface (`run`) is exercised directly by the test-suite; the
+//! binary in `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+use std::io::{Read as _, Write};
+
+use tm_harness::{random_history, GenConfig};
+use tm_model::{History, RealTimeOrder, SpecRegistry};
+use tm_opacity::criteria;
+use tm_opacity::graph::{build_opg, nonlocal, with_initial_tx};
+use tm_opacity::graphcheck::construct_graph_witness;
+use tm_opacity::opacity::is_opaque;
+use tm_opacity::explain::explain_violation;
+use tm_trace::{from_json, from_text, to_json_pretty, to_text};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `check <file>`
+    Check(String),
+    /// `explain <file>`
+    Explain(String),
+    /// `criteria <file>`
+    Criteria(String),
+    /// `graph <file>`
+    Graph(String),
+    /// `convert <file> --json|--text`
+    Convert {
+        /// Input path (`-` = stdin).
+        file: String,
+        /// Emit JSON (`true`) or text (`false`).
+        json: bool,
+    },
+    /// `generate [--seed N --txs N --objs N --ops N --json]`
+    Generate {
+        /// Generator seed.
+        seed: u64,
+        /// Transactions.
+        txs: usize,
+        /// Registers.
+        objs: usize,
+        /// Max operations per transaction.
+        ops: usize,
+        /// Emit JSON instead of text.
+        json: bool,
+    },
+    /// `help`
+    Help,
+}
+
+/// Usage text shown by `tmcheck help` and on argument errors.
+pub const USAGE: &str = "\
+tmcheck — opacity checker for transactional-memory traces
+  (Guerraoui & Kapałka, \"On the Correctness of Transactional Memory\", PPoPP 2008)
+
+USAGE:
+  tmcheck check    <file>           opacity verdict + witness (exit 1 if violated)
+  tmcheck explain  <file>           localize the first opacity violation
+  tmcheck criteria <file>           verdicts for the full Section-3 criteria lattice
+  tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
+  tmcheck convert  <file> --json|--text    convert between trace formats
+  tmcheck generate [--seed N] [--txs N] [--objs N] [--ops N] [--json]
+  tmcheck help
+
+  <file> may be '-' for stdin. Formats (JSON / text) are auto-detected;
+  see the tm-trace crate documentation for their grammar.
+";
+
+/// Parses command-line arguments (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| "missing command".to_string())?;
+    let file_arg = |it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+        it.next().cloned().ok_or_else(|| format!("{cmd}: missing <file> argument"))
+    };
+    match cmd.as_str() {
+        "check" => Ok(Command::Check(file_arg(&mut it)?)),
+        "explain" => Ok(Command::Explain(file_arg(&mut it)?)),
+        "criteria" => Ok(Command::Criteria(file_arg(&mut it)?)),
+        "graph" => Ok(Command::Graph(file_arg(&mut it)?)),
+        "convert" => {
+            let file = file_arg(&mut it)?;
+            let mut json = None;
+            for flag in it {
+                match flag.as_str() {
+                    "--json" => json = Some(true),
+                    "--text" => json = Some(false),
+                    other => return Err(format!("convert: unknown flag '{other}'")),
+                }
+            }
+            let json = json.ok_or_else(|| "convert: need --json or --text".to_string())?;
+            Ok(Command::Convert { file, json })
+        }
+        "generate" => {
+            let mut g = Command::Generate { seed: 1, txs: 4, objs: 3, ops: 4, json: false };
+            let Command::Generate { seed, txs, objs, ops, json } = &mut g else {
+                unreachable!()
+            };
+            while let Some(flag) = it.next() {
+                let mut num = |name: &str| -> Result<u64, String> {
+                    it.next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| format!("generate: {name} needs a number"))
+                };
+                match flag.as_str() {
+                    "--seed" => *seed = num("--seed")?,
+                    "--txs" => *txs = num("--txs")? as usize,
+                    "--objs" => *objs = num("--objs")? as usize,
+                    "--ops" => *ops = num("--ops")? as usize,
+                    "--json" => *json = true,
+                    other => return Err(format!("generate: unknown flag '{other}'")),
+                }
+            }
+            Ok(g)
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Reads a trace from `path` (`-` = stdin) and parses it, auto-detecting
+/// the format: inputs whose first non-whitespace byte is `{` are JSON.
+pub fn load_history(path: &str) -> Result<History, String> {
+    let raw = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    parse_trace(&raw)
+}
+
+/// Parses trace content with format auto-detection.
+pub fn parse_trace(raw: &str) -> Result<History, String> {
+    if raw.trim_start().starts_with('{') {
+        from_json(raw).map_err(|e| format!("JSON trace: {e}"))
+    } else {
+        from_text(raw).map_err(|e| format!("text trace: {e}"))
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// Returns the process exit code (0 ok / property holds, 1 opacity
+/// violated, 2 error).
+pub fn run(cmd: &Command, out: &mut dyn Write) -> i32 {
+    match execute(cmd, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
+    let specs = SpecRegistry::registers();
+    let w = |out: &mut dyn Write, s: String| -> Result<(), String> {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    match cmd {
+        Command::Help => {
+            w(out, USAGE.to_string())?;
+            Ok(0)
+        }
+        Command::Check(file) => {
+            let h = load_history(file)?;
+            tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
+            let report = is_opaque(&h, &specs).map_err(|e| e.to_string())?;
+            w(out, format!("history: {} events, {} transactions", h.len(), h.txs().len()))?;
+            if report.opaque {
+                w(out, "verdict: OPAQUE".to_string())?;
+                if let Some(witness) = &report.witness {
+                    let order: Vec<String> = witness
+                        .order
+                        .iter()
+                        .map(|(t, p)| format!("{t}({p:?})"))
+                        .collect();
+                    w(out, format!("witness serialization: {}", order.join(" ≪ ")))?;
+                }
+                w(out, format!("search: {} nodes explored", report.stats.nodes))?;
+                Ok(0)
+            } else {
+                w(out, "verdict: NOT OPAQUE".to_string())?;
+                w(out, "hint: run `tmcheck explain` for the violation localization".to_string())?;
+                Ok(1)
+            }
+        }
+        Command::Explain(file) => {
+            let h = load_history(file)?;
+            tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
+            match explain_violation(&h, &specs).map_err(|e| e.to_string())? {
+                None => {
+                    w(out, "history is opaque — nothing to explain".to_string())?;
+                    Ok(0)
+                }
+                Some(ex) => {
+                    w(out, format!("{ex}"))?;
+                    Ok(1)
+                }
+            }
+        }
+        Command::Criteria(file) => {
+            let h = load_history(file)?;
+            tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
+            let profile = criteria::classify(&h, &specs).map_err(|e| e.to_string())?;
+            let si = criteria::snapshot_isolated(&h, &specs)
+                .map(|b| if b { "yes" } else { "NO" })
+                .unwrap_or("n/a (non-register objects)");
+            let yn = |b: bool| if b { "yes" } else { "NO" };
+            w(out, format!("serializable (global atomicity):  {}", yn(profile.serializable)))?;
+            w(out, format!("strictly serializable:            {}", yn(profile.strictly_serializable)))?;
+            w(out, format!("recoverable:                      {}", yn(profile.recoverable)))?;
+            w(out, format!("avoids cascading aborts:          {}", yn(profile.avoids_cascading_aborts)))?;
+            w(out, format!("strict:                           {}", yn(profile.strict)))?;
+            w(out, format!("rigorous (§3.6):                  {}", yn(profile.rigorous)))?;
+            w(out, format!("snapshot-isolated:                {si}"))?;
+            w(out, format!("opaque (Definition 1):            {}", yn(profile.opaque)))?;
+            Ok(if profile.opaque { 0 } else { 1 })
+        }
+        Command::Graph(file) => {
+            let h = load_history(file)?;
+            tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
+            match construct_graph_witness(&h, &specs).map_err(|e| e.to_string())? {
+                Some(witness) => {
+                    let h0 = nonlocal(&with_initial_tx(&h, &specs));
+                    let visible: HashSet<_> = witness.visible.iter().copied().collect();
+                    let g = build_opg(&h0, &witness.order, &visible);
+                    w(out, "// OPG(nonlocal(H·T0), ≪, V) for the opacity witness".to_string())?;
+                    w(out, g.to_dot())?;
+                    Ok(0)
+                }
+                None => {
+                    // No witness exists: render the graph under the
+                    // real-time-compatible identity order with V = all
+                    // commit-pending, for inspection of the obstruction.
+                    let h0 = nonlocal(&with_initial_tx(&h, &specs));
+                    let rt = RealTimeOrder::of(&h0);
+                    let mut order = h0.txs();
+                    order.sort_by(|&a, &b| {
+                        if rt.precedes(a, b) {
+                            std::cmp::Ordering::Less
+                        } else if rt.precedes(b, a) {
+                            std::cmp::Ordering::Greater
+                        } else {
+                            a.cmp(&b)
+                        }
+                    });
+                    let visible: HashSet<_> = h0.commit_pending_txs().into_iter().collect();
+                    let g = build_opg(&h0, &order, &visible);
+                    w(
+                        out,
+                        "// history is NOT opaque: no (≪,V) yields a well-formed acyclic OPG;\n\
+                         // shown under the identity order with V = all commit-pending"
+                            .to_string(),
+                    )?;
+                    w(out, g.to_dot())?;
+                    Ok(1)
+                }
+            }
+        }
+        Command::Convert { file, json } => {
+            let h = load_history(file)?;
+            let rendered = if *json { to_json_pretty(&h) } else { to_text(&h) };
+            write!(out, "{rendered}").map_err(|e| e.to_string())?;
+            if *json {
+                w(out, String::new())?;
+            }
+            Ok(0)
+        }
+        Command::Generate { seed, txs, objs, ops, json } => {
+            let config = GenConfig {
+                txs: *txs,
+                objs: *objs,
+                max_ops: *ops,
+                ..GenConfig::default()
+            };
+            let h = random_history(&config, *seed);
+            let rendered = if *json { to_json_pretty(&h) } else { to_text(&h) };
+            write!(out, "{rendered}").map_err(|e| e.to_string())?;
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(cmd: &Command) -> (i32, String) {
+        let mut buf = Vec::new();
+        let code = run(cmd, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    fn fixture(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("tmcheck-test-{name}-{}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const OPAQUE_TRACE: &str = "\
+inv T1 x write 1\nret T1 x write ok\ntryC T1\nC T1
+inv T2 x read\nret T2 x read 1\ntryC T2\nC T2\n";
+
+    const H1_TRACE: &str = "\
+inv T1 x write 1\nret T1 x write ok\ntryC T1\nC T1
+inv T2 x read\nret T2 x read 1
+inv T3 x write 2\nret T3 x write ok
+inv T3 y write 2\nret T3 y write ok\ntryC T3\nC T3
+inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
+
+    #[test]
+    fn parse_args_all_commands() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert_eq!(parse_args(&a("check f")), Ok(Command::Check("f".into())));
+        assert_eq!(parse_args(&a("explain f")), Ok(Command::Explain("f".into())));
+        assert_eq!(parse_args(&a("criteria f")), Ok(Command::Criteria("f".into())));
+        assert_eq!(parse_args(&a("graph f")), Ok(Command::Graph("f".into())));
+        assert_eq!(
+            parse_args(&a("convert f --json")),
+            Ok(Command::Convert { file: "f".into(), json: true })
+        );
+        assert_eq!(
+            parse_args(&a("generate --seed 7 --txs 3 --json")),
+            Ok(Command::Generate { seed: 7, txs: 3, objs: 3, ops: 4, json: true })
+        );
+        assert_eq!(parse_args(&a("help")), Ok(Command::Help));
+        assert!(parse_args(&a("bogus")).is_err());
+        assert!(parse_args(&a("convert f")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn check_opaque_trace_exits_zero() {
+        let f = fixture("ok", OPAQUE_TRACE);
+        let (code, output) = run_str(&Command::Check(f));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("OPAQUE"));
+        assert!(output.contains("witness serialization"));
+    }
+
+    #[test]
+    fn check_h1_exits_one() {
+        let f = fixture("h1", H1_TRACE);
+        let (code, output) = run_str(&Command::Check(f));
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("NOT OPAQUE"));
+    }
+
+    #[test]
+    fn explain_localizes_h1() {
+        let f = fixture("h1e", H1_TRACE);
+        let (code, output) = run_str(&Command::Explain(f));
+        assert_eq!(code, 1);
+        // The fatal event is T2's read of y returning 2.
+        assert!(output.contains("ret2(y,read)→2"), "{output}");
+    }
+
+    #[test]
+    fn criteria_table_shows_the_separation() {
+        let f = fixture("h1c", H1_TRACE);
+        let (code, output) = run_str(&Command::Criteria(f));
+        assert_eq!(code, 1);
+        assert!(output.contains("serializable (global atomicity):  yes"), "{output}");
+        assert!(output.contains("opaque (Definition 1):            NO"), "{output}");
+    }
+
+    #[test]
+    fn graph_emits_dot() {
+        let f = fixture("g", OPAQUE_TRACE);
+        let (code, output) = run_str(&Command::Graph(f));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("digraph"), "{output}");
+        let f = fixture("g1", H1_TRACE);
+        let (code, output) = run_str(&Command::Graph(f));
+        assert_eq!(code, 1);
+        assert!(output.contains("NOT opaque"), "{output}");
+        assert!(output.contains("digraph"), "{output}");
+    }
+
+    #[test]
+    fn convert_roundtrips_between_formats() {
+        let f = fixture("conv", OPAQUE_TRACE);
+        let (code, json) = run_str(&Command::Convert { file: f, json: true });
+        assert_eq!(code, 0);
+        let f2 = fixture("conv2", &json);
+        let (code, text) = run_str(&Command::Convert { file: f2, json: false });
+        assert_eq!(code, 0);
+        assert_eq!(
+            parse_trace(&text).unwrap().events(),
+            parse_trace(OPAQUE_TRACE).unwrap().events()
+        );
+    }
+
+    #[test]
+    fn generate_emits_parsable_wellformed_history() {
+        let (code, text) = run_str(&Command::Generate {
+            seed: 11,
+            txs: 4,
+            objs: 3,
+            ops: 4,
+            json: false,
+        });
+        assert_eq!(code, 0);
+        let h = parse_trace(&text).unwrap();
+        assert!(tm_model::is_well_formed(&h));
+        let (code, json) = run_str(&Command::Generate {
+            seed: 11,
+            txs: 4,
+            objs: 3,
+            ops: 4,
+            json: true,
+        });
+        assert_eq!(code, 0);
+        assert_eq!(parse_trace(&json).unwrap().events(), h.events());
+    }
+
+    #[test]
+    fn missing_file_is_a_usage_error() {
+        let (code, output) = run_str(&Command::Check("/nonexistent/trace".into()));
+        assert_eq!(code, 2);
+        assert!(output.contains("error:"));
+    }
+
+    #[test]
+    fn ill_formed_trace_is_rejected() {
+        // A response without its invocation.
+        let f = fixture("wf", "ret T1 x read 0\n");
+        let (code, output) = run_str(&Command::Check(f));
+        assert_eq!(code, 2);
+        assert!(output.contains("not well-formed"), "{output}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, output) = run_str(&Command::Help);
+        assert_eq!(code, 0);
+        assert!(output.contains("USAGE"));
+    }
+}

@@ -1,0 +1,16 @@
+//! The `tmcheck` binary — see the library crate documentation for the
+//! command reference.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match tm_cli::parse_args(&args) {
+        Ok(cmd) => ExitCode::from(tm_cli::run(&cmd, &mut stdout) as u8),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", tm_cli::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

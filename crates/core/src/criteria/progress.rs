@@ -1,0 +1,216 @@
+//! Progressiveness as a history-level property (Section 6.1).
+//!
+//! A TM implementation is *progressive* if it forcefully aborts a
+//! transaction `Ti` only when there is a time `t` at which `Ti` conflicts
+//! with another concurrent transaction `Tk` that is live at `t`; two
+//! transactions conflict when they access some common shared object (the
+//! paper deliberately does not distinguish read from update accesses here).
+//!
+//! The property is about the *implementation*, but any single history
+//! provides evidence: a forced abort with no justifying conflict in that
+//! history refutes progressiveness. [`check_progressive`] performs exactly
+//! that scan, which is how the repository validates the Section 6.2 claims
+//! ("TL2 is not progressive") on recorded executions rather than by
+//! fiat — see `tests/progressiveness.rs` and the unit tests below.
+//!
+//! A forced abort of `Ti` is justified iff some transaction `Tk` exists
+//! such that, at some time `t` before the abort, (1) both `Ti` and `Tk`
+//! have started and accessed a common object by `t` (they conflict at `t`),
+//! and (2) `Tk` is live at `t` (its commit/abort event, if any, comes after
+//! `t`). Taking `t` as late as possible reduces this to: the two access
+//! sets intersect at some index `t ≤ abort(Ti)` while `Tk` is still live.
+
+use std::collections::{HashMap, HashSet};
+
+use tm_model::{Event, History, ObjId, TxId};
+
+/// One unjustified forced abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgressViolation {
+    /// The transaction that was forcefully aborted.
+    pub tx: TxId,
+    /// Index of its abort event in the history.
+    pub at: usize,
+}
+
+/// The verdict of the progressiveness scan.
+#[derive(Clone, Debug, Default)]
+pub struct ProgressReport {
+    /// Forced aborts with no justifying live conflict.
+    pub violations: Vec<ProgressViolation>,
+    /// Forced aborts that were justified, with one justifying peer each.
+    pub justified: Vec<(TxId, TxId)>,
+}
+
+impl ProgressReport {
+    /// True if every forced abort in the history was justified.
+    pub fn progressive(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Scans `h` for forced aborts and checks each against the progressive
+/// criterion.
+pub fn check_progressive(h: &History) -> ProgressReport {
+    let events = h.events();
+
+    // Access times: for each (tx, obj), the index of the first access
+    // (invocation event on that object).
+    let mut first_access: HashMap<(TxId, ObjId), usize> = HashMap::new();
+    // Completion index of each tx.
+    let mut completed_at: HashMap<TxId, usize> = HashMap::new();
+    // Whether a tx issued tryA (its abort is then voluntary).
+    let mut voluntary: HashSet<TxId> = HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        match e {
+            Event::Inv { tx, obj, .. } => {
+                first_access.entry((*tx, obj.clone())).or_insert(i);
+            }
+            Event::TryAbort(t) => {
+                voluntary.insert(*t);
+            }
+            Event::Commit(t) | Event::Abort(t) => {
+                completed_at.entry(*t).or_insert(i);
+            }
+            _ => {}
+        }
+    }
+
+    let objects = h.objects();
+    let txs = h.txs();
+    let mut report = ProgressReport::default();
+
+    for (i, e) in events.iter().enumerate() {
+        let Event::Abort(ti) = e else { continue };
+        if voluntary.contains(ti) {
+            continue; // tryA · A is not a forced abort
+        }
+        // Find a justifying Tk: common object accessed by both before i,
+        // with Tk live at the later of the two first accesses (the
+        // conflict time t) — i.e. Tk's completion strictly after t.
+        let mut justification: Option<TxId> = None;
+        'peers: for &tk in &txs {
+            if tk == *ti {
+                continue;
+            }
+            for obj in &objects {
+                let (Some(&a), Some(&b)) = (
+                    first_access.get(&(*ti, obj.clone())),
+                    first_access.get(&(tk, obj.clone())),
+                ) else {
+                    continue;
+                };
+                if a >= i || b >= i {
+                    continue; // accesses must precede the abort
+                }
+                let t = a.max(b); // the conflict exists from time t on
+                let tk_live_at_t = completed_at.get(&tk).map_or(true, |&c| c > t);
+                if tk_live_at_t {
+                    justification = Some(tk);
+                    break 'peers;
+                }
+            }
+        }
+        match justification {
+            Some(tk) => report.justified.push((*ti, tk)),
+            None => report.violations.push(ProgressViolation { tx: *ti, at: i }),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::HistoryBuilder;
+
+    #[test]
+    fn history_without_aborts_is_progressive() {
+        let h = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .commit_ok(1)
+            .read(2, "x", 1)
+            .commit_ok(2)
+            .build();
+        let r = check_progressive(&h);
+        assert!(r.progressive());
+        assert!(r.justified.is_empty());
+    }
+
+    #[test]
+    fn voluntary_abort_never_counts() {
+        let h = HistoryBuilder::new().read(1, "x", 0).try_abort(1).abort(1).build();
+        assert!(check_progressive(&h).progressive());
+    }
+
+    #[test]
+    fn abort_with_live_conflict_is_justified() {
+        // T1 and T2 both access x while both live; T1 forcefully aborted.
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .write(2, "x", 5)
+            .try_commit(1)
+            .abort(1)
+            .commit_ok(2)
+            .build();
+        let r = check_progressive(&h);
+        assert!(r.progressive());
+        assert_eq!(r.justified, vec![(TxId(1), TxId(2))]);
+    }
+
+    #[test]
+    fn tl2_style_abort_after_peer_committed_is_a_violation() {
+        // The Section 6.2 pattern: T2 writes r1 and commits; only *then*
+        // does T1 access r1 (and is aborted mid-read). The conflict's time
+        // t is T1's access, at which T2 is no longer live.
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .write(2, "y", 5)
+            .commit_ok(2)
+            .inv_read(1, "y")
+            .abort(1)
+            .build();
+        let r = check_progressive(&h);
+        assert!(!r.progressive());
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].tx, TxId(1));
+    }
+
+    #[test]
+    fn abort_without_any_shared_access_is_a_violation() {
+        // Spurious abort: nobody else ever touched T1's objects.
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .read(2, "y", 0)
+            .try_commit(1)
+            .abort(1)
+            .commit_ok(2)
+            .build();
+        let r = check_progressive(&h);
+        assert!(!r.progressive());
+    }
+
+    #[test]
+    fn conflict_time_uses_later_access() {
+        // T2 accessed x, completed, and only afterwards T1 accesses x:
+        // at the conflict time (T1's access) T2 is completed => violation.
+        let h = HistoryBuilder::new()
+            .write(2, "x", 5)
+            .commit_ok(2)
+            .read(1, "x", 5)
+            .try_commit(1)
+            .abort(1)
+            .build();
+        assert!(!check_progressive(&h).progressive());
+        // Conversely, overlapping lifetimes justify: T2 still live when T1
+        // accesses x.
+        let h = HistoryBuilder::new()
+            .write(2, "x", 5)
+            .read(1, "x", 0)
+            .commit_ok(2)
+            .try_commit(1)
+            .abort(1)
+            .build();
+        assert!(check_progressive(&h).progressive());
+    }
+}

@@ -1,0 +1,238 @@
+//! An online opacity monitor.
+//!
+//! Section 5.2 notes that the set of opaque histories is *not* prefix-closed
+//! as a set, but that "a history of a TM is generated progressively and at
+//! each time the history of all events issued so far must be opaque". The
+//! monitor enforces exactly that: it is fed the TM's events one at a time
+//! and checks opacity of every prefix, reporting the first prefix that
+//! violates it.
+//!
+//! Optimization (with a correctness argument): appending an *invocation*
+//! event — an operation invocation, a `tryC`, or a `tryA` — can never make
+//! an opaque history non-opaque:
+//!
+//! * an operation invocation only adds a pending invocation, which imposes
+//!   no legality constraint (specifications are prefix-closed, sequences may
+//!   end in a pending invocation);
+//! * `tryA` moves a live transaction to abort-pending; both statuses admit
+//!   exactly the aborted placement;
+//! * `tryC` moves a live transaction to commit-pending, which *enlarges* its
+//!   set of allowed placements (aborted → aborted-or-committed) and changes
+//!   nothing else.
+//!
+//! Hence the monitor re-runs the checker only on response events (`Ret`,
+//! `C`, `A`) — each of which genuinely can break opacity (`A` included: a
+//! commit-pending transaction whose write was already read by a committed
+//! reader becomes unserializable when the TM aborts it).
+
+use crate::opacity::is_opaque_with;
+use crate::search::{CheckError, SearchConfig, SearchStats};
+use tm_model::{Event, History, SpecRegistry};
+
+/// The monitor's view of the execution so far.
+pub struct OpacityMonitor<'a> {
+    specs: &'a SpecRegistry,
+    config: SearchConfig,
+    history: History,
+    checks_run: usize,
+    checks_skipped: usize,
+    violated_at: Option<usize>,
+    last_stats: SearchStats,
+}
+
+/// The verdict after feeding one event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// The prefix is opaque (verified by a fresh check).
+    OpaqueChecked,
+    /// The prefix is opaque (guaranteed by the invocation-event argument,
+    /// no check was run).
+    OpaqueBySkip,
+    /// The prefix is not opaque; the violation first appeared at the given
+    /// event index.
+    Violated {
+        /// Index of the first event whose prefix is non-opaque.
+        at: usize,
+    },
+}
+
+impl<'a> OpacityMonitor<'a> {
+    /// A monitor over an initially empty history.
+    pub fn new(specs: &'a SpecRegistry) -> Self {
+        OpacityMonitor {
+            specs,
+            config: SearchConfig::default(),
+            history: History::new(),
+            checks_run: 0,
+            checks_skipped: 0,
+            violated_at: None,
+            last_stats: SearchStats::default(),
+        }
+    }
+
+    /// Overrides the search configuration.
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Feeds one event and reports the verdict for the new prefix.
+    ///
+    /// Once a violation is detected it is sticky: all later verdicts repeat
+    /// the first violation index.
+    pub fn feed(&mut self, e: Event) -> Result<MonitorVerdict, CheckError> {
+        let is_invocation = e.is_invocation();
+        self.history.push(e);
+        if let Some(at) = self.violated_at {
+            return Ok(MonitorVerdict::Violated { at });
+        }
+        if is_invocation {
+            self.checks_skipped += 1;
+            return Ok(MonitorVerdict::OpaqueBySkip);
+        }
+        self.checks_run += 1;
+        let report = is_opaque_with(&self.history, self.specs, self.config)?;
+        self.last_stats = report.stats;
+        if report.opaque {
+            Ok(MonitorVerdict::OpaqueChecked)
+        } else {
+            let at = self.history.len() - 1;
+            self.violated_at = Some(at);
+            Ok(MonitorVerdict::Violated { at })
+        }
+    }
+
+    /// Feeds a whole history; returns the first violation index, if any.
+    pub fn feed_all(&mut self, h: &History) -> Result<Option<usize>, CheckError> {
+        for e in h.events() {
+            if let MonitorVerdict::Violated { at } = self.feed(e.clone())? {
+                return Ok(Some(at));
+            }
+        }
+        Ok(None)
+    }
+
+    /// The history accumulated so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// `(checks run, checks skipped by the invocation argument)`.
+    pub fn check_counts(&self) -> (usize, usize) {
+        (self.checks_run, self.checks_skipped)
+    }
+
+    /// Statistics of the most recent search.
+    pub fn last_stats(&self) -> SearchStats {
+        self.last_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opacity::is_opaque;
+    use tm_model::builder::{paper, HistoryBuilder};
+    use tm_model::TxId;
+
+    fn regs() -> SpecRegistry {
+        SpecRegistry::registers()
+    }
+
+    #[test]
+    fn opaque_history_passes_event_by_event() {
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        assert_eq!(m.feed_all(&paper::h5()).unwrap(), None);
+        let (run, skipped) = m.check_counts();
+        assert!(run > 0 && skipped > 0);
+        assert_eq!(run + skipped, paper::h5().len());
+    }
+
+    #[test]
+    fn h1_violation_detected_at_the_fatal_read() {
+        // H1 becomes non-opaque exactly when T2's read of y returns 2.
+        let h = paper::h1();
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        let at = m.feed_all(&h).unwrap().expect("H1 is not opaque");
+        // The violating event is ret2(y,read)→2. Find its index.
+        let expected = h
+            .events()
+            .iter()
+            .position(|e| matches!(e, Event::Ret { tx: TxId(2), obj, .. } if obj.name() == "y"))
+            .unwrap();
+        assert_eq!(at, expected);
+    }
+
+    #[test]
+    fn violation_is_sticky() {
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        let h = paper::h1();
+        let first = m.feed_all(&h).unwrap().unwrap();
+        // Feeding more events keeps reporting the original index.
+        let v = m.feed(Event::TryCommit(TxId(9))).unwrap();
+        assert_eq!(v, MonitorVerdict::Violated { at: first });
+    }
+
+    #[test]
+    fn abort_event_can_violate_opacity() {
+        // T1 commit-pending; committed T2 read T1's write; aborting T1 now
+        // violates opacity. The monitor must catch this on the A event.
+        let prefix = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .read(2, "x", 1)
+            .try_commit(2)
+            .commit(2)
+            .build();
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        assert_eq!(m.feed_all(&prefix).unwrap(), None);
+        let v = m.feed(Event::Abort(TxId(1))).unwrap();
+        assert!(matches!(v, MonitorVerdict::Violated { .. }));
+        // Sanity: the full history is indeed non-opaque.
+        assert!(!is_opaque(m.history(), &regs()).unwrap().opaque);
+    }
+
+    #[test]
+    fn commit_event_resolves_pending_favourably() {
+        let prefix = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .read(2, "x", 1)
+            .try_commit(2)
+            .commit(2)
+            .build();
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        assert_eq!(m.feed_all(&prefix).unwrap(), None);
+        assert_eq!(m.feed(Event::Commit(TxId(1))).unwrap(), MonitorVerdict::OpaqueChecked);
+    }
+
+    #[test]
+    fn skip_argument_matches_full_checks() {
+        // Cross-validate the invocation-skip optimization: for every prefix
+        // of H4/H5, the monitor's verdict must match a from-scratch check.
+        for h in [paper::h4(), paper::h5(), paper::h1()] {
+            let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+            let mut violated = false;
+            for (i, e) in h.events().iter().enumerate() {
+                let v = m.feed(e.clone()).unwrap();
+                let fresh = is_opaque(&h.prefix(i + 1), &regs()).unwrap().opaque;
+                if violated {
+                    continue; // sticky mode; fresh may disagree only after first violation
+                }
+                match v {
+                    MonitorVerdict::Violated { .. } => {
+                        assert!(!fresh, "monitor violated but prefix opaque at {i} of {h}");
+                        violated = true;
+                    }
+                    _ => assert!(fresh, "monitor ok but prefix non-opaque at {i} of {h}"),
+                }
+            }
+        }
+    }
+}

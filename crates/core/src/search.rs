@@ -1,0 +1,451 @@
+//! The serialization-search engine shared by all history-level checkers.
+//!
+//! Definition 1 (and its weakenings in Section 3) all have the same shape:
+//! *does there exist a sequential history `S`, equivalent to (a completion
+//! of / the committed projection of) `H`, that preserves (optionally) the
+//! real-time order of `H` and in which every transaction is legal?*
+//!
+//! The engine performs a depth-first search over placements of transactions
+//! into the sequential order `S`, one at a time:
+//!
+//! * a transaction may be placed only when all its real-time predecessors
+//!   (if real-time order is enforced) are already placed;
+//! * placing a transaction requires its operations to replay legally against
+//!   the object states produced by the *committed* transactions placed so
+//!   far (this is exactly "legal in S": an aborted transaction is validated
+//!   against the committed prefix but does not contribute effects);
+//! * a commit-pending transaction may be placed either as committed or as
+//!   aborted — which folds the choice of a member of `Complete(H)` into the
+//!   search;
+//! * dead ends are memoized on `(set of placed transactions, canonical
+//!   object states)`, which prunes the factorial search to the number of
+//!   distinct reachable states.
+//!
+//! Opacity checking over arbitrary histories is NP-hard (it embeds
+//! view-serializability), so the worst case is necessarily exponential; the
+//! memoized search is nonetheless fast for the history sizes produced by
+//! tests, the random-history cross-validation, and recorded STM executions.
+
+use std::collections::HashSet;
+
+use tm_model::legal::{replay_tx, LegalityError};
+use tm_model::{History, ObjStates, RealTimeOrder, SpecRegistry, TxId, TxStatus, TxView};
+
+/// How a transaction was placed in a serialization witness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Placed as a committed transaction (its effects fold into the state).
+    Committed,
+    /// Placed as an aborted transaction (validated, effects discarded).
+    Aborted,
+}
+
+/// A successful serialization: the order in which transactions form the
+/// equivalent sequential history `S`, with the decided status of each.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Witness {
+    /// Transactions in serialization order with their placement decisions.
+    pub order: Vec<(TxId, Placement)>,
+}
+
+impl Witness {
+    /// The serialization order without placement decisions.
+    pub fn tx_order(&self) -> Vec<TxId> {
+        self.order.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The decision for `t`, if `t` was placed.
+    pub fn placement_of(&self, t: TxId) -> Option<Placement> {
+        self.order.iter().find(|(x, _)| *x == t).map(|(_, p)| *p)
+    }
+}
+
+/// Hard errors that make a search impossible (as opposed to "not opaque").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// The input history is not well-formed.
+    NotWellFormed(tm_model::WfError),
+    /// More transactions than the bitmask-based search supports.
+    TooManyTransactions {
+        /// Number of transactions found in the history.
+        found: usize,
+        /// Maximum supported by the engine.
+        max: usize,
+    },
+    /// An operation targets an object with no sequential specification.
+    NoSpec(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotWellFormed(e) => write!(f, "history not well-formed: {e}"),
+            CheckError::TooManyTransactions { found, max } => {
+                write!(f, "{found} transactions exceed engine limit of {max}")
+            }
+            CheckError::NoSpec(obj) => write!(f, "no sequential specification for {obj}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// What the search engine should look for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchMode {
+    /// Include non-committed transactions (live/aborted/commit-pending) in
+    /// `S` and require their legality. `true` for opacity; `false` for
+    /// serializability-style criteria, which erase them.
+    pub include_noncommitted: bool,
+    /// Require `S` to preserve the real-time order `≺_H`.
+    pub respect_real_time: bool,
+}
+
+impl SearchMode {
+    /// The mode of Definition 1 (opacity).
+    pub const OPACITY: SearchMode =
+        SearchMode { include_noncommitted: true, respect_real_time: true };
+    /// Final-state serializability / global atomicity: committed only, any
+    /// order.
+    pub const SERIALIZABILITY: SearchMode =
+        SearchMode { include_noncommitted: false, respect_real_time: false };
+    /// Strict serializability: committed only, real-time preserved.
+    pub const STRICT_SERIALIZABILITY: SearchMode =
+        SearchMode { include_noncommitted: false, respect_real_time: true };
+}
+
+/// Statistics from a search, for the ablation benchmarks (E13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// DFS nodes expanded.
+    pub nodes: usize,
+    /// Dead ends pruned by the memo table.
+    pub memo_hits: usize,
+    /// Placements rejected by legality replay.
+    pub illegal_placements: usize,
+}
+
+/// The outcome of a serialization search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// A witness if the history satisfies the criterion.
+    pub witness: Option<Witness>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// True if a witness was found.
+    pub fn holds(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Engine configuration knobs (ablations are measured in `tm-bench`).
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// Enable the `(mask, state)` memo table (on by default).
+    pub memoize: bool,
+    /// Hard cap on DFS nodes; `None` for unlimited. When hit, the search
+    /// conservatively reports "no witness found" via
+    /// [`SearchOutcome::witness`] `= None` with `stats.nodes == cap`.
+    pub node_limit: Option<usize>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { memoize: true, node_limit: None }
+    }
+}
+
+const MAX_TXS: usize = 64;
+
+struct TxInfo {
+    id: TxId,
+    view: TxView,
+    status: TxStatus,
+    /// Bitmask of transactions that must be placed before this one.
+    pred_mask: u64,
+}
+
+/// The memoized DFS engine.
+pub struct Search<'a> {
+    specs: &'a SpecRegistry,
+    config: SearchConfig,
+    txs: Vec<TxInfo>,
+    full_mask: u64,
+    failed: HashSet<(u64, ObjStates)>,
+    stats: SearchStats,
+    stack: Vec<(TxId, Placement)>,
+}
+
+impl<'a> Search<'a> {
+    /// Prepares a search over `h` under `mode`.
+    pub fn new(
+        h: &History,
+        specs: &'a SpecRegistry,
+        mode: SearchMode,
+        config: SearchConfig,
+    ) -> Result<Self, CheckError> {
+        tm_model::check_well_formed(h).map_err(CheckError::NotWellFormed)?;
+        let all = h.txs();
+        let rt = RealTimeOrder::of(h);
+        let selected: Vec<TxId> = if mode.include_noncommitted {
+            all.clone()
+        } else {
+            all.iter().copied().filter(|t| h.status(*t).is_committed()).collect()
+        };
+        if selected.len() > MAX_TXS {
+            return Err(CheckError::TooManyTransactions { found: selected.len(), max: MAX_TXS });
+        }
+        let index_of = |t: TxId| selected.iter().position(|&x| x == t);
+        let mut txs = Vec::with_capacity(selected.len());
+        for &t in &selected {
+            let mut pred_mask = 0u64;
+            if mode.respect_real_time {
+                for p in rt.predecessors(t) {
+                    if let Some(i) = index_of(p) {
+                        pred_mask |= 1 << i;
+                    }
+                }
+            }
+            txs.push(TxInfo { id: t, view: h.tx_view(t), status: h.status(t), pred_mask });
+        }
+        let full_mask = if selected.is_empty() { 0 } else { (1u64 << selected.len()) - 1 };
+        Ok(Search {
+            specs,
+            config,
+            txs,
+            full_mask,
+            failed: HashSet::new(),
+            stats: SearchStats::default(),
+            stack: Vec::new(),
+        })
+    }
+
+    /// Runs the search to completion.
+    pub fn run(mut self) -> Result<SearchOutcome, CheckError> {
+        let states = ObjStates::new();
+        match self.dfs(0, &states)? {
+            true => Ok(SearchOutcome {
+                witness: Some(Witness { order: self.stack.clone() }),
+                stats: self.stats,
+            }),
+            false => Ok(SearchOutcome { witness: None, stats: self.stats }),
+        }
+    }
+
+    /// The placement decisions allowed for a transaction by its status in
+    /// `H` (and the search mode).
+    fn allowed_placements(&self, status: TxStatus) -> &'static [Placement] {
+        match status {
+            TxStatus::Committed => &[Placement::Committed],
+            // A commit-pending transaction may appear committed or aborted
+            // (the dual semantics of Section 5.2).
+            TxStatus::CommitPending => &[Placement::Committed, Placement::Aborted],
+            // Aborted, abort-pending, and live transactions can only be
+            // aborted in a completion.
+            _ => &[Placement::Aborted],
+        }
+    }
+
+    fn dfs(&mut self, placed: u64, states: &ObjStates) -> Result<bool, CheckError> {
+        if placed == self.full_mask {
+            return Ok(true);
+        }
+        if let Some(limit) = self.config.node_limit {
+            if self.stats.nodes >= limit {
+                return Ok(false);
+            }
+        }
+        self.stats.nodes += 1;
+        let key = (placed, states.clone());
+        if self.config.memoize && self.failed.contains(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(false);
+        }
+        for i in 0..self.txs.len() {
+            let bit = 1u64 << i;
+            if placed & bit != 0 || self.txs[i].pred_mask & !placed != 0 {
+                continue;
+            }
+            // Replay the candidate against the committed-prefix state.
+            let after = match replay_tx(&self.txs[i].view, states, self.specs) {
+                Ok(after) => after,
+                Err(LegalityError::NoSpec(op)) => {
+                    return Err(CheckError::NoSpec(op.obj.name().to_string()));
+                }
+                Err(LegalityError::IllegalResponse { .. }) => {
+                    self.stats.illegal_placements += 1;
+                    continue;
+                }
+            };
+            for &placement in self.allowed_placements(self.txs[i].status) {
+                let next_states = match placement {
+                    Placement::Committed => after.clone().canonical(self.specs),
+                    Placement::Aborted => states.clone(),
+                };
+                self.stack.push((self.txs[i].id, placement));
+                if self.dfs(placed | bit, &next_states)? {
+                    return Ok(true);
+                }
+                self.stack.pop();
+            }
+        }
+        if self.config.memoize {
+            self.failed.insert(key);
+        }
+        Ok(false)
+    }
+}
+
+/// One-shot convenience: search `h` under `mode` with default configuration.
+pub fn search(
+    h: &History,
+    specs: &SpecRegistry,
+    mode: SearchMode,
+) -> Result<SearchOutcome, CheckError> {
+    Search::new(h, specs, mode, SearchConfig::default())?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::builder::{paper, HistoryBuilder};
+
+    fn regs() -> SpecRegistry {
+        SpecRegistry::registers()
+    }
+
+    #[test]
+    fn empty_history_holds_everywhere() {
+        let h = History::new();
+        for mode in [
+            SearchMode::OPACITY,
+            SearchMode::SERIALIZABILITY,
+            SearchMode::STRICT_SERIALIZABILITY,
+        ] {
+            assert!(search(&h, &regs(), mode).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn h1_serializable_but_not_opaque() {
+        let h = paper::h1();
+        assert!(search(&h, &regs(), SearchMode::SERIALIZABILITY).unwrap().holds());
+        assert!(search(&h, &regs(), SearchMode::STRICT_SERIALIZABILITY).unwrap().holds());
+        assert!(!search(&h, &regs(), SearchMode::OPACITY).unwrap().holds());
+    }
+
+    #[test]
+    fn witness_reports_order_and_placements() {
+        let h = paper::h5();
+        let out = search(&h, &regs(), SearchMode::OPACITY).unwrap();
+        let w = out.witness.expect("H5 is opaque");
+        // The paper's witness is S = T2 · T1 · T3.
+        assert_eq!(w.tx_order(), vec![TxId(2), TxId(1), TxId(3)]);
+        assert_eq!(w.placement_of(TxId(2)), Some(Placement::Committed));
+        assert_eq!(w.placement_of(TxId(1)), Some(Placement::Aborted));
+        assert_eq!(w.placement_of(TxId(3)), Some(Placement::Committed));
+    }
+
+    #[test]
+    fn ill_formed_history_is_an_error() {
+        let h = HistoryBuilder::new().commit(1).build();
+        assert!(matches!(
+            search(&h, &regs(), SearchMode::OPACITY),
+            Err(CheckError::NotWellFormed(_))
+        ));
+    }
+
+    #[test]
+    fn missing_spec_is_an_error() {
+        let h = HistoryBuilder::new().read(1, "x", 0).commit_ok(1).build();
+        let empty = SpecRegistry::new();
+        assert!(matches!(
+            search(&h, &empty, SearchMode::OPACITY),
+            Err(CheckError::NoSpec(_))
+        ));
+    }
+
+    #[test]
+    fn memoization_prunes() {
+        // Many concurrent committed writers: huge permutation space, small
+        // state space; the memo table must keep node counts reasonable.
+        let mut b = HistoryBuilder::new();
+        for t in 1..=8u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        for t in 1..=8u32 {
+            b = b.commit_ok(t);
+        }
+        let h = b.build();
+        let on = Search::new(&h, &regs(), SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(on.holds());
+        let off = Search::new(
+            &h,
+            &regs(),
+            SearchMode::OPACITY,
+            SearchConfig { memoize: false, node_limit: Some(2_000_000) },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(off.holds());
+        assert!(on.stats.nodes <= off.stats.nodes);
+    }
+
+    #[test]
+    fn node_limit_stops_search() {
+        let mut b = HistoryBuilder::new();
+        for t in 1..=10u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        // No commits: all live, all must be aborted; trivially opaque, but
+        // with a node limit of 1 the search gives up.
+        let h = b.build();
+        let out = Search::new(
+            &h,
+            &regs(),
+            SearchMode::OPACITY,
+            SearchConfig { memoize: true, node_limit: Some(1) },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(!out.holds());
+        assert_eq!(out.stats.nodes, 1);
+    }
+
+    #[test]
+    fn real_time_constrains_opacity_mode() {
+        // T1 commits writing x=1 strictly before T2 starts; T2 reads the
+        // initial 0: legal without real time, illegal with it.
+        let h = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .commit_ok(1)
+            .read(2, "x", 0)
+            .commit_ok(2)
+            .build();
+        assert!(!search(&h, &regs(), SearchMode::OPACITY).unwrap().holds());
+        assert!(!search(&h, &regs(), SearchMode::STRICT_SERIALIZABILITY).unwrap().holds());
+        assert!(search(&h, &regs(), SearchMode::SERIALIZABILITY).unwrap().holds());
+    }
+
+    #[test]
+    fn commit_pending_dual_semantics() {
+        // H4: T3 must see T2 committed, T1 must see it aborted — the search
+        // must pick Committed for T2 and order T1 before it.
+        let h = paper::h4();
+        let out = search(&h, &regs(), SearchMode::OPACITY).unwrap();
+        let w = out.witness.expect("H4 is opaque (Section 5.2)");
+        assert_eq!(w.placement_of(TxId(2)), Some(Placement::Committed));
+        let order = w.tx_order();
+        let pos = |t: u32| order.iter().position(|&x| x == TxId(t)).unwrap();
+        assert!(pos(1) < pos(2), "T1 must precede T2 in S: {order:?}");
+        assert!(pos(2) < pos(3), "T2 must precede T3 in S: {order:?}");
+    }
+}

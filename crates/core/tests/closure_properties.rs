@@ -1,0 +1,326 @@
+//! Metamorphic and closure properties of opacity, property-tested on the
+//! random history generator.
+//!
+//! Definition 1 is quantifier-heavy ("there exists a sequential history
+//! equivalent to some completion …"), which makes the *checker* itself a
+//! trust bottleneck. Beyond the Theorem-2 cross-validation (a second,
+//! independent decision procedure), this suite pins down theorems about the
+//! *criterion* that any correct checker must reproduce:
+//!
+//! 1. **erasure** — removing an *aborted or live non-commit-pending*
+//!    transaction from an opaque history preserves opacity (such
+//!    transactions are invisible to everyone else's legality, and removal
+//!    only weakens `≺_H`). Commit-pending transactions are explicitly NOT
+//!    erasable: the dual semantics of Section 5.2 lets them act as
+//!    committed writers for other committed transactions — the property
+//!    test found concrete counterexamples within a few dozen seeds;
+//! 2. **renaming invariance** — object names and transaction numbers carry
+//!    no semantics;
+//! 3. **concurrency monotonicity** — swapping two adjacent events of
+//!    different transactions preserves equivalence and, when the swap does
+//!    not create a new happen-before pair, can only *weaken* the real-time
+//!    order, so opacity is preserved;
+//! 4. **criterion lattice** — on histories *without commit-pending
+//!    transactions*, opacity implies strict serializability,
+//!    serializability, and snapshot isolation. The side condition is real:
+//!    a commit-pending writer read by a committed reader yields opaque
+//!    histories whose committed projection is not serializable (the
+//!    classical criteria have no notion of `Complete(H)`) — another
+//!    generator-found counterexample, documented in EXPERIMENTS.md;
+//! 5. **monitor agreement** — the incremental monitor accepts exactly the
+//!    histories whose every response-closed prefix the offline checker
+//!    accepts.
+
+use proptest::prelude::*;
+
+use tm_harness::{random_history, GenConfig};
+use tm_model::{Event, History, ObjId, SpecRegistry, TxId, TxStatus};
+use tm_opacity::criteria::{is_serializable, is_strictly_serializable, snapshot_isolated};
+use tm_opacity::incremental::{MonitorVerdict, OpacityMonitor};
+use tm_opacity::opacity::is_opaque;
+
+fn regs() -> SpecRegistry {
+    SpecRegistry::registers()
+}
+
+fn config(txs: usize, objs: usize, ops: usize, noise: f64) -> GenConfig {
+    GenConfig { txs, objs, max_ops: ops, noise, commit_pending: 0.2, abort: 0.25 }
+}
+
+/// Removes every event of `t` from `h`.
+fn erase_tx(h: &History, t: TxId) -> History {
+    History::from_events(h.events().iter().filter(|e| e.tx() != t).cloned().collect())
+}
+
+/// Renames every object `o` to `prefix + o` and every `T_i` to `T_{i+shift}`.
+fn rename(h: &History, prefix: &str, shift: u32) -> History {
+    let map_obj = |o: &ObjId| ObjId::new(&format!("{prefix}{}", o.name()));
+    let map_tx = |t: TxId| TxId(t.0 + shift);
+    History::from_events(
+        h.events()
+            .iter()
+            .map(|e| match e {
+                Event::Inv { tx, obj, op, args } => Event::Inv {
+                    tx: map_tx(*tx),
+                    obj: map_obj(obj),
+                    op: op.clone(),
+                    args: args.clone(),
+                },
+                Event::Ret { tx, obj, op, val } => Event::Ret {
+                    tx: map_tx(*tx),
+                    obj: map_obj(obj),
+                    op: op.clone(),
+                    val: val.clone(),
+                },
+                Event::TryCommit(tx) => Event::TryCommit(map_tx(*tx)),
+                Event::TryAbort(tx) => Event::TryAbort(map_tx(*tx)),
+                Event::Commit(tx) => Event::Commit(map_tx(*tx)),
+                Event::Abort(tx) => Event::Abort(map_tx(*tx)),
+            })
+            .collect(),
+    )
+}
+
+/// True if swapping events `i` and `i+1` cannot create a new happen-before
+/// pair: that requires position `i+1` to hold the last event of its
+/// transaction while position `i` holds the first event of its own.
+fn swap_is_weakening(h: &History, i: usize) -> bool {
+    let (a, b) = (&h.events()[i], &h.events()[i + 1]);
+    if a.tx() == b.tx() {
+        return false; // would change per-transaction order, not applicable
+    }
+    let a_first = h.first_event_index(a.tx()) == Some(i);
+    let b_last = h.last_event_index(b.tx()) == Some(i + 1);
+    !(a_first && b_last)
+}
+
+fn swap(h: &History, i: usize) -> History {
+    let mut events = h.events().to_vec();
+    events.swap(i, i + 1);
+    History::from_events(events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn erasing_noncommitted_txs_preserves_opacity(
+        seed in 0u64..1_000_000,
+        txs in 2usize..6,
+        objs in 1usize..4,
+        ops in 1usize..5,
+        noise in 0.0f64..0.5,
+    ) {
+        let h = random_history(&config(txs, objs, ops, noise), seed);
+        prop_assume!(is_opaque(&h, &regs()).unwrap().opaque);
+        for t in h.txs() {
+            let status = h.status(t);
+            // Commit-pending transactions are NOT erasable (dual
+            // semantics); see the module docs.
+            if status != TxStatus::Committed && !status.is_commit_pending() {
+                let h2 = erase_tx(&h, t);
+                prop_assert!(
+                    is_opaque(&h2, &regs()).unwrap().opaque,
+                    "erasing non-committed {t} broke opacity:\nbefore: {h}\nafter: {h2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn erasing_all_noncommitted_leaves_the_serializability_core(
+        seed in 0u64..1_000_000,
+        noise in 0.0f64..0.5,
+    ) {
+        // No commit-pending tails here: the committed projection of an
+        // opaque history is serializable only when every transaction's
+        // fate is settled (see the module docs).
+        let c = GenConfig { commit_pending: 0.0, ..config(4, 3, 4, noise) };
+        let h = random_history(&c, seed);
+        prop_assume!(is_opaque(&h, &regs()).unwrap().opaque);
+        let mut core = h.clone();
+        for t in h.txs() {
+            if h.status(t) != TxStatus::Committed {
+                core = erase_tx(&core, t);
+            }
+        }
+        prop_assert!(is_opaque(&core, &regs()).unwrap().opaque);
+        prop_assert!(is_serializable(&core, &regs()).unwrap());
+    }
+
+    #[test]
+    fn renaming_preserves_the_verdict(
+        seed in 0u64..1_000_000,
+        txs in 1usize..6,
+        noise in 0.0f64..0.6,
+        shift in 1u32..50,
+    ) {
+        let h = random_history(&config(txs, 3, 4, noise), seed);
+        let verdict = is_opaque(&h, &regs()).unwrap().opaque;
+        let renamed = rename(&h, "zz_", shift);
+        prop_assert_eq!(
+            is_opaque(&renamed, &regs()).unwrap().opaque,
+            verdict,
+            "renaming changed the verdict:\n{}",
+            h
+        );
+    }
+
+    #[test]
+    fn weakening_swaps_preserve_opacity(
+        seed in 0u64..1_000_000,
+        txs in 2usize..5,
+        noise in 0.0f64..0.4,
+    ) {
+        let h = random_history(&config(txs, 3, 3, noise), seed);
+        prop_assume!(is_opaque(&h, &regs()).unwrap().opaque);
+        for i in 0..h.len().saturating_sub(1) {
+            if swap_is_weakening(&h, i) {
+                let h2 = swap(&h, i);
+                // The swap preserves per-transaction subsequences, so the
+                // histories are equivalent; it can only remove ≺ pairs.
+                prop_assert!(h.equivalent(&h2));
+                prop_assert!(
+                    is_opaque(&h2, &regs()).unwrap().opaque,
+                    "weakening swap at {i} broke opacity:\nbefore: {h}\nafter:  {h2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opacity_implies_the_weaker_criteria(
+        seed in 0u64..1_000_000,
+        txs in 1usize..6,
+        noise in 0.0f64..0.6,
+    ) {
+        let c = GenConfig { commit_pending: 0.0, ..config(txs, 3, 4, noise) };
+        let h = random_history(&c, seed);
+        prop_assume!(is_opaque(&h, &regs()).unwrap().opaque);
+        prop_assert!(is_strictly_serializable(&h, &regs()).unwrap(), "{h}");
+        prop_assert!(is_serializable(&h, &regs()).unwrap(), "{h}");
+        // SI *does* understand commit-pending duals (it enumerates V like
+        // the graph decider), so it needs no side condition — asserted on
+        // the unrestricted history in its own proptest below.
+        prop_assert!(snapshot_isolated(&h, &regs()).unwrap(), "{h}");
+    }
+
+    #[test]
+    fn monitor_agrees_with_the_offline_checker(
+        seed in 0u64..1_000_000,
+        txs in 1usize..5,
+        noise in 0.0f64..0.6,
+    ) {
+        let h = random_history(&config(txs, 3, 3, noise), seed);
+        let specs = regs();
+        let mut monitor = OpacityMonitor::new(&specs);
+        let mut rejected_at: Option<usize> = None;
+        for (i, e) in h.events().iter().enumerate() {
+            match monitor.feed(e.clone()).unwrap() {
+                MonitorVerdict::OpaqueChecked | MonitorVerdict::OpaqueBySkip => {}
+                MonitorVerdict::Violated { .. } => {
+                    rejected_at = Some(i);
+                    break;
+                }
+            }
+        }
+        match rejected_at {
+            None => {
+                // Every response-closed prefix must be opaque offline.
+                for n in 1..=h.len() {
+                    let p = h.prefix(n);
+                    // The monitor only rules on response events; prefixes
+                    // ending mid-invocation are covered by the next ruling.
+                    if p.events().last().is_some_and(|e| e.is_response()) {
+                        prop_assert!(
+                            is_opaque(&p, &regs()).unwrap().opaque,
+                            "monitor accepted a non-opaque prefix of {h}"
+                        );
+                    }
+                }
+            }
+            Some(i) => {
+                let p = h.prefix(i + 1);
+                prop_assert!(
+                    !is_opaque(&p, &regs()).unwrap().opaque,
+                    "monitor rejected an opaque prefix (event {i}) of {h}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn erasure_on_the_paper_histories() {
+    // H5 (Figure 2) is opaque with aborted T1; erasing T1 must stay opaque.
+    let h5 = tm_model::builder::paper::h5();
+    assert!(is_opaque(&h5, &regs()).unwrap().opaque);
+    let without_t1 = erase_tx(&h5, TxId(1));
+    assert!(is_opaque(&without_t1, &regs()).unwrap().opaque);
+}
+
+#[test]
+fn renaming_on_h1_keeps_the_violation() {
+    let h1 = tm_model::builder::paper::h1();
+    assert!(!is_opaque(&h1, &regs()).unwrap().opaque);
+    assert!(!is_opaque(&rename(&h1, "obj_", 10), &regs()).unwrap().opaque);
+}
+
+#[test]
+fn swap_safety_predicate_matches_realtime_changes() {
+    use tm_model::RealTimeOrder;
+    // Exhaustively verify, on generated histories, that "weakening" swaps
+    // indeed never add ≺ pairs (the predicate is sound, not just plausible).
+    for seed in 0..40 {
+        let h = random_history(&config(3, 2, 3, 0.2), seed);
+        let before = RealTimeOrder::of(&h);
+        for i in 0..h.len().saturating_sub(1) {
+            if swap_is_weakening(&h, i) {
+                let after = RealTimeOrder::of(&swap(&h, i));
+                for (a, b) in after.pairs() {
+                    assert!(
+                        before.precedes(a, b),
+                        "swap at {i} created {a} ≺ {b} in {h}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Opacity ⇒ snapshot isolation holds with NO commit-pending side
+    /// condition, because the SI checker shares opacity's `Complete(H)`
+    /// treatment of commit-pending transactions.
+    #[test]
+    fn opacity_implies_si_even_with_commit_pending(
+        seed in 0u64..1_000_000,
+        noise in 0.0f64..0.6,
+    ) {
+        let h = random_history(&config(4, 3, 4, noise), seed);
+        prop_assume!(is_opaque(&h, &regs()).unwrap().opaque);
+        prop_assert!(snapshot_isolated(&h, &regs()).unwrap(), "{h}");
+    }
+}
+
+/// A concrete witness for the commit-pending caveat: an opaque history
+/// whose committed projection is NOT serializable (found by the generator,
+/// minimized by hand). The classical criteria have no `Complete(H)`.
+#[test]
+fn opaque_but_committed_projection_not_serializable() {
+    use tm_model::HistoryBuilder;
+    let h = HistoryBuilder::new()
+        .write(1, "x", 5) // T1 writes…
+        .try_commit(1) //      …and hangs commit-pending
+        .read(2, "x", 5) // committed T2 reads the pending write
+        .commit_ok(2)
+        .build();
+    assert!(is_opaque(&h, &regs()).unwrap().opaque, "T1 may appear committed");
+    assert!(
+        !is_serializable(&h, &regs()).unwrap(),
+        "the committed projection erases T1, orphaning T2's read"
+    );
+    assert!(snapshot_isolated(&h, &regs()).unwrap(), "SI handles the dual");
+}

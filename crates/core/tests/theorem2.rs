@@ -1,0 +1,129 @@
+//! Experiment E7: executable cross-validation of Theorem 2.
+//!
+//! Theorem 2 states that, for register histories with unique writes and an
+//! initializing committed transaction, opacity (Definition 1) is equivalent
+//! to consistency plus the existence of `(≪, V)` making the opacity graph
+//! `OPG(nonlocal(H), ≪, V)` well-formed and acyclic.
+//!
+//! The two deciders share no code: the definitional checker searches
+//! serializations with legality replay; the graph checker searches
+//! `(≪, V)` pairs and checks graph shape. Agreement across thousands of
+//! random histories — biased to sit near the opaque/non-opaque boundary —
+//! is a strong mechanical check of the theorem (and of both
+//! implementations).
+
+use proptest::prelude::*;
+
+use tm_harness::randhist::{random_history, GenConfig};
+use tm_model::SpecRegistry;
+use tm_opacity::graphcheck::{construct_graph_witness, decide_via_graph};
+use tm_opacity::opacity::is_opaque;
+
+fn specs() -> SpecRegistry {
+    SpecRegistry::registers()
+}
+
+/// Deterministic bulk sweep: both deciders on 1500 random histories.
+#[test]
+fn deciders_agree_on_random_histories_bulk() {
+    let config = GenConfig { txs: 4, objs: 3, max_ops: 3, ..GenConfig::default() };
+    let mut opaque_count = 0;
+    for seed in 0..1500u64 {
+        let h = random_history(&config, seed);
+        let d = is_opaque(&h, &specs()).unwrap();
+        let g = decide_via_graph(&h, &specs(), 6).unwrap();
+        assert_eq!(
+            d.opaque,
+            g.opaque(),
+            "checkers disagree on seed {seed}:\n{h}\nconsistent={}",
+            g.consistent
+        );
+        if d.opaque {
+            opaque_count += 1;
+            // Positive direction, independently: a Theorem-2 witness is
+            // constructible from a serialization of the nonlocal history.
+            assert!(
+                construct_graph_witness(&h, &specs()).unwrap().is_some(),
+                "graph-witness construction fails on seed {seed}:\n{h}"
+            );
+        }
+    }
+    // The sweep must exercise both verdicts substantially.
+    assert!(opaque_count > 300, "{opaque_count}");
+    assert!(opaque_count < 1200, "{opaque_count}");
+}
+
+/// Noisier histories (more wrong-value reads, more commit-pending tails).
+#[test]
+fn deciders_agree_on_noisy_histories() {
+    let config = GenConfig {
+        txs: 4,
+        objs: 2,
+        max_ops: 4,
+        noise: 0.5,
+        commit_pending: 0.35,
+        abort: 0.3,
+    };
+    for seed in 10_000..10_600u64 {
+        let h = random_history(&config, seed);
+        let d = is_opaque(&h, &specs()).unwrap().opaque;
+        let g = decide_via_graph(&h, &specs(), 6).unwrap().opaque();
+        assert_eq!(d, g, "checkers disagree on seed {seed}:\n{h}");
+    }
+}
+
+/// Histories with more transactions (heavier for the factorial graph
+/// search, so fewer cases).
+#[test]
+fn deciders_agree_on_wider_histories() {
+    let config = GenConfig { txs: 5, objs: 3, max_ops: 3, ..GenConfig::default() };
+    for seed in 20_000..20_150u64 {
+        let h = random_history(&config, seed);
+        let d = is_opaque(&h, &specs()).unwrap().opaque;
+        let g = decide_via_graph(&h, &specs(), 6).unwrap().opaque();
+        assert_eq!(d, g, "checkers disagree on seed {seed}:\n{h}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Property form: any generator configuration, any seed.
+    #[test]
+    fn theorem2_equivalence_holds(
+        seed in 0u64..1_000_000,
+        txs in 2usize..=4,
+        objs in 1usize..=3,
+        max_ops in 1usize..=4,
+        noise in 0.0f64..0.6,
+        commit_pending in 0.0f64..0.4,
+    ) {
+        let config = GenConfig { txs, objs, max_ops, noise, commit_pending, abort: 0.2 };
+        let h = random_history(&config, seed);
+        let d = is_opaque(&h, &specs()).unwrap();
+        let g = decide_via_graph(&h, &specs(), 6).unwrap();
+        prop_assert_eq!(d.opaque, g.opaque(), "disagreement on {}", h);
+        if d.opaque {
+            prop_assert!(construct_graph_witness(&h, &specs()).unwrap().is_some());
+        }
+    }
+
+    /// The definitional checker's witness always reconstructs a valid
+    /// Definition-1 sequential history (validated by the independent model
+    /// machinery).
+    #[test]
+    fn witnesses_reconstruct_valid_serializations(
+        seed in 0u64..1_000_000,
+        noise in 0.0f64..0.4,
+    ) {
+        let config = GenConfig { noise, ..GenConfig::default() };
+        let h = random_history(&config, seed);
+        if let Some(w) = is_opaque(&h, &specs()).unwrap().witness {
+            let s = tm_opacity::opacity::witness_history(&h, &w);
+            prop_assert!(s.is_sequential());
+            prop_assert!(s.is_complete());
+            prop_assert!(tm_model::preserves_real_time(&h, &s));
+            prop_assert!(tm_model::all_txs_legal(&s, &specs()).is_ok());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # tm-harness — experiment substrate
+//!
+//! Everything needed to turn the `tm-stm` implementations and the
+//! `tm-opacity` checkers into reproducible experiments:
+//!
+//! * [`script`] / [`sched`] — scripted transactions under deterministic,
+//!   exhaustively enumerable interleavings (a miniature schedule explorer);
+//! * [`randhist`] — random well-formed register histories for the Theorem-2
+//!   cross-validation;
+//! * [`workload`] — real-thread workloads (bank, counter, read-mostly) with
+//!   semantic invariant checks;
+//! * [`complexity`] — the Theorem-3 step-count experiments (E8/E9);
+//! * [`stats`] — tables and ASCII charts for experiment output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod complexity;
+pub mod conformance;
+pub mod randhist;
+pub mod sched;
+pub mod script;
+pub mod stats;
+pub mod workload;
+
+pub use conformance::{check_conformance, header as conformance_header, ConformanceReport};
+pub use complexity::{fraction_scenario, paper_scenario, solo_scan, sweep, ComplexityRow};
+pub use randhist::{batch, random_history, GenConfig};
+pub use sched::{
+    inversions, shrink_schedule,
+    all_schedules, complete_schedule, execute, random_schedule, ExecOutcome, Schedule, TxOutcome,
+};
+pub use script::{Program, ScriptOp, TxScript};
+pub use stats::{ascii_chart, Table};
+pub use workload::{bank, counter, read_mostly, WorkloadStats};

@@ -1,0 +1,136 @@
+//! Transaction scripts: straight-line transactional programs.
+//!
+//! The lower-bound experiment and the opacity-validation experiments need
+//! *reproducible* interleavings of transactions. A [`TxScript`] is a fixed
+//! sequence of register operations executed as one transaction; a
+//! [`Program`] is one script per logical thread; the scheduler in
+//! [`crate::sched`] interleaves them deterministically.
+
+use std::fmt;
+
+/// One scripted transactional operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Read register `.0`.
+    Read(usize),
+    /// Write value `.1` to register `.0`.
+    Write(usize, i64),
+}
+
+impl fmt::Display for ScriptOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptOp::Read(o) => write!(f, "r(r{o})"),
+            ScriptOp::Write(o, v) => write!(f, "w(r{o},{v})"),
+        }
+    }
+}
+
+/// A transaction script: its operations, executed in order, then a commit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxScript {
+    /// The operations of the transaction.
+    pub ops: Vec<ScriptOp>,
+}
+
+impl TxScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a read.
+    pub fn read(mut self, obj: usize) -> Self {
+        self.ops.push(ScriptOp::Read(obj));
+        self
+    }
+
+    /// Appends a write.
+    pub fn write(mut self, obj: usize, v: i64) -> Self {
+        self.ops.push(ScriptOp::Write(obj, v));
+        self
+    }
+
+    /// A script reading registers `objs` in order.
+    pub fn reader(objs: impl IntoIterator<Item = usize>) -> Self {
+        TxScript { ops: objs.into_iter().map(ScriptOp::Read).collect() }
+    }
+
+    /// A script writing `v` to each register of `objs` in order.
+    pub fn writer(objs: impl IntoIterator<Item = usize>, v: i64) -> Self {
+        TxScript { ops: objs.into_iter().map(|o| ScriptOp::Write(o, v)).collect() }
+    }
+
+    /// Number of scheduler actions this script contributes: its operations
+    /// plus the final commit.
+    pub fn actions(&self) -> usize {
+        self.ops.len() + 1
+    }
+}
+
+/// A program: one transaction script per logical thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Per-thread scripts.
+    pub threads: Vec<TxScript>,
+}
+
+impl Program {
+    /// A program over the given scripts.
+    pub fn new(threads: Vec<TxScript>) -> Self {
+        Program { threads }
+    }
+
+    /// Per-thread action counts (for schedule enumeration).
+    pub fn action_counts(&self) -> Vec<usize> {
+        self.threads.iter().map(|t| t.actions()).collect()
+    }
+
+    /// The highest register index touched, if any.
+    pub fn max_register(&self) -> Option<usize> {
+        self.threads
+            .iter()
+            .flat_map(|t| t.ops.iter())
+            .map(|op| match op {
+                ScriptOp::Read(o) | ScriptOp::Write(o, _) => *o,
+            })
+            .max()
+    }
+
+    /// The number of registers a TM needs to run this program.
+    pub fn required_k(&self) -> usize {
+        self.max_register().map_or(0, |m| m + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let s = TxScript::new().read(0).write(1, 5).read(1);
+        assert_eq!(
+            s.ops,
+            vec![ScriptOp::Read(0), ScriptOp::Write(1, 5), ScriptOp::Read(1)]
+        );
+        assert_eq!(s.actions(), 4);
+        assert_eq!(TxScript::reader(0..3).ops.len(), 3);
+        assert_eq!(TxScript::writer(0..2, 9).ops, vec![ScriptOp::Write(0, 9), ScriptOp::Write(1, 9)]);
+    }
+
+    #[test]
+    fn program_accounting() {
+        let p = Program::new(vec![TxScript::reader(0..4), TxScript::writer(2..6, 1)]);
+        assert_eq!(p.action_counts(), vec![5, 5]);
+        assert_eq!(p.max_register(), Some(5));
+        assert_eq!(p.required_k(), 6);
+        assert_eq!(Program::default().required_k(), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ScriptOp::Read(3).to_string(), "r(r3)");
+        assert_eq!(ScriptOp::Write(0, -2).to_string(), "w(r0,-2)");
+    }
+}

@@ -1,0 +1,228 @@
+//! Multi-threaded workloads over real OS threads.
+//!
+//! Where the scheduler in [`crate::sched`] gives determinism, these
+//! workloads give *realism*: genuinely concurrent threads hammering a TM,
+//! with semantic invariants checked at the end. Used by the throughput
+//! benchmark (E14) and the threaded opacity-validation tests (E11).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tm_stm::{run_tx, Stm};
+
+/// Aggregated results of a workload run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkloadStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transaction attempts.
+    pub aborts: u64,
+}
+
+impl WorkloadStats {
+    /// Abort ratio `aborts / (commits + aborts)`.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+/// The bank workload: `accounts` registers, initial balance `initial` each;
+/// every thread performs `transfers` random transfers (read two accounts,
+/// move a random amount).
+///
+/// Invariant: the total balance is conserved — checked on return.
+///
+/// # Panics
+/// Panics if the conservation invariant is violated (a serializability bug
+/// in the TM under test).
+pub fn bank(
+    stm: &dyn Stm,
+    threads: usize,
+    accounts: usize,
+    transfers: usize,
+    seed: u64,
+) -> WorkloadStats {
+    assert!(stm.k() >= accounts && accounts >= 2);
+    let initial = 100i64;
+    // Fund the accounts.
+    run_tx(stm, 0, |tx| {
+        for a in 0..accounts {
+            tx.write(a, initial)?;
+        }
+        Ok(())
+    });
+
+    let stats = std::sync::Mutex::new(WorkloadStats::default());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stats = &stats;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+                let mut local = WorkloadStats::default();
+                for _ in 0..transfers {
+                    let from = rng.gen_range(0..accounts);
+                    let mut to = rng.gen_range(0..accounts);
+                    if to == from {
+                        to = (to + 1) % accounts;
+                    }
+                    let amount = rng.gen_range(1..=10);
+                    let (_, rs) = run_tx(stm, t, |tx| {
+                        let a = tx.read(from)?;
+                        let b = tx.read(to)?;
+                        tx.write(from, a - amount)?;
+                        tx.write(to, b + amount)
+                    });
+                    local.commits += rs.commits;
+                    local.aborts += rs.aborts;
+                }
+                let mut s = stats.lock().unwrap();
+                s.commits += local.commits;
+                s.aborts += local.aborts;
+            });
+        }
+    });
+
+    // Conservation check.
+    let (total, _) = run_tx(stm, 0, |tx| {
+        let mut sum = 0;
+        for a in 0..accounts {
+            sum += tx.read(a)?;
+        }
+        Ok(sum)
+    });
+    assert_eq!(
+        total,
+        initial * accounts as i64,
+        "{}: bank conservation violated",
+        stm.name()
+    );
+    stats.into_inner().unwrap()
+}
+
+/// The counter workload: every thread increments register 0 `increments`
+/// times (read + write — the read/write encoding of Section 3.4, where at
+/// most one of any set of concurrent increments can commit per round).
+///
+/// Invariant: the final value equals `threads × increments` — checked on
+/// return.
+pub fn counter(stm: &dyn Stm, threads: usize, increments: usize) -> WorkloadStats {
+    let stats = std::sync::Mutex::new(WorkloadStats::default());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stats = &stats;
+            scope.spawn(move || {
+                let mut local = WorkloadStats::default();
+                for _ in 0..increments {
+                    let (_, rs) = run_tx(stm, t, |tx| {
+                        let v = tx.read(0)?;
+                        tx.write(0, v + 1)
+                    });
+                    local.commits += rs.commits;
+                    local.aborts += rs.aborts;
+                }
+                let mut s = stats.lock().unwrap();
+                s.commits += local.commits;
+                s.aborts += local.aborts;
+            });
+        }
+    });
+    let (v, _) = run_tx(stm, 0, |tx| tx.read(0));
+    assert_eq!(
+        v,
+        (threads * increments) as i64,
+        "{}: lost updates detected",
+        stm.name()
+    );
+    stats.into_inner().unwrap()
+}
+
+/// A read-dominated workload: each thread performs `txs` transactions; a
+/// fraction `write_pct`/100 of them write one register, the rest read
+/// `reads_per_tx` random registers.
+pub fn read_mostly(
+    stm: &dyn Stm,
+    threads: usize,
+    txs: usize,
+    reads_per_tx: usize,
+    write_pct: u32,
+    seed: u64,
+) -> WorkloadStats {
+    let k = stm.k();
+    let stats = std::sync::Mutex::new(WorkloadStats::default());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stats = &stats;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xDEAD_BEEF));
+                let mut local = WorkloadStats::default();
+                for i in 0..txs {
+                    let (_, rs) = if rng.gen_ratio(write_pct, 100) {
+                        let obj = rng.gen_range(0..k);
+                        let v = (t * txs + i) as i64;
+                        run_tx(stm, t, |tx| tx.write(obj, v))
+                    } else {
+                        let objs: Vec<usize> =
+                            (0..reads_per_tx).map(|_| rng.gen_range(0..k)).collect();
+                        run_tx(stm, t, |tx| {
+                            for &o in &objs {
+                                tx.read(o)?;
+                            }
+                            Ok(())
+                        })
+                    };
+                    local.commits += rs.commits;
+                    local.aborts += rs.aborts;
+                }
+                let mut s = stats.lock().unwrap();
+                s.commits += local.commits;
+                s.aborts += local.aborts;
+            });
+        }
+    });
+    stats.into_inner().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_conserves_money_on_every_stm() {
+        for stm in tm_stm::all_stms(8) {
+            stm.recorder().set_enabled(false);
+            let s = bank(stm.as_ref(), 3, 8, 30, 42);
+            assert!(s.commits >= 3 * 30, "{}", stm.name());
+        }
+    }
+
+    #[test]
+    fn counter_counts_on_every_stm() {
+        for stm in tm_stm::all_stms(1) {
+            stm.recorder().set_enabled(false);
+            let s = counter(stm.as_ref(), 3, 25);
+            assert_eq!(s.commits, 3 * 25 + 0, "{}", stm.name());
+            assert!(s.abort_rate() < 1.0);
+        }
+    }
+
+    #[test]
+    fn read_mostly_completes() {
+        for stm in tm_stm::all_stms(16) {
+            stm.recorder().set_enabled(false);
+            let s = read_mostly(stm.as_ref(), 2, 40, 5, 10, 7);
+            assert!(s.commits >= 80, "{}", stm.name());
+        }
+    }
+
+    #[test]
+    fn abort_rate_math() {
+        let s = WorkloadStats { commits: 75, aborts: 25 };
+        assert!((s.abort_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(WorkloadStats::default().abort_rate(), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Completions of a history: the set `Complete(H)` (Section 4).
+//!
+//! A history `H'` is in `Complete(H)` iff it is well-formed, obtained from
+//! `H` by inserting commit-try, commit, and abort events for live
+//! transactions, such that every live non-commit-pending transaction of `H`
+//! is aborted in `H'`, and every commit-pending transaction of `H` is either
+//! committed or aborted in `H'`.
+//!
+//! Definition 1 quantifies the real-time requirement over `H` itself (not the
+//! completion), and history equivalence only inspects per-transaction event
+//! sequences, so for checking purposes it suffices to enumerate completions
+//! that append the inserted events at the end of `H`. This module enumerates
+//! those canonical members: one per assignment of commit/abort to the
+//! commit-pending transactions (`2^p` members for `p` commit-pending
+//! transactions).
+
+use crate::event::{Event, TxId};
+use crate::history::History;
+use crate::ops::TxStatus;
+
+/// The decision taken for one commit-pending transaction in a completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommitDecision {
+    /// The commit-pending transaction is committed in the completion.
+    Commit,
+    /// The commit-pending transaction is aborted in the completion.
+    Abort,
+}
+
+/// One completion choice: which commit-pending transactions commit.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Completion {
+    /// Per-commit-pending-transaction decisions, in `H.txs()` order.
+    pub decisions: Vec<(TxId, CommitDecision)>,
+}
+
+/// Applies a completion choice to `h`, appending terminal events at the end.
+///
+/// * commit-pending transactions get `C` or `A` per the decision;
+/// * abort-pending transactions get `A`;
+/// * live transactions with a pending operation invocation get `A` (the
+///   abort answers the pending invocation, terminal shape `⟨inv, A⟩`);
+/// * other live transactions get `tryC · A` — the definition only allows
+///   inserting commit-try, commit, and abort events, so the forceful-abort
+///   shape `⟨tryC, A⟩` is the only well-formed choice (this matches the
+///   paper's `H″3`, where `T2` ends with `tryC2, A2` and is *forcefully*
+///   aborted).
+pub fn apply_completion(h: &History, completion: &Completion) -> History {
+    let mut out = h.clone();
+    for t in h.txs() {
+        match h.status(t) {
+            TxStatus::Committed | TxStatus::Aborted | TxStatus::ForcefullyAborted => {}
+            TxStatus::CommitPending => {
+                let d = completion
+                    .decisions
+                    .iter()
+                    .find(|(ct, _)| *ct == t)
+                    .map(|(_, d)| *d)
+                    .unwrap_or(CommitDecision::Abort);
+                match d {
+                    CommitDecision::Commit => out.push(Event::Commit(t)),
+                    CommitDecision::Abort => out.push(Event::Abort(t)),
+                }
+            }
+            TxStatus::AbortPending => out.push(Event::Abort(t)),
+            TxStatus::Live => {
+                if h.has_pending_invocation(t) {
+                    out.push(Event::Abort(t));
+                } else {
+                    out.push(Event::TryCommit(t));
+                    out.push(Event::Abort(t));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the canonical members of `Complete(H)`: all `2^p` assignments
+/// of commit/abort to the `p` commit-pending transactions of `H`.
+///
+/// Returns the completion choices; pair each with [`apply_completion`] to
+/// materialize the history. Panics if `p > 20` (the checker never needs such
+/// histories; this guards against runaway enumeration).
+pub fn completions(h: &History) -> Vec<Completion> {
+    let pending = h.commit_pending_txs();
+    assert!(
+        pending.len() <= 20,
+        "refusing to enumerate 2^{} completions",
+        pending.len()
+    );
+    let p = pending.len();
+    let mut out = Vec::with_capacity(1 << p);
+    for mask in 0u32..(1u32 << p) {
+        let decisions = pending
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let d = if mask & (1 << i) != 0 {
+                    CommitDecision::Commit
+                } else {
+                    CommitDecision::Abort
+                };
+                (t, d)
+            })
+            .collect();
+        out.push(Completion { decisions });
+    }
+    out
+}
+
+/// Enumerates the canonical completed histories of `Complete(H)` directly.
+pub fn complete_histories(h: &History) -> Vec<History> {
+    completions(h).iter().map(|c| apply_completion(h, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{paper, HistoryBuilder};
+    use crate::wellformed::is_well_formed;
+
+    #[test]
+    fn complete_history_is_untouched() {
+        // H1 is complete: Complete(H1) = {H1}.
+        let h = paper::h1();
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0], h);
+    }
+
+    #[test]
+    fn h3_completions_match_paper() {
+        // In each member of Complete(H3): T1 is committed or aborted and T2
+        // is forcefully aborted (Section 4).
+        let h = paper::h3();
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 2); // one commit-pending transaction: T1
+        for c in &cs {
+            assert!(is_well_formed(c), "{c}");
+            assert!(c.is_complete());
+            assert!(c.status(TxId(1)).is_completed());
+            assert_eq!(c.status(TxId(2)), TxStatus::ForcefullyAborted);
+        }
+        // Exactly one completion commits T1.
+        let committed: Vec<_> =
+            cs.iter().filter(|c| c.status(TxId(1)).is_committed()).collect();
+        assert_eq!(committed.len(), 1);
+    }
+
+    #[test]
+    fn h4_has_two_completions_for_t2() {
+        let h = paper::h4();
+        // T2 is commit-pending; T1 and T3 are live (aborted in completions).
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 2);
+        for c in &cs {
+            assert!(is_well_formed(c), "{c}");
+            assert!(c.status(TxId(1)).is_aborted());
+            assert!(c.status(TxId(3)).is_aborted());
+        }
+    }
+
+    #[test]
+    fn pending_invocation_answered_by_abort() {
+        let h = HistoryBuilder::new().inv_read(1, "x").build();
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 1);
+        assert!(is_well_formed(&cs[0]), "{}", cs[0]);
+        assert_eq!(cs[0].status(TxId(1)), TxStatus::ForcefullyAborted);
+        // The completion must NOT insert a tryA before the abort (that would
+        // be ill-formed while an operation invocation is pending).
+        assert_eq!(cs[0].len(), h.len() + 1);
+    }
+
+    #[test]
+    fn abort_pending_gets_abort() {
+        let h = HistoryBuilder::new().read(1, "x", 0).try_abort(1).build();
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 1);
+        assert!(is_well_formed(&cs[0]));
+        assert_eq!(cs[0].status(TxId(1)), TxStatus::Aborted);
+    }
+
+    #[test]
+    fn idle_live_tx_gets_forceful_abort() {
+        let h = HistoryBuilder::new().read(1, "x", 0).build();
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 1);
+        assert!(is_well_formed(&cs[0]));
+        // Only tryC/C/A may be inserted: the shape is ⟨tryC, A⟩.
+        assert_eq!(cs[0].len(), h.len() + 2);
+        assert_eq!(cs[0].status(TxId(1)), TxStatus::ForcefullyAborted);
+    }
+
+    #[test]
+    fn two_commit_pending_gives_four_completions() {
+        let h = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .write(2, "y", 1)
+            .try_commit(2)
+            .build();
+        let cs = complete_histories(&h);
+        assert_eq!(cs.len(), 4);
+        let mut outcomes: Vec<(bool, bool)> = cs
+            .iter()
+            .map(|c| {
+                (c.status(TxId(1)).is_committed(), c.status(TxId(2)).is_committed())
+            })
+            .collect();
+        outcomes.sort();
+        assert_eq!(
+            outcomes,
+            vec![(false, false), (false, true), (true, false), (true, true)]
+        );
+    }
+
+    #[test]
+    fn all_completions_well_formed_for_paper_histories() {
+        for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+            for c in complete_histories(&h) {
+                assert!(is_well_formed(&c), "completion of {h}");
+                assert!(c.is_complete());
+            }
+        }
+    }
+}

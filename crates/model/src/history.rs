@@ -1,0 +1,502 @@
+//! Histories: totally ordered sequences of transactional events.
+//!
+//! A (high-level) history is "the sequence of all invocation and response
+//! events that were issued and received by transactions in a given execution"
+//! (Section 4). All of the paper's derived notions — projections `H|Ti` and
+//! `H|ob`, equivalence, transaction status, sequentiality, completeness — live
+//! here; well-formedness is in [`crate::wellformed`], real-time order in
+//! [`crate::realtime`], and completions in [`crate::complete`].
+
+use crate::event::{Event, ObjId, OpName, TxId};
+use crate::ops::{OpExec, TxStatus, TxView};
+use crate::value::Value;
+use std::fmt;
+
+/// A history `H`: a totally ordered sequence of transactional events.
+///
+/// Simultaneous events of a real execution are assumed to have been ordered
+/// arbitrarily (Section 4), so a `Vec` is a faithful representation.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// The empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Builds a history from a sequence of events.
+    pub fn from_events(events: Vec<Event>) -> Self {
+        History { events }
+    }
+
+    /// Appends an event (used by builders and online recorders).
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The events of the history, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The number of events `|H|`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the history contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The prefix of the first `n` events (used by the online monitor; recall
+    /// that a TM must keep *every* prefix of its history opaque).
+    pub fn prefix(&self, n: usize) -> History {
+        History { events: self.events[..n.min(self.events.len())].to_vec() }
+    }
+
+    /// `H · H'` — concatenation of histories.
+    pub fn concat(&self, other: &History) -> History {
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().cloned());
+        History { events }
+    }
+
+    /// `H|Ti` — the longest subsequence of `H` containing only events of
+    /// transaction `t`.
+    pub fn per_tx(&self, t: TxId) -> History {
+        History {
+            events: self.events.iter().filter(|e| e.tx() == t).cloned().collect(),
+        }
+    }
+
+    /// `H|ob` — the longest subsequence of `H` containing only operation
+    /// invocation and response events on shared object `ob`.
+    pub fn per_obj(&self, ob: &ObjId) -> History {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.obj() == Some(ob))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// `Ti ∈ H` — true if the history contains at least one event of `t`.
+    pub fn contains_tx(&self, t: TxId) -> bool {
+        self.events.iter().any(|e| e.tx() == t)
+    }
+
+    /// The transactions appearing in `H`, ordered by first event.
+    pub fn txs(&self) -> Vec<TxId> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            let t = e.tx();
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        seen
+    }
+
+    /// The shared objects appearing in `H`, ordered by first event.
+    pub fn objects(&self) -> Vec<ObjId> {
+        let mut seen: Vec<ObjId> = Vec::new();
+        for e in &self.events {
+            if let Some(ob) = e.obj() {
+                if !seen.contains(ob) {
+                    seen.push(ob.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Index of the first event of `t`, if any.
+    pub fn first_event_index(&self, t: TxId) -> Option<usize> {
+        self.events.iter().position(|e| e.tx() == t)
+    }
+
+    /// Index of the last event of `t`, if any.
+    pub fn last_event_index(&self, t: TxId) -> Option<usize> {
+        self.events.iter().rposition(|e| e.tx() == t)
+    }
+
+    /// The status of transaction `t` in `H` (Section 4, "Status of
+    /// transactions"). Assumes `H|t` is well-formed.
+    pub fn status(&self, t: TxId) -> TxStatus {
+        let mut issued_try_abort = false;
+        let mut last: Option<&Event> = None;
+        for e in self.events.iter().filter(|e| e.tx() == t) {
+            if matches!(e, Event::TryAbort(_)) {
+                issued_try_abort = true;
+            }
+            last = Some(e);
+        }
+        match last {
+            None => TxStatus::Live, // vacuous: t not in H
+            Some(Event::Commit(_)) => TxStatus::Committed,
+            Some(Event::Abort(_)) => {
+                if issued_try_abort {
+                    TxStatus::Aborted
+                } else {
+                    TxStatus::ForcefullyAborted
+                }
+            }
+            Some(Event::TryCommit(_)) => TxStatus::CommitPending,
+            Some(Event::TryAbort(_)) => TxStatus::AbortPending,
+            Some(_) => TxStatus::Live,
+        }
+    }
+
+    /// The transactions of `H` that are live (not completed).
+    pub fn live_txs(&self) -> Vec<TxId> {
+        self.txs().into_iter().filter(|t| self.status(*t).is_live()).collect()
+    }
+
+    /// The transactions of `H` that are commit-pending.
+    pub fn commit_pending_txs(&self) -> Vec<TxId> {
+        self.txs()
+            .into_iter()
+            .filter(|t| self.status(*t).is_commit_pending())
+            .collect()
+    }
+
+    /// The committed transactions of `H`.
+    pub fn committed_txs(&self) -> Vec<TxId> {
+        self.txs()
+            .into_iter()
+            .filter(|t| self.status(*t).is_committed())
+            .collect()
+    }
+
+    /// True if an invocation event of `t` is pending in `H` (no matching
+    /// response follows it in `H|t`).
+    pub fn has_pending_invocation(&self, t: TxId) -> bool {
+        let mut pending: Option<Event> = None;
+        for e in self.events.iter().filter(|e| e.tx() == t) {
+            if e.is_invocation() {
+                pending = Some(e.clone());
+            } else if let Some(p) = &pending {
+                if e.matches_invocation(p) {
+                    pending = None;
+                }
+            }
+        }
+        pending.is_some()
+    }
+
+    /// `H ≡ H'` — equivalence: same transactions, and for every transaction
+    /// `Ti`, `H|Ti = H'|Ti` (Section 4).
+    pub fn equivalent(&self, other: &History) -> bool {
+        let mut ts = self.txs();
+        let mut os = other.txs();
+        ts.sort_unstable();
+        os.sort_unstable();
+        if ts != os {
+            return false;
+        }
+        ts.iter().all(|t| self.per_tx(*t).events == other.per_tx(*t).events)
+    }
+
+    /// True if `H` is sequential: no two transactions in `H` are concurrent,
+    /// i.e. the events of distinct transactions do not interleave.
+    pub fn is_sequential(&self) -> bool {
+        let mut seen_complete: Vec<TxId> = Vec::new();
+        let mut current: Option<TxId> = None;
+        for e in &self.events {
+            let t = e.tx();
+            match current {
+                Some(c) if c == t => {}
+                _ => {
+                    if seen_complete.contains(&t) {
+                        return false; // t's events resume after another tx ran
+                    }
+                    if let Some(c) = current {
+                        seen_complete.push(c);
+                    }
+                    if seen_complete.contains(&t) {
+                        return false;
+                    }
+                    current = Some(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// True if `H` is complete: it contains no live transaction.
+    pub fn is_complete(&self) -> bool {
+        self.txs().iter().all(|t| self.status(*t).is_completed())
+    }
+
+    /// The completed operation executions of transaction `t`, in order, plus
+    /// any trailing pending invocation — the transaction's [`TxView`].
+    pub fn tx_view(&self, t: TxId) -> TxView {
+        let mut ops = Vec::new();
+        let mut pending: Option<(ObjId, OpName, Vec<Value>)> = None;
+        for e in self.events.iter().filter(|e| e.tx() == t) {
+            match e {
+                Event::Inv { obj, op, args, .. } => {
+                    pending = Some((obj.clone(), op.clone(), args.clone()));
+                }
+                Event::Ret { obj, op, val, .. } => {
+                    if let Some((pobj, pop, pargs)) = pending.take() {
+                        debug_assert_eq!(&pobj, obj);
+                        debug_assert_eq!(&pop, op);
+                        ops.push(OpExec {
+                            tx: t,
+                            obj: pobj,
+                            op: pop,
+                            args: pargs,
+                            val: val.clone(),
+                        });
+                    }
+                }
+                Event::Abort(_) => {
+                    // An abort answering a pending invocation leaves the
+                    // operation without effect; drop the pending invocation.
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+        TxView { tx: t, ops, pending, status: self.status(t) }
+    }
+
+    /// All completed operation executions in `H`, in invocation order.
+    pub fn all_ops(&self) -> Vec<OpExec> {
+        // Pair each response with its transaction's pending invocation.
+        let mut out = Vec::new();
+        let mut pending: Vec<(TxId, ObjId, OpName, Vec<Value>, usize)> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Inv { tx, obj, op, args } => {
+                    pending.push((*tx, obj.clone(), op.clone(), args.clone(), i));
+                }
+                Event::Ret { tx, val, .. } => {
+                    if let Some(pos) = pending.iter().rposition(|(t, ..)| t == tx) {
+                        let (t, obj, op, args, _inv_idx) = pending.remove(pos);
+                        out.push(OpExec { tx: t, obj, op, args, val: val.clone() });
+                    }
+                }
+                Event::Abort(tx) => {
+                    pending.retain(|(t, ..)| t != tx);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<Event> for History {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        History { events: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+
+    /// History H1 of the paper (Figure 1).
+    fn h1() -> History {
+        HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .commit(1)
+            .read(2, "x", 1)
+            .write(3, "x", 2)
+            .write(3, "y", 2)
+            .try_commit(3)
+            .commit(3)
+            .read(2, "y", 2)
+            .try_commit(2)
+            .abort(2)
+            .build()
+    }
+
+    /// History H2: sequentialization of H1 (paper Section 4).
+    fn h2() -> History {
+        HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .commit(1)
+            .write(3, "x", 2)
+            .write(3, "y", 2)
+            .try_commit(3)
+            .commit(3)
+            .read(2, "x", 1)
+            .read(2, "y", 2)
+            .try_commit(2)
+            .abort(2)
+            .build()
+    }
+
+    #[test]
+    fn projections() {
+        let h = h1();
+        // read2(x,1)=2 events, read2(y,2)=2 events, tryC2, A2 => 6 events
+        assert_eq!(h.per_tx(TxId(2)).len(), 6);
+        assert_eq!(h.per_obj(&"y".into()).len(), 4); // write3(y,2) + read2(y,2)
+        assert!(h.contains_tx(TxId(3)));
+        assert!(!h.contains_tx(TxId(9)));
+    }
+
+    #[test]
+    fn txs_in_first_event_order() {
+        assert_eq!(h1().txs(), vec![TxId(1), TxId(2), TxId(3)]);
+        assert_eq!(h1().objects(), vec![ObjId::from("x"), ObjId::from("y")]);
+    }
+
+    #[test]
+    fn statuses_of_h1() {
+        let h = h1();
+        assert_eq!(h.status(TxId(1)), TxStatus::Committed);
+        assert_eq!(h.status(TxId(3)), TxStatus::Committed);
+        // T2 aborted without issuing tryA: forcefully aborted.
+        assert_eq!(h.status(TxId(2)), TxStatus::ForcefullyAborted);
+        assert!(h.is_complete());
+        assert!(h.live_txs().is_empty());
+    }
+
+    #[test]
+    fn equivalence_h1_h2() {
+        // The paper: "history H2 is one of the histories that are equivalent
+        // to H1".
+        assert!(h1().equivalent(&h2()));
+        assert!(h2().equivalent(&h1()));
+        assert!(!h1().equivalent(&History::new()));
+    }
+
+    #[test]
+    fn h1_not_sequential_h2_sequential() {
+        assert!(!h1().is_sequential());
+        assert!(h2().is_sequential());
+    }
+
+    #[test]
+    fn pending_invocations() {
+        let mut h = HistoryBuilder::new().write(1, "x", 1).build();
+        assert!(!h.has_pending_invocation(TxId(1)));
+        h.push(Event::Inv {
+            tx: TxId(1),
+            obj: "y".into(),
+            op: OpName::Read,
+            args: vec![],
+        });
+        assert!(h.has_pending_invocation(TxId(1)));
+        // An abort answers the pending invocation.
+        h.push(Event::Abort(TxId(1)));
+        assert!(!h.has_pending_invocation(TxId(1)));
+        assert_eq!(h.status(TxId(1)), TxStatus::ForcefullyAborted);
+    }
+
+    #[test]
+    fn tx_view_collects_ops() {
+        let h = h1();
+        let v = h.tx_view(TxId(3));
+        assert_eq!(v.ops.len(), 2);
+        assert_eq!(v.ops[0], OpExec::write(TxId(3), "x".into(), Value::int(2)));
+        assert_eq!(v.ops[1], OpExec::write(TxId(3), "y".into(), Value::int(2)));
+        assert_eq!(v.status, TxStatus::Committed);
+        assert!(v.pending.is_none());
+    }
+
+    #[test]
+    fn tx_view_drops_op_answered_by_abort() {
+        let mut h = HistoryBuilder::new().read(1, "x", 0).build();
+        h.push(Event::Inv { tx: TxId(1), obj: "y".into(), op: OpName::Read, args: vec![] });
+        h.push(Event::Abort(TxId(1)));
+        let v = h.tx_view(TxId(1));
+        assert_eq!(v.ops.len(), 1);
+        assert!(v.pending.is_none());
+        assert_eq!(v.status, TxStatus::ForcefullyAborted);
+    }
+
+    #[test]
+    fn commit_pending_detection() {
+        let h = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .read(2, "x", 1)
+            .build();
+        assert_eq!(h.status(TxId(1)), TxStatus::CommitPending);
+        assert_eq!(h.status(TxId(2)), TxStatus::Live);
+        assert_eq!(h.commit_pending_txs(), vec![TxId(1)]);
+        assert_eq!(h.live_txs(), vec![TxId(1), TxId(2)]);
+        assert!(!h.is_complete());
+    }
+
+    #[test]
+    fn abort_pending_detection() {
+        let mut h = HistoryBuilder::new().write(1, "x", 1).build();
+        h.push(Event::TryAbort(TxId(1)));
+        assert_eq!(h.status(TxId(1)), TxStatus::AbortPending);
+        h.push(Event::Abort(TxId(1)));
+        // Voluntary abort, not forceful.
+        assert_eq!(h.status(TxId(1)), TxStatus::Aborted);
+    }
+
+    #[test]
+    fn concat_and_prefix() {
+        let a = HistoryBuilder::new().write(1, "x", 1).build();
+        let b = HistoryBuilder::new().read(2, "x", 1).build();
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.prefix(2), a);
+        assert_eq!(c.prefix(100), c);
+    }
+
+    #[test]
+    fn all_ops_in_invocation_order() {
+        let ops = h1().all_ops();
+        let names: Vec<String> = ops.iter().map(|o| o.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "write1(x,1)",
+                "read2(x,1)",
+                "write3(x,2)",
+                "write3(y,2)",
+                "read2(y,2)"
+            ]
+        );
+    }
+
+    #[test]
+    fn display_uses_paper_brackets() {
+        let h = HistoryBuilder::new().write(1, "x", 1).build();
+        assert_eq!(h.to_string(), "⟨inv1(x,write,1), ret1(x,write)→ok⟩");
+    }
+
+    #[test]
+    fn sequential_rejects_resumed_tx() {
+        // T1, then T2, then T1 again: not sequential.
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .read(2, "x", 0)
+            .read(1, "y", 0)
+            .build();
+        assert!(!h.is_sequential());
+    }
+}

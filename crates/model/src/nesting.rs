@@ -1,0 +1,266 @@
+//! Nested transactions (Section 7).
+//!
+//! The paper sketches how the flat model extends to nesting:
+//!
+//! * **closed nesting** (Moss): "we can treat events of each committed
+//!   nested transaction as if they were executed directly by the parent
+//!   transaction";
+//! * **open nesting**: a committed open-nested transaction commits
+//!   *independently* of its parent — its effects become visible immediately
+//!   and survive a later parent abort;
+//! * aborted and live nested transactions "can be accounted for in a
+//!   similar way as we deal with aborted and live (flat) transactions",
+//!   with one addition: "a nested transaction should observe the changes
+//!   done by its parent. We can capture this by always considering
+//!   operations of a nested transaction together with all the preceding
+//!   operations of its parent transaction."
+//!
+//! [`flatten`] implements exactly this translation: given a history whose
+//! transactions carry parent/mode annotations, it produces the flat history
+//! that the ordinary opacity machinery can check:
+//!
+//! * committed **closed** children are re-attributed to their parent (their
+//!   `tryC`/`C` events disappear — a closed commit is internal);
+//! * committed **open** children stay as independent committed
+//!   transactions;
+//! * aborted/live children (either mode) become flat transactions whose
+//!   operation sequence is *prefixed with the parent's operations that
+//!   preceded the child* — so their legality is judged against the state
+//!   the child actually observed.
+//!
+//! The translation supports one level of nesting (children of top-level
+//! transactions), matching the paper's discussion; deeper trees can be
+//! flattened by applying the translation bottom-up.
+
+use std::collections::HashMap;
+
+use crate::event::{Event, TxId};
+use crate::history::History;
+use crate::ops::TxStatus;
+
+/// Nesting semantics of one nested transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NestingMode {
+    /// Closed nesting: a commit merges the child into the parent.
+    Closed,
+    /// Open nesting: a commit publishes immediately, independent of the
+    /// parent.
+    Open,
+}
+
+/// The nesting structure of a history: which transactions are children of
+/// which parents, and with which semantics.
+#[derive(Clone, Debug, Default)]
+pub struct NestingInfo {
+    children: HashMap<TxId, (TxId, NestingMode)>,
+}
+
+impl NestingInfo {
+    /// No nesting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `child` as a nested transaction of `parent`.
+    pub fn child(mut self, child: u32, parent: u32, mode: NestingMode) -> Self {
+        self.children.insert(TxId(child), (TxId(parent), mode));
+        self
+    }
+
+    /// The parent and mode of `t`, if it is nested.
+    pub fn parent_of(&self, t: TxId) -> Option<(TxId, NestingMode)> {
+        self.children.get(&t).copied()
+    }
+}
+
+/// Flattens a nested history into an equivalent flat history per the
+/// Section 7 translation (see the module docs).
+///
+/// Panics if a declared child's parent does not appear in the history or if
+/// nesting is deeper than one level (flatten bottom-up instead).
+pub fn flatten(h: &History, nesting: &NestingInfo) -> History {
+    for (child, (parent, _)) in &nesting.children {
+        assert!(h.contains_tx(*parent), "parent {parent} of {child} not in history");
+        assert!(
+            nesting.parent_of(*parent).is_none(),
+            "nesting deeper than one level: flatten bottom-up"
+        );
+    }
+
+    let mut out = History::new();
+    for (i, e) in h.events().iter().enumerate() {
+        let t = e.tx();
+        match nesting.parent_of(t) {
+            None => out.push(e.clone()),
+            Some((parent, mode)) => {
+                let status = h.status(t);
+                match (mode, status) {
+                    // Committed closed child: events belong to the parent;
+                    // the internal tryC/C vanish.
+                    (NestingMode::Closed, TxStatus::Committed) => match e {
+                        Event::TryCommit(_) | Event::Commit(_) => {}
+                        Event::Inv { obj, op, args, .. } => out.push(Event::Inv {
+                            tx: parent,
+                            obj: obj.clone(),
+                            op: op.clone(),
+                            args: args.clone(),
+                        }),
+                        Event::Ret { obj, op, val, .. } => out.push(Event::Ret {
+                            tx: parent,
+                            obj: obj.clone(),
+                            op: op.clone(),
+                            val: val.clone(),
+                        }),
+                        other => panic!("unexpected child event {other}"),
+                    },
+                    // Committed open child: an independent transaction.
+                    (NestingMode::Open, TxStatus::Committed) => out.push(e.clone()),
+                    // Aborted/live child (either mode): keep its events
+                    // under its own id, and splice in the parent's preceding
+                    // operations at the child's first event so its legality
+                    // is judged with the parent context.
+                    _ => {
+                        if h.first_event_index(t) == Some(i) {
+                            for pe in h.events().iter().take(i) {
+                                if pe.tx() == parent {
+                                    match pe {
+                                        Event::Inv { obj, op, args, .. } => {
+                                            out.push(Event::Inv {
+                                                tx: t,
+                                                obj: obj.clone(),
+                                                op: op.clone(),
+                                                args: args.clone(),
+                                            })
+                                        }
+                                        Event::Ret { obj, op, val, .. } => {
+                                            out.push(Event::Ret {
+                                                tx: t,
+                                                obj: obj.clone(),
+                                                op: op.clone(),
+                                                val: val.clone(),
+                                            })
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        out.push(e.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use crate::wellformed::is_well_formed;
+
+    /// Parent T1 writes x; closed child T10 reads the parent's write and
+    /// writes y; child commits; parent commits.
+    fn closed_commit_history() -> (History, NestingInfo) {
+        let h = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(10, "x", 1) // child sees the parent's buffered write
+            .write(10, "y", 2)
+            .commit_ok(10) // closed commit: internal
+            .commit_ok(1)
+            .build();
+        (h, NestingInfo::new().child(10, 1, NestingMode::Closed))
+    }
+
+    #[test]
+    fn committed_closed_child_merges_into_parent() {
+        let (h, n) = closed_commit_history();
+        let flat = flatten(&h, &n);
+        assert!(is_well_formed(&flat), "{flat}");
+        // Single committed transaction T1 with the child's ops inlined.
+        assert_eq!(flat.txs(), vec![TxId(1)]);
+        let ops = flat.tx_view(TxId(1)).ops;
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[1].to_string(), "read1(x,1)");
+        assert_eq!(ops[2].to_string(), "write1(y,2)");
+    }
+
+    #[test]
+    fn aborted_closed_child_keeps_parent_context() {
+        // Child reads the parent's uncommitted write then aborts; the
+        // parent commits. Without the parent-prefix splice, the child's
+        // read of x = 1 would look illegal (x was never committed as 1 at
+        // that point by anyone else).
+        let h = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(20, "x", 1)
+            .try_abort(20)
+            .abort(20)
+            .commit_ok(1)
+            .build();
+        let n = NestingInfo::new().child(20, 1, NestingMode::Closed);
+        let flat = flatten(&h, &n);
+        assert!(is_well_formed(&flat), "{flat}");
+        // The child survives as an aborted flat transaction whose first op
+        // is the spliced parent write.
+        let child_ops = flat.tx_view(TxId(20)).ops;
+        assert_eq!(child_ops.len(), 2);
+        assert_eq!(child_ops[0].to_string(), "write20(x,1)");
+        assert_eq!(child_ops[1].to_string(), "read20(x,1)");
+        assert!(flat.status(TxId(20)).is_aborted());
+        assert!(flat.status(TxId(1)).is_committed());
+    }
+
+    #[test]
+    fn committed_open_child_stays_independent() {
+        // Open child T30 commits while parent T1 is live; parent later
+        // aborts — the child's effects must survive.
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .write(30, "y", 5)
+            .commit_ok(30) // open commit: real
+            .read(2, "y", 5) // another transaction sees it immediately
+            .commit_ok(2)
+            .try_abort(1)
+            .abort(1)
+            .build();
+        let n = NestingInfo::new().child(30, 1, NestingMode::Open);
+        let flat = flatten(&h, &n);
+        assert!(is_well_formed(&flat), "{flat}");
+        assert!(flat.status(TxId(30)).is_committed());
+        assert!(flat.status(TxId(1)).is_aborted());
+        assert!(flat.status(TxId(2)).is_committed());
+    }
+
+    #[test]
+    #[should_panic(expected = "parent")]
+    fn missing_parent_panics() {
+        let h = HistoryBuilder::new().read(5, "x", 0).commit_ok(5).build();
+        let n = NestingInfo::new().child(5, 99, NestingMode::Closed);
+        flatten(&h, &n);
+    }
+
+    #[test]
+    #[should_panic(expected = "bottom-up")]
+    fn deep_nesting_rejected() {
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .read(2, "x", 0)
+            .read(3, "x", 0)
+            .commit_ok(3)
+            .commit_ok(2)
+            .commit_ok(1)
+            .build();
+        let n = NestingInfo::new()
+            .child(2, 1, NestingMode::Closed)
+            .child(3, 2, NestingMode::Closed);
+        flatten(&h, &n);
+    }
+
+    #[test]
+    fn unnested_history_is_unchanged() {
+        let h = HistoryBuilder::new().write(1, "x", 1).commit_ok(1).build();
+        assert_eq!(flatten(&h, &NestingInfo::new()), h);
+    }
+}

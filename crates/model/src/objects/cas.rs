@@ -1,0 +1,86 @@
+//! A compare-and-swap register: a conditional, non-read-only, non-write-only
+//! operation, exercising the model beyond the read/write dichotomy
+//! (Section 3.4: "We can no longer assume that each operation is either
+//! read-only or write-only").
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An integer register exporting `read() → v`, `write(v) → ok`, and
+/// `cas(expected, new) → bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CasRegister {
+    initial: i64,
+}
+
+impl CasRegister {
+    /// A CAS register initialized to `initial`.
+    pub fn new(initial: i64) -> Self {
+        CasRegister { initial }
+    }
+}
+
+impl SeqSpec for CasRegister {
+    fn initial(&self) -> Value {
+        Value::int(self.initial)
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        match op {
+            OpName::Read if args.is_empty() => Some((state.clone(), state.clone())),
+            OpName::Write => match args {
+                [v @ Value::Int(_)] => Some((v.clone(), Value::Ok)),
+                _ => None,
+            },
+            OpName::Cas => match args {
+                [Value::Int(expected), Value::Int(new)] => {
+                    if state.as_int()? == *expected {
+                        Some((Value::int(*new), Value::Bool(true)))
+                    } else {
+                        Some((state.clone(), Value::Bool(false)))
+                    }
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cas-register"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let c = CasRegister::new(0);
+        let (s1, r) = c
+            .step(&c.initial(), &OpName::Cas, &[Value::int(0), Value::int(5)])
+            .unwrap();
+        assert_eq!(r, Value::Bool(true));
+        assert_eq!(s1, Value::int(5));
+        let (s2, r) = c.step(&s1, &OpName::Cas, &[Value::int(0), Value::int(9)]).unwrap();
+        assert_eq!(r, Value::Bool(false));
+        assert_eq!(s2, Value::int(5)); // unchanged on failure
+    }
+
+    #[test]
+    fn read_write_still_work() {
+        let c = CasRegister::new(3);
+        let (_, r) = c.step(&c.initial(), &OpName::Read, &[]).unwrap();
+        assert_eq!(r, Value::int(3));
+        let (s, r) = c.step(&c.initial(), &OpName::Write, &[Value::int(7)]).unwrap();
+        assert_eq!((s, r), (Value::int(7), Value::Ok));
+    }
+
+    #[test]
+    fn rejects_malformed_cas() {
+        let c = CasRegister::new(0);
+        assert!(c.step(&c.initial(), &OpName::Cas, &[Value::int(1)]).is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! The shared counter of Section 3.4.
+//!
+//! `inc`/`dec` are *commutative, write-only* updates: transactions that only
+//! increment a counter never conflict semantically, so all of them may commit
+//! concurrently under opacity — while recoverability forbids it and a
+//! read/write encoding allows only one of them to commit. The criteria
+//! separation tests (E5) rely on this object.
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An integer counter exporting `inc() → ok`, `dec() → ok`, `get() → v`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl SeqSpec for Counter {
+    fn initial(&self) -> Value {
+        Value::int(0)
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let v = state.as_int()?;
+        if !args.is_empty() {
+            return None;
+        }
+        match op {
+            OpName::Inc => Some((Value::int(v + 1), Value::Ok)),
+            OpName::Dec => Some((Value::int(v - 1), Value::Ok)),
+            OpName::Get => Some((state.clone(), Value::int(v))),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "counter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_dec_get() {
+        let c = Counter;
+        let s0 = c.initial();
+        let (s1, r) = c.step(&s0, &OpName::Inc, &[]).unwrap();
+        assert_eq!(r, Value::Ok);
+        let (s2, _) = c.step(&s1, &OpName::Inc, &[]).unwrap();
+        let (s3, r) = c.step(&s2, &OpName::Get, &[]).unwrap();
+        assert_eq!(r, Value::int(2));
+        let (s4, _) = c.step(&s3, &OpName::Dec, &[]).unwrap();
+        let (_, r) = c.step(&s4, &OpName::Get, &[]).unwrap();
+        assert_eq!(r, Value::int(1));
+    }
+
+    #[test]
+    fn incs_commute() {
+        // Applying k increments in any order yields the same state — the
+        // semantic fact Section 3.4 exploits.
+        let c = Counter;
+        let mut s = c.initial();
+        for _ in 0..5 {
+            s = c.step(&s, &OpName::Inc, &[]).unwrap().0;
+        }
+        assert_eq!(s, Value::int(5));
+    }
+
+    #[test]
+    fn rejects_register_ops_and_args() {
+        let c = Counter;
+        assert!(c.step(&c.initial(), &OpName::Read, &[]).is_none());
+        assert!(c.step(&c.initial(), &OpName::Inc, &[Value::int(1)]).is_none());
+    }
+}

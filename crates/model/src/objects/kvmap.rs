@@ -1,0 +1,156 @@
+//! An integer key-value map — the dictionary object of realistic TM
+//! workloads (hash maps and skip lists are the canonical STM benchmarks).
+//!
+//! `put` returns the *previous* binding, making it simultaneously an
+//! observer and a mutator — a further example of the paper's point that
+//! operations cannot be assumed read-only or write-only (Section 3.4).
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An integer→integer map.
+///
+/// * `put(k, v) → old | ⊥` ([`OpName::Insert`] with two arguments)
+/// * `remove(k) → old | ⊥`
+/// * `get(k) → v | ⊥`
+///
+/// The state is the list of `(k, v)` pairs sorted by key.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KvMap;
+
+fn as_pairs(state: &Value) -> Option<Vec<(i64, i64)>> {
+    state
+        .as_list()?
+        .iter()
+        .map(|p| match p {
+            Value::Pair(k, v) => Some((k.as_int()?, v.as_int()?)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn to_state(mut pairs: Vec<(i64, i64)>) -> Value {
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    Value::List(pairs.into_iter().map(|(k, v)| Value::pair(Value::int(k), Value::int(v))).collect())
+}
+
+fn lookup(pairs: &[(i64, i64)], key: i64) -> Option<i64> {
+    pairs.iter().find(|&&(k, _)| k == key).map(|&(_, v)| v)
+}
+
+impl SeqSpec for KvMap {
+    fn initial(&self) -> Value {
+        Value::List(vec![])
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let pairs = as_pairs(state)?;
+        match op {
+            OpName::Insert => {
+                let (k, v) = match args {
+                    [Value::Int(k), Value::Int(v)] => (*k, *v),
+                    _ => return None,
+                };
+                let old = lookup(&pairs, k).map(Value::int).unwrap_or(Value::Unit);
+                let mut next: Vec<(i64, i64)> =
+                    pairs.into_iter().filter(|&(pk, _)| pk != k).collect();
+                next.push((k, v));
+                Some((to_state(next), old))
+            }
+            OpName::Remove => {
+                let k = match args {
+                    [Value::Int(k)] => *k,
+                    _ => return None,
+                };
+                let old = lookup(&pairs, k).map(Value::int).unwrap_or(Value::Unit);
+                let next: Vec<(i64, i64)> =
+                    pairs.into_iter().filter(|&(pk, _)| pk != k).collect();
+                Some((to_state(next), old))
+            }
+            OpName::Get => {
+                let k = match args {
+                    [Value::Int(k)] => *k,
+                    _ => return None,
+                };
+                let v = lookup(&pairs, k).map(Value::int).unwrap_or(Value::Unit);
+                Some((state.clone(), v))
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "kv-map"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let m = KvMap;
+        let (s, old) = m
+            .step(&m.initial(), &OpName::Insert, &[Value::int(1), Value::int(10)])
+            .unwrap();
+        assert_eq!(old, Value::Unit, "no previous binding");
+        let (_, v) = m.step(&s, &OpName::Get, &[Value::int(1)]).unwrap();
+        assert_eq!(v, Value::int(10));
+        let (s2, old) = m.step(&s, &OpName::Remove, &[Value::int(1)]).unwrap();
+        assert_eq!(old, Value::int(10));
+        let (_, v) = m.step(&s2, &OpName::Get, &[Value::int(1)]).unwrap();
+        assert_eq!(v, Value::Unit);
+    }
+
+    #[test]
+    fn put_reports_previous_binding() {
+        let m = KvMap;
+        let (s, _) = m
+            .step(&m.initial(), &OpName::Insert, &[Value::int(1), Value::int(10)])
+            .unwrap();
+        let (s, old) = m.step(&s, &OpName::Insert, &[Value::int(1), Value::int(20)]).unwrap();
+        assert_eq!(old, Value::int(10));
+        let (_, v) = m.step(&s, &OpName::Get, &[Value::int(1)]).unwrap();
+        assert_eq!(v, Value::int(20));
+    }
+
+    #[test]
+    fn state_is_canonical_regardless_of_insertion_order() {
+        let m = KvMap;
+        let mut s1 = m.initial();
+        for (k, v) in [(2, 20), (1, 10)] {
+            s1 = m.step(&s1, &OpName::Insert, &[Value::int(k), Value::int(v)]).unwrap().0;
+        }
+        let mut s2 = m.initial();
+        for (k, v) in [(1, 10), (2, 20)] {
+            s2 = m.step(&s2, &OpName::Insert, &[Value::int(k), Value::int(v)]).unwrap().0;
+        }
+        assert_eq!(s1, s2, "canonical states must hash equal for the memo");
+    }
+
+    #[test]
+    fn get_is_read_only_and_missing_keys_are_bottom() {
+        let m = KvMap;
+        let (s2, v) = m.step(&m.initial(), &OpName::Get, &[Value::int(9)]).unwrap();
+        assert_eq!(v, Value::Unit);
+        assert_eq!(s2, m.initial());
+    }
+
+    #[test]
+    fn bad_args_rejected() {
+        let m = KvMap;
+        assert!(m.step(&m.initial(), &OpName::Insert, &[Value::int(1)]).is_none());
+        assert!(m.step(&m.initial(), &OpName::Get, &[]).is_none());
+        assert!(m.step(&m.initial(), &OpName::Read, &[]).is_none());
+    }
+
+    #[test]
+    fn remove_missing_key_is_a_noop_with_bottom() {
+        let m = KvMap;
+        let (s, old) = m.step(&m.initial(), &OpName::Remove, &[Value::int(5)]).unwrap();
+        assert_eq!(old, Value::Unit);
+        assert_eq!(s, m.initial());
+    }
+}

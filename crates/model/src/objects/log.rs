@@ -1,0 +1,60 @@
+//! A write-only append log.
+//!
+//! Append is a *blind write* that never reads the state it modifies — the
+//! shape of update the paper's Section 3.6 uses to argue that rigorous
+//! scheduling is too strong: transactions that only append (or only
+//! blind-write) may all commit without any of them observing another.
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An append-only log of integers: `append(v) → ok`, `read() → [v...]`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AppendLog;
+
+impl SeqSpec for AppendLog {
+    fn initial(&self) -> Value {
+        Value::List(vec![])
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let items = state.as_list()?;
+        match op {
+            OpName::Append => match args {
+                [v @ Value::Int(_)] => {
+                    let mut next = items.to_vec();
+                    next.push(v.clone());
+                    Some((Value::List(next), Value::Ok))
+                }
+                _ => None,
+            },
+            OpName::Read if args.is_empty() => Some((state.clone(), state.clone())),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "append-log"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_accumulate_in_order() {
+        let l = AppendLog;
+        let (s1, _) = l.step(&l.initial(), &OpName::Append, &[Value::int(1)]).unwrap();
+        let (s2, _) = l.step(&s1, &OpName::Append, &[Value::int(2)]).unwrap();
+        let (_, r) = l.step(&s2, &OpName::Read, &[]).unwrap();
+        assert_eq!(r, Value::List(vec![Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn rejects_write() {
+        let l = AppendLog;
+        assert!(l.step(&l.initial(), &OpName::Write, &[Value::int(1)]).is_none());
+    }
+}

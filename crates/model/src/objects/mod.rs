@@ -1,0 +1,40 @@
+//! A library of shared-object sequential specifications.
+//!
+//! The paper's model deliberately supports "arbitrary objects, beyond simple
+//! read/write variables" (Section 1) — richer semantics reduce conflicts
+//! (Section 3.4's counter example). This module provides the objects used
+//! throughout the reproduction:
+//!
+//! * [`register::Register`] — the paper's ubiquitous read/write register;
+//! * [`counter::Counter`] — `inc`/`dec`/`get`, the commutative object of
+//!   Section 3.4;
+//! * [`queue::FifoQueue`] — enq/deq, an object with non-invertible ops;
+//! * [`stack::Stack`] — push/pop;
+//! * [`set::IntSet`] — insert/remove/contains;
+//! * [`cas::CasRegister`] — compare-and-swap register;
+//! * [`pqueue::PriorityQueue`] — insert/extract-min/peek-min, with
+//!   user-defined (`OpName::Custom`) operation names;
+//! * [`kvmap::KvMap`] — put/get/remove dictionary (put reports the previous
+//!   binding — an observer-mutator);
+//! * [`log::AppendLog`] — a write-only append log (idempotence-free blind
+//!   writes, cf. Section 3.6's overlapping-writes example).
+
+pub mod cas;
+pub mod counter;
+pub mod kvmap;
+pub mod log;
+pub mod pqueue;
+pub mod queue;
+pub mod register;
+pub mod set;
+pub mod stack;
+
+pub use cas::CasRegister;
+pub use counter::Counter;
+pub use kvmap::KvMap;
+pub use log::AppendLog;
+pub use pqueue::PriorityQueue;
+pub use queue::FifoQueue;
+pub use register::Register;
+pub use set::IntSet;
+pub use stack::Stack;

@@ -1,0 +1,144 @@
+//! A min-priority queue — an object whose operations are neither read-only
+//! nor write-only, exercising the model's "arbitrary objects" generality.
+//!
+//! `extract_min` both observes and mutates, and is *not invertible* (the
+//! extracted element's identity cannot be recomputed from the post-state),
+//! which is exactly the class of operations Section 3.7 says precludes
+//! modelling aborted transactions with roll-back events. The operation
+//! names beyond `insert` use [`OpName::Custom`], demonstrating user-defined
+//! interfaces end to end (checker, trace formats, CLI).
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// A min-priority queue of integers.
+///
+/// * `insert(v) → ok`
+/// * `extract_min() → v | ⊥` (⊥ on empty)
+/// * `peek_min() → v | ⊥` (read-only)
+///
+/// The state is the sorted multiset of queued integers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PriorityQueue;
+
+/// The custom operation name for `extract_min`.
+pub fn extract_min() -> OpName {
+    OpName::custom("extract_min")
+}
+
+/// The custom operation name for `peek_min`.
+pub fn peek_min() -> OpName {
+    OpName::custom("peek_min")
+}
+
+fn as_multiset(state: &Value) -> Option<Vec<i64>> {
+    state.as_list()?.iter().map(|v| v.as_int()).collect()
+}
+
+fn to_state(mut items: Vec<i64>) -> Value {
+    items.sort_unstable();
+    Value::List(items.into_iter().map(Value::int).collect())
+}
+
+impl SeqSpec for PriorityQueue {
+    fn initial(&self) -> Value {
+        Value::List(vec![])
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let items = as_multiset(state)?;
+        match op {
+            OpName::Insert => {
+                let v = match args {
+                    [Value::Int(v)] => *v,
+                    _ => return None,
+                };
+                let mut next = items;
+                next.push(v);
+                Some((to_state(next), Value::Ok))
+            }
+            OpName::Custom(name) if &**name == "extract_min" && args.is_empty() => {
+                match items.split_first() {
+                    None => Some((state.clone(), Value::Unit)),
+                    Some((&min, rest)) => {
+                        Some((to_state(rest.to_vec()), Value::int(min)))
+                    }
+                }
+            }
+            OpName::Custom(name) if &**name == "peek_min" && args.is_empty() => {
+                let top = items.first().map(|&v| Value::int(v)).unwrap_or(Value::Unit);
+                Some((state.clone(), top))
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "priority-queue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_orders_by_priority() {
+        let q = PriorityQueue;
+        let (s, r) = q.step(&q.initial(), &OpName::Insert, &[Value::int(5)]).unwrap();
+        assert_eq!(r, Value::Ok);
+        let (s, _) = q.step(&s, &OpName::Insert, &[Value::int(2)]).unwrap();
+        let (s, _) = q.step(&s, &OpName::Insert, &[Value::int(9)]).unwrap();
+        let (s, r) = q.step(&s, &extract_min(), &[]).unwrap();
+        assert_eq!(r, Value::int(2), "min first");
+        let (_, r) = q.step(&s, &extract_min(), &[]).unwrap();
+        assert_eq!(r, Value::int(5));
+    }
+
+    #[test]
+    fn duplicates_form_a_multiset() {
+        let q = PriorityQueue;
+        let (s, _) = q.step(&q.initial(), &OpName::Insert, &[Value::int(4)]).unwrap();
+        let (s, _) = q.step(&s, &OpName::Insert, &[Value::int(4)]).unwrap();
+        let (s, r) = q.step(&s, &extract_min(), &[]).unwrap();
+        assert_eq!(r, Value::int(4));
+        let (_, r) = q.step(&s, &extract_min(), &[]).unwrap();
+        assert_eq!(r, Value::int(4), "both copies present");
+    }
+
+    #[test]
+    fn empty_extract_and_peek_return_bottom() {
+        let q = PriorityQueue;
+        let (s, r) = q.step(&q.initial(), &extract_min(), &[]).unwrap();
+        assert_eq!(r, Value::Unit);
+        assert_eq!(s, q.initial());
+        let (_, r) = q.step(&q.initial(), &peek_min(), &[]).unwrap();
+        assert_eq!(r, Value::Unit);
+    }
+
+    #[test]
+    fn peek_is_read_only() {
+        let q = PriorityQueue;
+        let (s, _) = q.step(&q.initial(), &OpName::Insert, &[Value::int(1)]).unwrap();
+        let (s2, r) = q.step(&s, &peek_min(), &[]).unwrap();
+        assert_eq!(r, Value::int(1));
+        assert_eq!(s2, s, "peek must not mutate");
+    }
+
+    #[test]
+    fn unknown_ops_and_bad_args_rejected() {
+        let q = PriorityQueue;
+        assert!(q.step(&q.initial(), &OpName::Read, &[]).is_none());
+        assert!(q.step(&q.initial(), &OpName::Insert, &[]).is_none());
+        assert!(q.step(&q.initial(), &extract_min(), &[Value::int(1)]).is_none());
+    }
+
+    #[test]
+    fn accepts_validates_return_values() {
+        let q = PriorityQueue;
+        let (s, _) = q.step(&q.initial(), &OpName::Insert, &[Value::int(3)]).unwrap();
+        assert!(q.accepts(&s, &extract_min(), &[], &Value::int(3)).is_some());
+        assert!(q.accepts(&s, &extract_min(), &[], &Value::int(7)).is_none());
+    }
+}

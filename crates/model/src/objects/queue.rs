@@ -1,0 +1,82 @@
+//! A FIFO queue: an object with operations that "cannot be undone".
+//!
+//! Section 3.7 observes that aborted transactions cannot be modelled by
+//! inserting roll-back events precisely because objects like queues have
+//! non-invertible operations — the model (and opacity) must treat aborted
+//! transactions by *exclusion from legality scopes*, not compensation. This
+//! object exists to exercise that part of the model.
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An unbounded FIFO queue of integers: `enq(v) → ok`, `deq() → v` (or `⊥`
+/// when empty).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoQueue;
+
+impl SeqSpec for FifoQueue {
+    fn initial(&self) -> Value {
+        Value::List(vec![])
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let items = state.as_list()?;
+        match op {
+            OpName::Enq => match args {
+                [v @ Value::Int(_)] => {
+                    let mut next = items.to_vec();
+                    next.push(v.clone());
+                    Some((Value::List(next), Value::Ok))
+                }
+                _ => None,
+            },
+            OpName::Deq if args.is_empty() => {
+                if let Some((head, rest)) = items.split_first() {
+                    Some((Value::List(rest.to_vec()), head.clone()))
+                } else {
+                    Some((state.clone(), Value::Unit))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo-queue"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = FifoQueue;
+        let s0 = q.initial();
+        let (s1, _) = q.step(&s0, &OpName::Enq, &[Value::int(1)]).unwrap();
+        let (s2, _) = q.step(&s1, &OpName::Enq, &[Value::int(2)]).unwrap();
+        let (s3, r) = q.step(&s2, &OpName::Deq, &[]).unwrap();
+        assert_eq!(r, Value::int(1));
+        let (s4, r) = q.step(&s3, &OpName::Deq, &[]).unwrap();
+        assert_eq!(r, Value::int(2));
+        let (_, r) = q.step(&s4, &OpName::Deq, &[]).unwrap();
+        assert_eq!(r, Value::Unit); // empty
+    }
+
+    #[test]
+    fn empty_deq_does_not_change_state() {
+        let q = FifoQueue;
+        let (s, r) = q.step(&q.initial(), &OpName::Deq, &[]).unwrap();
+        assert_eq!(r, Value::Unit);
+        assert_eq!(s, q.initial());
+    }
+
+    #[test]
+    fn rejects_foreign_ops() {
+        let q = FifoQueue;
+        assert!(q.step(&q.initial(), &OpName::Read, &[]).is_none());
+        assert!(q.step(&q.initial(), &OpName::Enq, &[]).is_none());
+    }
+}

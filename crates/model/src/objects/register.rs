@@ -1,0 +1,83 @@
+//! The read/write register: the object underlying all of the paper's
+//! examples and the graph characterization of Section 5.4.
+//!
+//! `Seq(x)` is the set of sequences of `read` and `write` executions in which
+//! every `read` returns the value of the latest preceding `write` (or the
+//! initial value), regardless of transaction identifiers.
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An integer register with a configurable initial value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Register {
+    initial: i64,
+}
+
+impl Register {
+    /// A register initialized to `initial`.
+    pub fn new(initial: i64) -> Self {
+        Register { initial }
+    }
+}
+
+impl SeqSpec for Register {
+    fn initial(&self) -> Value {
+        Value::int(self.initial)
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        match op {
+            OpName::Read if args.is_empty() => Some((state.clone(), state.clone())),
+            OpName::Write => match args {
+                [v @ Value::Int(_)] => Some((v.clone(), Value::Ok)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "register"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_latest_write() {
+        let r = Register::new(4);
+        let s0 = r.initial();
+        assert_eq!(s0, Value::int(4));
+        let (s1, ret) = r.step(&s0, &OpName::Read, &[]).unwrap();
+        assert_eq!(ret, Value::int(4));
+        assert_eq!(s1, s0);
+        let (s2, ret) = r.step(&s1, &OpName::Write, &[Value::int(2)]).unwrap();
+        assert_eq!(ret, Value::Ok);
+        let (_, ret) = r.step(&s2, &OpName::Read, &[]).unwrap();
+        assert_eq!(ret, Value::int(2));
+    }
+
+    #[test]
+    fn rejects_foreign_operations() {
+        let r = Register::new(0);
+        assert!(r.step(&r.initial(), &OpName::Inc, &[]).is_none());
+        assert!(r.step(&r.initial(), &OpName::Enq, &[Value::int(1)]).is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        let r = Register::new(0);
+        // write with no argument, non-int argument, or extra arguments
+        assert!(r.step(&r.initial(), &OpName::Write, &[]).is_none());
+        assert!(r.step(&r.initial(), &OpName::Write, &[Value::Ok]).is_none());
+        assert!(r
+            .step(&r.initial(), &OpName::Write, &[Value::int(1), Value::int(2)])
+            .is_none());
+        // read takes no arguments
+        assert!(r.step(&r.initial(), &OpName::Read, &[Value::int(1)]).is_none());
+    }
+}

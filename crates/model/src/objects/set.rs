@@ -1,0 +1,107 @@
+//! An integer set object with membership-reporting mutators.
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// A set of integers: `insert(v) → bool` (true iff newly added),
+/// `remove(v) → bool` (true iff present), `contains(v) → bool`.
+///
+/// The state is kept as a sorted list so that equal sets have equal (and
+/// equal-hashing) state values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IntSet;
+
+fn as_sorted(state: &Value) -> Option<Vec<i64>> {
+    state
+        .as_list()?
+        .iter()
+        .map(|v| v.as_int())
+        .collect::<Option<Vec<i64>>>()
+}
+
+fn to_state(mut items: Vec<i64>) -> Value {
+    items.sort_unstable();
+    items.dedup();
+    Value::List(items.into_iter().map(Value::int).collect())
+}
+
+impl SeqSpec for IntSet {
+    fn initial(&self) -> Value {
+        Value::List(vec![])
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let items = as_sorted(state)?;
+        let arg = match args {
+            [Value::Int(v)] => *v,
+            _ => return None,
+        };
+        match op {
+            OpName::Insert => {
+                let added = !items.contains(&arg);
+                let mut next = items;
+                if added {
+                    next.push(arg);
+                }
+                Some((to_state(next), Value::Bool(added)))
+            }
+            OpName::Remove => {
+                let present = items.contains(&arg);
+                let next: Vec<i64> = items.into_iter().filter(|&v| v != arg).collect();
+                Some((to_state(next), Value::Bool(present)))
+            }
+            OpName::Contains => {
+                let present = items.contains(&arg);
+                Some((state.clone(), Value::Bool(present)))
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "int-set"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let s = IntSet;
+        let (s1, r) = s.step(&s.initial(), &OpName::Insert, &[Value::int(3)]).unwrap();
+        assert_eq!(r, Value::Bool(true));
+        let (s2, r) = s.step(&s1, &OpName::Insert, &[Value::int(3)]).unwrap();
+        assert_eq!(r, Value::Bool(false)); // duplicate
+        let (_, r) = s.step(&s2, &OpName::Contains, &[Value::int(3)]).unwrap();
+        assert_eq!(r, Value::Bool(true));
+        let (s3, r) = s.step(&s2, &OpName::Remove, &[Value::int(3)]).unwrap();
+        assert_eq!(r, Value::Bool(true));
+        let (_, r) = s.step(&s3, &OpName::Contains, &[Value::int(3)]).unwrap();
+        assert_eq!(r, Value::Bool(false));
+    }
+
+    #[test]
+    fn state_is_canonical() {
+        // Inserting 2 then 1 and inserting 1 then 2 produce equal states.
+        let s = IntSet;
+        let a = {
+            let (s1, _) = s.step(&s.initial(), &OpName::Insert, &[Value::int(2)]).unwrap();
+            s.step(&s1, &OpName::Insert, &[Value::int(1)]).unwrap().0
+        };
+        let b = {
+            let (s1, _) = s.step(&s.initial(), &OpName::Insert, &[Value::int(1)]).unwrap();
+            s.step(&s1, &OpName::Insert, &[Value::int(2)]).unwrap().0
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        let s = IntSet;
+        assert!(s.step(&s.initial(), &OpName::Insert, &[]).is_none());
+        assert!(s.step(&s.initial(), &OpName::Read, &[Value::int(1)]).is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! A LIFO stack object.
+
+use crate::event::OpName;
+use crate::spec::SeqSpec;
+use crate::value::Value;
+
+/// An unbounded stack of integers: `push(v) → ok`, `pop() → v` (or `⊥` when
+/// empty).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stack;
+
+impl SeqSpec for Stack {
+    fn initial(&self) -> Value {
+        Value::List(vec![])
+    }
+
+    fn step(&self, state: &Value, op: &OpName, args: &[Value]) -> Option<(Value, Value)> {
+        let items = state.as_list()?;
+        match op {
+            OpName::Push => match args {
+                [v @ Value::Int(_)] => {
+                    let mut next = items.to_vec();
+                    next.push(v.clone());
+                    Some((Value::List(next), Value::Ok))
+                }
+                _ => None,
+            },
+            OpName::Pop if args.is_empty() => {
+                if let Some((last, rest)) = items.split_last() {
+                    Some((Value::List(rest.to_vec()), last.clone()))
+                } else {
+                    Some((state.clone(), Value::Unit))
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let st = Stack;
+        let (s1, _) = st.step(&st.initial(), &OpName::Push, &[Value::int(1)]).unwrap();
+        let (s2, _) = st.step(&s1, &OpName::Push, &[Value::int(2)]).unwrap();
+        let (s3, r) = st.step(&s2, &OpName::Pop, &[]).unwrap();
+        assert_eq!(r, Value::int(2));
+        let (_, r) = st.step(&s3, &OpName::Pop, &[]).unwrap();
+        assert_eq!(r, Value::int(1));
+    }
+
+    #[test]
+    fn empty_pop_returns_unit() {
+        let st = Stack;
+        let (_, r) = st.step(&st.initial(), &OpName::Pop, &[]).unwrap();
+        assert_eq!(r, Value::Unit);
+    }
+}

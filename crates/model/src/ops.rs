@@ -1,0 +1,211 @@
+//! Operation executions: matched invocation/response pairs.
+//!
+//! The paper defines an operation execution `exec_i(ob, op, args, val)` as the
+//! two-event sequence `⟨inv_i(ob, op, args), ret_i(ob, op, val)⟩`, and
+//! introduces the register shorthands `read_i(r, v)` and `write_i(r, v)`.
+
+use crate::event::{Event, ObjId, OpName, TxId};
+use crate::value::Value;
+use std::fmt;
+
+/// A completed operation execution `exec_i(ob, op, args, val)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OpExec {
+    /// The executing transaction.
+    pub tx: TxId,
+    /// The target shared object.
+    pub obj: ObjId,
+    /// The executed operation.
+    pub op: OpName,
+    /// Arguments passed to the operation.
+    pub args: Vec<Value>,
+    /// The value returned by the operation.
+    pub val: Value,
+}
+
+impl OpExec {
+    /// The paper's `read_i(r, v)` shorthand: `exec_i(r, read, ⊥, v)`.
+    pub fn read(tx: TxId, obj: ObjId, v: Value) -> Self {
+        OpExec { tx, obj, op: OpName::Read, args: vec![], val: v }
+    }
+
+    /// The paper's `write_i(r, v)` shorthand: `exec_i(r, write, v, ok)`.
+    pub fn write(tx: TxId, obj: ObjId, v: Value) -> Self {
+        OpExec { tx, obj, op: OpName::Write, args: vec![v], val: Value::Ok }
+    }
+
+    /// The two events `⟨inv, ret⟩` making up this execution.
+    pub fn events(&self) -> [Event; 2] {
+        [
+            Event::Inv {
+                tx: self.tx,
+                obj: self.obj.clone(),
+                op: self.op.clone(),
+                args: self.args.clone(),
+            },
+            Event::Ret {
+                tx: self.tx,
+                obj: self.obj.clone(),
+                op: self.op.clone(),
+                val: self.val.clone(),
+            },
+        ]
+    }
+
+    /// True if this is a register read.
+    pub fn is_read(&self) -> bool {
+        self.op == OpName::Read
+    }
+
+    /// True if this is a register write.
+    pub fn is_write(&self) -> bool {
+        self.op == OpName::Write
+    }
+
+    /// For a register read, the value read; for a write, the value written.
+    ///
+    /// Returns `None` for non-register operations.
+    pub fn register_value(&self) -> Option<&Value> {
+        match self.op {
+            OpName::Read => Some(&self.val),
+            OpName::Write => self.args.first(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OpExec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            OpName::Read => write!(f, "read{}({},{})", self.tx.0, self.obj, self.val),
+            OpName::Write => write!(
+                f,
+                "write{}({},{})",
+                self.tx.0,
+                self.obj,
+                self.args.first().unwrap_or(&Value::Unit)
+            ),
+            _ => {
+                write!(f, "exec{}({},{}", self.tx.0, self.obj, self.op)?;
+                for a in &self.args {
+                    write!(f, ",{a}")?;
+                }
+                write!(f, ")→{}", self.val)
+            }
+        }
+    }
+}
+
+/// The per-transaction view of a history: the transaction's completed
+/// operation executions, plus its terminal events.
+///
+/// This mirrors the well-formedness shape of Section 4: `H|Ti` is a prefix of
+/// `O · F`, where `O` is a sequence of operation executions and `F` is one of
+/// `⟨inv, A⟩`, `⟨tryA, A⟩`, `⟨tryC, C⟩`, `⟨tryC, A⟩`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxView {
+    /// The transaction.
+    pub tx: TxId,
+    /// Completed operation executions, in program order.
+    pub ops: Vec<OpExec>,
+    /// A pending operation invocation with no response yet, if any.
+    pub pending: Option<(ObjId, OpName, Vec<Value>)>,
+    /// The terminal status of the transaction.
+    pub status: TxStatus,
+}
+
+/// The status of a transaction in a history (Section 4, "Status of
+/// transactions").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxStatus {
+    /// Live: neither committed nor aborted, and no commit/abort request
+    /// pending.
+    Live,
+    /// Live and waiting for the response to a `tryC` (commit-pending).
+    CommitPending,
+    /// Live and waiting for the response to a `tryA`.
+    AbortPending,
+    /// Committed (last event `C_i`).
+    Committed,
+    /// Aborted after requesting it (`tryA_i · A_i`).
+    Aborted,
+    /// Forcefully aborted: aborted without having issued `tryA` (either after
+    /// `tryC`, or in place of an operation response).
+    ForcefullyAborted,
+}
+
+impl TxStatus {
+    /// True for `Committed`.
+    pub fn is_committed(self) -> bool {
+        self == TxStatus::Committed
+    }
+
+    /// True for either kind of abort.
+    pub fn is_aborted(self) -> bool {
+        matches!(self, TxStatus::Aborted | TxStatus::ForcefullyAborted)
+    }
+
+    /// True if the transaction is completed (committed or aborted).
+    pub fn is_completed(self) -> bool {
+        self.is_committed() || self.is_aborted()
+    }
+
+    /// True if the transaction is live (not completed).
+    pub fn is_live(self) -> bool {
+        !self.is_completed()
+    }
+
+    /// True if the transaction is live and has issued `tryC`.
+    pub fn is_commit_pending(self) -> bool {
+        self == TxStatus::CommitPending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_shorthand() {
+        let r = OpExec::read(TxId(2), "x".into(), Value::int(1));
+        assert!(r.is_read());
+        assert!(!r.is_write());
+        assert_eq!(r.register_value(), Some(&Value::int(1)));
+        assert_eq!(r.to_string(), "read2(x,1)");
+        let [i, t] = r.events();
+        assert!(t.matches_invocation(&i));
+    }
+
+    #[test]
+    fn write_shorthand() {
+        let w = OpExec::write(TxId(1), "x".into(), Value::int(1));
+        assert!(w.is_write());
+        assert_eq!(w.val, Value::Ok);
+        assert_eq!(w.register_value(), Some(&Value::int(1)));
+        assert_eq!(w.to_string(), "write1(x,1)");
+    }
+
+    #[test]
+    fn non_register_op_display() {
+        let e = OpExec {
+            tx: TxId(3),
+            obj: "c".into(),
+            op: OpName::Inc,
+            args: vec![],
+            val: Value::Ok,
+        };
+        assert_eq!(e.to_string(), "exec3(c,inc)→ok");
+        assert_eq!(e.register_value(), None);
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(TxStatus::Committed.is_completed());
+        assert!(TxStatus::ForcefullyAborted.is_aborted());
+        assert!(TxStatus::Aborted.is_aborted());
+        assert!(!TxStatus::Live.is_completed());
+        assert!(TxStatus::CommitPending.is_live());
+        assert!(TxStatus::CommitPending.is_commit_pending());
+        assert!(!TxStatus::AbortPending.is_commit_pending());
+    }
+}

@@ -1,0 +1,168 @@
+//! The real-time (happen-before) order of transactions, `≺_H` (Section 4).
+//!
+//! For transactions `Ti, Tj ∈ H`: `Ti ≺_H Tj` iff `Ti` is completed and the
+//! first event of `Tj` follows the last event of `Ti` in `H`. Transactions
+//! unordered by `≺_H` are *concurrent*. A history `H'` preserves the
+//! real-time order of `H` iff `≺_H ⊆ ≺_H'`.
+
+use crate::event::TxId;
+use crate::history::History;
+use std::collections::HashMap;
+
+/// The real-time partial order of a history, pre-computed for O(1) queries.
+#[derive(Clone, Debug)]
+pub struct RealTimeOrder {
+    /// For each transaction: (first event index, last event index, completed).
+    spans: HashMap<TxId, (usize, usize, bool)>,
+    /// Transactions in first-event order.
+    txs: Vec<TxId>,
+}
+
+impl RealTimeOrder {
+    /// Computes `≺_H` for `h`.
+    pub fn of(h: &History) -> Self {
+        let mut spans = HashMap::new();
+        let txs = h.txs();
+        for &t in &txs {
+            let first = h.first_event_index(t).expect("tx in txs() has events");
+            let last = h.last_event_index(t).expect("tx in txs() has events");
+            let completed = h.status(t).is_completed();
+            spans.insert(t, (first, last, completed));
+        }
+        RealTimeOrder { spans, txs }
+    }
+
+    /// The transactions covered by this order.
+    pub fn txs(&self) -> &[TxId] {
+        &self.txs
+    }
+
+    /// `Ti ≺_H Tj`?
+    pub fn precedes(&self, ti: TxId, tj: TxId) -> bool {
+        if ti == tj {
+            return false;
+        }
+        match (self.spans.get(&ti), self.spans.get(&tj)) {
+            (Some(&(_, last_i, completed_i)), Some(&(first_j, _, _))) => {
+                completed_i && last_i < first_j
+            }
+            _ => false,
+        }
+    }
+
+    /// True if `ti` and `tj` are concurrent (both in `H`, unordered by `≺_H`).
+    pub fn concurrent(&self, ti: TxId, tj: TxId) -> bool {
+        ti != tj
+            && self.spans.contains_key(&ti)
+            && self.spans.contains_key(&tj)
+            && !self.precedes(ti, tj)
+            && !self.precedes(tj, ti)
+    }
+
+    /// All ordered pairs `(Ti, Tj)` with `Ti ≺_H Tj`.
+    pub fn pairs(&self) -> Vec<(TxId, TxId)> {
+        let mut out = Vec::new();
+        for &a in &self.txs {
+            for &b in &self.txs {
+                if self.precedes(a, b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// The real-time predecessors of `t`.
+    pub fn predecessors(&self, t: TxId) -> Vec<TxId> {
+        self.txs.iter().copied().filter(|&s| self.precedes(s, t)).collect()
+    }
+
+    /// True if `other`'s real-time order contains this one (`≺_H ⊆ ≺_H'`),
+    /// i.e. `H'` preserves the real-time order of `H`.
+    pub fn preserved_by(&self, other: &RealTimeOrder) -> bool {
+        self.pairs().iter().all(|&(a, b)| other.precedes(a, b))
+    }
+}
+
+/// True if `h_prime` preserves the real-time order of `h`.
+pub fn preserves_real_time(h: &History, h_prime: &History) -> bool {
+    RealTimeOrder::of(h).preserved_by(&RealTimeOrder::of(h_prime))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{paper, HistoryBuilder};
+
+    #[test]
+    fn h1_order_matches_paper() {
+        // "In H1, transactions T2 and T3 are concurrent, T1 ≺ T2, T1 ≺ T3."
+        let rt = RealTimeOrder::of(&paper::h1());
+        assert!(rt.precedes(TxId(1), TxId(2)));
+        assert!(rt.precedes(TxId(1), TxId(3)));
+        assert!(rt.concurrent(TxId(2), TxId(3)));
+        assert!(!rt.precedes(TxId(2), TxId(3)));
+        assert!(!rt.precedes(TxId(3), TxId(2)));
+        let mut pairs = rt.pairs();
+        pairs.sort();
+        assert_eq!(pairs, vec![(TxId(1), TxId(2)), (TxId(1), TxId(3))]);
+    }
+
+    #[test]
+    fn h2_preserves_real_time_of_h1() {
+        // "Any history H for which T1 ≺ T2 and T1 ≺ T3 (e.g. H2) preserves
+        // the real-time order of H1."
+        assert!(preserves_real_time(&paper::h1(), &paper::h2()));
+        // H1 does NOT preserve the real-time order of H2 (H2 adds T3 ≺ T2).
+        assert!(!preserves_real_time(&paper::h2(), &paper::h1()));
+    }
+
+    #[test]
+    fn incomplete_tx_precedes_nothing() {
+        // A live transaction is not ordered before anything, even if its
+        // events all occur earlier.
+        let h = HistoryBuilder::new().read(1, "x", 0).read(2, "x", 0).commit_ok(2).build();
+        let rt = RealTimeOrder::of(&h);
+        assert!(!rt.precedes(TxId(1), TxId(2)));
+        assert!(rt.concurrent(TxId(1), TxId(2)));
+    }
+
+    #[test]
+    fn h4_all_pairwise_concurrent() {
+        // "the three transactions in H4 are pairwise concurrent"
+        let rt = RealTimeOrder::of(&paper::h4());
+        for a in [1, 2, 3] {
+            for b in [1, 2, 3] {
+                if a != b {
+                    assert!(rt.concurrent(TxId(a), TxId(b)), "T{a} vs T{b}");
+                }
+            }
+        }
+        assert!(rt.pairs().is_empty());
+    }
+
+    #[test]
+    fn predecessors_and_self() {
+        let rt = RealTimeOrder::of(&paper::h1());
+        assert_eq!(rt.predecessors(TxId(2)), vec![TxId(1)]);
+        assert_eq!(rt.predecessors(TxId(1)), vec![]);
+        assert!(!rt.precedes(TxId(1), TxId(1)));
+        assert!(!rt.concurrent(TxId(1), TxId(1)));
+    }
+
+    #[test]
+    fn empty_history_trivial() {
+        let rt = RealTimeOrder::of(&History::new());
+        assert!(rt.pairs().is_empty());
+        assert!(rt.txs().is_empty());
+    }
+
+    #[test]
+    fn unknown_tx_not_ordered() {
+        let rt = RealTimeOrder::of(&paper::h1());
+        assert!(!rt.precedes(TxId(1), TxId(42)));
+        assert!(!rt.concurrent(TxId(1), TxId(42)));
+    }
+
+    use crate::history::History;
+}

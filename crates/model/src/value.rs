@@ -1,0 +1,161 @@
+//! Dynamic values exchanged with shared objects.
+//!
+//! The paper's model (Section 4) is object-generic: operations "may take some
+//! arguments and return some value". We model argument and return values (and
+//! object states, see [`crate::spec`]) with a single dynamic [`Value`] type so
+//! that histories over registers, counters, queues, sets, and user-defined
+//! objects can coexist in one framework.
+
+use std::fmt;
+
+/// A dynamic value: an operation argument, an operation return value, or a
+/// sequential-specification object state.
+///
+/// `Value` is ordered and hashable so it can key memoization tables in the
+/// opacity checker and be stored in canonical (sorted) object states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The "no value" placeholder `⊥` used for empty argument lists and for
+    /// operations that have no meaningful result (e.g. a failed lookup).
+    Unit,
+    /// The `ok` acknowledgment returned by `write` and other mutators.
+    Ok,
+    /// A signed integer (register contents, counter values, queue elements).
+    Int(i64),
+    /// A boolean (e.g. `contains` results, `cas` success flags).
+    Bool(bool),
+    /// An ordered pair, used by composite operations and object states.
+    Pair(Box<Value>, Box<Value>),
+    /// A sequence, used as the state of queues, stacks, and logs.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for [`Value::Int`].
+    #[inline]
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for [`Value::Pair`].
+    #[inline]
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a [`Value::List`].
+    #[inline]
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(vs) => Some(vs),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "⊥"),
+            Value::Ok => write!(f, "ok"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Pair(a, b) => write!(f, "({a},{b})"),
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(Value::from(42i64), v);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        let v = Value::from(true);
+        assert_eq!(v.as_bool(), Some(true));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn list_accessor() {
+        let v = Value::List(vec![Value::int(1), Value::int(2)]);
+        assert_eq!(v.as_list().unwrap().len(), 2);
+        assert_eq!(Value::int(1).as_list(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "⊥");
+        assert_eq!(Value::Ok.to_string(), "ok");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(
+            Value::List(vec![Value::int(1), Value::Bool(false)]).to_string(),
+            "[1,false]"
+        );
+        assert_eq!(Value::pair(Value::int(1), Value::Ok).to_string(), "(1,ok)");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::int(2), Value::Unit, Value::int(1), Value::Ok];
+        vs.sort();
+        // Variant order: Unit < Ok < Int < ...
+        assert_eq!(vs[0], Value::Unit);
+        assert_eq!(vs[1], Value::Ok);
+        assert_eq!(vs[2], Value::int(1));
+    }
+}

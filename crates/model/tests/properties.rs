@@ -1,0 +1,225 @@
+//! Property-based tests of the Section 4 model invariants, over randomly
+//! generated well-formed histories.
+
+use proptest::prelude::*;
+
+use tm_harness::randhist::{random_history, GenConfig};
+use tm_model::{
+    complete_histories, check_well_formed, History, RealTimeOrder, SpecRegistry, TxStatus,
+};
+
+fn any_config() -> impl Strategy<Value = GenConfig> {
+    (2usize..=5, 1usize..=4, 1usize..=5, 0.0f64..0.5, 0.0f64..0.4, 0.0f64..0.4).prop_map(
+        |(txs, objs, max_ops, noise, commit_pending, abort)| GenConfig {
+            txs,
+            objs,
+            max_ops,
+            noise,
+            commit_pending,
+            abort,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every generated history is well-formed, and so is every prefix —
+    /// well-formedness is prefix-closed by construction of the per-tx
+    /// automaton.
+    #[test]
+    fn well_formedness_is_prefix_closed(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        prop_assert!(check_well_formed(&h).is_ok());
+        for n in 0..=h.len() {
+            prop_assert!(check_well_formed(&h.prefix(n)).is_ok(), "prefix {n} of {h}");
+        }
+    }
+
+    /// Projections partition the events: Σ_t |H|Tt| = |H|.
+    #[test]
+    fn projections_partition_events(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        let total: usize = h.txs().iter().map(|&t| h.per_tx(t).len()).sum();
+        prop_assert_eq!(total, h.len());
+    }
+
+    /// Equivalence is reflexive, and a history is equivalent to any
+    /// reordering that preserves per-transaction subsequences (here: the
+    /// canonical sequentialization by first-event order of completed txs is
+    /// NOT generally equivalent — but the identity and per-tx concatenation
+    /// are).
+    #[test]
+    fn equivalence_reflexive_and_per_tx_concat(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        prop_assert!(h.equivalent(&h));
+        // The per-transaction concatenation (a legal reordering) is
+        // equivalent to H.
+        let mut concat = History::new();
+        for t in h.txs() {
+            for e in h.per_tx(t).events() {
+                concat.push(e.clone());
+            }
+        }
+        prop_assert!(h.equivalent(&concat), "{h}");
+        prop_assert!(concat.is_sequential());
+    }
+
+    /// Real-time order is a strict partial order: irreflexive, asymmetric,
+    /// transitive; concurrency is symmetric.
+    #[test]
+    fn real_time_is_strict_partial_order(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        let rt = RealTimeOrder::of(&h);
+        let txs = h.txs();
+        for &a in &txs {
+            prop_assert!(!rt.precedes(a, a));
+            for &b in &txs {
+                if rt.precedes(a, b) {
+                    prop_assert!(!rt.precedes(b, a), "asymmetry {a} {b}");
+                }
+                prop_assert_eq!(rt.concurrent(a, b), rt.concurrent(b, a));
+                for &c in &txs {
+                    if rt.precedes(a, b) && rt.precedes(b, c) {
+                        prop_assert!(rt.precedes(a, c), "transitivity {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// `Complete(H)`: exactly 2^p canonical members for p commit-pending
+    /// transactions; each complete, well-formed, equivalent-or-extending H
+    /// per transaction, and preserving H's real-time order.
+    #[test]
+    fn completions_are_correct(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        let p = h.commit_pending_txs().len();
+        let cs = complete_histories(&h);
+        prop_assert_eq!(cs.len(), 1usize << p);
+        let rt = RealTimeOrder::of(&h);
+        for c in &cs {
+            prop_assert!(check_well_formed(c).is_ok(), "{c}");
+            prop_assert!(c.is_complete());
+            prop_assert!(rt.preserved_by(&RealTimeOrder::of(c)));
+            for t in h.txs() {
+                let orig = h.per_tx(t);
+                let comp = c.per_tx(t);
+                prop_assert!(comp.len() >= orig.len());
+                prop_assert_eq!(&comp.events()[..orig.len()], orig.events());
+                // Live non-commit-pending transactions must be aborted.
+                if h.status(t) == TxStatus::Live || h.status(t) == TxStatus::AbortPending {
+                    prop_assert!(c.status(t).is_aborted());
+                }
+            }
+        }
+    }
+
+    /// Statuses are stable under appending events of *other* transactions.
+    #[test]
+    fn status_depends_only_on_own_events(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        for t in h.txs() {
+            let via_projection = h.per_tx(t).status(t);
+            prop_assert_eq!(h.status(t), via_projection);
+        }
+    }
+
+    /// `all_ops` agrees with the per-transaction views.
+    #[test]
+    fn all_ops_consistent_with_views(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        let total_view_ops: usize = h.txs().iter().map(|&t| h.tx_view(t).ops.len()).sum();
+        prop_assert_eq!(h.all_ops().len(), total_view_ops);
+    }
+
+    /// Legality replay is deterministic: running the full-history legality
+    /// check twice gives identical verdicts (guards against interior
+    /// mutability bugs in specs).
+    #[test]
+    fn legality_is_deterministic(config in any_config(), seed in 0u64..1_000_000) {
+        let h = random_history(&config, seed);
+        let specs = SpecRegistry::registers();
+        // Build the sequential per-tx concatenation and compare verdicts.
+        let mut s = History::new();
+        for t in h.txs() {
+            for e in h.per_tx(t).events() {
+                s.push(e.clone());
+            }
+        }
+        let v1 = tm_model::all_txs_legal(&s, &specs).is_ok();
+        let v2 = tm_model::all_txs_legal(&s, &specs).is_ok();
+        prop_assert_eq!(v1, v2);
+    }
+}
+
+/// Sequential-specification sanity: random op sequences through the queue,
+/// stack, and set specs behave like their `std` references.
+mod object_specs {
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+    use tm_model::objects::{FifoQueue, IntSet, Stack};
+    use tm_model::spec::SeqSpec;
+    use tm_model::{OpName, Value};
+
+    proptest! {
+        #[test]
+        fn queue_matches_vecdeque(ops in proptest::collection::vec((0u8..2, -5i64..5), 1..40)) {
+            let q = FifoQueue;
+            let mut state = q.initial();
+            let mut reference: VecDeque<i64> = VecDeque::new();
+            for (kind, v) in ops {
+                if kind == 0 {
+                    let (next, ret) = q.step(&state, &OpName::Enq, &[Value::int(v)]).unwrap();
+                    prop_assert_eq!(ret, Value::Ok);
+                    reference.push_back(v);
+                    state = next;
+                } else {
+                    let (next, ret) = q.step(&state, &OpName::Deq, &[]).unwrap();
+                    match reference.pop_front() {
+                        Some(x) => prop_assert_eq!(ret, Value::int(x)),
+                        None => prop_assert_eq!(ret, Value::Unit),
+                    }
+                    state = next;
+                }
+            }
+        }
+
+        #[test]
+        fn stack_matches_vec(ops in proptest::collection::vec((0u8..2, -5i64..5), 1..40)) {
+            let s = Stack;
+            let mut state = s.initial();
+            let mut reference: Vec<i64> = Vec::new();
+            for (kind, v) in ops {
+                if kind == 0 {
+                    state = s.step(&state, &OpName::Push, &[Value::int(v)]).unwrap().0;
+                    reference.push(v);
+                } else {
+                    let (next, ret) = s.step(&state, &OpName::Pop, &[]).unwrap();
+                    match reference.pop() {
+                        Some(x) => prop_assert_eq!(ret, Value::int(x)),
+                        None => prop_assert_eq!(ret, Value::Unit),
+                    }
+                    state = next;
+                }
+            }
+        }
+
+        #[test]
+        fn set_matches_btreeset(ops in proptest::collection::vec((0u8..3, -4i64..4), 1..40)) {
+            let s = IntSet;
+            let mut state = s.initial();
+            let mut reference = std::collections::BTreeSet::new();
+            for (kind, v) in ops {
+                let (op, expected) = match kind {
+                    0 => (OpName::Insert, Value::Bool(reference.insert(v))),
+                    1 => (OpName::Remove, Value::Bool(reference.remove(&v))),
+                    _ => (OpName::Contains, Value::Bool(reference.contains(&v))),
+                };
+                let (next, ret) = s.step(&state, &op, &[Value::int(v)]).unwrap();
+                prop_assert_eq!(ret, expected);
+                state = next;
+            }
+        }
+    }
+}

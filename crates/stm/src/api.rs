@@ -1,0 +1,164 @@
+//! The common STM interface.
+//!
+//! Every TM implementation in this crate operates on a fixed universe of `k`
+//! integer registers (`Obj = {r0, …, r(k-1)}`, the paper's model of
+//! Section 6), records its transactional events into a [`crate::recorder`]
+//! history, and meters its *steps* — accesses to base shared objects — per
+//! operation, which is exactly the quantity bounded by Theorem 3.
+
+use crate::base::StepReport;
+use crate::recorder::Recorder;
+
+/// The error returned when a transaction is (or must be) aborted.
+///
+/// Mirrors the model: the TM answered some invocation with `A_i`. The caller
+/// should retry with a fresh transaction (a retry is a *new* transaction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aborted;
+
+impl std::fmt::Display for Aborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted")
+    }
+}
+
+impl std::error::Error for Aborted {}
+
+/// Result type of transactional operations.
+pub type TxResult<T> = Result<T, Aborted>;
+
+/// Static properties of a TM implementation — the three hypotheses of
+/// Theorem 3 plus the intended correctness level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StmProperties {
+    /// Forcefully aborts a transaction only upon a conflict with a
+    /// concurrent transaction live at the time of the conflict.
+    pub progressive: bool,
+    /// Stores only the latest committed state of each object.
+    pub single_version: bool,
+    /// Read-only operations modify no base shared object.
+    pub invisible_reads: bool,
+    /// The implementation is designed to ensure opacity. `false` for the
+    /// commit-time-validation TM (the Section 6 counterexample) and the
+    /// snapshot-isolation TM (the SI-STM trade-off named in Section 1).
+    pub opaque_by_design: bool,
+    /// Committed transactions are guaranteed serializable. `false` only for
+    /// the snapshot-isolation TM, whose write-skew anomaly commits outcomes
+    /// no sequential execution allows. (The commit-time-validation TM keeps
+    /// committed transactions serializable — it fails opacity only on the
+    /// states observed by *live* transactions.)
+    pub serializable_by_design: bool,
+}
+
+/// A live transaction handle.
+///
+/// Handles are single-threaded (each transaction is executed by one process,
+/// Section 6.1); the containing [`Stm`] is shared across threads.
+pub trait Tx {
+    /// Reads register `obj`, or aborts the transaction.
+    fn read(&mut self, obj: usize) -> TxResult<i64>;
+
+    /// Writes `v` to register `obj`, or aborts the transaction.
+    fn write(&mut self, obj: usize, v: i64) -> TxResult<()>;
+
+    /// Requests commit (`tryC` … `C`/`A`).
+    fn commit(self: Box<Self>) -> TxResult<()>;
+
+    /// Voluntarily aborts (`tryA` … `A`).
+    fn abort(self: Box<Self>);
+
+    /// The per-operation step report accumulated so far.
+    fn steps(&self) -> StepReport;
+
+    /// The model-level transaction identifier.
+    fn id(&self) -> u32;
+}
+
+/// A software transactional memory over `k` integer registers.
+pub trait Stm: Send + Sync {
+    /// A short name ("tl2", "dstm", …) used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// The number of shared objects `k = |Obj|`.
+    fn k(&self) -> usize;
+
+    /// Starts a new transaction on behalf of `thread`.
+    fn begin(&self, thread: usize) -> Box<dyn Tx + '_>;
+
+    /// The history recorder (shared by all transactions of this TM).
+    fn recorder(&self) -> &Recorder;
+
+    /// The design-space position of this implementation.
+    fn properties(&self) -> StmProperties;
+
+    /// True if transactions of this TM *block* other transactions for their
+    /// whole lifetime (the global-lock TM). Blocking TMs cannot be driven
+    /// through interleaved schedules on a single OS thread.
+    fn blocking(&self) -> bool {
+        false
+    }
+}
+
+/// Statistics from [`run_tx`] retry loops.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Commits (always 1 on success).
+    pub commits: u64,
+    /// Aborted attempts before the successful one.
+    pub aborts: u64,
+}
+
+/// Runs `body` as a transaction, retrying on abort (each retry is a fresh
+/// transaction with a fresh identifier, as the model requires).
+///
+/// `body` returning `Err(Aborted)` signals that the transaction was aborted
+/// mid-flight by an operation; the loop retries. Panics after `max_retries`
+/// to surface livelock in tests and benchmarks.
+pub fn run_tx<R>(
+    stm: &dyn Stm,
+    thread: usize,
+    mut body: impl FnMut(&mut dyn Tx) -> TxResult<R>,
+) -> (R, RunStats) {
+    let max_retries = 1_000_000;
+    let mut stats = RunStats::default();
+    for _ in 0..max_retries {
+        let mut tx = stm.begin(thread);
+        match body(tx.as_mut()) {
+            Ok(result) => match tx.commit() {
+                Ok(()) => {
+                    stats.commits += 1;
+                    return (result, stats);
+                }
+                Err(Aborted) => {
+                    stats.aborts += 1;
+                }
+            },
+            Err(Aborted) => {
+                stats.aborts += 1;
+            }
+        }
+    }
+    panic!("transaction did not commit after {max_retries} retries (livelock?)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aborted_displays() {
+        assert_eq!(Aborted.to_string(), "transaction aborted");
+    }
+
+    #[test]
+    fn properties_struct_is_plain_data() {
+        let p = StmProperties {
+            progressive: true,
+            single_version: true,
+            invisible_reads: true,
+            opaque_by_design: true,
+            serializable_by_design: true,
+        };
+        assert_eq!(p, p);
+    }
+}

@@ -1,0 +1,494 @@
+//! An ASTM-like TM (Marathe, Scherer, Scott — DISC 2005), lazy-acquire
+//! flavour.
+//!
+//! The *second* system the paper places at the Θ(k) point ("DSTM and ASTM
+//! ensure opacity and have the above three properties, and require, in the
+//! worst case, Θ(k) steps to complete a single operation"). Like DSTM it is
+//! progressive, single-version, invisible-read, and opaque — so Theorem 3
+//! binds it — but the write path differs materially:
+//!
+//! * **lazy acquire**: writes are buffered locally; objects are acquired
+//!   only at commit time (DSTM acquires eagerly at the write). Write
+//!   operations therefore cost 0 base-object steps and writer-writer
+//!   conflicts surface only between committers;
+//! * **per-read incremental validation**: identical to DSTM — Θ(read set)
+//!   steps per read, the cost opacity forces on invisible readers.
+//!
+//! Having both protocols at the same design-space point demonstrates that
+//! the Ω(k) bound is a property of the *point*, not of one algorithm.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
+use crate::base::{Meter, OpKind, StepReport};
+use crate::recorder::Recorder;
+use tm_model::{NestingInfo, NestingMode, TxId};
+
+/// Committed object state: value plus a modification counter that lets
+/// invisible readers detect overwrites (a "version" in the loose sense —
+/// there is still only ever one stored value, so the TM is single-version).
+#[derive(Debug)]
+struct AstmObj {
+    inner: Mutex<(i64, u64)>, // (value, modification count)
+    /// Commit-time ownership flag (one writer at a time per object).
+    owned: AtomicU64, // 0 = free, else owner tx id
+}
+
+/// The ASTM-like TM over `k` registers.
+#[derive(Debug)]
+pub struct AstmStm {
+    objs: Vec<AstmObj>,
+    recorder: Recorder,
+    /// (child, parent) pairs of closed-nested scopes opened so far, for
+    /// flattening recorded histories (Section 7 / experiment E22).
+    nested: Mutex<Vec<(u32, u32)>>,
+}
+
+impl AstmStm {
+    /// An ASTM with `k` registers initialized to 0.
+    pub fn new(k: usize) -> Self {
+        AstmStm {
+            objs: (0..k)
+                .map(|_| AstmObj { inner: Mutex::new((0, 0)), owned: AtomicU64::new(0) })
+                .collect(),
+            recorder: Recorder::new(k),
+            nested: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Starts a transaction with the concrete handle, which additionally
+    /// exposes the closed-nesting scope API ([`AstmTx::begin_nested`]).
+    pub fn begin_astm(&self, _thread: usize) -> AstmTx<'_> {
+        let id = self.recorder.fresh_tx();
+        AstmTx {
+            stm: self,
+            id,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            scope: None,
+            meter: Meter::new(),
+            finished: false,
+        }
+    }
+
+    /// The nesting structure of the recorded history: pass it with
+    /// [`Stm::recorder`]'s history to [`tm_model::flatten`] before
+    /// checking opacity.
+    pub fn nesting_info(&self) -> NestingInfo {
+        let mut info = NestingInfo::new();
+        for &(child, parent) in self.nested.lock().iter() {
+            info = info.child(child, parent, NestingMode::Closed);
+        }
+        info
+    }
+
+    /// One metered load of the object's committed (value, modcount).
+    fn snapshot(&self, obj: usize, m: &mut Meter) -> (i64, u64) {
+        m.step();
+        *self.objs[obj].inner.lock()
+    }
+}
+
+/// A live closed-nested scope inside an [`AstmTx`] (one level, matching
+/// the Section 7 translation).
+#[derive(Debug)]
+struct NestedScope {
+    /// The child's model-level transaction id.
+    child: TxId,
+    /// Parent read-set length at scope entry (child reads come after).
+    reads_mark: usize,
+    /// Parent redo log at scope entry, restored on child abort.
+    writes_before: Vec<(usize, i64)>,
+}
+
+/// A live ASTM transaction.
+pub struct AstmTx<'a> {
+    stm: &'a AstmStm,
+    id: TxId,
+    /// Invisible read set: (object, modcount observed).
+    reads: Vec<(usize, u64)>,
+    /// Lazy redo log, sorted by object index for deadlock-free acquisition.
+    writes: Vec<(usize, i64)>,
+    /// The open closed-nested scope, if any.
+    scope: Option<NestedScope>,
+    meter: Meter,
+    finished: bool,
+}
+
+impl Stm for AstmStm {
+    fn name(&self) -> &'static str {
+        "astm"
+    }
+
+    fn k(&self) -> usize {
+        self.objs.len()
+    }
+
+    fn begin(&self, thread: usize) -> Box<dyn Tx + '_> {
+        Box::new(self.begin_astm(thread))
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn properties(&self) -> StmProperties {
+        StmProperties {
+            progressive: true,
+            single_version: true,
+            invisible_reads: true,
+            opaque_by_design: true,
+            serializable_by_design: true,
+        }
+    }
+}
+
+impl AstmTx<'_> {
+    /// The id operations are recorded under: the child's while a nested
+    /// scope is open, the transaction's own otherwise.
+    fn rec_id(&self) -> TxId {
+        self.scope.as_ref().map(|s| s.child).unwrap_or(self.id)
+    }
+
+    /// Opens a closed-nested transaction (Section 7; experiment E22).
+    ///
+    /// Until [`AstmTx::commit_nested`] or [`AstmTx::abort_nested`], reads
+    /// and writes execute in the child's name: the child sees the parent's
+    /// buffered writes (the paper: "a nested transaction should observe
+    /// the changes done by its parent") and aborting the child restores
+    /// the parent's redo log exactly — a partial abort the flat `Tx`
+    /// interface cannot express.
+    ///
+    /// One level deep, matching [`tm_model::flatten`]'s translation.
+    ///
+    /// # Panics
+    /// Panics if a nested scope is already open.
+    pub fn begin_nested(&mut self) {
+        assert!(self.scope.is_none(), "nesting is one level deep (flatten bottom-up)");
+        let child = self.stm.recorder.fresh_tx();
+        self.stm.nested.lock().push((child.0, self.id.0));
+        self.scope = Some(NestedScope {
+            child,
+            reads_mark: self.reads.len(),
+            writes_before: self.writes.clone(),
+        });
+    }
+
+    /// Commits the open nested scope into the parent (a closed commit is
+    /// internal: the child's reads and writes simply remain the parent's).
+    ///
+    /// # Panics
+    /// Panics if no nested scope is open.
+    pub fn commit_nested(&mut self) {
+        let scope = self.scope.take().expect("no nested scope open");
+        self.stm.recorder.try_commit(scope.child);
+        self.stm.recorder.commit(scope.child);
+    }
+
+    /// Aborts the open nested scope: the parent's redo log is restored to
+    /// its state at `begin_nested` and the child's reads stop constraining
+    /// the parent's validation.
+    ///
+    /// # Panics
+    /// Panics if no nested scope is open.
+    pub fn abort_nested(&mut self) {
+        let scope = self.scope.take().expect("no nested scope open");
+        self.writes = scope.writes_before;
+        self.reads.truncate(scope.reads_mark);
+        self.stm.recorder.try_abort(scope.child);
+        self.stm.recorder.abort(scope.child);
+    }
+
+    /// Incremental validation: every recorded modcount must be current and
+    /// no read object may be owned by a committing peer (without the
+    /// ownership check, two committers with disjoint write sets could both
+    /// validate before either publishes — the classic r-w cycle).
+    /// Θ(|read set|) — the Theorem 3 cost.
+    fn validate_read_set(&mut self) -> bool {
+        let stm = self.stm;
+        let me = self.id.0 as u64;
+        for i in 0..self.reads.len() {
+            let (obj, seen) = self.reads[i];
+            self.meter.step();
+            let owner = stm.objs[obj].owned.load(Ordering::Acquire);
+            if owner != 0 && owner != me {
+                return false;
+            }
+            if stm.snapshot(obj, &mut self.meter).1 != seen {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn abort_op(&mut self) -> Aborted {
+        self.meter.end_op();
+        self.finished = true;
+        if let Some(scope) = self.scope.take() {
+            // The forced abort answers the child's pending invocation; the
+            // parent then aborts voluntarily (its fate is sealed).
+            self.stm.recorder.abort(scope.child);
+            self.stm.recorder.try_abort(self.id);
+        }
+        self.stm.recorder.abort(self.id);
+        Aborted
+    }
+
+    /// Releases commit-time ownership of `held` objects.
+    fn release(&mut self, held: &[usize]) {
+        for &obj in held {
+            self.meter.step();
+            self.stm.objs[obj].owned.store(0, Ordering::Release);
+        }
+    }
+}
+
+impl Tx for AstmTx<'_> {
+    fn read(&mut self, obj: usize) -> TxResult<i64> {
+        let rid = self.rec_id();
+        self.stm.recorder.inv_read(rid, obj);
+        self.meter.begin_op(OpKind::Read);
+        // Lazy writes: read-own-write from the buffer, no base access.
+        // With a nested scope open this is also where the child observes
+        // the parent's buffered writes.
+        if let Some(&(_, v)) = self.writes.iter().find(|(o, _)| *o == obj) {
+            self.meter.end_op();
+            self.stm.recorder.ret_read(rid, obj, v);
+            return Ok(v);
+        }
+        let (v, modc) = self.stm.snapshot(obj, &mut self.meter);
+        self.reads.push((obj, modc));
+        // Opacity's price: re-validate the whole read set on every read.
+        if !self.validate_read_set() {
+            return Err(self.abort_op());
+        }
+        self.meter.end_op();
+        self.stm.recorder.ret_read(rid, obj, v);
+        Ok(v)
+    }
+
+    fn write(&mut self, obj: usize, v: i64) -> TxResult<()> {
+        let rid = self.rec_id();
+        self.stm.recorder.inv_write(rid, obj, v);
+        self.meter.begin_op(OpKind::Write);
+        // Purely local: lazy acquire defers all conflict work to commit.
+        match self.writes.iter_mut().find(|(o, _)| *o == obj) {
+            Some(slot) => slot.1 = v,
+            None => {
+                self.writes.push((obj, v));
+                self.writes.sort_unstable_by_key(|(o, _)| *o);
+            }
+        }
+        self.meter.end_op();
+        self.stm.recorder.ret_write(rid, obj);
+        Ok(())
+    }
+
+    fn commit(mut self: Box<Self>) -> TxResult<()> {
+        if self.scope.is_some() {
+            // A scope left open at top-level commit aborts the child (the
+            // conservative reading of an unterminated nested transaction).
+            self.abort_nested();
+        }
+        self.stm.recorder.try_commit(self.id);
+        self.meter.begin_op(OpKind::Commit);
+        if self.writes.is_empty() {
+            // Read-only: the per-read validation already guaranteed a
+            // consistent snapshot at the last read; one final validation
+            // pins it at commit time.
+            let ok = self.validate_read_set();
+            self.meter.end_op();
+            self.finished = true;
+            if ok {
+                self.stm.recorder.commit(self.id);
+                return Ok(());
+            }
+            self.stm.recorder.abort(self.id);
+            return Err(Aborted);
+        }
+        // Acquire the write set (index order). A held object means a live
+        // committing conflicting peer: abort self (obstruction-style; the
+        // peer is live and conflicting, so this is progressive).
+        let writes = std::mem::take(&mut self.writes);
+        let mut held: Vec<usize> = Vec::with_capacity(writes.len());
+        for &(obj, _) in &writes {
+            self.meter.step();
+            let claimed = self.stm.objs[obj]
+                .owned
+                .compare_exchange(0, self.id.0 as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok();
+            if !claimed {
+                self.release(&held);
+                self.meter.end_op();
+                self.finished = true;
+                self.stm.recorder.abort(self.id);
+                return Err(Aborted);
+            }
+            held.push(obj);
+        }
+        // Validate reads once more, then publish.
+        if !self.validate_read_set() {
+            self.release(&held);
+            self.meter.end_op();
+            self.finished = true;
+            self.stm.recorder.abort(self.id);
+            return Err(Aborted);
+        }
+        for &(obj, v) in &writes {
+            self.meter.step();
+            let mut g = self.stm.objs[obj].inner.lock();
+            *g = (v, g.1 + 1);
+        }
+        self.release(&held);
+        self.meter.end_op();
+        self.finished = true;
+        self.stm.recorder.commit(self.id);
+        Ok(())
+    }
+
+    fn abort(mut self: Box<Self>) {
+        if self.scope.is_some() {
+            self.abort_nested();
+        }
+        self.stm.recorder.try_abort(self.id);
+        self.finished = true;
+        self.stm.recorder.abort(self.id);
+    }
+
+    fn steps(&self) -> StepReport {
+        self.meter.report()
+    }
+
+    fn id(&self) -> u32 {
+        self.id.0
+    }
+}
+
+impl Drop for AstmTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            if self.scope.is_some() {
+                self.abort_nested();
+            }
+            self.stm.recorder.try_abort(self.id);
+            self.stm.recorder.abort(self.id);
+            self.finished = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::run_tx;
+
+    #[test]
+    fn roundtrip_and_lazy_buffering() {
+        let stm = AstmStm::new(2);
+        let mut tx = stm.begin(0);
+        tx.write(0, 7).unwrap();
+        assert_eq!(tx.read(0).unwrap(), 7); // buffered
+        tx.commit().unwrap();
+        let mut tx = stm.begin(0);
+        assert_eq!(tx.read(0).unwrap(), 7);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn writes_cost_zero_base_steps() {
+        // Lazy acquire: the write path never touches a base object.
+        let stm = AstmStm::new(8);
+        let mut tx = stm.begin(0);
+        for i in 0..8 {
+            tx.write(i, 1).unwrap();
+        }
+        assert_eq!(tx.steps().max_of(OpKind::Write), 0);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn per_read_cost_grows_like_dstm() {
+        let k = 64;
+        let stm = AstmStm::new(k);
+        let mut tx = stm.begin(0);
+        for i in 0..k {
+            tx.read(i).unwrap();
+        }
+        let reads: Vec<u64> = tx
+            .steps()
+            .per_op
+            .iter()
+            .filter(|(kind, _)| *kind == OpKind::Read)
+            .map(|(_, s)| *s)
+            .collect();
+        assert!(reads.windows(2).all(|w| w[0] < w[1]), "{reads:?}");
+        assert!(reads[k - 1] >= k as u64);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn stale_read_set_aborts_at_next_read() {
+        let stm = AstmStm::new(2);
+        let mut t1 = stm.begin(0);
+        assert_eq!(t1.read(0).unwrap(), 0);
+        run_tx(&stm, 1, |tx| tx.write(0, 5));
+        assert_eq!(t1.read(1), Err(Aborted));
+    }
+
+    #[test]
+    fn progressive_like_dstm() {
+        // Disjoint committed writer does not abort the reader.
+        let stm = AstmStm::new(2);
+        let mut t1 = stm.begin(0);
+        assert_eq!(t1.read(0).unwrap(), 0);
+        run_tx(&stm, 1, |tx| tx.write(1, 5));
+        assert_eq!(t1.read(1).unwrap(), 5);
+        t1.commit().unwrap();
+    }
+
+    #[test]
+    fn lazy_writers_conflict_only_at_commit() {
+        // Two writers of the same object proceed freely; the second
+        // committer loses on read-set/ownership grounds only if it read.
+        let stm = AstmStm::new(1);
+        let mut t1 = stm.begin(0);
+        let mut t2 = stm.begin(1);
+        t1.write(0, 1).unwrap();
+        t2.write(0, 2).unwrap(); // no conflict yet: lazy acquire
+        t1.commit().unwrap();
+        // Blind write: t2 can still commit (last-writer-wins is legal for
+        // blind writes — cf. the Section 3.6 example).
+        t2.commit().unwrap();
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn read_write_conflict_detected_at_commit() {
+        let stm = AstmStm::new(1);
+        let mut t1 = stm.begin(0);
+        let v = t1.read(0).unwrap();
+        t1.write(0, v + 1).unwrap();
+        run_tx(&stm, 1, |tx| {
+            let v = tx.read(0)?;
+            tx.write(0, v + 1)
+        });
+        assert_eq!(t1.commit(), Err(Aborted), "t1's read set is stale");
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn recorded_history_well_formed() {
+        let stm = AstmStm::new(2);
+        run_tx(&stm, 0, |tx| tx.write(0, 1));
+        run_tx(&stm, 1, |tx| {
+            let v = tx.read(0)?;
+            tx.write(1, v + 1)
+        });
+        let h = stm.recorder().history();
+        assert!(tm_model::is_well_formed(&h), "{h}");
+        assert_eq!(h.committed_txs().len(), 2);
+    }
+}

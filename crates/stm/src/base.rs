@@ -1,0 +1,259 @@
+//! Instrumented base shared objects and step metering.
+//!
+//! Theorem 3 counts *steps*: "in a single step, a process issues a single
+//! instruction on a single base shared object" (Section 6.1), and "it does
+//! not require information about more than a constant number of shared
+//! objects to be retrieved from a single base shared object". We honour both
+//! by making every base object a single word (an atomic integer or one
+//! mutex-protected record treated as one cell) and by counting every load,
+//! store, CAS, and lock acquisition as one step through a per-transaction
+//! [`Meter`].
+//!
+//! The meter belongs to the transaction (single-threaded), so counting is
+//! free of synchronization and deterministic — the numbers reported by the
+//! lower-bound experiment are exact step counts, not wall-clock noise.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+
+/// The kind of transactional operation being metered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A register read (the operation Theorem 3's bound is about).
+    Read,
+    /// A register write.
+    Write,
+    /// Commit processing (`tryC` → `C`/`A`).
+    Commit,
+}
+
+/// Per-operation step accounting for one transaction.
+#[derive(Debug, Default)]
+pub struct Meter {
+    current_op: u64,
+    per_op: Vec<(OpKind, u64)>,
+    in_op: bool,
+}
+
+/// A summary of the steps a transaction spent per operation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Steps of each completed operation, in program order, with kinds.
+    pub per_op: Vec<(OpKind, u64)>,
+}
+
+impl StepReport {
+    /// The maximum steps spent in any single operation of kind `kind`.
+    pub fn max_of(&self, kind: OpKind) -> u64 {
+        self.per_op
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The maximum steps spent in any single operation.
+    pub fn max_op(&self) -> u64 {
+        self.per_op.iter().map(|(_, s)| *s).max().unwrap_or(0)
+    }
+
+    /// Total steps across all operations.
+    pub fn total(&self) -> u64 {
+        self.per_op.iter().map(|(_, s)| *s).sum()
+    }
+
+    /// Total steps across operations of one kind.
+    pub fn total_of(&self, kind: OpKind) -> u64 {
+        self.per_op.iter().filter(|(k, _)| *k == kind).map(|(_, s)| *s).sum()
+    }
+
+    /// Number of operations metered.
+    pub fn ops(&self) -> usize {
+        self.per_op.len()
+    }
+}
+
+impl Meter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Marks the start of an operation (read/write/commit processing).
+    pub fn begin_op(&mut self, kind: OpKind) {
+        debug_assert!(!self.in_op, "nested operations are not allowed");
+        self.current_op = 0;
+        self.in_op = true;
+        self.per_op.push((kind, 0));
+    }
+
+    /// Marks the end of the current operation, recording its step count.
+    pub fn end_op(&mut self) {
+        debug_assert!(self.in_op);
+        if let Some(last) = self.per_op.last_mut() {
+            last.1 = self.current_op;
+        }
+        self.in_op = false;
+    }
+
+    /// Counts one step (use for lock acquisitions and other single-cell
+    /// accesses not covered by the typed helpers).
+    #[inline]
+    pub fn step(&mut self) {
+        self.current_op += 1;
+    }
+
+    /// Steps spent in the operation currently being metered.
+    pub fn current(&self) -> u64 {
+        self.current_op
+    }
+
+    /// The report of all completed operations.
+    pub fn report(&self) -> StepReport {
+        StepReport { per_op: self.per_op.clone() }
+    }
+
+    // ---- typed base-object accessors --------------------------------------
+
+    /// Metered `AtomicU64::load`.
+    #[inline]
+    pub fn load_u64(&mut self, cell: &AtomicU64) -> u64 {
+        self.step();
+        cell.load(Ordering::Acquire)
+    }
+
+    /// Metered `AtomicU64::store`.
+    #[inline]
+    pub fn store_u64(&mut self, cell: &AtomicU64, v: u64) {
+        self.step();
+        cell.store(v, Ordering::Release);
+    }
+
+    /// Metered `AtomicU64::compare_exchange`.
+    #[inline]
+    pub fn cas_u64(&mut self, cell: &AtomicU64, old: u64, new: u64) -> bool {
+        self.step();
+        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
+    /// Metered `AtomicU64::fetch_add`; returns the *new* value.
+    #[inline]
+    pub fn fetch_add_u64(&mut self, cell: &AtomicU64, delta: u64) -> u64 {
+        self.step();
+        cell.fetch_add(delta, Ordering::AcqRel) + delta
+    }
+
+    /// Metered `AtomicI64::load`.
+    #[inline]
+    pub fn load_i64(&mut self, cell: &AtomicI64) -> i64 {
+        self.step();
+        cell.load(Ordering::Acquire)
+    }
+
+    /// Metered `AtomicI64::store`.
+    #[inline]
+    pub fn store_i64(&mut self, cell: &AtomicI64, v: i64) {
+        self.step();
+        cell.store(v, Ordering::Release);
+    }
+
+    /// Metered `AtomicU8::load` (transaction status words).
+    #[inline]
+    pub fn load_u8(&mut self, cell: &AtomicU8) -> u8 {
+        self.step();
+        cell.load(Ordering::Acquire)
+    }
+
+    /// Metered `AtomicU8::compare_exchange` (status transitions).
+    #[inline]
+    pub fn cas_u8(&mut self, cell: &AtomicU8, old: u8, new: u8) -> bool {
+        self.step();
+        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+}
+
+/// The lifecycle status word of a transaction descriptor (DSTM/visible-read
+/// style TMs): other processes may CAS a transaction from `ACTIVE` to
+/// `ABORTED` to resolve conflicts.
+pub mod status {
+    /// The transaction is live.
+    pub const ACTIVE: u8 = 0;
+    /// The transaction committed; its pending writes are the current values.
+    pub const COMMITTED: u8 = 1;
+    /// The transaction aborted; its pending writes are discarded.
+    pub const ABORTED: u8 = 2;
+}
+
+/// A shared transaction descriptor for TMs whose conflict resolution flips
+/// remote transactions' statuses.
+#[derive(Debug)]
+pub struct TxDesc {
+    /// Model-level transaction id.
+    pub id: u32,
+    /// One of [`status`]'s constants.
+    pub status: AtomicU8,
+}
+
+impl TxDesc {
+    /// A fresh active descriptor.
+    pub fn new(id: u32) -> Self {
+        TxDesc { id, status: AtomicU8::new(status::ACTIVE) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_per_op() {
+        let mut m = Meter::new();
+        let a = AtomicU64::new(7);
+        let b = AtomicI64::new(-3);
+        m.begin_op(OpKind::Read);
+        assert_eq!(m.load_u64(&a), 7);
+        assert_eq!(m.load_i64(&b), -3);
+        m.store_i64(&b, 5);
+        m.end_op();
+        m.begin_op(OpKind::Commit);
+        assert!(m.cas_u64(&a, 7, 9));
+        assert!(!m.cas_u64(&a, 7, 10));
+        m.end_op();
+        let r = m.report();
+        assert_eq!(r.per_op, vec![(OpKind::Read, 3), (OpKind::Commit, 2)]);
+        assert_eq!(r.max_op(), 3);
+        assert_eq!(r.max_of(OpKind::Commit), 2);
+        assert_eq!(r.total(), 5);
+        assert_eq!(r.total_of(OpKind::Read), 3);
+        assert_eq!(r.ops(), 2);
+    }
+
+    #[test]
+    fn fetch_add_returns_new_value() {
+        let mut m = Meter::new();
+        let clock = AtomicU64::new(10);
+        m.begin_op(OpKind::Commit);
+        assert_eq!(m.fetch_add_u64(&clock, 1), 11);
+        m.end_op();
+        assert_eq!(clock.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut m = Meter::new();
+        let d = TxDesc::new(4);
+        m.begin_op(OpKind::Commit);
+        assert_eq!(m.load_u8(&d.status), status::ACTIVE);
+        assert!(m.cas_u8(&d.status, status::ACTIVE, status::COMMITTED));
+        assert!(!m.cas_u8(&d.status, status::ACTIVE, status::ABORTED));
+        m.end_op();
+        assert_eq!(d.status.load(Ordering::SeqCst), status::COMMITTED);
+    }
+
+    #[test]
+    fn empty_report() {
+        let m = Meter::new();
+        assert_eq!(m.report().max_op(), 0);
+        assert_eq!(m.report().total(), 0);
+    }
+}

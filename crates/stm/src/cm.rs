@@ -1,0 +1,218 @@
+//! Contention managers.
+//!
+//! DSTM introduced the contention manager as the modular policy deciding,
+//! upon a conflict between a transaction and the current owner of an object,
+//! whether to abort the owner or the attacker. The paper notes (Section 6.2)
+//! that DSTM/ASTM meet the Θ(k) bound "with most contention managers" —
+//! the policy affects progress and throughput, not the validation cost, which
+//! the throughput benchmark's CM ablation demonstrates.
+
+use crate::base::{status, Meter, TxDesc};
+
+/// The decision upon a conflict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Abort the current owner (the "enemy") and proceed.
+    AbortOther,
+    /// Abort the attacking transaction itself.
+    AbortSelf,
+}
+
+/// A contention-management policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContentionManager {
+    /// Always aborts the owner. Guarantees obstruction-freedom-style
+    /// progress for the attacker; can livelock under symmetric contention
+    /// (mitigated by the retry loop's freshness).
+    Aggressive,
+    /// Always aborts itself ("polite"/"timid"). Never disturbs others.
+    Timid,
+    /// Aborts whichever transaction has performed fewer operations (a
+    /// work-based Karma-like policy); ties favour the attacker.
+    Karma,
+    /// Greedy (Guerraoui, Herlihy & Pochon, PODC'05 — the paper's
+    /// reference \[9\]): the transaction that *started earlier* wins every
+    /// conflict. Because transaction identifiers are allocated at begin
+    /// and never reused, "earlier" is decidable from the ids alone; the
+    /// oldest live transaction is never aborted, which bounds every
+    /// transaction's abort count by the number of older concurrent peers
+    /// (no livelock). The same seniority rule powers the 2PL TM's
+    /// wound-or-die resolution.
+    Greedy,
+}
+
+/// Everything a policy may consult when resolving a conflict.
+#[derive(Clone, Copy, Debug)]
+pub struct ConflictCtx {
+    /// Operations completed by the attacking transaction.
+    pub my_work: usize,
+    /// Operations completed by the owner, when known (visible-read TMs
+    /// generally do not track foreign work; callers pass a floor of 1).
+    pub other_work: usize,
+    /// The attacker's transaction id (begin-order timestamp).
+    pub my_birth: u32,
+    /// The owner's transaction id.
+    pub other_birth: u32,
+}
+
+impl ContentionManager {
+    /// Decides a conflict between `me` (attacker, having completed
+    /// `my_work` operations) and the owner (having completed `other_work`).
+    ///
+    /// Timestamp-free entry point kept for policies that don't need
+    /// births; [`ContentionManager::Greedy`] resolves ties (equal or
+    /// unknown births) in the attacker's favour here — prefer
+    /// [`ContentionManager::resolve`] when ids are available.
+    pub fn decide(self, my_work: usize, other_work: usize) -> Resolution {
+        self.resolve(ConflictCtx {
+            my_work,
+            other_work,
+            my_birth: 0,
+            other_birth: 0,
+        })
+    }
+
+    /// Decides a conflict with full context.
+    pub fn resolve(self, ctx: ConflictCtx) -> Resolution {
+        match self {
+            ContentionManager::Aggressive => Resolution::AbortOther,
+            ContentionManager::Timid => Resolution::AbortSelf,
+            ContentionManager::Karma => {
+                if ctx.my_work >= ctx.other_work {
+                    Resolution::AbortOther
+                } else {
+                    Resolution::AbortSelf
+                }
+            }
+            ContentionManager::Greedy => {
+                if ctx.my_birth <= ctx.other_birth {
+                    Resolution::AbortOther
+                } else {
+                    Resolution::AbortSelf
+                }
+            }
+        }
+    }
+}
+
+/// Attempts to abort `victim` by CAS'ing its status from `ACTIVE` to
+/// `ABORTED` (one step). Returns the victim's final status.
+pub fn try_abort_tx(victim: &TxDesc, m: &mut Meter) -> u8 {
+    if m.cas_u8(&victim.status, status::ACTIVE, status::ABORTED) {
+        status::ABORTED
+    } else {
+        // Lost the race: the victim committed or was already aborted.
+        m.load_u8(&victim.status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::OpKind;
+
+    #[test]
+    fn policies() {
+        assert_eq!(ContentionManager::Aggressive.decide(0, 100), Resolution::AbortOther);
+        assert_eq!(ContentionManager::Timid.decide(100, 0), Resolution::AbortSelf);
+        assert_eq!(ContentionManager::Karma.decide(5, 3), Resolution::AbortOther);
+        assert_eq!(ContentionManager::Karma.decide(3, 5), Resolution::AbortSelf);
+        assert_eq!(ContentionManager::Karma.decide(4, 4), Resolution::AbortOther);
+    }
+
+    #[test]
+    fn greedy_seniority() {
+        let ctx = |me: u32, other: u32| ConflictCtx {
+            my_work: 0,
+            other_work: 100, // work is irrelevant to Greedy
+            my_birth: me,
+            other_birth: other,
+        };
+        assert_eq!(ContentionManager::Greedy.resolve(ctx(3, 7)), Resolution::AbortOther);
+        assert_eq!(ContentionManager::Greedy.resolve(ctx(7, 3)), Resolution::AbortSelf);
+        // Ties (including the id-free decide() path) favour the attacker.
+        assert_eq!(ContentionManager::Greedy.decide(0, 0), Resolution::AbortOther);
+    }
+
+    #[test]
+    fn abort_only_succeeds_on_active() {
+        let mut m = Meter::new();
+        m.begin_op(OpKind::Commit);
+        let v = TxDesc::new(1);
+        assert_eq!(try_abort_tx(&v, &mut m), status::ABORTED);
+        let c = TxDesc::new(2);
+        c.status.store(status::COMMITTED, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(try_abort_tx(&c, &mut m), status::COMMITTED);
+        m.end_op();
+    }
+}
+
+#[cfg(test)]
+mod greedy_integration {
+    use super::*;
+    use crate::api::{run_tx, Aborted, Stm, Tx as _};
+    use crate::dstm::DstmStm;
+    use crate::visible::VisibleStm;
+
+    #[test]
+    fn greedy_dstm_oldest_writer_wins_symmetric_conflict() {
+        let stm = DstmStm::with_cm(1, ContentionManager::Greedy);
+        let mut old = stm.begin(0);
+        let mut young = stm.begin(1);
+        old.write(0, 1).unwrap(); // old acquires r0
+        // Young attacks the owner: Greedy says the younger attacker
+        // aborts itself.
+        assert_eq!(young.write(0, 2), Err(Aborted));
+        old.commit().unwrap();
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn greedy_dstm_older_attacker_wounds_younger_owner() {
+        let stm = DstmStm::with_cm(1, ContentionManager::Greedy);
+        let mut old = stm.begin(0);
+        let mut young = stm.begin(1);
+        young.write(0, 2).unwrap(); // young acquires r0 first
+        old.write(0, 1).unwrap(); // seniority: old wounds young, proceeds
+        assert_eq!(young.commit(), Err(Aborted));
+        old.commit().unwrap();
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn greedy_visible_reader_vs_writer_by_seniority() {
+        let stm = VisibleStm::with_cm(1, ContentionManager::Greedy);
+        let mut old = stm.begin(0);
+        let mut young = stm.begin(1);
+        assert_eq!(old.read(0).unwrap(), 0); // old registers as reader
+        // Young writer must displace the visible reader — but the reader
+        // is older, so the young writer dies instead.
+        assert_eq!(young.write(0, 9), Err(Aborted));
+        old.commit().unwrap();
+    }
+
+    #[test]
+    fn greedy_workloads_conserve_invariants() {
+        // Threaded sanity: seniority-based resolution completes the
+        // counter workload without losing updates or livelocking.
+        let stm = DstmStm::with_cm(1, ContentionManager::Greedy);
+        stm.recorder().set_enabled(false);
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let stm = &stm;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        run_tx(stm, t, |tx| {
+                            let v = tx.read(0)?;
+                            tx.write(0, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 150);
+    }
+}

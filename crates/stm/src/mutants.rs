@@ -1,0 +1,412 @@
+//! Deliberately broken TM protocols — mutation testing with the opacity
+//! checker as the oracle.
+//!
+//! The paper's core motivation is that "without such formalization, it is
+//! impossible to check the correctness of these implementations". This
+//! module closes the loop experimentally: it plants realistic protocol bugs
+//! (each one a mutation a TM implementor could plausibly ship) into a
+//! TL2-style protocol, and the test-suite demonstrates that the
+//! Definition-1 checker over recorded histories *finds every one of them* —
+//! while the faithful baseline stays clean. During development of this
+//! repository the same harness caught two unplanned bugs (see DESIGN.md);
+//! the mutants make that capability a reproducible experiment.
+//!
+//! | mutation | the bug | violated contract | oracle that catches it |
+//! |----------|---------|-------------------|------------------------|
+//! | [`Mutation::None`] | — | — | none (baseline stays green) |
+//! | [`Mutation::SkipReadValidation`] | reads skip the version/lock check | live transactions observe inconsistent states (the §2 hazard) | `is_opaque` = false |
+//! | [`Mutation::SkipCommitValidation`] | commit publishes without revalidating versions | lost updates / write cycles commit | `is_serializable` = false |
+//!
+//! `SkipReadValidation` keeps committed transactions serializable (commit
+//! validation is intact) — precisely the gap between serializability and
+//! opacity, detectable *only* by an opacity checker. `SkipCommitValidation`
+//! is coarser and already breaks the database-classical criterion.
+
+use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
+use crate::base::{Meter, OpKind, StepReport};
+use crate::clock::VersionClock;
+use crate::recorder::Recorder;
+use std::sync::atomic::{AtomicI64, AtomicU64};
+use tm_model::TxId;
+
+/// The protocol bug planted into [`MutantStm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Faithful TL2-style protocol (the sanity baseline).
+    None,
+    /// Reads return the current value without the version/lock check:
+    /// live transactions can observe inconsistent snapshots. Commit
+    /// validation still rejects them, so committed transactions stay
+    /// serializable — the history is broken in exactly the way only
+    /// opacity detects.
+    SkipReadValidation,
+    /// Commit acquires its write locks but publishes without any version
+    /// validation (neither the write-set version check nor read-set
+    /// revalidation): concurrent read-modify-writes lose updates, which is
+    /// visible already to the serializability checker (and to semantic
+    /// invariants under real threads).
+    SkipCommitValidation,
+}
+
+impl Mutation {
+    /// All mutations, for sweeping tests.
+    pub fn all() -> [Mutation; 3] {
+        [Mutation::None, Mutation::SkipReadValidation, Mutation::SkipCommitValidation]
+    }
+
+    /// A short name for tables ("mutant-none", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "mutant-none",
+            Mutation::SkipReadValidation => "mutant-skip-read-validation",
+            Mutation::SkipCommitValidation => "mutant-skip-commit-validation",
+        }
+    }
+}
+
+#[inline]
+fn version_of(word: u64) -> u64 {
+    word >> 1
+}
+
+#[inline]
+fn is_locked(word: u64) -> bool {
+    word & 1 == 1
+}
+
+#[inline]
+fn locked(word: u64) -> u64 {
+    word | 1
+}
+
+#[inline]
+fn unlocked_at(version: u64) -> u64 {
+    version << 1
+}
+
+#[derive(Debug)]
+struct MutObj {
+    /// `version << 1 | locked`.
+    lock: AtomicU64,
+    value: AtomicI64,
+}
+
+/// A TL2-style TM with a planted [`Mutation`].
+#[derive(Debug)]
+pub struct MutantStm {
+    objs: Vec<MutObj>,
+    clock: VersionClock,
+    recorder: Recorder,
+    mutation: Mutation,
+}
+
+impl MutantStm {
+    /// A mutant TM over `k` registers with the given planted bug.
+    pub fn new(k: usize, mutation: Mutation) -> Self {
+        MutantStm {
+            objs: (0..k)
+                .map(|_| MutObj { lock: AtomicU64::new(0), value: AtomicI64::new(0) })
+                .collect(),
+            clock: VersionClock::new(),
+            recorder: Recorder::new(k),
+            mutation,
+        }
+    }
+
+    /// The planted mutation.
+    pub fn mutation(&self) -> Mutation {
+        self.mutation
+    }
+}
+
+/// A live transaction of the mutant TM.
+pub struct MutantTx<'a> {
+    stm: &'a MutantStm,
+    id: TxId,
+    rv: u64,
+    reads: Vec<usize>,
+    writes: Vec<(usize, i64)>,
+    meter: Meter,
+    finished: bool,
+}
+
+impl Stm for MutantStm {
+    fn name(&self) -> &'static str {
+        self.mutation.name()
+    }
+
+    fn k(&self) -> usize {
+        self.objs.len()
+    }
+
+    fn begin(&self, _thread: usize) -> Box<dyn Tx + '_> {
+        let id = self.recorder.fresh_tx();
+        let rv = self.clock.peek();
+        Box::new(MutantTx {
+            stm: self,
+            id,
+            rv,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            meter: Meter::new(),
+            finished: false,
+        })
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn properties(&self) -> StmProperties {
+        StmProperties {
+            progressive: false,
+            single_version: true,
+            invisible_reads: true,
+            opaque_by_design: self.mutation == Mutation::None,
+            serializable_by_design: self.mutation != Mutation::SkipCommitValidation,
+        }
+    }
+}
+
+impl MutantTx<'_> {
+    fn write_slot(&mut self, obj: usize) -> Option<&mut (usize, i64)> {
+        self.writes.iter_mut().find(|(o, _)| *o == obj)
+    }
+
+    fn abort_op(&mut self) -> Aborted {
+        self.meter.end_op();
+        self.finished = true;
+        self.stm.recorder.abort(self.id);
+        Aborted
+    }
+
+    fn release_locks(&mut self, held: &[(usize, u64)]) {
+        for &(obj, old_word) in held {
+            self.meter.store_u64(&self.stm.objs[obj].lock, old_word);
+        }
+    }
+}
+
+impl Tx for MutantTx<'_> {
+    fn read(&mut self, obj: usize) -> TxResult<i64> {
+        self.stm.recorder.inv_read(self.id, obj);
+        self.meter.begin_op(OpKind::Read);
+        if let Some(&mut (_, v)) = self.write_slot(obj) {
+            self.meter.end_op();
+            self.stm.recorder.ret_read(self.id, obj, v);
+            return Ok(v);
+        }
+        let o = &self.stm.objs[obj];
+        let pre = self.meter.load_u64(&o.lock);
+        let v = self.meter.load_i64(&o.value);
+        let post = self.meter.load_u64(&o.lock);
+        // THE MUTATION POINT: a faithful protocol validates every read.
+        if self.stm.mutation != Mutation::SkipReadValidation
+            && (pre != post || is_locked(pre) || version_of(pre) > self.rv)
+        {
+            return Err(self.abort_op());
+        }
+        self.reads.push(obj);
+        self.meter.end_op();
+        self.stm.recorder.ret_read(self.id, obj, v);
+        Ok(v)
+    }
+
+    fn write(&mut self, obj: usize, v: i64) -> TxResult<()> {
+        self.stm.recorder.inv_write(self.id, obj, v);
+        self.meter.begin_op(OpKind::Write);
+        match self.write_slot(obj) {
+            Some(slot) => slot.1 = v,
+            None => {
+                self.writes.push((obj, v));
+                self.writes.sort_unstable_by_key(|(o, _)| *o);
+            }
+        }
+        self.meter.end_op();
+        self.stm.recorder.ret_write(self.id, obj);
+        Ok(())
+    }
+
+    fn commit(mut self: Box<Self>) -> TxResult<()> {
+        self.stm.recorder.try_commit(self.id);
+        self.meter.begin_op(OpKind::Commit);
+        let validate = self.stm.mutation != Mutation::SkipCommitValidation;
+        if self.writes.is_empty() {
+            // Read-only path. Under SkipReadValidation the reads were never
+            // checked, so the (intact) commit validation must run here —
+            // that is what keeps this mutant's *committed* transactions
+            // serializable while its live reads are broken.
+            if self.stm.mutation == Mutation::SkipReadValidation {
+                for &obj in &self.reads {
+                    let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                    if is_locked(word) || version_of(word) > self.rv {
+                        self.meter.end_op();
+                        self.finished = true;
+                        self.stm.recorder.abort(self.id);
+                        return Err(Aborted);
+                    }
+                }
+            }
+            self.meter.end_op();
+            self.finished = true;
+            self.stm.recorder.commit(self.id);
+            return Ok(());
+        }
+        // Phase 1: lock the write set (locks are kept even in the mutant —
+        // publication stays atomic; only *validation* is mutated away).
+        let mut held: Vec<(usize, u64)> = Vec::with_capacity(self.writes.len());
+        let writes = std::mem::take(&mut self.writes);
+        for &(obj, _) in &writes {
+            let o = &self.stm.objs[obj];
+            let word = self.meter.load_u64(&o.lock);
+            let stale = validate && version_of(word) > self.rv;
+            if is_locked(word) || stale || !self.meter.cas_u64(&o.lock, word, locked(word)) {
+                self.release_locks(&held);
+                self.meter.end_op();
+                self.finished = true;
+                self.stm.recorder.abort(self.id);
+                return Err(Aborted);
+            }
+            held.push((obj, word));
+        }
+        let wv = self.stm.clock.tick(&mut self.meter);
+        // Phase 3: read-set validation (THE MUTATION POINT for
+        // SkipCommitValidation).
+        if validate {
+            for &obj in &self.reads {
+                if held.iter().any(|&(held_obj, _)| held_obj == obj) {
+                    continue;
+                }
+                let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                if is_locked(word) || version_of(word) > self.rv {
+                    self.release_locks(&held);
+                    self.meter.end_op();
+                    self.finished = true;
+                    self.stm.recorder.abort(self.id);
+                    return Err(Aborted);
+                }
+            }
+        }
+        for &(obj, v) in &writes {
+            let o = &self.stm.objs[obj];
+            self.meter.store_i64(&o.value, v);
+            self.meter.store_u64(&o.lock, unlocked_at(wv));
+        }
+        self.meter.end_op();
+        self.finished = true;
+        self.stm.recorder.commit(self.id);
+        Ok(())
+    }
+
+    fn abort(mut self: Box<Self>) {
+        self.stm.recorder.try_abort(self.id);
+        self.finished = true;
+        self.stm.recorder.abort(self.id);
+    }
+
+    fn steps(&self) -> StepReport {
+        self.meter.report()
+    }
+
+    fn id(&self) -> u32 {
+        self.id.0
+    }
+}
+
+impl Drop for MutantTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.stm.recorder.try_abort(self.id);
+            self.stm.recorder.abort(self.id);
+            self.finished = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::run_tx;
+
+    #[test]
+    fn baseline_mutant_behaves_like_tl2() {
+        let stm = MutantStm::new(2, Mutation::None);
+        run_tx(&stm, 0, |tx| {
+            tx.write(0, 1)?;
+            tx.write(1, 2)
+        });
+        let ((a, b), _) = run_tx(&stm, 0, |tx| Ok((tx.read(0)?, tx.read(1)?)));
+        assert_eq!((a, b), (1, 2));
+        assert!(stm.properties().opaque_by_design);
+    }
+
+    #[test]
+    fn skip_read_validation_returns_inconsistent_snapshot() {
+        let stm = MutantStm::new(2, Mutation::SkipReadValidation);
+        run_tx(&stm, 0, |tx| {
+            tx.write(0, 1)?;
+            tx.write(1, 1)
+        });
+        let mut t1 = stm.begin(0);
+        assert_eq!(t1.read(0).unwrap(), 1);
+        run_tx(&stm, 1, |tx| {
+            tx.write(0, 2)?;
+            tx.write(1, 2)
+        });
+        // A faithful TL2 aborts here; the mutant serves the fracture.
+        assert_eq!(t1.read(1).unwrap(), 2, "the mutant must expose the fracture");
+        // Commit validation is intact: the poisoned transaction cannot
+        // commit (committed transactions stay serializable).
+        assert_eq!(t1.commit(), Err(Aborted));
+    }
+
+    #[test]
+    fn skip_commit_validation_loses_updates_deterministically() {
+        let stm = MutantStm::new(1, Mutation::SkipCommitValidation);
+        let mut t1 = stm.begin(0);
+        let v1 = t1.read(0).unwrap();
+        let mut t2 = stm.begin(1);
+        let v2 = t2.read(0).unwrap();
+        t1.write(0, v1 + 1).unwrap();
+        t2.write(0, v2 + 1).unwrap();
+        t1.commit().unwrap();
+        t2.commit().unwrap(); // a faithful protocol aborts this one
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 1, "one increment must be lost — that is the bug");
+    }
+
+    #[test]
+    fn faithful_baseline_refuses_the_lost_update() {
+        let stm = MutantStm::new(1, Mutation::None);
+        let mut t1 = stm.begin(0);
+        let v1 = t1.read(0).unwrap();
+        let mut t2 = stm.begin(1);
+        let v2 = t2.read(0).unwrap();
+        t1.write(0, v1 + 1).unwrap();
+        t2.write(0, v2 + 1).unwrap();
+        t1.commit().unwrap();
+        assert_eq!(t2.commit(), Err(Aborted));
+    }
+
+    #[test]
+    fn mutation_names_are_distinct() {
+        let names: Vec<&str> = Mutation::all().iter().map(|m| m.name()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn recorded_histories_stay_well_formed_for_every_mutant() {
+        for m in Mutation::all() {
+            let stm = MutantStm::new(2, m);
+            run_tx(&stm, 0, |tx| tx.write(0, 1));
+            let mut t = stm.begin(0);
+            let _ = t.read(0);
+            t.abort();
+            let h = stm.recorder().history();
+            assert!(tm_model::is_well_formed(&h), "{}: {h}", m.name());
+        }
+    }
+}

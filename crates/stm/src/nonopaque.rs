@@ -1,0 +1,334 @@
+//! The commit-time-validation TM: **deliberately not opaque**.
+//!
+//! This is the Section 6 counterexample made concrete: an algorithm that is
+//! progressive, single-version, and invisible-read — the exact hypotheses of
+//! Theorem 3 — yet achieves O(1) steps per operation, which is possible
+//! only because it guarantees merely *global atomicity (strict
+//! serializability) with ACA-style recoverability* instead of opacity:
+//!
+//! * a read returns the object's latest committed value with no
+//!   cross-object validation whatsoever, so a live transaction can observe
+//!   an inconsistent (mixed-snapshot) state;
+//! * commit locks the write set, validates the read set *once*, and
+//!   publishes — committed transactions are perfectly serializable.
+//!
+//! The recorded histories of this TM are what the `tm-opacity` checker is
+//! for: under the right interleaving they satisfy every Section 3 criterion
+//! and still fail Definition 1 (experiments E11/E12, the inconsistent-view
+//! example of Section 2).
+
+use std::sync::atomic::{AtomicI64, AtomicU64};
+
+use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
+use crate::base::{Meter, OpKind, StepReport};
+use crate::recorder::Recorder;
+use tm_model::TxId;
+
+#[derive(Debug)]
+struct NoObj {
+    /// `version << 1 | locked`.
+    lock: AtomicU64,
+    value: AtomicI64,
+}
+
+/// The commit-time-validation (non-opaque) TM over `k` registers.
+#[derive(Debug)]
+pub struct NonOpaqueStm {
+    objs: Vec<NoObj>,
+    recorder: Recorder,
+}
+
+impl NonOpaqueStm {
+    /// A non-opaque TM with `k` registers initialized to 0.
+    pub fn new(k: usize) -> Self {
+        NonOpaqueStm {
+            objs: (0..k)
+                .map(|_| NoObj { lock: AtomicU64::new(0), value: AtomicI64::new(0) })
+                .collect(),
+            recorder: Recorder::new(k),
+        }
+    }
+}
+
+/// A live non-opaque transaction.
+pub struct NonOpaqueTx<'a> {
+    stm: &'a NonOpaqueStm,
+    id: TxId,
+    /// Read set: (object, version observed) — used only at commit.
+    reads: Vec<(usize, u64)>,
+    /// Redo log, kept sorted by object for deadlock-free commit locking.
+    writes: Vec<(usize, i64)>,
+    meter: Meter,
+    finished: bool,
+}
+
+impl Stm for NonOpaqueStm {
+    fn name(&self) -> &'static str {
+        "nonopaque"
+    }
+
+    fn k(&self) -> usize {
+        self.objs.len()
+    }
+
+    fn begin(&self, _thread: usize) -> Box<dyn Tx + '_> {
+        let id = self.recorder.fresh_tx();
+        Box::new(NonOpaqueTx {
+            stm: self,
+            id,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            meter: Meter::new(),
+            finished: false,
+        })
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn properties(&self) -> StmProperties {
+        StmProperties {
+            progressive: true,
+            single_version: true,
+            invisible_reads: true,
+            opaque_by_design: false,
+            serializable_by_design: true,
+        }
+    }
+}
+
+impl NonOpaqueTx<'_> {
+    fn abort_op(&mut self) -> Aborted {
+        self.meter.end_op();
+        self.finished = true;
+        self.stm.recorder.abort(self.id);
+        Aborted
+    }
+
+    fn release_locks(&mut self, held: &[(usize, u64)]) {
+        for &(obj, old_word) in held {
+            self.meter.store_u64(&self.stm.objs[obj].lock, old_word);
+        }
+    }
+}
+
+impl Tx for NonOpaqueTx<'_> {
+    fn read(&mut self, obj: usize) -> TxResult<i64> {
+        self.stm.recorder.inv_read(self.id, obj);
+        self.meter.begin_op(OpKind::Read);
+        if let Some(&(_, v)) = self.writes.iter().find(|(o, _)| *o == obj) {
+            self.meter.end_op();
+            self.stm.recorder.ret_read(self.id, obj, v);
+            return Ok(v);
+        }
+        let o = &self.stm.objs[obj];
+        // Per-object atomic snapshot (no cross-object validation!).
+        let pre = self.meter.load_u64(&o.lock);
+        let v = self.meter.load_i64(&o.value);
+        let post = self.meter.load_u64(&o.lock);
+        if pre != post || pre & 1 == 1 {
+            // The object is mid-commit by a live conflicting writer: abort
+            // (still progressive — the writer is live and conflicting).
+            return Err(self.abort_op());
+        }
+        self.reads.push((obj, pre >> 1));
+        self.meter.end_op();
+        self.stm.recorder.ret_read(self.id, obj, v);
+        Ok(v)
+    }
+
+    fn write(&mut self, obj: usize, v: i64) -> TxResult<()> {
+        self.stm.recorder.inv_write(self.id, obj, v);
+        self.meter.begin_op(OpKind::Write);
+        match self.writes.iter_mut().find(|(o, _)| *o == obj) {
+            Some(slot) => slot.1 = v,
+            None => {
+                self.writes.push((obj, v));
+                self.writes.sort_unstable_by_key(|(o, _)| *o);
+            }
+        }
+        self.meter.end_op();
+        self.stm.recorder.ret_write(self.id, obj);
+        Ok(())
+    }
+
+    fn commit(mut self: Box<Self>) -> TxResult<()> {
+        self.stm.recorder.try_commit(self.id);
+        self.meter.begin_op(OpKind::Commit);
+        // Lock write set (index order), validate reads once, publish.
+        let writes = std::mem::take(&mut self.writes);
+        let mut held: Vec<(usize, u64)> = Vec::with_capacity(writes.len());
+        for &(obj, _) in &writes {
+            let o = &self.stm.objs[obj];
+            let word = self.meter.load_u64(&o.lock);
+            if word & 1 == 1 || !self.meter.cas_u64(&o.lock, word, word | 1) {
+                self.release_locks(&held);
+                self.meter.end_op();
+                self.finished = true;
+                self.stm.recorder.abort(self.id);
+                return Err(Aborted);
+            }
+            held.push((obj, word));
+        }
+        let reads = std::mem::take(&mut self.reads);
+        for &(obj, seen_ver) in &reads {
+            // For objects we hold, validate against the pre-lock word (the
+            // lock phase itself checks nothing — unlike TL2's rv check).
+            let current_ver = match held.iter().find(|&&(o, _)| o == obj) {
+                Some(&(_, old_word)) => old_word >> 1,
+                None => {
+                    let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                    if word & 1 == 1 {
+                        self.release_locks(&held);
+                        self.meter.end_op();
+                        self.finished = true;
+                        self.stm.recorder.abort(self.id);
+                        return Err(Aborted);
+                    }
+                    word >> 1
+                }
+            };
+            if current_ver != seen_ver {
+                self.release_locks(&held);
+                self.meter.end_op();
+                self.finished = true;
+                self.stm.recorder.abort(self.id);
+                return Err(Aborted);
+            }
+        }
+        for &(obj, v) in &writes {
+            let o = &self.stm.objs[obj];
+            let (_, old_word) = held.iter().find(|&&(ho, _)| ho == obj).copied().unwrap();
+            self.meter.store_i64(&o.value, v);
+            // Publish: bump the version, clear the lock bit.
+            self.meter.store_u64(&o.lock, ((old_word >> 1) + 1) << 1);
+        }
+        self.meter.end_op();
+        self.finished = true;
+        self.stm.recorder.commit(self.id);
+        Ok(())
+    }
+
+    fn abort(mut self: Box<Self>) {
+        self.stm.recorder.try_abort(self.id);
+        self.finished = true;
+        self.stm.recorder.abort(self.id);
+    }
+
+    fn steps(&self) -> StepReport {
+        self.meter.report()
+    }
+
+    fn id(&self) -> u32 {
+        self.id.0
+    }
+}
+
+impl Drop for NonOpaqueTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.stm.recorder.try_abort(self.id);
+            self.stm.recorder.abort(self.id);
+            self.finished = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::run_tx;
+
+    #[test]
+    fn roundtrip() {
+        let stm = NonOpaqueStm::new(2);
+        run_tx(&stm, 0, |tx| tx.write(0, 5));
+        let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn live_tx_observes_inconsistent_snapshot() {
+        // The Section 2 hazard: the invariant is r1 == r0 (both written
+        // together). T1 reads r0 before T2's commit and r1 after it:
+        // a mixed snapshot no opaque TM would return.
+        let stm = NonOpaqueStm::new(2);
+        run_tx(&stm, 0, |tx| {
+            tx.write(0, 4)?;
+            tx.write(1, 4)
+        });
+        let mut t1 = stm.begin(0);
+        let a = t1.read(0).unwrap(); // 4
+        run_tx(&stm, 1, |tx| {
+            tx.write(0, 2)?;
+            tx.write(1, 2)
+        });
+        let b = t1.read(1).unwrap(); // 2 — inconsistent with a == 4!
+        assert_eq!((a, b), (4, 2));
+        // Commit-time validation catches it: T1 cannot commit…
+        assert_eq!(t1.commit(), Err(Aborted));
+        // …but the damage (an inconsistent view in live code) already
+        // happened; the recorded history is not opaque.
+        let h = stm.recorder().history();
+        assert!(tm_model::is_well_formed(&h), "{h}");
+    }
+
+    #[test]
+    fn committed_transactions_stay_serializable() {
+        let stm = NonOpaqueStm::new(2);
+        run_tx(&stm, 0, |tx| {
+            tx.write(0, 1)?;
+            tx.write(1, 1)
+        });
+        let mut t1 = stm.begin(0);
+        t1.read(0).unwrap();
+        run_tx(&stm, 1, |tx| tx.write(0, 9));
+        // T1's read set is stale: commit validation rejects it.
+        t1.write(1, 100).unwrap();
+        assert_eq!(t1.commit(), Err(Aborted));
+        // The committed state is the serial outcome of the two committers.
+        let (v0, _) = run_tx(&stm, 0, |tx| tx.read(0));
+        let (v1, _) = run_tx(&stm, 0, |tx| tx.read(1));
+        assert_eq!((v0, v1), (9, 1));
+    }
+
+    #[test]
+    fn reads_cost_constant_steps() {
+        let k = 256;
+        let stm = NonOpaqueStm::new(k);
+        let mut tx = stm.begin(0);
+        for i in 0..k {
+            tx.read(i).unwrap();
+        }
+        assert_eq!(tx.steps().max_of(OpKind::Read), 3);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn recorded_history_well_formed() {
+        let stm = NonOpaqueStm::new(2);
+        run_tx(&stm, 0, |tx| tx.write(0, 1));
+        run_tx(&stm, 0, |tx| tx.read(1));
+        let h = stm.recorder().history();
+        assert!(tm_model::is_well_formed(&h), "{h}");
+    }
+
+    #[test]
+    fn stale_read_of_own_write_target_fails_commit() {
+        // Regression (found by the serializability stress harness): a read
+        // of an object that is *also in the write set* must still be
+        // validated at commit — the lock phase checks nothing here, unlike
+        // TL2. T2 reads r0 before T1 commits r0, then overwrites r0: its
+        // commit must fail.
+        let stm = NonOpaqueStm::new(2);
+        let mut t2 = stm.begin(1);
+        assert_eq!(t2.read(0).unwrap(), 0);
+        let mut t1 = stm.begin(0);
+        t1.write(0, 200).unwrap();
+        t1.commit().unwrap();
+        t2.write(1, 101).unwrap();
+        t2.write(0, 102).unwrap();
+        assert_eq!(t2.commit(), Err(Aborted));
+    }
+}

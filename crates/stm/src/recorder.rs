@@ -1,0 +1,196 @@
+//! Recording model-level histories from live STM executions.
+//!
+//! Every TM in this crate emits the paper's transactional events as they
+//! happen; the recorder totally orders them (simultaneous events "ordered
+//! arbitrarily", here by lock acquisition order — a legitimate arbitrary
+//! order because each event is recorded while it is occurring, between the
+//! operation's linearization and the response's delivery to the caller).
+//! The recorded [`History`] is then fed to the `tm-opacity` checkers — this
+//! is how experiment E11 validates the opacity claims about each
+//! implementation.
+//!
+//! Recording can be disabled (throughput benchmarks) — the TMs then skip the
+//! event construction entirely. Recorder accesses never count as steps:
+//! they are measurement apparatus, not part of the algorithm.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use tm_model::{Event, History, ObjId, OpName, TxId, Value};
+
+/// A shared, append-only event log with model-level object names.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    events: Mutex<Vec<Event>>,
+    names: Vec<ObjId>,
+    next_tx: AtomicU32,
+}
+
+impl Recorder {
+    /// A recorder for `k` registers named `r0..r{k-1}`, enabled by default.
+    pub fn new(k: usize) -> Self {
+        Recorder {
+            enabled: AtomicBool::new(true),
+            events: Mutex::new(Vec::new()),
+            names: (0..k).map(ObjId::register).collect(),
+            next_tx: AtomicU32::new(1),
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Is recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Allocates a fresh model-level transaction identifier.
+    pub fn fresh_tx(&self) -> TxId {
+        TxId(self.next_tx.fetch_add(1, Ordering::AcqRel))
+    }
+
+    /// The object name for register index `i`.
+    pub fn obj(&self, i: usize) -> ObjId {
+        self.names[i].clone()
+    }
+
+    /// Appends a raw event (no-op when disabled).
+    pub fn record(&self, e: Event) {
+        if self.enabled() {
+            self.events.lock().push(e);
+        }
+    }
+
+    /// Records `inv_t(r_i, read, ⊥)`.
+    pub fn inv_read(&self, t: TxId, i: usize) {
+        if self.enabled() {
+            self.record(Event::Inv { tx: t, obj: self.obj(i), op: OpName::Read, args: vec![] });
+        }
+    }
+
+    /// Records `ret_t(r_i, read) → v`.
+    pub fn ret_read(&self, t: TxId, i: usize, v: i64) {
+        if self.enabled() {
+            self.record(Event::Ret {
+                tx: t,
+                obj: self.obj(i),
+                op: OpName::Read,
+                val: Value::int(v),
+            });
+        }
+    }
+
+    /// Records `inv_t(r_i, write, v)`.
+    pub fn inv_write(&self, t: TxId, i: usize, v: i64) {
+        if self.enabled() {
+            self.record(Event::Inv {
+                tx: t,
+                obj: self.obj(i),
+                op: OpName::Write,
+                args: vec![Value::int(v)],
+            });
+        }
+    }
+
+    /// Records `ret_t(r_i, write) → ok`.
+    pub fn ret_write(&self, t: TxId, i: usize) {
+        if self.enabled() {
+            self.record(Event::Ret { tx: t, obj: self.obj(i), op: OpName::Write, val: Value::Ok });
+        }
+    }
+
+    /// Records `tryC_t`.
+    pub fn try_commit(&self, t: TxId) {
+        self.record(Event::TryCommit(t));
+    }
+
+    /// Records `tryA_t`.
+    pub fn try_abort(&self, t: TxId) {
+        self.record(Event::TryAbort(t));
+    }
+
+    /// Records `C_t`.
+    pub fn commit(&self, t: TxId) {
+        self.record(Event::Commit(t));
+    }
+
+    /// Records `A_t`.
+    pub fn abort(&self, t: TxId) {
+        self.record(Event::Abort(t));
+    }
+
+    /// A snapshot of the recorded history.
+    pub fn history(&self) -> History {
+        History::from_events(self.events.lock().clone())
+    }
+
+    /// Clears the log (the transaction-id counter keeps increasing, so ids
+    /// stay unique across clears).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::is_well_formed;
+
+    #[test]
+    fn records_well_formed_history() {
+        let r = Recorder::new(2);
+        let t = r.fresh_tx();
+        r.inv_write(t, 0, 5);
+        r.ret_write(t, 0);
+        r.inv_read(t, 1);
+        r.ret_read(t, 1, 0);
+        r.try_commit(t);
+        r.commit(t);
+        let h = r.history();
+        assert_eq!(h.len(), 6);
+        assert!(is_well_formed(&h));
+        assert!(h.status(t).is_committed());
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let r = Recorder::new(1);
+        r.set_enabled(false);
+        let t = r.fresh_tx();
+        r.inv_read(t, 0);
+        r.ret_read(t, 0, 0);
+        assert!(r.is_empty());
+        r.set_enabled(true);
+        r.try_commit(t);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn fresh_tx_ids_are_unique_and_survive_clear() {
+        let r = Recorder::new(1);
+        let a = r.fresh_tx();
+        r.clear();
+        let b = r.fresh_tx();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn object_names_follow_register_convention() {
+        let r = Recorder::new(3);
+        assert_eq!(r.obj(2).name(), "r2");
+    }
+}

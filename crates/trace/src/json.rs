@@ -1,0 +1,306 @@
+//! The versioned JSON trace format.
+//!
+//! Mirror types with `serde` derives keep `tm-model` free of serialization
+//! concerns; conversion to and from [`History`] is total in one direction
+//! and validated in the other.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{op_from_str, ParseError};
+use tm_model::{Event, History, ObjId, TxId, Value};
+
+/// The format version emitted by [`to_json`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// JSON mirror of [`Value`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JsonValue {
+    /// `⊥`.
+    Unit,
+    /// `ok`.
+    Ok,
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered pair.
+    Pair(Box<JsonValue>, Box<JsonValue>),
+    /// A sequence.
+    List(Vec<JsonValue>),
+}
+
+impl From<&Value> for JsonValue {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Unit => JsonValue::Unit,
+            Value::Ok => JsonValue::Ok,
+            Value::Int(i) => JsonValue::Int(*i),
+            Value::Bool(b) => JsonValue::Bool(*b),
+            Value::Pair(a, b) => {
+                JsonValue::Pair(Box::new(a.as_ref().into()), Box::new(b.as_ref().into()))
+            }
+            Value::List(vs) => JsonValue::List(vs.iter().map(Into::into).collect()),
+        }
+    }
+}
+
+impl From<&JsonValue> for Value {
+    fn from(v: &JsonValue) -> Self {
+        match v {
+            JsonValue::Unit => Value::Unit,
+            JsonValue::Ok => Value::Ok,
+            JsonValue::Int(i) => Value::Int(*i),
+            JsonValue::Bool(b) => Value::Bool(*b),
+            JsonValue::Pair(a, b) => {
+                Value::pair(a.as_ref().into(), b.as_ref().into())
+            }
+            JsonValue::List(vs) => Value::List(vs.iter().map(Into::into).collect()),
+        }
+    }
+}
+
+/// JSON mirror of [`Event`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JsonEvent {
+    /// Operation invocation.
+    Inv {
+        /// Transaction number (the `i` of `T_i`).
+        tx: u32,
+        /// Object name.
+        obj: String,
+        /// Operation name.
+        op: String,
+        /// Operation arguments.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        args: Vec<JsonValue>,
+    },
+    /// Operation response.
+    Ret {
+        /// Transaction number.
+        tx: u32,
+        /// Object name.
+        obj: String,
+        /// Operation name.
+        op: String,
+        /// Returned value.
+        val: JsonValue,
+    },
+    /// `tryC`.
+    TryCommit {
+        /// Transaction number.
+        tx: u32,
+    },
+    /// `tryA`.
+    TryAbort {
+        /// Transaction number.
+        tx: u32,
+    },
+    /// `C`.
+    Commit {
+        /// Transaction number.
+        tx: u32,
+    },
+    /// `A`.
+    Abort {
+        /// Transaction number.
+        tx: u32,
+    },
+}
+
+/// The top-level JSON document: a version tag and the event sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonTrace {
+    /// Format version; [`from_json`] accepts only [`FORMAT_VERSION`].
+    pub version: u32,
+    /// The history's events, in order.
+    pub events: Vec<JsonEvent>,
+}
+
+impl From<&Event> for JsonEvent {
+    fn from(e: &Event) -> Self {
+        match e {
+            Event::Inv { tx, obj, op, args } => JsonEvent::Inv {
+                tx: tx.0,
+                obj: obj.name().to_string(),
+                op: op.to_string(),
+                args: args.iter().map(Into::into).collect(),
+            },
+            Event::Ret { tx, obj, op, val } => JsonEvent::Ret {
+                tx: tx.0,
+                obj: obj.name().to_string(),
+                op: op.to_string(),
+                val: val.into(),
+            },
+            Event::TryCommit(tx) => JsonEvent::TryCommit { tx: tx.0 },
+            Event::TryAbort(tx) => JsonEvent::TryAbort { tx: tx.0 },
+            Event::Commit(tx) => JsonEvent::Commit { tx: tx.0 },
+            Event::Abort(tx) => JsonEvent::Abort { tx: tx.0 },
+        }
+    }
+}
+
+impl From<&JsonEvent> for Event {
+    fn from(e: &JsonEvent) -> Self {
+        match e {
+            JsonEvent::Inv { tx, obj, op, args } => Event::Inv {
+                tx: TxId(*tx),
+                obj: ObjId::new(obj),
+                op: op_from_str(op),
+                args: args.iter().map(Into::into).collect(),
+            },
+            JsonEvent::Ret { tx, obj, op, val } => Event::Ret {
+                tx: TxId(*tx),
+                obj: ObjId::new(obj),
+                op: op_from_str(op),
+                val: val.into(),
+            },
+            JsonEvent::TryCommit { tx } => Event::TryCommit(TxId(*tx)),
+            JsonEvent::TryAbort { tx } => Event::TryAbort(TxId(*tx)),
+            JsonEvent::Commit { tx } => Event::Commit(TxId(*tx)),
+            JsonEvent::Abort { tx } => Event::Abort(TxId(*tx)),
+        }
+    }
+}
+
+/// Serializes a history to the compact JSON trace format.
+///
+/// ```
+/// use tm_model::HistoryBuilder;
+/// use tm_trace::{to_json, from_json};
+///
+/// let h = HistoryBuilder::new().write(1, "x", 1).commit_ok(1).build();
+/// let encoded = to_json(&h);
+/// assert!(encoded.contains("\"version\":1"));
+/// assert_eq!(from_json(&encoded).unwrap().events(), h.events());
+/// ```
+pub fn to_json(h: &History) -> String {
+    let trace = JsonTrace {
+        version: FORMAT_VERSION,
+        events: h.events().iter().map(Into::into).collect(),
+    };
+    serde_json::to_string(&trace).expect("trace serialization is infallible")
+}
+
+/// Serializes a history to human-indented JSON.
+pub fn to_json_pretty(h: &History) -> String {
+    let trace = JsonTrace {
+        version: FORMAT_VERSION,
+        events: h.events().iter().map(Into::into).collect(),
+    };
+    serde_json::to_string_pretty(&trace).expect("trace serialization is infallible")
+}
+
+/// Parses a JSON trace back into a [`History`].
+///
+/// Rejects unknown format versions and JSON that does not match the schema.
+/// The resulting history is *not* implicitly validated for well-formedness —
+/// callers that require it (the checkers do) run
+/// [`tm_model::check_well_formed`] themselves, which keeps this crate usable
+/// for deliberately ill-formed fixtures.
+pub fn from_json(s: &str) -> Result<History, ParseError> {
+    let trace: JsonTrace =
+        serde_json::from_str(s).map_err(|e| ParseError { line: e.line(), message: e.to_string() })?;
+    if trace.version != FORMAT_VERSION {
+        return Err(ParseError {
+            line: 0,
+            message: format!(
+                "unsupported trace version {} (this build reads version {FORMAT_VERSION})",
+                trace.version
+            ),
+        });
+    }
+    Ok(History::from_events(trace.events.iter().map(Into::into).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::HistoryBuilder;
+
+    fn sample() -> History {
+        HistoryBuilder::new()
+            .write(1, "x", 1)
+            .commit_ok(1)
+            .read(2, "x", 1)
+            .try_commit(2)
+            .abort(2)
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let h = sample();
+        for s in [to_json(&h), to_json_pretty(&h)] {
+            let back = from_json(&s).unwrap();
+            assert_eq!(back.events(), h.events());
+        }
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let s = to_json(&sample()).replace("\"version\":1", "\"version\":99");
+        let e = from_json(&s).unwrap_err();
+        assert!(e.message.contains("unsupported trace version 99"), "{e}");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = from_json("{\n  \"version\": 1,\n  events: []\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn all_value_shapes_roundtrip() {
+        let vals = [
+            Value::Unit,
+            Value::Ok,
+            Value::int(-7),
+            Value::Bool(true),
+            Value::pair(Value::int(1), Value::Ok),
+            Value::List(vec![Value::int(1), Value::Bool(false), Value::Unit]),
+        ];
+        for v in vals {
+            let j: JsonValue = (&v).into();
+            let back: Value = (&j).into();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn custom_ops_survive() {
+        let h = History::from_events(vec![
+            Event::Inv {
+                tx: TxId(1),
+                obj: ObjId::new("widget"),
+                op: op_from_str("frobnicate"),
+                args: vec![Value::int(3)],
+            },
+            Event::Ret {
+                tx: TxId(1),
+                obj: ObjId::new("widget"),
+                op: op_from_str("frobnicate"),
+                val: Value::Bool(true),
+            },
+        ]);
+        let back = from_json(&to_json(&h)).unwrap();
+        assert_eq!(back.events(), h.events());
+    }
+
+    #[test]
+    fn empty_history_roundtrips() {
+        let h = History::new();
+        assert_eq!(from_json(&to_json(&h)).unwrap().events(), h.events());
+    }
+
+    #[test]
+    fn args_field_is_optional() {
+        let s = r#"{"version":1,"events":[
+            {"kind":"inv","tx":1,"obj":"x","op":"read"},
+            {"kind":"ret","tx":1,"obj":"x","op":"read","val":{"int":0}}
+        ]}"#;
+        let h = from_json(s).unwrap();
+        assert_eq!(h.len(), 2);
+    }
+}

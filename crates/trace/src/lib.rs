@@ -1,0 +1,122 @@
+//! # tm-trace — history interchange formats
+//!
+//! The checkers in `tm-opacity` operate on in-memory [`tm_model::History`]
+//! values. For a checker to be *usable* — against traces recorded by other
+//! TM implementations, in CI pipelines, or from the `tmcheck` command-line
+//! tool — histories need a durable surface syntax. This crate provides two:
+//!
+//! * **JSON** ([`json`]) — a versioned, self-describing format for
+//!   machine-to-machine interchange:
+//!
+//!   ```json
+//!   { "version": 1,
+//!     "events": [
+//!       { "kind": "inv", "tx": 1, "obj": "x", "op": "write", "args": [{"int": 1}] },
+//!       { "kind": "ret", "tx": 1, "obj": "x", "op": "write", "val": "ok" },
+//!       { "kind": "try_commit", "tx": 1 },
+//!       { "kind": "commit", "tx": 1 } ] }
+//!   ```
+//!
+//! * **text** ([`text`]) — a compact line-oriented format for hand-written
+//!   histories and test fixtures, one event per line, `#` comments:
+//!
+//!   ```text
+//!   # Figure 1 of the paper
+//!   inv  T1 x write 1
+//!   ret  T1 x write ok
+//!   tryC T1
+//!   C    T1
+//!   ```
+//!
+//! Both formats round-trip losslessly through [`tm_model::History`]
+//! (property-tested against the random history generator), and both reject
+//! malformed input with positioned errors rather than panics.
+//!
+//! Dependency note: `serde_json` accompanies the approved `serde` — serde
+//! itself defines only the data model; a format crate is required to emit
+//! and parse JSON, and `serde_json` is its canonical companion (justified in
+//! DESIGN.md §7).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod text;
+
+use std::fmt;
+use std::sync::Arc;
+
+use tm_model::OpName;
+
+pub use json::{from_json, to_json, to_json_pretty};
+pub use text::{from_text, to_text};
+
+/// An error produced while parsing a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 when the format has no line structure, e.g.
+    /// a JSON syntax error reported by the underlying parser).
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an operation name; unknown names become [`OpName::Custom`].
+pub fn op_from_str(s: &str) -> OpName {
+    match s {
+        "read" => OpName::Read,
+        "write" => OpName::Write,
+        "inc" => OpName::Inc,
+        "dec" => OpName::Dec,
+        "get" => OpName::Get,
+        "enq" => OpName::Enq,
+        "deq" => OpName::Deq,
+        "push" => OpName::Push,
+        "pop" => OpName::Pop,
+        "insert" => OpName::Insert,
+        "remove" => OpName::Remove,
+        "contains" => OpName::Contains,
+        "cas" => OpName::Cas,
+        "append" => OpName::Append,
+        other => OpName::Custom(Arc::from(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names_roundtrip_through_display() {
+        for name in [
+            "read", "write", "inc", "dec", "get", "enq", "deq", "push", "pop", "insert",
+            "remove", "contains", "cas", "append", "frobnicate",
+        ] {
+            assert_eq!(op_from_str(name).to_string(), name);
+        }
+    }
+
+    #[test]
+    fn parse_error_display() {
+        assert_eq!(ParseError::at(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(ParseError::at(0, "syntax").to_string(), "syntax");
+    }
+}

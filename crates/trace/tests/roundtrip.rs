@@ -1,0 +1,72 @@
+//! Property tests: both trace formats round-trip random well-formed
+//! histories losslessly, and the composition of the two formats is also
+//! lossless (JSON → History → text → History).
+
+use proptest::prelude::*;
+
+use tm_harness::{random_history, GenConfig};
+use tm_trace::{from_json, from_text, to_json, to_json_pretty, to_text};
+
+fn config(txs: usize, objs: usize, max_ops: usize, noise: f64) -> GenConfig {
+    GenConfig { txs, objs, max_ops, noise, commit_pending: 0.2, abort: 0.25 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_roundtrips_random_histories(
+        seed in 0u64..1_000_000,
+        txs in 1usize..6,
+        objs in 1usize..4,
+        ops in 1usize..6,
+    ) {
+        let h = random_history(&config(txs, objs, ops, 0.3), seed);
+        let back = from_json(&to_json(&h)).unwrap();
+        prop_assert_eq!(back.events(), h.events());
+        let back = from_json(&to_json_pretty(&h)).unwrap();
+        prop_assert_eq!(back.events(), h.events());
+    }
+
+    #[test]
+    fn text_roundtrips_random_histories(
+        seed in 0u64..1_000_000,
+        txs in 1usize..6,
+        objs in 1usize..4,
+        ops in 1usize..6,
+    ) {
+        let h = random_history(&config(txs, objs, ops, 0.3), seed);
+        let back = from_text(&to_text(&h)).unwrap();
+        prop_assert_eq!(back.events(), h.events());
+    }
+
+    #[test]
+    fn formats_compose(
+        seed in 0u64..1_000_000,
+    ) {
+        let h = random_history(&GenConfig::default(), seed);
+        let via_both = from_text(&to_text(&from_json(&to_json(&h)).unwrap())).unwrap();
+        prop_assert_eq!(via_both.events(), h.events());
+    }
+
+    #[test]
+    fn wellformedness_is_preserved(
+        seed in 0u64..1_000_000,
+    ) {
+        // The generator emits well-formed histories; parsing must not
+        // perturb that (nor silently reorder events).
+        let h = random_history(&GenConfig::default(), seed);
+        prop_assume!(tm_model::is_well_formed(&h));
+        let back = from_json(&to_json(&h)).unwrap();
+        prop_assert!(tm_model::is_well_formed(&back));
+    }
+}
+
+#[test]
+fn paper_histories_roundtrip_both_formats() {
+    use tm_model::builder::paper;
+    for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+        assert_eq!(from_json(&to_json(&h)).unwrap().events(), h.events());
+        assert_eq!(from_text(&to_text(&h)).unwrap().events(), h.events());
+    }
+}

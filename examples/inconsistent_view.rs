@@ -1,0 +1,94 @@
+//! The Section 2 hazard, live: why opacity matters even for transactions
+//! that are doomed to abort.
+//!
+//! A programmer maintains the invariant `y == x²` (and `x ≥ 2`). Every
+//! transaction preserves it. Under a TM that merely guarantees
+//! serializability of *committed* transactions, a live transaction can
+//! still observe `x` from one committed state and `y` from another — and a
+//! computation of `1/(y - x)` divides by zero before the TM ever gets a
+//! chance to abort the transaction. An opaque TM structurally prevents the
+//! inconsistent view.
+//!
+//! ```sh
+//! cargo run --example inconsistent_view
+//! ```
+
+use opacity_tm::harness::{execute, Program, TxScript};
+use opacity_tm::model::SpecRegistry;
+use opacity_tm::opacity::opacity::is_opaque;
+use opacity_tm::stm::{run_tx, NonOpaqueStm, Stm, Tl2Stm};
+
+/// The x register is r0, y is r1. Invariant: r1 == r0².
+const X: usize = 0;
+const Y: usize = 1;
+
+/// The updater of the paper: `x := 2; y := 4; commit` (from x=4, y=16).
+fn updater() -> TxScript {
+    TxScript::new().write(X, 2).write(Y, 4)
+}
+
+/// The victim: reads x, then y, then computes 1/(y - x).
+fn victim() -> TxScript {
+    TxScript::new().read(X).read(Y)
+}
+
+/// Runs the paper's interleaving on `stm`: the victim reads x, the updater
+/// runs to completion, the victim reads y. Returns the victim's view.
+fn run_scenario(stm: &dyn Stm) -> Option<(i64, i64)> {
+    // Initial state of the paper: x = 4, y = 16.
+    run_tx(stm, 0, |tx| {
+        tx.write(X, 4)?;
+        tx.write(Y, 16)
+    });
+    let program = Program::new(vec![victim(), updater()]);
+    // victim reads x | updater writes x, writes y, commits | victim reads y.
+    let out = execute(stm, &program, &[0, 1, 1, 1, 0, 0]);
+    let reads = &out.txs[0].reads;
+    if reads.len() == 2 {
+        Some((reads[0], reads[1]))
+    } else {
+        None // the TM aborted the victim before it saw anything dangerous
+    }
+}
+
+fn main() {
+    let specs = SpecRegistry::registers();
+
+    println!("== commit-time-validation TM (serializable, NOT opaque) ==");
+    let stm = NonOpaqueStm::new(2);
+    match run_scenario(&stm) {
+        Some((x, y)) => {
+            println!("victim observed x = {x}, y = {y}");
+            if y != x * x {
+                println!("INVARIANT VIOLATED in live code: y != x²");
+            }
+            if y - x == 0 {
+                println!("computing 1/(y-x) would DIVIDE BY ZERO  ⚠");
+            }
+        }
+        None => println!("victim aborted before observing anything"),
+    }
+    let h = stm.recorder().history();
+    println!(
+        "recorded history opaque? {}\n",
+        is_opaque(&h, &specs).unwrap().opaque
+    );
+
+    println!("== TL2 (opaque) ==");
+    let stm = Tl2Stm::new(2);
+    match run_scenario(&stm) {
+        Some((x, y)) => {
+            println!("victim observed x = {x}, y = {y}");
+            assert_eq!(y, x * x, "opaque TM never shows a fractured snapshot");
+            println!("invariant y == x² holds; 1/(y-x) = 1/{}", y - x);
+        }
+        None => {
+            println!("victim aborted at its read of y — the opaque TM refused");
+            println!("to return a value that would have fractured the snapshot");
+        }
+    }
+    let h = stm.recorder().history();
+    let opaque = is_opaque(&h, &specs).unwrap().opaque;
+    println!("recorded history opaque? {opaque}");
+    assert!(opaque);
+}

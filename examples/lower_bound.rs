@@ -1,0 +1,115 @@
+//! The Theorem-3 experiment (E8/E9): the Ω(k) lower bound, measured.
+//!
+//! Sweeps `k` and prints, for every TM in the design space, the exact
+//! base-object step counts of the paper's proof-sketch scenario — the
+//! numbers recorded in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example lower_bound
+//! ```
+
+use opacity_tm::harness::complexity::{fraction_scenario, paper_scenario, solo_scan, sweep};
+use opacity_tm::harness::stats::{ascii_chart, Table};
+
+fn main() {
+    let ks = [4, 8, 16, 32, 64, 128, 256, 512];
+    let stm_order = ["dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"];
+
+    println!("== E8: paper scenario — steps of T1's final read vs k ==");
+    println!("(T1 reads k/2 registers; T2 writes the other half and commits;");
+    println!(" T1 reads one of T2's registers — Section 6.2's proof sketch)\n");
+    let rows = sweep(&ks, true, paper_scenario);
+    let mut table = Table::new(&[
+        "stm", "k", "last-read", "max-read", "mean-read", "total-reads", "T1",
+    ]);
+    for &k in &ks {
+        for name in stm_order {
+            if let Some(r) = rows.iter().find(|r| r.k == k && r.stm == name) {
+                table.row(&[
+                    r.stm.to_string(),
+                    r.k.to_string(),
+                    r.last_read_steps.to_string(),
+                    r.max_read_steps.to_string(),
+                    format!("{:.1}", r.mean_read_steps),
+                    r.total_read_steps.to_string(),
+                    if r.t1_committed { "commit".into() } else { "abort".into() },
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // Figure: last-read steps vs k per TM.
+    let series: Vec<(&str, Vec<f64>)> = stm_order
+        .iter()
+        .map(|name| {
+            let ys: Vec<f64> = ks
+                .iter()
+                .map(|&k| {
+                    rows.iter()
+                        .find(|r| r.k == k && r.stm == *name)
+                        .map(|r| r.last_read_steps as f64)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            (*name, ys)
+        })
+        .collect();
+    println!(
+        "{}",
+        ascii_chart("Figure E8: steps of the final read vs k", &ks, &series, 16)
+    );
+
+    println!("== E8b: read-set ablation — final-read steps vs |read set| at k = 256 ==");
+    println!("(the Ω(k) cost is mechanistically one step per read-set ENTRY;");
+    println!(" k itself is inert — sweeping m at fixed k isolates that)\n");
+    {
+        use opacity_tm::stm::{DstmStm, AstmStm, Tl2Stm, Stm};
+        let k = 256;
+        let ms = [8usize, 16, 32, 64, 128, 255];
+        let mut table = Table::new(&["stm", "m=8", "m=16", "m=32", "m=64", "m=128", "m=255"]);
+        let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Stm>>)> = vec![
+            ("dstm", Box::new(move || Box::new(DstmStm::new(k)) as Box<dyn Stm>)),
+            ("astm", Box::new(move || Box::new(AstmStm::new(k)) as Box<dyn Stm>)),
+            ("tl2", Box::new(move || Box::new(Tl2Stm::new(k)) as Box<dyn Stm>)),
+        ];
+        for (name, make) in &factories {
+            let mut row = vec![name.to_string()];
+            for &m in &ms {
+                let stm = make();
+                stm.recorder().set_enabled(false);
+                row.push(fraction_scenario(stm.as_ref(), k, m).last_read_steps.to_string());
+            }
+            table.row(&row);
+        }
+        println!("{}", table.render());
+    }
+
+    println!("== E9: solo scan — per-transaction read-step totals vs k ==");
+    println!("(one transaction reads all k registers, alone: DSTM pays Θ(k²))\n");
+    let rows = sweep(&ks, false, solo_scan);
+    let mut table = Table::new(&["stm", "k", "max-read", "total-reads"]);
+    for &k in &ks {
+        for stm in ["glock", "dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"] {
+            if let Some(r) = rows.iter().find(|r| r.k == k && r.stm == stm) {
+                table.row(&[
+                    r.stm.to_string(),
+                    r.k.to_string(),
+                    r.max_read_steps.to_string(),
+                    r.total_read_steps.to_string(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+
+    // Verdict summary.
+    let d512 = rows.iter().find(|r| r.stm == "dstm" && r.k == 512).unwrap();
+    let t512 = rows.iter().find(|r| r.stm == "tl2" && r.k == 512).unwrap();
+    println!(
+        "At k = 512: DSTM max-read = {} steps (Θ(k)); TL2 max-read = {} steps (O(1)).",
+        d512.max_read_steps, t512.max_read_steps
+    );
+    println!("The Ω(k) lower bound binds exactly the progressive + single-version +");
+    println!("invisible-reads + opaque corner — and only that corner.");
+}

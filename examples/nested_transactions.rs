@@ -1,0 +1,81 @@
+//! Closed nesting, live (Section 7 / E22): partial abort as a programming
+//! model.
+//!
+//! An order-processing transaction reserves stock, then *tentatively*
+//! applies a promotional discount inside a nested transaction. If the
+//! promotion turns out not to apply, only the nested scope is rolled back —
+//! the stock reservation survives and the order completes at full price.
+//! With flat transactions the failed promotion would have torn down the
+//! whole order.
+//!
+//! The recorded execution (parent and child under separate transaction
+//! ids) is flattened with the paper's Section 7 translation and checked
+//! for opacity at the end.
+//!
+//! ```sh
+//! cargo run --example nested_transactions
+//! ```
+
+use opacity_tm::model::flatten;
+use opacity_tm::model::SpecRegistry;
+use opacity_tm::opacity::opacity::is_opaque;
+use opacity_tm::stm::astm::AstmStm;
+use opacity_tm::stm::{run_tx, Stm, Tx};
+
+const STOCK: usize = 0; // units on hand
+const TOTAL: usize = 1; // order total (cents)
+const PROMO_BUDGET: usize = 2; // remaining promotional budget
+
+fn main() {
+    let stm = AstmStm::new(3);
+    // Seed: 5 units in stock, promo budget of 300 cents.
+    run_tx(&stm, 0, |tx| {
+        tx.write(STOCK, 5)?;
+        tx.write(PROMO_BUDGET, 300)
+    });
+
+    println!("== order 1: promotion applies ==");
+    place_order(&stm, 1000, 250);
+    println!("== order 2: promotion exceeds the remaining budget ==");
+    place_order(&stm, 1000, 200);
+
+    let ((stock, budget), _) =
+        run_tx(&stm, 0, |tx| Ok((tx.read(STOCK)?, tx.read(PROMO_BUDGET)?)));
+    println!("\nfinal stock = {stock}, promo budget = {budget}");
+    assert_eq!(stock, 3, "both orders reserved stock");
+    assert_eq!(budget, 50, "only the first promotion was applied");
+
+    // Judge the whole recorded execution through the Section 7 translation.
+    let flat = flatten(&stm.recorder().history(), &stm.nesting_info());
+    let opaque = is_opaque(&flat, &SpecRegistry::registers()).unwrap().opaque;
+    println!("flattened history ({} events) opaque: {opaque}", flat.len());
+    assert!(opaque);
+}
+
+/// One order: reserve stock (parent), then try the discount (child).
+fn place_order(stm: &AstmStm, price: i64, discount: i64) {
+    let mut t = stm.begin_astm(0);
+    let stock = t.read(STOCK).unwrap();
+    assert!(stock > 0, "demo keeps stock positive");
+    t.write(STOCK, stock - 1).unwrap();
+    t.write(TOTAL, price).unwrap();
+    println!("  reserved 1 unit ({} left), total = {price}", stock - 1);
+
+    // Tentative step: apply the discount inside a nested transaction.
+    t.begin_nested();
+    let budget = t.read(PROMO_BUDGET).unwrap();
+    if budget >= discount {
+        t.write(PROMO_BUDGET, budget - discount).unwrap();
+        t.write(TOTAL, price - discount).unwrap();
+        t.commit_nested();
+        println!("  promotion applied: -{discount} (budget left {})", budget - discount);
+    } else {
+        // Partial abort: the discount vanishes, the reservation stays.
+        t.abort_nested();
+        println!("  promotion refused (budget {budget} < {discount}); full price");
+    }
+
+    let total = t.read(TOTAL).unwrap();
+    println!("  charged {total}");
+    Box::new(t).commit().unwrap();
+}

@@ -1,0 +1,335 @@
+//! Opacity over arbitrary objects — exercising the model's central design
+//! requirement (Section 1: "in a model (a) with arbitrary objects, beyond
+//! simple read/write variables").
+//!
+//! The sequential specification is an *input parameter* of the criterion:
+//! the same event pattern can be opaque under one object's semantics and
+//! non-opaque under another's.
+
+use std::sync::Arc;
+
+use opacity_tm::model::objects::{pqueue, AppendLog, CasRegister, FifoQueue, IntSet, KvMap, PriorityQueue, Stack};
+use opacity_tm::model::{HistoryBuilder, OpName, SpecRegistry, Value};
+use opacity_tm::opacity::opacity::is_opaque;
+
+fn queue_specs() -> SpecRegistry {
+    SpecRegistry::new().with("q", Arc::new(FifoQueue))
+}
+
+#[test]
+fn producer_consumer_queue_is_opaque() {
+    let h = HistoryBuilder::new()
+        .op(1, "q", OpName::Enq, vec![Value::int(10)], Value::Ok)
+        .op(1, "q", OpName::Enq, vec![Value::int(20)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "q", OpName::Deq, vec![], Value::int(10))
+        .commit_ok(2)
+        .op(3, "q", OpName::Deq, vec![], Value::int(20))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &queue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn double_delivery_is_not_opaque() {
+    // Two committed consumers dequeue the SAME element: no sequential
+    // FIFO-queue execution allows it.
+    let h = HistoryBuilder::new()
+        .op(1, "q", OpName::Enq, vec![Value::int(10)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "q", OpName::Deq, vec![], Value::int(10))
+        .op(3, "q", OpName::Deq, vec![], Value::int(10))
+        .commit_ok(2)
+        .commit_ok(3)
+        .build();
+    assert!(!is_opaque(&h, &queue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn aborted_consumer_redelivery_is_opaque() {
+    // The aborted consumer's dequeue is discarded, so the committed one may
+    // deliver the same element — queues need this for at-least-once
+    // semantics under aborts.
+    let h = HistoryBuilder::new()
+        .op(1, "q", OpName::Enq, vec![Value::int(10)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "q", OpName::Deq, vec![], Value::int(10))
+        .try_abort(2)
+        .abort(2)
+        .op(3, "q", OpName::Deq, vec![], Value::int(10))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &queue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn fifo_order_violation_is_not_opaque() {
+    let h = HistoryBuilder::new()
+        .op(1, "q", OpName::Enq, vec![Value::int(10)], Value::Ok)
+        .op(1, "q", OpName::Enq, vec![Value::int(20)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "q", OpName::Deq, vec![], Value::int(20)) // LIFO!
+        .commit_ok(2)
+        .build();
+    assert!(!is_opaque(&h, &queue_specs()).unwrap().opaque);
+    // The very same event pattern IS opaque if "q" is a stack.
+    let stack_specs = SpecRegistry::new().with("q", Arc::new(Stack));
+    let h_stack = HistoryBuilder::new()
+        .op(1, "q", OpName::Push, vec![Value::int(10)], Value::Ok)
+        .op(1, "q", OpName::Push, vec![Value::int(20)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "q", OpName::Pop, vec![], Value::int(20))
+        .commit_ok(2)
+        .build();
+    assert!(is_opaque(&h_stack, &stack_specs).unwrap().opaque);
+}
+
+#[test]
+fn live_consumer_must_see_consistent_queue() {
+    // A live transaction dequeues a value that was never enqueued by any
+    // committed-or-commit-pending transaction: not opaque even though the
+    // consumer never commits.
+    let h = HistoryBuilder::new()
+        .op(1, "q", OpName::Enq, vec![Value::int(10)], Value::Ok) // T1 live!
+        .op(2, "q", OpName::Deq, vec![], Value::int(10))
+        .build();
+    // T1 is live (not commit-pending): it can only be aborted in any
+    // completion, so T2's dequeue observes a phantom element.
+    assert!(!is_opaque(&h, &queue_specs()).unwrap().opaque);
+    // With T1 commit-pending instead, the dual semantics save it.
+    let h = HistoryBuilder::new()
+        .op(1, "q", OpName::Enq, vec![Value::int(10)], Value::Ok)
+        .try_commit(1)
+        .op(2, "q", OpName::Deq, vec![], Value::int(10))
+        .build();
+    assert!(is_opaque(&h, &queue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn cas_register_semantics() {
+    let specs = SpecRegistry::new().with("c", Arc::new(CasRegister::new(0)));
+    // Two concurrent CAS(0→v): only one may succeed among committed txs.
+    let both_succeed = HistoryBuilder::new()
+        .op(1, "c", OpName::Cas, vec![Value::int(0), Value::int(1)], Value::Bool(true))
+        .op(2, "c", OpName::Cas, vec![Value::int(0), Value::int(2)], Value::Bool(true))
+        .commit_ok(1)
+        .commit_ok(2)
+        .build();
+    assert!(!is_opaque(&both_succeed, &specs).unwrap().opaque);
+    let one_fails = HistoryBuilder::new()
+        .op(1, "c", OpName::Cas, vec![Value::int(0), Value::int(1)], Value::Bool(true))
+        .op(2, "c", OpName::Cas, vec![Value::int(0), Value::int(2)], Value::Bool(false))
+        .commit_ok(1)
+        .commit_ok(2)
+        .build();
+    assert!(is_opaque(&one_fails, &specs).unwrap().opaque);
+}
+
+#[test]
+fn set_membership_consistency() {
+    let specs = SpecRegistry::new().with("s", Arc::new(IntSet));
+    // T2 sees 5 present; T3 (starting after T2 commits) sees it absent with
+    // no remover anywhere: not opaque.
+    let h = HistoryBuilder::new()
+        .op(1, "s", OpName::Insert, vec![Value::int(5)], Value::Bool(true))
+        .commit_ok(1)
+        .op(2, "s", OpName::Contains, vec![Value::int(5)], Value::Bool(true))
+        .commit_ok(2)
+        .op(3, "s", OpName::Contains, vec![Value::int(5)], Value::Bool(false))
+        .commit_ok(3)
+        .build();
+    assert!(!is_opaque(&h, &specs).unwrap().opaque);
+    // With a remover in between, it is.
+    let h = HistoryBuilder::new()
+        .op(1, "s", OpName::Insert, vec![Value::int(5)], Value::Bool(true))
+        .commit_ok(1)
+        .op(2, "s", OpName::Remove, vec![Value::int(5)], Value::Bool(true))
+        .commit_ok(2)
+        .op(3, "s", OpName::Contains, vec![Value::int(5)], Value::Bool(false))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &specs).unwrap().opaque);
+}
+
+#[test]
+fn append_log_blind_writers_commute_like_counters() {
+    let specs = SpecRegistry::new().with("l", Arc::new(AppendLog));
+    // Concurrent appends all commit; a reader must observe them in SOME
+    // serialization order.
+    let h = HistoryBuilder::new()
+        .op(1, "l", OpName::Append, vec![Value::int(1)], Value::Ok)
+        .op(2, "l", OpName::Append, vec![Value::int(2)], Value::Ok)
+        .commit_ok(1)
+        .commit_ok(2)
+        .op(3, "l", OpName::Read, vec![], Value::List(vec![Value::int(2), Value::int(1)]))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &specs).unwrap().opaque, "order 2,1 is a valid serialization");
+    // But not an order that interleaves phantom entries.
+    let h = HistoryBuilder::new()
+        .op(1, "l", OpName::Append, vec![Value::int(1)], Value::Ok)
+        .op(2, "l", OpName::Append, vec![Value::int(2)], Value::Ok)
+        .commit_ok(1)
+        .commit_ok(2)
+        .op(3, "l", OpName::Read, vec![], Value::List(vec![Value::int(9)]))
+        .commit_ok(3)
+        .build();
+    assert!(!is_opaque(&h, &specs).unwrap().opaque);
+}
+
+#[test]
+fn mixed_object_universe() {
+    // Registers, a queue, and a counter in one history — the registry
+    // routes each object to its own specification.
+    let specs = SpecRegistry::registers()
+        .with("q", Arc::new(FifoQueue))
+        .with("c", Arc::new(opacity_tm::model::objects::Counter));
+    let h = HistoryBuilder::new()
+        .write(1, "x", 7)
+        .op(1, "q", OpName::Enq, vec![Value::int(7)], Value::Ok)
+        .inc(1, "c")
+        .commit_ok(1)
+        .read(2, "x", 7)
+        .op(2, "q", OpName::Deq, vec![], Value::int(7))
+        .get(2, "c", 1)
+        .commit_ok(2)
+        .build();
+    assert!(is_opaque(&h, &specs).unwrap().opaque);
+}
+
+// ---- priority queue (user-defined OpName::Custom operations) --------------
+
+fn pqueue_specs() -> SpecRegistry {
+    SpecRegistry::new().with("pq", Arc::new(PriorityQueue))
+}
+
+#[test]
+fn priority_order_delivery_is_opaque() {
+    let h = HistoryBuilder::new()
+        .op(1, "pq", OpName::Insert, vec![Value::int(5)], Value::Ok)
+        .op(1, "pq", OpName::Insert, vec![Value::int(2)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "pq", pqueue::extract_min(), vec![], Value::int(2))
+        .commit_ok(2)
+        .op(3, "pq", pqueue::extract_min(), vec![], Value::int(5))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &pqueue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn priority_inversion_is_not_opaque() {
+    // Delivering 5 while 2 is still queued contradicts every sequential
+    // min-queue execution.
+    let h = HistoryBuilder::new()
+        .op(1, "pq", OpName::Insert, vec![Value::int(5)], Value::Ok)
+        .op(1, "pq", OpName::Insert, vec![Value::int(2)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "pq", pqueue::extract_min(), vec![], Value::int(5))
+        .commit_ok(2)
+        .build();
+    assert!(!is_opaque(&h, &pqueue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn live_peek_must_be_snapshot_consistent() {
+    // A live transaction peeks the min twice around a concurrent committed
+    // insert of a smaller element; observing both the old and the new min
+    // (2 then 1) is a fractured view — non-opaque even though each value
+    // was the true min at its own instant.
+    let h = HistoryBuilder::new()
+        .op(1, "pq", OpName::Insert, vec![Value::int(2)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "pq", pqueue::peek_min(), vec![], Value::int(2))
+        .op(3, "pq", OpName::Insert, vec![Value::int(1)], Value::Ok)
+        .commit_ok(3)
+        .op(2, "pq", pqueue::peek_min(), vec![], Value::int(1))
+        .try_commit(2)
+        .abort(2)
+        .build();
+    assert!(!is_opaque(&h, &pqueue_specs()).unwrap().opaque);
+}
+
+#[test]
+fn aborted_extractor_element_redelivered() {
+    // As with the FIFO queue: an aborted extract_min is discarded, so the
+    // element may be delivered again by a committed transaction.
+    let h = HistoryBuilder::new()
+        .op(1, "pq", OpName::Insert, vec![Value::int(7)], Value::Ok)
+        .commit_ok(1)
+        .op(2, "pq", pqueue::extract_min(), vec![], Value::int(7))
+        .try_abort(2)
+        .abort(2)
+        .op(3, "pq", pqueue::extract_min(), vec![], Value::int(7))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &pqueue_specs()).unwrap().opaque);
+}
+
+// ---- key-value map ---------------------------------------------------------
+
+fn map_specs() -> SpecRegistry {
+    SpecRegistry::new().with("m", Arc::new(KvMap))
+}
+
+#[test]
+fn map_put_get_sequence_is_opaque() {
+    let h = HistoryBuilder::new()
+        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
+        .commit_ok(1)
+        .op(2, "m", OpName::Insert, vec![Value::int(1), Value::int(20)], Value::int(10))
+        .commit_ok(2)
+        .op(3, "m", OpName::Get, vec![Value::int(1)], Value::int(20))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &map_specs()).unwrap().opaque);
+}
+
+#[test]
+fn map_puts_on_distinct_keys_commute() {
+    // Two concurrent committed puts to different keys serialize either way
+    // — the Section 3.4 argument, on a dictionary.
+    let h = HistoryBuilder::new()
+        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
+        .op(2, "m", OpName::Insert, vec![Value::int(2), Value::int(20)], Value::Unit)
+        .commit_ok(2)
+        .commit_ok(1)
+        .op(3, "m", OpName::Get, vec![Value::int(1)], Value::int(10))
+        .op(3, "m", OpName::Get, vec![Value::int(2)], Value::int(20))
+        .commit_ok(3)
+        .build();
+    assert!(is_opaque(&h, &map_specs()).unwrap().opaque);
+}
+
+#[test]
+fn map_stale_previous_binding_is_not_opaque() {
+    // T2's put observes ⊥ as the previous binding although T1's put of the
+    // same key committed strictly earlier — a lost-update shape caught by
+    // the put's observer half.
+    let h = HistoryBuilder::new()
+        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
+        .commit_ok(1)
+        .op(2, "m", OpName::Insert, vec![Value::int(1), Value::int(20)], Value::Unit)
+        .commit_ok(2)
+        .build();
+    assert!(!is_opaque(&h, &map_specs()).unwrap().opaque);
+}
+
+#[test]
+fn live_map_reader_sees_consistent_bindings() {
+    // A live transaction must not observe key 1 from before T3's commit and
+    // key 2 from after it.
+    let h = HistoryBuilder::new()
+        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
+        .op(1, "m", OpName::Insert, vec![Value::int(2), Value::int(10)], Value::Unit)
+        .commit_ok(1)
+        .op(2, "m", OpName::Get, vec![Value::int(1)], Value::int(10))
+        .op(3, "m", OpName::Insert, vec![Value::int(1), Value::int(99)], Value::int(10))
+        .op(3, "m", OpName::Insert, vec![Value::int(2), Value::int(99)], Value::int(10))
+        .commit_ok(3)
+        .op(2, "m", OpName::Get, vec![Value::int(2)], Value::int(99))
+        .try_commit(2)
+        .abort(2)
+        .build();
+    assert!(!is_opaque(&h, &map_specs()).unwrap().opaque);
+}

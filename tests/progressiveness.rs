@@ -1,0 +1,135 @@
+//! Experiment E10: the Section 6.2 progressiveness remark, validated
+//! behaviourally.
+//!
+//! "TL2 is not progressive: it may forcefully abort a transaction Ti that
+//! conflicts with a concurrent transaction Tk, even if Ti invokes a
+//! conflicting operation after Tk commits." DSTM, by contrast, aborts only
+//! on live conflicts. The same crafted schedule is run on both.
+
+use opacity_tm::harness::{execute, random_schedule, Program, TxScript};
+use opacity_tm::opacity::criteria::check_progressive;
+use opacity_tm::stm::{DstmStm, MvStm, NonOpaqueStm, Stm, Tl2Stm, VisibleStm};
+
+/// The discriminating schedule: T1 reads r0; T2 writes r1 and commits;
+/// T1 then reads r1 — a conflict (shared object r1) whose other party is
+/// already committed when T1 first touches it.
+fn discriminating_program() -> Program {
+    Program::new(vec![
+        TxScript::new().read(0).read(1),
+        TxScript::new().write(1, 5),
+    ])
+}
+
+const SCHEDULE: &[usize] = &[
+    0, // T1 reads r0
+    1, 1, // T2 writes r1 and commits
+    0, // T1 reads r1  <-- T2 is already committed here
+    0, // T1 commits
+];
+
+#[test]
+fn tl2_aborts_without_live_conflict() {
+    let stm = Tl2Stm::new(2);
+    let out = execute(&stm, &discriminating_program(), SCHEDULE);
+    // T1 is forcefully aborted although its conflicting operation came
+    // after T2's commit: TL2 is not progressive.
+    assert!(!out.txs[0].committed);
+    assert_eq!(out.txs[0].reads, vec![0], "the read of r1 never returns");
+    assert!(out.txs[1].committed);
+}
+
+#[test]
+fn dstm_commits_in_the_same_schedule() {
+    let stm = DstmStm::new(2);
+    let out = execute(&stm, &discriminating_program(), SCHEDULE);
+    // No object of T1's read set changed; progressive DSTM lets it run.
+    assert!(out.txs[0].committed, "progressive TM must not abort T1");
+    assert_eq!(out.txs[0].reads, vec![0, 5]);
+    assert!(out.txs[1].committed);
+}
+
+#[test]
+fn visible_commits_in_the_same_schedule() {
+    let stm = VisibleStm::new(2);
+    let out = execute(&stm, &discriminating_program(), SCHEDULE);
+    assert!(out.txs[0].committed);
+    assert_eq!(out.txs[0].reads, vec![0, 5]);
+}
+
+#[test]
+fn mvstm_commits_reading_its_snapshot() {
+    let stm = MvStm::new(2);
+    let out = execute(&stm, &discriminating_program(), SCHEDULE);
+    // Multi-version: T1 reads the r1 of its start snapshot (0), and being
+    // read-only it always commits.
+    assert!(out.txs[0].committed);
+    assert_eq!(out.txs[0].reads, vec![0, 0]);
+}
+
+#[test]
+fn nonopaque_commits_in_the_same_schedule() {
+    let stm = NonOpaqueStm::new(2);
+    let out = execute(&stm, &discriminating_program(), SCHEDULE);
+    assert!(out.txs[0].committed);
+    assert_eq!(out.txs[0].reads, vec![0, 5]);
+}
+
+/// DSTM does abort on *live* conflicts — progressiveness permits exactly
+/// that.
+#[test]
+fn dstm_aborts_only_on_live_conflicts() {
+    let program = Program::new(vec![
+        TxScript::new().read(0).read(1),
+        TxScript::new().write(0, 5), // overlaps T1's read set this time
+    ]);
+    let stm = DstmStm::new(2);
+    // T1 reads r0; T2 writes r0 (conflict while T1 live) and commits; T1's
+    // next read detects the invalidation.
+    let out = execute(&stm, &program, &[0, 1, 1, 0, 0]);
+    assert!(!out.txs[0].committed, "read-set invalidation is a real conflict");
+    assert!(out.txs[1].committed);
+}
+
+/// The formal Section 6.1 checker on the *recorded histories*: TL2's
+/// discriminating-schedule history contains an unjustified forced abort;
+/// DSTM's does not.
+#[test]
+fn formal_progressiveness_checker_on_recorded_histories() {
+    let tl2 = Tl2Stm::new(2);
+    execute(&tl2, &discriminating_program(), SCHEDULE);
+    let r = check_progressive(&tl2.recorder().history());
+    assert!(
+        !r.progressive(),
+        "TL2's forced abort has no justifying live conflict: {:?}",
+        r.violations
+    );
+
+    let dstm = DstmStm::new(2);
+    execute(&dstm, &discriminating_program(), SCHEDULE);
+    let r = check_progressive(&dstm.recorder().history());
+    assert!(r.progressive());
+}
+
+/// DSTM stays progressive across many random interleavings of an
+/// adversarial program: every forced abort in every recorded history is
+/// justified by a live conflict.
+#[test]
+fn dstm_progressive_across_random_interleavings() {
+    let program = Program::new(vec![
+        TxScript::new().read(0).read(1).read(2),
+        TxScript::new().write(0, 5).write(2, 5),
+        TxScript::new().write(1, 7).read(2),
+    ]);
+    for seed in 0..60 {
+        let stm = DstmStm::new(3);
+        let sched = random_schedule(&program, seed);
+        execute(&stm, &program, &sched);
+        let r = check_progressive(&stm.recorder().history());
+        assert!(
+            r.progressive(),
+            "seed {seed}: unjustified forced abort {:?}\n{}",
+            r.violations,
+            stm.recorder().history()
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Experiment E18: rigorous scheduling, executable — Section 3.6 on live
+//! executions.
+//!
+//! The paper argues rigorousness (the strongest member of the
+//! recoverability family, what strict two-phase locking provides) is
+//! *sufficient but too strong* for TM. With the 2PL TM in the suite, both
+//! halves become measurable — plus a finding the formal model makes sharp:
+//!
+//! * **rigorousness is inherently blocking.** Our 2PL resolves conflicts by
+//!   *wounding* (the older transaction force-aborts the younger and repairs
+//!   the lock itself) so that it stays non-blocking and explorable. At the
+//!   history level the victim's abort event appears only when the victim
+//!   next acts — so the wounder's repair overlaps a still-live transaction,
+//!   and the recorded history fails *literal* rigorousness while remaining
+//!   opaque. Executions that resolve without wounds (dies, or no conflicts)
+//!   are rigorous. A TM whose every history is rigorous must make the
+//!   conflicting requester *wait*, which no obstruction-free design does —
+//!   a miniature of the paper's point that rigorousness over-constrains TM.
+//! * the 2PL TM forbids the §3.6 blind-writer overlap (at most one commits
+//!   from a fully interleaved schedule), while the commit-time validator
+//!   commits them all — opaquely but non-rigorously, separating the
+//!   criteria on real executions.
+
+use opacity_tm::harness::{all_schedules, execute, Program, TxScript};
+use opacity_tm::model::SpecRegistry;
+use opacity_tm::opacity::criteria::{is_serializable, ScheduleProperties};
+use opacity_tm::opacity::opacity::is_opaque;
+use opacity_tm::stm::{NonOpaqueStm, Stm, Tl2Stm, TplStm};
+
+fn specs() -> SpecRegistry {
+    SpecRegistry::registers()
+}
+
+/// §3.6's shape, scaled down to explorer size: two writers blindly writing
+/// the same two registers.
+fn blind_writers() -> Program {
+    Program::new(vec![
+        TxScript::new().write(0, 1).write(1, 1),
+        TxScript::new().write(0, 2).write(1, 2),
+    ])
+}
+
+#[test]
+fn tpl_always_opaque_and_rigorous_when_wound_free() {
+    let p = blind_writers();
+    let mut rigorous_count = 0;
+    let mut wounded_count = 0;
+    for sched in all_schedules(&p.action_counts(), 100) {
+        let stm = TplStm::new(2);
+        let out = execute(&stm, &p, &sched);
+        let h = stm.recorder().history();
+        assert!(
+            is_opaque(&h, &specs()).unwrap().opaque,
+            "2PL must be opaque under {sched:?}:\n{h}"
+        );
+        assert!(is_serializable(&h, &specs()).unwrap(), "{sched:?}:\n{h}");
+        let props = ScheduleProperties::of(&h);
+        if out.commits() == 2 {
+            // Both committed ⇒ no wound or die happened ⇒ every lock was
+            // respected for its holder's whole lifetime ⇒ rigorous.
+            assert!(props.rigorous, "wound-free run must be rigorous {sched:?}:\n{h}");
+        }
+        if props.rigorous {
+            rigorous_count += 1;
+        } else {
+            wounded_count += 1;
+        }
+    }
+    // Both regimes occur: serial-ish schedules are rigorous; wounding
+    // schedules are opaque-but-not-rigorous (the blocking trade-off).
+    assert!(rigorous_count > 0, "some schedules must resolve without wounds");
+    assert!(
+        wounded_count > 0,
+        "some schedules must wound — rigorousness without blocking is impossible"
+    );
+}
+
+#[test]
+fn tpl_serial_schedules_are_rigorous() {
+    let p = blind_writers();
+    for sched in [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]] {
+        let stm = TplStm::new(2);
+        let out = execute(&stm, &p, &sched);
+        assert_eq!(out.commits(), 2);
+        let h = stm.recorder().history();
+        assert!(ScheduleProperties::of(&h).rigorous, "{sched:?}:\n{h}");
+    }
+}
+
+#[test]
+fn tpl_serializes_the_blind_writers() {
+    // Under 2PL the overlapping writers can never both commit from a fully
+    // interleaved schedule — one dies or is wounded (the §3.6 objection).
+    let stm = TplStm::new(2);
+    let p = blind_writers();
+    let out = execute(&stm, &p, &[0, 1, 0, 1, 0, 1]);
+    assert_eq!(out.commits(), 1, "rigorous-style locking forbids the overlap");
+}
+
+#[test]
+fn commit_time_validator_commits_the_overlap_opaquely_but_not_rigorously() {
+    // The §3.6 separation on a real execution: the commit-time validator
+    // commits BOTH overlapping blind writers (blind writes conflict on
+    // nothing it checks); the history is opaque yet not rigorous.
+    let mut separated = false;
+    let p = blind_writers();
+    for sched in all_schedules(&p.action_counts(), 100) {
+        let stm = NonOpaqueStm::new(2);
+        let out = execute(&stm, &p, &sched);
+        let h = stm.recorder().history();
+        assert!(
+            is_opaque(&h, &specs()).unwrap().opaque,
+            "blind writers alone cannot violate opacity {sched:?}: {h}"
+        );
+        if out.commits() == 2 && !ScheduleProperties::of(&h).rigorous {
+            separated = true;
+        }
+    }
+    assert!(
+        separated,
+        "some interleaving must commit both writers non-rigorously"
+    );
+}
+
+#[test]
+fn tl2_refuses_the_same_set_overlap() {
+    // TL2's commit-time lock acquisition checks versions against rv: two
+    // fully overlapped writers of the same registers can never both
+    // commit — TL2 is *more* conservative than §3.6's user needs, though
+    // less than 2PL (it only aborts at commit time).
+    let p = blind_writers();
+    let stm = Tl2Stm::new(2);
+    let out = execute(&stm, &p, &[0, 1, 0, 1, 0, 1]);
+    assert_eq!(out.commits(), 1);
+}
+
+#[test]
+fn tpl_readers_never_observe_fractured_views() {
+    // 2PL read locks mean the writer can only proceed by wounding the
+    // reader, and a wounded reader never completes another read — so any
+    // reader that finishes both reads saw a consistent pair.
+    let p = Program::new(vec![
+        TxScript::new().read(0).read(1),
+        TxScript::new().write(0, 7).write(1, 7),
+    ]);
+    for sched in all_schedules(&p.action_counts(), 100) {
+        let stm = TplStm::new(2);
+        let out = execute(&stm, &p, &sched);
+        if out.txs[0].reads.len() == 2 {
+            assert_eq!(
+                out.txs[0].reads[0], out.txs[0].reads[1],
+                "{sched:?}: fractured view under 2PL"
+            );
+        }
+        assert!(is_opaque(&stm.recorder().history(), &specs()).unwrap().opaque);
+    }
+}
+
+#[test]
+fn wound_priority_keeps_the_oldest_writer_alive() {
+    // Progress guarantee behind the non-blocking design: the transaction
+    // that begins first (smallest id) always commits, whatever the
+    // interleaving — so the scheme cannot livelock.
+    let p = blind_writers();
+    for sched in all_schedules(&p.action_counts(), 100) {
+        if sched[0] != 0 {
+            continue;
+        }
+        let stm = TplStm::new(2);
+        let out = execute(&stm, &p, &sched);
+        assert!(
+            out.txs[0].committed,
+            "{sched:?}: the older transaction must win"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Section 7 ("Concluding Remarks") extensions, end-to-end:
+//! non-transactional operations as single-op committed transactions, and
+//! nested transactions (closed and open) flattened into the flat model.
+
+use opacity_tm::model::{
+    flatten, HistoryBuilder, NestingInfo, NestingMode, NonTxWrapper, SpecRegistry, TxId,
+};
+use opacity_tm::opacity::opacity::is_opaque;
+
+fn specs() -> SpecRegistry {
+    SpecRegistry::registers()
+}
+
+// ---------------------------------------------------------------------------
+// Non-transactional operations
+// ---------------------------------------------------------------------------
+
+/// A non-transactional read of committed state is opaque under the
+/// single-op-transaction encapsulation.
+#[test]
+fn nontx_read_of_committed_state_is_opaque() {
+    let mut h = HistoryBuilder::new().write(1, "x", 3).commit_ok(1).build();
+    let mut nt = NonTxWrapper::for_history(&h);
+    nt.read(&mut h, "x", 3);
+    assert!(is_opaque(&h, &specs()).unwrap().opaque);
+}
+
+/// The encapsulation *detects races*: a non-transactional read observing a
+/// live transaction's buffered write violates opacity — exactly the
+/// "race conditions between transactional and non-transactional code" the
+/// paper's model is designed to disallow.
+#[test]
+fn nontx_dirty_read_violates_opacity() {
+    let mut h = HistoryBuilder::new().write(1, "x", 3).build(); // T1 live
+    let mut nt = NonTxWrapper::for_history(&h);
+    nt.read(&mut h, "x", 3); // observes the uncommitted write
+    let mut h = h;
+    // T1 eventually aborts.
+    h.push(opacity_tm::model::Event::TryAbort(TxId(1)));
+    h.push(opacity_tm::model::Event::Abort(TxId(1)));
+    assert!(!is_opaque(&h, &specs()).unwrap().opaque);
+}
+
+/// Non-transactional writes interleaved with transactions serialize like
+/// any other committed transaction.
+#[test]
+fn nontx_write_serializes_with_transactions() {
+    let mut h = HistoryBuilder::new().read(1, "x", 0).build();
+    let mut nt = NonTxWrapper::for_history(&h);
+    nt.write(&mut h, "x", 9);
+    let h = {
+        let mut h = h;
+        // T1 continues: it read x=0 before the non-transactional write, so
+        // it must serialize before it; reading y=0 keeps that possible.
+        h.push(opacity_tm::model::Event::Inv {
+            tx: TxId(1),
+            obj: "y".into(),
+            op: opacity_tm::model::OpName::Read,
+            args: vec![],
+        });
+        h.push(opacity_tm::model::Event::Ret {
+            tx: TxId(1),
+            obj: "y".into(),
+            op: opacity_tm::model::OpName::Read,
+            val: opacity_tm::model::Value::int(0),
+        });
+        h.push(opacity_tm::model::Event::TryCommit(TxId(1)));
+        h.push(opacity_tm::model::Event::Commit(TxId(1)));
+        h
+    };
+    assert!(is_opaque(&h, &specs()).unwrap().opaque);
+}
+
+// ---------------------------------------------------------------------------
+// Nested transactions
+// ---------------------------------------------------------------------------
+
+/// Closed nesting: a committed child merges into the parent, and the merged
+/// flat history is opaque.
+#[test]
+fn closed_nested_commit_is_opaque_after_flattening() {
+    let h = HistoryBuilder::new()
+        .write(1, "x", 1)
+        .read(10, "x", 1) // child observes the parent's write
+        .write(10, "y", 2)
+        .commit_ok(10)
+        .commit_ok(1)
+        .read(2, "y", 2)
+        .commit_ok(2)
+        .build();
+    let n = NestingInfo::new().child(10, 1, NestingMode::Closed);
+    let flat = flatten(&h, &n);
+    assert!(is_opaque(&flat, &specs()).unwrap().opaque, "{flat}");
+}
+
+/// An aborted closed child that observed its parent's writes is legal
+/// thanks to the parent-context splice — but a child that observed a value
+/// from nowhere is still caught.
+#[test]
+fn aborted_closed_child_legality() {
+    let good = HistoryBuilder::new()
+        .write(1, "x", 1)
+        .read(20, "x", 1)
+        .try_abort(20)
+        .abort(20)
+        .commit_ok(1)
+        .build();
+    let n = NestingInfo::new().child(20, 1, NestingMode::Closed);
+    let flat = flatten(&good, &n);
+    assert!(is_opaque(&flat, &specs()).unwrap().opaque, "{flat}");
+
+    let bad = HistoryBuilder::new()
+        .write(1, "x", 1)
+        .read(20, "x", 77) // the child hallucinates a value
+        .try_abort(20)
+        .abort(20)
+        .commit_ok(1)
+        .build();
+    let flat = flatten(&bad, &n);
+    assert!(!is_opaque(&flat, &specs()).unwrap().opaque, "{flat}");
+}
+
+/// Open nesting: the child's commit is immediately visible to others and
+/// survives the parent's abort.
+#[test]
+fn open_nested_commit_survives_parent_abort() {
+    let h = HistoryBuilder::new()
+        .read(1, "x", 0)
+        .write(30, "y", 5)
+        .commit_ok(30)
+        .read(2, "y", 5)
+        .commit_ok(2)
+        .try_abort(1)
+        .abort(1)
+        .build();
+    let n = NestingInfo::new().child(30, 1, NestingMode::Open);
+    let flat = flatten(&h, &n);
+    assert!(is_opaque(&flat, &specs()).unwrap().opaque, "{flat}");
+    assert!(flat.status(TxId(30)).is_committed());
+    assert!(flat.status(TxId(2)).is_committed());
+}
+
+/// Under *closed* nesting the same scenario is an opacity violation: T2
+/// read a value that, after the parent aborts, was never committed.
+#[test]
+fn closed_child_of_aborted_parent_must_not_leak() {
+    let h = HistoryBuilder::new()
+        .read(1, "x", 0)
+        .write(30, "y", 5)
+        .commit_ok(30) // closed commit: internal to the (doomed) parent
+        .read(2, "y", 5) // T2 saw it anyway — that's the bug
+        .commit_ok(2)
+        .try_abort(1)
+        .abort(1)
+        .build();
+    let n = NestingInfo::new().child(30, 1, NestingMode::Closed);
+    let flat = flatten(&h, &n);
+    // After merging, the write of y=5 belongs to the *aborted* parent —
+    // T2's read of it is a dirty read.
+    assert!(!is_opaque(&flat, &specs()).unwrap().opaque, "{flat}");
+}
