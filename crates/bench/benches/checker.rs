@@ -50,9 +50,16 @@ fn bench_memoization_ablation(c: &mut Criterion) {
         let h = blind_writers_history(n);
         group.bench_with_input(BenchmarkId::new("memo_on", n), &h, |b, h| {
             b.iter(|| {
-                is_opaque_with(h, &specs, SearchConfig { memoize: true, node_limit: None })
-                    .unwrap()
-                    .opaque
+                is_opaque_with(
+                    h,
+                    &specs,
+                    SearchConfig {
+                        memoize: true,
+                        node_limit: None,
+                    },
+                )
+                .unwrap()
+                .opaque
             })
         });
         group.bench_with_input(BenchmarkId::new("memo_off", n), &h, |b, h| {
@@ -60,7 +67,10 @@ fn bench_memoization_ablation(c: &mut Criterion) {
                 is_opaque_with(
                     h,
                     &specs,
-                    SearchConfig { memoize: false, node_limit: Some(10_000_000) },
+                    SearchConfig {
+                        memoize: false,
+                        node_limit: Some(10_000_000),
+                    },
                 )
                 .unwrap()
                 .opaque
@@ -87,7 +97,12 @@ fn bench_random_histories(c: &mut Criterion) {
 fn bench_opg_construction(c: &mut Criterion) {
     let specs = SpecRegistry::registers();
     let h5 = with_initial_tx(&paper::h5(), &specs);
-    let order = vec![INIT_TX, tm_model::TxId(2), tm_model::TxId(1), tm_model::TxId(3)];
+    let order = vec![
+        INIT_TX,
+        tm_model::TxId(2),
+        tm_model::TxId(1),
+        tm_model::TxId(3),
+    ];
     let v = HashSet::new();
     c.bench_function("checker/opg_build_h5", |b| {
         b.iter(|| {

@@ -27,10 +27,19 @@ fn bench_criteria_suite(c: &mut Criterion) {
     let specs = SpecRegistry::registers();
     let mut group = c.benchmark_group("criteria/suite");
     let h = random_history(
-        &GenConfig { txs: 5, objs: 3, max_ops: 4, noise: 0.2, commit_pending: 0.1, abort: 0.2 },
+        &GenConfig {
+            txs: 5,
+            objs: 3,
+            max_ops: 4,
+            noise: 0.2,
+            commit_pending: 0.1,
+            abort: 0.2,
+        },
         7,
     );
-    group.bench_function("opacity", |b| b.iter(|| is_opaque(&h, &specs).unwrap().opaque));
+    group.bench_function("opacity", |b| {
+        b.iter(|| is_opaque(&h, &specs).unwrap().opaque)
+    });
     group.bench_function("serializability", |b| {
         b.iter(|| is_serializable(&h, &specs).unwrap())
     });
@@ -55,16 +64,12 @@ fn bench_monitor_vs_offline(c: &mut Criterion) {
     group.sample_size(20);
     for n in [4u32, 8, 12] {
         for (name, h) in [("chain", chain_history(n)), ("mixed", mixed_history(n))] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("online_{name}"), n),
-                &h,
-                |b, h| {
-                    b.iter(|| {
-                        let mut monitor = OpacityMonitor::new(&specs);
-                        monitor.feed_all(h).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("online_{name}"), n), &h, |b, h| {
+                b.iter(|| {
+                    let mut monitor = OpacityMonitor::new(&specs);
+                    monitor.feed_all(h).unwrap()
+                })
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("offline_per_prefix_{name}"), n),
                 &h,
@@ -111,5 +116,10 @@ fn bench_si_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_criteria_suite, bench_monitor_vs_offline, bench_si_scaling);
+criterion_group!(
+    benches,
+    bench_criteria_suite,
+    bench_monitor_vs_offline,
+    bench_si_scaling
+);
 criterion_main!(benches);

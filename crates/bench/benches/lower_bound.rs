@@ -10,16 +10,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tm_harness::complexity::{paper_scenario, solo_scan};
 use tm_stm::{AstmStm, DstmStm, MvStm, NonOpaqueStm, SiStm, Stm, Tl2Stm, TplStm, VisibleStm};
 
-fn stm_factories() -> Vec<(&'static str, fn(usize) -> Box<dyn Stm>)> {
+type StmFactory = fn(usize) -> Box<dyn Stm>;
+
+fn stm_factories() -> Vec<(&'static str, StmFactory)> {
     vec![
         ("dstm", |k| Box::new(DstmStm::new(k)) as Box<dyn Stm>),
         ("astm", |k| Box::new(AstmStm::new(k)) as Box<dyn Stm>),
         ("tl2", |k| Box::new(Tl2Stm::new(k)) as Box<dyn Stm>),
         ("visible", |k| Box::new(VisibleStm::new(k)) as Box<dyn Stm>),
         ("mvstm", |k| Box::new(MvStm::new(k)) as Box<dyn Stm>),
-        ("nonopaque", |k| Box::new(NonOpaqueStm::new(k)) as Box<dyn Stm>),
-        ("sistm", |k| Box::new(SiStm::new(k)) as Box<dyn Stm>),
-        ("tpl", |k| Box::new(TplStm::new(k)) as Box<dyn Stm>),
+        ("nonopaque", |k| {
+            Box::new(NonOpaqueStm::new(k)) as Box<dyn Stm>
+        }),
         ("sistm", |k| Box::new(SiStm::new(k)) as Box<dyn Stm>),
         ("tpl", |k| Box::new(TplStm::new(k)) as Box<dyn Stm>),
     ]

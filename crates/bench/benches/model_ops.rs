@@ -25,7 +25,9 @@ fn bench_projection(c: &mut Criterion) {
     c.bench_function("model/per_tx_projection", |b| {
         b.iter(|| h.per_tx(TxId(32)).len())
     });
-    c.bench_function("model/tx_view", |b| b.iter(|| h.tx_view(TxId(32)).ops.len()));
+    c.bench_function("model/tx_view", |b| {
+        b.iter(|| h.tx_view(TxId(32)).ops.len())
+    });
 }
 
 fn bench_real_time_order(c: &mut Criterion) {

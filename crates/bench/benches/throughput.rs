@@ -8,9 +8,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use tm_harness::workload::{bank, counter, read_mostly};
-use tm_stm::{AstmStm, ContentionManager, DstmStm, GlockStm, MvStm, NonOpaqueStm, SiStm, Stm, Tl2Stm, TplStm, VisibleStm};
+use tm_stm::{
+    AstmStm, ContentionManager, DstmStm, GlockStm, MvStm, NonOpaqueStm, SiStm, Stm, Tl2Stm, TplStm,
+    VisibleStm,
+};
 
-fn stm_factories() -> Vec<(&'static str, fn(usize) -> Box<dyn Stm>)> {
+type StmFactory = fn(usize) -> Box<dyn Stm>;
+
+fn stm_factories() -> Vec<(&'static str, StmFactory)> {
     vec![
         ("glock", |k| Box::new(GlockStm::new(k)) as Box<dyn Stm>),
         ("tl2", |k| Box::new(Tl2Stm::new(k)) as Box<dyn Stm>),
@@ -18,7 +23,9 @@ fn stm_factories() -> Vec<(&'static str, fn(usize) -> Box<dyn Stm>)> {
         ("astm", |k| Box::new(AstmStm::new(k)) as Box<dyn Stm>),
         ("visible", |k| Box::new(VisibleStm::new(k)) as Box<dyn Stm>),
         ("mvstm", |k| Box::new(MvStm::new(k)) as Box<dyn Stm>),
-        ("nonopaque", |k| Box::new(NonOpaqueStm::new(k)) as Box<dyn Stm>),
+        ("nonopaque", |k| {
+            Box::new(NonOpaqueStm::new(k)) as Box<dyn Stm>
+        }),
         ("sistm", |k| Box::new(SiStm::new(k)) as Box<dyn Stm>),
         ("tpl", |k| Box::new(TplStm::new(k)) as Box<dyn Stm>),
     ]

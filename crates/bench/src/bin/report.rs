@@ -93,7 +93,16 @@ fn main() {
         print!("---|");
     }
     println!("---|");
-    for name in ["dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"] {
+    for name in [
+        "dstm",
+        "astm",
+        "tl2",
+        "visible",
+        "tpl",
+        "mvstm",
+        "sistm",
+        "nonopaque",
+    ] {
         print!("| {name} |");
         let mut outcome = "";
         for k in ks {
@@ -117,7 +126,17 @@ fn main() {
         print!("---|");
     }
     println!();
-    for name in ["glock", "dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"] {
+    for name in [
+        "glock",
+        "dstm",
+        "astm",
+        "tl2",
+        "visible",
+        "tpl",
+        "mvstm",
+        "sistm",
+        "nonopaque",
+    ] {
         print!("| {name} |");
         for k in ks {
             let r = rows.iter().find(|r| r.stm == name && r.k == k).unwrap();
@@ -126,5 +145,7 @@ fn main() {
         println!();
     }
 
-    println!("\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._");
+    println!(
+        "\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._"
+    );
 }

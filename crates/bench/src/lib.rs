@@ -55,7 +55,10 @@ pub fn mixed_history(n: u32) -> History {
     let mut last_x = 0i64;
     for t in 1..=n {
         if t % 2 == 1 {
-            b = b.write(t, "x", t as i64).write(t, "y", t as i64).commit_ok(t);
+            b = b
+                .write(t, "x", t as i64)
+                .write(t, "y", t as i64)
+                .commit_ok(t);
             last_x = t as i64;
         } else {
             b = b.read(t, "x", last_x).read(t, "y", last_x).commit_ok(t);

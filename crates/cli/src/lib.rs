@@ -29,10 +29,10 @@ use std::io::{Read as _, Write};
 use tm_harness::{random_history, GenConfig};
 use tm_model::{History, RealTimeOrder, SpecRegistry};
 use tm_opacity::criteria;
+use tm_opacity::explain::explain_violation;
 use tm_opacity::graph::{build_opg, nonlocal, with_initial_tx};
 use tm_opacity::graphcheck::construct_graph_witness;
 use tm_opacity::opacity::is_opaque;
-use tm_opacity::explain::explain_violation;
 use tm_trace::{from_json, from_text, to_json_pretty, to_text};
 
 /// A parsed command line.
@@ -93,7 +93,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(|| "missing command".to_string())?;
     let file_arg = |it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
-        it.next().cloned().ok_or_else(|| format!("{cmd}: missing <file> argument"))
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{cmd}: missing <file> argument"))
     };
     match cmd.as_str() {
         "check" => Ok(Command::Check(file_arg(&mut it)?)),
@@ -114,8 +116,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Convert { file, json })
         }
         "generate" => {
-            let mut g = Command::Generate { seed: 1, txs: 4, objs: 3, ops: 4, json: false };
-            let Command::Generate { seed, txs, objs, ops, json } = &mut g else {
+            let mut g = Command::Generate {
+                seed: 1,
+                txs: 4,
+                objs: 3,
+                ops: 4,
+                json: false,
+            };
+            let Command::Generate {
+                seed,
+                txs,
+                objs,
+                ops,
+                json,
+            } = &mut g
+            else {
                 unreachable!()
             };
             while let Some(flag) = it.next() {
@@ -192,7 +207,14 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             let h = load_history(file)?;
             tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
             let report = is_opaque(&h, &specs).map_err(|e| e.to_string())?;
-            w(out, format!("history: {} events, {} transactions", h.len(), h.txs().len()))?;
+            w(
+                out,
+                format!(
+                    "history: {} events, {} transactions",
+                    h.len(),
+                    h.txs().len()
+                ),
+            )?;
             if report.opaque {
                 w(out, "verdict: OPAQUE".to_string())?;
                 if let Some(witness) = &report.witness {
@@ -203,11 +225,17 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                         .collect();
                     w(out, format!("witness serialization: {}", order.join(" ≪ ")))?;
                 }
-                w(out, format!("search: {} nodes explored", report.stats.nodes))?;
+                w(
+                    out,
+                    format!("search: {} nodes explored", report.stats.nodes),
+                )?;
                 Ok(0)
             } else {
                 w(out, "verdict: NOT OPAQUE".to_string())?;
-                w(out, "hint: run `tmcheck explain` for the violation localization".to_string())?;
+                w(
+                    out,
+                    "hint: run `tmcheck explain` for the violation localization".to_string(),
+                )?;
                 Ok(1)
             }
         }
@@ -233,14 +261,47 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                 .map(|b| if b { "yes" } else { "NO" })
                 .unwrap_or("n/a (non-register objects)");
             let yn = |b: bool| if b { "yes" } else { "NO" };
-            w(out, format!("serializable (global atomicity):  {}", yn(profile.serializable)))?;
-            w(out, format!("strictly serializable:            {}", yn(profile.strictly_serializable)))?;
-            w(out, format!("recoverable:                      {}", yn(profile.recoverable)))?;
-            w(out, format!("avoids cascading aborts:          {}", yn(profile.avoids_cascading_aborts)))?;
-            w(out, format!("strict:                           {}", yn(profile.strict)))?;
-            w(out, format!("rigorous (§3.6):                  {}", yn(profile.rigorous)))?;
+            w(
+                out,
+                format!(
+                    "serializable (global atomicity):  {}",
+                    yn(profile.serializable)
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "strictly serializable:            {}",
+                    yn(profile.strictly_serializable)
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "recoverable:                      {}",
+                    yn(profile.recoverable)
+                ),
+            )?;
+            w(
+                out,
+                format!(
+                    "avoids cascading aborts:          {}",
+                    yn(profile.avoids_cascading_aborts)
+                ),
+            )?;
+            w(
+                out,
+                format!("strict:                           {}", yn(profile.strict)),
+            )?;
+            w(
+                out,
+                format!("rigorous (§3.6):                  {}", yn(profile.rigorous)),
+            )?;
             w(out, format!("snapshot-isolated:                {si}"))?;
-            w(out, format!("opaque (Definition 1):            {}", yn(profile.opaque)))?;
+            w(
+                out,
+                format!("opaque (Definition 1):            {}", yn(profile.opaque)),
+            )?;
             Ok(if profile.opaque { 0 } else { 1 })
         }
         Command::Graph(file) => {
@@ -251,7 +312,10 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                     let h0 = nonlocal(&with_initial_tx(&h, &specs));
                     let visible: HashSet<_> = witness.visible.iter().copied().collect();
                     let g = build_opg(&h0, &witness.order, &visible);
-                    w(out, "// OPG(nonlocal(H·T0), ≪, V) for the opacity witness".to_string())?;
+                    w(
+                        out,
+                        "// OPG(nonlocal(H·T0), ≪, V) for the opacity witness".to_string(),
+                    )?;
                     w(out, g.to_dot())?;
                     Ok(0)
                 }
@@ -286,14 +350,24 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
         }
         Command::Convert { file, json } => {
             let h = load_history(file)?;
-            let rendered = if *json { to_json_pretty(&h) } else { to_text(&h) };
+            let rendered = if *json {
+                to_json_pretty(&h)
+            } else {
+                to_text(&h)
+            };
             write!(out, "{rendered}").map_err(|e| e.to_string())?;
             if *json {
                 w(out, String::new())?;
             }
             Ok(0)
         }
-        Command::Generate { seed, txs, objs, ops, json } => {
+        Command::Generate {
+            seed,
+            txs,
+            objs,
+            ops,
+            json,
+        } => {
             let config = GenConfig {
                 txs: *txs,
                 objs: *objs,
@@ -301,7 +375,11 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                 ..GenConfig::default()
             };
             let h = random_history(&config, *seed);
-            let rendered = if *json { to_json_pretty(&h) } else { to_text(&h) };
+            let rendered = if *json {
+                to_json_pretty(&h)
+            } else {
+                to_text(&h)
+            };
             write!(out, "{rendered}").map_err(|e| e.to_string())?;
             Ok(0)
         }
@@ -339,16 +417,31 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn parse_args_all_commands() {
         let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
         assert_eq!(parse_args(&a("check f")), Ok(Command::Check("f".into())));
-        assert_eq!(parse_args(&a("explain f")), Ok(Command::Explain("f".into())));
-        assert_eq!(parse_args(&a("criteria f")), Ok(Command::Criteria("f".into())));
+        assert_eq!(
+            parse_args(&a("explain f")),
+            Ok(Command::Explain("f".into()))
+        );
+        assert_eq!(
+            parse_args(&a("criteria f")),
+            Ok(Command::Criteria("f".into()))
+        );
         assert_eq!(parse_args(&a("graph f")), Ok(Command::Graph("f".into())));
         assert_eq!(
             parse_args(&a("convert f --json")),
-            Ok(Command::Convert { file: "f".into(), json: true })
+            Ok(Command::Convert {
+                file: "f".into(),
+                json: true
+            })
         );
         assert_eq!(
             parse_args(&a("generate --seed 7 --txs 3 --json")),
-            Ok(Command::Generate { seed: 7, txs: 3, objs: 3, ops: 4, json: true })
+            Ok(Command::Generate {
+                seed: 7,
+                txs: 3,
+                objs: 3,
+                ops: 4,
+                json: true
+            })
         );
         assert_eq!(parse_args(&a("help")), Ok(Command::Help));
         assert!(parse_args(&a("bogus")).is_err());
@@ -387,8 +480,14 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let f = fixture("h1c", H1_TRACE);
         let (code, output) = run_str(&Command::Criteria(f));
         assert_eq!(code, 1);
-        assert!(output.contains("serializable (global atomicity):  yes"), "{output}");
-        assert!(output.contains("opaque (Definition 1):            NO"), "{output}");
+        assert!(
+            output.contains("serializable (global atomicity):  yes"),
+            "{output}"
+        );
+        assert!(
+            output.contains("opaque (Definition 1):            NO"),
+            "{output}"
+        );
     }
 
     #[test]
@@ -407,10 +506,16 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     #[test]
     fn convert_roundtrips_between_formats() {
         let f = fixture("conv", OPAQUE_TRACE);
-        let (code, json) = run_str(&Command::Convert { file: f, json: true });
+        let (code, json) = run_str(&Command::Convert {
+            file: f,
+            json: true,
+        });
         assert_eq!(code, 0);
         let f2 = fixture("conv2", &json);
-        let (code, text) = run_str(&Command::Convert { file: f2, json: false });
+        let (code, text) = run_str(&Command::Convert {
+            file: f2,
+            json: false,
+        });
         assert_eq!(code, 0);
         assert_eq!(
             parse_trace(&text).unwrap().events(),

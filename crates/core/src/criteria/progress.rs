@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn voluntary_abort_never_counts() {
-        let h = HistoryBuilder::new().read(1, "x", 0).try_abort(1).abort(1).build();
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .try_abort(1)
+            .abort(1)
+            .build();
         assert!(check_progressive(&h).progressive());
     }
 

@@ -169,9 +169,7 @@ impl ScheduleProperties {
             let v = a.read.as_ref().unwrap();
             let writer = accesses
                 .iter()
-                .filter(|w| {
-                    w.obj == a.obj && w.written.as_ref() == Some(v) && w.pos < a.pos
-                })
+                .filter(|w| w.obj == a.obj && w.written.as_ref() == Some(v) && w.pos < a.pos)
                 .max_by_key(|w| w.pos)
                 .map(|w| w.tx);
             if let Some(wtx) = writer {
@@ -228,10 +226,7 @@ impl ScheduleProperties {
                         tx: a.tx,
                         other: w.tx,
                         obj: a.obj.clone(),
-                        what: format!(
-                            "{} accessed {} updated by incomplete {}",
-                            a.tx, a.obj, w.tx
-                        ),
+                        what: format!("{} accessed {} updated by incomplete {}", a.tx, a.obj, w.tx),
                     });
                 }
             }
@@ -246,10 +241,7 @@ impl ScheduleProperties {
                         tx: a.tx,
                         other: r.tx,
                         obj: a.obj.clone(),
-                        what: format!(
-                            "{} updated {} read by incomplete {}",
-                            a.tx, a.obj, r.tx
-                        ),
+                        what: format!("{} updated {} read by incomplete {}", a.tx, a.obj, r.tx),
                     });
                 }
             }
@@ -263,7 +255,10 @@ impl ScheduleProperties {
             violations: v,
         };
         let report = RecoverabilityReport {
-            reads_from: reads_from.into_iter().map(|(_, r, w, o)| (r, w, o)).collect(),
+            reads_from: reads_from
+                .into_iter()
+                .map(|(_, r, w, o)| (r, w, o))
+                .collect(),
         };
         (props, report)
     }
@@ -356,7 +351,10 @@ mod tests {
         // Section 3.6's overlapping writers: all update x,y,z concurrently.
         let mut b = HistoryBuilder::new();
         for t in 1..=3u32 {
-            b = b.write(t, "x", t as i64).write(t, "y", t as i64).write(t, "z", t as i64);
+            b = b
+                .write(t, "x", t as i64)
+                .write(t, "y", t as i64)
+                .write(t, "z", t as i64);
         }
         for t in 1..=3u32 {
             b = b.commit_ok(t);
@@ -407,7 +405,12 @@ mod tests {
             paper::h3(),
             paper::h4(),
             paper::h5(),
-            HistoryBuilder::new().write(1, "x", 1).read(2, "x", 1).commit_ok(1).commit_ok(2).build(),
+            HistoryBuilder::new()
+                .write(1, "x", 1)
+                .read(2, "x", 1)
+                .commit_ok(1)
+                .commit_ok(2)
+                .build(),
         ] {
             let p = ScheduleProperties::of(&h);
             if p.rigorous {

@@ -47,10 +47,10 @@ pub fn is_one_copy_serializable(h: &History, specs: &SpecRegistry) -> Result<boo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tm_model::builder::{paper, HistoryBuilder};
     use tm_model::objects::Counter;
     use tm_model::SpecRegistry;
-    use std::sync::Arc;
 
     fn regs() -> SpecRegistry {
         SpecRegistry::registers()

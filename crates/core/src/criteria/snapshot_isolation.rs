@@ -105,9 +105,7 @@ pub fn snapshot_isolated(h: &History, specs: &SpecRegistry) -> Result<bool, Chec
 }
 
 fn check_snapshot_isolated(h: &History, specs: &SpecRegistry) -> Result<SiReport, CheckError> {
-    if let Err(e) = is_well_formed_checked(h) {
-        return Err(e);
-    }
+    is_well_formed_checked(h)?;
     let footprints = collect_footprints(h)?;
     // Local reads are checked unconditionally: they are independent of the
     // order and snapshot choices.
@@ -160,7 +158,11 @@ fn check_snapshot_isolated(h: &History, specs: &SpecRegistry) -> Result<SiReport
             });
         }
     }
-    Ok(SiReport { snapshot_isolated: false, commit_order: None, snapshot_points: None })
+    Ok(SiReport {
+        snapshot_isolated: false,
+        commit_order: None,
+        snapshot_points: None,
+    })
 }
 
 fn is_well_formed_checked(h: &History) -> Result<(), CheckError> {
@@ -186,9 +188,11 @@ fn collect_footprints(h: &History) -> Result<HashMap<TxId, Footprint>, CheckErro
                     let v = op.args.first().cloned().unwrap_or(Value::Unit);
                     fp.writes.insert(op.obj.clone(), v);
                 }
-                ref other => return Err(CheckError::NoSpec(format!(
-                    "snapshot isolation is register-only; found operation {other}"
-                ))),
+                ref other => {
+                    return Err(CheckError::NoSpec(format!(
+                        "snapshot isolation is register-only; found operation {other}"
+                    )))
+                }
             }
         }
     }

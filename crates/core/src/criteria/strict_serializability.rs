@@ -43,7 +43,11 @@ mod tests {
     #[test]
     fn h1_strictly_serializable_yet_not_opaque() {
         assert!(is_strictly_serializable(&paper::h1(), &regs()).unwrap());
-        assert!(!crate::opacity::is_opaque(&paper::h1(), &regs()).unwrap().opaque);
+        assert!(
+            !crate::opacity::is_opaque(&paper::h1(), &regs())
+                .unwrap()
+                .opaque
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ pub fn explain_violation(
         }
     }
     let fatal = h.prefix(at);
-    let event = fatal.events().last().map(|e| e.to_string()).unwrap_or_default();
+    let event = fatal
+        .events()
+        .last()
+        .map(|e| e.to_string())
+        .unwrap_or_default();
 
     // Greedy placeable prefix on the fatal history: place any transaction
     // whose replay succeeds (folding committed effects), repeatedly.
@@ -150,7 +154,9 @@ mod tests {
     #[test]
     fn h1_explanation_points_at_the_fatal_read() {
         let h = paper::h1();
-        let ex = explain_violation(&h, &regs()).unwrap().expect("H1 not opaque");
+        let ex = explain_violation(&h, &regs())
+            .unwrap()
+            .expect("H1 not opaque");
         // The first non-opaque prefix ends at ret2(y,read)→2.
         let expected = h
             .events()
@@ -168,9 +174,15 @@ mod tests {
 
     #[test]
     fn garbage_read_explained_at_its_response() {
-        let h = tm_model::HistoryBuilder::new().read(1, "x", 42).commit_ok(1).build();
+        let h = tm_model::HistoryBuilder::new()
+            .read(1, "x", 42)
+            .commit_ok(1)
+            .build();
         let ex = explain_violation(&h, &regs()).unwrap().unwrap();
         assert_eq!(ex.at_event, 1); // the ret event
-        assert!(ex.stuck.iter().any(|s| s.tx == TxId(1) && s.error.is_some()));
+        assert!(ex
+            .stuck
+            .iter()
+            .any(|s| s.tx == TxId(1) && s.error.is_some()));
     }
 }

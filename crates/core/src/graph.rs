@@ -14,9 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
-use tm_model::{
-    Event, History, ObjId, OpExec, OpName, RealTimeOrder, SpecRegistry, TxId, Value,
-};
+use tm_model::{Event, History, ObjId, OpExec, OpName, RealTimeOrder, SpecRegistry, TxId, Value};
 
 /// Node labels of the opacity graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,16 +60,16 @@ impl OpacityGraph {
             .filter(|(_, l)| *l == NodeLabel::Loc)
             .map(|(t, _)| *t)
             .collect();
-        !self.edges.iter().any(|((from, _), labels)| {
-            loc.contains(from) && labels.contains(&EdgeLabel::Rf)
-        })
+        !self
+            .edges
+            .iter()
+            .any(|((from, _), labels)| loc.contains(from) && labels.contains(&EdgeLabel::Rf))
     }
 
     /// True if the graph is acyclic (self-loops count as cycles).
     pub fn is_acyclic(&self) -> bool {
         // Kahn's algorithm over the vertex set.
-        let mut indeg: HashMap<TxId, usize> =
-            self.nodes.iter().map(|(t, _)| (*t, 0)).collect();
+        let mut indeg: HashMap<TxId, usize> = self.nodes.iter().map(|(t, _)| (*t, 0)).collect();
         for &(from, to) in self.edges.keys() {
             if from == to {
                 return false;
@@ -82,12 +80,15 @@ impl OpacityGraph {
                 }
             }
         }
-        let mut queue: Vec<TxId> =
-            indeg.iter().filter(|(_, &d)| d == 0).map(|(t, _)| *t).collect();
+        let mut queue: Vec<TxId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(t, _)| *t)
+            .collect();
         let mut removed = 0usize;
         while let Some(t) = queue.pop() {
             removed += 1;
-            for (&(from, to), _) in &self.edges {
+            for &(from, to) in self.edges.keys() {
                 if from == t {
                     if let Some(d) = indeg.get_mut(&to) {
                         *d -= 1;
@@ -103,8 +104,7 @@ impl OpacityGraph {
 
     /// A topological order of the vertices, if the graph is acyclic.
     pub fn topological_order(&self) -> Option<Vec<TxId>> {
-        let mut indeg: HashMap<TxId, usize> =
-            self.nodes.iter().map(|(t, _)| (*t, 0)).collect();
+        let mut indeg: HashMap<TxId, usize> = self.nodes.iter().map(|(t, _)| (*t, 0)).collect();
         for &(from, to) in self.edges.keys() {
             if from == to {
                 return None;
@@ -123,7 +123,7 @@ impl OpacityGraph {
         let mut out = Vec::with_capacity(self.nodes.len());
         while let Some(std::cmp::Reverse(t)) = queue.pop() {
             out.push(t);
-            for (&(from, to), _) in &self.edges {
+            for &(from, to) in self.edges.keys() {
                 if from == t {
                     if let Some(d) = indeg.get_mut(&to) {
                         *d -= 1;
@@ -187,7 +187,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NonRegisterOperation(op) => {
-                write!(f, "graph characterization requires register histories; found {op}")
+                write!(
+                    f,
+                    "graph characterization requires register histories; found {op}"
+                )
             }
             GraphError::DuplicateWrite { obj, value } => {
                 write!(f, "unique-writes violated: {value} written to {obj} twice")
@@ -208,7 +211,10 @@ pub fn check_graph_preconditions(h: &History) -> Result<(), GraphError> {
                 OpName::Write => {
                     let v = args.first().cloned().unwrap_or(Value::Unit);
                     if !written.insert((obj.clone(), v.clone())) {
-                        return Err(GraphError::DuplicateWrite { obj: obj.clone(), value: v });
+                        return Err(GraphError::DuplicateWrite {
+                            obj: obj.clone(),
+                            value: v,
+                        });
                     }
                 }
                 other => return Err(GraphError::NonRegisterOperation(other.to_string())),
@@ -236,7 +242,12 @@ pub fn with_initial_tx(h: &History, specs: &SpecRegistry) -> History {
             op: OpName::Write,
             args: vec![init.clone()],
         });
-        events.push(Event::Ret { tx: INIT_TX, obj, op: OpName::Write, val: Value::Ok });
+        events.push(Event::Ret {
+            tx: INIT_TX,
+            obj,
+            op: OpName::Write,
+            val: Value::Ok,
+        });
     }
     events.push(Event::TryCommit(INIT_TX));
     events.push(Event::Commit(INIT_TX));
@@ -388,8 +399,7 @@ pub fn is_consistent(h: &History) -> bool {
 /// execution's actual real-time order, so that is what rule 1 uses here.
 pub fn build_opg(h: &History, order: &[TxId], visible: &HashSet<TxId>) -> OpacityGraph {
     let txs = h.txs();
-    let pos: HashMap<TxId, usize> =
-        order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+    let pos: HashMap<TxId, usize> = order.iter().enumerate().map(|(i, t)| (*t, i)).collect();
     let before = |a: TxId, b: TxId| match (pos.get(&a), pos.get(&b)) {
         (Some(x), Some(y)) => x < y,
         _ => false,
@@ -410,7 +420,13 @@ pub fn build_opg(h: &History, order: &[TxId], visible: &HashSet<TxId>) -> Opacit
     // "Ti writes to r" is invocation-level: include pending write invocations.
     let mut writes: Vec<(TxId, ObjId, Value)> = Vec::new();
     for e in nl.events() {
-        if let Event::Inv { tx, obj, op: OpName::Write, args } = e {
+        if let Event::Inv {
+            tx,
+            obj,
+            op: OpName::Write,
+            args,
+        } = e
+        {
             if let Some(v) = args.first() {
                 writes.push((*tx, obj.clone(), v.clone()));
             }
@@ -491,7 +507,10 @@ mod tests {
     fn preconditions_detect_violations() {
         let ok = paper::h1();
         assert!(check_graph_preconditions(&ok).is_ok());
-        let dup = HistoryBuilder::new().write(1, "x", 5).write(2, "x", 5).build();
+        let dup = HistoryBuilder::new()
+            .write(1, "x", 5)
+            .write(2, "x", 5)
+            .build();
         assert!(matches!(
             check_graph_preconditions(&dup),
             Err(GraphError::DuplicateWrite { .. })
@@ -523,9 +542,15 @@ mod tests {
 
     #[test]
     fn local_consistency() {
-        let good = HistoryBuilder::new().write(1, "x", 1).read(1, "x", 1).build();
+        let good = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(1, "x", 1)
+            .build();
         assert!(is_locally_consistent(&good));
-        let bad = HistoryBuilder::new().write(1, "x", 1).read(1, "x", 9).build();
+        let bad = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(1, "x", 9)
+            .build();
         assert!(!is_locally_consistent(&bad));
     }
 
@@ -549,8 +574,16 @@ mod tests {
         assert!(g.is_acyclic(), "{}", g.to_dot());
         // rf edges: T2 -> T1 (x), T2 -> T1 (y)?? T1 reads x=1 from T2 and
         // y=2 from T2; T3 reads x=1 from T2.
-        assert!(g.edges.get(&(TxId(2), TxId(1))).unwrap().contains(&EdgeLabel::Rf));
-        assert!(g.edges.get(&(TxId(2), TxId(3))).unwrap().contains(&EdgeLabel::Rf));
+        assert!(g
+            .edges
+            .get(&(TxId(2), TxId(1)))
+            .unwrap()
+            .contains(&EdgeLabel::Rf));
+        assert!(g
+            .edges
+            .get(&(TxId(2), TxId(3)))
+            .unwrap()
+            .contains(&EdgeLabel::Rf));
     }
 
     #[test]
@@ -619,7 +652,11 @@ mod tests {
         let h = with_initial_tx(&h, &regs());
         let good = build_opg(&h, &[INIT_TX, TxId(1), TxId(2)], &HashSet::new());
         assert!(good.is_acyclic());
-        assert!(good.edges.get(&(TxId(1), TxId(2))).unwrap().contains(&EdgeLabel::Rw));
+        assert!(good
+            .edges
+            .get(&(TxId(1), TxId(2)))
+            .unwrap()
+            .contains(&EdgeLabel::Rw));
         let bad = build_opg(&h, &[INIT_TX, TxId(2), TxId(1)], &HashSet::new());
         assert!(!bad.is_acyclic(), "{}", bad.to_dot());
     }

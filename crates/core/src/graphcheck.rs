@@ -124,7 +124,11 @@ pub fn decide_via_graph(
     let h0 = prepare(h, specs)?;
     let consistent = is_consistent(&h0);
     if !consistent {
-        return Ok(GraphVerdict { consistent, witness: None, candidates_checked: 0 });
+        return Ok(GraphVerdict {
+            consistent,
+            witness: None,
+            candidates_checked: 0,
+        });
     }
     let txs = h0.txs();
     assert!(
@@ -158,7 +162,11 @@ pub fn decide_via_graph(
             });
         }
     }
-    Ok(GraphVerdict { consistent, witness: None, candidates_checked })
+    Ok(GraphVerdict {
+        consistent,
+        witness: None,
+        candidates_checked,
+    })
 }
 
 /// Heap's algorithm with early exit; returns the first permutation accepted
@@ -228,7 +236,9 @@ mod tests {
             assert!(w.is_some(), "{h}");
         }
         // Non-opaque history: no witness is constructible.
-        assert!(construct_graph_witness(&paper::h1(), &regs()).unwrap().is_none());
+        assert!(construct_graph_witness(&paper::h1(), &regs())
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
         let specs = regs();
         let mut m = OpacityMonitor::new(&specs);
         assert_eq!(m.feed_all(&prefix).unwrap(), None);
-        assert_eq!(m.feed(Event::Commit(TxId(1))).unwrap(), MonitorVerdict::OpaqueChecked);
+        assert_eq!(
+            m.feed(Event::Commit(TxId(1))).unwrap(),
+            MonitorVerdict::OpaqueChecked
+        );
     }
 
     #[test]
@@ -217,7 +220,7 @@ mod tests {
         // of H4/H5, the monitor's verdict must match a from-scratch check.
         for h in [paper::h4(), paper::h5(), paper::h1()] {
             let specs = regs();
-        let mut m = OpacityMonitor::new(&specs);
+            let mut m = OpacityMonitor::new(&specs);
             let mut violated = false;
             for (i, e) in h.events().iter().enumerate() {
                 let v = m.feed(e.clone()).unwrap();

@@ -32,7 +32,11 @@ pub struct OpacityReport {
 
 impl OpacityReport {
     fn from_outcome(out: SearchOutcome) -> Self {
-        OpacityReport { opaque: out.witness.is_some(), witness: out.witness, stats: out.stats }
+        OpacityReport {
+            opaque: out.witness.is_some(),
+            witness: out.witness,
+            stats: out.stats,
+        }
     }
 
     /// Renders the witness as the paper renders its examples:
@@ -60,7 +64,11 @@ impl OpacityReport {
 
 /// Checks whether `h` is opaque (Definition 1).
 pub fn is_opaque(h: &History, specs: &SpecRegistry) -> Result<OpacityReport, CheckError> {
-    Ok(OpacityReport::from_outcome(search(h, specs, SearchMode::OPACITY)?))
+    Ok(OpacityReport::from_outcome(search(
+        h,
+        specs,
+        SearchMode::OPACITY,
+    )?))
 }
 
 /// [`is_opaque`] with an explicit search configuration (for the ablation
@@ -272,6 +280,9 @@ mod tests {
             .build();
         let r = is_opaque(&h, &regs()).unwrap();
         assert!(r.opaque);
-        assert_eq!(r.witness.unwrap().tx_order(), vec![TxId(1), TxId(2), TxId(3)]);
+        assert_eq!(
+            r.witness.unwrap().tx_order(),
+            vec![TxId(1), TxId(2), TxId(3)]
+        );
     }
 }

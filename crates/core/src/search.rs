@@ -103,15 +103,21 @@ pub struct SearchMode {
 
 impl SearchMode {
     /// The mode of Definition 1 (opacity).
-    pub const OPACITY: SearchMode =
-        SearchMode { include_noncommitted: true, respect_real_time: true };
+    pub const OPACITY: SearchMode = SearchMode {
+        include_noncommitted: true,
+        respect_real_time: true,
+    };
     /// Final-state serializability / global atomicity: committed only, any
     /// order.
-    pub const SERIALIZABILITY: SearchMode =
-        SearchMode { include_noncommitted: false, respect_real_time: false };
+    pub const SERIALIZABILITY: SearchMode = SearchMode {
+        include_noncommitted: false,
+        respect_real_time: false,
+    };
     /// Strict serializability: committed only, real-time preserved.
-    pub const STRICT_SERIALIZABILITY: SearchMode =
-        SearchMode { include_noncommitted: false, respect_real_time: true };
+    pub const STRICT_SERIALIZABILITY: SearchMode = SearchMode {
+        include_noncommitted: false,
+        respect_real_time: true,
+    };
 }
 
 /// Statistics from a search, for the ablation benchmarks (E13).
@@ -154,7 +160,10 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { memoize: true, node_limit: None }
+        SearchConfig {
+            memoize: true,
+            node_limit: None,
+        }
     }
 }
 
@@ -193,10 +202,16 @@ impl<'a> Search<'a> {
         let selected: Vec<TxId> = if mode.include_noncommitted {
             all.clone()
         } else {
-            all.iter().copied().filter(|t| h.status(*t).is_committed()).collect()
+            all.iter()
+                .copied()
+                .filter(|t| h.status(*t).is_committed())
+                .collect()
         };
         if selected.len() > MAX_TXS {
-            return Err(CheckError::TooManyTransactions { found: selected.len(), max: MAX_TXS });
+            return Err(CheckError::TooManyTransactions {
+                found: selected.len(),
+                max: MAX_TXS,
+            });
         }
         let index_of = |t: TxId| selected.iter().position(|&x| x == t);
         let mut txs = Vec::with_capacity(selected.len());
@@ -209,9 +224,18 @@ impl<'a> Search<'a> {
                     }
                 }
             }
-            txs.push(TxInfo { id: t, view: h.tx_view(t), status: h.status(t), pred_mask });
+            txs.push(TxInfo {
+                id: t,
+                view: h.tx_view(t),
+                status: h.status(t),
+                pred_mask,
+            });
         }
-        let full_mask = if selected.is_empty() { 0 } else { (1u64 << selected.len()) - 1 };
+        let full_mask = if selected.is_empty() {
+            0
+        } else {
+            (1u64 << selected.len()) - 1
+        };
         Ok(Search {
             specs,
             config,
@@ -228,10 +252,15 @@ impl<'a> Search<'a> {
         let states = ObjStates::new();
         match self.dfs(0, &states)? {
             true => Ok(SearchOutcome {
-                witness: Some(Witness { order: self.stack.clone() }),
+                witness: Some(Witness {
+                    order: self.stack.clone(),
+                }),
                 stats: self.stats,
             }),
-            false => Ok(SearchOutcome { witness: None, stats: self.stats }),
+            false => Ok(SearchOutcome {
+                witness: None,
+                stats: self.stats,
+            }),
         }
     }
 
@@ -332,8 +361,12 @@ mod tests {
     #[test]
     fn h1_serializable_but_not_opaque() {
         let h = paper::h1();
-        assert!(search(&h, &regs(), SearchMode::SERIALIZABILITY).unwrap().holds());
-        assert!(search(&h, &regs(), SearchMode::STRICT_SERIALIZABILITY).unwrap().holds());
+        assert!(search(&h, &regs(), SearchMode::SERIALIZABILITY)
+            .unwrap()
+            .holds());
+        assert!(search(&h, &regs(), SearchMode::STRICT_SERIALIZABILITY)
+            .unwrap()
+            .holds());
         assert!(!search(&h, &regs(), SearchMode::OPACITY).unwrap().holds());
     }
 
@@ -389,7 +422,10 @@ mod tests {
             &h,
             &regs(),
             SearchMode::OPACITY,
-            SearchConfig { memoize: false, node_limit: Some(2_000_000) },
+            SearchConfig {
+                memoize: false,
+                node_limit: Some(2_000_000),
+            },
         )
         .unwrap()
         .run()
@@ -411,7 +447,10 @@ mod tests {
             &h,
             &regs(),
             SearchMode::OPACITY,
-            SearchConfig { memoize: true, node_limit: Some(1) },
+            SearchConfig {
+                memoize: true,
+                node_limit: Some(1),
+            },
         )
         .unwrap()
         .run()
@@ -431,8 +470,12 @@ mod tests {
             .commit_ok(2)
             .build();
         assert!(!search(&h, &regs(), SearchMode::OPACITY).unwrap().holds());
-        assert!(!search(&h, &regs(), SearchMode::STRICT_SERIALIZABILITY).unwrap().holds());
-        assert!(search(&h, &regs(), SearchMode::SERIALIZABILITY).unwrap().holds());
+        assert!(!search(&h, &regs(), SearchMode::STRICT_SERIALIZABILITY)
+            .unwrap()
+            .holds());
+        assert!(search(&h, &regs(), SearchMode::SERIALIZABILITY)
+            .unwrap()
+            .holds());
     }
 
     #[test]

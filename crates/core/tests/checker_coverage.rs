@@ -38,7 +38,13 @@ fn criteria_aliases_agree_with_their_definitions() {
 
 #[test]
 fn classify_profile_is_internally_consistent() {
-    for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+    for h in [
+        paper::h1(),
+        paper::h2(),
+        paper::h3(),
+        paper::h4(),
+        paper::h5(),
+    ] {
         let p = classify(&h, &specs()).unwrap();
         // opacity ⟹ strict serializability ⟹ serializability.
         if p.opaque {
@@ -56,11 +62,24 @@ fn node_limit_makes_checker_conservative_not_wrong() {
     // "no witness found" may be a false negative. H5 is opaque and small
     // enough that even a modest limit finds the witness.
     let h = paper::h5();
-    let tight = is_opaque_with(&h, &specs(), SearchConfig { memoize: true, node_limit: Some(3) })
-        .unwrap();
-    let loose =
-        is_opaque_with(&h, &specs(), SearchConfig { memoize: true, node_limit: Some(10_000) })
-            .unwrap();
+    let tight = is_opaque_with(
+        &h,
+        &specs(),
+        SearchConfig {
+            memoize: true,
+            node_limit: Some(3),
+        },
+    )
+    .unwrap();
+    let loose = is_opaque_with(
+        &h,
+        &specs(),
+        SearchConfig {
+            memoize: true,
+            node_limit: Some(10_000),
+        },
+    )
+    .unwrap();
     assert!(loose.opaque);
     // The tight limit may or may not find it; if it claims opaque, the
     // witness must be real.
@@ -135,8 +154,10 @@ fn explanations_for_various_violations() {
 #[test]
 fn monitor_with_custom_config() {
     let specs = specs();
-    let mut m = OpacityMonitor::new(&specs)
-        .with_config(SearchConfig { memoize: true, node_limit: Some(100_000) });
+    let mut m = OpacityMonitor::new(&specs).with_config(SearchConfig {
+        memoize: true,
+        node_limit: Some(100_000),
+    });
     assert_eq!(m.feed_all(&paper::h5()).unwrap(), None);
     assert!(m.last_stats().nodes > 0);
     assert_eq!(m.history().len(), paper::h5().len());
@@ -199,5 +220,8 @@ fn empty_and_single_event_histories() {
     assert!(is_opaque(&empty, &specs()).unwrap().opaque);
     assert!(is_serializable(&empty, &specs()).unwrap());
     let single = HistoryBuilder::new().inv_read(1, "x").build();
-    assert!(is_opaque(&single, &specs()).unwrap().opaque, "pending invocation only");
+    assert!(
+        is_opaque(&single, &specs()).unwrap().opaque,
+        "pending invocation only"
+    );
 }

@@ -44,7 +44,14 @@ fn regs() -> SpecRegistry {
 }
 
 fn config(txs: usize, objs: usize, ops: usize, noise: f64) -> GenConfig {
-    GenConfig { txs, objs, max_ops: ops, noise, commit_pending: 0.2, abort: 0.25 }
+    GenConfig {
+        txs,
+        objs,
+        max_ops: ops,
+        noise,
+        commit_pending: 0.2,
+        abort: 0.25,
+    }
 }
 
 /// Removes every event of `t` from `h`.
@@ -317,10 +324,16 @@ fn opaque_but_committed_projection_not_serializable() {
         .read(2, "x", 5) // committed T2 reads the pending write
         .commit_ok(2)
         .build();
-    assert!(is_opaque(&h, &regs()).unwrap().opaque, "T1 may appear committed");
+    assert!(
+        is_opaque(&h, &regs()).unwrap().opaque,
+        "T1 may appear committed"
+    );
     assert!(
         !is_serializable(&h, &regs()).unwrap(),
         "the committed projection erases T1, orphaning T2's read"
     );
-    assert!(snapshot_isolated(&h, &regs()).unwrap(), "SI handles the dual");
+    assert!(
+        snapshot_isolated(&h, &regs()).unwrap(),
+        "SI handles the dual"
+    );
 }

@@ -26,7 +26,12 @@ fn specs() -> SpecRegistry {
 /// Deterministic bulk sweep: both deciders on 1500 random histories.
 #[test]
 fn deciders_agree_on_random_histories_bulk() {
-    let config = GenConfig { txs: 4, objs: 3, max_ops: 3, ..GenConfig::default() };
+    let config = GenConfig {
+        txs: 4,
+        objs: 3,
+        max_ops: 3,
+        ..GenConfig::default()
+    };
     let mut opaque_count = 0;
     for seed in 0..1500u64 {
         let h = random_history(&config, seed);
@@ -76,7 +81,12 @@ fn deciders_agree_on_noisy_histories() {
 /// search, so fewer cases).
 #[test]
 fn deciders_agree_on_wider_histories() {
-    let config = GenConfig { txs: 5, objs: 3, max_ops: 3, ..GenConfig::default() };
+    let config = GenConfig {
+        txs: 5,
+        objs: 3,
+        max_ops: 3,
+        ..GenConfig::default()
+    };
     for seed in 20_000..20_150u64 {
         let h = random_history(&config, seed);
         let d = is_opaque(&h, &specs()).unwrap().opaque;

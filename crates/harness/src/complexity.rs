@@ -58,7 +58,11 @@ fn summarize(stm_name: &'static str, k: usize, out: &ExecOutcome) -> ComplexityR
         stm: stm_name,
         k,
         max_read_steps: reads.iter().copied().max().unwrap_or(0),
-        mean_read_steps: if reads.is_empty() { 0.0 } else { total as f64 / reads.len() as f64 },
+        mean_read_steps: if reads.is_empty() {
+            0.0
+        } else {
+            total as f64 / reads.len() as f64
+        },
         total_read_steps: total,
         last_read_steps: reads.last().copied().unwrap_or(0),
         t1_committed: t1.committed,
@@ -96,8 +100,7 @@ pub fn paper_scenario(stm: &dyn Stm, k: usize) -> ComplexityRow {
     ]);
     // T1 performs its first `half` reads; T2 runs fully (k/2 writes +
     // commit); T1 performs its final read, then tries to commit.
-    let mut schedule: Vec<usize> = Vec::new();
-    schedule.extend(std::iter::repeat(0).take(half));
+    let mut schedule: Vec<usize> = vec![0; half];
     schedule.extend(std::iter::repeat(1).take(k - half + 1)); // writes + commit
     schedule.push(0); // the Ω(k)-validation read
     schedule.push(0); // T1 commit attempt
@@ -122,8 +125,7 @@ pub fn fraction_scenario(stm: &dyn Stm, k: usize, m: usize) -> ComplexityRow {
         TxScript::reader((0..m).chain([k - 1])),
         TxScript::writer(m..k, 7),
     ]);
-    let mut schedule: Vec<usize> = Vec::new();
-    schedule.extend(std::iter::repeat(0).take(m));
+    let mut schedule: Vec<usize> = vec![0; m];
     schedule.extend(std::iter::repeat(1).take(k - m + 1));
     schedule.push(0); // the validating read
     schedule.push(0); // T1 commit
@@ -167,7 +169,10 @@ mod tests {
         let tl2 = Tl2Stm::new(k);
         let d = solo_scan(&dstm, k);
         let t = solo_scan(&tl2, k);
-        assert!(d.max_read_steps >= k as u64, "DSTM max read must be Ω(k): {d:?}");
+        assert!(
+            d.max_read_steps >= k as u64,
+            "DSTM max read must be Ω(k): {d:?}"
+        );
         assert_eq!(t.max_read_steps, 3, "TL2 reads are O(1): {t:?}");
         // Per-transaction totals: Θ(k²) vs Θ(k).
         assert!(d.total_read_steps as usize >= k * k / 2, "{d:?}");
@@ -185,7 +190,10 @@ mod tests {
             d.last_read_steps >= (k / 2) as u64,
             "DSTM validation must cost Ω(k): {d:?}"
         );
-        assert!(d.t1_committed, "no read-set conflict: progressive TM commits T1");
+        assert!(
+            d.t1_committed,
+            "no read-set conflict: progressive TM commits T1"
+        );
 
         // ASTM (lazy acquire) sits at the same design point: same Ω(k).
         let astm = AstmStm::new(k);
@@ -201,7 +209,10 @@ mod tests {
         let tl2 = Tl2Stm::new(k);
         let t = paper_scenario(&tl2, k);
         assert!(t.last_read_steps <= 3, "TL2: {t:?}");
-        assert!(!t.t1_committed, "TL2's rv check aborts T1 without a live conflict");
+        assert!(
+            !t.t1_committed,
+            "TL2's rv check aborts T1 without a live conflict"
+        );
 
         // Visible reads: O(1), commits.
         let vis = VisibleStm::new(k);
@@ -213,7 +224,10 @@ mod tests {
         let mv = MvStm::new(k);
         let m = paper_scenario(&mv, k);
         assert!(m.last_read_steps <= 6, "mvstm: {m:?}");
-        assert!(m.t1_committed, "read-only snapshot transactions never abort");
+        assert!(
+            m.t1_committed,
+            "read-only snapshot transactions never abort"
+        );
 
         // Non-opaque: O(1) with all three Theorem-3 hypotheses — possible
         // only because it gave up opacity.
@@ -252,7 +266,10 @@ mod tests {
         let d128 = fraction_scenario(&DstmStm::new(k), k, 128).last_read_steps;
         assert!(d16 < d64 && d64 < d128, "{d16} {d64} {d128}");
         let slope = (d128 - d16) as f64 / (128.0 - 16.0);
-        assert!((0.8..1.2).contains(&slope), "one step per read-set entry: {slope}");
+        assert!(
+            (0.8..1.2).contains(&slope),
+            "one step per read-set entry: {slope}"
+        );
         let d16_smallk = fraction_scenario(&DstmStm::new(64), 64, 16).last_read_steps;
         assert_eq!(d16, d16_smallk, "k itself must be inert");
         let t16 = fraction_scenario(&Tl2Stm::new(k), k, 16).last_read_steps;

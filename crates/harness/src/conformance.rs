@@ -258,9 +258,11 @@ pub fn check_conformance(make: &dyn Fn(usize) -> Box<dyn Stm>) -> ConformanceRep
     let (v, _) = run_tx(stm.as_ref(), 0, |tx| tx.read(0));
     if v != 2 * per_thread {
         report.no_lost_updates = false;
-        report
-            .violations
-            .push(format!("counter: {} of {} increments survived", v, 2 * per_thread));
+        report.violations.push(format!(
+            "counter: {} of {} increments survived",
+            v,
+            2 * per_thread
+        ));
     }
 
     report
@@ -269,7 +271,7 @@ pub fn check_conformance(make: &dyn Fn(usize) -> Box<dyn Stm>) -> ConformanceRep
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tm_stm::{Mutation, MutantStm};
+    use tm_stm::{MutantStm, Mutation};
 
     /// The pinned conformance matrix of the in-tree TMs (the reference a
     /// downstream implementor compares against).
@@ -312,26 +314,27 @@ mod tests {
                 r.violations
             );
             let floor = if name == "glock" { 6 } else { 60 };
-            assert!(r.histories_checked >= floor, "{name}: swept {}", r.histories_checked);
+            assert!(
+                r.histories_checked >= floor,
+                "{name}: swept {}",
+                r.histories_checked
+            );
         }
     }
 
     #[test]
     fn mutants_fail_their_advertised_contracts() {
-        let skip_read = check_conformance(&|k| {
-            Box::new(MutantStm::new(k, Mutation::SkipReadValidation))
-        });
+        let skip_read =
+            check_conformance(&|k| Box::new(MutantStm::new(k, Mutation::SkipReadValidation)));
         assert!(!skip_read.opaque);
         assert!(skip_read.serializable, "{:?}", skip_read.violations);
-        let skip_commit = check_conformance(&|k| {
-            Box::new(MutantStm::new(k, Mutation::SkipCommitValidation))
-        });
+        let skip_commit =
+            check_conformance(&|k| Box::new(MutantStm::new(k, Mutation::SkipCommitValidation)));
         assert!(!skip_commit.serializable);
         // Lost updates under real threads are probabilistic at this scale;
         // the deterministic interleaving sweep above already convicts the
         // mutant, so the threaded probe is informative, not asserted.
-        let baseline =
-            check_conformance(&|k| Box::new(MutantStm::new(k, Mutation::None)));
+        let baseline = check_conformance(&|k| Box::new(MutantStm::new(k, Mutation::None)));
         assert!(baseline.opaque && baseline.serializable && baseline.no_lost_updates);
     }
 

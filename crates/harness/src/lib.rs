@@ -23,12 +23,12 @@ pub mod script;
 pub mod stats;
 pub mod workload;
 
-pub use conformance::{check_conformance, header as conformance_header, ConformanceReport};
 pub use complexity::{fraction_scenario, paper_scenario, solo_scan, sweep, ComplexityRow};
+pub use conformance::{check_conformance, header as conformance_header, ConformanceReport};
 pub use randhist::{batch, random_history, GenConfig};
 pub use sched::{
-    inversions, shrink_schedule,
-    all_schedules, complete_schedule, execute, random_schedule, ExecOutcome, Schedule, TxOutcome,
+    all_schedules, complete_schedule, execute, inversions, random_schedule, shrink_schedule,
+    ExecOutcome, Schedule, TxOutcome,
 };
 pub use script::{Program, ScriptOp, TxScript};
 pub use stats::{ascii_chart, Table};

@@ -87,8 +87,12 @@ pub fn random_history(config: &GenConfig, seed: u64) -> History {
     let obj_name = |o: usize| format!("x{o}");
 
     while txs.iter().any(|t| !t.done) {
-        let alive: Vec<usize> =
-            txs.iter().enumerate().filter(|(_, t)| !t.done).map(|(i, _)| i).collect();
+        let alive: Vec<usize> = txs
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.done)
+            .map(|(i, _)| i)
+            .collect();
         let &ti = alive.choose(&mut rng).expect("some tx alive");
         let (id, finish) = {
             let t = &mut txs[ti];
@@ -136,7 +140,9 @@ pub fn random_history(config: &GenConfig, seed: u64) -> History {
 
 /// Generates `n` histories with consecutive seeds.
 pub fn batch(config: &GenConfig, base_seed: u64, n: usize) -> Vec<History> {
-    (0..n).map(|i| random_history(config, base_seed + i as u64)).collect()
+    (0..n)
+        .map(|i| random_history(config, base_seed + i as u64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -164,12 +170,22 @@ mod tests {
     fn writes_are_globally_unique() {
         use std::collections::HashSet;
         use tm_model::{Event, OpName};
-        let config = GenConfig { txs: 6, max_ops: 6, ..GenConfig::default() };
+        let config = GenConfig {
+            txs: 6,
+            max_ops: 6,
+            ..GenConfig::default()
+        };
         for seed in 0..50 {
             let h = random_history(&config, seed);
             let mut seen = HashSet::new();
             for e in h.events() {
-                if let Event::Inv { obj, op: OpName::Write, args, .. } = e {
+                if let Event::Inv {
+                    obj,
+                    op: OpName::Write,
+                    args,
+                    ..
+                } = e
+                {
                     assert!(
                         seen.insert((obj.clone(), args[0].clone())),
                         "duplicate write in seed {seed}"
@@ -183,8 +199,8 @@ mod tests {
     fn noise_produces_both_verdicts() {
         // Sanity: among a few hundred histories, some are opaque and some
         // are not (otherwise the cross-validation would be vacuous).
-        use tm_opacity::opacity::is_opaque;
         use tm_model::SpecRegistry;
+        use tm_opacity::opacity::is_opaque;
         let specs = SpecRegistry::registers();
         let config = GenConfig::default();
         let mut yes = 0;
@@ -203,11 +219,17 @@ mod tests {
 
     #[test]
     fn commit_pending_fraction_appears() {
-        let config = GenConfig { commit_pending: 0.9, ..GenConfig::default() };
+        let config = GenConfig {
+            commit_pending: 0.9,
+            ..GenConfig::default()
+        };
         let mut pending = 0;
         for seed in 0..50 {
             pending += random_history(&config, seed).commit_pending_txs().len();
         }
-        assert!(pending > 50, "expected many commit-pending txs, got {pending}");
+        assert!(
+            pending > 50,
+            "expected many commit-pending txs, got {pending}"
+        );
     }
 }

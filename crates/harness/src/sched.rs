@@ -19,7 +19,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::script::{Program, ScriptOp};
-use tm_stm::{Stm, StepReport, Tx};
+use tm_stm::{StepReport, Stm, Tx};
 
 /// A schedule: thread indices in the order they take actions.
 pub type Schedule = Vec<usize>;
@@ -122,7 +122,11 @@ pub fn execute(stm: &dyn Stm, program: &Program, schedule: &[usize]) -> ExecOutc
     ExecOutcome {
         txs: threads
             .into_iter()
-            .map(|t| TxOutcome { committed: t.committed, reads: t.reads, steps: t.steps })
+            .map(|t| TxOutcome {
+                committed: t.committed,
+                reads: t.reads,
+                steps: t.steps,
+            })
             .collect(),
     }
 }
@@ -157,7 +161,10 @@ pub fn all_schedules(action_counts: &[usize], limit: usize) -> Vec<Schedule> {
         limit: usize,
     ) {
         if prefix.len() == total {
-            assert!(out.len() < limit, "interleaving enumeration exceeds limit {limit}");
+            assert!(
+                out.len() < limit,
+                "interleaving enumeration exceeds limit {limit}"
+            );
             out.push(prefix.clone());
             return;
         }
@@ -272,8 +279,11 @@ mod tests {
         let sched = complete_schedule(&p, &[1, 0]);
         let out = execute(&stm, &p, &sched);
         assert_eq!(out.txs.len(), 2);
-        assert!(out.txs.iter().all(|t| t.committed || !t.reads.is_empty() || t.committed));
-        assert_eq!(out.commits() + out.txs.iter().filter(|t| !t.committed).count(), 2);
+        assert!(out.txs.iter().all(|t| t.committed || !t.reads.is_empty()));
+        assert_eq!(
+            out.commits() + out.txs.iter().filter(|t| !t.committed).count(),
+            2
+        );
     }
 
     #[test]
@@ -315,11 +325,11 @@ pub fn inversions(schedule: &[usize]) -> usize {
 ///
 /// `violates` must be deterministic (drive a fresh TM through the explorer
 /// inside it). Cost: O(len²) in the worst case times the cost of one run.
-pub fn shrink_schedule(
-    schedule: &[usize],
-    mut violates: impl FnMut(&[usize]) -> bool,
-) -> Schedule {
-    assert!(violates(schedule), "shrink_schedule needs a violating schedule");
+pub fn shrink_schedule(schedule: &[usize], mut violates: impl FnMut(&[usize]) -> bool) -> Schedule {
+    assert!(
+        violates(schedule),
+        "shrink_schedule needs a violating schedule"
+    );
     let mut current = schedule.to_vec();
     loop {
         let mut improved = false;

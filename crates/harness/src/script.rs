@@ -53,12 +53,16 @@ impl TxScript {
 
     /// A script reading registers `objs` in order.
     pub fn reader(objs: impl IntoIterator<Item = usize>) -> Self {
-        TxScript { ops: objs.into_iter().map(ScriptOp::Read).collect() }
+        TxScript {
+            ops: objs.into_iter().map(ScriptOp::Read).collect(),
+        }
     }
 
     /// A script writing `v` to each register of `objs` in order.
     pub fn writer(objs: impl IntoIterator<Item = usize>, v: i64) -> Self {
-        TxScript { ops: objs.into_iter().map(|o| ScriptOp::Write(o, v)).collect() }
+        TxScript {
+            ops: objs.into_iter().map(|o| ScriptOp::Write(o, v)).collect(),
+        }
     }
 
     /// Number of scheduler actions this script contributes: its operations
@@ -116,7 +120,10 @@ mod tests {
         );
         assert_eq!(s.actions(), 4);
         assert_eq!(TxScript::reader(0..3).ops.len(), 3);
-        assert_eq!(TxScript::writer(0..2, 9).ops, vec![ScriptOp::Write(0, 9), ScriptOp::Write(1, 9)]);
+        assert_eq!(
+            TxScript::writer(0..2, 9).ops,
+            vec![ScriptOp::Write(0, 9), ScriptOp::Write(1, 9)]
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -146,7 +149,10 @@ mod tests {
         let s = ascii_chart(
             "max steps per read vs k",
             &xs,
-            &[("dstm", vec![4.0, 8.0, 16.0, 32.0]), ("tl2", vec![3.0, 3.0, 3.0, 3.0])],
+            &[
+                ("dstm", vec![4.0, 8.0, 16.0, 32.0]),
+                ("tl2", vec![3.0, 3.0, 3.0, 3.0]),
+            ],
             8,
         );
         assert!(s.contains("max steps per read"));

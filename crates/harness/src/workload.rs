@@ -70,7 +70,7 @@ pub fn bank(
                     if to == from {
                         to = (to + 1) % accounts;
                     }
-                    let amount = rng.gen_range(1..=10);
+                    let amount: i64 = rng.gen_range(1..=10);
                     let (_, rs) = run_tx(stm, t, |tx| {
                         let a = tx.read(from)?;
                         let b = tx.read(to)?;
@@ -205,7 +205,7 @@ mod tests {
         for stm in tm_stm::all_stms(1) {
             stm.recorder().set_enabled(false);
             let s = counter(stm.as_ref(), 3, 25);
-            assert_eq!(s.commits, 3 * 25 + 0, "{}", stm.name());
+            assert_eq!(s.commits, (3 * 25), "{}", stm.name());
             assert!(s.abort_rate() < 1.0);
         }
     }
@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn abort_rate_math() {
-        let s = WorkloadStats { commits: 75, aborts: 25 };
+        let s = WorkloadStats {
+            commits: 75,
+            aborts: 25,
+        };
         assert!((s.abort_rate() - 0.25).abs() < 1e-9);
         assert_eq!(WorkloadStats::default().abort_rate(), 0.0);
     }

@@ -65,7 +65,12 @@ impl HistoryBuilder {
             op: op.clone(),
             args,
         });
-        self.events.push(Event::Ret { tx: TxId(tx), obj: ObjId::new(obj), op, val });
+        self.events.push(Event::Ret {
+            tx: TxId(tx),
+            obj: ObjId::new(obj),
+            op,
+            val,
+        });
         self
     }
 
@@ -198,7 +203,11 @@ pub mod paper {
     /// History H3: `⟨write1(x,1), tryC1, read2(x,1)⟩`, used in Section 4 to
     /// illustrate `Complete(H)`.
     pub fn h3() -> History {
-        HistoryBuilder::new().write(1, "x", 1).try_commit(1).read(2, "x", 1).build()
+        HistoryBuilder::new()
+            .write(1, "x", 1)
+            .try_commit(1)
+            .read(2, "x", 1)
+            .build()
     }
 
     /// History H4 (Section 5.2): a commit-pending `T2` appears committed to

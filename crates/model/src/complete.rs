@@ -111,7 +111,10 @@ pub fn completions(h: &History) -> Vec<Completion> {
 
 /// Enumerates the canonical completed histories of `Complete(H)` directly.
 pub fn complete_histories(h: &History) -> Vec<History> {
-    completions(h).iter().map(|c| apply_completion(h, c)).collect()
+    completions(h)
+        .iter()
+        .map(|c| apply_completion(h, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -143,8 +146,10 @@ mod tests {
             assert_eq!(c.status(TxId(2)), TxStatus::ForcefullyAborted);
         }
         // Exactly one completion commits T1.
-        let committed: Vec<_> =
-            cs.iter().filter(|c| c.status(TxId(1)).is_committed()).collect();
+        let committed: Vec<_> = cs
+            .iter()
+            .filter(|c| c.status(TxId(1)).is_committed())
+            .collect();
         assert_eq!(committed.len(), 1);
     }
 
@@ -206,7 +211,10 @@ mod tests {
         let mut outcomes: Vec<(bool, bool)> = cs
             .iter()
             .map(|c| {
-                (c.status(TxId(1)).is_committed(), c.status(TxId(2)).is_committed())
+                (
+                    c.status(TxId(1)).is_committed(),
+                    c.status(TxId(2)).is_committed(),
+                )
             })
             .collect();
         outcomes.sort();
@@ -218,7 +226,13 @@ mod tests {
 
     #[test]
     fn all_completions_well_formed_for_paper_histories() {
-        for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+        for h in [
+            paper::h1(),
+            paper::h2(),
+            paper::h3(),
+            paper::h4(),
+            paper::h5(),
+        ] {
             for c in complete_histories(&h) {
                 assert!(is_well_formed(&c), "completion of {h}");
                 assert!(c.is_complete());

@@ -215,8 +215,18 @@ impl Event {
     pub fn matches_invocation(&self, inv: &Event) -> bool {
         match (inv, self) {
             (
-                Event::Inv { tx: ti, obj: oi, op: pi, .. },
-                Event::Ret { tx: tr, obj: or, op: pr, .. },
+                Event::Inv {
+                    tx: ti,
+                    obj: oi,
+                    op: pi,
+                    ..
+                },
+                Event::Ret {
+                    tx: tr,
+                    obj: or,
+                    op: pr,
+                    ..
+                },
             ) => ti == tr && oi == or && pi == pr,
             (Event::Inv { tx: ti, .. }, Event::Abort(tr)) => ti == tr,
             (Event::TryCommit(ti), Event::Commit(tr)) => ti == tr,
@@ -253,11 +263,21 @@ mod tests {
     use super::*;
 
     fn inv(tx: u32, obj: &str, op: OpName, args: Vec<Value>) -> Event {
-        Event::Inv { tx: TxId(tx), obj: obj.into(), op, args }
+        Event::Inv {
+            tx: TxId(tx),
+            obj: obj.into(),
+            op,
+            args,
+        }
     }
 
     fn ret(tx: u32, obj: &str, op: OpName, val: Value) -> Event {
-        Event::Ret { tx: TxId(tx), obj: obj.into(), op, val }
+        Event::Ret {
+            tx: TxId(tx),
+            obj: obj.into(),
+            op,
+            val,
+        }
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl History {
     /// The prefix of the first `n` events (used by the online monitor; recall
     /// that a TM must keep *every* prefix of its history opaque).
     pub fn prefix(&self, n: usize) -> History {
-        History { events: self.events[..n.min(self.events.len())].to_vec() }
+        History {
+            events: self.events[..n.min(self.events.len())].to_vec(),
+        }
     }
 
     /// `H · H'` — concatenation of histories.
@@ -69,7 +71,12 @@ impl History {
     /// transaction `t`.
     pub fn per_tx(&self, t: TxId) -> History {
         History {
-            events: self.events.iter().filter(|e| e.tx() == t).cloned().collect(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.tx() == t)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -155,7 +162,10 @@ impl History {
 
     /// The transactions of `H` that are live (not completed).
     pub fn live_txs(&self) -> Vec<TxId> {
-        self.txs().into_iter().filter(|t| self.status(*t).is_live()).collect()
+        self.txs()
+            .into_iter()
+            .filter(|t| self.status(*t).is_live())
+            .collect()
     }
 
     /// The transactions of `H` that are commit-pending.
@@ -200,7 +210,8 @@ impl History {
         if ts != os {
             return false;
         }
-        ts.iter().all(|t| self.per_tx(*t).events == other.per_tx(*t).events)
+        ts.iter()
+            .all(|t| self.per_tx(*t).events == other.per_tx(*t).events)
     }
 
     /// True if `H` is sequential: no two transactions in `H` are concurrent,
@@ -265,7 +276,12 @@ impl History {
                 _ => {}
             }
         }
-        TxView { tx: t, ops, pending, status: self.status(t) }
+        TxView {
+            tx: t,
+            ops,
+            pending,
+            status: self.status(t),
+        }
     }
 
     /// All completed operation executions in `H`, in invocation order.
@@ -281,7 +297,13 @@ impl History {
                 Event::Ret { tx, val, .. } => {
                     if let Some(pos) = pending.iter().rposition(|(t, ..)| t == tx) {
                         let (t, obj, op, args, _inv_idx) = pending.remove(pos);
-                        out.push(OpExec { tx: t, obj, op, args, val: val.clone() });
+                        out.push(OpExec {
+                            tx: t,
+                            obj,
+                            op,
+                            args,
+                            val: val.clone(),
+                        });
                     }
                 }
                 Event::Abort(tx) => {
@@ -309,7 +331,9 @@ impl fmt::Display for History {
 
 impl FromIterator<Event> for History {
     fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
-        History { events: iter.into_iter().collect() }
+        History {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -425,7 +449,12 @@ mod tests {
     #[test]
     fn tx_view_drops_op_answered_by_abort() {
         let mut h = HistoryBuilder::new().read(1, "x", 0).build();
-        h.push(Event::Inv { tx: TxId(1), obj: "y".into(), op: OpName::Read, args: vec![] });
+        h.push(Event::Inv {
+            tx: TxId(1),
+            obj: "y".into(),
+            op: OpName::Read,
+            args: vec![],
+        });
         h.push(Event::Abort(TxId(1)));
         let v = h.tx_view(TxId(1));
         assert_eq!(v.ops.len(), 1);

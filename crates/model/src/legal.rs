@@ -39,7 +39,11 @@ impl fmt::Display for LegalityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LegalityError::NoSpec(op) => {
-                write!(f, "no sequential specification for object {} (op {op})", op.obj)
+                write!(
+                    f,
+                    "no sequential specification for object {} (op {op})",
+                    op.obj
+                )
             }
             LegalityError::IllegalResponse { op, state } => {
                 write!(f, "illegal response: {op} with {} in state {state}", op.obj)
@@ -74,7 +78,9 @@ pub fn apply_op(
     states: &ObjStates,
     specs: &SpecRegistry,
 ) -> Result<ObjStates, LegalityError> {
-    let spec = specs.spec_for(&op.obj).ok_or_else(|| LegalityError::NoSpec(op.clone()))?;
+    let spec = specs
+        .spec_for(&op.obj)
+        .ok_or_else(|| LegalityError::NoSpec(op.clone()))?;
     let state = states
         .get(&op.obj, specs)
         .ok_or_else(|| LegalityError::NoSpec(op.clone()))?;
@@ -84,7 +90,10 @@ pub fn apply_op(
             out.set(op.obj.clone(), next);
             Ok(out)
         }
-        None => Err(LegalityError::IllegalResponse { op: op.clone(), state }),
+        None => Err(LegalityError::IllegalResponse {
+            op: op.clone(),
+            state,
+        }),
     }
 }
 
@@ -104,11 +113,7 @@ pub fn sequential_history_legal(s: &History, specs: &SpecRegistry) -> Result<(),
 ///
 /// Replays all committed transactions that precede `ti` in `s` (they define
 /// the state `ti` must observe), then replays `ti` itself.
-pub fn tx_legal_in(
-    s: &History,
-    ti: TxId,
-    specs: &SpecRegistry,
-) -> Result<(), LegalityError> {
+pub fn tx_legal_in(s: &History, ti: TxId, specs: &SpecRegistry) -> Result<(), LegalityError> {
     debug_assert!(s.is_sequential());
     let order = s.txs();
     let mut states = ObjStates::new();
@@ -131,6 +136,7 @@ pub fn tx_legal_in(
 /// Single O(|S|) pass: fold committed transactions left to right; validate
 /// each transaction (committed or aborted) against the committed-prefix
 /// state at its position.
+#[allow(clippy::result_large_err)] // the error carries the full diagnostic; callers destructure it
 pub fn all_txs_legal(s: &History, specs: &SpecRegistry) -> Result<(), (TxId, LegalityError)> {
     debug_assert!(s.is_sequential());
     let mut states = ObjStates::new();
@@ -319,14 +325,20 @@ mod tests {
 
     #[test]
     fn pending_invocation_is_legal() {
-        let s = HistoryBuilder::new().write(1, "x", 1).inv_read(1, "x").build();
+        let s = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .inv_read(1, "x")
+            .build();
         assert!(all_txs_legal(&s, &regs()).is_ok());
     }
 
     #[test]
     fn legality_error_display() {
         let op = OpExec::read(TxId(1), "x".into(), Value::int(3));
-        let e = LegalityError::IllegalResponse { op, state: Value::int(0) };
+        let e = LegalityError::IllegalResponse {
+            op,
+            state: Value::int(0),
+        };
         assert!(e.to_string().contains("illegal response"));
     }
 }

@@ -48,7 +48,7 @@ pub mod value;
 pub mod wellformed;
 
 pub use builder::HistoryBuilder;
-pub use complete::{complete_histories, completions, apply_completion, CommitDecision, Completion};
+pub use complete::{apply_completion, complete_histories, completions, CommitDecision, Completion};
 pub use event::{Event, ObjId, OpName, TxId};
 pub use history::History;
 pub use legal::{all_txs_legal, sequential_history_legal, tx_legal_in, LegalityError};

@@ -80,7 +80,10 @@ impl NestingInfo {
 /// nesting is deeper than one level (flatten bottom-up instead).
 pub fn flatten(h: &History, nesting: &NestingInfo) -> History {
     for (child, (parent, _)) in &nesting.children {
-        assert!(h.contains_tx(*parent), "parent {parent} of {child} not in history");
+        assert!(
+            h.contains_tx(*parent),
+            "parent {parent} of {child} not in history"
+        );
         assert!(
             nesting.parent_of(*parent).is_none(),
             "nesting deeper than one level: flatten bottom-up"
@@ -124,22 +127,18 @@ pub fn flatten(h: &History, nesting: &NestingInfo) -> History {
                             for pe in h.events().iter().take(i) {
                                 if pe.tx() == parent {
                                     match pe {
-                                        Event::Inv { obj, op, args, .. } => {
-                                            out.push(Event::Inv {
-                                                tx: t,
-                                                obj: obj.clone(),
-                                                op: op.clone(),
-                                                args: args.clone(),
-                                            })
-                                        }
-                                        Event::Ret { obj, op, val, .. } => {
-                                            out.push(Event::Ret {
-                                                tx: t,
-                                                obj: obj.clone(),
-                                                op: op.clone(),
-                                                val: val.clone(),
-                                            })
-                                        }
+                                        Event::Inv { obj, op, args, .. } => out.push(Event::Inv {
+                                            tx: t,
+                                            obj: obj.clone(),
+                                            op: op.clone(),
+                                            args: args.clone(),
+                                        }),
+                                        Event::Ret { obj, op, val, .. } => out.push(Event::Ret {
+                                            tx: t,
+                                            obj: obj.clone(),
+                                            op: op.clone(),
+                                            val: val.clone(),
+                                        }),
                                         _ => {}
                                     }
                                 }
@@ -252,9 +251,10 @@ mod tests {
             .commit_ok(2)
             .commit_ok(1)
             .build();
-        let n = NestingInfo::new()
-            .child(2, 1, NestingMode::Closed)
-            .child(3, 2, NestingMode::Closed);
+        let n =
+            NestingInfo::new()
+                .child(2, 1, NestingMode::Closed)
+                .child(3, 2, NestingMode::Closed);
         flatten(&h, &n);
     }
 

@@ -29,7 +29,9 @@ pub struct NonTxWrapper {
 impl NonTxWrapper {
     /// An allocator producing ids starting strictly above `highest_used`.
     pub fn starting_above(highest_used: u32) -> Self {
-        NonTxWrapper { next: highest_used + 1 }
+        NonTxWrapper {
+            next: highest_used + 1,
+        }
     }
 
     /// An allocator above every transaction already in `h`.
@@ -50,8 +52,18 @@ impl NonTxWrapper {
     ) -> TxId {
         let t = TxId(self.next);
         self.next += 1;
-        h.push(Event::Inv { tx: t, obj: obj.clone(), op: op.clone(), args });
-        h.push(Event::Ret { tx: t, obj, op, val: ret });
+        h.push(Event::Inv {
+            tx: t,
+            obj: obj.clone(),
+            op: op.clone(),
+            args,
+        });
+        h.push(Event::Ret {
+            tx: t,
+            obj,
+            op,
+            val: ret,
+        });
         h.push(Event::TryCommit(t));
         h.push(Event::Commit(t));
         t
@@ -64,7 +76,13 @@ impl NonTxWrapper {
 
     /// Non-transactional register write of `v`.
     pub fn write(&mut self, h: &mut History, obj: &str, v: i64) -> TxId {
-        self.apply(h, ObjId::new(obj), OpName::Write, vec![Value::int(v)], Value::Ok)
+        self.apply(
+            h,
+            ObjId::new(obj),
+            OpName::Write,
+            vec![Value::int(v)],
+            Value::Ok,
+        )
     }
 }
 

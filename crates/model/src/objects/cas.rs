@@ -64,7 +64,9 @@ mod tests {
             .unwrap();
         assert_eq!(r, Value::Bool(true));
         assert_eq!(s1, Value::int(5));
-        let (s2, r) = c.step(&s1, &OpName::Cas, &[Value::int(0), Value::int(9)]).unwrap();
+        let (s2, r) = c
+            .step(&s1, &OpName::Cas, &[Value::int(0), Value::int(9)])
+            .unwrap();
         assert_eq!(r, Value::Bool(false));
         assert_eq!(s2, Value::int(5)); // unchanged on failure
     }
@@ -74,13 +76,17 @@ mod tests {
         let c = CasRegister::new(3);
         let (_, r) = c.step(&c.initial(), &OpName::Read, &[]).unwrap();
         assert_eq!(r, Value::int(3));
-        let (s, r) = c.step(&c.initial(), &OpName::Write, &[Value::int(7)]).unwrap();
+        let (s, r) = c
+            .step(&c.initial(), &OpName::Write, &[Value::int(7)])
+            .unwrap();
         assert_eq!((s, r), (Value::int(7), Value::Ok));
     }
 
     #[test]
     fn rejects_malformed_cas() {
         let c = CasRegister::new(0);
-        assert!(c.step(&c.initial(), &OpName::Cas, &[Value::int(1)]).is_none());
+        assert!(c
+            .step(&c.initial(), &OpName::Cas, &[Value::int(1)])
+            .is_none());
     }
 }

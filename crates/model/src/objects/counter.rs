@@ -71,6 +71,8 @@ mod tests {
     fn rejects_register_ops_and_args() {
         let c = Counter;
         assert!(c.step(&c.initial(), &OpName::Read, &[]).is_none());
-        assert!(c.step(&c.initial(), &OpName::Inc, &[Value::int(1)]).is_none());
+        assert!(c
+            .step(&c.initial(), &OpName::Inc, &[Value::int(1)])
+            .is_none());
     }
 }

@@ -32,7 +32,12 @@ fn as_pairs(state: &Value) -> Option<Vec<(i64, i64)>> {
 
 fn to_state(mut pairs: Vec<(i64, i64)>) -> Value {
     pairs.sort_unstable_by_key(|&(k, _)| k);
-    Value::List(pairs.into_iter().map(|(k, v)| Value::pair(Value::int(k), Value::int(v))).collect())
+    Value::List(
+        pairs
+            .into_iter()
+            .map(|(k, v)| Value::pair(Value::int(k), Value::int(v)))
+            .collect(),
+    )
 }
 
 fn lookup(pairs: &[(i64, i64)], key: i64) -> Option<i64> {
@@ -64,8 +69,7 @@ impl SeqSpec for KvMap {
                     _ => return None,
                 };
                 let old = lookup(&pairs, k).map(Value::int).unwrap_or(Value::Unit);
-                let next: Vec<(i64, i64)> =
-                    pairs.into_iter().filter(|&(pk, _)| pk != k).collect();
+                let next: Vec<(i64, i64)> = pairs.into_iter().filter(|&(pk, _)| pk != k).collect();
                 Some((to_state(next), old))
             }
             OpName::Get => {
@@ -93,7 +97,11 @@ mod tests {
     fn put_get_remove_roundtrip() {
         let m = KvMap;
         let (s, old) = m
-            .step(&m.initial(), &OpName::Insert, &[Value::int(1), Value::int(10)])
+            .step(
+                &m.initial(),
+                &OpName::Insert,
+                &[Value::int(1), Value::int(10)],
+            )
             .unwrap();
         assert_eq!(old, Value::Unit, "no previous binding");
         let (_, v) = m.step(&s, &OpName::Get, &[Value::int(1)]).unwrap();
@@ -108,9 +116,15 @@ mod tests {
     fn put_reports_previous_binding() {
         let m = KvMap;
         let (s, _) = m
-            .step(&m.initial(), &OpName::Insert, &[Value::int(1), Value::int(10)])
+            .step(
+                &m.initial(),
+                &OpName::Insert,
+                &[Value::int(1), Value::int(10)],
+            )
             .unwrap();
-        let (s, old) = m.step(&s, &OpName::Insert, &[Value::int(1), Value::int(20)]).unwrap();
+        let (s, old) = m
+            .step(&s, &OpName::Insert, &[Value::int(1), Value::int(20)])
+            .unwrap();
         assert_eq!(old, Value::int(10));
         let (_, v) = m.step(&s, &OpName::Get, &[Value::int(1)]).unwrap();
         assert_eq!(v, Value::int(20));
@@ -121,11 +135,17 @@ mod tests {
         let m = KvMap;
         let mut s1 = m.initial();
         for (k, v) in [(2, 20), (1, 10)] {
-            s1 = m.step(&s1, &OpName::Insert, &[Value::int(k), Value::int(v)]).unwrap().0;
+            s1 = m
+                .step(&s1, &OpName::Insert, &[Value::int(k), Value::int(v)])
+                .unwrap()
+                .0;
         }
         let mut s2 = m.initial();
         for (k, v) in [(1, 10), (2, 20)] {
-            s2 = m.step(&s2, &OpName::Insert, &[Value::int(k), Value::int(v)]).unwrap().0;
+            s2 = m
+                .step(&s2, &OpName::Insert, &[Value::int(k), Value::int(v)])
+                .unwrap()
+                .0;
         }
         assert_eq!(s1, s2, "canonical states must hash equal for the memo");
     }
@@ -133,7 +153,9 @@ mod tests {
     #[test]
     fn get_is_read_only_and_missing_keys_are_bottom() {
         let m = KvMap;
-        let (s2, v) = m.step(&m.initial(), &OpName::Get, &[Value::int(9)]).unwrap();
+        let (s2, v) = m
+            .step(&m.initial(), &OpName::Get, &[Value::int(9)])
+            .unwrap();
         assert_eq!(v, Value::Unit);
         assert_eq!(s2, m.initial());
     }
@@ -141,7 +163,9 @@ mod tests {
     #[test]
     fn bad_args_rejected() {
         let m = KvMap;
-        assert!(m.step(&m.initial(), &OpName::Insert, &[Value::int(1)]).is_none());
+        assert!(m
+            .step(&m.initial(), &OpName::Insert, &[Value::int(1)])
+            .is_none());
         assert!(m.step(&m.initial(), &OpName::Get, &[]).is_none());
         assert!(m.step(&m.initial(), &OpName::Read, &[]).is_none());
     }
@@ -149,7 +173,9 @@ mod tests {
     #[test]
     fn remove_missing_key_is_a_noop_with_bottom() {
         let m = KvMap;
-        let (s, old) = m.step(&m.initial(), &OpName::Remove, &[Value::int(5)]).unwrap();
+        let (s, old) = m
+            .step(&m.initial(), &OpName::Remove, &[Value::int(5)])
+            .unwrap();
         assert_eq!(old, Value::Unit);
         assert_eq!(s, m.initial());
     }

@@ -46,7 +46,9 @@ mod tests {
     #[test]
     fn appends_accumulate_in_order() {
         let l = AppendLog;
-        let (s1, _) = l.step(&l.initial(), &OpName::Append, &[Value::int(1)]).unwrap();
+        let (s1, _) = l
+            .step(&l.initial(), &OpName::Append, &[Value::int(1)])
+            .unwrap();
         let (s2, _) = l.step(&s1, &OpName::Append, &[Value::int(2)]).unwrap();
         let (_, r) = l.step(&s2, &OpName::Read, &[]).unwrap();
         assert_eq!(r, Value::List(vec![Value::int(1), Value::int(2)]));
@@ -55,6 +57,8 @@ mod tests {
     #[test]
     fn rejects_write() {
         let l = AppendLog;
-        assert!(l.step(&l.initial(), &OpName::Write, &[Value::int(1)]).is_none());
+        assert!(l
+            .step(&l.initial(), &OpName::Write, &[Value::int(1)])
+            .is_none());
     }
 }

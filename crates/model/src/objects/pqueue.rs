@@ -61,9 +61,7 @@ impl SeqSpec for PriorityQueue {
             OpName::Custom(name) if &**name == "extract_min" && args.is_empty() => {
                 match items.split_first() {
                     None => Some((state.clone(), Value::Unit)),
-                    Some((&min, rest)) => {
-                        Some((to_state(rest.to_vec()), Value::int(min)))
-                    }
+                    Some((&min, rest)) => Some((to_state(rest.to_vec()), Value::int(min))),
                 }
             }
             OpName::Custom(name) if &**name == "peek_min" && args.is_empty() => {
@@ -86,7 +84,9 @@ mod tests {
     #[test]
     fn insert_orders_by_priority() {
         let q = PriorityQueue;
-        let (s, r) = q.step(&q.initial(), &OpName::Insert, &[Value::int(5)]).unwrap();
+        let (s, r) = q
+            .step(&q.initial(), &OpName::Insert, &[Value::int(5)])
+            .unwrap();
         assert_eq!(r, Value::Ok);
         let (s, _) = q.step(&s, &OpName::Insert, &[Value::int(2)]).unwrap();
         let (s, _) = q.step(&s, &OpName::Insert, &[Value::int(9)]).unwrap();
@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn duplicates_form_a_multiset() {
         let q = PriorityQueue;
-        let (s, _) = q.step(&q.initial(), &OpName::Insert, &[Value::int(4)]).unwrap();
+        let (s, _) = q
+            .step(&q.initial(), &OpName::Insert, &[Value::int(4)])
+            .unwrap();
         let (s, _) = q.step(&s, &OpName::Insert, &[Value::int(4)]).unwrap();
         let (s, r) = q.step(&s, &extract_min(), &[]).unwrap();
         assert_eq!(r, Value::int(4));
@@ -120,7 +122,9 @@ mod tests {
     #[test]
     fn peek_is_read_only() {
         let q = PriorityQueue;
-        let (s, _) = q.step(&q.initial(), &OpName::Insert, &[Value::int(1)]).unwrap();
+        let (s, _) = q
+            .step(&q.initial(), &OpName::Insert, &[Value::int(1)])
+            .unwrap();
         let (s2, r) = q.step(&s, &peek_min(), &[]).unwrap();
         assert_eq!(r, Value::int(1));
         assert_eq!(s2, s, "peek must not mutate");
@@ -131,13 +135,17 @@ mod tests {
         let q = PriorityQueue;
         assert!(q.step(&q.initial(), &OpName::Read, &[]).is_none());
         assert!(q.step(&q.initial(), &OpName::Insert, &[]).is_none());
-        assert!(q.step(&q.initial(), &extract_min(), &[Value::int(1)]).is_none());
+        assert!(q
+            .step(&q.initial(), &extract_min(), &[Value::int(1)])
+            .is_none());
     }
 
     #[test]
     fn accepts_validates_return_values() {
         let q = PriorityQueue;
-        let (s, _) = q.step(&q.initial(), &OpName::Insert, &[Value::int(3)]).unwrap();
+        let (s, _) = q
+            .step(&q.initial(), &OpName::Insert, &[Value::int(3)])
+            .unwrap();
         assert!(q.accepts(&s, &extract_min(), &[], &Value::int(3)).is_some());
         assert!(q.accepts(&s, &extract_min(), &[], &Value::int(7)).is_none());
     }

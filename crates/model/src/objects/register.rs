@@ -65,7 +65,9 @@ mod tests {
     fn rejects_foreign_operations() {
         let r = Register::new(0);
         assert!(r.step(&r.initial(), &OpName::Inc, &[]).is_none());
-        assert!(r.step(&r.initial(), &OpName::Enq, &[Value::int(1)]).is_none());
+        assert!(r
+            .step(&r.initial(), &OpName::Enq, &[Value::int(1)])
+            .is_none());
     }
 
     #[test]
@@ -75,9 +77,15 @@ mod tests {
         assert!(r.step(&r.initial(), &OpName::Write, &[]).is_none());
         assert!(r.step(&r.initial(), &OpName::Write, &[Value::Ok]).is_none());
         assert!(r
-            .step(&r.initial(), &OpName::Write, &[Value::int(1), Value::int(2)])
+            .step(
+                &r.initial(),
+                &OpName::Write,
+                &[Value::int(1), Value::int(2)]
+            )
             .is_none());
         // read takes no arguments
-        assert!(r.step(&r.initial(), &OpName::Read, &[Value::int(1)]).is_none());
+        assert!(r
+            .step(&r.initial(), &OpName::Read, &[Value::int(1)])
+            .is_none());
     }
 }

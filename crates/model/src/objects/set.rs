@@ -71,7 +71,9 @@ mod tests {
     #[test]
     fn insert_remove_contains() {
         let s = IntSet;
-        let (s1, r) = s.step(&s.initial(), &OpName::Insert, &[Value::int(3)]).unwrap();
+        let (s1, r) = s
+            .step(&s.initial(), &OpName::Insert, &[Value::int(3)])
+            .unwrap();
         assert_eq!(r, Value::Bool(true));
         let (s2, r) = s.step(&s1, &OpName::Insert, &[Value::int(3)]).unwrap();
         assert_eq!(r, Value::Bool(false)); // duplicate
@@ -88,11 +90,15 @@ mod tests {
         // Inserting 2 then 1 and inserting 1 then 2 produce equal states.
         let s = IntSet;
         let a = {
-            let (s1, _) = s.step(&s.initial(), &OpName::Insert, &[Value::int(2)]).unwrap();
+            let (s1, _) = s
+                .step(&s.initial(), &OpName::Insert, &[Value::int(2)])
+                .unwrap();
             s.step(&s1, &OpName::Insert, &[Value::int(1)]).unwrap().0
         };
         let b = {
-            let (s1, _) = s.step(&s.initial(), &OpName::Insert, &[Value::int(1)]).unwrap();
+            let (s1, _) = s
+                .step(&s.initial(), &OpName::Insert, &[Value::int(1)])
+                .unwrap();
             s.step(&s1, &OpName::Insert, &[Value::int(2)]).unwrap().0
         };
         assert_eq!(a, b);
@@ -102,6 +108,8 @@ mod tests {
     fn rejects_bad_args() {
         let s = IntSet;
         assert!(s.step(&s.initial(), &OpName::Insert, &[]).is_none());
-        assert!(s.step(&s.initial(), &OpName::Read, &[Value::int(1)]).is_none());
+        assert!(s
+            .step(&s.initial(), &OpName::Read, &[Value::int(1)])
+            .is_none());
     }
 }

@@ -48,7 +48,9 @@ mod tests {
     #[test]
     fn lifo_order() {
         let st = Stack;
-        let (s1, _) = st.step(&st.initial(), &OpName::Push, &[Value::int(1)]).unwrap();
+        let (s1, _) = st
+            .step(&st.initial(), &OpName::Push, &[Value::int(1)])
+            .unwrap();
         let (s2, _) = st.step(&s1, &OpName::Push, &[Value::int(2)]).unwrap();
         let (s3, r) = st.step(&s2, &OpName::Pop, &[]).unwrap();
         assert_eq!(r, Value::int(2));

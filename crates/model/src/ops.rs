@@ -26,12 +26,24 @@ pub struct OpExec {
 impl OpExec {
     /// The paper's `read_i(r, v)` shorthand: `exec_i(r, read, ⊥, v)`.
     pub fn read(tx: TxId, obj: ObjId, v: Value) -> Self {
-        OpExec { tx, obj, op: OpName::Read, args: vec![], val: v }
+        OpExec {
+            tx,
+            obj,
+            op: OpName::Read,
+            args: vec![],
+            val: v,
+        }
     }
 
     /// The paper's `write_i(r, v)` shorthand: `exec_i(r, write, v, ok)`.
     pub fn write(tx: TxId, obj: ObjId, v: Value) -> Self {
-        OpExec { tx, obj, op: OpName::Write, args: vec![v], val: Value::Ok }
+        OpExec {
+            tx,
+            obj,
+            op: OpName::Write,
+            args: vec![v],
+            val: Value::Ok,
+        }
     }
 
     /// The two events `⟨inv, ret⟩` making up this execution.

@@ -74,7 +74,11 @@ impl RealTimeOrder {
 
     /// The real-time predecessors of `t`.
     pub fn predecessors(&self, t: TxId) -> Vec<TxId> {
-        self.txs.iter().copied().filter(|&s| self.precedes(s, t)).collect()
+        self.txs
+            .iter()
+            .copied()
+            .filter(|&s| self.precedes(s, t))
+            .collect()
     }
 
     /// True if `other`'s real-time order contains this one (`≺_H ⊆ ≺_H'`),
@@ -121,7 +125,11 @@ mod tests {
     fn incomplete_tx_precedes_nothing() {
         // A live transaction is not ordered before anything, even if its
         // events all occur earlier.
-        let h = HistoryBuilder::new().read(1, "x", 0).read(2, "x", 0).commit_ok(2).build();
+        let h = HistoryBuilder::new()
+            .read(1, "x", 0)
+            .read(2, "x", 0)
+            .commit_ok(2)
+            .build();
         let rt = RealTimeOrder::of(&h);
         assert!(!rt.precedes(TxId(1), TxId(2)));
         assert!(rt.concurrent(TxId(1), TxId(2)));

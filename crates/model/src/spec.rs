@@ -34,13 +34,7 @@ pub trait SeqSpec: Send + Sync + fmt::Debug {
     ///
     /// The default implementation delegates to [`SeqSpec::step`] and compares
     /// return values; non-deterministic objects should override this.
-    fn accepts(
-        &self,
-        state: &Value,
-        op: &OpName,
-        args: &[Value],
-        ret: &Value,
-    ) -> Option<Value> {
+    fn accepts(&self, state: &Value, op: &OpName, args: &[Value], ret: &Value) -> Option<Value> {
         let (next, expected) = self.step(state, op, args)?;
         if &expected == ret {
             Some(next)
@@ -143,7 +137,8 @@ impl ObjStates {
     /// so memoization keys do not distinguish "never touched" from "restored
     /// to initial".
     pub fn canonical(mut self, specs: &SpecRegistry) -> Self {
-        self.states.retain(|obj, v| specs.initial_of(obj).as_ref() != Some(v));
+        self.states
+            .retain(|obj, v| specs.initial_of(obj).as_ref() != Some(v));
         self
     }
 
@@ -165,7 +160,9 @@ mod tests {
         let x = ObjId::new("x");
         assert_eq!(reg.initial_of(&x), Some(Value::int(0)));
         let spec = reg.spec_for(&x).unwrap();
-        let (s1, r) = spec.step(&Value::int(0), &OpName::Write, &[Value::int(5)]).unwrap();
+        let (s1, r) = spec
+            .step(&Value::int(0), &OpName::Write, &[Value::int(5)])
+            .unwrap();
         assert_eq!(r, Value::Ok);
         assert_eq!(s1, Value::int(5));
     }

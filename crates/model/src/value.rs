@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![Value::int(2), Value::Unit, Value::int(1), Value::Ok];
+        let mut vs = [Value::int(2), Value::Unit, Value::int(1), Value::Ok];
         vs.sort();
         // Variant order: Unit < Ok < Int < ...
         assert_eq!(vs[0], Value::Unit);

@@ -54,13 +54,22 @@ impl fmt::Display for WfError {
                 write!(f, "event #{index}: only A may follow tryA of {tx}")
             }
             WfError::UnmatchedResponse { tx, index } => {
-                write!(f, "event #{index}: response for {tx} matches no pending invocation")
+                write!(
+                    f,
+                    "event #{index}: response for {tx} matches no pending invocation"
+                )
             }
             WfError::InvocationWhilePending { tx, index } => {
-                write!(f, "event #{index}: {tx} invoked while a previous invocation is pending")
+                write!(
+                    f,
+                    "event #{index}: {tx} invoked while a previous invocation is pending"
+                )
             }
             WfError::CommitAnswersOperation { tx, index } => {
-                write!(f, "event #{index}: C cannot answer a pending operation of {tx}")
+                write!(
+                    f,
+                    "event #{index}: C cannot answer a pending operation of {tx}"
+                )
             }
         }
     }
@@ -109,21 +118,15 @@ pub fn check_well_formed(h: &History) -> Result<(), WfError> {
             (TxWf::OpPending(_), Event::Commit(_)) => {
                 return Err(WfError::CommitAnswersOperation { tx, index })
             }
-            (TxWf::OpPending(_), _) => {
-                return Err(WfError::InvocationWhilePending { tx, index })
-            }
+            (TxWf::OpPending(_), _) => return Err(WfError::InvocationWhilePending { tx, index }),
             // --- commit pending ---
             (TxWf::CommitPending, Event::Commit(_)) | (TxWf::CommitPending, Event::Abort(_)) => {
                 TxWf::Done
             }
-            (TxWf::CommitPending, _) => {
-                return Err(WfError::BadEventAfterTryCommit { tx, index })
-            }
+            (TxWf::CommitPending, _) => return Err(WfError::BadEventAfterTryCommit { tx, index }),
             // --- abort pending ---
             (TxWf::AbortPending, Event::Abort(_)) => TxWf::Done,
-            (TxWf::AbortPending, _) => {
-                return Err(WfError::BadEventAfterTryAbort { tx, index })
-            }
+            (TxWf::AbortPending, _) => return Err(WfError::BadEventAfterTryAbort { tx, index }),
         };
         *st = next;
     }
@@ -143,7 +146,13 @@ mod tests {
 
     #[test]
     fn paper_histories_are_well_formed() {
-        for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+        for h in [
+            paper::h1(),
+            paper::h2(),
+            paper::h3(),
+            paper::h4(),
+            paper::h5(),
+        ] {
             assert!(check_well_formed(&h).is_ok(), "{h}");
         }
         assert!(is_well_formed(&History::new()));
@@ -160,7 +169,11 @@ mod tests {
 
     #[test]
     fn event_after_abort_rejected() {
-        let h = HistoryBuilder::new().try_abort(1).abort(1).try_commit(1).build();
+        let h = HistoryBuilder::new()
+            .try_abort(1)
+            .abort(1)
+            .try_commit(1)
+            .build();
         assert!(matches!(
             check_well_formed(&h),
             Err(WfError::EventAfterCompletion { .. })
@@ -202,13 +215,19 @@ mod tests {
     #[test]
     fn mismatched_response_rejected() {
         // Response on a different object than the pending invocation.
-        let h = HistoryBuilder::new().inv_read(1, "x").ret_read(1, "y", 0).build();
+        let h = HistoryBuilder::new()
+            .inv_read(1, "x")
+            .ret_read(1, "y", 0)
+            .build();
         assert!(matches!(
             check_well_formed(&h),
             Err(WfError::UnmatchedResponse { .. })
         ));
         // Response for a different operation.
-        let h = HistoryBuilder::new().inv_read(1, "x").ret_write(1, "x").build();
+        let h = HistoryBuilder::new()
+            .inv_read(1, "x")
+            .ret_write(1, "x")
+            .build();
         assert!(matches!(
             check_well_formed(&h),
             Err(WfError::UnmatchedResponse { .. })
@@ -217,7 +236,10 @@ mod tests {
 
     #[test]
     fn overlapping_invocations_rejected() {
-        let h = HistoryBuilder::new().inv_read(1, "x").inv_read(1, "y").build();
+        let h = HistoryBuilder::new()
+            .inv_read(1, "x")
+            .inv_read(1, "y")
+            .build();
         assert!(matches!(
             check_well_formed(&h),
             Err(WfError::InvocationWhilePending { .. })
@@ -262,7 +284,13 @@ mod tests {
     #[test]
     fn custom_ops_check_matching() {
         let h = HistoryBuilder::new()
-            .op(1, "q", OpName::Enq, vec![crate::value::Value::int(1)], crate::value::Value::Ok)
+            .op(
+                1,
+                "q",
+                OpName::Enq,
+                vec![crate::value::Value::int(1)],
+                crate::value::Value::Ok,
+            )
             .commit_ok(1)
             .build();
         assert!(is_well_formed(&h));

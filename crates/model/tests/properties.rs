@@ -5,20 +5,28 @@ use proptest::prelude::*;
 
 use tm_harness::randhist::{random_history, GenConfig};
 use tm_model::{
-    complete_histories, check_well_formed, History, RealTimeOrder, SpecRegistry, TxStatus,
+    check_well_formed, complete_histories, History, RealTimeOrder, SpecRegistry, TxStatus,
 };
 
 fn any_config() -> impl Strategy<Value = GenConfig> {
-    (2usize..=5, 1usize..=4, 1usize..=5, 0.0f64..0.5, 0.0f64..0.4, 0.0f64..0.4).prop_map(
-        |(txs, objs, max_ops, noise, commit_pending, abort)| GenConfig {
-            txs,
-            objs,
-            max_ops,
-            noise,
-            commit_pending,
-            abort,
-        },
+    (
+        2usize..=5,
+        1usize..=4,
+        1usize..=5,
+        0.0f64..0.5,
+        0.0f64..0.4,
+        0.0f64..0.4,
     )
+        .prop_map(
+            |(txs, objs, max_ops, noise, commit_pending, abort)| GenConfig {
+                txs,
+                objs,
+                max_ops,
+                noise,
+                commit_pending,
+                abort,
+            },
+        )
 }
 
 proptest! {

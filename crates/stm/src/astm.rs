@@ -50,7 +50,10 @@ impl AstmStm {
     pub fn new(k: usize) -> Self {
         AstmStm {
             objs: (0..k)
-                .map(|_| AstmObj { inner: Mutex::new((0, 0)), owned: AtomicU64::new(0) })
+                .map(|_| AstmObj {
+                    inner: Mutex::new((0, 0)),
+                    owned: AtomicU64::new(0),
+                })
                 .collect(),
             recorder: Recorder::new(k),
             nested: Mutex::new(Vec::new()),
@@ -165,7 +168,10 @@ impl AstmTx<'_> {
     /// # Panics
     /// Panics if a nested scope is already open.
     pub fn begin_nested(&mut self) {
-        assert!(self.scope.is_none(), "nesting is one level deep (flatten bottom-up)");
+        assert!(
+            self.scope.is_none(),
+            "nesting is one level deep (flatten bottom-up)"
+        );
         let child = self.stm.recorder.fresh_tx();
         self.stm.nested.lock().push((child.0, self.id.0));
         self.scope = Some(NestedScope {

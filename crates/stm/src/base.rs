@@ -64,7 +64,11 @@ impl StepReport {
 
     /// Total steps across operations of one kind.
     pub fn total_of(&self, kind: OpKind) -> u64 {
-        self.per_op.iter().filter(|(k, _)| *k == kind).map(|(_, s)| *s).sum()
+        self.per_op
+            .iter()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, s)| *s)
+            .sum()
     }
 
     /// Number of operations metered.
@@ -110,7 +114,9 @@ impl Meter {
 
     /// The report of all completed operations.
     pub fn report(&self) -> StepReport {
-        StepReport { per_op: self.per_op.clone() }
+        StepReport {
+            per_op: self.per_op.clone(),
+        }
     }
 
     // ---- typed base-object accessors --------------------------------------
@@ -133,7 +139,8 @@ impl Meter {
     #[inline]
     pub fn cas_u64(&mut self, cell: &AtomicU64, old: u64, new: u64) -> bool {
         self.step();
-        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire).is_ok()
+        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 
     /// Metered `AtomicU64::fetch_add`; returns the *new* value.
@@ -168,7 +175,8 @@ impl Meter {
     #[inline]
     pub fn cas_u8(&mut self, cell: &AtomicU8, old: u8, new: u8) -> bool {
         self.step();
-        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire).is_ok()
+        cell.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 }
 
@@ -197,7 +205,10 @@ pub struct TxDesc {
 impl TxDesc {
     /// A fresh active descriptor.
     pub fn new(id: u32) -> Self {
-        TxDesc { id, status: AtomicU8::new(status::ACTIVE) }
+        TxDesc {
+            id,
+            status: AtomicU8::new(status::ACTIVE),
+        }
     }
 }
 

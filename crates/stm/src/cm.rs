@@ -113,11 +113,23 @@ mod tests {
 
     #[test]
     fn policies() {
-        assert_eq!(ContentionManager::Aggressive.decide(0, 100), Resolution::AbortOther);
-        assert_eq!(ContentionManager::Timid.decide(100, 0), Resolution::AbortSelf);
-        assert_eq!(ContentionManager::Karma.decide(5, 3), Resolution::AbortOther);
+        assert_eq!(
+            ContentionManager::Aggressive.decide(0, 100),
+            Resolution::AbortOther
+        );
+        assert_eq!(
+            ContentionManager::Timid.decide(100, 0),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            ContentionManager::Karma.decide(5, 3),
+            Resolution::AbortOther
+        );
         assert_eq!(ContentionManager::Karma.decide(3, 5), Resolution::AbortSelf);
-        assert_eq!(ContentionManager::Karma.decide(4, 4), Resolution::AbortOther);
+        assert_eq!(
+            ContentionManager::Karma.decide(4, 4),
+            Resolution::AbortOther
+        );
     }
 
     #[test]
@@ -128,10 +140,19 @@ mod tests {
             my_birth: me,
             other_birth: other,
         };
-        assert_eq!(ContentionManager::Greedy.resolve(ctx(3, 7)), Resolution::AbortOther);
-        assert_eq!(ContentionManager::Greedy.resolve(ctx(7, 3)), Resolution::AbortSelf);
+        assert_eq!(
+            ContentionManager::Greedy.resolve(ctx(3, 7)),
+            Resolution::AbortOther
+        );
+        assert_eq!(
+            ContentionManager::Greedy.resolve(ctx(7, 3)),
+            Resolution::AbortSelf
+        );
         // Ties (including the id-free decide() path) favour the attacker.
-        assert_eq!(ContentionManager::Greedy.decide(0, 0), Resolution::AbortOther);
+        assert_eq!(
+            ContentionManager::Greedy.decide(0, 0),
+            Resolution::AbortOther
+        );
     }
 
     #[test]
@@ -141,7 +162,8 @@ mod tests {
         let v = TxDesc::new(1);
         assert_eq!(try_abort_tx(&v, &mut m), status::ABORTED);
         let c = TxDesc::new(2);
-        c.status.store(status::COMMITTED, std::sync::atomic::Ordering::SeqCst);
+        c.status
+            .store(status::COMMITTED, std::sync::atomic::Ordering::SeqCst);
         assert_eq!(try_abort_tx(&c, &mut m), status::COMMITTED);
         m.end_op();
     }
@@ -150,7 +172,7 @@ mod tests {
 #[cfg(test)]
 mod greedy_integration {
     use super::*;
-    use crate::api::{run_tx, Aborted, Stm, Tx as _};
+    use crate::api::{run_tx, Aborted, Stm};
     use crate::dstm::DstmStm;
     use crate::visible::VisibleStm;
 
@@ -160,8 +182,8 @@ mod greedy_integration {
         let mut old = stm.begin(0);
         let mut young = stm.begin(1);
         old.write(0, 1).unwrap(); // old acquires r0
-        // Young attacks the owner: Greedy says the younger attacker
-        // aborts itself.
+                                  // Young attacks the owner: Greedy says the younger attacker
+                                  // aborts itself.
         assert_eq!(young.write(0, 2), Err(Aborted));
         old.commit().unwrap();
         let (v, _) = run_tx(&stm, 0, |tx| tx.read(0));
@@ -187,8 +209,8 @@ mod greedy_integration {
         let mut old = stm.begin(0);
         let mut young = stm.begin(1);
         assert_eq!(old.read(0).unwrap(), 0); // old registers as reader
-        // Young writer must displace the visible reader — but the reader
-        // is older, so the young writer dies instead.
+                                             // Young writer must displace the visible reader — but the reader
+                                             // is older, so the young writer dies instead.
         assert_eq!(young.write(0, 9), Err(Aborted));
         old.commit().unwrap();
     }

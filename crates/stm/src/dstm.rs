@@ -85,7 +85,11 @@ impl DstmStm {
         DstmStm {
             objs: (0..k)
                 .map(|_| DstmObj {
-                    locator: Mutex::new(Locator { owner: None, old: 0, new: 0 }),
+                    locator: Mutex::new(Locator {
+                        owner: None,
+                        old: 0,
+                        new: 0,
+                    }),
                 })
                 .collect(),
             recorder: Recorder::new(k),
@@ -177,7 +181,9 @@ impl DstmTx<'_> {
         self.meter.end_op();
         self.finished = true;
         // Flip our own status so concurrent observers agree.
-        self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc
+            .status
+            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
         self.stm.recorder.abort(self.id);
         Aborted
     }
@@ -250,7 +256,11 @@ impl Tx for DstmTx<'_> {
                 _ => {
                     // Owner committed/aborted or absent: fold and acquire.
                     let cur = loc.committed_value(&mut self.meter);
-                    *loc = Locator { owner: Some(self.desc.clone()), old: cur, new: v };
+                    *loc = Locator {
+                        owner: Some(self.desc.clone()),
+                        old: cur,
+                        new: v,
+                    };
                     self.writes.push(obj);
                     break;
                 }
@@ -267,14 +277,18 @@ impl Tx for DstmTx<'_> {
         // Final validation, then the single linearizing status CAS.
         let valid = self.validate_read_set();
         let committed = valid
-            && self.meter.cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED);
+            && self
+                .meter
+                .cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED);
         self.meter.end_op();
         self.finished = true;
         if committed {
             self.stm.recorder.commit(self.id);
             Ok(())
         } else {
-            self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+            self.desc
+                .status
+                .store(status::ABORTED, std::sync::atomic::Ordering::Release);
             self.stm.recorder.abort(self.id);
             Err(Aborted)
         }
@@ -282,7 +296,9 @@ impl Tx for DstmTx<'_> {
 
     fn abort(mut self: Box<Self>) {
         self.stm.recorder.try_abort(self.id);
-        self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc
+            .status
+            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
         self.finished = true;
         self.stm.recorder.abort(self.id);
     }
@@ -300,7 +316,9 @@ impl Drop for DstmTx<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.stm.recorder.try_abort(self.id);
-            self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+            self.desc
+                .status
+                .store(status::ABORTED, std::sync::atomic::Ordering::Release);
             self.stm.recorder.abort(self.id);
             self.finished = true;
         }
@@ -406,7 +424,10 @@ mod tests {
         assert_eq!(reads.len(), k);
         // Strictly increasing cost: each read validates a larger read set.
         assert!(reads.windows(2).all(|w| w[0] < w[1]), "{reads:?}");
-        assert!(reads[k - 1] >= k as u64, "last read must cost Ω(k): {reads:?}");
+        assert!(
+            reads[k - 1] >= k as u64,
+            "last read must cost Ω(k): {reads:?}"
+        );
         tx.commit().unwrap();
     }
 

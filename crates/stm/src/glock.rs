@@ -23,7 +23,10 @@ pub struct GlockStm {
 impl GlockStm {
     /// A global-lock TM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
-        GlockStm { store: Mutex::new(vec![0; k]), recorder: Recorder::new(k) }
+        GlockStm {
+            store: Mutex::new(vec![0; k]),
+            recorder: Recorder::new(k),
+        }
     }
 }
 
@@ -210,15 +213,13 @@ mod tests {
         run_tx(&stm, 0, |tx| {
             tx.write(0, 1)?;
             tx.write(1, 2)
-        })
-        .0;
+        });
         run_tx(&stm, 0, |tx| {
             let a = tx.read(0)?;
             let b = tx.read(1)?;
             assert_eq!((a, b), (1, 2));
             Ok(())
-        })
-        .0;
+        });
         let h = stm.recorder().history();
         assert!(h.is_sequential());
         assert!(tm_model::is_well_formed(&h));

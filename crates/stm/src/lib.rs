@@ -51,7 +51,7 @@ pub use base::{Meter, OpKind, StepReport, TxDesc};
 pub use cm::{ConflictCtx, ContentionManager, Resolution};
 pub use dstm::DstmStm;
 pub use glock::GlockStm;
-pub use mutants::{Mutation, MutantStm};
+pub use mutants::{MutantStm, Mutation};
 pub use mvstm::MvStm;
 pub use nonopaque::NonOpaqueStm;
 pub use recorder::Recorder;
@@ -78,7 +78,10 @@ pub fn all_stms(k: usize) -> Vec<Box<dyn Stm>> {
 
 /// Constructs only the opaque-by-design TMs.
 pub fn opaque_stms(k: usize) -> Vec<Box<dyn Stm>> {
-    all_stms(k).into_iter().filter(|s| s.properties().opaque_by_design).collect()
+    all_stms(k)
+        .into_iter()
+        .filter(|s| s.properties().opaque_by_design)
+        .collect()
 }
 
 #[cfg(test)]

@@ -51,7 +51,11 @@ pub enum Mutation {
 impl Mutation {
     /// All mutations, for sweeping tests.
     pub fn all() -> [Mutation; 3] {
-        [Mutation::None, Mutation::SkipReadValidation, Mutation::SkipCommitValidation]
+        [
+            Mutation::None,
+            Mutation::SkipReadValidation,
+            Mutation::SkipCommitValidation,
+        ]
     }
 
     /// A short name for tables ("mutant-none", …).
@@ -105,7 +109,10 @@ impl MutantStm {
     pub fn new(k: usize, mutation: Mutation) -> Self {
         MutantStm {
             objs: (0..k)
-                .map(|_| MutObj { lock: AtomicU64::new(0), value: AtomicI64::new(0) })
+                .map(|_| MutObj {
+                    lock: AtomicU64::new(0),
+                    value: AtomicI64::new(0),
+                })
                 .collect(),
             clock: VersionClock::new(),
             recorder: Recorder::new(k),
@@ -354,7 +361,11 @@ mod tests {
             tx.write(1, 2)
         });
         // A faithful TL2 aborts here; the mutant serves the fracture.
-        assert_eq!(t1.read(1).unwrap(), 2, "the mutant must expose the fracture");
+        assert_eq!(
+            t1.read(1).unwrap(),
+            2,
+            "the mutant must expose the fracture"
+        );
         // Commit validation is intact: the poisoned transaction cannot
         // commit (committed transactions stay serializable).
         assert_eq!(t1.commit(), Err(Aborted));

@@ -40,7 +40,11 @@ impl MvStm {
     /// A multi-version TM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
         MvStm {
-            objs: (0..k).map(|_| MvObj { versions: Mutex::new(vec![(0, 0)]) }).collect(),
+            objs: (0..k)
+                .map(|_| MvObj {
+                    versions: Mutex::new(vec![(0, 0)]),
+                })
+                .collect(),
             clock: VersionClock::new(),
             commit_lock: Mutex::new(()),
             recorder: Recorder::new(k),
@@ -262,7 +266,11 @@ mod tests {
             tx.write(0, 5)?;
             tx.write(1, 5)
         });
-        assert_eq!(t1.read(1).unwrap(), 0, "snapshot read must see the old value");
+        assert_eq!(
+            t1.read(1).unwrap(),
+            0,
+            "snapshot read must see the old value"
+        );
         t1.commit().unwrap();
         // A fresh transaction sees the new state.
         let mut t3 = stm.begin(0);

@@ -43,7 +43,10 @@ impl NonOpaqueStm {
     pub fn new(k: usize) -> Self {
         NonOpaqueStm {
             objs: (0..k)
-                .map(|_| NoObj { lock: AtomicU64::new(0), value: AtomicI64::new(0) })
+                .map(|_| NoObj {
+                    lock: AtomicU64::new(0),
+                    value: AtomicI64::new(0),
+                })
                 .collect(),
             recorder: Recorder::new(k),
         }

@@ -68,7 +68,12 @@ impl Recorder {
     /// Records `inv_t(r_i, read, ⊥)`.
     pub fn inv_read(&self, t: TxId, i: usize) {
         if self.enabled() {
-            self.record(Event::Inv { tx: t, obj: self.obj(i), op: OpName::Read, args: vec![] });
+            self.record(Event::Inv {
+                tx: t,
+                obj: self.obj(i),
+                op: OpName::Read,
+                args: vec![],
+            });
         }
     }
 
@@ -99,7 +104,12 @@ impl Recorder {
     /// Records `ret_t(r_i, write) → ok`.
     pub fn ret_write(&self, t: TxId, i: usize) {
         if self.enabled() {
-            self.record(Event::Ret { tx: t, obj: self.obj(i), op: OpName::Write, val: Value::Ok });
+            self.record(Event::Ret {
+                tx: t,
+                obj: self.obj(i),
+                op: OpName::Write,
+                val: Value::Ok,
+            });
         }
     }
 

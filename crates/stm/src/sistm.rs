@@ -72,7 +72,11 @@ impl SiStm {
     /// A snapshot-isolation TM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
         SiStm {
-            objs: (0..k).map(|_| SiObj { versions: Mutex::new(vec![(0, 0)]) }).collect(),
+            objs: (0..k)
+                .map(|_| SiObj {
+                    versions: Mutex::new(vec![(0, 0)]),
+                })
+                .collect(),
             clock: VersionClock::new(),
             commit_lock: Mutex::new(()),
             recorder: Recorder::new(k),

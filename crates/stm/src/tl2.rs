@@ -66,7 +66,10 @@ impl Tl2Stm {
     pub fn new(k: usize) -> Self {
         Tl2Stm {
             objs: (0..k)
-                .map(|_| Tl2Obj { lock: AtomicU64::new(0), value: AtomicI64::new(0) })
+                .map(|_| Tl2Obj {
+                    lock: AtomicU64::new(0),
+                    value: AtomicI64::new(0),
+                })
                 .collect(),
             clock: VersionClock::new(),
             recorder: Recorder::new(k),

@@ -176,7 +176,9 @@ impl TplTx<'_> {
         if self.older_than(holder) {
             // Wound: either we flip it to ABORTED or it already completed;
             // both outcomes let `clean` dispose of the entry.
-            let _ = self.meter.cas_u8(&holder.status, status::ACTIVE, status::ABORTED);
+            let _ = self
+                .meter
+                .cas_u8(&holder.status, status::ACTIVE, status::ABORTED);
             Ok(())
         } else {
             Err(Aborted)
@@ -306,7 +308,10 @@ impl Tx for TplTx<'_> {
         self.meter.begin_op(OpKind::Commit);
         // The commit point: one CAS on the own status word. Failure means a
         // peer wounded us first.
-        if !self.meter.cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED) {
+        if !self
+            .meter
+            .cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED)
+        {
             self.release_all(false);
             self.meter.end_op();
             self.finished = true;
@@ -383,7 +388,7 @@ mod tests {
         let mut young = stm.begin(1);
         assert_eq!(young.read(0).unwrap(), 0); // young read-locks r0
         old.write(0, 3).unwrap(); // old displaces it
-        // The young transaction discovers the wound at its next action.
+                                  // The young transaction discovers the wound at its next action.
         assert_eq!(young.read(0), Err(Aborted));
         old.commit().unwrap();
     }

@@ -48,7 +48,8 @@ impl VisObj {
                 _ => {}
             }
         }
-        self.readers.retain(|d| d.status.load(std::sync::atomic::Ordering::Acquire) == status::ACTIVE);
+        self.readers
+            .retain(|d| d.status.load(std::sync::atomic::Ordering::Acquire) == status::ACTIVE);
     }
 }
 
@@ -71,7 +72,13 @@ impl VisibleStm {
     pub fn with_cm(k: usize, cm: ContentionManager) -> Self {
         VisibleStm {
             objs: (0..k)
-                .map(|_| Mutex::new(VisObj { committed: 0, writer: None, readers: Vec::new() }))
+                .map(|_| {
+                    Mutex::new(VisObj {
+                        committed: 0,
+                        writer: None,
+                        readers: Vec::new(),
+                    })
+                })
                 .collect(),
             recorder: Recorder::new(k),
             cm,
@@ -133,7 +140,9 @@ impl VisibleTx<'_> {
     fn abort_op(&mut self) -> Aborted {
         self.meter.end_op();
         self.finished = true;
-        self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc
+            .status
+            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
         self.stm.recorder.abort(self.id);
         Aborted
     }
@@ -228,11 +237,11 @@ impl Tx for VisibleTx<'_> {
                     continue;
                 }
                 match self.stm.cm.resolve(crate::cm::ConflictCtx {
-                        my_work: self.work,
-                        other_work: 1,
-                        my_birth: self.id.0,
-                        other_birth: d.id,
-                    }) {
+                    my_work: self.work,
+                    other_work: 1,
+                    my_birth: self.id.0,
+                    other_birth: d.id,
+                }) {
                     Resolution::AbortOther => {
                         try_abort_tx(&d, &mut self.meter);
                     }
@@ -256,8 +265,9 @@ impl Tx for VisibleTx<'_> {
         self.stm.recorder.try_commit(self.id);
         self.meter.begin_op(OpKind::Commit);
         // No validation: conflicts were resolved eagerly. One status CAS.
-        let committed =
-            self.meter.cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED);
+        let committed = self
+            .meter
+            .cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED);
         self.meter.end_op();
         self.finished = true;
         if committed {
@@ -271,7 +281,9 @@ impl Tx for VisibleTx<'_> {
 
     fn abort(mut self: Box<Self>) {
         self.stm.recorder.try_abort(self.id);
-        self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc
+            .status
+            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
         self.finished = true;
         self.stm.recorder.abort(self.id);
     }
@@ -289,7 +301,9 @@ impl Drop for VisibleTx<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.stm.recorder.try_abort(self.id);
-            self.desc.status.store(status::ABORTED, std::sync::atomic::Ordering::Release);
+            self.desc
+                .status
+                .store(status::ABORTED, std::sync::atomic::Ordering::Release);
             self.stm.recorder.abort(self.id);
             self.finished = true;
         }

@@ -33,7 +33,7 @@ fn four_thread_bank_on_every_stm() {
                     let mut rng = StdRng::seed_from_u64(1000 + t as u64);
                     for _ in 0..50 {
                         let from = rng.gen_range(0..12);
-                        let to = (from + 1 + rng.gen_range(0..11)) % 12;
+                        let to = (from + 1 + rng.gen_range(0..11usize)) % 12;
                         run_tx(stm, t, |tx| {
                             let a = tx.read(from)?;
                             let b = tx.read(to)?;
@@ -227,7 +227,11 @@ mod tm_harness_shim {
             if pcs[ti] < script.len() {
                 let (is_read, obj, v) = script[pcs[ti]];
                 let tx = txs[ti].as_mut().unwrap();
-                let r = if is_read { tx.read(obj).map(|_| ()) } else { tx.write(obj, v) };
+                let r = if is_read {
+                    tx.read(obj).map(|_| ())
+                } else {
+                    tx.write(obj, v)
+                };
                 pcs[ti] += 1;
                 if r.is_err() {
                     dead[ti] = true;

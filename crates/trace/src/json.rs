@@ -1,10 +1,17 @@
 //! The versioned JSON trace format.
 //!
-//! Mirror types with `serde` derives keep `tm-model` free of serialization
-//! concerns; conversion to and from [`History`] is total in one direction
-//! and validated in the other.
+//! Mirror types keep `tm-model` free of serialization concerns; conversion
+//! to and from [`History`] is total in one direction and validated in the
+//! other. Serialization is hand-rolled over a tiny internal JSON document
+//! model (`Json`) — the build environment vendors no `serde`/`serde_json`,
+//! and the trace schema is small enough that a direct implementation is
+//! clearer than a stubbed derive. The wire format follows the serde
+//! conventions the schema was designed with: externally tagged values
+//! (`"unit"`, `{"int": 5}`) and internally tagged events
+//! (`{"kind": "inv", ...}`), so traces are interchangeable with a
+//! serde-derived reader.
 
-use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 
 use crate::{op_from_str, ParseError};
 use tm_model::{Event, History, ObjId, TxId, Value};
@@ -13,8 +20,7 @@ use tm_model::{Event, History, ObjId, TxId, Value};
 pub const FORMAT_VERSION: u32 = 1;
 
 /// JSON mirror of [`Value`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JsonValue {
     /// `⊥`.
     Unit,
@@ -52,17 +58,14 @@ impl From<&JsonValue> for Value {
             JsonValue::Ok => Value::Ok,
             JsonValue::Int(i) => Value::Int(*i),
             JsonValue::Bool(b) => Value::Bool(*b),
-            JsonValue::Pair(a, b) => {
-                Value::pair(a.as_ref().into(), b.as_ref().into())
-            }
+            JsonValue::Pair(a, b) => Value::pair(a.as_ref().into(), b.as_ref().into()),
             JsonValue::List(vs) => Value::List(vs.iter().map(Into::into).collect()),
         }
     }
 }
 
 /// JSON mirror of [`Event`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JsonEvent {
     /// Operation invocation.
     Inv {
@@ -72,8 +75,7 @@ pub enum JsonEvent {
         obj: String,
         /// Operation name.
         op: String,
-        /// Operation arguments.
-        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        /// Operation arguments (omitted from the wire format when empty).
         args: Vec<JsonValue>,
     },
     /// Operation response.
@@ -110,7 +112,7 @@ pub enum JsonEvent {
 }
 
 /// The top-level JSON document: a version tag and the event sequence.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JsonTrace {
     /// Format version; [`from_json`] accepts only [`FORMAT_VERSION`].
     pub version: u32,
@@ -164,6 +166,562 @@ impl From<&JsonEvent> for Event {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The internal JSON document model.
+
+/// A parsed JSON document node. Numbers are restricted to `i64`: every
+/// number in the trace schema (versions, transaction ids, integer values)
+/// fits, and anything else is a schema violation anyway.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Fields, plus the 1-based source line of the opening brace so schema
+    /// errors can point at the offending event (0 when built by the
+    /// serializer, which never reports errors).
+    Obj(usize, Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(_, fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Source line of this node, when known (objects only).
+    fn line(&self) -> usize {
+        match self {
+            Json::Obj(line, _) => *line,
+            _ => 0,
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(_, fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + STEP);
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(_, fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + STEP);
+                    write_json_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A recursive-descent JSON parser that tracks the current line for error
+/// reporting (1-based, as [`ParseError`] documents).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(self.err(format!(
+                "expected `{}`, found `{}`",
+                want as char, b as char
+            ))),
+            None => Err(self.err(format!("expected `{}`, found end of input", want as char))),
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Json, ParseError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.peek().is_some() {
+            return Err(self.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't' | b'f') => self.parse_keyword(),
+            Some(b'n') => self.parse_keyword(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected character `{}`", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let line = self.line;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::Obj(line, fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string object key"));
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(line, fields)),
+                Some(b) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `}}` in object, found `{}`",
+                        b as char
+                    )))
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                Some(b) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `]` in array, found `{}`",
+                        b as char
+                    )))
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0C),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        let c = match code {
+                            // High surrogate: a low surrogate must follow
+                            // (the JSON encoding of astral-plane chars).
+                            0xD800..=0xDBFF => {
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.err("unpaired high surrogate in \\u escape"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(self.err("invalid low surrogate in \\u escape"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(self.err("unpaired low surrogate in \\u escape"))
+                            }
+                            c => char::from_u32(c).ok_or_else(|| self.err("invalid \\u escape"))?,
+                        };
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    Some(b) => return Err(self.err(format!("invalid escape `\\{}`", b as char))),
+                    None => return Err(self.err("unterminated string escape")),
+                },
+                Some(b) => out.push(b),
+            }
+        }
+        String::from_utf8(out).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    fn parse_keyword(&mut self) -> Result<Json, ParseError> {
+        for (word, value) in [
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("null", Json::Null),
+        ] {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                return Ok(value);
+            }
+        }
+        Err(self.err("invalid keyword (expected true/false/null)"))
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("non-integer numbers are not used by the trace format"));
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are valid UTF-8");
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema mapping: mirror types ↔ the document model.
+
+impl JsonValue {
+    fn to_doc(&self) -> Json {
+        match self {
+            JsonValue::Unit => Json::Str("unit".into()),
+            JsonValue::Ok => Json::Str("ok".into()),
+            JsonValue::Int(i) => Json::Obj(0, vec![("int".into(), Json::Int(*i))]),
+            JsonValue::Bool(b) => Json::Obj(0, vec![("bool".into(), Json::Bool(*b))]),
+            JsonValue::Pair(a, b) => Json::Obj(
+                0,
+                vec![("pair".into(), Json::Arr(vec![a.to_doc(), b.to_doc()]))],
+            ),
+            JsonValue::List(vs) => Json::Obj(
+                0,
+                vec![(
+                    "list".into(),
+                    Json::Arr(vs.iter().map(JsonValue::to_doc).collect()),
+                )],
+            ),
+        }
+    }
+
+    fn from_doc(doc: &Json) -> Result<JsonValue, ParseError> {
+        let schema_err = |msg: &str| ParseError {
+            line: doc.line(),
+            message: format!("invalid value: {msg}"),
+        };
+        match doc {
+            Json::Str(s) => match s.as_str() {
+                "unit" => Ok(JsonValue::Unit),
+                "ok" => Ok(JsonValue::Ok),
+                other => Err(schema_err(&format!("unknown value tag `{other}`"))),
+            },
+            Json::Obj(_, fields) => {
+                let [(tag, body)] = fields.as_slice() else {
+                    return Err(schema_err("expected exactly one tag field"));
+                };
+                match (tag.as_str(), body) {
+                    ("int", Json::Int(i)) => Ok(JsonValue::Int(*i)),
+                    ("bool", Json::Bool(b)) => Ok(JsonValue::Bool(*b)),
+                    ("pair", Json::Arr(items)) => match items.as_slice() {
+                        [a, b] => Ok(JsonValue::Pair(
+                            Box::new(JsonValue::from_doc(a)?),
+                            Box::new(JsonValue::from_doc(b)?),
+                        )),
+                        _ => Err(schema_err("`pair` requires exactly two elements")),
+                    },
+                    ("list", Json::Arr(items)) => Ok(JsonValue::List(
+                        items
+                            .iter()
+                            .map(JsonValue::from_doc)
+                            .collect::<Result<_, _>>()?,
+                    )),
+                    (other, _) => Err(schema_err(&format!("unknown value tag `{other}`"))),
+                }
+            }
+            _ => Err(schema_err("expected a string tag or a tagged object")),
+        }
+    }
+}
+
+impl JsonEvent {
+    fn to_doc(&self) -> Json {
+        let kind = |k: &str| ("kind".to_string(), Json::Str(k.to_string()));
+        let tx_field = |tx: u32| ("tx".to_string(), Json::Int(i64::from(tx)));
+        match self {
+            JsonEvent::Inv { tx, obj, op, args } => {
+                let mut fields = vec![
+                    kind("inv"),
+                    tx_field(*tx),
+                    ("obj".into(), Json::Str(obj.clone())),
+                    ("op".into(), Json::Str(op.clone())),
+                ];
+                if !args.is_empty() {
+                    fields.push((
+                        "args".into(),
+                        Json::Arr(args.iter().map(JsonValue::to_doc).collect()),
+                    ));
+                }
+                Json::Obj(0, fields)
+            }
+            JsonEvent::Ret { tx, obj, op, val } => Json::Obj(
+                0,
+                vec![
+                    kind("ret"),
+                    tx_field(*tx),
+                    ("obj".into(), Json::Str(obj.clone())),
+                    ("op".into(), Json::Str(op.clone())),
+                    ("val".into(), val.to_doc()),
+                ],
+            ),
+            JsonEvent::TryCommit { tx } => Json::Obj(0, vec![kind("try_commit"), tx_field(*tx)]),
+            JsonEvent::TryAbort { tx } => Json::Obj(0, vec![kind("try_abort"), tx_field(*tx)]),
+            JsonEvent::Commit { tx } => Json::Obj(0, vec![kind("commit"), tx_field(*tx)]),
+            JsonEvent::Abort { tx } => Json::Obj(0, vec![kind("abort"), tx_field(*tx)]),
+        }
+    }
+
+    fn from_doc(doc: &Json) -> Result<JsonEvent, ParseError> {
+        let schema_err = |msg: String| ParseError {
+            line: doc.line(),
+            message: format!("invalid event: {msg}"),
+        };
+        let tx_of = |doc: &Json| -> Result<u32, ParseError> {
+            match doc.get("tx") {
+                Some(Json::Int(i)) => u32::try_from(*i)
+                    .map_err(|_| schema_err(format!("transaction id {i} out of range"))),
+                _ => Err(schema_err("missing integer `tx` field".into())),
+            }
+        };
+        let str_of = |doc: &Json, key: &str| -> Result<String, ParseError> {
+            match doc.get(key) {
+                Some(Json::Str(s)) => Ok(s.clone()),
+                _ => Err(schema_err(format!("missing string `{key}` field"))),
+            }
+        };
+        let Some(Json::Str(k)) = doc.get("kind") else {
+            return Err(schema_err("missing string `kind` field".into()));
+        };
+        match k.as_str() {
+            "inv" => {
+                let args = match doc.get("args") {
+                    None => Vec::new(),
+                    Some(Json::Arr(items)) => items
+                        .iter()
+                        .map(JsonValue::from_doc)
+                        .collect::<Result<_, _>>()?,
+                    Some(_) => return Err(schema_err("`args` must be an array".into())),
+                };
+                Ok(JsonEvent::Inv {
+                    tx: tx_of(doc)?,
+                    obj: str_of(doc, "obj")?,
+                    op: str_of(doc, "op")?,
+                    args,
+                })
+            }
+            "ret" => Ok(JsonEvent::Ret {
+                tx: tx_of(doc)?,
+                obj: str_of(doc, "obj")?,
+                op: str_of(doc, "op")?,
+                val: JsonValue::from_doc(
+                    doc.get("val")
+                        .ok_or_else(|| schema_err("missing `val` field".into()))?,
+                )?,
+            }),
+            "try_commit" => Ok(JsonEvent::TryCommit { tx: tx_of(doc)? }),
+            "try_abort" => Ok(JsonEvent::TryAbort { tx: tx_of(doc)? }),
+            "commit" => Ok(JsonEvent::Commit { tx: tx_of(doc)? }),
+            "abort" => Ok(JsonEvent::Abort { tx: tx_of(doc)? }),
+            other => Err(schema_err(format!("unknown event kind `{other}`"))),
+        }
+    }
+}
+
+impl JsonTrace {
+    fn to_doc(&self) -> Json {
+        Json::Obj(
+            0,
+            vec![
+                ("version".into(), Json::Int(i64::from(self.version))),
+                (
+                    "events".into(),
+                    Json::Arr(self.events.iter().map(JsonEvent::to_doc).collect()),
+                ),
+            ],
+        )
+    }
+
+    fn from_doc(doc: &Json) -> Result<JsonTrace, ParseError> {
+        let schema_err = |msg: &str| ParseError {
+            line: doc.line(),
+            message: format!("invalid trace: {msg}"),
+        };
+        let version = match doc.get("version") {
+            Some(Json::Int(i)) => {
+                u32::try_from(*i).map_err(|_| schema_err("version out of range"))?
+            }
+            _ => return Err(schema_err("missing integer `version` field")),
+        };
+        let events = match doc.get("events") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(JsonEvent::from_doc)
+                .collect::<Result<_, _>>()?,
+            _ => return Err(schema_err("missing `events` array")),
+        };
+        Ok(JsonTrace { version, events })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+
 /// Serializes a history to the compact JSON trace format.
 ///
 /// ```
@@ -180,7 +738,9 @@ pub fn to_json(h: &History) -> String {
         version: FORMAT_VERSION,
         events: h.events().iter().map(Into::into).collect(),
     };
-    serde_json::to_string(&trace).expect("trace serialization is infallible")
+    let mut out = String::new();
+    trace.to_doc().write_compact(&mut out);
+    out
 }
 
 /// Serializes a history to human-indented JSON.
@@ -189,7 +749,9 @@ pub fn to_json_pretty(h: &History) -> String {
         version: FORMAT_VERSION,
         events: h.events().iter().map(Into::into).collect(),
     };
-    serde_json::to_string_pretty(&trace).expect("trace serialization is infallible")
+    let mut out = String::new();
+    trace.to_doc().write_pretty(&mut out, 0);
+    out
 }
 
 /// Parses a JSON trace back into a [`History`].
@@ -200,8 +762,8 @@ pub fn to_json_pretty(h: &History) -> String {
 /// [`tm_model::check_well_formed`] themselves, which keeps this crate usable
 /// for deliberately ill-formed fixtures.
 pub fn from_json(s: &str) -> Result<History, ParseError> {
-    let trace: JsonTrace =
-        serde_json::from_str(s).map_err(|e| ParseError { line: e.line(), message: e.to_string() })?;
+    let doc = Parser::new(s).parse_document()?;
+    let trace = JsonTrace::from_doc(&doc)?;
     if trace.version != FORMAT_VERSION {
         return Err(ParseError {
             line: 0,
@@ -211,7 +773,9 @@ pub fn from_json(s: &str) -> Result<History, ParseError> {
             ),
         });
     }
-    Ok(History::from_events(trace.events.iter().map(Into::into).collect()))
+    Ok(History::from_events(
+        trace.events.iter().map(Into::into).collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -302,5 +866,70 @@ mod tests {
         ]}"#;
         let h = from_json(s).unwrap();
         assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let h = History::from_events(vec![Event::Inv {
+            tx: TxId(1),
+            obj: ObjId::new("a\"b\\c\nd"),
+            op: op_from_str("read"),
+            args: vec![],
+        }]);
+        let back = from_json(&to_json(&h)).unwrap();
+        assert_eq!(back.events(), h.events());
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // An ASCII-escaping writer (e.g. Python's json.dumps) encodes 😀 as
+        // a surrogate pair; interchange requires accepting it.
+        let s = r#"{"version":1,"events":[
+            {"kind":"inv","tx":1,"obj":"😀","op":"read"}
+        ]}"#;
+        let h = from_json(s).unwrap();
+        match &h.events()[0] {
+            Event::Inv { obj, .. } => assert_eq!(obj.name(), "😀"),
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Astral-plane characters emitted raw by to_json round-trip too.
+        let back = from_json(&to_json(&h)).unwrap();
+        assert_eq!(back.events(), h.events());
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for bad in [
+            r#"{"version":1,"events":[{"kind":"inv","tx":1,"obj":"\ud83d","op":"read"}]}"#,
+            r#"{"version":1,"events":[{"kind":"inv","tx":1,"obj":"\ude00","op":"read"}]}"#,
+            r#"{"version":1,"events":[{"kind":"inv","tx":1,"obj":"\ud83dx","op":"read"}]}"#,
+        ] {
+            let e = from_json(bad).unwrap_err();
+            assert!(e.message.contains("surrogate"), "{e}");
+        }
+    }
+
+    #[test]
+    fn schema_errors_carry_the_event_line() {
+        // The typo'd event sits on line 4 of the pretty document.
+        let s =
+            "{\n  \"version\": 1,\n  \"events\": [\n    {\"kind\": \"comit\", \"tx\": 1}\n  ]\n}";
+        let e = from_json(s).unwrap_err();
+        assert!(e.message.contains("unknown event kind `comit`"), "{e}");
+        assert_eq!(e.line, 4, "{e}");
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        for bad in [
+            r#"{"version":1,"events":[{"kind":"zap","tx":1}]}"#,
+            r#"{"version":1,"events":[{"kind":"commit"}]}"#,
+            r#"{"version":1}"#,
+            r#"{"events":[]}"#,
+            r#"[1,2,3]"#,
+            r#"{"version":1,"events":[{"kind":"ret","tx":1,"obj":"x","op":"read","val":{"nope":1}}]}"#,
+        ] {
+            assert!(from_json(bad).is_err(), "accepted: {bad}");
+        }
     }
 }

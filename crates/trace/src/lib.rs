@@ -32,10 +32,12 @@
 //! (property-tested against the random history generator), and both reject
 //! malformed input with positioned errors rather than panics.
 //!
-//! Dependency note: `serde_json` accompanies the approved `serde` — serde
-//! itself defines only the data model; a format crate is required to emit
-//! and parse JSON, and `serde_json` is its canonical companion (justified in
-//! DESIGN.md §7).
+//! Dependency note: the JSON surface is hand-rolled over a tiny internal
+//! document model (see [`json`]) rather than pulling in `serde`/`serde_json`
+//! — the build environment is offline and the schema is small. The wire
+//! format keeps serde's tagging conventions, so traces remain interchangeable
+//! with serde-derived readers and the dependency can be reinstated without a
+//! format change.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -63,7 +65,10 @@ pub struct ParseError {
 
 impl ParseError {
     fn at(line: usize, message: impl Into<String>) -> Self {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -107,8 +112,21 @@ mod tests {
     #[test]
     fn op_names_roundtrip_through_display() {
         for name in [
-            "read", "write", "inc", "dec", "get", "enq", "deq", "push", "pop", "insert",
-            "remove", "contains", "cas", "append", "frobnicate",
+            "read",
+            "write",
+            "inc",
+            "dec",
+            "get",
+            "enq",
+            "deq",
+            "push",
+            "pop",
+            "insert",
+            "remove",
+            "contains",
+            "cas",
+            "append",
+            "frobnicate",
         ] {
             assert_eq!(op_from_str(name).to_string(), name);
         }

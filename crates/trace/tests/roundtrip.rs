@@ -8,7 +8,14 @@ use tm_harness::{random_history, GenConfig};
 use tm_trace::{from_json, from_text, to_json, to_json_pretty, to_text};
 
 fn config(txs: usize, objs: usize, max_ops: usize, noise: f64) -> GenConfig {
-    GenConfig { txs, objs, max_ops, noise, commit_pending: 0.2, abort: 0.25 }
+    GenConfig {
+        txs,
+        objs,
+        max_ops,
+        noise,
+        commit_pending: 0.2,
+        abort: 0.25,
+    }
 }
 
 proptest! {
@@ -65,7 +72,13 @@ proptest! {
 #[test]
 fn paper_histories_roundtrip_both_formats() {
     use tm_model::builder::paper;
-    for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+    for h in [
+        paper::h1(),
+        paper::h2(),
+        paper::h3(),
+        paper::h4(),
+        paper::h5(),
+    ] {
         assert_eq!(from_json(&to_json(&h)).unwrap().events(), h.events());
         assert_eq!(from_text(&to_text(&h)).unwrap().events(), h.events());
     }

@@ -60,7 +60,10 @@ fn main() {
     }
     let rw = b.build();
     let rw_report = is_opaque(&rw, &SpecRegistry::registers()).expect("register history");
-    println!("\nread/write encoding, all commit: opaque? {}", rw_report.opaque);
+    println!(
+        "\nread/write encoding, all commit: opaque? {}",
+        rw_report.opaque
+    );
     assert!(!rw_report.opaque);
     println!("  (among transactions that read the same value, only one can commit)");
 

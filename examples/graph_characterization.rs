@@ -10,9 +10,9 @@
 
 use opacity_tm::model::builder::paper;
 use opacity_tm::model::SpecRegistry;
+use opacity_tm::model::TxId;
 use opacity_tm::opacity::graph::{build_opg, with_initial_tx, INIT_TX};
 use opacity_tm::opacity::graphcheck::{construct_graph_witness, decide_via_graph};
-use opacity_tm::model::TxId;
 use std::collections::HashSet;
 
 fn main() {
@@ -23,16 +23,26 @@ fn main() {
     let witness = construct_graph_witness(&h5, &specs)
         .expect("register history")
         .expect("H5 is opaque");
-    println!("constructed witness: ≪ = {:?}, V = {:?}", witness.order, witness.visible);
+    println!(
+        "constructed witness: ≪ = {:?}, V = {:?}",
+        witness.order, witness.visible
+    );
     let h5_full = with_initial_tx(&h5, &specs);
     let g = build_opg(&h5_full, &witness.order, &witness.visible);
-    println!("well-formed: {}, acyclic: {}", g.is_well_formed(), g.is_acyclic());
+    println!(
+        "well-formed: {}, acyclic: {}",
+        g.is_well_formed(),
+        g.is_acyclic()
+    );
     println!("\n{}", g.to_dot());
 
     println!("== Figure 1 (history H1): NOT opaque ==");
     let h1 = paper::h1();
     let verdict = decide_via_graph(&h1, &specs, 8).expect("register history");
-    println!("consistent: {} (the values are fine — the ordering is not)", verdict.consistent);
+    println!(
+        "consistent: {} (the values are fine — the ordering is not)",
+        verdict.consistent
+    );
     println!(
         "witness found: {} ({} (≪, V) candidates examined)",
         verdict.witness.is_some(),

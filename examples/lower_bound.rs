@@ -13,14 +13,29 @@ use opacity_tm::harness::stats::{ascii_chart, Table};
 
 fn main() {
     let ks = [4, 8, 16, 32, 64, 128, 256, 512];
-    let stm_order = ["dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"];
+    let stm_order = [
+        "dstm",
+        "astm",
+        "tl2",
+        "visible",
+        "tpl",
+        "mvstm",
+        "sistm",
+        "nonopaque",
+    ];
 
     println!("== E8: paper scenario — steps of T1's final read vs k ==");
     println!("(T1 reads k/2 registers; T2 writes the other half and commits;");
     println!(" T1 reads one of T2's registers — Section 6.2's proof sketch)\n");
     let rows = sweep(&ks, true, paper_scenario);
     let mut table = Table::new(&[
-        "stm", "k", "last-read", "max-read", "mean-read", "total-reads", "T1",
+        "stm",
+        "k",
+        "last-read",
+        "max-read",
+        "mean-read",
+        "total-reads",
+        "T1",
     ]);
     for &k in &ks {
         for name in stm_order {
@@ -32,7 +47,11 @@ fn main() {
                     r.max_read_steps.to_string(),
                     format!("{:.1}", r.mean_read_steps),
                     r.total_read_steps.to_string(),
-                    if r.t1_committed { "commit".into() } else { "abort".into() },
+                    if r.t1_committed {
+                        "commit".into()
+                    } else {
+                        "abort".into()
+                    },
                 ]);
             }
         }
@@ -64,21 +83,35 @@ fn main() {
     println!("(the Ω(k) cost is mechanistically one step per read-set ENTRY;");
     println!(" k itself is inert — sweeping m at fixed k isolates that)\n");
     {
-        use opacity_tm::stm::{DstmStm, AstmStm, Tl2Stm, Stm};
+        use opacity_tm::stm::{AstmStm, DstmStm, Stm, Tl2Stm};
         let k = 256;
         let ms = [8usize, 16, 32, 64, 128, 255];
         let mut table = Table::new(&["stm", "m=8", "m=16", "m=32", "m=64", "m=128", "m=255"]);
-        let factories: Vec<(&str, Box<dyn Fn() -> Box<dyn Stm>>)> = vec![
-            ("dstm", Box::new(move || Box::new(DstmStm::new(k)) as Box<dyn Stm>)),
-            ("astm", Box::new(move || Box::new(AstmStm::new(k)) as Box<dyn Stm>)),
-            ("tl2", Box::new(move || Box::new(Tl2Stm::new(k)) as Box<dyn Stm>)),
+        type StmMaker = Box<dyn Fn() -> Box<dyn Stm>>;
+        let factories: Vec<(&str, StmMaker)> = vec![
+            (
+                "dstm",
+                Box::new(move || Box::new(DstmStm::new(k)) as Box<dyn Stm>),
+            ),
+            (
+                "astm",
+                Box::new(move || Box::new(AstmStm::new(k)) as Box<dyn Stm>),
+            ),
+            (
+                "tl2",
+                Box::new(move || Box::new(Tl2Stm::new(k)) as Box<dyn Stm>),
+            ),
         ];
         for (name, make) in &factories {
             let mut row = vec![name.to_string()];
             for &m in &ms {
                 let stm = make();
                 stm.recorder().set_enabled(false);
-                row.push(fraction_scenario(stm.as_ref(), k, m).last_read_steps.to_string());
+                row.push(
+                    fraction_scenario(stm.as_ref(), k, m)
+                        .last_read_steps
+                        .to_string(),
+                );
             }
             table.row(&row);
         }
@@ -90,7 +123,17 @@ fn main() {
     let rows = sweep(&ks, false, solo_scan);
     let mut table = Table::new(&["stm", "k", "max-read", "total-reads"]);
     for &k in &ks {
-        for stm in ["glock", "dstm", "astm", "tl2", "visible", "tpl", "mvstm", "sistm", "nonopaque"] {
+        for stm in [
+            "glock",
+            "dstm",
+            "astm",
+            "tl2",
+            "visible",
+            "tpl",
+            "mvstm",
+            "sistm",
+            "nonopaque",
+        ] {
             if let Some(r) = rows.iter().find(|r| r.k == k && r.stm == stm) {
                 table.row(&[
                     r.stm.to_string(),

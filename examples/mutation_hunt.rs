@@ -111,7 +111,10 @@ fn main() {
         .expect("the sweep above found violations");
     let shrunk = shrink_schedule(&bad, violates);
     println!("found    : {bad:?}   ({} inversions)", inversions(&bad));
-    println!("minimized: {shrunk:?}   ({} inversions)", inversions(&shrunk));
+    println!(
+        "minimized: {shrunk:?}   ({} inversions)",
+        inversions(&shrunk)
+    );
     println!("the surviving out-of-order pairs are the essential race:");
     println!("the writer's commit must land between the victim's two reads.");
 

@@ -39,8 +39,7 @@ fn main() {
     println!("== order 2: promotion exceeds the remaining budget ==");
     place_order(&stm, 1000, 200);
 
-    let ((stock, budget), _) =
-        run_tx(&stm, 0, |tx| Ok((tx.read(STOCK)?, tx.read(PROMO_BUDGET)?)));
+    let ((stock, budget), _) = run_tx(&stm, 0, |tx| Ok((tx.read(STOCK)?, tx.read(PROMO_BUDGET)?)));
     println!("\nfinal stock = {stock}, promo budget = {budget}");
     assert_eq!(stock, 3, "both orders reserved stock");
     assert_eq!(budget, 50, "only the first promotion was applied");
@@ -68,7 +67,10 @@ fn place_order(stm: &AstmStm, price: i64, discount: i64) {
         t.write(PROMO_BUDGET, budget - discount).unwrap();
         t.write(TOTAL, price - discount).unwrap();
         t.commit_nested();
-        println!("  promotion applied: -{discount} (budget left {})", budget - discount);
+        println!(
+            "  promotion applied: -{discount} (budget left {})",
+            budget - discount
+        );
     } else {
         // Partial abort: the discount vanishes, the reservation stays.
         t.abort_nested();

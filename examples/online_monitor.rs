@@ -45,7 +45,9 @@ fn main() {
     }
 
     println!("\n== explanation ==");
-    let explanation = explain_violation(&h1, &specs).unwrap().expect("H1 is not opaque");
+    let explanation = explain_violation(&h1, &specs)
+        .unwrap()
+        .expect("H1 is not opaque");
     print!("{explanation}");
     println!("\n(T2 read x from T1's committed state but y from T3's — no");
     println!("serialization can place T2 consistently; the paper's Figure 1.)");

@@ -31,12 +31,18 @@ fn main() {
         let b = tx.read(1)?;
         Ok(a + b)
     });
-    println!("audit: r0 + r1 = {sum} (committed after {} aborts)", stats.aborts);
+    println!(
+        "audit: r0 + r1 = {sum} (committed after {} aborts)",
+        stats.aborts
+    );
     assert_eq!(sum, 30);
 
     // Every event the TM produced is a model-level history…
     let history = tm.recorder().history();
-    println!("\nrecorded history ({} events):\n{history}\n", history.len());
+    println!(
+        "\nrecorded history ({} events):\n{history}\n",
+        history.len()
+    );
 
     // …which the opacity checker can pass judgement on.
     let specs = SpecRegistry::registers();

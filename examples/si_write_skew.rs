@@ -69,13 +69,29 @@ fn main() {
 
     let si = SiStm::new(2);
     let (c1, c2, a, b) = race(&si);
-    println!("sistm  : T1 {}  T2 {}  final = ({a}, {b})  sum = {}", v(c1), v(c2), a + b);
-    assert!(c1 && c2 && a + b < 0, "write skew must materialize under SI");
-    println!("         → both committed; the invariant is broken: {} < 0\n", a + b);
+    println!(
+        "sistm  : T1 {}  T2 {}  final = ({a}, {b})  sum = {}",
+        v(c1),
+        v(c2),
+        a + b
+    );
+    assert!(
+        c1 && c2 && a + b < 0,
+        "write skew must materialize under SI"
+    );
+    println!(
+        "         → both committed; the invariant is broken: {} < 0\n",
+        a + b
+    );
 
     let mv = MvStm::new(2);
     let (c1, c2, a, b) = race(&mv);
-    println!("mvstm  : T1 {}  T2 {}  final = ({a}, {b})  sum = {}", v(c1), v(c2), a + b);
+    println!(
+        "mvstm  : T1 {}  T2 {}  final = ({a}, {b})  sum = {}",
+        v(c1),
+        v(c2),
+        a + b
+    );
     assert!(c1 != c2 || (c1 && c2 && a + b >= 0));
     println!("         → the opaque multi-version TM refuses the second commit\n");
 
@@ -83,9 +99,18 @@ fn main() {
     let h = si.recorder().history();
     let specs = SpecRegistry::registers();
     println!("recorded sistm history ({} events):", h.len());
-    println!("  snapshot-isolated : {}", v(snapshot_isolated(&h, &specs).unwrap()));
-    println!("  serializable      : {}", v(is_serializable(&h, &specs).unwrap()));
-    println!("  opaque            : {}", v(is_opaque(&h, &specs).unwrap().opaque));
+    println!(
+        "  snapshot-isolated : {}",
+        v(snapshot_isolated(&h, &specs).unwrap())
+    );
+    println!(
+        "  serializable      : {}",
+        v(is_serializable(&h, &specs).unwrap())
+    );
+    println!(
+        "  opaque            : {}",
+        v(is_opaque(&h, &specs).unwrap().opaque)
+    );
     println!();
     println!("SI-STM delivers exactly its advertised (weaker) criterion — the");
     println!("paper's point that opacity is the reference from which such");

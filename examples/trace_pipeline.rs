@@ -58,8 +58,14 @@ fn main() {
     let graph = decide_via_graph(&from_j, &specs, 8).unwrap().opaque();
     println!("  opacity (Definition 1) : {opaque}");
     println!("  opacity (Theorem 2)    : {graph}  (independent graph decider)");
-    println!("  serializable           : {}", is_serializable(&from_j, &specs).unwrap());
-    println!("  snapshot-isolated      : {}", snapshot_isolated(&from_j, &specs).unwrap());
+    println!(
+        "  serializable           : {}",
+        is_serializable(&from_j, &specs).unwrap()
+    );
+    println!(
+        "  snapshot-isolated      : {}",
+        snapshot_isolated(&from_j, &specs).unwrap()
+    );
     assert!(opaque && graph);
 
     println!("\n== Same pipeline on a non-opaque execution ==");
@@ -80,7 +86,10 @@ fn main() {
     let h2 = bad.recorder().history();
     let roundtripped = from_text(&to_text(&h2)).unwrap();
     let verdict = is_opaque(&roundtripped, &specs).unwrap().opaque;
-    println!("recorded {} events; opaque after round-trip: {verdict}", h2.len());
+    println!(
+        "recorded {} events; opaque after round-trip: {verdict}",
+        h2.len()
+    );
     assert!(!verdict, "the fracture must survive serialization");
     println!("\nthe violation is preserved byte-for-byte — traces are evidence.");
 }

@@ -128,7 +128,10 @@ fn main() {
         });
         let (final_list, _) = run_tx(stm, 0, |tx| snapshot(tx));
         // Structural invariants.
-        assert!(final_list.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+        assert!(
+            final_list.windows(2).all(|w| w[0] < w[1]),
+            "sorted, duplicate-free"
+        );
         // Global counting invariant (serializability of committed txs).
         let net = net.load(std::sync::atomic::Ordering::Relaxed);
         assert_eq!(
@@ -157,7 +160,11 @@ fn main() {
     assert_eq!(list, vec![1]);
     let h = stm.recorder().history();
     let report = is_opaque(&h, &specs).expect("well-formed recorded history");
-    println!("  recorded history ({} events) opaque? {}", h.len(), report.opaque);
+    println!(
+        "  recorded history ({} events) opaque? {}",
+        h.len(),
+        report.opaque
+    );
     assert!(report.opaque);
     println!("\nAll invariants held on every opaque TM.");
 }

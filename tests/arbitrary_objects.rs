@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
-use opacity_tm::model::objects::{pqueue, AppendLog, CasRegister, FifoQueue, IntSet, KvMap, PriorityQueue, Stack};
+use opacity_tm::model::objects::{
+    pqueue, AppendLog, CasRegister, FifoQueue, IntSet, KvMap, PriorityQueue, Stack,
+};
 use opacity_tm::model::{HistoryBuilder, OpName, SpecRegistry, Value};
 use opacity_tm::opacity::opacity::is_opaque;
 
@@ -110,15 +112,39 @@ fn cas_register_semantics() {
     let specs = SpecRegistry::new().with("c", Arc::new(CasRegister::new(0)));
     // Two concurrent CAS(0→v): only one may succeed among committed txs.
     let both_succeed = HistoryBuilder::new()
-        .op(1, "c", OpName::Cas, vec![Value::int(0), Value::int(1)], Value::Bool(true))
-        .op(2, "c", OpName::Cas, vec![Value::int(0), Value::int(2)], Value::Bool(true))
+        .op(
+            1,
+            "c",
+            OpName::Cas,
+            vec![Value::int(0), Value::int(1)],
+            Value::Bool(true),
+        )
+        .op(
+            2,
+            "c",
+            OpName::Cas,
+            vec![Value::int(0), Value::int(2)],
+            Value::Bool(true),
+        )
         .commit_ok(1)
         .commit_ok(2)
         .build();
     assert!(!is_opaque(&both_succeed, &specs).unwrap().opaque);
     let one_fails = HistoryBuilder::new()
-        .op(1, "c", OpName::Cas, vec![Value::int(0), Value::int(1)], Value::Bool(true))
-        .op(2, "c", OpName::Cas, vec![Value::int(0), Value::int(2)], Value::Bool(false))
+        .op(
+            1,
+            "c",
+            OpName::Cas,
+            vec![Value::int(0), Value::int(1)],
+            Value::Bool(true),
+        )
+        .op(
+            2,
+            "c",
+            OpName::Cas,
+            vec![Value::int(0), Value::int(2)],
+            Value::Bool(false),
+        )
         .commit_ok(1)
         .commit_ok(2)
         .build();
@@ -131,21 +157,57 @@ fn set_membership_consistency() {
     // T2 sees 5 present; T3 (starting after T2 commits) sees it absent with
     // no remover anywhere: not opaque.
     let h = HistoryBuilder::new()
-        .op(1, "s", OpName::Insert, vec![Value::int(5)], Value::Bool(true))
+        .op(
+            1,
+            "s",
+            OpName::Insert,
+            vec![Value::int(5)],
+            Value::Bool(true),
+        )
         .commit_ok(1)
-        .op(2, "s", OpName::Contains, vec![Value::int(5)], Value::Bool(true))
+        .op(
+            2,
+            "s",
+            OpName::Contains,
+            vec![Value::int(5)],
+            Value::Bool(true),
+        )
         .commit_ok(2)
-        .op(3, "s", OpName::Contains, vec![Value::int(5)], Value::Bool(false))
+        .op(
+            3,
+            "s",
+            OpName::Contains,
+            vec![Value::int(5)],
+            Value::Bool(false),
+        )
         .commit_ok(3)
         .build();
     assert!(!is_opaque(&h, &specs).unwrap().opaque);
     // With a remover in between, it is.
     let h = HistoryBuilder::new()
-        .op(1, "s", OpName::Insert, vec![Value::int(5)], Value::Bool(true))
+        .op(
+            1,
+            "s",
+            OpName::Insert,
+            vec![Value::int(5)],
+            Value::Bool(true),
+        )
         .commit_ok(1)
-        .op(2, "s", OpName::Remove, vec![Value::int(5)], Value::Bool(true))
+        .op(
+            2,
+            "s",
+            OpName::Remove,
+            vec![Value::int(5)],
+            Value::Bool(true),
+        )
         .commit_ok(2)
-        .op(3, "s", OpName::Contains, vec![Value::int(5)], Value::Bool(false))
+        .op(
+            3,
+            "s",
+            OpName::Contains,
+            vec![Value::int(5)],
+            Value::Bool(false),
+        )
         .commit_ok(3)
         .build();
     assert!(is_opaque(&h, &specs).unwrap().opaque);
@@ -161,17 +223,32 @@ fn append_log_blind_writers_commute_like_counters() {
         .op(2, "l", OpName::Append, vec![Value::int(2)], Value::Ok)
         .commit_ok(1)
         .commit_ok(2)
-        .op(3, "l", OpName::Read, vec![], Value::List(vec![Value::int(2), Value::int(1)]))
+        .op(
+            3,
+            "l",
+            OpName::Read,
+            vec![],
+            Value::List(vec![Value::int(2), Value::int(1)]),
+        )
         .commit_ok(3)
         .build();
-    assert!(is_opaque(&h, &specs).unwrap().opaque, "order 2,1 is a valid serialization");
+    assert!(
+        is_opaque(&h, &specs).unwrap().opaque,
+        "order 2,1 is a valid serialization"
+    );
     // But not an order that interleaves phantom entries.
     let h = HistoryBuilder::new()
         .op(1, "l", OpName::Append, vec![Value::int(1)], Value::Ok)
         .op(2, "l", OpName::Append, vec![Value::int(2)], Value::Ok)
         .commit_ok(1)
         .commit_ok(2)
-        .op(3, "l", OpName::Read, vec![], Value::List(vec![Value::int(9)]))
+        .op(
+            3,
+            "l",
+            OpName::Read,
+            vec![],
+            Value::List(vec![Value::int(9)]),
+        )
         .commit_ok(3)
         .build();
     assert!(!is_opaque(&h, &specs).unwrap().opaque);
@@ -275,9 +352,21 @@ fn map_specs() -> SpecRegistry {
 #[test]
 fn map_put_get_sequence_is_opaque() {
     let h = HistoryBuilder::new()
-        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
+        .op(
+            1,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(10)],
+            Value::Unit,
+        )
         .commit_ok(1)
-        .op(2, "m", OpName::Insert, vec![Value::int(1), Value::int(20)], Value::int(10))
+        .op(
+            2,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(20)],
+            Value::int(10),
+        )
         .commit_ok(2)
         .op(3, "m", OpName::Get, vec![Value::int(1)], Value::int(20))
         .commit_ok(3)
@@ -290,8 +379,20 @@ fn map_puts_on_distinct_keys_commute() {
     // Two concurrent committed puts to different keys serialize either way
     // — the Section 3.4 argument, on a dictionary.
     let h = HistoryBuilder::new()
-        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
-        .op(2, "m", OpName::Insert, vec![Value::int(2), Value::int(20)], Value::Unit)
+        .op(
+            1,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(10)],
+            Value::Unit,
+        )
+        .op(
+            2,
+            "m",
+            OpName::Insert,
+            vec![Value::int(2), Value::int(20)],
+            Value::Unit,
+        )
         .commit_ok(2)
         .commit_ok(1)
         .op(3, "m", OpName::Get, vec![Value::int(1)], Value::int(10))
@@ -307,9 +408,21 @@ fn map_stale_previous_binding_is_not_opaque() {
     // same key committed strictly earlier — a lost-update shape caught by
     // the put's observer half.
     let h = HistoryBuilder::new()
-        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
+        .op(
+            1,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(10)],
+            Value::Unit,
+        )
         .commit_ok(1)
-        .op(2, "m", OpName::Insert, vec![Value::int(1), Value::int(20)], Value::Unit)
+        .op(
+            2,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(20)],
+            Value::Unit,
+        )
         .commit_ok(2)
         .build();
     assert!(!is_opaque(&h, &map_specs()).unwrap().opaque);
@@ -320,12 +433,36 @@ fn live_map_reader_sees_consistent_bindings() {
     // A live transaction must not observe key 1 from before T3's commit and
     // key 2 from after it.
     let h = HistoryBuilder::new()
-        .op(1, "m", OpName::Insert, vec![Value::int(1), Value::int(10)], Value::Unit)
-        .op(1, "m", OpName::Insert, vec![Value::int(2), Value::int(10)], Value::Unit)
+        .op(
+            1,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(10)],
+            Value::Unit,
+        )
+        .op(
+            1,
+            "m",
+            OpName::Insert,
+            vec![Value::int(2), Value::int(10)],
+            Value::Unit,
+        )
         .commit_ok(1)
         .op(2, "m", OpName::Get, vec![Value::int(1)], Value::int(10))
-        .op(3, "m", OpName::Insert, vec![Value::int(1), Value::int(99)], Value::int(10))
-        .op(3, "m", OpName::Insert, vec![Value::int(2), Value::int(99)], Value::int(10))
+        .op(
+            3,
+            "m",
+            OpName::Insert,
+            vec![Value::int(1), Value::int(99)],
+            Value::int(10),
+        )
+        .op(
+            3,
+            "m",
+            OpName::Insert,
+            vec![Value::int(2), Value::int(99)],
+            Value::int(10),
+        )
         .commit_ok(3)
         .op(2, "m", OpName::Get, vec![Value::int(2)], Value::int(99))
         .try_commit(2)

@@ -47,8 +47,14 @@ fn e5_counter_semantics_vs_recoverability() {
 
     // Strict recoverability forbids the very same concurrency.
     let sched = ScheduleProperties::of(&h);
-    assert!(!sched.strict, "strong recoverability must reject concurrent increments");
-    assert!(sched.recoverable, "plain recoverability is vacuous without reads");
+    assert!(
+        !sched.strict,
+        "strong recoverability must reject concurrent increments"
+    );
+    assert!(
+        sched.recoverable,
+        "plain recoverability is vacuous without reads"
+    );
 
     // Read/write encoding (Section 3.4): each transaction reads the
     // counter then writes back the incremented value. "Among the
@@ -120,24 +126,38 @@ fn e6_blind_writers_rigorousness_too_strong() {
     let reader_ok = {
         let mut b = HistoryBuilder::new();
         for t in 1..=k {
-            b = b.write(t, "x", t as i64).write(t, "y", t as i64).write(t, "z", t as i64);
+            b = b
+                .write(t, "x", t as i64)
+                .write(t, "y", t as i64)
+                .write(t, "z", t as i64);
         }
         for t in 1..=k {
             b = b.commit_ok(t);
         }
-        b.read(9, "x", 2).read(9, "y", 2).read(9, "z", 2).commit_ok(9).build()
+        b.read(9, "x", 2)
+            .read(9, "y", 2)
+            .read(9, "z", 2)
+            .commit_ok(9)
+            .build()
     };
     assert!(is_opaque(&reader_ok, &specs).unwrap().opaque);
 
     let reader_fractured = {
         let mut b = HistoryBuilder::new();
         for t in 1..=k {
-            b = b.write(t, "x", t as i64).write(t, "y", t as i64).write(t, "z", t as i64);
+            b = b
+                .write(t, "x", t as i64)
+                .write(t, "y", t as i64)
+                .write(t, "z", t as i64);
         }
         for t in 1..=k {
             b = b.commit_ok(t);
         }
-        b.read(9, "x", 1).read(9, "y", 2).read(9, "z", 1).commit_ok(9).build()
+        b.read(9, "x", 1)
+            .read(9, "y", 2)
+            .read(9, "z", 1)
+            .commit_ok(9)
+            .build()
     };
     assert!(
         !is_opaque(&reader_fractured, &specs).unwrap().opaque,

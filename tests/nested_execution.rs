@@ -42,7 +42,11 @@ fn child_sees_parent_buffered_writes() {
     let mut t = stm.begin_astm(0);
     t.write(0, 42).unwrap(); // parent's write, not yet committed anywhere
     t.begin_nested();
-    assert_eq!(t.read(0).unwrap(), 42, "the child must see the parent's write");
+    assert_eq!(
+        t.read(0).unwrap(),
+        42,
+        "the child must see the parent's write"
+    );
     t.commit_nested();
     Box::new(t).commit().unwrap();
     assert!(flat_opaque(&stm));
@@ -83,8 +87,7 @@ fn aborted_child_is_a_partial_abort() {
     assert_eq!(t.read(0).unwrap(), 10, "the parent's own write is restored");
     t.write(2, 30).unwrap(); // the parent continues productively
     Box::new(t).commit().unwrap();
-    let ((a, b, c), _) =
-        run_tx(&stm, 0, |tx| Ok((tx.read(0)?, tx.read(1)?, tx.read(2)?)));
+    let ((a, b, c), _) = run_tx(&stm, 0, |tx| Ok((tx.read(0)?, tx.read(1)?, tx.read(2)?)));
     assert_eq!((a, b, c), (10, 0, 30), "no child effect may survive");
     assert!(flat_opaque(&stm));
 }
@@ -125,7 +128,9 @@ fn child_reads_do_not_constrain_the_parent_after_child_abort() {
     assert_eq!(t.read(1).unwrap(), 0);
     t.abort_nested();
     run_tx(&stm, 1, |tx| tx.write(1, 77)); // invalidates the child's read
-    Box::new(t).commit().expect("parent unaffected by the dead child's reads");
+    Box::new(t)
+        .commit()
+        .expect("parent unaffected by the dead child's reads");
     assert!(flat_opaque(&stm));
 }
 
@@ -145,9 +150,9 @@ fn forced_abort_inside_child_kills_parent_and_child() {
     t.begin_nested();
     assert_eq!(t.read(1).unwrap(), 0); // child op: pins the child's span
     run_tx(&stm, 1, |tx| tx.write(0, 9)); // concurrent conflicting commit
-    // The child's next read triggers whole-read-set validation → abort
-    // (the parent's r0 entry is stale), answering the child's invocation
-    // with A and aborting the parent too.
+                                          // The child's next read triggers whole-read-set validation → abort
+                                          // (the parent's r0 entry is stale), answering the child's invocation
+                                          // with A and aborting the parent too.
     assert!(t.read(1).is_err(), "stale parent read must abort");
     drop(t);
     let h = stm.recorder().history();
@@ -155,7 +160,11 @@ fn forced_abort_inside_child_kills_parent_and_child() {
     assert!(opacity_tm::model::is_well_formed(&flat), "{flat}");
     assert!(is_opaque(&flat, &specs()).unwrap().opaque, "{flat}");
     // Everyone except the writer is aborted.
-    let committed = flat.txs().iter().filter(|&&t| flat.status(t).is_committed()).count();
+    let committed = flat
+        .txs()
+        .iter()
+        .filter(|&&t| flat.status(t).is_committed())
+        .count();
     assert_eq!(committed, 1);
 }
 
@@ -221,7 +230,10 @@ fn nesting_info_reflects_all_scopes() {
     Box::new(t).commit().unwrap();
     let info = stm.nesting_info();
     let h = stm.recorder().history();
-    let nested_txs: Vec<TxId> =
-        h.txs().into_iter().filter(|&t| info.parent_of(t).is_some()).collect();
+    let nested_txs: Vec<TxId> = h
+        .txs()
+        .into_iter()
+        .filter(|&t| info.parent_of(t).is_some())
+        .collect();
     assert_eq!(nested_txs.len(), 2, "both children registered");
 }

@@ -6,8 +6,8 @@
 
 use opacity_tm::model::builder::paper;
 use opacity_tm::model::{
-    complete_histories, is_well_formed, preserves_real_time, RealTimeOrder, SpecRegistry,
-    TxId, TxStatus,
+    complete_histories, is_well_formed, preserves_real_time, RealTimeOrder, SpecRegistry, TxId,
+    TxStatus,
 };
 use opacity_tm::opacity::criteria::{
     is_global_atomic, is_serializable, is_strictly_serializable, ScheduleProperties,
@@ -40,7 +40,10 @@ fn e1_figure1_h1_separates_opacity_from_classical_criteria() {
     assert!(!is_opaque(&h1, &specs()).unwrap().opaque);
     // Cross-check through the independent Theorem-2 procedure.
     let graph = decide_via_graph(&h1, &specs(), 8).unwrap();
-    assert!(graph.consistent, "H1 is consistent — the failure is ordering, not values");
+    assert!(
+        graph.consistent,
+        "H1 is consistent — the failure is ordering, not values"
+    );
     assert!(!graph.opaque());
 }
 
@@ -180,7 +183,10 @@ fn e16_opacity_is_not_prefix_closed() {
     let mut full = prefix.clone();
     full.push(Event::TryCommit(TxId(1)));
     let report = is_opaque(&full, &specs()).unwrap();
-    assert!(report.opaque, "the extension is opaque though its prefix is not");
+    assert!(
+        report.opaque,
+        "the extension is opaque though its prefix is not"
+    );
     assert_eq!(
         report.witness.unwrap().placement_of(TxId(1)),
         Some(Placement::Committed)
@@ -194,7 +200,13 @@ fn e16_opacity_is_not_prefix_closed() {
 /// between the definitional and the graph-based procedures.
 #[test]
 fn definitional_and_graph_checkers_agree_on_all_paper_histories() {
-    for h in [paper::h1(), paper::h2(), paper::h3(), paper::h4(), paper::h5()] {
+    for h in [
+        paper::h1(),
+        paper::h2(),
+        paper::h3(),
+        paper::h4(),
+        paper::h5(),
+    ] {
         let d = is_opaque(&h, &specs()).unwrap().opaque;
         let g = decide_via_graph(&h, &specs(), 8).unwrap().opaque();
         assert_eq!(d, g, "checkers disagree on {h}");

@@ -86,7 +86,10 @@ fn dstm_aborts_only_on_live_conflicts() {
     // T1 reads r0; T2 writes r0 (conflict while T1 live) and commits; T1's
     // next read detects the invalidation.
     let out = execute(&stm, &program, &[0, 1, 1, 0, 0]);
-    assert!(!out.txs[0].committed, "read-set invalidation is a real conflict");
+    assert!(
+        !out.txs[0].committed,
+        "read-set invalidation is a real conflict"
+    );
     assert!(out.txs[1].committed);
 }
 

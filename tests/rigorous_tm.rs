@@ -58,7 +58,10 @@ fn tpl_always_opaque_and_rigorous_when_wound_free() {
         if out.commits() == 2 {
             // Both committed ⇒ no wound or die happened ⇒ every lock was
             // respected for its holder's whole lifetime ⇒ rigorous.
-            assert!(props.rigorous, "wound-free run must be rigorous {sched:?}:\n{h}");
+            assert!(
+                props.rigorous,
+                "wound-free run must be rigorous {sched:?}:\n{h}"
+            );
         }
         if props.rigorous {
             rigorous_count += 1;
@@ -68,7 +71,10 @@ fn tpl_always_opaque_and_rigorous_when_wound_free() {
     }
     // Both regimes occur: serial-ish schedules are rigorous; wounding
     // schedules are opaque-but-not-rigorous (the blocking trade-off).
-    assert!(rigorous_count > 0, "some schedules must resolve without wounds");
+    assert!(
+        rigorous_count > 0,
+        "some schedules must resolve without wounds"
+    );
     assert!(
         wounded_count > 0,
         "some schedules must wound — rigorousness without blocking is impossible"
@@ -94,7 +100,11 @@ fn tpl_serializes_the_blind_writers() {
     let stm = TplStm::new(2);
     let p = blind_writers();
     let out = execute(&stm, &p, &[0, 1, 0, 1, 0, 1]);
-    assert_eq!(out.commits(), 1, "rigorous-style locking forbids the overlap");
+    assert_eq!(
+        out.commits(),
+        1,
+        "rigorous-style locking forbids the overlap"
+    );
 }
 
 #[test]
@@ -152,7 +162,11 @@ fn tpl_readers_never_observe_fractured_views() {
                 "{sched:?}: fractured view under 2PL"
             );
         }
-        assert!(is_opaque(&stm.recorder().history(), &specs()).unwrap().opaque);
+        assert!(
+            is_opaque(&stm.recorder().history(), &specs())
+                .unwrap()
+                .opaque
+        );
     }
 }
 

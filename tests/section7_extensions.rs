@@ -34,8 +34,7 @@ fn nontx_dirty_read_violates_opacity() {
     let mut h = HistoryBuilder::new().write(1, "x", 3).build(); // T1 live
     let mut nt = NonTxWrapper::for_history(&h);
     nt.read(&mut h, "x", 3); // observes the uncommitted write
-    let mut h = h;
-    // T1 eventually aborts.
+                             // T1 eventually aborts.
     h.push(opacity_tm::model::Event::TryAbort(TxId(1)));
     h.push(opacity_tm::model::Event::Abort(TxId(1)));
     assert!(!is_opaque(&h, &specs()).unwrap().opaque);

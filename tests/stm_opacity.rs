@@ -9,7 +9,7 @@
 //! paper's lower bound is about.
 
 use opacity_tm::harness::{all_schedules, execute, random_schedule, Program, TxScript};
-use opacity_tm::model::{SpecRegistry, History};
+use opacity_tm::model::{History, SpecRegistry};
 use opacity_tm::opacity::criteria::is_serializable;
 use opacity_tm::opacity::opacity::is_opaque;
 use opacity_tm::stm::{run_tx, NonOpaqueStm, Stm};
@@ -20,7 +20,10 @@ fn specs() -> SpecRegistry {
 
 fn assert_opaque(h: &History, who: &str, context: &str) {
     let r = is_opaque(h, &specs()).unwrap();
-    assert!(r.opaque, "{who} produced a non-opaque history under {context}:\n{h}");
+    assert!(
+        r.opaque,
+        "{who} produced a non-opaque history under {context}:\n{h}"
+    );
 }
 
 /// The adversarial two-thread program: a scanning reader racing a
@@ -102,7 +105,11 @@ fn opaque_stms_random_interleavings_larger_program() {
                 continue;
             }
             execute(stm.as_ref(), &p, &sched);
-            assert_opaque(&stm.recorder().history(), stm.name(), &format!("seed {seed}"));
+            assert_opaque(
+                &stm.recorder().history(),
+                stm.name(),
+                &format!("seed {seed}"),
+            );
         }
     }
 }

@@ -1,0 +1,266 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal harness with the same API shape as the parts of criterion the
+//! benches use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size` / `throughput` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock timing: each benchmark is warmed up and
+//! then run in batches until a fixed time budget is spent; the per-iteration
+//! mean is printed as `name ... time: [x ns/iter]`. There are no plots, no
+//! statistics, and no saved baselines — the point is that `cargo bench`
+//! compiles and produces indicative numbers offline. Swap this path
+//! dependency for the real crate when a registry is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budget once warmed up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Warm-up budget.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to the functions in a
+/// [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_benchmark_label(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted and ignored by this stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the group's throughput unit (accepted and ignored by this
+    /// stub).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.into_benchmark_label()),
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_label());
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to a benchmark function.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: establish a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+
+        // Measurement: batches sized so each is ~10% of the budget.
+        let batch = (MEASURE_BUDGET.as_nanos() / 10 / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn nanos_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let ns = bencher.nanos_per_iter();
+    if ns.is_nan() {
+        println!("{label:<60} (no measurement: Bencher::iter was not called)");
+    } else if ns >= 1_000_000.0 {
+        println!("{label:<60} time: [{:.3} ms/iter]", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("{label:<60} time: [{:.3} µs/iter]", ns / 1_000.0);
+    } else {
+        println!("{label:<60} time: [{ns:.1} ns/iter]");
+    }
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, printed `name/param`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id types accepted by the `bench_*` methods.
+pub trait IntoBenchmarkId {
+    /// The printable label for the benchmark.
+    fn into_benchmark_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_label(self) -> String {
+        self
+    }
+}
+
+/// The units a group's throughput is expressed in (ignored by this stub).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a benchmark group function calling each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` entry point running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_shape_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| 1u64 + 1));
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function(BenchmarkId::from_parameter(3), |b| b.iter(|| 3 * 3));
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).into_benchmark_label(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").into_benchmark_label(), "p");
+    }
+}

@@ -1,0 +1,477 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal property-testing engine with the same surface syntax as the
+//! parts of proptest it uses:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header);
+//! * `name in strategy` bindings over integer/float ranges, tuples,
+//!   [`Strategy::prop_map`], and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! Differences from real proptest, deliberate for an offline stub: values
+//! are drawn from a deterministic per-test RNG (derived from the test
+//! name), there is no shrinking, and exhausting the rejection budget ends
+//! the test with however many cases were accepted rather than erroring.
+//! Swap this path dependency for the real crate when a registry is
+//! available; the test sources need no changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator used to produce test inputs (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A source of test values: the generator-only core of proptest's
+/// `Strategy` trait.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a fixed value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                let r = u128::from(rng.next_u64()) % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A number-of-elements specification for [`vec()`].
+    pub trait SizeRange {
+        /// Draws a length from the specification.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for vectors of values from `element`, with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration; only the case count is honoured by this stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should not be counted.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(message: String) -> Self {
+        TestCaseError::Reject(message)
+    }
+}
+
+/// Drives the cases of one `proptest!` test function.
+#[derive(Debug)]
+pub struct TestRunner {
+    name: &'static str,
+    cases: u32,
+    accepted: u32,
+    attempts: u32,
+    max_attempts: u32,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test under `config`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test name: a stable per-test base seed.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            name,
+            cases: config.cases,
+            accepted: 0,
+            attempts: 0,
+            max_attempts: config.cases.saturating_mul(64).saturating_add(256),
+            seed,
+        }
+    }
+
+    /// True while more cases should be attempted.
+    pub fn more(&self) -> bool {
+        self.accepted < self.cases && self.attempts < self.max_attempts
+    }
+
+    /// Returns the RNG for the next attempt.
+    pub fn case_rng(&mut self) -> TestRng {
+        self.attempts += 1;
+        TestRng::new(self.seed.wrapping_add(u64::from(self.attempts)))
+    }
+
+    /// Records the outcome of the current attempt; panics on failure.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => panic!(
+                "proptest case failed: {} (attempt {}, derived seed {:#x})\n{}",
+                self.name, self.attempts, self.seed, message
+            ),
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strategy) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(config, stringify!($name));
+                while runner.more() {
+                    let mut case_rng = runner.case_rng();
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut case_rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    runner.record(outcome);
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` for property bodies: failure reports the case instead of
+/// panicking mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when `cond` is false, without failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (1usize..=3, -2i64..2)) {
+            prop_assert!(x < 100);
+            prop_assert!((1..=3).contains(&a));
+            prop_assert!((-2..2).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map(v in collection::vec((0u8..2, -5i64..5), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            for (k, x) in v {
+                prop_assert!(k < 2, "k = {k}");
+                prop_assert!((-5..5).contains(&x));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    // A strategy function in the style the workspace uses.
+    fn point() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..10, 0i64..10).prop_map(|(x, y)| (x, y + 10))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_map_composes(p in point()) {
+            prop_assert!((0..10).contains(&p.0));
+            prop_assert!((10..20).contains(&p.1));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = crate::TestRunner::new(ProptestConfig::with_cases(4), "t");
+        let mut b = crate::TestRunner::new(ProptestConfig::with_cases(4), "t");
+        assert_eq!(a.case_rng().next_u64(), b.case_rng().next_u64());
+    }
+}

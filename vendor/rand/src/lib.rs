@@ -1,0 +1,251 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no network access to
+//! crates.io, so the workspace vendors a minimal, dependency-free
+//! implementation of exactly the `rand 0.8` API surface the code uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`];
+//! * [`Rng::gen_range`] over integer and float ranges, [`Rng::gen_bool`],
+//!   and [`Rng::gen_ratio`];
+//! * [`seq::SliceRandom::shuffle`] and [`seq::SliceRandom::choose`].
+//!
+//! The generator is a SplitMix64-seeded xorshift128+, deterministic per
+//! seed, which is all the deterministic experiments and property tests
+//! require. Swap this path dependency for the real crate when a registry
+//! is available; no call sites need to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from `self`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The subset of the `rand::Rng` extension trait used by this workspace.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (which must be in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        self.next_f64() < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0, "gen_ratio denominator must be positive");
+        assert!(
+            numerator <= denominator,
+            "gen_ratio numerator {numerator} exceeds denominator {denominator}"
+        );
+        (self.next_u64() % u64::from(denominator)) < u64::from(numerator)
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                let r = u128::from(rng.next_u64()) % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`: a SplitMix64-seeded
+    /// xorshift128+ generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s0 = splitmix64(&mut state);
+            let mut s1 = splitmix64(&mut state);
+            if s0 == 0 && s1 == 0 {
+                s1 = 1; // xorshift must not start from the all-zero state
+            }
+            StdRng { s0, s1 }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.s0;
+            let y = self.s1;
+            self.s0 = y;
+            x ^= x << 23;
+            self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+            self.s1.wrapping_add(y)
+        }
+    }
+}
+
+/// Sequence-related random helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// The subset of `rand::seq::SliceRandom` used by this workspace.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..5usize);
+            assert!(v < 5);
+            let w = rng.gen_range(1..=10i64);
+            assert!((1..=10).contains(&w));
+            let f = rng.gen_range(0.0f64..0.5);
+            assert!((0.0..0.5).contains(&f));
+            let neg = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn bool_and_ratio_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_ratio(0, 10));
+            assert!(rng.gen_ratio(10, 10));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_choose_is_member() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let c = v.choose(&mut rng).copied().unwrap();
+        assert!(v.contains(&c));
+        let empty: Vec<u32> = vec![];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
