@@ -2,21 +2,32 @@
 //!
 //! ```sh
 //! cargo run --release -p tm-bench --bin report > results.md
+//! cargo run --release -p tm-bench --bin report -- --quick   # CI mode
 //! ```
 //!
 //! Covers: the criteria table on the paper's histories (E1/E2), the
-//! Theorem-2 cross-validation summary (E7), and the Theorem-3 step-count
-//! sweeps (E8/E9). Wall-clock numbers live in the Criterion benches; this
-//! report contains only machine-independent quantities (verdicts and exact
-//! step counts), so it is diff-stable across runs.
+//! Theorem-2 cross-validation summary (E7, sharded across workers), the
+//! Theorem-3 step-count sweeps (E8/E9), and the monitor scaling study. The
+//! markdown contains only machine-independent quantities (verdicts and
+//! exact node/step counts), so it is diff-stable across runs; wall-clock
+//! numbers go to **`BENCH_monitor.json`** (history length vs
+//! incremental/batch check time and node counts), the machine-readable
+//! artifact CI uploads so the perf trajectory of the resumable core is
+//! tracked from PR to PR.
+//!
+//! Flags: `--quick` shrinks the E7 sample and the monitor sweep for CI;
+//! `--jobs N` overrides the worker count (default: available parallelism).
 
+use std::time::Instant;
+
+use tm_bench::{batch_prefix_nodes, monitor_workload};
 use tm_harness::complexity::{paper_scenario, solo_scan, sweep};
-use tm_harness::randhist::{random_history, GenConfig};
+use tm_harness::parallel::default_jobs;
+use tm_harness::randhist::{cross_validate, GenConfig};
 use tm_model::builder::paper;
 use tm_model::SpecRegistry;
 use tm_opacity::criteria::classify;
-use tm_opacity::graphcheck::decide_via_graph;
-use tm_opacity::opacity::is_opaque;
+use tm_opacity::incremental::OpacityMonitor;
 
 fn yesno(b: bool) -> &'static str {
     if b {
@@ -26,7 +37,78 @@ fn yesno(b: bool) -> &'static str {
     }
 }
 
+/// One row of the monitor scaling study.
+struct MonitorPoint {
+    events: usize,
+    incremental_ns: u128,
+    batch_ns: u128,
+    incremental_nodes: usize,
+    batch_nodes: usize,
+}
+
+fn monitor_points(lens: &[usize]) -> Vec<MonitorPoint> {
+    let specs = SpecRegistry::registers();
+    lens.iter()
+        .map(|&events| {
+            let h = monitor_workload(events);
+            let t0 = Instant::now();
+            let mut m = OpacityMonitor::new(&specs);
+            m.feed_all(&h).expect("workload is well-formed");
+            let incremental_ns = t0.elapsed().as_nanos();
+            let incremental_nodes = m.lifetime_stats().nodes;
+            let t0 = Instant::now();
+            let batch_nodes = batch_prefix_nodes(&h, &specs);
+            let batch_ns = t0.elapsed().as_nanos();
+            MonitorPoint {
+                events,
+                incremental_ns,
+                batch_ns,
+                incremental_nodes,
+                batch_nodes,
+            }
+        })
+        .collect()
+}
+
+/// Renders `BENCH_monitor.json` by hand (no serde in the tree).
+fn monitor_json(points: &[MonitorPoint], jobs: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"monitor\",\n");
+    out.push_str("  \"workload\": \"contention-knots (tm_bench::monitor_workload)\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let speedup = p.batch_ns as f64 / p.incremental_ns.max(1) as f64;
+        let node_ratio = p.batch_nodes as f64 / p.incremental_nodes.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"events\": {}, \"incremental_ns\": {}, \"batch_ns\": {}, \
+             \"incremental_nodes\": {}, \"batch_nodes\": {}, \
+             \"speedup\": {:.2}, \"node_ratio\": {:.2}}}{}\n",
+            p.events,
+            p.incremental_ns,
+            p.batch_ns,
+            p.incremental_nodes,
+            p.batch_nodes,
+            speedup,
+            node_ratio,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(default_jobs)
+        .max(1);
+
     let specs = SpecRegistry::registers();
     println!("# opacity-tm experiment report\n");
 
@@ -56,27 +138,25 @@ fn main() {
         );
     }
 
-    // ---- E7: Theorem-2 cross-validation summary --------------------------
+    // ---- E7: Theorem-2 cross-validation summary (sharded) ----------------
     println!("\n## Theorem 2 cross-validation (E7)\n");
     let config = GenConfig::default();
-    let n = 400u64;
-    let mut agree = 0;
-    let mut opaque_count = 0;
-    for seed in 0..n {
-        let h = random_history(&config, seed);
-        let d = is_opaque(&h, &specs).unwrap().opaque;
-        let g = decide_via_graph(&h, &specs, 6).unwrap().opaque();
-        if d == g {
-            agree += 1;
-        }
-        if d {
-            opaque_count += 1;
-        }
-    }
+    let n = if quick { 100 } else { 400 };
+    let cv = cross_validate(&config, 0, n, jobs);
+    assert!(
+        cv.disagreeing_seeds.is_empty(),
+        "Theorem-2 disagreement on seeds {:?}",
+        cv.disagreeing_seeds
+    );
+    // (The markdown stays machine-independent: worker count only goes to
+    // the JSON artifact.)
     println!(
-        "- definitional vs graph decider: **{agree}/{n} agree** \
-         ({opaque_count} opaque, {} non-opaque)\n",
-        n - opaque_count
+        "- definitional vs graph decider: **{}/{} agree** \
+         ({} opaque, {} non-opaque)\n",
+        cv.agree,
+        cv.total,
+        cv.opaque,
+        cv.total - cv.opaque
     );
 
     // ---- E8: paper scenario ----------------------------------------------
@@ -144,6 +224,30 @@ fn main() {
         }
         println!();
     }
+
+    // ---- monitor scaling study (resumable core vs batch re-checks) --------
+    println!("\n## Online monitor: incremental vs re-check-from-scratch\n");
+    let lens: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[16, 32, 64, 96, 128, 192]
+    };
+    let points = monitor_points(lens);
+    println!("| events | incremental nodes | batch nodes | node ratio |");
+    println!("|---|---|---|---|");
+    for p in &points {
+        println!(
+            "| {} | {} | {} | {:.1}x |",
+            p.events,
+            p.incremental_nodes,
+            p.batch_nodes,
+            p.batch_nodes as f64 / p.incremental_nodes.max(1) as f64
+        );
+    }
+    let json = monitor_json(&points, jobs);
+    let path = "BENCH_monitor.json";
+    std::fs::write(path, &json).expect("write BENCH_monitor.json");
+    println!("\n_Wall-clock companion written to `{path}`._");
 
     println!(
         "\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._"

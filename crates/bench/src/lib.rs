@@ -11,7 +11,10 @@
 //!   abort rates across the TM design space, plus the contention-manager
 //!   ablation;
 //! * `benches/model_ops.rs` — model-layer primitives (projection, legality,
-//!   well-formedness).
+//!   well-formedness);
+//! * `benches/monitor.rs` — the resumable online monitor against batch
+//!   re-check-from-scratch on growing histories (the `report` bin writes
+//!   the machine-readable companion `BENCH_monitor.json`).
 //!
 //! The library itself only hosts shared history generators for the benches.
 
@@ -48,6 +51,45 @@ pub fn blind_writers_history(n: u32) -> History {
     b.build()
 }
 
+/// The standard workload of the `monitor` bench: a prefix-opaque history of
+/// repeated **contention knots**, each of which makes a from-scratch check
+/// backtrack while the resumable monitor extends its previous witness.
+///
+/// One knot on a fresh register: six concurrent blind writers, then — once
+/// the first writer is commit-pending — a reader that observes the *first*
+/// writer's value and commits. The only serializations place `w1` and then
+/// the reader before the remaining writers, so an unbiased DFS must first
+/// exhaust the dead subtrees in which `w2..w6` precede the reader. Knots
+/// are real-time-sequenced, so every re-check from scratch re-pays the
+/// search for *every* knot so far, while the incremental monitor pays each
+/// knot once and then walks its witness in linear time.
+///
+/// Every prefix of the workload is opaque, so a monitor consumes it
+/// end-to-end. `events` may land mid-knot; the truncated prefix is still
+/// well-formed.
+pub fn monitor_workload(events: usize) -> History {
+    const WRITERS: u32 = 6;
+    let per_round = 4 * WRITERS as usize + 4;
+    let rounds = events.div_ceil(per_round).max(1) as u32;
+    let mut b = HistoryBuilder::new();
+    for r in 0..rounds {
+        let obj = format!("k{r}");
+        let base = r * (WRITERS + 1);
+        let reader = base + WRITERS + 1;
+        for i in 1..=WRITERS {
+            b = b.write(base + i, &obj, ((base + i) * 10) as i64);
+        }
+        b = b.try_commit(base + 1);
+        b = b.read(reader, &obj, ((base + 1) * 10) as i64);
+        b = b.commit(base + 1);
+        for i in 2..=WRITERS {
+            b = b.try_commit(base + i).commit(base + i);
+        }
+        b = b.try_commit(reader).commit(reader);
+    }
+    b.build().prefix(events)
+}
+
 /// Builds a mixed reader/writer history with `n` committed transactions on
 /// two registers that exercises backtracking in the checker.
 pub fn mixed_history(n: u32) -> History {
@@ -67,10 +109,27 @@ pub fn mixed_history(n: u32) -> History {
     b.build()
 }
 
+/// Total DFS nodes for checking every response-event prefix of `h` from
+/// scratch — the cost model of the pre-resumable monitor, and the baseline
+/// the `monitor` bench and `BENCH_monitor.json` compare against.
+pub fn batch_prefix_nodes(h: &History, specs: &tm_model::SpecRegistry) -> usize {
+    let mut total = 0;
+    for i in 0..h.len() {
+        if h.events()[i].is_response() {
+            total += tm_opacity::opacity::is_opaque(&h.prefix(i + 1), specs)
+                .expect("workload prefixes are checkable")
+                .stats
+                .nodes;
+        }
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tm_model::SpecRegistry;
+    use tm_opacity::incremental::OpacityMonitor;
     use tm_opacity::opacity::is_opaque;
 
     #[test]
@@ -80,5 +139,39 @@ mod tests {
             assert!(tm_model::is_well_formed(&h));
             assert!(is_opaque(&h, &specs).unwrap().opaque, "{h}");
         }
+    }
+
+    #[test]
+    fn monitor_workload_prefixes_are_opaque_and_well_formed() {
+        let specs = SpecRegistry::registers();
+        let h = monitor_workload(72);
+        assert_eq!(h.len(), 72);
+        assert!(tm_model::is_well_formed(&h));
+        let mut m = OpacityMonitor::new(&specs);
+        assert_eq!(
+            m.feed_all(&h).unwrap(),
+            None,
+            "every prefix of the standard workload must be opaque"
+        );
+    }
+
+    #[test]
+    fn incremental_monitor_beats_batch_rechecks_5x_at_length_64() {
+        // The acceptance bar of the resumable-core refactor: on the standard
+        // workload at history length 64, the incremental path does at most a
+        // fifth of the batch path's search work (deterministic node counts,
+        // so this is a stable proxy for the wall-clock bench).
+        let specs = SpecRegistry::registers();
+        let h = monitor_workload(64);
+        assert_eq!(h.len(), 64);
+        let mut m = OpacityMonitor::new(&specs);
+        assert_eq!(m.feed_all(&h).unwrap(), None);
+        let incremental = m.lifetime_stats().nodes.max(1);
+        let batch = batch_prefix_nodes(&h, &specs);
+        assert!(
+            batch >= 5 * incremental,
+            "batch {batch} nodes vs incremental {incremental} nodes: ratio {:.2} < 5",
+            batch as f64 / incremental as f64
+        );
     }
 }

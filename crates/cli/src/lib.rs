@@ -12,7 +12,13 @@
 //! tmcheck graph    <file>   # Graphviz DOT of the Section-5.4 opacity graph
 //! tmcheck convert  <file> --json|--text   # format conversion
 //! tmcheck generate [--seed N --txs N --objs N --ops N --json]
+//! tmcheck conformance [--jobs N] [--tm NAME] [--mutants]   # the TM battery
 //! ```
+//!
+//! `conformance` runs the `tm-harness` conformance kit over the in-tree TM
+//! suite; `--jobs N` shards the interleaving sweep across `N` worker
+//! threads with deterministic merging, so the output is identical for every
+//! `N`.
 //!
 //! Exit codes: `0` — the property holds (or output was produced), `1` — the
 //! history violates opacity, `2` — usage or input error. `-` reads stdin.
@@ -66,6 +72,15 @@ pub enum Command {
         /// Emit JSON instead of text.
         json: bool,
     },
+    /// `conformance [--jobs N] [--tm NAME] [--mutants]`
+    Conformance {
+        /// Worker threads for the interleaving sweep (≥ 1).
+        jobs: usize,
+        /// Restrict to the named TM (default: the whole suite).
+        tm: Option<String>,
+        /// Also run the deliberately broken mutants.
+        mutants: bool,
+    },
     /// `help`
     Help,
 }
@@ -82,6 +97,10 @@ USAGE:
   tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
   tmcheck convert  <file> --json|--text    convert between trace formats
   tmcheck generate [--seed N] [--txs N] [--objs N] [--ops N] [--json]
+  tmcheck conformance [--jobs N] [--tm NAME] [--mutants]
+                                    run the TM conformance battery (exit 1 if
+                                    any swept TM violates a contract); --jobs
+                                    shards the sweep deterministically
   tmcheck help
 
   <file> may be '-' for stdin. Formats (JSON / text) are auto-detected;
@@ -149,6 +168,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(g)
+        }
+        "conformance" => {
+            let mut jobs = 1usize;
+            let mut tm = None;
+            let mut mutants = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--jobs" => {
+                        jobs = it
+                            .next()
+                            .and_then(|v| v.parse::<usize>().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| "conformance: --jobs needs a number ≥ 1".to_string())?;
+                    }
+                    "--tm" => {
+                        tm = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "conformance: --tm needs a name".to_string())?,
+                        );
+                    }
+                    "--mutants" => mutants = true,
+                    other => return Err(format!("conformance: unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Conformance { jobs, tm, mutants })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -361,6 +406,70 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             }
             Ok(0)
         }
+        Command::Conformance { jobs, tm, mutants } => {
+            use tm_harness::conformance_parallel;
+            let names: Vec<String> = tm_stm::all_stms(2)
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect();
+            if let Some(wanted) = tm {
+                if !names.iter().any(|n| n == wanted) {
+                    return Err(format!(
+                        "conformance: unknown TM '{wanted}' (available: {})",
+                        names.join(", ")
+                    ));
+                }
+            }
+            // Deliberately job-count-free output: `--jobs N` must be
+            // byte-identical to `--jobs 1` (deterministic sharded merge).
+            w(out, tm_harness::conformance_header())?;
+            let mut all_clean = true;
+            let mut failures: Vec<String> = Vec::new();
+            for name in names
+                .iter()
+                .filter(|n| tm.as_ref().map_or(true, |want| want == *n))
+            {
+                let name_for_factory = name.clone();
+                let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
+                    tm_stm::all_stms(k)
+                        .into_iter()
+                        .find(|s| s.name() == name_for_factory)
+                        .expect("name stable")
+                };
+                let report = conformance_parallel(&factory, *jobs);
+                // Opacity is the contract under test; TMs that advertise a
+                // weaker criterion (sistm, nonopaque) are expected rows, not
+                // failures — only well-formedness and lost updates are
+                // unconditional.
+                if !report.well_formed || !report.no_lost_updates {
+                    all_clean = false;
+                    failures.extend(report.violations.iter().cloned());
+                }
+                w(out, report.row())?;
+            }
+            if *mutants {
+                use tm_stm::{MutantStm, Mutation};
+                for mutation in [
+                    Mutation::None,
+                    Mutation::SkipReadValidation,
+                    Mutation::SkipCommitValidation,
+                ] {
+                    let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
+                        Box::new(MutantStm::new(k, mutation))
+                    };
+                    let report = conformance_parallel(&factory, *jobs);
+                    w(out, report.row())?;
+                }
+            }
+            if all_clean {
+                Ok(0)
+            } else {
+                for f in failures.iter().take(8) {
+                    w(out, format!("violation: {f}"))?;
+                }
+                Ok(1)
+            }
+        }
         Command::Generate {
             seed,
             txs,
@@ -444,6 +553,25 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             })
         );
         assert_eq!(parse_args(&a("help")), Ok(Command::Help));
+        assert_eq!(
+            parse_args(&a("conformance")),
+            Ok(Command::Conformance {
+                jobs: 1,
+                tm: None,
+                mutants: false
+            })
+        );
+        assert_eq!(
+            parse_args(&a("conformance --jobs 4 --tm tl2 --mutants")),
+            Ok(Command::Conformance {
+                jobs: 4,
+                tm: Some("tl2".into()),
+                mutants: true
+            })
+        );
+        assert!(parse_args(&a("conformance --jobs 0")).is_err());
+        assert!(parse_args(&a("conformance --jobs x")).is_err());
+        assert!(parse_args(&a("conformance --bogus")).is_err());
         assert!(parse_args(&a("bogus")).is_err());
         assert!(parse_args(&a("convert f")).is_err());
         assert!(parse_args(&[]).is_err());
@@ -544,6 +672,46 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         });
         assert_eq!(code, 0);
         assert_eq!(parse_trace(&json).unwrap().events(), h.events());
+    }
+
+    #[test]
+    fn conformance_output_is_identical_across_job_counts() {
+        // The acceptance contract of the parallel pipeline: sharding the
+        // sweep across 4 workers is invisible in the rendered battery.
+        let (code1, seq) = run_str(&Command::Conformance {
+            jobs: 1,
+            tm: None,
+            mutants: false,
+        });
+        let (code4, par) = run_str(&Command::Conformance {
+            jobs: 4,
+            tm: None,
+            mutants: false,
+        });
+        assert_eq!(code1, 0, "{seq}");
+        assert_eq!(code4, 0, "{par}");
+        assert_eq!(seq, par, "jobs=4 output diverged from jobs=1");
+        assert!(seq.contains("tl2"));
+        assert!(seq.contains("glock"));
+    }
+
+    #[test]
+    fn conformance_single_tm_and_unknown_tm() {
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 2,
+            tm: Some("tl2".into()),
+            mutants: false,
+        });
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("tl2"));
+        assert!(!out.contains("glock"));
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 1,
+            tm: Some("nonesuch".into()),
+            mutants: false,
+        });
+        assert_eq!(code, 2);
+        assert!(out.contains("unknown TM"), "{out}");
     }
 
     #[test]

@@ -20,23 +20,35 @@
 //!   set of allowed placements (aborted → aborted-or-committed) and changes
 //!   nothing else.
 //!
-//! Hence the monitor re-runs the checker only on response events (`Ret`,
-//! `C`, `A`) — each of which genuinely can break opacity (`A` included: a
+//! Hence the monitor runs the checker only on response events (`Ret`, `C`,
+//! `A`) — each of which genuinely can break opacity (`A` included: a
 //! commit-pending transaction whose write was already read by a committed
 //! reader becomes unserializable when the TM aborts it).
+//!
+//! Since the pipeline refactor the monitor no longer re-runs the checker
+//! from scratch: it drives one resumable [`CheckSession`], which keeps the
+//! search's transaction metadata, dead-end memo table, and last witness
+//! across events. A check whose events merely extend the previous witness
+//! costs linear replay time — see `crate::search` for the invalidation
+//! argument — making long monitored histories asymptotically cheaper than
+//! batch re-checks (the `monitor` bench in `tm-bench` quantifies this).
 
-use crate::opacity::is_opaque_with;
-use crate::search::{CheckError, SearchConfig, SearchStats};
+use crate::search::{CheckError, CheckSession, SearchConfig, SearchMode, SearchStats};
 use tm_model::{Event, History, SpecRegistry};
 
 /// The monitor's view of the execution so far.
 pub struct OpacityMonitor<'a> {
     specs: &'a SpecRegistry,
     config: SearchConfig,
+    session: CheckSession<'a>,
     history: History,
     checks_run: usize,
     checks_skipped: usize,
     violated_at: Option<usize>,
+    /// A hard error (ill-formed feed, engine limit) is latched: every later
+    /// verdict repeats it, mirroring the pre-refactor behavior in which each
+    /// full re-check rediscovered the ill-formedness.
+    poisoned: Option<CheckError>,
     last_stats: SearchStats,
 }
 
@@ -59,41 +71,71 @@ pub enum MonitorVerdict {
 impl<'a> OpacityMonitor<'a> {
     /// A monitor over an initially empty history.
     pub fn new(specs: &'a SpecRegistry) -> Self {
+        let config = SearchConfig::default();
         OpacityMonitor {
             specs,
-            config: SearchConfig::default(),
+            config,
+            session: CheckSession::new(specs, SearchMode::OPACITY, config),
             history: History::new(),
             checks_run: 0,
             checks_skipped: 0,
             violated_at: None,
+            poisoned: None,
             last_stats: SearchStats::default(),
         }
     }
 
-    /// Overrides the search configuration.
+    /// Overrides the search configuration (call before feeding events).
+    ///
+    /// If events were already fed, they are replayed into a fresh session;
+    /// a replay failure (possible only if the monitor was already poisoned
+    /// by an ill-formed feed) re-latches the error rather than leaving the
+    /// session silently out of sync with the recorded history.
     pub fn with_config(mut self, config: SearchConfig) -> Self {
         self.config = config;
+        self.session = CheckSession::new(self.specs, SearchMode::OPACITY, config);
+        self.poisoned = None;
+        for e in self.history.events() {
+            if let Err(err) = self.session.extend(e) {
+                self.poisoned = Some(err);
+                break;
+            }
+        }
         self
     }
 
     /// Feeds one event and reports the verdict for the new prefix.
     ///
     /// Once a violation is detected it is sticky: all later verdicts repeat
-    /// the first violation index.
+    /// the first violation index. A hard error (ill-formed event, engine
+    /// limit) is likewise sticky.
     pub fn feed(&mut self, e: Event) -> Result<MonitorVerdict, CheckError> {
         let is_invocation = e.is_invocation();
-        self.history.push(e);
+        self.history.push(e.clone());
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
         if let Some(at) = self.violated_at {
             return Ok(MonitorVerdict::Violated { at });
+        }
+        if let Err(err) = self.session.extend(&e) {
+            self.poisoned = Some(err.clone());
+            return Err(err);
         }
         if is_invocation {
             self.checks_skipped += 1;
             return Ok(MonitorVerdict::OpaqueBySkip);
         }
         self.checks_run += 1;
-        let report = is_opaque_with(&self.history, self.specs, self.config)?;
-        self.last_stats = report.stats;
-        if report.opaque {
+        let outcome = match self.session.check() {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                self.poisoned = Some(err.clone());
+                return Err(err);
+            }
+        };
+        self.last_stats = outcome.stats;
+        if outcome.holds() {
             Ok(MonitorVerdict::OpaqueChecked)
         } else {
             let at = self.history.len() - 1;
@@ -125,6 +167,13 @@ impl<'a> OpacityMonitor<'a> {
     /// Statistics of the most recent search.
     pub fn last_stats(&self) -> SearchStats {
         self.last_stats
+    }
+
+    /// Statistics accumulated over every check this monitor ran — the
+    /// incremental path's *total* cost, comparable against the sum of batch
+    /// re-checks over all prefixes.
+    pub fn lifetime_stats(&self) -> SearchStats {
+        self.session.lifetime_stats()
     }
 }
 
@@ -237,5 +286,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ill_formed_feed_is_a_sticky_error() {
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        m.feed(Event::TryCommit(TxId(1))).unwrap();
+        // A second tryC of the same transaction is ill-formed.
+        assert!(m.feed(Event::TryCommit(TxId(1))).is_err());
+        // ... and so is everything after it, even otherwise valid events.
+        assert!(m.feed(Event::Commit(TxId(1))).is_err());
+    }
+
+    #[test]
+    fn monitor_accumulates_lifetime_stats() {
+        let specs = regs();
+        let mut m = OpacityMonitor::new(&specs);
+        assert_eq!(m.feed_all(&paper::h5()).unwrap(), None);
+        let total = m.lifetime_stats();
+        assert!(total.nodes >= m.last_stats().nodes);
+        assert!(total.clones_saved > 0);
     }
 }

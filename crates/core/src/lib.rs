@@ -15,7 +15,10 @@
 //!   histories;
 //! * [`incremental`] — an online monitor enforcing opacity of every prefix
 //!   of a TM-generated history;
-//! * [`search`] — the shared memoized serialization-search engine.
+//! * [`search`] — the shared memoized serialization-search engine, built
+//!   around a **resumable [`SearchCore`]**: the memo table, transaction
+//!   metadata, and last witness survive across checks, so the monitor
+//!   extends the previous prefix's search state instead of recomputing it.
 //!
 //! ## Example: the paper's Figure 1 vs Figure 2
 //!
@@ -56,4 +59,7 @@ pub use graph::{build_opg, nonlocal, EdgeLabel, NodeLabel, OpacityGraph};
 pub use graphcheck::{construct_graph_witness, decide_via_graph, GraphVerdict, GraphWitness};
 pub use incremental::{MonitorVerdict, OpacityMonitor};
 pub use opacity::{is_opaque, is_opaque_with, witness_history, OpacityReport};
-pub use search::{CheckError, Placement, SearchConfig, SearchMode, SearchStats, Witness};
+pub use search::{
+    CheckError, CheckSession, Placement, SearchConfig, SearchCore, SearchMode, SearchOutcome,
+    SearchStats, Witness,
+};

@@ -13,7 +13,7 @@
 //! prefix.
 
 use crate::search::{
-    search, CheckError, Placement, Search, SearchConfig, SearchMode, SearchOutcome, Witness,
+    search, CheckError, CheckSession, Placement, SearchConfig, SearchMode, SearchOutcome, Witness,
 };
 use tm_model::{History, SpecRegistry};
 
@@ -78,7 +78,8 @@ pub fn is_opaque_with(
     specs: &SpecRegistry,
     config: SearchConfig,
 ) -> Result<OpacityReport, CheckError> {
-    let out = Search::new(h, specs, SearchMode::OPACITY, config)?.run()?;
+    let mut session = CheckSession::new(specs, SearchMode::OPACITY, config);
+    let out = session.check_history(h)?;
     Ok(OpacityReport::from_outcome(out))
 }
 

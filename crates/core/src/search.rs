@@ -21,15 +21,45 @@
 //!   object states)`, which prunes the factorial search to the number of
 //!   distinct reachable states.
 //!
+//! ## The resumable core
+//!
+//! The engine is a **[`SearchCore`]**: a persistent structure fed one event
+//! at a time ([`SearchCore::extend`]) and queried for a verdict on the
+//! history seen so far ([`SearchCore::check`]). Three things survive across
+//! checks and make the online monitor asymptotically cheaper than
+//! re-checking every prefix from scratch:
+//!
+//! 1. **Per-transaction metadata** (views, statuses, real-time predecessor
+//!    masks) is maintained incrementally, so a check never re-scans the
+//!    history;
+//! 2. **The memo table of dead ends** is kept between checks and only
+//!    selectively invalidated. Appending events can only *tighten* the
+//!    search (ops accumulate, statuses narrow) except in two cases, which
+//!    drop exactly the entries they can unsound: a completed operation or a
+//!    `tryC` of transaction `t` drops the entries in which `t` was still
+//!    unplaced (its new op / widened placement set could rescue those dead
+//!    ends);
+//! 3. **The previous witness** biases the DFS candidate order, so when the
+//!    new events merely extend the old serialization — the common case — the
+//!    check walks straight down the witness in `O(|H|)` replay work with no
+//!    backtracking.
+//!
+//! Object states are mutated **in place** during the DFS via the
+//! apply/undo delta API of `tm-model` ([`tm_model::StatesDelta`]) instead of
+//! being cloned per placement; the only remaining clone is the one that
+//! stores a dead end into the memo table, and [`SearchStats`] reports both
+//! counts.
+//!
 //! Opacity checking over arbitrary histories is NP-hard (it embeds
 //! view-serializability), so the worst case is necessarily exponential; the
 //! memoized search is nonetheless fast for the history sizes produced by
 //! tests, the random-history cross-validation, and recorded STM executions.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-use tm_model::legal::{replay_tx, LegalityError};
-use tm_model::{History, ObjStates, RealTimeOrder, SpecRegistry, TxId, TxStatus, TxView};
+use tm_model::legal::{replay_tx_mut, LegalityError};
+use tm_model::wellformed::WfError;
+use tm_model::{Event, History, ObjStates, SpecRegistry, StatesDelta, TxId, TxStatus, TxView};
 
 /// How a transaction was placed in a serialization witness.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -129,6 +159,24 @@ pub struct SearchStats {
     pub memo_hits: usize,
     /// Placements rejected by legality replay.
     pub illegal_placements: usize,
+    /// `ObjStates` snapshots actually cloned (memo-table inserts — the only
+    /// clones left in the engine).
+    pub state_clones: usize,
+    /// `ObjStates` clones *avoided* by the in-place apply/undo replay: one
+    /// per placement expansion and one per memo probe, each of which the
+    /// pre-resumable engine paid with a full snapshot clone.
+    pub clones_saved: usize,
+}
+
+impl SearchStats {
+    /// Accumulates `other` into `self` (used for lifetime totals).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.memo_hits += other.memo_hits;
+        self.illegal_placements += other.illegal_placements;
+        self.state_clones += other.state_clones;
+        self.clones_saved += other.clones_saved;
+    }
 }
 
 /// The outcome of a serialization search.
@@ -152,8 +200,8 @@ impl SearchOutcome {
 pub struct SearchConfig {
     /// Enable the `(mask, state)` memo table (on by default).
     pub memoize: bool,
-    /// Hard cap on DFS nodes; `None` for unlimited. When hit, the search
-    /// conservatively reports "no witness found" via
+    /// Hard cap on DFS nodes per check; `None` for unlimited. When hit, the
+    /// search conservatively reports "no witness found" via
     /// [`SearchOutcome::witness`] `= None` with `stats.nodes == cap`.
     pub node_limit: Option<usize>,
 }
@@ -169,104 +217,340 @@ impl Default for SearchConfig {
 
 const MAX_TXS: usize = 64;
 
-struct TxInfo {
+/// Mirror of the per-transaction well-formedness automaton of
+/// `tm_model::wellformed`, maintained incrementally so that
+/// [`SearchCore::extend`] rejects exactly the events `check_well_formed`
+/// would reject, with the same [`WfError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TxWf {
+    Idle,
+    OpPending(Event),
+    CommitPending,
+    AbortPending,
+    Done,
+}
+
+/// Per-transaction state of the resumable core.
+struct TxCell {
     id: TxId,
     view: TxView,
-    status: TxStatus,
-    /// Bitmask of transactions that must be placed before this one.
+    wf: TxWf,
+    issued_try_abort: bool,
+    /// Bit index in the placement masks, assigned when the transaction
+    /// becomes *selected* under the search mode (immediately for opacity;
+    /// at its commit event for committed-only criteria).
+    bit: Option<u32>,
+    /// Real-time predecessors (bits of selected transactions completed
+    /// before this transaction's first event), frozen at creation: appending
+    /// events never adds real-time edges between existing transactions.
     pred_mask: u64,
 }
 
-/// The memoized DFS engine.
-pub struct Search<'a> {
+/// The resumable serialization-search engine.
+///
+/// Feed events with [`SearchCore::extend`]; ask for a verdict on everything
+/// fed so far with [`SearchCore::check`]. Between checks the core keeps its
+/// transaction metadata, its memo table of dead ends (selectively
+/// invalidated — see the module docs for the soundness argument), and the
+/// last witness (which biases the next check's DFS order towards extending
+/// it). One-shot callers go through [`Search`] / [`search`]; stateful
+/// callers (the online monitor, the `CheckSession` convenience) keep the
+/// core alive across a growing history.
+pub struct SearchCore<'a> {
     specs: &'a SpecRegistry,
+    mode: SearchMode,
     config: SearchConfig,
-    txs: Vec<TxInfo>,
-    full_mask: u64,
-    failed: HashSet<(u64, ObjStates)>,
+    txs: Vec<TxCell>,
+    index: HashMap<TxId, usize>,
+    /// Cell index per assigned bit.
+    by_bit: Vec<usize>,
+    events_seen: usize,
+    selected_mask: u64,
+    /// Bits of selected transactions that are completed (used to freeze
+    /// `pred_mask` for transactions created later).
+    completed_selected_mask: u64,
+    /// Dead ends: placed-set mask → canonical object states from which the
+    /// remaining transactions cannot be completed.
+    memo: HashMap<u64, HashSet<ObjStates>>,
+    last_witness: Option<Witness>,
     stats: SearchStats,
+    lifetime: SearchStats,
+    checks: usize,
+    /// DFS scratch: the serialization under construction.
     stack: Vec<(TxId, Placement)>,
+    /// DFS scratch: candidate bit order, biased by the last witness.
+    order: Vec<u32>,
+    /// Set once the node limit fires during the current check. From that
+    /// moment every unwinding frame's subtree is only partially explored,
+    /// so its "dead end" is unreliable and must NOT enter the persistent
+    /// memo table (a truncated false would otherwise poison later checks).
+    truncated: bool,
 }
 
-impl<'a> Search<'a> {
-    /// Prepares a search over `h` under `mode`.
-    pub fn new(
-        h: &History,
-        specs: &'a SpecRegistry,
-        mode: SearchMode,
-        config: SearchConfig,
-    ) -> Result<Self, CheckError> {
-        tm_model::check_well_formed(h).map_err(CheckError::NotWellFormed)?;
-        let all = h.txs();
-        let rt = RealTimeOrder::of(h);
-        let selected: Vec<TxId> = if mode.include_noncommitted {
-            all.clone()
-        } else {
-            all.iter()
-                .copied()
-                .filter(|t| h.status(*t).is_committed())
-                .collect()
+impl<'a> SearchCore<'a> {
+    /// A core over an initially empty history.
+    pub fn new(specs: &'a SpecRegistry, mode: SearchMode, config: SearchConfig) -> Self {
+        SearchCore {
+            specs,
+            mode,
+            config,
+            txs: Vec::new(),
+            index: HashMap::new(),
+            by_bit: Vec::new(),
+            events_seen: 0,
+            selected_mask: 0,
+            completed_selected_mask: 0,
+            memo: HashMap::new(),
+            last_witness: None,
+            stats: SearchStats::default(),
+            lifetime: SearchStats::default(),
+            checks: 0,
+            stack: Vec::new(),
+            order: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// Number of events consumed so far.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Statistics of the most recent [`SearchCore::check`].
+    pub fn last_stats(&self) -> SearchStats {
+        self.stats
+    }
+
+    /// Statistics accumulated over every check since creation.
+    pub fn lifetime_stats(&self) -> SearchStats {
+        self.lifetime
+    }
+
+    /// Number of checks run since creation.
+    pub fn checks(&self) -> usize {
+        self.checks
+    }
+
+    /// Consumes one event, updating transaction metadata incrementally and
+    /// invalidating exactly the memo entries the event can unsound.
+    ///
+    /// Fails — leaving the core unchanged, so the event is *not* consumed —
+    /// if the event violates well-formedness or overflows the engine's
+    /// transaction limit.
+    pub fn extend(&mut self, e: &Event) -> Result<(), CheckError> {
+        let tx = e.tx();
+        let index = self.events_seen;
+        let ci = match self.index.get(&tx) {
+            Some(&ci) => ci,
+            None => {
+                // First event of a new transaction. Validate before creating
+                // the cell so a failed extend leaves the core untouched.
+                match e {
+                    Event::Inv { .. } | Event::TryCommit(_) | Event::TryAbort(_) => {}
+                    _ => {
+                        return Err(CheckError::NotWellFormed(WfError::UnmatchedResponse {
+                            tx,
+                            index,
+                        }))
+                    }
+                }
+                let selected_now = self.mode.include_noncommitted;
+                if selected_now && self.by_bit.len() >= MAX_TXS {
+                    return Err(CheckError::TooManyTransactions {
+                        found: self.by_bit.len() + 1,
+                        max: MAX_TXS,
+                    });
+                }
+                let ci = self.txs.len();
+                let pred_mask = if self.mode.respect_real_time {
+                    self.completed_selected_mask
+                } else {
+                    0
+                };
+                self.txs.push(TxCell {
+                    id: tx,
+                    view: TxView {
+                        tx,
+                        ops: Vec::new(),
+                        pending: None,
+                        status: TxStatus::Live,
+                    },
+                    wf: TxWf::Idle,
+                    issued_try_abort: false,
+                    bit: None,
+                    pred_mask,
+                });
+                self.index.insert(tx, ci);
+                if selected_now {
+                    self.assign_bit(ci);
+                }
+                ci
+            }
         };
-        if selected.len() > MAX_TXS {
+
+        // Well-formedness transition (mirrors tm_model::wellformed exactly).
+        let next_wf = match (&self.txs[ci].wf, e) {
+            (TxWf::Done, _) => {
+                return Err(CheckError::NotWellFormed(WfError::EventAfterCompletion {
+                    tx,
+                    index,
+                }))
+            }
+            (TxWf::Idle, Event::Inv { .. }) => TxWf::OpPending(e.clone()),
+            (TxWf::Idle, Event::TryCommit(_)) => TxWf::CommitPending,
+            (TxWf::Idle, Event::TryAbort(_)) => TxWf::AbortPending,
+            (TxWf::Idle, _) => {
+                return Err(CheckError::NotWellFormed(WfError::UnmatchedResponse {
+                    tx,
+                    index,
+                }))
+            }
+            (TxWf::OpPending(inv), Event::Ret { .. }) => {
+                if e.matches_invocation(inv) {
+                    TxWf::Idle
+                } else {
+                    return Err(CheckError::NotWellFormed(WfError::UnmatchedResponse {
+                        tx,
+                        index,
+                    }));
+                }
+            }
+            (TxWf::OpPending(_), Event::Abort(_)) => TxWf::Done,
+            (TxWf::OpPending(_), Event::Commit(_)) => {
+                return Err(CheckError::NotWellFormed(WfError::CommitAnswersOperation {
+                    tx,
+                    index,
+                }))
+            }
+            (TxWf::OpPending(_), _) => {
+                return Err(CheckError::NotWellFormed(WfError::InvocationWhilePending {
+                    tx,
+                    index,
+                }))
+            }
+            (TxWf::CommitPending, Event::Commit(_)) | (TxWf::CommitPending, Event::Abort(_)) => {
+                TxWf::Done
+            }
+            (TxWf::CommitPending, _) => {
+                return Err(CheckError::NotWellFormed(WfError::BadEventAfterTryCommit {
+                    tx,
+                    index,
+                }))
+            }
+            (TxWf::AbortPending, Event::Abort(_)) => TxWf::Done,
+            (TxWf::AbortPending, _) => {
+                return Err(CheckError::NotWellFormed(WfError::BadEventAfterTryAbort {
+                    tx,
+                    index,
+                }))
+            }
+        };
+        // Last fallible step, checked BEFORE committing any mutation so a
+        // failed extend leaves the core exactly as it was: in committed-only
+        // modes a Commit event selects the transaction, which needs a bit.
+        if matches!(e, Event::Commit(_))
+            && !self.mode.include_noncommitted
+            && self.txs[ci].bit.is_none()
+            && self.by_bit.len() >= MAX_TXS
+        {
             return Err(CheckError::TooManyTransactions {
-                found: selected.len(),
+                found: self.by_bit.len() + 1,
                 max: MAX_TXS,
             });
         }
-        let index_of = |t: TxId| selected.iter().position(|&x| x == t);
-        let mut txs = Vec::with_capacity(selected.len());
-        for &t in &selected {
-            let mut pred_mask = 0u64;
-            if mode.respect_real_time {
-                for p in rt.predecessors(t) {
-                    if let Some(i) = index_of(p) {
-                        pred_mask |= 1 << i;
-                    }
+        self.txs[ci].wf = next_wf;
+
+        // Apply the event to the view/status and invalidate memo entries.
+        match e {
+            Event::Inv { obj, op, args, .. } => {
+                // A pending invocation imposes no legality constraint: no
+                // memo entry can become unsound.
+                self.txs[ci].view.pending = Some((obj.clone(), op.clone(), args.clone()));
+            }
+            Event::Ret { val, .. } => {
+                let (obj, op, args) = self.txs[ci]
+                    .view
+                    .pending
+                    .take()
+                    .expect("WF automaton guarantees a pending invocation");
+                self.txs[ci].view.ops.push(tm_model::OpExec {
+                    tx,
+                    obj,
+                    op,
+                    args,
+                    val: val.clone(),
+                });
+                // The new operation could rescue dead ends in which this
+                // transaction was still unplaced (its committed placement
+                // now changes the state differently). Entries that already
+                // placed it remain sound: they only claim things about the
+                // *other* transactions.
+                self.drop_entries_not_placing(ci);
+            }
+            Event::TryCommit(_) => {
+                self.txs[ci].view.status = TxStatus::CommitPending;
+                // Widening: {Aborted} → {Committed, Aborted}. Same rule as a
+                // new operation.
+                self.drop_entries_not_placing(ci);
+            }
+            Event::TryAbort(_) => {
+                self.txs[ci].issued_try_abort = true;
+                self.txs[ci].view.status = TxStatus::AbortPending;
+            }
+            Event::Commit(_) => {
+                self.txs[ci].view.status = TxStatus::Committed;
+                if !self.mode.include_noncommitted {
+                    // The transaction just became selected (the bit capacity
+                    // was verified before any mutation above): every old
+                    // entry's "remaining" set grew by it, so all bets are
+                    // off.
+                    self.assign_bit(ci);
+                    self.memo.clear();
+                }
+                if let Some(b) = self.txs[ci].bit {
+                    self.completed_selected_mask |= 1 << b;
                 }
             }
-            txs.push(TxInfo {
-                id: t,
-                view: h.tx_view(t),
-                status: h.status(t),
-                pred_mask,
-            });
+            Event::Abort(_) => {
+                // An abort answering a pending operation leaves the
+                // operation without effect (tm_model::History::tx_view drops
+                // the pending invocation); no completed op is added, so no
+                // entry can become unsound.
+                self.txs[ci].view.pending = None;
+                self.txs[ci].view.status = if self.txs[ci].issued_try_abort {
+                    TxStatus::Aborted
+                } else {
+                    TxStatus::ForcefullyAborted
+                };
+                if let Some(b) = self.txs[ci].bit {
+                    self.completed_selected_mask |= 1 << b;
+                }
+            }
         }
-        let full_mask = if selected.is_empty() {
-            0
-        } else {
-            (1u64 << selected.len()) - 1
-        };
-        Ok(Search {
-            specs,
-            config,
-            txs,
-            full_mask,
-            failed: HashSet::new(),
-            stats: SearchStats::default(),
-            stack: Vec::new(),
-        })
+        self.events_seen += 1;
+        Ok(())
     }
 
-    /// Runs the search to completion.
-    pub fn run(mut self) -> Result<SearchOutcome, CheckError> {
-        let states = ObjStates::new();
-        match self.dfs(0, &states)? {
-            true => Ok(SearchOutcome {
-                witness: Some(Witness {
-                    order: self.stack.clone(),
-                }),
-                stats: self.stats,
-            }),
-            false => Ok(SearchOutcome {
-                witness: None,
-                stats: self.stats,
-            }),
+    fn assign_bit(&mut self, ci: usize) {
+        let b = self.by_bit.len() as u32;
+        self.txs[ci].bit = Some(b);
+        self.by_bit.push(ci);
+        self.selected_mask |= 1 << b;
+    }
+
+    /// Drops memo entries whose placed-set does *not* contain transaction
+    /// `ci` — those are the entries a change to `ci`'s ops or placement set
+    /// could rescue.
+    fn drop_entries_not_placing(&mut self, ci: usize) {
+        if let Some(b) = self.txs[ci].bit {
+            let bit = 1u64 << b;
+            self.memo.retain(|&mask, _| mask & bit != 0);
         }
     }
 
     /// The placement decisions allowed for a transaction by its status in
     /// `H` (and the search mode).
-    fn allowed_placements(&self, status: TxStatus) -> &'static [Placement] {
+    fn allowed_placements(status: TxStatus) -> &'static [Placement] {
         match status {
             TxStatus::Committed => &[Placement::Committed],
             // A commit-pending transaction may appear committed or aborted
@@ -278,29 +562,96 @@ impl<'a> Search<'a> {
         }
     }
 
-    fn dfs(&mut self, placed: u64, states: &ObjStates) -> Result<bool, CheckError> {
-        if placed == self.full_mask {
+    /// Decides the criterion for the history fed so far.
+    ///
+    /// The DFS candidate order is biased towards the previous check's
+    /// witness, so a check whose new events merely extend the old
+    /// serialization runs in linear replay time with no backtracking.
+    pub fn check(&mut self) -> Result<SearchOutcome, CheckError> {
+        self.checks += 1;
+        self.stats = SearchStats::default();
+        self.stack.clear();
+        // Candidate order: last witness first (it remains real-time
+        // compatible — appending events never orders two existing
+        // transactions), then any transactions it does not cover, in
+        // first-selection order.
+        self.order.clear();
+        let mut seen = 0u64;
+        if let Some(w) = &self.last_witness {
+            for (t, _) in &w.order {
+                if let Some(&ci) = self.index.get(t) {
+                    if let Some(b) = self.txs[ci].bit {
+                        if seen & (1 << b) == 0 {
+                            seen |= 1 << b;
+                            self.order.push(b);
+                        }
+                    }
+                }
+            }
+        }
+        for b in 0..self.by_bit.len() as u32 {
+            if seen & (1 << b) == 0 {
+                self.order.push(b);
+            }
+        }
+        let mut states = ObjStates::new();
+        let mut delta = StatesDelta::new();
+        self.truncated = false;
+        let found = self.dfs(0, &mut states, &mut delta)?;
+        self.lifetime.absorb(&self.stats);
+        if found {
+            let witness = Witness {
+                order: self.stack.clone(),
+            };
+            self.last_witness = Some(witness.clone());
+            Ok(SearchOutcome {
+                witness: Some(witness),
+                stats: self.stats,
+            })
+        } else {
+            Ok(SearchOutcome {
+                witness: None,
+                stats: self.stats,
+            })
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        placed: u64,
+        states: &mut ObjStates,
+        delta: &mut StatesDelta,
+    ) -> Result<bool, CheckError> {
+        if placed == self.selected_mask {
             return Ok(true);
         }
         if let Some(limit) = self.config.node_limit {
             if self.stats.nodes >= limit {
+                self.truncated = true;
                 return Ok(false);
             }
         }
         self.stats.nodes += 1;
-        let key = (placed, states.clone());
-        if self.config.memoize && self.failed.contains(&key) {
-            self.stats.memo_hits += 1;
-            return Ok(false);
+        if self.config.memoize {
+            self.stats.clones_saved += 1; // memo probe without a key clone
+            if let Some(set) = self.memo.get(&placed) {
+                if set.contains(states) {
+                    self.stats.memo_hits += 1;
+                    return Ok(false);
+                }
+            }
         }
-        for i in 0..self.txs.len() {
-            let bit = 1u64 << i;
-            if placed & bit != 0 || self.txs[i].pred_mask & !placed != 0 {
+        for k in 0..self.order.len() {
+            let b = self.order[k];
+            let bit = 1u64 << b;
+            let ci = self.by_bit[b as usize];
+            if placed & bit != 0 || self.txs[ci].pred_mask & !placed != 0 {
                 continue;
             }
+            let mark = delta.mark();
             // Replay the candidate against the committed-prefix state.
-            let after = match replay_tx(&self.txs[i].view, states, self.specs) {
-                Ok(after) => after,
+            match replay_tx_mut(&self.txs[ci].view, states, self.specs, delta) {
+                Ok(()) => {}
                 Err(LegalityError::NoSpec(op)) => {
                     return Err(CheckError::NoSpec(op.obj.name().to_string()));
                 }
@@ -308,23 +659,123 @@ impl<'a> Search<'a> {
                     self.stats.illegal_placements += 1;
                     continue;
                 }
-            };
-            for &placement in self.allowed_placements(self.txs[i].status) {
-                let next_states = match placement {
-                    Placement::Committed => after.clone().canonical(self.specs),
-                    Placement::Aborted => states.clone(),
-                };
-                self.stack.push((self.txs[i].id, placement));
-                if self.dfs(placed | bit, &next_states)? {
+            }
+            let id = self.txs[ci].id;
+            let status = self.txs[ci].view.status;
+            for &placement in Self::allowed_placements(status) {
+                if placement == Placement::Aborted {
+                    // Validated above; effects are discarded.
+                    delta.rollback_to(states, mark);
+                }
+                self.stats.clones_saved += 1; // placement without a clone
+                self.stack.push((id, placement));
+                if self.dfs(placed | bit, states, delta)? {
                     return Ok(true);
                 }
                 self.stack.pop();
             }
+            delta.rollback_to(states, mark);
         }
-        if self.config.memoize {
-            self.failed.insert(key);
+        // Frames that finished exploring before the node limit fired are
+        // genuine dead ends; frames unwinding after it are not — caching
+        // them would let a truncated "no" poison every later check.
+        if self.config.memoize && !self.truncated {
+            self.stats.state_clones += 1;
+            self.memo.entry(placed).or_default().insert(states.clone());
         }
         Ok(false)
+    }
+}
+
+/// A stateful checking session over a growing history: the façade through
+/// which both the batch checkers (`is_opaque*`, the Section-3 criteria) and
+/// the online monitor drive the resumable [`SearchCore`].
+///
+/// Feed events with [`CheckSession::extend`] (or let
+/// [`CheckSession::check_history`] consume the suffix of a monotonically
+/// growing history) and decide with [`CheckSession::check`]. The underlying
+/// core keeps its memo table and witness between checks, so checking every
+/// prefix of a history costs far less than independent batch checks.
+pub struct CheckSession<'a> {
+    core: SearchCore<'a>,
+}
+
+impl<'a> CheckSession<'a> {
+    /// A session over an initially empty history.
+    pub fn new(specs: &'a SpecRegistry, mode: SearchMode, config: SearchConfig) -> Self {
+        CheckSession {
+            core: SearchCore::new(specs, mode, config),
+        }
+    }
+
+    /// Consumes one event. See [`SearchCore::extend`].
+    pub fn extend(&mut self, e: &Event) -> Result<(), CheckError> {
+        self.core.extend(e)
+    }
+
+    /// Decides the criterion for the events consumed so far.
+    pub fn check(&mut self) -> Result<SearchOutcome, CheckError> {
+        self.core.check()
+    }
+
+    /// Consumes the not-yet-seen suffix of `h` and checks.
+    ///
+    /// `h` must be an extension of the history fed so far (the session
+    /// trusts the already-consumed prefix and only reads `h`'s tail) — which
+    /// is exactly the monitor's situation, and trivially true for one-shot
+    /// batch checks on a fresh session.
+    pub fn check_history(&mut self, h: &History) -> Result<SearchOutcome, CheckError> {
+        let seen = self.core.events_seen();
+        for e in &h.events()[seen.min(h.len())..] {
+            self.core.extend(e)?;
+        }
+        self.core.check()
+    }
+
+    /// Number of events consumed so far.
+    pub fn events_seen(&self) -> usize {
+        self.core.events_seen()
+    }
+
+    /// Statistics of the most recent check.
+    pub fn last_stats(&self) -> SearchStats {
+        self.core.last_stats()
+    }
+
+    /// Statistics accumulated over every check in this session.
+    pub fn lifetime_stats(&self) -> SearchStats {
+        self.core.lifetime_stats()
+    }
+
+    /// Number of checks run in this session.
+    pub fn checks(&self) -> usize {
+        self.core.checks()
+    }
+}
+
+/// The one-shot façade over [`SearchCore`] (kept for the original API).
+pub struct Search<'a> {
+    core: SearchCore<'a>,
+}
+
+impl<'a> Search<'a> {
+    /// Prepares a search over `h` under `mode`.
+    pub fn new(
+        h: &History,
+        specs: &'a SpecRegistry,
+        mode: SearchMode,
+        config: SearchConfig,
+    ) -> Result<Self, CheckError> {
+        let mut core = SearchCore::new(specs, mode, config);
+        for e in h.events() {
+            core.extend(e)?;
+        }
+        Ok(Search { core })
+    }
+
+    /// Runs the search to completion.
+    pub fn run(mut self) -> Result<SearchOutcome, CheckError> {
+        self.core.check()
     }
 }
 
@@ -490,5 +941,265 @@ mod tests {
         let pos = |t: u32| order.iter().position(|&x| x == TxId(t)).unwrap();
         assert!(pos(1) < pos(2), "T1 must precede T2 in S: {order:?}");
         assert!(pos(2) < pos(3), "T2 must precede T3 in S: {order:?}");
+    }
+
+    // ---- resumable-core behavior ---------------------------------------
+
+    /// Checks every prefix of `h` through one session and independently
+    /// from scratch; verdicts must agree at every prefix.
+    fn assert_session_matches_batch(h: &History) {
+        let specs = regs();
+        let mut session = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        for (i, e) in h.events().iter().enumerate() {
+            session.extend(e).unwrap();
+            let live = session.check().unwrap().holds();
+            let fresh = search(&h.prefix(i + 1), &specs, SearchMode::OPACITY)
+                .unwrap()
+                .holds();
+            assert_eq!(live, fresh, "prefix {} of {h}", i + 1);
+        }
+    }
+
+    #[test]
+    fn session_verdicts_match_batch_on_paper_histories() {
+        for h in [paper::h1(), paper::h3(), paper::h4(), paper::h5()] {
+            assert_session_matches_batch(&h);
+        }
+    }
+
+    #[test]
+    fn try_commit_widening_invalidates_stale_dead_ends() {
+        // With T1 live, T2's committed read of T1's write is a dead end; the
+        // tryC of T1 widens its placements to {Committed, Aborted} and the
+        // same session must now find the witness. A memo table kept blindly
+        // across the widening would wrongly report "not opaque" forever.
+        let specs = regs();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        let prefix = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(2, "x", 1)
+            .build();
+        for e in prefix.events() {
+            s.extend(e).unwrap();
+        }
+        assert!(!s.check().unwrap().holds(), "dirty read while T1 is live");
+        s.extend(&Event::TryCommit(TxId(1))).unwrap();
+        assert!(
+            s.check().unwrap().holds(),
+            "commit-pending T1 may now be placed committed"
+        );
+    }
+
+    #[test]
+    fn new_op_invalidates_stale_dead_ends() {
+        // T2 commits a read of y=7 before anyone wrote 7: not opaque. Then
+        // live T1 (which started before T2 completed) finishes a write of
+        // y=7: the full history becomes opaque (T1 placed committed before
+        // T2). The session must not let the old dead end veto the rescue.
+        let specs = regs();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        let prefix = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(2, "y", 7)
+            .try_commit(2)
+            .commit(2)
+            .build();
+        for e in prefix.events() {
+            s.extend(e).unwrap();
+        }
+        assert!(!s.check().unwrap().holds());
+        let rescue = HistoryBuilder::new().write(1, "y", 7).build();
+        for e in rescue.events() {
+            s.extend(e).unwrap();
+        }
+        s.extend(&Event::TryCommit(TxId(1))).unwrap();
+        assert!(s.check().unwrap().holds(), "T1(C) · T2(C) is a witness");
+        // Cross-check against a from-scratch search on the full history.
+        let mut full = prefix.clone();
+        for e in rescue.events() {
+            full.push(e.clone());
+        }
+        full.push(Event::TryCommit(TxId(1)));
+        assert!(search(&full, &specs, SearchMode::OPACITY).unwrap().holds());
+    }
+
+    #[test]
+    fn witness_bias_makes_extension_checks_linear() {
+        // A long legal chain: after the first check, every further check
+        // walks straight down the previous witness — nodes per check stay
+        // at (#txs placed + 1), with no backtracking.
+        let specs = regs();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        let mut b = HistoryBuilder::new();
+        for t in 1..=12u32 {
+            b = b
+                .read(t, "x", (t - 1) as i64)
+                .write(t, "x", t as i64)
+                .commit_ok(t);
+        }
+        let h = b.build();
+        for e in h.events() {
+            s.extend(e).unwrap();
+        }
+        let out = s.check().unwrap();
+        assert!(out.holds());
+        let first_nodes = out.stats.nodes;
+        // Extend by one more transaction and re-check: the incremental cost
+        // must be two extra nodes (the new placement + the new root), not a
+        // re-exploration.
+        let ext = HistoryBuilder::new()
+            .read(13, "x", 12)
+            .write(13, "x", 13)
+            .commit_ok(13)
+            .build();
+        for e in ext.events() {
+            s.extend(e).unwrap();
+        }
+        let out2 = s.check().unwrap();
+        assert!(out2.holds());
+        assert!(
+            out2.stats.nodes <= first_nodes + 2,
+            "extension check expanded {} nodes (first: {first_nodes})",
+            out2.stats.nodes
+        );
+        assert_eq!(out2.stats.illegal_placements, 0);
+    }
+
+    #[test]
+    fn in_place_replay_reports_saved_clones() {
+        let h = paper::h5();
+        let out = search(&h, &regs(), SearchMode::OPACITY).unwrap();
+        assert!(out.holds());
+        assert!(
+            out.stats.clones_saved > out.stats.state_clones,
+            "the engine should avoid more clones than it performs: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn failed_extend_leaves_the_core_usable() {
+        let specs = regs();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        s.extend(&Event::TryCommit(TxId(1))).unwrap();
+        // A second tryC is ill-formed and must be rejected without consuming.
+        assert!(matches!(
+            s.extend(&Event::TryCommit(TxId(1))),
+            Err(CheckError::NotWellFormed(_))
+        ));
+        assert_eq!(s.events_seen(), 1);
+        // The valid continuation still works.
+        s.extend(&Event::Commit(TxId(1))).unwrap();
+        assert!(s.check().unwrap().holds());
+    }
+
+    #[test]
+    fn truncated_checks_do_not_poison_the_memo() {
+        // With a node limit, a check can give up ("no witness found") on a
+        // history that IS opaque. Those truncated explorations must not be
+        // cached as dead ends: a later check of the same session with more
+        // budget headroom — or simply re-running after the limit reset —
+        // must still be able to find the witness.
+        let specs = regs();
+        let config = SearchConfig {
+            memoize: true,
+            node_limit: Some(3),
+        };
+        // H5 needs more than 3 nodes; per-check the limit resets, so the
+        // second identical check must not be vetoed by entries recorded
+        // while the first was truncated.
+        let h = paper::h5();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+        for e in h.events() {
+            s.extend(e).unwrap();
+        }
+        let first = s.check().unwrap();
+        let second = s.check().unwrap();
+        let reference = Search::new(&h, &specs, SearchMode::OPACITY, config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            second.holds(),
+            reference.holds(),
+            "a repeated limited check must match a fresh limited check \
+             (first: {:?})",
+            first.holds()
+        );
+        // Cross-validate against batch semantics on every prefix of a
+        // random-ish opaque chain: session verdicts under a limit must
+        // equal fresh limited checks (the pre-refactor monitor contract).
+        let mut b = HistoryBuilder::new();
+        for t in 1..=6u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        for t in 1..=6u32 {
+            b = b.commit_ok(t);
+        }
+        let h = b.build();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+        for (i, e) in h.events().iter().enumerate() {
+            s.extend(e).unwrap();
+            let live = s.check().unwrap().holds();
+            let fresh = Search::new(&h.prefix(i + 1), &specs, SearchMode::OPACITY, config)
+                .unwrap()
+                .run()
+                .unwrap()
+                .holds();
+            // The session may only be BETTER than fresh (its witness bias
+            // finds serializations the truncated fresh search misses),
+            // never worse: a stale truncated "no" must never veto a "yes".
+            assert!(
+                live || !fresh,
+                "prefix {}: session says no but fresh limited check says yes",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn failed_commit_extend_is_atomic_in_committed_only_mode() {
+        // Drive a committed-only session past the bit limit: the 65th
+        // commit must fail with TooManyTransactions and leave the event
+        // unconsumed — retrying yields the SAME error, not a WF error from
+        // a half-applied transition.
+        let specs = regs();
+        let mut s = CheckSession::new(&specs, SearchMode::SERIALIZABILITY, SearchConfig::default());
+        for t in 1..=65u32 {
+            let h = HistoryBuilder::new().write(t, "x", t as i64).build();
+            for e in h.events() {
+                s.extend(e).unwrap();
+            }
+            s.extend(&Event::TryCommit(TxId(t))).unwrap();
+            if t <= 64 {
+                s.extend(&Event::Commit(TxId(t))).unwrap();
+            }
+        }
+        let seen = s.events_seen();
+        for _ in 0..2 {
+            assert!(matches!(
+                s.extend(&Event::Commit(TxId(65))),
+                Err(CheckError::TooManyTransactions { .. })
+            ));
+            assert_eq!(s.events_seen(), seen, "failed extend must not consume");
+        }
+        // The session remains usable: the 64 committed writers serialize.
+        assert!(s.check().unwrap().holds());
+    }
+
+    #[test]
+    fn session_tracks_lifetime_stats() {
+        let specs = regs();
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        let h = paper::h5();
+        let mut total = 0;
+        for e in h.events() {
+            s.extend(e).unwrap();
+            if e.is_response() {
+                total += s.check().unwrap().stats.nodes;
+            }
+        }
+        assert_eq!(s.lifetime_stats().nodes, total);
+        assert!(s.checks() > 0);
     }
 }

@@ -19,17 +19,26 @@
 //! mutants is pinned in the tests below — a downstream implementor runs
 //! the same battery on their TM and compares rows. Violations carry the
 //! offending schedule so failures are reproducible.
+//!
+//! The interleaving sweep is embarrassingly parallel — every `(probe,
+//! schedule)` pair drives a *fresh* TM instance — so
+//! [`conformance_parallel`] shards it across a scoped-thread worker pool
+//! ([`crate::parallel`]) and merges the per-schedule verdicts back **in
+//! schedule order**: the report (flags, violation list, counts) is
+//! byte-identical for any worker count. [`check_conformance`] is the
+//! single-threaded wrapper.
 
 use tm_model::SpecRegistry;
 use tm_opacity::criteria::{is_serializable, snapshot_isolated};
 use tm_opacity::opacity::is_opaque;
 use tm_stm::{run_tx, Stm};
 
-use crate::sched::{all_schedules, execute};
+use crate::parallel::parallel_map;
+use crate::sched::{all_schedules, execute, Schedule};
 use crate::script::{Program, TxScript};
 
 /// The outcome of one conformance run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ConformanceReport {
     /// The TM's self-reported name.
     pub name: String,
@@ -134,11 +143,107 @@ fn run_serially(stm: &dyn Stm, program: &Program, schedule: &[usize]) {
     }
 }
 
+/// One `(probe, schedule)` unit of sweep work.
+struct SweepItem {
+    pname: &'static str,
+    program: Program,
+    sched: Schedule,
+}
+
+/// The verdicts for one recorded history, computed on any worker thread.
+struct SweepVerdict {
+    wf: bool,
+    opaque: bool,
+    serializable: bool,
+    snapshot_isolated: bool,
+}
+
+/// Builds the full deterministic work list for the sweep phase.
+fn sweep_items(blocking: bool) -> Vec<SweepItem> {
+    let mut items = Vec::new();
+    for (pname, program) in probes() {
+        // Blocking TMs (the global lock) cannot be interleaved on one OS
+        // thread: run the two serial orders through the raw Tx API instead.
+        let schedules = if blocking {
+            let counts = program.action_counts();
+            let serial_01: Vec<usize> = std::iter::repeat(0)
+                .take(counts[0])
+                .chain(std::iter::repeat(1).take(counts[1]))
+                .collect();
+            let serial_10: Vec<usize> = std::iter::repeat(1)
+                .take(counts[1])
+                .chain(std::iter::repeat(0).take(counts[0]))
+                .collect();
+            vec![serial_01, serial_10]
+        } else {
+            all_schedules(&program.action_counts(), 200)
+        };
+        for sched in schedules {
+            items.push(SweepItem {
+                pname,
+                program: program.clone(),
+                sched,
+            });
+        }
+    }
+    items
+}
+
+/// Executes one sweep item against a fresh TM and judges the recorded
+/// history. Pure in the item index: safe to run on any worker.
+fn run_sweep_item(
+    make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync),
+    blocking: bool,
+    item: &SweepItem,
+) -> SweepVerdict {
+    let specs = SpecRegistry::registers();
+    let stm = make(2);
+    run_tx(stm.as_ref(), 0, |tx| {
+        tx.write(0, 1)?;
+        tx.write(1, 1)
+    });
+    if blocking {
+        run_serially(stm.as_ref(), &item.program, &item.sched);
+    } else {
+        execute(stm.as_ref(), &item.program, &item.sched);
+    }
+    let h = stm.recorder().history();
+    let wf = tm_model::is_well_formed(&h);
+    if !wf {
+        return SweepVerdict {
+            wf,
+            opaque: true,
+            serializable: true,
+            snapshot_isolated: true,
+        };
+    }
+    SweepVerdict {
+        wf,
+        opaque: is_opaque(&h, &specs).map(|r| r.opaque).unwrap_or(false),
+        serializable: is_serializable(&h, &specs).unwrap_or(false),
+        snapshot_isolated: snapshot_isolated(&h, &specs).unwrap_or(false),
+    }
+}
+
 /// Runs the full battery against TMs built by `make` (called with the
 /// number of registers each sub-experiment needs; every history is taken
-/// from a fresh instance).
-pub fn check_conformance(make: &dyn Fn(usize) -> Box<dyn Stm>) -> ConformanceReport {
-    let specs = SpecRegistry::registers();
+/// from a fresh instance). Single-threaded; equivalent to
+/// [`conformance_parallel`] with `jobs = 1`.
+pub fn check_conformance(make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync)) -> ConformanceReport {
+    conformance_parallel(make, 1)
+}
+
+/// [`check_conformance`] with the interleaving sweep sharded across `jobs`
+/// scoped worker threads.
+///
+/// Every `(probe, schedule)` pair runs against a fresh TM instance, so the
+/// items are independent; the per-item verdicts are merged back in schedule
+/// order, making the report **identical for every `jobs` value** (the
+/// property is pinned by a test below and by the harness property suite).
+pub fn conformance_parallel(
+    make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync),
+    jobs: usize,
+) -> ConformanceReport {
     let name = make(1).name().to_string();
     let blocking = make(1).blocking();
     let mut report = ConformanceReport {
@@ -161,66 +266,41 @@ pub fn check_conformance(make: &dyn Fn(usize) -> Box<dyn Stm>) -> ConformanceRep
         }
     };
 
-    // ---- interleaving sweeps ----------------------------------------------
-    for (pname, program) in probes() {
-        // Blocking TMs (the global lock) cannot be interleaved on one OS
-        // thread: run the two serial orders through the raw Tx API instead.
-        let schedules = if blocking {
-            let counts = program.action_counts();
-            let serial_01: Vec<usize> = std::iter::repeat(0)
-                .take(counts[0])
-                .chain(std::iter::repeat(1).take(counts[1]))
-                .collect();
-            let serial_10: Vec<usize> = std::iter::repeat(1)
-                .take(counts[1])
-                .chain(std::iter::repeat(0).take(counts[0]))
-                .collect();
-            vec![serial_01, serial_10]
-        } else {
-            all_schedules(&program.action_counts(), 200)
-        };
-        for sched in schedules {
-            let stm = make(2);
-            run_tx(stm.as_ref(), 0, |tx| {
-                tx.write(0, 1)?;
-                tx.write(1, 1)
-            });
-            if blocking {
-                run_serially(stm.as_ref(), &program, &sched);
-            } else {
-                execute(stm.as_ref(), &program, &sched);
-            }
-            let h = stm.recorder().history();
-            report.histories_checked += 1;
-            let wf = tm_model::is_well_formed(&h);
-            flag(
-                &mut report.well_formed,
-                wf,
-                &format!("{pname} {sched:?}: ill-formed history"),
-                &mut report.violations,
-            );
-            if !wf {
-                continue;
-            }
-            flag(
-                &mut report.opaque,
-                is_opaque(&h, &specs).map(|r| r.opaque).unwrap_or(false),
-                &format!("{pname} {sched:?}: opacity violated"),
-                &mut report.violations,
-            );
-            flag(
-                &mut report.serializable,
-                is_serializable(&h, &specs).unwrap_or(false),
-                &format!("{pname} {sched:?}: committed txs not serializable"),
-                &mut report.violations,
-            );
-            flag(
-                &mut report.snapshot_isolated,
-                snapshot_isolated(&h, &specs).unwrap_or(false),
-                &format!("{pname} {sched:?}: snapshot isolation violated"),
-                &mut report.violations,
-            );
+    // ---- interleaving sweeps (sharded) ------------------------------------
+    let items = sweep_items(blocking);
+    let verdicts = parallel_map(items.len(), jobs, |i| {
+        run_sweep_item(make, blocking, &items[i])
+    });
+    for (item, v) in items.iter().zip(&verdicts) {
+        let SweepItem { pname, sched, .. } = item;
+        report.histories_checked += 1;
+        flag(
+            &mut report.well_formed,
+            v.wf,
+            &format!("{pname} {sched:?}: ill-formed history"),
+            &mut report.violations,
+        );
+        if !v.wf {
+            continue;
         }
+        flag(
+            &mut report.opaque,
+            v.opaque,
+            &format!("{pname} {sched:?}: opacity violated"),
+            &mut report.violations,
+        );
+        flag(
+            &mut report.serializable,
+            v.serializable,
+            &format!("{pname} {sched:?}: committed txs not serializable"),
+            &mut report.violations,
+        );
+        flag(
+            &mut report.snapshot_isolated,
+            v.snapshot_isolated,
+            &format!("{pname} {sched:?}: snapshot isolation violated"),
+            &mut report.violations,
+        );
     }
 
     // ---- progressiveness probe (Section 6.2's discriminating schedule) ----
@@ -344,5 +424,32 @@ mod tests {
         assert!(header().contains("opaque"));
         assert!(r.row().contains("tl2"));
         assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_across_job_counts() {
+        // The progressive/lost-update probes are inherently sequential and
+        // shared; the sweep — the bulk of the work — must merge identically
+        // for any worker count, including on a TM with real violations so
+        // the violation lists (content AND order) are exercised.
+        // The threaded lost-update probe is the one probabilistic component
+        // (real threads); mask it out so the comparison pins exactly the
+        // deterministic sweep + progressive probe.
+        let normalize = |mut r: ConformanceReport| {
+            r.no_lost_updates = true;
+            r.violations.retain(|v| !v.starts_with("counter:"));
+            r
+        };
+        for factory in [
+            (|k| Box::new(MutantStm::new(k, Mutation::SkipReadValidation)) as Box<dyn tm_stm::Stm>)
+                as fn(usize) -> Box<dyn tm_stm::Stm>,
+            |k| Box::new(tm_stm::Tl2Stm::new(k)) as Box<dyn tm_stm::Stm>,
+        ] {
+            let sequential = normalize(conformance_parallel(&factory, 1));
+            for jobs in [2, 4, 7] {
+                let parallel = normalize(conformance_parallel(&factory, jobs));
+                assert_eq!(sequential, parallel, "jobs={jobs}");
+            }
+        }
     }
 }

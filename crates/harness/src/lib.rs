@@ -5,6 +5,9 @@
 //!
 //! * [`script`] / [`sched`] — scripted transactions under deterministic,
 //!   exhaustively enumerable interleavings (a miniature schedule explorer);
+//! * [`parallel`] — a dependency-free scoped-thread worker pool with
+//!   deterministic index-order merging, powering the parallel checking
+//!   pipeline ([`conformance_parallel`], [`cross_validate`]);
 //! * [`randhist`] — random well-formed register histories for the Theorem-2
 //!   cross-validation;
 //! * [`workload`] — real-thread workloads (bank, counter, read-mostly) with
@@ -17,6 +20,7 @@
 
 pub mod complexity;
 pub mod conformance;
+pub mod parallel;
 pub mod randhist;
 pub mod sched;
 pub mod script;
@@ -24,8 +28,11 @@ pub mod stats;
 pub mod workload;
 
 pub use complexity::{fraction_scenario, paper_scenario, solo_scan, sweep, ComplexityRow};
-pub use conformance::{check_conformance, header as conformance_header, ConformanceReport};
-pub use randhist::{batch, random_history, GenConfig};
+pub use conformance::{
+    check_conformance, conformance_parallel, header as conformance_header, ConformanceReport,
+};
+pub use parallel::{default_jobs, parallel_map};
+pub use randhist::{batch, cross_validate, random_history, CrossValReport, GenConfig};
 pub use sched::{
     all_schedules, complete_schedule, execute, inversions, random_schedule, shrink_schedule,
     ExecOutcome, Schedule, TxOutcome,

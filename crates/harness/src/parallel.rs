@@ -1,0 +1,97 @@
+//! A dependency-free scoped-thread worker pool with deterministic merging.
+//!
+//! The checking pipeline shards embarrassingly parallel work — schedule
+//! sweeps, random-history cross-validation — across OS threads with
+//! `std::thread::scope` (no extra crates, no unsafe). Determinism is the
+//! design constraint: every item is computed by a pure function of its
+//! index, workers take items in a fixed stride, and results are re-assembled
+//! **in index order**, so the output of `jobs = N` is byte-identical to
+//! `jobs = 1`.
+
+/// Runs `f(0..n)` across up to `jobs` scoped threads and returns the results
+/// in index order.
+///
+/// `f` must be deterministic per index (it is called exactly once per
+/// index, on an unspecified thread). `jobs == 1` (or `n <= 1`) runs inline
+/// on the caller's thread with no spawns, so the sequential path stays
+/// allocation- and thread-free.
+pub fn parallel_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < n {
+                    out.push((i, f(i)));
+                    i += jobs;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// A sensible default worker count: the machine's available parallelism,
+/// clamped to at least 1.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_index_order_for_any_job_count() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 3, 8, 64, 200] {
+            assert_eq!(parallel_map(97, jobs, |i| i * i), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn each_index_computed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(50, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(parallel_map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

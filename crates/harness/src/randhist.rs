@@ -145,6 +145,61 @@ pub fn batch(config: &GenConfig, base_seed: u64, n: usize) -> Vec<History> {
         .collect()
 }
 
+/// The merged result of a [`cross_validate`] sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrossValReport {
+    /// Histories checked.
+    pub total: usize,
+    /// Histories on which the definitional checker (Definition 1) and the
+    /// graph decider (Theorem 2) returned the same verdict.
+    pub agree: usize,
+    /// Histories the definitional checker judged opaque.
+    pub opaque: usize,
+    /// Seeds on which the two deciders disagreed (must stay empty; kept in
+    /// the report so a regression is immediately reproducible).
+    pub disagreeing_seeds: Vec<u64>,
+}
+
+/// The Theorem-2 cross-validation (experiment E7), sharded across `jobs`
+/// scoped worker threads.
+///
+/// For each of `n` consecutive seeds starting at `base_seed`, generates a
+/// random history, decides opacity both definitionally and via the graph
+/// characterization, and tallies agreement. Each seed's verdict is a pure
+/// function of the seed, and the merge walks seeds in order, so the report
+/// is identical for every `jobs` value.
+pub fn cross_validate(config: &GenConfig, base_seed: u64, n: usize, jobs: usize) -> CrossValReport {
+    use tm_model::SpecRegistry;
+    use tm_opacity::graphcheck::decide_via_graph;
+    use tm_opacity::opacity::is_opaque;
+
+    let per_seed = crate::parallel::parallel_map(n, jobs, |i| {
+        let seed = base_seed + i as u64;
+        let specs = SpecRegistry::registers();
+        let h = random_history(config, seed);
+        let definitional = is_opaque(&h, &specs).expect("generated histories are checkable");
+        let graph = decide_via_graph(&h, &specs, config.txs.max(6))
+            .expect("generated histories are checkable")
+            .opaque();
+        (definitional.opaque, graph)
+    });
+    let mut report = CrossValReport {
+        total: n,
+        ..CrossValReport::default()
+    };
+    for (i, (definitional, graph)) in per_seed.into_iter().enumerate() {
+        if definitional == graph {
+            report.agree += 1;
+        } else {
+            report.disagreeing_seeds.push(base_seed + i as u64);
+        }
+        if definitional {
+            report.opaque += 1;
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +270,22 @@ mod tests {
         }
         assert!(yes > 10, "too few opaque histories: {yes}");
         assert!(no > 10, "too few non-opaque histories: {no}");
+    }
+
+    #[test]
+    fn cross_validation_agrees_and_is_job_count_invariant() {
+        let config = GenConfig::default();
+        let sequential = cross_validate(&config, 0, 60, 1);
+        assert_eq!(sequential.total, 60);
+        assert_eq!(
+            sequential.agree, 60,
+            "Theorem 2 disagreement on seeds {:?}",
+            sequential.disagreeing_seeds
+        );
+        assert!(sequential.opaque > 0 && sequential.opaque < 60);
+        for jobs in [2, 4] {
+            assert_eq!(cross_validate(&config, 0, 60, jobs), sequential);
+        }
     }
 
     #[test]
