@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use tm_harness::workload::{bank, counter, read_mostly};
+use tm_harness::workload::{bank, counter, read_mostly, typed_storm};
+use tm_harness::ObjectKind;
+use tm_stm::objects::TypedStm;
 use tm_stm::{
     AstmStm, ContentionManager, DstmStm, GlockStm, MvStm, NonOpaqueStm, SiStm, Stm, Tl2Stm, TplStm,
     VisibleStm,
@@ -85,6 +87,29 @@ fn bench_read_mostly(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-object-type throughput suite: every TM serving every typed
+/// object family through the `tm_stm::objects` encoding layer — the cost
+/// of rich semantics per TM, measured as committed object transactions.
+fn bench_typed_objects(c: &mut Criterion) {
+    let ops = 100usize;
+    let threads = 2usize;
+    for kind in ObjectKind::ALL {
+        let mut group = c.benchmark_group(format!("throughput/objects/{kind}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((threads * ops) as u64));
+        for (name, make) in stm_factories() {
+            group.bench_function(BenchmarkId::from_parameter(name), |b| {
+                b.iter(|| {
+                    let typed = TypedStm::new(kind.standard_space(threads * ops), make);
+                    typed.stm().recorder().set_enabled(false);
+                    typed_storm(&typed, kind, threads, ops)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn bench_contention_manager_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("throughput/cm_ablation");
     group.sample_size(10);
@@ -110,6 +135,7 @@ criterion_group!(
     bench_bank,
     bench_counter,
     bench_read_mostly,
+    bench_typed_objects,
     bench_contention_manager_ablation
 );
 criterion_main!(benches);

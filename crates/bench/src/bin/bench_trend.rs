@@ -1,0 +1,190 @@
+//! `bench_trend` — diffs two `BENCH_monitor.json` artifacts and flags
+//! regressions of the resumable-core advantage.
+//!
+//! ```sh
+//! cargo run --release -p tm-bench --bin bench_trend -- \
+//!     baseline/BENCH_monitor.json BENCH_monitor.json [--max-regression-pct 20]
+//! ```
+//!
+//! The tracked quantity is each point's **node ratio** (batch search nodes /
+//! incremental search nodes — deterministic, machine-independent, higher is
+//! better). A point regresses when the current ratio drops more than the
+//! threshold below the baseline ratio at the same history length. Exit
+//! codes: `0` — no regression, `1` — regression detected, `2` — usage or
+//! parse error. CI runs this as a warn-only step against the previous run's
+//! cached artifact.
+
+/// Extracts the leading JSON number after `"key":` in `line`.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let pos = line.find(&pat)?;
+    let rest = line[pos + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses `(events, node_ratio)` pairs from a `BENCH_monitor.json` body
+/// (one point object per line, as the `report` bin writes it).
+fn extract_points(json: &str) -> Vec<(u64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let events = field(line, "events")? as u64;
+            let ratio = field(line, "node_ratio")?;
+            Some((events, ratio))
+        })
+        .collect()
+}
+
+/// One comparison row.
+#[derive(Debug, PartialEq)]
+struct Delta {
+    events: u64,
+    baseline: f64,
+    current: f64,
+}
+
+impl Delta {
+    /// Relative change of the node ratio (negative = worse).
+    fn change_pct(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            return 0.0;
+        }
+        (self.current - self.baseline) / self.baseline * 100.0
+    }
+}
+
+/// Pairs up baseline and current points by history length.
+fn compare(baseline: &[(u64, f64)], current: &[(u64, f64)]) -> Vec<Delta> {
+    current
+        .iter()
+        .filter_map(|&(events, cur)| {
+            let base = baseline.iter().find(|&&(e, _)| e == events)?.1;
+            Some(Delta {
+                events,
+                baseline: base,
+                current: cur,
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut max_regression_pct = 20.0f64;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--max-regression-pct" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => max_regression_pct = v,
+                None => {
+                    eprintln!("bench_trend: --max-regression-pct needs a number");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("bench_trend: unknown flag '{arg}'");
+            std::process::exit(2);
+        } else {
+            files.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        eprintln!("usage: bench_trend <baseline.json> <current.json> [--max-regression-pct N]");
+        std::process::exit(2);
+    };
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_trend: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = extract_points(&read(baseline_path));
+    let current = extract_points(&read(current_path));
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!(
+            "bench_trend: no (events, node_ratio) points found \
+             (baseline: {}, current: {})",
+            baseline.len(),
+            current.len()
+        );
+        std::process::exit(2);
+    }
+    let deltas = compare(&baseline, &current);
+    if deltas.is_empty() {
+        eprintln!("bench_trend: no common history lengths between the two artifacts");
+        std::process::exit(2);
+    }
+    println!("| events | baseline ratio | current ratio | change |");
+    println!("|---|---|---|---|");
+    let mut regressed = false;
+    for d in &deltas {
+        let change = d.change_pct();
+        let flag = if change < -max_regression_pct {
+            regressed = true;
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "| {} | {:.2} | {:.2} | {:+.1}% |{flag}",
+            d.events, d.baseline, d.current, change
+        );
+    }
+    if regressed {
+        eprintln!(
+            "bench_trend: node-ratio regression beyond {max_regression_pct}% \
+             — the incremental monitor lost ground against batch re-checking"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_trend: within {max_regression_pct}% of baseline on all common points");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "monitor",
+  "jobs": 4,
+  "points": [
+    {"events": 32, "incremental_ns": 10, "batch_ns": 80, "incremental_nodes": 100, "batch_nodes": 800, "speedup": 8.00, "node_ratio": 8.00},
+    {"events": 64, "incremental_ns": 10, "batch_ns": 120, "incremental_nodes": 100, "batch_nodes": 1200, "speedup": 12.00, "node_ratio": 12.00}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_every_point() {
+        assert_eq!(extract_points(SAMPLE), vec![(32, 8.0), (64, 12.0)]);
+    }
+
+    #[test]
+    fn field_parses_ints_floats_and_negatives() {
+        assert_eq!(field(r#"{"x": 42,"#, "x"), Some(42.0));
+        assert_eq!(field(r#"{"x": -1.5}"#, "x"), Some(-1.5));
+        assert_eq!(field(r#"{"y": 1}"#, "x"), None);
+    }
+
+    #[test]
+    fn compare_pairs_by_history_length() {
+        let base = vec![(32, 8.0), (64, 12.0), (96, 20.0)];
+        let cur = vec![(32, 9.0), (64, 9.0), (128, 30.0)];
+        let deltas = compare(&base, &cur);
+        assert_eq!(deltas.len(), 2, "96 and 128 have no partner");
+        assert!(deltas[0].change_pct() > 0.0, "32 improved");
+        let drop = deltas[1].change_pct();
+        assert!((-25.01..=-24.99).contains(&drop), "12 -> 9 is -25%: {drop}");
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide() {
+        let d = Delta {
+            events: 1,
+            baseline: 0.0,
+            current: 5.0,
+        };
+        assert_eq!(d.change_pct(), 0.0);
+    }
+}

@@ -24,10 +24,13 @@ use tm_bench::{batch_prefix_nodes, monitor_workload};
 use tm_harness::complexity::{paper_scenario, solo_scan, sweep};
 use tm_harness::parallel::default_jobs;
 use tm_harness::randhist::{cross_validate, GenConfig};
+use tm_harness::workload::typed_storm;
+use tm_harness::ObjectKind;
 use tm_model::builder::paper;
 use tm_model::SpecRegistry;
 use tm_opacity::criteria::classify;
 use tm_opacity::incremental::OpacityMonitor;
+use tm_stm::objects::TypedStm;
 
 fn yesno(b: bool) -> &'static str {
     if b {
@@ -68,6 +71,71 @@ fn monitor_points(lens: &[usize]) -> Vec<MonitorPoint> {
             }
         })
         .collect()
+}
+
+/// One row of the per-object-type throughput suite.
+struct ObjectPoint {
+    tm: &'static str,
+    object: &'static str,
+    threads: usize,
+    ops: usize,
+    commits: u64,
+    aborts: u64,
+    wall_ns: u128,
+}
+
+/// Measures the typed-object storm for every TM × object kind.
+fn object_points(tm_names: &[&'static str], threads: usize, ops: usize) -> Vec<ObjectPoint> {
+    let mut out = Vec::new();
+    for kind in ObjectKind::ALL {
+        for &name in tm_names {
+            let typed = TypedStm::new(
+                kind.standard_space(threads * ops),
+                tm_stm::factory_by_name(name),
+            );
+            typed.stm().recorder().set_enabled(false);
+            let t0 = Instant::now();
+            let stats = typed_storm(&typed, kind, threads, ops);
+            let wall_ns = t0.elapsed().as_nanos();
+            out.push(ObjectPoint {
+                tm: name,
+                object: kind.name(),
+                threads,
+                ops,
+                commits: stats.commits,
+                aborts: stats.aborts,
+                wall_ns,
+            });
+        }
+    }
+    out
+}
+
+/// Renders `BENCH_objects.json` by hand (no serde in the tree).
+fn objects_json(points: &[ObjectPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"typed-objects\",\n");
+    out.push_str("  \"workload\": \"per-object-kind storms (tm_harness::typed_storm)\",\n");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let total = p.commits.max(1);
+        let per_sec = total as f64 / (p.wall_ns.max(1) as f64 / 1e9);
+        out.push_str(&format!(
+            "    {{\"tm\": \"{}\", \"object\": \"{}\", \"threads\": {}, \"ops\": {}, \
+             \"commits\": {}, \"aborts\": {}, \"wall_ns\": {}, \"commits_per_sec\": {:.0}}}{}\n",
+            p.tm,
+            p.object,
+            p.threads,
+            p.ops,
+            p.commits,
+            p.aborts,
+            p.wall_ns,
+            per_sec,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders `BENCH_monitor.json` by hand (no serde in the tree).
@@ -248,6 +316,35 @@ fn main() {
     let path = "BENCH_monitor.json";
     std::fs::write(path, &json).expect("write BENCH_monitor.json");
     println!("\n_Wall-clock companion written to `{path}`._");
+
+    // ---- per-object-type throughput (the typed-object layer) --------------
+    println!("\n## Typed objects: committed storms per TM × object kind\n");
+    let (threads, ops) = if quick { (2, 40) } else { (2, 150) };
+    let tm_names: Vec<&'static str> = tm_stm::all_stms(1).iter().map(|s| s.name()).collect();
+    let opoints = object_points(&tm_names, threads, ops);
+    println!("| object | {} |", tm_names.join(" | "));
+    print!("|---|");
+    for _ in &tm_names {
+        print!("---|");
+    }
+    println!();
+    for kind in ObjectKind::ALL {
+        print!("| {kind} |");
+        for &name in &tm_names {
+            let p = opoints
+                .iter()
+                .find(|p| p.object == kind.name() && p.tm == name)
+                .expect("measured");
+            // Commit counts are invariant-checked and machine-independent;
+            // wall-clock goes to the JSON artifact only.
+            print!(" {} |", p.commits);
+        }
+        println!();
+    }
+    let ojson = objects_json(&opoints);
+    let opath = "BENCH_objects.json";
+    std::fs::write(opath, &ojson).expect("write BENCH_objects.json");
+    println!("\n_Wall-clock companion written to `{opath}`._");
 
     println!(
         "\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._"

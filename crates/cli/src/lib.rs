@@ -32,7 +32,7 @@
 use std::collections::HashSet;
 use std::io::{Read as _, Write};
 
-use tm_harness::{random_history, GenConfig};
+use tm_harness::{random_history, GenConfig, ObjectKind};
 use tm_model::{History, RealTimeOrder, SpecRegistry};
 use tm_opacity::criteria;
 use tm_opacity::explain::explain_violation;
@@ -72,7 +72,7 @@ pub enum Command {
         /// Emit JSON instead of text.
         json: bool,
     },
-    /// `conformance [--jobs N] [--tm NAME] [--mutants]`
+    /// `conformance [--jobs N] [--tm NAME] [--mutants] [--objects SET]`
     Conformance {
         /// Worker threads for the interleaving sweep (≥ 1).
         jobs: usize,
@@ -80,6 +80,9 @@ pub enum Command {
         tm: Option<String>,
         /// Also run the deliberately broken mutants.
         mutants: bool,
+        /// Typed-object probe battery: `--objects all` or a comma list of
+        /// kinds. `None` runs the classic register battery.
+        objects: Option<Vec<ObjectKind>>,
     },
     /// `help`
     Help,
@@ -97,10 +100,15 @@ USAGE:
   tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
   tmcheck convert  <file> --json|--text    convert between trace formats
   tmcheck generate [--seed N] [--txs N] [--objs N] [--ops N] [--json]
-  tmcheck conformance [--jobs N] [--tm NAME] [--mutants]
+  tmcheck conformance [--jobs N] [--tm NAME] [--mutants] [--objects SET]
                                     run the TM conformance battery (exit 1 if
                                     any swept TM violates a contract); --jobs
-                                    shards the sweep deterministically
+                                    shards the sweep deterministically;
+                                    --objects all (or e.g. --objects set,queue)
+                                    sweeps typed-object probes — write-skew
+                                    sets, producer/consumer queues, commutative
+                                    counter storms — instead of the register
+                                    battery
   tmcheck help
 
   <file> may be '-' for stdin. Formats (JSON / text) are auto-detected;
@@ -152,6 +160,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             else {
                 unreachable!()
             };
+            // Sizes must be ≥ 1: a 0-transaction / 0-register / 0-op
+            // request is a flag typo, not a meaningful workload.
+            fn size_of(v: u64, name: &str) -> Result<usize, String> {
+                if v == 0 {
+                    return Err(format!("generate: {name} must be ≥ 1"));
+                }
+                usize::try_from(v).map_err(|_| format!("generate: {name} is too large"))
+            }
             while let Some(flag) = it.next() {
                 let mut num = |name: &str| -> Result<u64, String> {
                     it.next()
@@ -160,9 +176,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 };
                 match flag.as_str() {
                     "--seed" => *seed = num("--seed")?,
-                    "--txs" => *txs = num("--txs")? as usize,
-                    "--objs" => *objs = num("--objs")? as usize,
-                    "--ops" => *ops = num("--ops")? as usize,
+                    "--txs" => *txs = size_of(num("--txs")?, "--txs")?,
+                    "--objs" => *objs = size_of(num("--objs")?, "--objs")?,
+                    "--ops" => *ops = size_of(num("--ops")?, "--ops")?,
                     "--json" => *json = true,
                     other => return Err(format!("generate: unknown flag '{other}'")),
                 }
@@ -173,6 +189,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut jobs = 1usize;
             let mut tm = None;
             let mut mutants = false;
+            let mut objects = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--jobs" => {
@@ -190,10 +207,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         );
                     }
                     "--mutants" => mutants = true,
+                    "--objects" => {
+                        let spec = it.next().ok_or_else(|| {
+                            "conformance: --objects needs a set (all or a comma list of kinds)"
+                                .to_string()
+                        })?;
+                        objects = Some(
+                            ObjectKind::parse_set(spec).map_err(|e| format!("conformance: {e}"))?,
+                        );
+                    }
                     other => return Err(format!("conformance: unknown flag '{other}'")),
                 }
             }
-            Ok(Command::Conformance { jobs, tm, mutants })
+            Ok(Command::Conformance {
+                jobs,
+                tm,
+                mutants,
+                objects,
+            })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -406,14 +437,16 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             }
             Ok(0)
         }
-        Command::Conformance { jobs, tm, mutants } => {
-            use tm_harness::conformance_parallel;
-            let names: Vec<String> = tm_stm::all_stms(2)
-                .iter()
-                .map(|s| s.name().to_string())
-                .collect();
+        Command::Conformance {
+            jobs,
+            tm,
+            mutants,
+            objects,
+        } => {
+            use tm_harness::{conformance_parallel, object_conformance};
+            let names: Vec<&'static str> = tm_stm::all_stms(1).iter().map(|s| s.name()).collect();
             if let Some(wanted) = tm {
-                if !names.iter().any(|n| n == wanted) {
+                if !names.contains(&wanted.as_str()) {
                     return Err(format!(
                         "conformance: unknown TM '{wanted}' (available: {})",
                         names.join(", ")
@@ -422,43 +455,87 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             }
             // Deliberately job-count-free output: `--jobs N` must be
             // byte-identical to `--jobs 1` (deterministic sharded merge).
-            w(out, tm_harness::conformance_header())?;
             let mut all_clean = true;
             let mut failures: Vec<String> = Vec::new();
-            for name in names
+            let selected = names
                 .iter()
-                .filter(|n| tm.as_ref().map_or(true, |want| want == *n))
-            {
-                let name_for_factory = name.clone();
-                let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
-                    tm_stm::all_stms(k)
-                        .into_iter()
-                        .find(|s| s.name() == name_for_factory)
-                        .expect("name stable")
-                };
-                let report = conformance_parallel(&factory, *jobs);
-                // Opacity is the contract under test; TMs that advertise a
-                // weaker criterion (sistm, nonopaque) are expected rows, not
-                // failures — only well-formedness and lost updates are
-                // unconditional.
-                if !report.well_formed || !report.no_lost_updates {
-                    all_clean = false;
-                    failures.extend(report.violations.iter().cloned());
+                .copied()
+                .filter(|n| tm.as_ref().map_or(true, |want| want.as_str() == *n));
+            if let Some(kinds) = objects {
+                // Typed-object battery: rich-semantics probes judged
+                // against the objects' own sequential specifications.
+                w(out, tm_harness::object_header())?;
+                for name in selected {
+                    let factory = tm_stm::factory_by_name(name);
+                    let report = object_conformance(&factory, kinds, *jobs);
+                    let props = factory(1).properties();
+                    // Well-formedness is unconditional; the full battery is
+                    // the contract for opaque-by-design TMs, and committed
+                    // transactions must stay serializable wherever the TM
+                    // advertises it (the object-level analogue of the
+                    // register battery's lost-update gate). SI-STM's
+                    // convictions are expected rows, not failures.
+                    let ok = report.probes.iter().all(|p| p.well_formed)
+                        && (!props.opaque_by_design || report.all_clean())
+                        && (!props.serializable_by_design
+                            || report.probes.iter().all(|p| p.serializable));
+                    if !ok {
+                        all_clean = false;
+                        failures.extend(
+                            report
+                                .probes
+                                .iter()
+                                .flat_map(|p| p.violations.iter().cloned()),
+                        );
+                    }
+                    for probe in &report.probes {
+                        w(out, probe.row(&report.name))?;
+                    }
                 }
-                w(out, report.row())?;
-            }
-            if *mutants {
-                use tm_stm::{MutantStm, Mutation};
-                for mutation in [
-                    Mutation::None,
-                    Mutation::SkipReadValidation,
-                    Mutation::SkipCommitValidation,
-                ] {
-                    let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
-                        Box::new(MutantStm::new(k, mutation))
-                    };
+                if *mutants {
+                    use tm_stm::{MutantStm, Mutation};
+                    for mutation in [
+                        Mutation::None,
+                        Mutation::SkipReadValidation,
+                        Mutation::SkipCommitValidation,
+                    ] {
+                        let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
+                            Box::new(MutantStm::new(k, mutation))
+                        };
+                        let report = object_conformance(&factory, kinds, *jobs);
+                        for probe in &report.probes {
+                            w(out, probe.row(&report.name))?;
+                        }
+                    }
+                }
+            } else {
+                w(out, tm_harness::conformance_header())?;
+                for name in selected {
+                    let factory = tm_stm::factory_by_name(name);
                     let report = conformance_parallel(&factory, *jobs);
+                    // Opacity is the contract under test; TMs that advertise
+                    // a weaker criterion (sistm, nonopaque) are expected
+                    // rows, not failures — only well-formedness and lost
+                    // updates are unconditional.
+                    if !report.well_formed || !report.no_lost_updates {
+                        all_clean = false;
+                        failures.extend(report.violations.iter().cloned());
+                    }
                     w(out, report.row())?;
+                }
+                if *mutants {
+                    use tm_stm::{MutantStm, Mutation};
+                    for mutation in [
+                        Mutation::None,
+                        Mutation::SkipReadValidation,
+                        Mutation::SkipCommitValidation,
+                    ] {
+                        let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
+                            Box::new(MutantStm::new(k, mutation))
+                        };
+                        let report = conformance_parallel(&factory, *jobs);
+                        w(out, report.row())?;
+                    }
                 }
             }
             if all_clean {
@@ -558,7 +635,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Conformance {
                 jobs: 1,
                 tm: None,
-                mutants: false
+                mutants: false,
+                objects: None
             })
         );
         assert_eq!(
@@ -566,15 +644,55 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Conformance {
                 jobs: 4,
                 tm: Some("tl2".into()),
-                mutants: true
+                mutants: true,
+                objects: None
+            })
+        );
+        assert_eq!(
+            parse_args(&a("conformance --objects all")),
+            Ok(Command::Conformance {
+                jobs: 1,
+                tm: None,
+                mutants: false,
+                objects: Some(ObjectKind::ALL.to_vec())
+            })
+        );
+        assert_eq!(
+            parse_args(&a("conformance --objects set,queue --tm sistm")),
+            Ok(Command::Conformance {
+                jobs: 1,
+                tm: Some("sistm".into()),
+                mutants: false,
+                objects: Some(vec![ObjectKind::Queue, ObjectKind::Set])
             })
         );
         assert!(parse_args(&a("conformance --jobs 0")).is_err());
         assert!(parse_args(&a("conformance --jobs x")).is_err());
         assert!(parse_args(&a("conformance --bogus")).is_err());
+        assert!(parse_args(&a("conformance --objects")).is_err());
+        assert!(parse_args(&a("conformance --objects bogus")).is_err());
         assert!(parse_args(&a("bogus")).is_err());
         assert!(parse_args(&a("convert f")).is_err());
         assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn numeric_flags_are_validated_with_friendly_errors() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        for (args, needle) in [
+            ("generate --txs 0", "--txs must be ≥ 1"),
+            ("generate --objs 0", "--objs must be ≥ 1"),
+            ("generate --ops 0", "--ops must be ≥ 1"),
+            ("generate --txs x", "--txs needs a number"),
+            ("generate --seed", "--seed needs a number"),
+            ("conformance --jobs 0", "--jobs needs a number ≥ 1"),
+            ("conformance --jobs -3", "--jobs needs a number ≥ 1"),
+        ] {
+            let err = parse_args(&a(args)).unwrap_err();
+            assert!(err.contains(needle), "{args}: {err}");
+        }
+        // Boundary values stay accepted.
+        assert!(parse_args(&a("generate --txs 1 --objs 1 --ops 1 --seed 0")).is_ok());
     }
 
     #[test]
@@ -682,11 +800,13 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             tm: None,
             mutants: false,
+            objects: None,
         });
         let (code4, par) = run_str(&Command::Conformance {
             jobs: 4,
             tm: None,
             mutants: false,
+            objects: None,
         });
         assert_eq!(code1, 0, "{seq}");
         assert_eq!(code4, 0, "{par}");
@@ -701,6 +821,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 2,
             tm: Some("tl2".into()),
             mutants: false,
+            objects: None,
         });
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("tl2"));
@@ -709,9 +830,58 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             tm: Some("nonesuch".into()),
             mutants: false,
+            objects: None,
         });
         assert_eq!(code, 2);
         assert!(out.contains("unknown TM"), "{out}");
+    }
+
+    #[test]
+    fn conformance_objects_sweeps_rich_probes() {
+        // The SI conviction is visible from the CLI: the set write-skew row
+        // shows NO for opacity/serializability, yet sistm is an expected
+        // row, not a battery failure — exit code stays 0.
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 2,
+            tm: Some("sistm".into()),
+            mutants: false,
+            objects: Some(vec![ObjectKind::Set]),
+        });
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("set-write-skew"), "{out}");
+        let skew_row = out
+            .lines()
+            .find(|l| l.contains("set-write-skew"))
+            .expect("row present");
+        assert!(skew_row.contains("NO"), "{skew_row}");
+        // An opaque TM passes the same probe.
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 1,
+            tm: Some("tl2".into()),
+            mutants: false,
+            objects: Some(vec![ObjectKind::Set, ObjectKind::Queue]),
+        });
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("queue-producer-consumer"), "{out}");
+        assert!(
+            !out.lines().any(|l| l.contains("tl2") && l.contains("NO")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn conformance_objects_output_is_identical_across_job_counts() {
+        let cmd = |jobs| Command::Conformance {
+            jobs,
+            tm: Some("tl2".into()),
+            mutants: false,
+            objects: Some(vec![ObjectKind::Counter, ObjectKind::Set]),
+        };
+        let (code1, seq) = run_str(&cmd(1));
+        let (code3, par) = run_str(&cmd(3));
+        assert_eq!(code1, 0, "{seq}");
+        assert_eq!(code3, 0, "{par}");
+        assert_eq!(seq, par, "jobs=3 object battery diverged from jobs=1");
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //!
 //! * [`script`] / [`sched`] — scripted transactions under deterministic,
 //!   exhaustively enumerable interleavings (a miniature schedule explorer);
+//! * [`objconformance`] — the typed-object conformance battery: rich
+//!   probes (write-skew sets, producer/consumer queues, commutative
+//!   counter storms) swept against any TM through `tm_stm::objects`;
 //! * [`parallel`] — a dependency-free scoped-thread worker pool with
 //!   deterministic index-order merging, powering the parallel checking
-//!   pipeline ([`conformance_parallel`], [`cross_validate`]);
+//!   pipeline ([`conformance_parallel`], [`cross_validate`],
+//!   [`object_conformance`]);
 //! * [`randhist`] — random well-formed register histories for the Theorem-2
 //!   cross-validation;
-//! * [`workload`] — real-thread workloads (bank, counter, read-mostly) with
-//!   semantic invariant checks;
+//! * [`workload`] — real-thread workloads (bank, counter, read-mostly, and
+//!   the per-object-kind typed storms) with semantic invariant checks;
 //! * [`complexity`] — the Theorem-3 step-count experiments (E8/E9);
 //! * [`stats`] — tables and ASCII charts for experiment output.
 
@@ -20,6 +24,7 @@
 
 pub mod complexity;
 pub mod conformance;
+pub mod objconformance;
 pub mod parallel;
 pub mod randhist;
 pub mod sched;
@@ -31,6 +36,11 @@ pub use complexity::{fraction_scenario, paper_scenario, solo_scan, sweep, Comple
 pub use conformance::{
     check_conformance, conformance_parallel, header as conformance_header, ConformanceReport,
 };
+pub use objconformance::{
+    execute_objects, execute_objects_serially, object_conformance, object_header, ObjExecOutcome,
+    ObjOp, ObjProgram, ObjScript, ObjTxOutcome, ObjectConformanceReport, ObjectKind,
+    ObjectProbeReport,
+};
 pub use parallel::{default_jobs, parallel_map};
 pub use randhist::{batch, cross_validate, random_history, CrossValReport, GenConfig};
 pub use sched::{
@@ -39,4 +49,4 @@ pub use sched::{
 };
 pub use script::{Program, ScriptOp, TxScript};
 pub use stats::{ascii_chart, Table};
-pub use workload::{bank, counter, read_mostly, WorkloadStats};
+pub use workload::{bank, counter, read_mostly, typed_storm, WorkloadStats};

@@ -91,6 +91,23 @@ mod tests {
     }
 
     #[test]
+    fn jobs_one_runs_inline_without_spawning() {
+        // The sequential path must stay thread-free: every item is computed
+        // on the caller's own thread (no scope, no spawns). Pinned by
+        // comparing thread ids — a spawned worker would report a different
+        // one.
+        let caller = std::thread::current().id();
+        let ids = parallel_map(25, 1, |_| std::thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id == caller),
+            "jobs=1 spawned a thread"
+        );
+        // Single-item work inlines too, regardless of the jobs request.
+        let ids = parallel_map(1, 16, |_| std::thread::current().id());
+        assert_eq!(ids, vec![caller], "n=1 must not spawn");
+    }
+
+    #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
     }

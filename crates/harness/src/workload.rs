@@ -8,6 +8,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::objconformance::ObjectKind;
+use tm_stm::objects::{run_typed_tx, TypedStm};
 use tm_stm::{run_tx, Stm};
 
 /// Aggregated results of a workload run.
@@ -187,6 +189,206 @@ pub fn read_mostly(
     stats.into_inner().unwrap()
 }
 
+/// The typed-object storm: `threads` threads each perform `ops`
+/// transactions against one typed object of the given kind (built with
+/// [`ObjectKind::standard_space`] sized for `threads × ops` operations),
+/// with a per-kind semantic invariant checked on return:
+///
+/// * **counter** — every thread increments; the final count must equal
+///   `threads × ops` (the object-level lost-update check);
+/// * **cas** — every thread reads and CASes the value one up (the CAS is
+///   against the own read, so it succeeds within the transaction); final
+///   value as for the counter;
+/// * **queue / stack** — even threads produce, odd threads consume;
+///   dequeued + drained-at-the-end must equal the number enqueued;
+/// * **pqueue** — every thread inserts; draining at the end must yield
+///   exactly `threads × ops` elements in non-decreasing priority order;
+/// * **log** — every thread appends; the final log length must equal
+///   `threads × ops`;
+/// * **set / map / register** — threads mutate disjoint-ish slots; the
+///   final observation must match the last committed mutation.
+///
+/// # Panics
+/// Panics if the invariant is violated (a semantic bug in the TM under
+/// test).
+pub fn typed_storm(
+    typed: &TypedStm,
+    kind: ObjectKind,
+    threads: usize,
+    ops: usize,
+) -> WorkloadStats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let o = typed.handle("o");
+    let stats = std::sync::Mutex::new(WorkloadStats::default());
+    // Successful consumer removals (queue/stack), for exact conservation.
+    let consumed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stats = &stats;
+            let consumed = &consumed;
+            scope.spawn(move || {
+                let mut local = WorkloadStats::default();
+                for i in 0..ops {
+                    let (_, rs) = match kind {
+                        ObjectKind::Counter => run_typed_tx(typed, t, |tx| tx.inc(o)),
+                        ObjectKind::Cas => run_typed_tx(typed, t, |tx| {
+                            let v = tx.read_reg(o)?;
+                            tx.cas(o, v, v + 1).map(|_| ())
+                        }),
+                        ObjectKind::Queue => {
+                            if t % 2 == 0 {
+                                run_typed_tx(typed, t, |tx| tx.enq(o, (t * ops + i) as i64))
+                            } else {
+                                let (got, rs) = run_typed_tx(typed, t, |tx| tx.deq(o));
+                                if got.is_some() {
+                                    consumed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ((), rs)
+                            }
+                        }
+                        ObjectKind::Stack => {
+                            if t % 2 == 0 {
+                                run_typed_tx(typed, t, |tx| tx.push(o, (t * ops + i) as i64))
+                            } else {
+                                let (got, rs) = run_typed_tx(typed, t, |tx| tx.pop(o));
+                                if got.is_some() {
+                                    consumed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ((), rs)
+                            }
+                        }
+                        ObjectKind::Set => run_typed_tx(typed, t, |tx| {
+                            let v = (i % 8) as i64;
+                            tx.insert(o, v)?;
+                            tx.contains(o, v)?;
+                            tx.remove(o, v).map(|_| ())
+                        }),
+                        ObjectKind::Map => run_typed_tx(typed, t, |tx| {
+                            let k = (t % 8) as i64;
+                            tx.put(o, k, i as i64)?;
+                            tx.map_get(o, k).map(|_| ())
+                        }),
+                        ObjectKind::PQueue => {
+                            run_typed_tx(typed, t, |tx| tx.pq_insert(o, (i % 8) as i64))
+                        }
+                        ObjectKind::Log => {
+                            run_typed_tx(typed, t, |tx| tx.append(o, (t * ops + i) as i64))
+                        }
+                        ObjectKind::Register => run_typed_tx(typed, t, |tx| {
+                            tx.write_reg(o, (t * ops + i) as i64)?;
+                            tx.read_reg(o).map(|_| ())
+                        }),
+                    };
+                    local.commits += rs.commits;
+                    local.aborts += rs.aborts;
+                }
+                let mut s = stats.lock().unwrap();
+                s.commits += local.commits;
+                s.aborts += local.aborts;
+            });
+        }
+    });
+
+    // Per-kind semantic invariants.
+    let total = (threads * ops) as i64;
+    match kind {
+        ObjectKind::Counter => {
+            let (v, _) = run_typed_tx(typed, 0, |tx| tx.get(o));
+            assert_eq!(v, total, "{}: typed counter lost updates", typed.name());
+        }
+        ObjectKind::Cas => {
+            let (v, _) = run_typed_tx(typed, 0, |tx| tx.read_reg(o));
+            assert_eq!(v, total, "{}: typed cas lost updates", typed.name());
+        }
+        ObjectKind::Queue => {
+            let producers = threads.div_ceil(2);
+            let enqueued = (producers * ops) as u64;
+            let (drained, _) = run_typed_tx(typed, 0, |tx| {
+                let mut n = 0u64;
+                while tx.deq(o)?.is_some() {
+                    n += 1;
+                }
+                Ok(n)
+            });
+            let consumed = consumed.load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(
+                consumed + drained,
+                enqueued,
+                "{}: queue conservation (consumed {consumed} + drained {drained} != enqueued {enqueued})",
+                typed.name()
+            );
+        }
+        ObjectKind::Stack => {
+            let producers = threads.div_ceil(2);
+            let pushed = (producers * ops) as u64;
+            let (drained, _) = run_typed_tx(typed, 0, |tx| {
+                let mut n = 0u64;
+                while tx.pop(o)?.is_some() {
+                    n += 1;
+                }
+                Ok(n)
+            });
+            let consumed = consumed.load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(
+                consumed + drained,
+                pushed,
+                "{}: stack conservation (consumed {consumed} + drained {drained} != pushed {pushed})",
+                typed.name()
+            );
+        }
+        ObjectKind::PQueue => {
+            let (order, _) = run_typed_tx(typed, 0, |tx| {
+                let mut out = Vec::new();
+                while let Some(v) = tx.extract_min(o)? {
+                    out.push(v);
+                }
+                Ok(out)
+            });
+            assert_eq!(
+                order.len() as i64,
+                total,
+                "{}: pqueue conservation",
+                typed.name()
+            );
+            assert!(
+                order.windows(2).all(|w| w[0] <= w[1]),
+                "{}: pqueue drained out of order: {order:?}",
+                typed.name()
+            );
+        }
+        ObjectKind::Log => {
+            let (contents, _) = run_typed_tx(typed, 0, |tx| tx.log_read(o));
+            assert_eq!(
+                contents.len() as i64,
+                total,
+                "{}: log conservation",
+                typed.name()
+            );
+        }
+        ObjectKind::Set => {
+            let (leftover, _) = run_typed_tx(typed, 0, |tx| {
+                let mut n = 0;
+                for v in 0..8 {
+                    if tx.contains(o, v)? {
+                        n += 1;
+                    }
+                }
+                Ok(n)
+            });
+            assert_eq!(leftover, 0, "{}: set storm must end empty", typed.name());
+        }
+        ObjectKind::Map | ObjectKind::Register => {
+            // Last-committed-write wins: nothing stronger to assert, but the
+            // read must succeed.
+            run_typed_tx(typed, 0, |tx| match kind {
+                ObjectKind::Map => tx.map_get(o, 0).map(|_| ()),
+                _ => tx.read_reg(o).map(|_| ()),
+            });
+        }
+    }
+    stats.into_inner().unwrap()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +418,29 @@ mod tests {
             stm.recorder().set_enabled(false);
             let s = read_mostly(stm.as_ref(), 2, 40, 5, 10, 7);
             assert!(s.commits >= 80, "{}", stm.name());
+        }
+    }
+
+    #[test]
+    fn typed_storm_invariants_hold_on_every_stm_and_kind() {
+        let threads = 3;
+        let ops = 12;
+        for kind in ObjectKind::ALL {
+            for stm in tm_stm::all_stms(1) {
+                let name = stm.name();
+                drop(stm);
+                let typed = TypedStm::new(
+                    kind.standard_space(threads * ops),
+                    tm_stm::factory_by_name(name),
+                );
+                typed.stm().recorder().set_enabled(false);
+                let s = typed_storm(&typed, kind, threads, ops);
+                assert!(
+                    s.commits >= (threads * ops) as u64,
+                    "{name}/{kind}: {} commits",
+                    s.commits
+                );
+            }
         }
     }
 

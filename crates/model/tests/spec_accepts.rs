@@ -1,0 +1,299 @@
+//! Property tests pinning the `SeqSpec::accepts` / `SeqSpec::step` contract
+//! on the whole object library.
+//!
+//! For every deterministic object, `accepts` must agree with `step`: the
+//! return value `step` computes is accepted (yielding the same successor
+//! state) and every *other* return value is rejected. The objects whose
+//! state admits representation choice — the set (iteration order) and the
+//! priority queue (ties between equal priorities) — get targeted coverage
+//! of exactly those choice points: their canonical (sorted) state encoding
+//! is what keeps them deterministic, and these tests fail loudly if that
+//! canonicalization ever regresses.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use tm_model::objects::pqueue::{extract_min, peek_min};
+use tm_model::objects::{
+    AppendLog, CasRegister, Counter, FifoQueue, IntSet, KvMap, PriorityQueue, Register, Stack,
+};
+use tm_model::{OpName, SeqSpec, Value};
+
+/// A value guaranteed to differ from `ret` (for rejection checks).
+fn perturb(ret: &Value) -> Value {
+    match ret {
+        Value::Int(v) => Value::int(v.wrapping_add(1)),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Ok => Value::Unit,
+        Value::Unit => Value::int(0),
+        other => {
+            let candidate = Value::Unit;
+            if &candidate == other {
+                Value::int(7)
+            } else {
+                candidate
+            }
+        }
+    }
+}
+
+/// Walks `ops` through `spec` via `step`, asserting at every transition
+/// that `accepts` agrees (same successor) and rejects a perturbed return.
+/// Operations the spec rejects (`step == None`) are skipped — op strategies
+/// below only emit interface ops, so rejection means invalid args, which
+/// the strategies avoid.
+fn assert_accepts_agrees_with_step(
+    spec: &dyn SeqSpec,
+    ops: &[(OpName, Vec<Value>)],
+) -> Result<(), TestCaseError> {
+    let mut state = spec.initial();
+    for (op, args) in ops {
+        let (next, ret) = spec
+            .step(&state, op, args)
+            .unwrap_or_else(|| panic!("{}: interface op rejected: {op}({args:?})", spec.name()));
+        let accepted = spec.accepts(&state, op, args, &ret);
+        prop_assert_eq!(
+            accepted.as_ref(),
+            Some(&next),
+            "{}: accepts must admit step's own return",
+            spec.name()
+        );
+        let wrong = perturb(&ret);
+        prop_assert!(wrong != ret, "perturbation failed for {ret}");
+        prop_assert_eq!(
+            spec.accepts(&state, op, args, &wrong),
+            None,
+            "{}: accepts must reject {} where step returned {}",
+            spec.name(),
+            wrong,
+            ret
+        );
+        state = next;
+    }
+    Ok(())
+}
+
+fn small_int() -> impl Strategy<Value = i64> {
+    -3i64..6
+}
+
+type OpSeq = Vec<(OpName, Vec<Value>)>;
+
+/// The vendored proptest stub has no `prop_oneof!`; alternatives are picked
+/// by a selector integer mapped through a match.
+fn ops_from_choices(
+    choices: u8,
+    pick: fn(u8, i64, i64) -> (OpName, Vec<Value>),
+) -> impl Strategy<Value = OpSeq> {
+    proptest::collection::vec(
+        (0u8..choices, small_int(), small_int()).prop_map(move |(c, a, b)| pick(c, a, b)),
+        0..20,
+    )
+}
+
+fn counter_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(3, |c, _, _| match c {
+        0 => (OpName::Inc, vec![]),
+        1 => (OpName::Dec, vec![]),
+        _ => (OpName::Get, vec![]),
+    })
+}
+
+fn register_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(2, |c, v, _| match c {
+        0 => (OpName::Read, vec![]),
+        _ => (OpName::Write, vec![Value::int(v)]),
+    })
+}
+
+fn cas_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(3, |c, a, b| match c {
+        0 => (OpName::Read, vec![]),
+        1 => (OpName::Write, vec![Value::int(a)]),
+        _ => (OpName::Cas, vec![Value::int(a), Value::int(b)]),
+    })
+}
+
+fn queue_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(2, |c, v, _| match c {
+        0 => (OpName::Enq, vec![Value::int(v)]),
+        _ => (OpName::Deq, vec![]),
+    })
+}
+
+fn stack_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(2, |c, v, _| match c {
+        0 => (OpName::Push, vec![Value::int(v)]),
+        _ => (OpName::Pop, vec![]),
+    })
+}
+
+fn set_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(3, |c, v, _| {
+        let op = match c {
+            0 => OpName::Insert,
+            1 => OpName::Remove,
+            _ => OpName::Contains,
+        };
+        (op, vec![Value::int(v)])
+    })
+}
+
+fn map_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(3, |c, k, v| match c {
+        0 => (OpName::Insert, vec![Value::int(k), Value::int(v)]),
+        1 => (OpName::Remove, vec![Value::int(k)]),
+        _ => (OpName::Get, vec![Value::int(k)]),
+    })
+}
+
+fn pqueue_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(3, |c, v, _| match c {
+        0 => (OpName::Insert, vec![Value::int(v)]),
+        1 => (extract_min(), vec![]),
+        _ => (peek_min(), vec![]),
+    })
+}
+
+fn log_ops() -> impl Strategy<Value = OpSeq> {
+    ops_from_choices(2, |c, v, _| match c {
+        0 => (OpName::Append, vec![Value::int(v)]),
+        _ => (OpName::Read, vec![]),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn counter_accepts_agrees_with_step(ops in counter_ops()) {
+        assert_accepts_agrees_with_step(&Counter, &ops)?;
+    }
+
+    #[test]
+    fn register_accepts_agrees_with_step(ops in register_ops()) {
+        assert_accepts_agrees_with_step(&Register::new(0), &ops)?;
+    }
+
+    #[test]
+    fn cas_accepts_agrees_with_step(ops in cas_ops()) {
+        assert_accepts_agrees_with_step(&CasRegister::new(0), &ops)?;
+    }
+
+    #[test]
+    fn queue_accepts_agrees_with_step(ops in queue_ops()) {
+        assert_accepts_agrees_with_step(&FifoQueue, &ops)?;
+    }
+
+    #[test]
+    fn stack_accepts_agrees_with_step(ops in stack_ops()) {
+        assert_accepts_agrees_with_step(&Stack, &ops)?;
+    }
+
+    #[test]
+    fn set_accepts_agrees_with_step(ops in set_ops()) {
+        assert_accepts_agrees_with_step(&IntSet, &ops)?;
+    }
+
+    #[test]
+    fn map_accepts_agrees_with_step(ops in map_ops()) {
+        assert_accepts_agrees_with_step(&KvMap, &ops)?;
+    }
+
+    #[test]
+    fn pqueue_accepts_agrees_with_step(ops in pqueue_ops()) {
+        assert_accepts_agrees_with_step(&PriorityQueue, &ops)?;
+    }
+
+    #[test]
+    fn log_accepts_agrees_with_step(ops in log_ops()) {
+        assert_accepts_agrees_with_step(&AppendLog, &ops)?;
+    }
+
+    /// Set determinism under insertion-order choice: any permutation of the
+    /// same inserts yields the same canonical state, so `accepts` verdicts
+    /// cannot depend on iteration order.
+    #[test]
+    fn set_state_is_insertion_order_independent(
+        mut values in proptest::collection::vec(small_int(), 1..8),
+        seed in 0u64..1000,
+    ) {
+        let spec: Arc<dyn SeqSpec> = Arc::new(IntSet);
+        let run = |vals: &[i64]| {
+            let mut s = spec.initial();
+            for &v in vals {
+                s = spec.step(&s, &OpName::Insert, &[Value::int(v)]).unwrap().0;
+            }
+            s
+        };
+        let forward = run(&values);
+        // A deterministic shuffle derived from the seed.
+        let n = values.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 7)) % n;
+            values.swap(i, j);
+        }
+        let shuffled = run(&values);
+        prop_assert_eq!(&forward, &shuffled);
+        // And `accepts` judges a contains-query identically from both.
+        let probe = Value::int(0);
+        let present = forward.as_list().unwrap().contains(&probe);
+        prop_assert_eq!(
+            spec.accepts(
+                &forward,
+                &OpName::Contains,
+                std::slice::from_ref(&probe),
+                &Value::Bool(present)
+            ),
+            spec.accepts(&shuffled, &OpName::Contains, &[probe], &Value::Bool(present))
+        );
+    }
+}
+
+/// Priority-queue ties: duplicated priorities are a genuine representation
+/// choice point ("which copy comes out?") that the multiset state erases —
+/// `extract_min` must accept the tied priority exactly once per copy and
+/// reject everything else.
+#[test]
+fn pqueue_tie_extraction_is_deterministic_up_to_multiplicity() {
+    let q = PriorityQueue;
+    let mut s = q.initial();
+    for v in [4, 2, 4, 2] {
+        s = q.step(&s, &OpName::Insert, &[Value::int(v)]).unwrap().0;
+    }
+    // Two copies of 2 come out first, regardless of insertion interleaving.
+    let (s1, r1) = q.step(&s, &extract_min(), &[]).unwrap();
+    assert_eq!(r1, Value::int(2));
+    assert!(q.accepts(&s, &extract_min(), &[], &Value::int(2)).is_some());
+    assert!(
+        q.accepts(&s, &extract_min(), &[], &Value::int(4)).is_none(),
+        "4 is not minimal"
+    );
+    let (s2, r2) = q.step(&s1, &extract_min(), &[]).unwrap();
+    assert_eq!(r2, Value::int(2), "the tied copy");
+    // After both 2s, the 4s drain.
+    let (s3, r3) = q.step(&s2, &extract_min(), &[]).unwrap();
+    assert_eq!(r3, Value::int(4));
+    let (_, r4) = q.step(&s3, &extract_min(), &[]).unwrap();
+    assert_eq!(r4, Value::int(4));
+    // Ties are invisible in the state: the two extraction orders of equal
+    // copies produce identical successor states.
+    assert_eq!(
+        q.accepts(&s, &extract_min(), &[], &Value::int(2)).unwrap(),
+        s1,
+        "accepting the tied minimum lands in the same canonical state"
+    );
+}
+
+/// `peek_min` over a tie is read-only and unambiguous.
+#[test]
+fn pqueue_tied_peek_is_stable() {
+    let q = PriorityQueue;
+    let mut s = q.initial();
+    for v in [3, 3] {
+        s = q.step(&s, &OpName::Insert, &[Value::int(v)]).unwrap().0;
+    }
+    let accepted = q.accepts(&s, &peek_min(), &[], &Value::int(3)).unwrap();
+    assert_eq!(accepted, s, "peek must not mutate");
+    assert!(q.accepts(&s, &peek_min(), &[], &Value::Unit).is_none());
+}

@@ -23,6 +23,25 @@
 //! * meters its accesses to base shared objects per operation through
 //!   [`base::Meter`] — the exact step counts of Theorem 3, noise-free.
 //!
+//! # Typed transactional objects
+//!
+//! The [`objects`] module lifts every TM above from the register universe
+//! to the full object universe of `tm_model::objects` — counters, FIFO
+//! queues, stacks, sets, CAS registers, key-value maps, priority queues,
+//! and append logs — with **zero per-TM changes**: a [`objects::TypedStm`]
+//! encodes each object's state into a block of base registers, executes
+//! object operations as read-modify-write register programs *through* the
+//! transaction, and records the history at the object level, so the
+//! `tm-opacity` checkers judge it against the objects' sequential
+//! specifications. Which anomalies each object workload can surface:
+//!
+//! | object workload | anomaly it can expose | convicted TM |
+//! |---|---|---|
+//! | set / kv-map **write skew** (read both, update one each) | committed outcomes no serial order allows | `sistm` |
+//! | counter **torn reads** (`get`/`get` vs `inc`/`inc`) | live transaction observes a mid-flight state | `nonopaque` |
+//! | queue / stack / pqueue producer–consumer | reordering, double- or lost dequeues | any broken mutant |
+//! | counter **commutative storms** | over-conservative conflict detection (§3.4) | — (a cost, not a bug) |
+//!
 //! See `DESIGN.md` for the documented substitutions (e.g. locator atomics
 //! emulated with short critical sections).
 
@@ -39,6 +58,7 @@ pub mod glock;
 pub mod mutants;
 pub mod mvstm;
 pub mod nonopaque;
+pub mod objects;
 pub mod recorder;
 pub mod sistm;
 pub mod tl2;
@@ -54,6 +74,7 @@ pub use glock::GlockStm;
 pub use mutants::{MutantStm, Mutation};
 pub use mvstm::MvStm;
 pub use nonopaque::NonOpaqueStm;
+pub use objects::{run_typed_tx, ObjEncoding, TObj, TypedSpace, TypedStm, TypedTx};
 pub use recorder::Recorder;
 pub use sistm::SiStm;
 pub use tl2::Tl2Stm;
@@ -82,6 +103,24 @@ pub fn opaque_stms(k: usize) -> Vec<Box<dyn Stm>> {
         .into_iter()
         .filter(|s| s.properties().opaque_by_design)
         .collect()
+}
+
+/// A factory that rebuilds the named suite TM at any register count — the
+/// shape every sweep and conformance battery consumes. The returned
+/// closure is `Copy`, so it can be handed to scoped threads freely.
+///
+/// # Panics
+/// The returned factory panics if `name` is not a suite TM (check against
+/// [`all_stms`] first for user-supplied names).
+pub fn factory_by_name(
+    name: &'static str,
+) -> impl Fn(usize) -> Box<dyn Stm> + Send + Sync + Copy + 'static {
+    move |k: usize| {
+        all_stms(k)
+            .into_iter()
+            .find(|s| s.name() == name)
+            .unwrap_or_else(|| panic!("no suite TM named '{name}'"))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,649 @@
+//! Register encodings for the nine objects of `tm_model::objects`.
+//!
+//! Every encoding maps an object's state onto a fixed block of `i64`
+//! registers such that **all-zero registers decode to the spec's initial
+//! state**, and executes each operation as a read-modify-write register
+//! program through the transaction. Capacity/domain bounds are encoding
+//! parameters (registers are a dense universe, so unbounded objects get a
+//! configured ceiling); exceeding them is a workload programming error and
+//! panics with a description of the bound.
+//!
+//! | encoding | registers | layout |
+//! |---|---|---|
+//! | [`CounterEnc`] | 1 | the count |
+//! | [`RegisterEnc`] | 1 | the value |
+//! | [`CasEnc`] | 1 | the value |
+//! | [`QueueEnc`] | `cap + 2` | head index, tail index, slots (no reuse) |
+//! | [`StackEnc`] | `cap + 1` | top index, slots |
+//! | [`SetEnc`] | `domain` | membership flag per element of `0..domain` |
+//! | [`MapEnc`] | `keys` | per key: `0` = absent, else `value + 1` |
+//! | [`PQueueEnc`] | `domain` | multiplicity per priority of `0..domain` |
+//! | [`LogEnc`] | `cap + 1` | length, slots |
+
+use std::sync::Arc;
+
+use super::{ObjEncoding, RegBlock};
+use crate::api::TxResult;
+use tm_model::objects::{
+    AppendLog, CasRegister, Counter, FifoQueue, IntSet, KvMap, PriorityQueue, Register, Stack,
+};
+use tm_model::{OpName, SeqSpec, Value};
+
+fn int_arg(args: &[Value], what: &str) -> i64 {
+    match args {
+        [Value::Int(v)] => *v,
+        _ => panic!("{what} takes exactly one integer argument, got {args:?}"),
+    }
+}
+
+fn bad_op(obj: &str, op: &OpName) -> ! {
+    panic!("operation '{op}' is not part of the {obj} interface")
+}
+
+/// The commutative counter of Section 3.4: `inc`/`dec`/`get` over one
+/// register holding the count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CounterEnc;
+
+impl ObjEncoding for CounterEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(Counter)
+    }
+
+    fn footprint(&self) -> usize {
+        1
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        assert!(args.is_empty(), "counter operations take no arguments");
+        let v = regs.read(0)?;
+        match op {
+            OpName::Inc => regs.write(0, v + 1).map(|()| Value::Ok),
+            OpName::Dec => regs.write(0, v - 1).map(|()| Value::Ok),
+            OpName::Get => Ok(Value::int(v)),
+            other => bad_op("counter", other),
+        }
+    }
+}
+
+/// A plain read/write register over one base register.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegisterEnc;
+
+impl ObjEncoding for RegisterEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(Register::new(0))
+    }
+
+    fn footprint(&self) -> usize {
+        1
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Read => {
+                assert!(args.is_empty(), "read takes no arguments");
+                Ok(Value::int(regs.read(0)?))
+            }
+            OpName::Write => {
+                let v = int_arg(args, "write");
+                regs.write(0, v).map(|()| Value::Ok)
+            }
+            other => bad_op("register", other),
+        }
+    }
+}
+
+/// A compare-and-swap register: `read`/`write`/`cas` over one register.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CasEnc;
+
+impl ObjEncoding for CasEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(CasRegister::new(0))
+    }
+
+    fn footprint(&self) -> usize {
+        1
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Read => {
+                assert!(args.is_empty(), "read takes no arguments");
+                Ok(Value::int(regs.read(0)?))
+            }
+            OpName::Write => {
+                let v = int_arg(args, "write");
+                regs.write(0, v).map(|()| Value::Ok)
+            }
+            OpName::Cas => {
+                let (expected, new) = match args {
+                    [Value::Int(e), Value::Int(n)] => (*e, *n),
+                    _ => panic!("cas takes (expected, new), got {args:?}"),
+                };
+                let v = regs.read(0)?;
+                if v == expected {
+                    regs.write(0, new)?;
+                    Ok(Value::Bool(true))
+                } else {
+                    Ok(Value::Bool(false))
+                }
+            }
+            other => bad_op("cas-register", other),
+        }
+    }
+}
+
+/// A FIFO queue: `enq`/`deq` over head index, tail index, and `cap` slots.
+///
+/// Slots are *not* reused: `cap` bounds the total number of enqueues over
+/// the object's lifetime (registers are cheap; reuse would require the
+/// overflow check to read the consumer-owned head index, putting every
+/// producer in conflict with every consumer).
+#[derive(Clone, Copy, Debug)]
+pub struct QueueEnc {
+    /// Total enqueue capacity over the object lifetime.
+    pub cap: usize,
+}
+
+impl ObjEncoding for QueueEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(FifoQueue)
+    }
+
+    fn footprint(&self) -> usize {
+        self.cap + 2
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Enq => {
+                let v = int_arg(args, "enq");
+                let t = regs.read(1)?;
+                assert!(
+                    (t as usize) < self.cap,
+                    "typed queue capacity {} exhausted (raise QueueEnc.cap)",
+                    self.cap
+                );
+                regs.write(2 + t as usize, v)?;
+                regs.write(1, t + 1)?;
+                Ok(Value::Ok)
+            }
+            OpName::Deq => {
+                assert!(args.is_empty(), "deq takes no arguments");
+                let h = regs.read(0)?;
+                let t = regs.read(1)?;
+                // `h >= t` (not `==`) tolerates the torn head/tail pairs a
+                // non-opaque TM can expose to live transactions.
+                if h >= t {
+                    return Ok(Value::Unit);
+                }
+                let v = regs.read(2 + h as usize)?;
+                regs.write(0, h + 1)?;
+                Ok(Value::int(v))
+            }
+            other => bad_op("fifo-queue", other),
+        }
+    }
+}
+
+/// A LIFO stack: `push`/`pop` over a top index and `cap` slots.
+#[derive(Clone, Copy, Debug)]
+pub struct StackEnc {
+    /// Maximum stack depth.
+    pub cap: usize,
+}
+
+impl ObjEncoding for StackEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(Stack)
+    }
+
+    fn footprint(&self) -> usize {
+        self.cap + 1
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Push => {
+                let v = int_arg(args, "push");
+                let t = regs.read(0)?;
+                assert!(
+                    (t as usize) < self.cap,
+                    "typed stack capacity {} exhausted (raise StackEnc.cap)",
+                    self.cap
+                );
+                regs.write(1 + t as usize, v)?;
+                regs.write(0, t + 1)?;
+                Ok(Value::Ok)
+            }
+            OpName::Pop => {
+                assert!(args.is_empty(), "pop takes no arguments");
+                let t = regs.read(0)?;
+                if t <= 0 {
+                    return Ok(Value::Unit);
+                }
+                let v = regs.read(t as usize)?;
+                regs.write(0, t - 1)?;
+                Ok(Value::int(v))
+            }
+            other => bad_op("stack", other),
+        }
+    }
+}
+
+/// An integer set over the bounded domain `0..domain`: one membership
+/// register per element.
+#[derive(Clone, Copy, Debug)]
+pub struct SetEnc {
+    /// Elements are restricted to `0..domain`.
+    pub domain: usize,
+}
+
+impl SetEnc {
+    fn slot(&self, args: &[Value], what: &str) -> usize {
+        let v = int_arg(args, what);
+        assert!(
+            v >= 0 && (v as usize) < self.domain,
+            "set element {v} outside encoding domain 0..{}",
+            self.domain
+        );
+        v as usize
+    }
+}
+
+impl ObjEncoding for SetEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(IntSet)
+    }
+
+    fn footprint(&self) -> usize {
+        self.domain
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Insert => {
+                let slot = self.slot(args, "insert");
+                let present = regs.read(slot)? != 0;
+                regs.write(slot, 1)?;
+                Ok(Value::Bool(!present))
+            }
+            OpName::Remove => {
+                let slot = self.slot(args, "remove");
+                let present = regs.read(slot)? != 0;
+                regs.write(slot, 0)?;
+                Ok(Value::Bool(present))
+            }
+            OpName::Contains => {
+                let slot = self.slot(args, "contains");
+                Ok(Value::Bool(regs.read(slot)? != 0))
+            }
+            other => bad_op("int-set", other),
+        }
+    }
+}
+
+/// An integer→integer map over the bounded key domain `0..keys`; values
+/// must be non-negative (stored as `value + 1`, with `0` meaning absent).
+#[derive(Clone, Copy, Debug)]
+pub struct MapEnc {
+    /// Keys are restricted to `0..keys`.
+    pub keys: usize,
+}
+
+impl MapEnc {
+    fn key_slot(&self, k: i64) -> usize {
+        assert!(
+            k >= 0 && (k as usize) < self.keys,
+            "map key {k} outside encoding domain 0..{}",
+            self.keys
+        );
+        k as usize
+    }
+
+    fn decode(stored: i64) -> Value {
+        if stored == 0 {
+            Value::Unit
+        } else {
+            Value::int(stored - 1)
+        }
+    }
+}
+
+impl ObjEncoding for MapEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(KvMap)
+    }
+
+    fn footprint(&self) -> usize {
+        self.keys
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Insert => {
+                let (k, v) = match args {
+                    [Value::Int(k), Value::Int(v)] => (*k, *v),
+                    _ => panic!("put takes (key, value), got {args:?}"),
+                };
+                assert!(
+                    v >= 0,
+                    "map value {v} must be non-negative (encoded as v + 1)"
+                );
+                let slot = self.key_slot(k);
+                let old = regs.read(slot)?;
+                regs.write(slot, v + 1)?;
+                Ok(Self::decode(old))
+            }
+            OpName::Remove => {
+                let slot = self.key_slot(int_arg(args, "remove"));
+                let old = regs.read(slot)?;
+                regs.write(slot, 0)?;
+                Ok(Self::decode(old))
+            }
+            OpName::Get => {
+                let slot = self.key_slot(int_arg(args, "get"));
+                Ok(Self::decode(regs.read(slot)?))
+            }
+            other => bad_op("kv-map", other),
+        }
+    }
+}
+
+/// A min-priority queue over the bounded priority domain `0..domain`: one
+/// multiplicity register per priority; `extract_min`/`peek_min` scan from
+/// the lowest priority up.
+#[derive(Clone, Copy, Debug)]
+pub struct PQueueEnc {
+    /// Priorities are restricted to `0..domain`.
+    pub domain: usize,
+}
+
+impl ObjEncoding for PQueueEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(PriorityQueue)
+    }
+
+    fn footprint(&self) -> usize {
+        self.domain
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Insert => {
+                let v = int_arg(args, "insert");
+                assert!(
+                    v >= 0 && (v as usize) < self.domain,
+                    "priority {v} outside encoding domain 0..{}",
+                    self.domain
+                );
+                let c = regs.read(v as usize)?;
+                regs.write(v as usize, c + 1)?;
+                Ok(Value::Ok)
+            }
+            OpName::Custom(name) if &**name == "extract_min" => {
+                assert!(args.is_empty(), "extract_min takes no arguments");
+                for p in 0..self.domain {
+                    let c = regs.read(p)?;
+                    if c > 0 {
+                        regs.write(p, c - 1)?;
+                        return Ok(Value::int(p as i64));
+                    }
+                }
+                Ok(Value::Unit)
+            }
+            OpName::Custom(name) if &**name == "peek_min" => {
+                assert!(args.is_empty(), "peek_min takes no arguments");
+                for p in 0..self.domain {
+                    if regs.read(p)? > 0 {
+                        return Ok(Value::int(p as i64));
+                    }
+                }
+                Ok(Value::Unit)
+            }
+            other => bad_op("priority-queue", other),
+        }
+    }
+}
+
+/// An append-only log: a length register and `cap` slots.
+#[derive(Clone, Copy, Debug)]
+pub struct LogEnc {
+    /// Total append capacity over the object lifetime.
+    pub cap: usize,
+}
+
+impl ObjEncoding for LogEnc {
+    fn spec(&self) -> Arc<dyn SeqSpec> {
+        Arc::new(AppendLog)
+    }
+
+    fn footprint(&self) -> usize {
+        self.cap + 1
+    }
+
+    fn apply(&self, regs: &mut RegBlock<'_, '_>, op: &OpName, args: &[Value]) -> TxResult<Value> {
+        match op {
+            OpName::Append => {
+                let v = int_arg(args, "append");
+                let n = regs.read(0)?;
+                assert!(
+                    (n as usize) < self.cap,
+                    "typed log capacity {} exhausted (raise LogEnc.cap)",
+                    self.cap
+                );
+                regs.write(1 + n as usize, v)?;
+                regs.write(0, n + 1)?;
+                Ok(Value::Ok)
+            }
+            OpName::Read => {
+                assert!(args.is_empty(), "read takes no arguments");
+                let n = (regs.read(0)?.max(0) as usize).min(self.cap);
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(Value::int(regs.read(1 + i)?));
+                }
+                Ok(Value::List(out))
+            }
+            other => bad_op("append-log", other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{run_typed_tx, TypedSpace, TypedStm};
+    use crate::Tl2Stm;
+
+    /// Replays a random-ish operation mix through the encoding on a real TM
+    /// and through the sequential spec, asserting identical return values —
+    /// the spec-fidelity contract of every encoding.
+    fn assert_matches_spec(enc: impl ObjEncoding + Copy + 'static, ops: &[(OpName, Vec<Value>)]) {
+        let spec = enc.spec();
+        let space = TypedSpace::builder().with("o", enc).build();
+        let tm = TypedStm::new(space, |k| Box::new(Tl2Stm::new(k)));
+        let o = tm.handle("o");
+        let mut state = spec.initial();
+        for (op, args) in ops {
+            let (observed, _) = run_typed_tx(&tm, 0, |tx| tx.invoke(o, op, args));
+            let (next, expected) = spec
+                .step(&state, op, args)
+                .unwrap_or_else(|| panic!("spec rejects {op}({args:?}) in state {state}"));
+            assert_eq!(observed, expected, "{op}({args:?}) in state {state}");
+            state = next;
+        }
+    }
+
+    fn i(v: i64) -> Vec<Value> {
+        vec![Value::int(v)]
+    }
+
+    #[test]
+    fn counter_matches_spec() {
+        assert_matches_spec(
+            CounterEnc,
+            &[
+                (OpName::Inc, vec![]),
+                (OpName::Inc, vec![]),
+                (OpName::Get, vec![]),
+                (OpName::Dec, vec![]),
+                (OpName::Get, vec![]),
+            ],
+        );
+    }
+
+    #[test]
+    fn register_and_cas_match_spec() {
+        assert_matches_spec(
+            RegisterEnc,
+            &[
+                (OpName::Read, vec![]),
+                (OpName::Write, i(5)),
+                (OpName::Read, vec![]),
+            ],
+        );
+        assert_matches_spec(
+            CasEnc,
+            &[
+                (OpName::Cas, vec![Value::int(0), Value::int(3)]),
+                (OpName::Cas, vec![Value::int(0), Value::int(9)]),
+                (OpName::Read, vec![]),
+                (OpName::Write, i(1)),
+                (OpName::Cas, vec![Value::int(1), Value::int(2)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn queue_matches_spec_including_empty_deq() {
+        assert_matches_spec(
+            QueueEnc { cap: 8 },
+            &[
+                (OpName::Deq, vec![]),
+                (OpName::Enq, i(1)),
+                (OpName::Enq, i(2)),
+                (OpName::Deq, vec![]),
+                (OpName::Enq, i(3)),
+                (OpName::Deq, vec![]),
+                (OpName::Deq, vec![]),
+                (OpName::Deq, vec![]),
+            ],
+        );
+    }
+
+    #[test]
+    fn stack_matches_spec() {
+        assert_matches_spec(
+            StackEnc { cap: 4 },
+            &[
+                (OpName::Pop, vec![]),
+                (OpName::Push, i(1)),
+                (OpName::Push, i(2)),
+                (OpName::Pop, vec![]),
+                (OpName::Pop, vec![]),
+                (OpName::Pop, vec![]),
+            ],
+        );
+    }
+
+    #[test]
+    fn set_matches_spec() {
+        assert_matches_spec(
+            SetEnc { domain: 4 },
+            &[
+                (OpName::Contains, i(2)),
+                (OpName::Insert, i(2)),
+                (OpName::Insert, i(2)),
+                (OpName::Contains, i(2)),
+                (OpName::Remove, i(2)),
+                (OpName::Remove, i(2)),
+                (OpName::Contains, i(2)),
+                (OpName::Insert, i(0)),
+                (OpName::Insert, i(3)),
+            ],
+        );
+    }
+
+    #[test]
+    fn map_matches_spec() {
+        assert_matches_spec(
+            MapEnc { keys: 3 },
+            &[
+                (OpName::Get, i(1)),
+                (OpName::Insert, vec![Value::int(1), Value::int(10)]),
+                (OpName::Insert, vec![Value::int(1), Value::int(0)]),
+                (OpName::Get, i(1)),
+                (OpName::Remove, i(1)),
+                (OpName::Get, i(1)),
+                (OpName::Remove, i(2)),
+            ],
+        );
+    }
+
+    #[test]
+    fn pqueue_matches_spec_with_ties() {
+        assert_matches_spec(
+            PQueueEnc { domain: 6 },
+            &[
+                (tm_model::objects::pqueue::extract_min(), vec![]),
+                (OpName::Insert, i(4)),
+                (OpName::Insert, i(4)),
+                (OpName::Insert, i(1)),
+                (tm_model::objects::pqueue::peek_min(), vec![]),
+                (tm_model::objects::pqueue::extract_min(), vec![]),
+                (tm_model::objects::pqueue::extract_min(), vec![]),
+                (tm_model::objects::pqueue::extract_min(), vec![]),
+                (tm_model::objects::pqueue::extract_min(), vec![]),
+            ],
+        );
+    }
+
+    #[test]
+    fn log_matches_spec() {
+        assert_matches_spec(
+            LogEnc { cap: 4 },
+            &[
+                (OpName::Read, vec![]),
+                (OpName::Append, i(7)),
+                (OpName::Append, i(8)),
+                (OpName::Read, vec![]),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity 2 exhausted")]
+    fn queue_capacity_guard() {
+        let space = TypedSpace::builder().with("q", QueueEnc { cap: 2 }).build();
+        let tm = TypedStm::new(space, |k| Box::new(Tl2Stm::new(k)));
+        let q = tm.handle("q");
+        run_typed_tx(&tm, 0, |tx| {
+            tx.enq(q, 1)?;
+            tx.enq(q, 2)?;
+            tx.enq(q, 3)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside encoding domain")]
+    fn set_domain_guard() {
+        let space = TypedSpace::builder()
+            .with("s", SetEnc { domain: 2 })
+            .build();
+        let tm = TypedStm::new(space, |k| Box::new(Tl2Stm::new(k)));
+        let s = tm.handle("s");
+        run_typed_tx(&tm, 0, |tx| tx.insert(s, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of the counter interface")]
+    fn foreign_op_rejected() {
+        let space = TypedSpace::builder().with("c", CounterEnc).build();
+        let tm = TypedStm::new(space, |k| Box::new(Tl2Stm::new(k)));
+        let c = tm.handle("c");
+        run_typed_tx(&tm, 0, |tx| tx.invoke(c, &OpName::Enq, &[]));
+    }
+}

@@ -12,9 +12,26 @@
 //! Recording can be disabled (throughput benchmarks) — the TMs then skip the
 //! event construction entirely. Recorder accesses never count as steps:
 //! they are measurement apparatus, not part of the algorithm.
+//!
+//! # Object-level recording
+//!
+//! The typed-object layer ([`crate::objects`]) executes one *object*
+//! operation (`enq`, `insert`, `extract_min`, …) as a read-modify-write
+//! sequence of register operations through the TM. For the recorded history
+//! to be checkable against the *object's* sequential specification, the
+//! recorder must emit one `inv`/`ret` pair carrying the object's `ObjId`,
+//! `OpName`, and arguments — not the storm of register events underneath.
+//! [`Recorder::begin_object_op`] records the object-level invocation and
+//! *suppresses* register-level events of that transaction until the matching
+//! [`Recorder::end_object_op`] (or [`Recorder::cancel_object_op`] when the
+//! TM aborted the transaction mid-operation — the `A` event, which is never
+//! suppressed, then answers the pending object-level invocation, exactly as
+//! the model allows). Suppression is per-transaction, so concurrent
+//! transactions recording register-level and object-level operations
+//! interleave correctly.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 use tm_model::{Event, History, ObjId, OpName, TxId, Value};
 
@@ -25,6 +42,15 @@ pub struct Recorder {
     events: Mutex<Vec<Event>>,
     names: Vec<ObjId>,
     next_tx: AtomicU32,
+    /// Transactions currently inside an object-level operation: their
+    /// register-level events are dropped (the object-level `inv`/`ret`
+    /// stands for the whole read-modify-write sequence).
+    suppressed: Mutex<Vec<TxId>>,
+    /// Mirror of `suppressed.len()`, so the (hot) register-level event
+    /// helpers skip the suppression lock entirely while no typed-object
+    /// operation is in flight anywhere — the permanent state of every
+    /// register-only workload.
+    suppressed_count: AtomicUsize,
 }
 
 impl Recorder {
@@ -35,6 +61,8 @@ impl Recorder {
             events: Mutex::new(Vec::new()),
             names: (0..k).map(ObjId::register).collect(),
             next_tx: AtomicU32::new(1),
+            suppressed: Mutex::new(Vec::new()),
+            suppressed_count: AtomicUsize::new(0),
         }
     }
 
@@ -65,9 +93,73 @@ impl Recorder {
         }
     }
 
+    /// True while `t` is inside an object-level operation scope.
+    fn is_suppressed(&self, t: TxId) -> bool {
+        // Fast path: no transaction anywhere is inside an object op. A
+        // transaction always observes its own suppression (same-thread
+        // program order), so the relaxed count can never hide it.
+        if self.suppressed_count.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.suppressed.lock().contains(&t)
+    }
+
+    /// Adds `t` to the suppression set.
+    fn suppress(&self, t: TxId) {
+        let mut set = self.suppressed.lock();
+        set.push(t);
+        self.suppressed_count.store(set.len(), Ordering::Release);
+    }
+
+    /// Removes `t` from the suppression set (idempotent).
+    fn unsuppress(&self, t: TxId) {
+        let mut set = self.suppressed.lock();
+        set.retain(|&s| s != t);
+        self.suppressed_count.store(set.len(), Ordering::Release);
+    }
+
+    /// Opens an object-level operation scope for `t`: records
+    /// `inv_t(obj, op, args)` and suppresses `t`'s register-level events
+    /// until [`Recorder::end_object_op`] or [`Recorder::cancel_object_op`].
+    ///
+    /// No-op when recording is disabled.
+    pub fn begin_object_op(&self, t: TxId, obj: ObjId, op: OpName, args: Vec<Value>) {
+        if self.enabled() {
+            self.record(Event::Inv {
+                tx: t,
+                obj,
+                op,
+                args,
+            });
+            self.suppress(t);
+        }
+    }
+
+    /// Closes `t`'s object-level operation scope successfully: lifts the
+    /// suppression and records `ret_t(obj, op) → val`.
+    pub fn end_object_op(&self, t: TxId, obj: ObjId, op: OpName, val: Value) {
+        self.unsuppress(t);
+        if self.enabled() {
+            self.record(Event::Ret {
+                tx: t,
+                obj,
+                op,
+                val,
+            });
+        }
+    }
+
+    /// Closes `t`'s object-level operation scope without a response — used
+    /// when the TM aborted the transaction mid-operation. The `A_t` event
+    /// (recorded by the TM, never suppressed) answers the pending
+    /// object-level invocation, as the model allows.
+    pub fn cancel_object_op(&self, t: TxId) {
+        self.unsuppress(t);
+    }
+
     /// Records `inv_t(r_i, read, ⊥)`.
     pub fn inv_read(&self, t: TxId, i: usize) {
-        if self.enabled() {
+        if self.enabled() && !self.is_suppressed(t) {
             self.record(Event::Inv {
                 tx: t,
                 obj: self.obj(i),
@@ -79,7 +171,7 @@ impl Recorder {
 
     /// Records `ret_t(r_i, read) → v`.
     pub fn ret_read(&self, t: TxId, i: usize, v: i64) {
-        if self.enabled() {
+        if self.enabled() && !self.is_suppressed(t) {
             self.record(Event::Ret {
                 tx: t,
                 obj: self.obj(i),
@@ -91,7 +183,7 @@ impl Recorder {
 
     /// Records `inv_t(r_i, write, v)`.
     pub fn inv_write(&self, t: TxId, i: usize, v: i64) {
-        if self.enabled() {
+        if self.enabled() && !self.is_suppressed(t) {
             self.record(Event::Inv {
                 tx: t,
                 obj: self.obj(i),
@@ -103,7 +195,7 @@ impl Recorder {
 
     /// Records `ret_t(r_i, write) → ok`.
     pub fn ret_write(&self, t: TxId, i: usize) {
-        if self.enabled() {
+        if self.enabled() && !self.is_suppressed(t) {
             self.record(Event::Ret {
                 tx: t,
                 obj: self.obj(i),
@@ -202,5 +294,64 @@ mod tests {
     fn object_names_follow_register_convention() {
         let r = Recorder::new(3);
         assert_eq!(r.obj(2).name(), "r2");
+    }
+
+    #[test]
+    fn object_scope_suppresses_register_events_per_transaction() {
+        let r = Recorder::new(2);
+        let t1 = r.fresh_tx();
+        let t2 = r.fresh_tx();
+        r.begin_object_op(t1, ObjId::new("q"), OpName::Enq, vec![Value::int(5)]);
+        // t1's register traffic is the encoding of the enq: suppressed.
+        r.inv_read(t1, 0);
+        r.ret_read(t1, 0, 0);
+        r.inv_write(t1, 0, 1);
+        r.ret_write(t1, 0);
+        // A concurrent register-level transaction records normally.
+        r.inv_read(t2, 1);
+        r.ret_read(t2, 1, 0);
+        r.end_object_op(t1, ObjId::new("q"), OpName::Enq, Value::Ok);
+        r.try_commit(t1);
+        r.commit(t1);
+        r.try_commit(t2);
+        r.commit(t2);
+        let h = r.history();
+        assert!(is_well_formed(&h), "{h}");
+        // t1: inv(q,enq) ret(q,enq) tryC C — 4 events; t2: 4 register events.
+        assert_eq!(h.len(), 8);
+        assert!(h.events().iter().all(|e| {
+            e.obj().map_or(true, |o| match e.tx() {
+                tx if tx == t1 => o.name() == "q",
+                _ => o.name() == "r1",
+            })
+        }));
+    }
+
+    #[test]
+    fn cancelled_object_op_leaves_pending_invocation_for_the_abort() {
+        let r = Recorder::new(1);
+        let t = r.fresh_tx();
+        r.begin_object_op(t, ObjId::new("c"), OpName::Inc, vec![]);
+        r.inv_read(t, 0); // suppressed
+        r.cancel_object_op(t);
+        r.abort(t); // the TM's A_t answers the pending inv
+        let h = r.history();
+        assert_eq!(h.len(), 2);
+        assert!(is_well_formed(&h), "{h}");
+        // Suppression is lifted after cancel: later events record again.
+        let t2 = r.fresh_tx();
+        r.inv_read(t2, 0);
+        r.ret_read(t2, 0, 0);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn object_scope_noops_when_disabled() {
+        let r = Recorder::new(1);
+        r.set_enabled(false);
+        let t = r.fresh_tx();
+        r.begin_object_op(t, ObjId::new("c"), OpName::Inc, vec![]);
+        r.end_object_op(t, ObjId::new("c"), OpName::Inc, Value::Ok);
+        assert!(r.is_empty());
     }
 }
