@@ -1,0 +1,57 @@
+//! `clocks/*` — commit-throughput scaling of the pluggable version-clock
+//! schemes (the ROADMAP's "sharded version clocks" item, measured).
+//!
+//! The workload is `tm_harness::workload::commit_storm`: every thread
+//! commits tiny update transactions on its own register, so data conflicts
+//! are impossible and the only shared hot spot is the commit path — for
+//! the timestamp-based TMs, the global version clock. `single` (GV1)
+//! serializes every commit on one cache line; `sharded:N` (GV5-style)
+//! spreads ticks across per-thread home shards; `deferred` (GV4) never
+//! re-contends after a lost CAS. The machine-readable companion
+//! (`BENCH_clocks.json`, commits/sec per tm × clock × threads) is written
+//! by the `report` bin and diffed across runs by `bench_trend`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use tm_harness::workload::commit_storm;
+use tm_stm::{ClockScheme, StmConfig, TmRegistry};
+
+fn bench_clock_commit_scaling(c: &mut Criterion) {
+    let txs = 200usize;
+    let reg = TmRegistry::suite();
+    for tm in ["tl2", "mvstm"] {
+        let mut group = c.benchmark_group(format!("clocks/{tm}"));
+        group.sample_size(10);
+        for scheme in [
+            ClockScheme::Single,
+            ClockScheme::Sharded(8),
+            ClockScheme::Deferred,
+        ] {
+            for threads in [1usize, 2, 4, 8, 16] {
+                group.throughput(Throughput::Elements((threads * txs) as u64));
+                let spec = format!("{tm}+{scheme}");
+                let reg = &reg;
+                group.bench_function(BenchmarkId::new(scheme.to_string(), threads), |b| {
+                    b.iter(|| {
+                        // Registry-built with recording off from
+                        // construction: the hot path must pay zero
+                        // recording overhead (asserted below).
+                        let cfg = StmConfig::new(threads).recording(false);
+                        let stm = reg.build_with(&spec, &cfg).expect("clocked TM spec");
+                        let stats = commit_storm(stm.as_ref(), threads, txs);
+                        assert_eq!(stats.aborts, 0, "{spec}: disjoint writes conflicted");
+                        assert!(
+                            stm.recorder().is_empty(),
+                            "{spec}: recording-off run allocated events"
+                        );
+                        stats
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_clock_commit_scaling);
+criterion_main!(benches);

@@ -1,18 +1,24 @@
-//! `bench_trend` — diffs two `BENCH_monitor.json` artifacts and flags
-//! regressions of the resumable-core advantage.
+//! `bench_trend` — diffs two `BENCH_*.json` artifacts of the same kind and
+//! flags regressions of the tracked metric.
 //!
 //! ```sh
 //! cargo run --release -p tm-bench --bin bench_trend -- \
 //!     baseline/BENCH_monitor.json BENCH_monitor.json [--max-regression-pct 20]
 //! ```
 //!
-//! The tracked quantity is each point's **node ratio** (batch search nodes /
-//! incremental search nodes — deterministic, machine-independent, higher is
-//! better). A point regresses when the current ratio drops more than the
-//! threshold below the baseline ratio at the same history length. Exit
-//! codes: `0` — no regression, `1` — regression detected, `2` — usage or
-//! parse error. CI runs this as a warn-only step against the previous run's
-//! cached artifact.
+//! Three artifact kinds are understood, keyed by their `"bench"` field:
+//!
+//! | kind | tracked metric (higher is better) | point key |
+//! |------|-----------------------------------|-----------|
+//! | `monitor` | `node_ratio` (batch / incremental search nodes — deterministic) | history length (`events`) |
+//! | `typed-objects` | `commits_per_sec` of the typed storms | tm × object × threads |
+//! | `clocks` | `commits_per_sec` of the commit storm | tm × clock × threads |
+//!
+//! A point regresses when the current metric drops more than the threshold
+//! below the baseline metric at the same key. Exit codes: `0` — no
+//! regression, `1` — regression detected, `2` — usage or parse error
+//! (including artifacts of different kinds). CI runs this as a warn-only
+//! step against the previous run's cached artifacts.
 
 /// Extracts the leading JSON number after `"key":` in `line`.
 fn field(line: &str, key: &str) -> Option<f64> {
@@ -25,28 +31,66 @@ fn field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parses `(events, node_ratio)` pairs from a `BENCH_monitor.json` body
-/// (one point object per line, as the `report` bin writes it).
-fn extract_points(json: &str) -> Vec<(u64, f64)> {
-    json.lines()
-        .filter_map(|line| {
-            let events = field(line, "events")? as u64;
-            let ratio = field(line, "node_ratio")?;
-            Some((events, ratio))
+/// Extracts the JSON string after `"key":` in `line`.
+fn sfield(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let pos = line.find(&pat)?;
+    let rest = line[pos + pat.len()..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// A parsed artifact: its kind plus `(key, metric)` pairs.
+#[derive(Debug, PartialEq)]
+struct Artifact {
+    kind: String,
+    points: Vec<(String, f64)>,
+}
+
+/// Parses a `BENCH_*.json` body (one point object per line, as the
+/// `report` bin writes them) into keyed metric points.
+fn parse_artifact(json: &str) -> Option<Artifact> {
+    let kind = json.lines().find_map(|l| sfield(l, "bench"))?;
+    let points = json
+        .lines()
+        .filter_map(|line| match kind.as_str() {
+            "monitor" => {
+                let events = field(line, "events")? as u64;
+                Some((format!("events={events}"), field(line, "node_ratio")?))
+            }
+            "typed-objects" => {
+                let key = format!(
+                    "{}/{}/t{}",
+                    sfield(line, "tm")?,
+                    sfield(line, "object")?,
+                    field(line, "threads")? as u64
+                );
+                Some((key, field(line, "commits_per_sec")?))
+            }
+            "clocks" => {
+                let key = format!(
+                    "{}+{}/t{}",
+                    sfield(line, "tm")?,
+                    sfield(line, "clock")?,
+                    field(line, "threads")? as u64
+                );
+                Some((key, field(line, "commits_per_sec")?))
+            }
+            _ => None,
         })
-        .collect()
+        .collect();
+    Some(Artifact { kind, points })
 }
 
 /// One comparison row.
 #[derive(Debug, PartialEq)]
 struct Delta {
-    events: u64,
+    key: String,
     baseline: f64,
     current: f64,
 }
 
 impl Delta {
-    /// Relative change of the node ratio (negative = worse).
+    /// Relative change of the metric (negative = worse).
     fn change_pct(&self) -> f64 {
         if self.baseline <= 0.0 {
             return 0.0;
@@ -55,16 +99,16 @@ impl Delta {
     }
 }
 
-/// Pairs up baseline and current points by history length.
-fn compare(baseline: &[(u64, f64)], current: &[(u64, f64)]) -> Vec<Delta> {
+/// Pairs up baseline and current points by key.
+fn compare(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<Delta> {
     current
         .iter()
-        .filter_map(|&(events, cur)| {
-            let base = baseline.iter().find(|&&(e, _)| e == events)?.1;
+        .filter_map(|(key, cur)| {
+            let base = baseline.iter().find(|(k, _)| k == key)?.1;
             Some(Delta {
-                events,
+                key: key.clone(),
                 baseline: base,
-                current: cur,
+                current: *cur,
             })
         })
         .collect()
@@ -100,23 +144,40 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let baseline = extract_points(&read(baseline_path));
-    let current = extract_points(&read(current_path));
-    if baseline.is_empty() || current.is_empty() {
+    let parse = |path: &str| -> Artifact {
+        parse_artifact(&read(path)).unwrap_or_else(|| {
+            eprintln!("bench_trend: {path}: no \"bench\" kind found");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse(baseline_path);
+    let current = parse(current_path);
+    if baseline.kind != current.kind {
         eprintln!(
-            "bench_trend: no (events, node_ratio) points found \
-             (baseline: {}, current: {})",
-            baseline.len(),
-            current.len()
+            "bench_trend: artifact kinds differ (baseline: {}, current: {})",
+            baseline.kind, current.kind
         );
         std::process::exit(2);
     }
-    let deltas = compare(&baseline, &current);
-    if deltas.is_empty() {
-        eprintln!("bench_trend: no common history lengths between the two artifacts");
+    if baseline.points.is_empty() || current.points.is_empty() {
+        eprintln!(
+            "bench_trend: no metric points found \
+             (baseline: {}, current: {})",
+            baseline.points.len(),
+            current.points.len()
+        );
         std::process::exit(2);
     }
-    println!("| events | baseline ratio | current ratio | change |");
+    let metric = match current.kind.as_str() {
+        "monitor" => "node ratio",
+        _ => "commits/sec",
+    };
+    let deltas = compare(&baseline.points, &current.points);
+    if deltas.is_empty() {
+        eprintln!("bench_trend: no common point keys between the two artifacts");
+        std::process::exit(2);
+    }
+    println!("| point | baseline {metric} | current {metric} | change |");
     println!("|---|---|---|---|");
     let mut regressed = false;
     for d in &deltas {
@@ -129,13 +190,13 @@ fn main() {
         };
         println!(
             "| {} | {:.2} | {:.2} | {:+.1}% |{flag}",
-            d.events, d.baseline, d.current, change
+            d.key, d.baseline, d.current, change
         );
     }
     if regressed {
         eprintln!(
-            "bench_trend: node-ratio regression beyond {max_regression_pct}% \
-             — the incremental monitor lost ground against batch re-checking"
+            "bench_trend: {} {metric} regression beyond {max_regression_pct}%",
+            current.kind
         );
         std::process::exit(1);
     }
@@ -146,7 +207,7 @@ fn main() {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = r#"{
+    const MONITOR: &str = r#"{
   "bench": "monitor",
   "jobs": 4,
   "points": [
@@ -155,9 +216,42 @@ mod tests {
   ]
 }"#;
 
+    const CLOCKS: &str = r#"{
+  "bench": "clocks",
+  "points": [
+    {"tm": "tl2", "clock": "single", "threads": 8, "txs": 300, "commits": 2400, "aborts": 0, "wall_ns": 1000, "commits_per_sec": 2400000}
+  ]
+}"#;
+
+    const OBJECTS: &str = r#"{
+  "bench": "typed-objects",
+  "points": [
+    {"tm": "tl2", "object": "counter", "threads": 2, "ops": 150, "commits": 300, "aborts": 12, "wall_ns": 5, "commits_per_sec": 60000}
+  ]
+}"#;
+
     #[test]
-    fn extracts_every_point() {
-        assert_eq!(extract_points(SAMPLE), vec![(32, 8.0), (64, 12.0)]);
+    fn extracts_every_monitor_point() {
+        let a = parse_artifact(MONITOR).unwrap();
+        assert_eq!(a.kind, "monitor");
+        assert_eq!(
+            a.points,
+            vec![
+                ("events=32".to_string(), 8.0),
+                ("events=64".to_string(), 12.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn extracts_clock_and_object_points() {
+        let a = parse_artifact(CLOCKS).unwrap();
+        assert_eq!(a.kind, "clocks");
+        assert_eq!(a.points, vec![("tl2+single/t8".to_string(), 2_400_000.0)]);
+        let a = parse_artifact(OBJECTS).unwrap();
+        assert_eq!(a.kind, "typed-objects");
+        assert_eq!(a.points, vec![("tl2/counter/t2".to_string(), 60_000.0)]);
+        assert!(parse_artifact("{}").is_none());
     }
 
     #[test]
@@ -165,15 +259,20 @@ mod tests {
         assert_eq!(field(r#"{"x": 42,"#, "x"), Some(42.0));
         assert_eq!(field(r#"{"x": -1.5}"#, "x"), Some(-1.5));
         assert_eq!(field(r#"{"y": 1}"#, "x"), None);
+        assert_eq!(sfield(r#"{"tm": "tl2","#, "tm"), Some("tl2".to_string()));
+        assert_eq!(sfield(r#"{"tm": 3}"#, "tm"), None);
     }
 
     #[test]
-    fn compare_pairs_by_history_length() {
-        let base = vec![(32, 8.0), (64, 12.0), (96, 20.0)];
-        let cur = vec![(32, 9.0), (64, 9.0), (128, 30.0)];
+    fn compare_pairs_by_key() {
+        let keyed = |pairs: &[(&str, f64)]| -> Vec<(String, f64)> {
+            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        };
+        let base = keyed(&[("a", 8.0), ("b", 12.0), ("c", 20.0)]);
+        let cur = keyed(&[("a", 9.0), ("b", 9.0), ("d", 30.0)]);
         let deltas = compare(&base, &cur);
-        assert_eq!(deltas.len(), 2, "96 and 128 have no partner");
-        assert!(deltas[0].change_pct() > 0.0, "32 improved");
+        assert_eq!(deltas.len(), 2, "c and d have no partner");
+        assert!(deltas[0].change_pct() > 0.0, "a improved");
         let drop = deltas[1].change_pct();
         assert!((-25.01..=-24.99).contains(&drop), "12 -> 9 is -25%: {drop}");
     }
@@ -181,7 +280,7 @@ mod tests {
     #[test]
     fn zero_baseline_does_not_divide() {
         let d = Delta {
-            events: 1,
+            key: "x".to_string(),
             baseline: 0.0,
             current: 5.0,
         };

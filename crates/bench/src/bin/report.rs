@@ -24,13 +24,14 @@ use tm_bench::{batch_prefix_nodes, monitor_workload};
 use tm_harness::complexity::{paper_scenario, solo_scan, sweep};
 use tm_harness::parallel::default_jobs;
 use tm_harness::randhist::{cross_validate, GenConfig};
-use tm_harness::workload::typed_storm;
+use tm_harness::workload::{commit_storm, typed_storm};
 use tm_harness::ObjectKind;
 use tm_model::builder::paper;
 use tm_model::SpecRegistry;
 use tm_opacity::criteria::classify;
 use tm_opacity::incremental::OpacityMonitor;
 use tm_stm::objects::TypedStm;
+use tm_stm::{ClockScheme, StmConfig, TmRegistry};
 
 fn yesno(b: bool) -> &'static str {
     if b {
@@ -86,12 +87,13 @@ struct ObjectPoint {
 
 /// Measures the typed-object storm for every TM × object kind.
 fn object_points(tm_names: &[&'static str], threads: usize, ops: usize) -> Vec<ObjectPoint> {
+    let reg = TmRegistry::suite();
     let mut out = Vec::new();
     for kind in ObjectKind::ALL {
         for &name in tm_names {
             let typed = TypedStm::new(
                 kind.standard_space(threads * ops),
-                tm_stm::factory_by_name(name),
+                reg.factory(name).expect("suite TM name"),
             );
             typed.stm().recorder().set_enabled(false);
             let t0 = Instant::now();
@@ -127,6 +129,83 @@ fn objects_json(points: &[ObjectPoint]) -> String {
             p.object,
             p.threads,
             p.ops,
+            p.commits,
+            p.aborts,
+            p.wall_ns,
+            per_sec,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One row of the clock-scheme commit-throughput suite.
+struct ClockPoint {
+    tm: &'static str,
+    clock: String,
+    threads: usize,
+    txs: usize,
+    commits: u64,
+    aborts: u64,
+    wall_ns: u128,
+}
+
+/// Measures the commit storm for every clocked TM × clock scheme × thread
+/// count — the quantitative answer to the ROADMAP's sharded-clock item.
+fn clock_points(thread_counts: &[usize], txs: usize) -> Vec<ClockPoint> {
+    let reg = TmRegistry::suite();
+    let mut out = Vec::new();
+    for tm in ["tl2", "mvstm"] {
+        for scheme in [
+            ClockScheme::Single,
+            ClockScheme::Sharded(8),
+            ClockScheme::Deferred,
+        ] {
+            for &threads in thread_counts {
+                let spec = format!("{tm}+{scheme}");
+                let stm = reg
+                    .build_with(&spec, &StmConfig::new(threads).recording(false))
+                    .expect("clocked TM spec");
+                let t0 = Instant::now();
+                let stats = commit_storm(stm.as_ref(), threads, txs);
+                let wall_ns = t0.elapsed().as_nanos();
+                assert!(
+                    stm.recorder().is_empty(),
+                    "{spec}: recording-off run allocated events"
+                );
+                out.push(ClockPoint {
+                    tm,
+                    clock: scheme.to_string(),
+                    threads,
+                    txs,
+                    commits: stats.commits,
+                    aborts: stats.aborts,
+                    wall_ns,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders `BENCH_clocks.json` by hand (no serde in the tree).
+fn clocks_json(points: &[ClockPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"clocks\",\n");
+    out.push_str(
+        "  \"workload\": \"disjoint-register commit storm (tm_harness::commit_storm)\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let per_sec = p.commits.max(1) as f64 / (p.wall_ns.max(1) as f64 / 1e9);
+        out.push_str(&format!(
+            "    {{\"tm\": \"{}\", \"clock\": \"{}\", \"threads\": {}, \"txs\": {}, \
+             \"commits\": {}, \"aborts\": {}, \"wall_ns\": {}, \"commits_per_sec\": {:.0}}}{}\n",
+            p.tm,
+            p.clock,
+            p.threads,
+            p.txs,
             p.commits,
             p.aborts,
             p.wall_ns,
@@ -345,6 +424,44 @@ fn main() {
     let opath = "BENCH_objects.json";
     std::fs::write(opath, &ojson).expect("write BENCH_objects.json");
     println!("\n_Wall-clock companion written to `{opath}`._");
+
+    // ---- clock-scheme commit-throughput scaling ----------------------------
+    println!("\n## Version clocks: commit-storm commits per tm × scheme × threads\n");
+    let (thread_counts, storm_txs): (&[usize], usize) = if quick {
+        (&[1, 2, 4], 60)
+    } else {
+        (&[1, 2, 4, 8, 16], 300)
+    };
+    let cpoints = clock_points(thread_counts, storm_txs);
+    println!("| tm | clock | {} |", {
+        let cols: Vec<String> = thread_counts.iter().map(|t| format!("t={t}")).collect();
+        cols.join(" | ")
+    });
+    print!("|---|---|");
+    for _ in thread_counts {
+        print!("---|");
+    }
+    println!();
+    for tm in ["tl2", "mvstm"] {
+        for clock in ["single", "sharded:8", "deferred"] {
+            print!("| {tm} | {clock} |");
+            for &t in thread_counts {
+                let p = cpoints
+                    .iter()
+                    .find(|p| p.tm == tm && p.clock == clock && p.threads == t)
+                    .expect("measured");
+                // Commit counts are invariant-checked (threads × txs, zero
+                // aborts) and machine-independent; wall-clock commits/sec
+                // goes to the JSON artifact only.
+                print!(" {} |", p.commits);
+            }
+            println!();
+        }
+    }
+    let cjson = clocks_json(&cpoints);
+    let cpath = "BENCH_clocks.json";
+    std::fs::write(cpath, &cjson).expect("write BENCH_clocks.json");
+    println!("\n_Wall-clock companion written to `{cpath}`._");
 
     println!(
         "\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._"

@@ -14,7 +14,10 @@
 //!   well-formedness);
 //! * `benches/monitor.rs` — the resumable online monitor against batch
 //!   re-check-from-scratch on growing histories (the `report` bin writes
-//!   the machine-readable companion `BENCH_monitor.json`).
+//!   the machine-readable companion `BENCH_monitor.json`);
+//! * `benches/clocks.rs` — commit-throughput scaling of the pluggable
+//!   version-clock schemes (`single`/`sharded:N`/`deferred`) on the
+//!   commit-storm workload (companion artifact: `BENCH_clocks.json`).
 //!
 //! The library itself only hosts shared history generators for the benches.
 

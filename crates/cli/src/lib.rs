@@ -12,13 +12,18 @@
 //! tmcheck graph    <file>   # Graphviz DOT of the Section-5.4 opacity graph
 //! tmcheck convert  <file> --json|--text   # format conversion
 //! tmcheck generate [--seed N --txs N --objs N --ops N --json]
-//! tmcheck conformance [--jobs N] [--tm NAME] [--mutants]   # the TM battery
+//! tmcheck conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
+//! tmcheck list              # the TM registry and its configuration axes
 //! ```
 //!
 //! `conformance` runs the `tm-harness` conformance kit over the in-tree TM
 //! suite; `--jobs N` shards the interleaving sweep across `N` worker
 //! threads with deterministic merging, so the output is identical for every
-//! `N`.
+//! `N`. TM selection goes through the fallible `tm_stm::TmRegistry`: `--tm`
+//! accepts full specs (`tl2+sharded:16`) and a typo prints the menu of
+//! valid names instead of panicking; `--clock single|sharded[:N]|deferred`
+//! sweeps the clocked TMs (tl2, mvstm, sistm) under that version-clock
+//! scheme.
 //!
 //! Exit codes: `0` — the property holds (or output was produced), `1` — the
 //! history violates opacity, `2` — usage or input error. `-` reads stdin.
@@ -72,18 +77,25 @@ pub enum Command {
         /// Emit JSON instead of text.
         json: bool,
     },
-    /// `conformance [--jobs N] [--tm NAME] [--mutants] [--objects SET]`
+    /// `conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
+    /// [--objects SET]`
     Conformance {
         /// Worker threads for the interleaving sweep (≥ 1).
         jobs: usize,
-        /// Restrict to the named TM (default: the whole suite).
+        /// Restrict to one TM spec (`tl2`, `tl2+sharded:16`, …; default:
+        /// the whole suite).
         tm: Option<String>,
+        /// Sweep the clocked TMs under this clock scheme instead of the
+        /// full suite under the default clock.
+        clock: Option<tm_stm::ClockScheme>,
         /// Also run the deliberately broken mutants.
         mutants: bool,
         /// Typed-object probe battery: `--objects all` or a comma list of
         /// kinds. `None` runs the classic register battery.
         objects: Option<Vec<ObjectKind>>,
     },
+    /// `list`
+    List,
     /// `help`
     Help,
 }
@@ -100,15 +112,22 @@ USAGE:
   tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
   tmcheck convert  <file> --json|--text    convert between trace formats
   tmcheck generate [--seed N] [--txs N] [--objs N] [--ops N] [--json]
-  tmcheck conformance [--jobs N] [--tm NAME] [--mutants] [--objects SET]
+  tmcheck conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
+                      [--objects SET]
                                     run the TM conformance battery (exit 1 if
                                     any swept TM violates a contract); --jobs
-                                    shards the sweep deterministically;
+                                    shards the sweep deterministically; --tm
+                                    takes a spec (tl2, tl2+sharded:16, …);
+                                    --clock single|sharded[:N]|deferred sweeps
+                                    the clocked TMs (tl2, mvstm, sistm) under
+                                    that version-clock scheme;
                                     --objects all (or e.g. --objects set,queue)
                                     sweeps typed-object probes — write-skew
                                     sets, producer/consumer queues, commutative
                                     counter storms — instead of the register
                                     battery
+  tmcheck list                      the TM registry: names, properties, and
+                                    which configuration axes each TM accepts
   tmcheck help
 
   <file> may be '-' for stdin. Formats (JSON / text) are auto-detected;
@@ -185,9 +204,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(g)
         }
+        "list" => Ok(Command::List),
         "conformance" => {
             let mut jobs = 1usize;
             let mut tm = None;
+            let mut clock = None;
             let mut mutants = false;
             let mut objects = None;
             while let Some(flag) = it.next() {
@@ -206,6 +227,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                                 .ok_or_else(|| "conformance: --tm needs a name".to_string())?,
                         );
                     }
+                    "--clock" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| "conformance: --clock needs a scheme".to_string())?;
+                        clock = Some(
+                            tm_stm::ClockScheme::parse(spec)
+                                .map_err(|e| format!("conformance: {e}"))?,
+                        );
+                    }
                     "--mutants" => mutants = true,
                     "--objects" => {
                         let spec = it.next().ok_or_else(|| {
@@ -222,6 +252,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Conformance {
                 jobs,
                 tm,
+                clock,
                 mutants,
                 objects,
             })
@@ -437,38 +468,103 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             }
             Ok(0)
         }
+        Command::List => {
+            let reg = tm_stm::TmRegistry::suite();
+            let yn = |b: bool| if b { "yes" } else { "no " };
+            w(
+                out,
+                format!(
+                    "{:<10} {:>11} {:>10} {:>9} {:>6} {:>6} {:>8} {:>4} {:>8}",
+                    "tm",
+                    "progressive",
+                    "single-ver",
+                    "invisible",
+                    "opaque",
+                    "ser",
+                    "clock",
+                    "cm",
+                    "blocking"
+                ),
+            )?;
+            for spec in reg.specs() {
+                let p = spec.properties;
+                w(
+                    out,
+                    format!(
+                        "{:<10} {:>11} {:>10} {:>9} {:>6} {:>6} {:>8} {:>4} {:>8}",
+                        spec.name,
+                        yn(p.progressive),
+                        yn(p.single_version),
+                        yn(p.invisible_reads),
+                        yn(p.opaque_by_design),
+                        yn(p.serializable_by_design),
+                        if spec.clocked { "any" } else { "-" },
+                        if spec.cm_tunable { "any" } else { "-" },
+                        yn(spec.blocking),
+                    ),
+                )?;
+            }
+            w(
+                out,
+                "\nclock schemes (clocked TMs): single (GV1 counter), sharded:N \
+                 (GV5-style padded array), deferred (GV4 pass-on-failure)\n\
+                 spec syntax: <tm>[+<clock>], e.g. tl2+sharded:16, mvstm+deferred"
+                    .to_string(),
+            )?;
+            Ok(0)
+        }
         Command::Conformance {
             jobs,
             tm,
+            clock,
             mutants,
             objects,
         } => {
             use tm_harness::{conformance_parallel, object_conformance};
-            let names: Vec<&'static str> = tm_stm::all_stms(1).iter().map(|s| s.name()).collect();
-            if let Some(wanted) = tm {
-                if !names.contains(&wanted.as_str()) {
-                    return Err(format!(
-                        "conformance: unknown TM '{wanted}' (available: {})",
-                        names.join(", ")
-                    ));
+            let reg = tm_stm::TmRegistry::suite();
+            // Resolve the sweep into TM specs; every lookup is fallible and
+            // the errors carry the registry's menu of valid names.
+            let specs_to_run: Vec<String> = match (tm, clock) {
+                (Some(spec), None) => vec![spec.clone()],
+                (Some(spec), Some(scheme)) => {
+                    if spec.contains('+') {
+                        return Err(format!(
+                            "conformance: clock given twice ('{spec}' and --clock {scheme})"
+                        ));
+                    }
+                    vec![format!("{spec}+{scheme}")]
                 }
+                (None, Some(scheme)) => reg
+                    .specs()
+                    .iter()
+                    .filter(|s| s.clocked)
+                    .map(|s| format!("{}+{scheme}", s.name))
+                    .collect(),
+                (None, None) => reg.names().iter().map(|n| n.to_string()).collect(),
+            };
+            type Factory = Box<dyn Fn(usize) -> Box<dyn tm_stm::Stm> + Sync>;
+            let mut selection: Vec<(String, tm_stm::StmProperties, Factory)> = Vec::new();
+            for spec in specs_to_run {
+                let props = reg
+                    .parse_spec(&spec)
+                    .map_err(|e| format!("conformance: {e}"))?
+                    .0
+                    .properties;
+                let factory = reg
+                    .factory(&spec)
+                    .map_err(|e| format!("conformance: {e}"))?;
+                selection.push((spec, props, Box::new(factory)));
             }
             // Deliberately job-count-free output: `--jobs N` must be
             // byte-identical to `--jobs 1` (deterministic sharded merge).
             let mut all_clean = true;
             let mut failures: Vec<String> = Vec::new();
-            let selected = names
-                .iter()
-                .copied()
-                .filter(|n| tm.as_ref().map_or(true, |want| want.as_str() == *n));
             if let Some(kinds) = objects {
                 // Typed-object battery: rich-semantics probes judged
                 // against the objects' own sequential specifications.
                 w(out, tm_harness::object_header())?;
-                for name in selected {
-                    let factory = tm_stm::factory_by_name(name);
-                    let report = object_conformance(&factory, kinds, *jobs);
-                    let props = factory(1).properties();
+                for (label, props, factory) in &selection {
+                    let report = object_conformance(factory.as_ref(), kinds, *jobs);
                     // Well-formedness is unconditional; the full battery is
                     // the contract for opaque-by-design TMs, and committed
                     // transactions must stay serializable wherever the TM
@@ -489,7 +585,7 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                         );
                     }
                     for probe in &report.probes {
-                        w(out, probe.row(&report.name))?;
+                        w(out, probe.row(label))?;
                     }
                 }
                 if *mutants {
@@ -510,9 +606,9 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                 }
             } else {
                 w(out, tm_harness::conformance_header())?;
-                for name in selected {
-                    let factory = tm_stm::factory_by_name(name);
-                    let report = conformance_parallel(&factory, *jobs);
+                for (label, _props, factory) in &selection {
+                    let mut report = conformance_parallel(factory.as_ref(), *jobs);
+                    report.name = label.clone();
                     // Opacity is the contract under test; TMs that advertise
                     // a weaker criterion (sistm, nonopaque) are expected
                     // rows, not failures — only well-formedness and lost
@@ -635,6 +731,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Conformance {
                 jobs: 1,
                 tm: None,
+                clock: None,
                 mutants: false,
                 objects: None
             })
@@ -644,6 +741,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Conformance {
                 jobs: 4,
                 tm: Some("tl2".into()),
+                clock: None,
                 mutants: true,
                 objects: None
             })
@@ -653,6 +751,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Conformance {
                 jobs: 1,
                 tm: None,
+                clock: None,
                 mutants: false,
                 objects: Some(ObjectKind::ALL.to_vec())
             })
@@ -662,6 +761,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Conformance {
                 jobs: 1,
                 tm: Some("sistm".into()),
+                clock: None,
                 mutants: false,
                 objects: Some(vec![ObjectKind::Queue, ObjectKind::Set])
             })
@@ -799,12 +899,14 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let (code1, seq) = run_str(&Command::Conformance {
             jobs: 1,
             tm: None,
+            clock: None,
             mutants: false,
             objects: None,
         });
         let (code4, par) = run_str(&Command::Conformance {
             jobs: 4,
             tm: None,
+            clock: None,
             mutants: false,
             objects: None,
         });
@@ -820,6 +922,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let (code, out) = run_str(&Command::Conformance {
             jobs: 2,
             tm: Some("tl2".into()),
+            clock: None,
             mutants: false,
             objects: None,
         });
@@ -829,6 +932,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
             tm: Some("nonesuch".into()),
+            clock: None,
             mutants: false,
             objects: None,
         });
@@ -844,6 +948,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let (code, out) = run_str(&Command::Conformance {
             jobs: 2,
             tm: Some("sistm".into()),
+            clock: None,
             mutants: false,
             objects: Some(vec![ObjectKind::Set]),
         });
@@ -858,6 +963,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
             tm: Some("tl2".into()),
+            clock: None,
             mutants: false,
             objects: Some(vec![ObjectKind::Set, ObjectKind::Queue]),
         });
@@ -874,6 +980,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let cmd = |jobs| Command::Conformance {
             jobs,
             tm: Some("tl2".into()),
+            clock: None,
             mutants: false,
             objects: Some(vec![ObjectKind::Counter, ObjectKind::Set]),
         };
@@ -882,6 +989,113 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         assert_eq!(code1, 0, "{seq}");
         assert_eq!(code3, 0, "{par}");
         assert_eq!(seq, par, "jobs=3 object battery diverged from jobs=1");
+    }
+
+    #[test]
+    fn list_renders_the_registry() {
+        let (code, out) = run_str(&Command::List);
+        assert_eq!(code, 0);
+        for name in tm_stm::TmRegistry::suite().names() {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("sharded:N"), "{out}");
+        assert!(out.contains("tl2+sharded:16"), "{out}");
+    }
+
+    #[test]
+    fn conformance_clock_flag_sweeps_the_clocked_tms() {
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 2,
+            tm: None,
+            clock: Some(tm_stm::ClockScheme::Sharded(4)),
+            mutants: false,
+            objects: None,
+        });
+        assert_eq!(code, 0, "{out}");
+        for row in ["tl2+sharded:4", "mvstm+sharded:4", "sistm+sharded:4"] {
+            assert!(out.contains(row), "{out}");
+        }
+        assert!(
+            !out.contains("dstm"),
+            "clockless TMs must be skipped: {out}"
+        );
+    }
+
+    #[test]
+    fn conformance_tm_accepts_full_specs() {
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 1,
+            tm: Some("tl2+deferred".into()),
+            clock: None,
+            mutants: false,
+            objects: None,
+        });
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("tl2+deferred"), "{out}");
+    }
+
+    #[test]
+    fn conformance_clock_errors_are_friendly() {
+        // Clock scheme on a clockless TM.
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 1,
+            tm: Some("dstm".into()),
+            clock: Some(tm_stm::ClockScheme::Deferred),
+            mutants: false,
+            objects: None,
+        });
+        assert_eq!(code, 2);
+        assert!(out.contains("no global clock"), "{out}");
+        // Clock given twice.
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 1,
+            tm: Some("tl2+sharded:2".into()),
+            clock: Some(tm_stm::ClockScheme::Deferred),
+            mutants: false,
+            objects: None,
+        });
+        assert_eq!(code, 2);
+        assert!(out.contains("clock given twice"), "{out}");
+        // Unparsable scheme at parse_args level.
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert!(parse_args(&a("conformance --clock gv9"))
+            .unwrap_err()
+            .contains("unknown clock scheme"));
+        assert!(parse_args(&a("conformance --clock"))
+            .unwrap_err()
+            .contains("--clock needs a scheme"));
+        assert_eq!(parse_args(&a("list")), Ok(Command::List));
+        assert_eq!(
+            parse_args(&a("conformance --clock sharded:16 --jobs 2")),
+            Ok(Command::Conformance {
+                jobs: 2,
+                tm: None,
+                clock: Some(tm_stm::ClockScheme::Sharded(16)),
+                mutants: false,
+                objects: None
+            })
+        );
+    }
+
+    #[test]
+    fn conformance_objects_with_clock_scheme() {
+        let (code, out) = run_str(&Command::Conformance {
+            jobs: 2,
+            tm: Some("sistm".into()),
+            clock: Some(tm_stm::ClockScheme::Sharded(2)),
+            mutants: false,
+            objects: Some(vec![ObjectKind::Set]),
+        });
+        assert_eq!(code, 0, "{out}");
+        let skew_row = out
+            .lines()
+            .find(|l| l.contains("set-write-skew"))
+            .expect("row present");
+        assert!(skew_row.contains("sistm+sharded:2"), "{skew_row}");
+        assert!(
+            skew_row.contains("NO"),
+            "conviction must survive: {skew_row}"
+        );
     }
 
     #[test]

@@ -733,7 +733,9 @@ mod tests {
     use super::*;
 
     fn factory_for(name: &'static str) -> impl Fn(usize) -> Box<dyn Stm> + Sync {
-        tm_stm::factory_by_name(name)
+        tm_stm::TmRegistry::suite()
+            .factory(name)
+            .expect("suite TM name")
     }
 
     #[test]
@@ -826,6 +828,54 @@ mod tests {
                     );
                 }
                 _ => {}
+            }
+        }
+    }
+
+    /// Satellite of the configurable-TM redesign: the *typed-object*
+    /// battery's verdicts are invariant under the clock scheme — the
+    /// opaque clocked TMs pass the full 11-probe battery on sharded and
+    /// deferred clocks, and SI-STM's object-level write-skew conviction is
+    /// unchanged.
+    #[test]
+    fn full_object_battery_verdicts_survive_every_clock_scheme() {
+        use tm_stm::{ClockScheme, TmRegistry};
+        let reg = TmRegistry::suite();
+        for base in ["tl2", "mvstm", "sistm"] {
+            for scheme in ClockScheme::SWEEP {
+                if scheme.is_single() {
+                    continue; // the default scheme is pinned above
+                }
+                let spec = format!("{base}+{scheme}");
+                let factory = reg.factory(&spec).expect("clocked TMs accept every scheme");
+                let report = object_conformance(&factory, &ObjectKind::ALL, 2);
+                assert_eq!(report.probes.len(), 11, "{spec}");
+                for probe in &report.probes {
+                    assert!(
+                        probe.well_formed,
+                        "{spec}/{}: {:?}",
+                        probe.probe, probe.violations
+                    );
+                }
+                if base == "sistm" {
+                    let skew = report.probe("set-write-skew").unwrap();
+                    assert!(
+                        !skew.serializable && !skew.opaque,
+                        "{spec}: the write-skew conviction must survive the scheme"
+                    );
+                    let torn = report.probe("set-torn-read").unwrap();
+                    assert!(torn.opaque && torn.serializable, "{spec}");
+                } else {
+                    assert!(
+                        report.all_clean(),
+                        "{spec} must pass the whole battery: {:?}",
+                        report
+                            .probes
+                            .iter()
+                            .flat_map(|p| p.violations.iter())
+                            .collect::<Vec<_>>()
+                    );
+                }
             }
         }
     }

@@ -143,6 +143,52 @@ pub fn counter(stm: &dyn Stm, threads: usize, increments: usize) -> WorkloadStat
     stats.into_inner().unwrap()
 }
 
+/// The commit storm: every thread repeatedly commits a tiny update
+/// transaction on its *own* register, so data conflicts are impossible and
+/// the only shared hot spot is the TM's commit path — for the
+/// timestamp-based TMs, the global version clock. This is the
+/// discriminating workload for the pluggable clock schemes
+/// (`tm_stm::ClockScheme`): a `single` clock serializes every commit on one
+/// cache line, a `sharded` clock spreads the ticks across home shards, and
+/// a `deferred` clock never re-contends after a lost CAS.
+///
+/// Invariant: no aborts can occur (disjoint write sets; on TL2-style TMs a
+/// read of the own register never observes a foreign version) — every
+/// register must end at `txs_per_thread` and every attempt must commit.
+///
+/// # Panics
+/// Panics if any update is lost or any transaction aborted.
+pub fn commit_storm(stm: &dyn Stm, threads: usize, txs_per_thread: usize) -> WorkloadStats {
+    assert!(stm.k() >= threads, "one register per thread required");
+    let stats = std::sync::Mutex::new(WorkloadStats::default());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stats = &stats;
+            scope.spawn(move || {
+                let mut local = WorkloadStats::default();
+                for i in 0..txs_per_thread {
+                    let (_, rs) = run_tx(stm, t, |tx| tx.write(t, (i + 1) as i64));
+                    local.commits += rs.commits;
+                    local.aborts += rs.aborts;
+                }
+                let mut s = stats.lock().unwrap();
+                s.commits += local.commits;
+                s.aborts += local.aborts;
+            });
+        }
+    });
+    for t in 0..threads {
+        let (v, _) = run_tx(stm, 0, |tx| tx.read(t));
+        assert_eq!(
+            v,
+            txs_per_thread as i64,
+            "{}: thread {t}'s commits were lost",
+            stm.name()
+        );
+    }
+    stats.into_inner().unwrap()
+}
+
 /// A read-dominated workload: each thread performs `txs` transactions; a
 /// fraction `write_pct`/100 of them write one register, the rest read
 /// `reads_per_tx` random registers.
@@ -422,16 +468,37 @@ mod tests {
     }
 
     #[test]
+    fn commit_storm_commits_every_attempt_on_disjoint_registers() {
+        // The clock-bench workload: zero aborts by construction, on every
+        // clocked TM × scheme (and on the clockless TMs for good measure).
+        let reg = tm_stm::TmRegistry::suite();
+        for spec in [
+            "tl2",
+            "tl2+sharded:4",
+            "tl2+deferred",
+            "mvstm+sharded:4",
+            "dstm",
+        ] {
+            let stm = reg.build(spec, 4).expect("valid spec");
+            stm.recorder().set_enabled(false);
+            let s = commit_storm(stm.as_ref(), 4, 50);
+            assert_eq!(s.commits, 200, "{spec}");
+            assert_eq!(s.aborts, 0, "{spec}: disjoint writes must not conflict");
+        }
+    }
+
+    #[test]
     fn typed_storm_invariants_hold_on_every_stm_and_kind() {
         let threads = 3;
         let ops = 12;
+        let reg = tm_stm::TmRegistry::suite();
         for kind in ObjectKind::ALL {
             for stm in tm_stm::all_stms(1) {
                 let name = stm.name();
                 drop(stm);
                 let typed = TypedStm::new(
                     kind.standard_space(threads * ops),
-                    tm_stm::factory_by_name(name),
+                    reg.factory(name).expect("suite TM name"),
                 );
                 typed.stm().recorder().set_enabled(false);
                 let s = typed_storm(&typed, kind, threads, ops);

@@ -7,6 +7,7 @@
 //! operation, which is exactly the quantity bounded by Theorem 3.
 
 use crate::base::StepReport;
+use crate::config::RetryPolicy;
 use crate::recorder::Recorder;
 
 /// The error returned when a transaction is (or must be) aborted.
@@ -26,6 +27,28 @@ impl std::error::Error for Aborted {}
 
 /// Result type of transactional operations.
 pub type TxResult<T> = Result<T, Aborted>;
+
+/// The typed error [`try_run_tx`] returns when a transaction exhausts its
+/// [`RetryPolicy`] without committing — the retry loop's way of surfacing
+/// livelock instead of spinning forever (or panicking, as the historical
+/// [`run_tx`] still does for test ergonomics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Livelock {
+    /// Attempts made (equals the policy's `max_attempts`).
+    pub attempts: u64,
+}
+
+impl std::fmt::Display for Livelock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transaction did not commit after {} attempts (livelock?)",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for Livelock {}
 
 /// Static properties of a TM implementation — the three hypotheses of
 /// Theorem 3 plus the intended correctness level.
@@ -97,6 +120,14 @@ pub trait Stm: Send + Sync {
     fn blocking(&self) -> bool {
         false
     }
+
+    /// The retry policy [`run_tx`]/[`try_run_tx`] apply to transactions of
+    /// this TM. TMs built through [`crate::StmConfig`] report the
+    /// configured policy; the default is the historical million-attempt
+    /// cap with no backoff.
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::default()
+    }
 }
 
 /// Statistics from [`run_tx`] retry loops.
@@ -108,26 +139,33 @@ pub struct RunStats {
     pub aborts: u64,
 }
 
-/// Runs `body` as a transaction, retrying on abort (each retry is a fresh
-/// transaction with a fresh identifier, as the model requires).
+/// Runs `body` as a transaction under an explicit [`RetryPolicy`],
+/// retrying on abort (each retry is a fresh transaction with a fresh
+/// identifier, as the model requires).
 ///
 /// `body` returning `Err(Aborted)` signals that the transaction was aborted
-/// mid-flight by an operation; the loop retries. Panics after `max_retries`
-/// to surface livelock in tests and benchmarks.
-pub fn run_tx<R>(
+/// mid-flight by an operation; the loop retries, applying the policy's
+/// backoff between attempts. Returns [`Livelock`] once the attempt cap is
+/// exhausted — the typed alternative to [`run_tx`]'s panic.
+pub fn try_run_tx_with<R>(
     stm: &dyn Stm,
     thread: usize,
+    policy: RetryPolicy,
     mut body: impl FnMut(&mut dyn Tx) -> TxResult<R>,
-) -> (R, RunStats) {
-    let max_retries = 1_000_000;
+) -> Result<(R, RunStats), Livelock> {
     let mut stats = RunStats::default();
-    for _ in 0..max_retries {
+    for attempt in 0..policy.max_attempts {
+        if attempt > 0 {
+            if let Some(backoff) = policy.backoff {
+                backoff.wait(attempt - 1);
+            }
+        }
         let mut tx = stm.begin(thread);
         match body(tx.as_mut()) {
             Ok(result) => match tx.commit() {
                 Ok(()) => {
                     stats.commits += 1;
-                    return (result, stats);
+                    return Ok((result, stats));
                 }
                 Err(Aborted) => {
                     stats.aborts += 1;
@@ -138,7 +176,39 @@ pub fn run_tx<R>(
             }
         }
     }
-    panic!("transaction did not commit after {max_retries} retries (livelock?)");
+    Err(Livelock {
+        attempts: policy.max_attempts,
+    })
+}
+
+/// [`try_run_tx_with`] under the TM's own configured policy
+/// ([`Stm::retry_policy`]).
+pub fn try_run_tx<R>(
+    stm: &dyn Stm,
+    thread: usize,
+    body: impl FnMut(&mut dyn Tx) -> TxResult<R>,
+) -> Result<(R, RunStats), Livelock> {
+    try_run_tx_with(stm, thread, stm.retry_policy(), body)
+}
+
+/// Runs `body` as a transaction, retrying on abort under the TM's
+/// configured [`RetryPolicy`].
+///
+/// # Panics
+/// Panics when the policy's attempt cap is exhausted, to surface livelock
+/// loudly in tests and benchmarks; use [`try_run_tx`] for the typed
+/// [`Livelock`] error instead.
+pub fn run_tx<R>(
+    stm: &dyn Stm,
+    thread: usize,
+    body: impl FnMut(&mut dyn Tx) -> TxResult<R>,
+) -> (R, RunStats) {
+    match try_run_tx(stm, thread, body) {
+        Ok(out) => out,
+        Err(Livelock { attempts }) => {
+            panic!("transaction did not commit after {attempts} retries (livelock?)")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +218,52 @@ mod tests {
     #[test]
     fn aborted_displays() {
         assert_eq!(Aborted.to_string(), "transaction aborted");
+    }
+
+    #[test]
+    fn try_run_tx_reports_livelock_instead_of_panicking() {
+        let stm = crate::tl2::Tl2Stm::new(1);
+        let out: Result<((), RunStats), Livelock> =
+            try_run_tx_with(&stm, 0, RetryPolicy::bounded(3), |_tx| Err(Aborted));
+        assert_eq!(out, Err(Livelock { attempts: 3 }));
+        assert_eq!(
+            Livelock { attempts: 3 }.to_string(),
+            "transaction did not commit after 3 attempts (livelock?)"
+        );
+    }
+
+    #[test]
+    fn try_run_tx_succeeds_and_counts_aborts() {
+        let stm = crate::tl2::Tl2Stm::new(1);
+        let mut failures = 2;
+        let (v, stats) =
+            try_run_tx_with(&stm, 0, RetryPolicy::bounded(10).with_backoff(1, 4), |tx| {
+                if failures > 0 {
+                    failures -= 1;
+                    return Err(Aborted);
+                }
+                tx.write(0, 5)?;
+                tx.read(0)
+            })
+            .expect("commits within the cap");
+        assert_eq!(v, 5);
+        assert_eq!(
+            stats,
+            RunStats {
+                commits: 1,
+                aborts: 2
+            }
+        );
+    }
+
+    #[test]
+    fn configured_retry_policy_reaches_try_run_tx() {
+        use crate::config::StmConfig;
+        let stm =
+            crate::tl2::Tl2Stm::with_config(&StmConfig::new(1).retry(RetryPolicy::bounded(2)));
+        assert_eq!(stm.retry_policy(), RetryPolicy::bounded(2));
+        let out: Result<((), RunStats), Livelock> = try_run_tx(&stm, 0, |_tx| Err(Aborted));
+        assert_eq!(out, Err(Livelock { attempts: 2 }));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::{NestingInfo, NestingMode, TxId};
 
@@ -40,6 +41,7 @@ struct AstmObj {
 pub struct AstmStm {
     objs: Vec<AstmObj>,
     recorder: Recorder,
+    retry: RetryPolicy,
     /// (child, parent) pairs of closed-nested scopes opened so far, for
     /// flattening recorded histories (Section 7 / experiment E22).
     nested: Mutex<Vec<(u32, u32)>>,
@@ -48,14 +50,21 @@ pub struct AstmStm {
 impl AstmStm {
     /// An ASTM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// An ASTM built from an explicit configuration (initial values,
+    /// recording, retry policy; no clock, no contention manager).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         AstmStm {
-            objs: (0..k)
-                .map(|_| AstmObj {
-                    inner: Mutex::new((0, 0)),
+            objs: (0..cfg.k())
+                .map(|i| AstmObj {
+                    inner: Mutex::new((cfg.initial(i), 0)),
                     owned: AtomicU64::new(0),
                 })
                 .collect(),
-            recorder: Recorder::new(k),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
             nested: Mutex::new(Vec::new()),
         }
     }
@@ -134,6 +143,10 @@ impl Stm for AstmStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {

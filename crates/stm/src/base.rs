@@ -150,6 +150,13 @@ impl Meter {
         cell.fetch_add(delta, Ordering::AcqRel) + delta
     }
 
+    /// Metered `AtomicU64::fetch_max`; returns the previous value.
+    #[inline]
+    pub fn fetch_max_u64(&mut self, cell: &AtomicU64, v: u64) -> u64 {
+        self.step();
+        cell.fetch_max(v, Ordering::AcqRel)
+    }
+
     /// Metered `AtomicI64::load`.
     #[inline]
     pub fn load_i64(&mut self, cell: &AtomicI64) -> i64 {

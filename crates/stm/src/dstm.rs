@@ -33,6 +33,7 @@ use std::sync::Arc;
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{status, Meter, OpKind, StepReport, TxDesc};
 use crate::cm::{try_abort_tx, ContentionManager, Resolution};
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -71,29 +72,38 @@ pub struct DstmStm {
     objs: Vec<DstmObj>,
     recorder: Recorder,
     cm: ContentionManager,
+    retry: RetryPolicy,
 }
 
 impl DstmStm {
     /// A DSTM with `k` registers initialized to 0, using the aggressive
     /// contention manager.
     pub fn new(k: usize) -> Self {
-        Self::with_cm(k, ContentionManager::Aggressive)
+        Self::with_config(&StmConfig::new(k))
     }
 
     /// A DSTM with an explicit contention manager.
     pub fn with_cm(k: usize, cm: ContentionManager) -> Self {
+        Self::with_config(&StmConfig::new(k).contention_manager(cm))
+    }
+
+    /// A DSTM built from an explicit configuration (contention manager,
+    /// initial values, recording, retry policy; the clock scheme is not
+    /// consulted — DSTM has no global clock).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         DstmStm {
-            objs: (0..k)
-                .map(|_| DstmObj {
+            objs: (0..cfg.k())
+                .map(|i| DstmObj {
                     locator: Mutex::new(Locator {
                         owner: None,
-                        old: 0,
-                        new: 0,
+                        old: cfg.initial(i),
+                        new: cfg.initial(i),
                     }),
                 })
                 .collect(),
-            recorder: Recorder::new(k),
-            cm,
+            recorder: cfg.build_recorder(),
+            cm: cfg.cm(),
+            retry: cfg.retry_policy(),
         }
     }
 
@@ -143,6 +153,10 @@ impl Stm for DstmStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {

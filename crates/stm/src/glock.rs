@@ -10,6 +10,7 @@ use parking_lot::{Mutex, MutexGuard};
 
 use crate::api::{Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -18,14 +19,23 @@ use tm_model::TxId;
 pub struct GlockStm {
     store: Mutex<Vec<i64>>,
     recorder: Recorder,
+    retry: RetryPolicy,
 }
 
 impl GlockStm {
     /// A global-lock TM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// A global-lock TM built from an explicit configuration (initial
+    /// values, recording, retry policy; nothing else applies to a TM with
+    /// zero concurrency).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         GlockStm {
-            store: Mutex::new(vec![0; k]),
-            recorder: Recorder::new(k),
+            store: Mutex::new((0..cfg.k()).map(|i| cfg.initial(i)).collect()),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
         }
     }
 }
@@ -67,6 +77,10 @@ impl Stm for GlockStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {

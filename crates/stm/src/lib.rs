@@ -44,6 +44,18 @@
 //!
 //! See `DESIGN.md` for the documented substitutions (e.g. locator atomics
 //! emulated with short critical sections).
+//!
+//! # Configured construction
+//!
+//! Every TM is built from an [`StmConfig`] (its `new(k)` is a thin wrapper
+//! over the default configuration), and the [`TmRegistry`] resolves *spec
+//! strings* like `"tl2+sharded:16"` into configured instances with
+//! fallible lookup — see [`config`], [`registry`], and the clock-scheme
+//! table in [`clock`]. The timestamp-based TMs (`tl2`, `mvstm`, `sistm`)
+//! accept any [`ClockScheme`]; the conflict-resolving TMs (`dstm`,
+//! `visible`) accept any [`ContentionManager`]; all nine honour initial
+//! register values, the recording toggle, and the [`RetryPolicy`] that
+//! [`run_tx`]/[`try_run_tx`] apply.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -53,6 +65,7 @@ pub mod astm;
 pub mod base;
 pub mod clock;
 pub mod cm;
+pub mod config;
 pub mod dstm;
 pub mod glock;
 pub mod mutants;
@@ -60,41 +73,46 @@ pub mod mvstm;
 pub mod nonopaque;
 pub mod objects;
 pub mod recorder;
+pub mod registry;
 pub mod sistm;
 pub mod tl2;
 pub mod tpl;
 pub mod visible;
 
-pub use api::{run_tx, Aborted, RunStats, Stm, StmProperties, Tx, TxResult};
+pub use api::{
+    run_tx, try_run_tx, try_run_tx_with, Aborted, Livelock, RunStats, Stm, StmProperties, Tx,
+    TxResult,
+};
 pub use astm::AstmStm;
 pub use base::{Meter, OpKind, StepReport, TxDesc};
+pub use clock::{ClockScheme, DeferredClock, GlobalClock, ShardedClock, VersionClock};
 pub use cm::{ConflictCtx, ContentionManager, Resolution};
+pub use config::{Backoff, RetryPolicy, StmConfig};
 pub use dstm::DstmStm;
 pub use glock::GlockStm;
 pub use mutants::{MutantStm, Mutation};
 pub use mvstm::MvStm;
 pub use nonopaque::NonOpaqueStm;
-pub use objects::{run_typed_tx, ObjEncoding, TObj, TypedSpace, TypedStm, TypedTx};
+pub use objects::{
+    run_typed_tx, try_run_typed_tx, ObjEncoding, TObj, TypedSpace, TypedStm, TypedTx,
+};
 pub use recorder::Recorder;
+pub use registry::{TmLookupError, TmRegistry, TmSpec};
 pub use sistm::SiStm;
 pub use tl2::Tl2Stm;
 pub use tpl::TplStm;
 pub use visible::VisibleStm;
 
-/// Constructs every TM in the suite, for experiments that sweep the design
-/// space. `k` is the number of shared registers.
+/// Constructs every TM in the suite under the default configuration, for
+/// experiments that sweep the design space. `k` is the number of shared
+/// registers. (A thin wrapper over [`TmRegistry::suite`].)
 pub fn all_stms(k: usize) -> Vec<Box<dyn Stm>> {
-    vec![
-        Box::new(GlockStm::new(k)),
-        Box::new(Tl2Stm::new(k)),
-        Box::new(DstmStm::new(k)),
-        Box::new(AstmStm::new(k)),
-        Box::new(VisibleStm::new(k)),
-        Box::new(MvStm::new(k)),
-        Box::new(NonOpaqueStm::new(k)),
-        Box::new(SiStm::new(k)),
-        Box::new(TplStm::new(k)),
-    ]
+    let cfg = StmConfig::new(k);
+    TmRegistry::suite()
+        .specs()
+        .iter()
+        .map(|spec| spec.build(&cfg))
+        .collect()
 }
 
 /// Constructs only the opaque-by-design TMs.
@@ -109,18 +127,18 @@ pub fn opaque_stms(k: usize) -> Vec<Box<dyn Stm>> {
 /// shape every sweep and conformance battery consumes. The returned
 /// closure is `Copy`, so it can be handed to scoped threads freely.
 ///
+/// Prefer [`TmRegistry::factory`], which returns a `Result` (and accepts
+/// full specs like `"tl2+sharded:16"`); this wrapper survives for callers
+/// with statically known names.
+///
 /// # Panics
-/// The returned factory panics if `name` is not a suite TM (check against
-/// [`all_stms`] first for user-supplied names).
+/// Panics if `name` is not a suite TM.
 pub fn factory_by_name(
     name: &'static str,
 ) -> impl Fn(usize) -> Box<dyn Stm> + Send + Sync + Copy + 'static {
-    move |k: usize| {
-        all_stms(k)
-            .into_iter()
-            .find(|s| s.name() == name)
-            .unwrap_or_else(|| panic!("no suite TM named '{name}'"))
-    }
+    TmRegistry::suite()
+        .factory(name)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

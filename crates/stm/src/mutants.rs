@@ -25,6 +25,7 @@
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
 use crate::clock::VersionClock;
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use std::sync::atomic::{AtomicI64, AtomicU64};
 use tm_model::TxId;
@@ -102,21 +103,30 @@ pub struct MutantStm {
     clock: VersionClock,
     recorder: Recorder,
     mutation: Mutation,
+    retry: RetryPolicy,
 }
 
 impl MutantStm {
     /// A mutant TM over `k` registers with the given planted bug.
     pub fn new(k: usize, mutation: Mutation) -> Self {
+        Self::with_config(&StmConfig::new(k), mutation)
+    }
+
+    /// A mutant TM built from an explicit configuration (initial values,
+    /// recording, retry policy; the clock stays the plain single counter —
+    /// the planted bugs are about validation, not timestamps).
+    pub fn with_config(cfg: &StmConfig, mutation: Mutation) -> Self {
         MutantStm {
-            objs: (0..k)
-                .map(|_| MutObj {
+            objs: (0..cfg.k())
+                .map(|i| MutObj {
                     lock: AtomicU64::new(0),
-                    value: AtomicI64::new(0),
+                    value: AtomicI64::new(cfg.initial(i)),
                 })
                 .collect(),
             clock: VersionClock::new(),
-            recorder: Recorder::new(k),
+            recorder: cfg.build_recorder(),
             mutation,
+            retry: cfg.retry_policy(),
         }
     }
 
@@ -162,6 +172,10 @@ impl Stm for MutantStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {

@@ -16,7 +16,8 @@ use parking_lot::Mutex;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
-use crate::clock::VersionClock;
+use crate::clock::GlobalClock;
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -31,23 +32,32 @@ struct MvObj {
 #[derive(Debug)]
 pub struct MvStm {
     objs: Vec<MvObj>,
-    clock: VersionClock,
+    clock: Box<dyn GlobalClock>,
     commit_lock: Mutex<()>,
     recorder: Recorder,
+    retry: RetryPolicy,
 }
 
 impl MvStm {
-    /// A multi-version TM with `k` registers initialized to 0.
+    /// A multi-version TM with `k` registers initialized to 0 (default
+    /// configuration: single clock).
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// A multi-version TM built from an explicit configuration (clock
+    /// scheme, initial values, recording, retry policy).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         MvStm {
-            objs: (0..k)
-                .map(|_| MvObj {
-                    versions: Mutex::new(vec![(0, 0)]),
+            objs: (0..cfg.k())
+                .map(|i| MvObj {
+                    versions: Mutex::new(vec![(0, cfg.initial(i))]),
                 })
                 .collect(),
-            clock: VersionClock::new(),
+            clock: cfg.build_clock(),
             commit_lock: Mutex::new(()),
-            recorder: Recorder::new(k),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
         }
     }
 
@@ -83,6 +93,9 @@ impl MvStm {
 pub struct MvTx<'a> {
     stm: &'a MvStm,
     id: TxId,
+    /// The OS-thread slot running this transaction (the clock's home-shard
+    /// hint).
+    thread: usize,
     /// Snapshot timestamp sampled at begin.
     start_ts: u64,
     /// Read set (object indices) — needed only for update-commit validation.
@@ -102,12 +115,13 @@ impl Stm for MvStm {
         self.objs.len()
     }
 
-    fn begin(&self, _thread: usize) -> Box<dyn Tx + '_> {
+    fn begin(&self, thread: usize) -> Box<dyn Tx + '_> {
         let id = self.recorder.fresh_tx();
         let start_ts = self.clock.peek();
         Box::new(MvTx {
             stm: self,
             id,
+            thread,
             start_ts,
             reads: Vec::new(),
             writes: Vec::new(),
@@ -118,6 +132,10 @@ impl Stm for MvStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {
@@ -193,18 +211,20 @@ impl Tx for MvTx<'_> {
         }
         // Publish-last ordering (regression: found by the invariant-checked
         // throughput bench): versions must be installed BEFORE the clock
-        // tick makes the new timestamp observable, otherwise a transaction
-        // beginning between tick and append adopts a snapshot timestamp
-        // whose versions are not yet visible, reads stale data, and still
-        // passes first-committer-wins validation — a lost update. We hold
-        // the commit lock, so peek()+1 is our exclusive timestamp.
-        let wv = self.stm.clock.sample(&mut self.meter) + 1;
+        // advance makes the new timestamp observable, otherwise a
+        // transaction beginning between advance and append adopts a
+        // snapshot timestamp whose versions are not yet visible, reads
+        // stale data, and still passes first-committer-wins validation — a
+        // lost update. The clock's reserve/publish pair expresses exactly
+        // this: `reserve` hands out the timestamp without surfacing it,
+        // `publish` surfaces it after the appends. We hold the commit
+        // lock, satisfying the pair's mutual-exclusion contract.
+        let wv = self.stm.clock.reserve(self.thread, &mut self.meter);
         for &(obj, v) in &self.writes {
             self.meter.step();
             stm.objs[obj].versions.lock().push((wv, v));
         }
-        let ticked = self.stm.clock.tick(&mut self.meter);
-        debug_assert_eq!(ticked, wv);
+        self.stm.clock.publish(wv, &mut self.meter);
         drop(guard);
         self.meter.end_op();
         self.finished = true;

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64};
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -36,19 +37,28 @@ struct NoObj {
 pub struct NonOpaqueStm {
     objs: Vec<NoObj>,
     recorder: Recorder,
+    retry: RetryPolicy,
 }
 
 impl NonOpaqueStm {
     /// A non-opaque TM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// A commit-time-validation TM built from an explicit configuration
+    /// (initial values, recording, retry policy; versions are per-object
+    /// counters, so no global clock applies).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         NonOpaqueStm {
-            objs: (0..k)
-                .map(|_| NoObj {
+            objs: (0..cfg.k())
+                .map(|i| NoObj {
                     lock: AtomicU64::new(0),
-                    value: AtomicI64::new(0),
+                    value: AtomicI64::new(cfg.initial(i)),
                 })
                 .collect(),
-            recorder: Recorder::new(k),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
         }
     }
 }
@@ -88,6 +98,10 @@ impl Stm for NonOpaqueStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {

@@ -71,7 +71,7 @@ pub mod encodings;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::api::{Aborted, RunStats, Stm, Tx, TxResult};
+use crate::api::{Aborted, Livelock, RunStats, Stm, Tx, TxResult};
 use crate::recorder::Recorder;
 use tm_model::{History, ObjId, OpName, SeqSpec, SpecRegistry, TxId, Value};
 
@@ -546,33 +546,58 @@ impl TypedTx<'_> {
     }
 }
 
-/// Runs `body` as a typed transaction, retrying on abort (each retry is a
-/// fresh transaction, as the model requires). The typed twin of
-/// [`crate::api::run_tx`].
-///
-/// # Panics
-/// Panics after 1,000,000 failed attempts to surface livelock.
-pub fn run_typed_tx<R>(
+/// Runs `body` as a typed transaction, retrying on abort under the inner
+/// TM's configured [`crate::RetryPolicy`] (attempt cap + optional
+/// backoff). The typed twin of [`crate::api::try_run_tx`]; returns
+/// [`Livelock`] once the cap is exhausted.
+pub fn try_run_typed_tx<R>(
     stm: &TypedStm,
     thread: usize,
     mut body: impl FnMut(&mut TypedTx<'_>) -> TxResult<R>,
-) -> (R, RunStats) {
-    let max_retries = 1_000_000;
+) -> Result<(R, RunStats), Livelock> {
+    let policy = stm.stm().retry_policy();
     let mut stats = RunStats::default();
-    for _ in 0..max_retries {
+    for attempt in 0..policy.max_attempts {
+        if attempt > 0 {
+            if let Some(backoff) = policy.backoff {
+                backoff.wait(attempt - 1);
+            }
+        }
         let mut tx = stm.begin(thread);
         match body(&mut tx) {
             Ok(result) => match tx.commit() {
                 Ok(()) => {
                     stats.commits += 1;
-                    return (result, stats);
+                    return Ok((result, stats));
                 }
                 Err(Aborted) => stats.aborts += 1,
             },
             Err(Aborted) => stats.aborts += 1,
         }
     }
-    panic!("typed transaction did not commit after {max_retries} retries (livelock?)");
+    Err(Livelock {
+        attempts: policy.max_attempts,
+    })
+}
+
+/// Runs `body` as a typed transaction, retrying on abort (each retry is a
+/// fresh transaction, as the model requires). The typed twin of
+/// [`crate::api::run_tx`].
+///
+/// # Panics
+/// Panics when the inner TM's retry policy is exhausted, to surface
+/// livelock; use [`try_run_typed_tx`] for the typed error.
+pub fn run_typed_tx<R>(
+    stm: &TypedStm,
+    thread: usize,
+    body: impl FnMut(&mut TypedTx<'_>) -> TxResult<R>,
+) -> (R, RunStats) {
+    match try_run_typed_tx(stm, thread, body) {
+        Ok(out) => out,
+        Err(Livelock { attempts }) => {
+            panic!("typed transaction did not commit after {attempts} retries (livelock?)")
+        }
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +613,27 @@ mod tests {
             .with("q", QueueEnc { cap: 8 })
             .with("s", SetEnc { domain: 4 })
             .build()
+    }
+
+    #[test]
+    fn typed_retry_honors_the_inner_tms_configured_policy() {
+        use crate::config::{RetryPolicy, StmConfig};
+        let tm = TypedStm::new(playground(), |k| {
+            Box::new(crate::tl2::Tl2Stm::with_config(
+                &StmConfig::new(k).retry(RetryPolicy::bounded(3)),
+            ))
+        });
+        let out = try_run_typed_tx(&tm, 0, |_tx| -> TxResult<()> { Err(Aborted) });
+        assert_eq!(out, Err(Livelock { attempts: 3 }));
+        // A committing body still succeeds under the bounded policy.
+        let c = tm.handle("c");
+        let (v, stats) = try_run_typed_tx(&tm, 0, |tx| {
+            tx.inc(c)?;
+            tx.get(c)
+        })
+        .expect("commits on the first attempt");
+        assert_eq!(v, 1);
+        assert_eq!(stats.commits, 1);
     }
 
     #[test]

@@ -34,7 +34,8 @@ use parking_lot::Mutex;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
-use crate::clock::VersionClock;
+use crate::clock::GlobalClock;
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -63,23 +64,32 @@ struct SiObj {
 #[derive(Debug)]
 pub struct SiStm {
     objs: Vec<SiObj>,
-    clock: VersionClock,
+    clock: Box<dyn GlobalClock>,
     commit_lock: Mutex<()>,
     recorder: Recorder,
+    retry: RetryPolicy,
 }
 
 impl SiStm {
-    /// A snapshot-isolation TM with `k` registers initialized to 0.
+    /// A snapshot-isolation TM with `k` registers initialized to 0
+    /// (default configuration: single clock).
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// A snapshot-isolation TM built from an explicit configuration (clock
+    /// scheme, initial values, recording, retry policy).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         SiStm {
-            objs: (0..k)
-                .map(|_| SiObj {
-                    versions: Mutex::new(vec![(0, 0)]),
+            objs: (0..cfg.k())
+                .map(|i| SiObj {
+                    versions: Mutex::new(vec![(0, cfg.initial(i))]),
                 })
                 .collect(),
-            clock: VersionClock::new(),
+            clock: cfg.build_clock(),
             commit_lock: Mutex::new(()),
-            recorder: Recorder::new(k),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
         }
     }
 
@@ -113,6 +123,9 @@ impl SiStm {
 pub struct SiTx<'a> {
     stm: &'a SiStm,
     id: TxId,
+    /// The OS-thread slot running this transaction (the clock's home-shard
+    /// hint).
+    thread: usize,
     /// Snapshot timestamp sampled at begin.
     start_ts: u64,
     /// Redo log. The read set is deliberately *not* tracked: snapshot
@@ -132,12 +145,13 @@ impl Stm for SiStm {
         self.objs.len()
     }
 
-    fn begin(&self, _thread: usize) -> Box<dyn Tx + '_> {
+    fn begin(&self, thread: usize) -> Box<dyn Tx + '_> {
         let id = self.recorder.fresh_tx();
         let start_ts = self.clock.peek();
         Box::new(SiTx {
             stm: self,
             id,
+            thread,
             start_ts,
             writes: Vec::new(),
             meter: Meter::new(),
@@ -147,6 +161,10 @@ impl Stm for SiStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {
@@ -217,15 +235,15 @@ impl Tx for SiTx<'_> {
             return Err(Aborted);
         }
         // Publish-last ordering, exactly as in MvStm (see the regression
-        // note there): install versions before the clock tick makes the
-        // new timestamp observable.
-        let wv = self.stm.clock.sample(&mut self.meter) + 1;
+        // note there): reserve the timestamp, install versions, then
+        // publish — all under the commit lock, as the clock's
+        // reserve/publish contract requires.
+        let wv = self.stm.clock.reserve(self.thread, &mut self.meter);
         for &(obj, v) in &self.writes {
             self.meter.step();
             stm.objs[obj].versions.lock().push((wv, v));
         }
-        let ticked = self.stm.clock.tick(&mut self.meter);
-        debug_assert_eq!(ticked, wv);
+        self.stm.clock.publish(wv, &mut self.meter);
         drop(guard);
         self.meter.end_op();
         self.finished = true;

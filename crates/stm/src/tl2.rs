@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicI64, AtomicU64};
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
-use crate::clock::VersionClock;
+use crate::clock::GlobalClock;
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -57,22 +58,32 @@ struct Tl2Obj {
 #[derive(Debug)]
 pub struct Tl2Stm {
     objs: Vec<Tl2Obj>,
-    clock: VersionClock,
+    clock: Box<dyn GlobalClock>,
     recorder: Recorder,
+    retry: RetryPolicy,
 }
 
 impl Tl2Stm {
-    /// A TL2 TM with `k` registers initialized to 0 at version 0.
+    /// A TL2 TM with `k` registers initialized to 0 at version 0, using the
+    /// default configuration (single clock).
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// A TL2 TM built from an explicit configuration (clock scheme,
+    /// initial values, recording, retry policy; the contention manager is
+    /// not consulted — TL2 resolves conflicts by aborting itself).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         Tl2Stm {
-            objs: (0..k)
-                .map(|_| Tl2Obj {
+            objs: (0..cfg.k())
+                .map(|i| Tl2Obj {
                     lock: AtomicU64::new(0),
-                    value: AtomicI64::new(0),
+                    value: AtomicI64::new(cfg.initial(i)),
                 })
                 .collect(),
-            clock: VersionClock::new(),
-            recorder: Recorder::new(k),
+            clock: cfg.build_clock(),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
         }
     }
 }
@@ -81,6 +92,9 @@ impl Tl2Stm {
 pub struct Tl2Tx<'a> {
     stm: &'a Tl2Stm,
     id: TxId,
+    /// The OS-thread slot running this transaction (the clock's home-shard
+    /// hint).
+    thread: usize,
     /// Read version: clock sample at begin.
     rv: u64,
     /// Read set: object indices (versions are re-checked against `rv`).
@@ -100,13 +114,14 @@ impl Stm for Tl2Stm {
         self.objs.len()
     }
 
-    fn begin(&self, _thread: usize) -> Box<dyn Tx + '_> {
+    fn begin(&self, thread: usize) -> Box<dyn Tx + '_> {
         let id = self.recorder.fresh_tx();
         // Sampling the clock at begin is TL2's only begin-time work (O(1)).
         let rv = self.clock.peek();
         Box::new(Tl2Tx {
             stm: self,
             id,
+            thread,
             rv,
             reads: Vec::new(),
             writes: Vec::new(),
@@ -117,6 +132,10 @@ impl Stm for Tl2Stm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {
@@ -219,10 +238,14 @@ impl Tx for Tl2Tx<'_> {
             held.push((obj, word));
         }
         // Phase 2: increment the global clock.
-        let wv = self.stm.clock.tick(&mut self.meter);
-        // Phase 3: validate the read set (skippable when rv + 1 == wv: no
-        // concurrent commits happened).
-        if wv != self.rv + 1 {
+        let wv = self.stm.clock.tick(self.thread, &mut self.meter);
+        // Phase 3: validate the read set. Skippable only when the clock's
+        // tick arithmetic proves quiescence (`wv == rv + 1` on the single
+        // GV1 counter: our own fetch_add was the only advance since begin).
+        // Sharded/deferred clocks cannot prove this — a concurrent
+        // committer advances time without disturbing our tick — so under
+        // them the validation always runs (the classical GV4/GV5 cost).
+        if !(self.stm.clock.tick_is_exclusive() && wv == self.rv + 1) {
             for &obj in &self.reads {
                 if held.iter().any(|&(held_obj, _)| held_obj == obj) {
                     continue; // we hold it; version checked at lock time

@@ -48,6 +48,7 @@ use parking_lot::Mutex;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{status, Meter, OpKind, StepReport, TxDesc};
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -100,14 +101,30 @@ impl TplCell {
 pub struct TplStm {
     objs: Vec<Mutex<TplCell>>,
     recorder: Recorder,
+    retry: RetryPolicy,
 }
 
 impl TplStm {
     /// A 2PL TM with `k` registers initialized to 0.
     pub fn new(k: usize) -> Self {
+        Self::with_config(&StmConfig::new(k))
+    }
+
+    /// A 2PL TM built from an explicit configuration (initial values,
+    /// recording, retry policy; conflicts are resolved by seniority, so
+    /// neither the clock scheme nor the contention manager is consulted).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         TplStm {
-            objs: (0..k).map(|_| Mutex::new(TplCell::default())).collect(),
-            recorder: Recorder::new(k),
+            objs: (0..cfg.k())
+                .map(|i| {
+                    Mutex::new(TplCell {
+                        value: cfg.initial(i),
+                        ..TplCell::default()
+                    })
+                })
+                .collect(),
+            recorder: cfg.build_recorder(),
+            retry: cfg.retry_policy(),
         }
     }
 }
@@ -149,6 +166,10 @@ impl Stm for TplStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {

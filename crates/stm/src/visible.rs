@@ -21,6 +21,7 @@ use std::sync::Arc;
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{status, Meter, OpKind, StepReport, TxDesc};
 use crate::cm::{try_abort_tx, ContentionManager, Resolution};
+use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
 use tm_model::TxId;
 
@@ -59,29 +60,37 @@ pub struct VisibleStm {
     objs: Vec<Mutex<VisObj>>,
     recorder: Recorder,
     cm: ContentionManager,
+    retry: RetryPolicy,
 }
 
 impl VisibleStm {
     /// A visible-reads TM with `k` registers initialized to 0 (aggressive
     /// contention manager).
     pub fn new(k: usize) -> Self {
-        Self::with_cm(k, ContentionManager::Aggressive)
+        Self::with_config(&StmConfig::new(k))
     }
 
     /// A visible-reads TM with an explicit contention manager.
     pub fn with_cm(k: usize, cm: ContentionManager) -> Self {
+        Self::with_config(&StmConfig::new(k).contention_manager(cm))
+    }
+
+    /// A visible-reads TM built from an explicit configuration (contention
+    /// manager, initial values, recording, retry policy; no clock).
+    pub fn with_config(cfg: &StmConfig) -> Self {
         VisibleStm {
-            objs: (0..k)
-                .map(|_| {
+            objs: (0..cfg.k())
+                .map(|i| {
                     Mutex::new(VisObj {
-                        committed: 0,
+                        committed: cfg.initial(i),
                         writer: None,
                         readers: Vec::new(),
                     })
                 })
                 .collect(),
-            recorder: Recorder::new(k),
-            cm,
+            recorder: cfg.build_recorder(),
+            cm: cfg.cm(),
+            retry: cfg.retry_policy(),
         }
     }
 }
@@ -119,6 +128,10 @@ impl Stm for VisibleStm {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     fn properties(&self) -> StmProperties {
