@@ -56,6 +56,7 @@ fn bench_memoization_ablation(c: &mut Criterion) {
                     SearchConfig {
                         memoize: true,
                         node_limit: None,
+                        ..SearchConfig::default()
                     },
                 )
                 .unwrap()
@@ -70,6 +71,7 @@ fn bench_memoization_ablation(c: &mut Criterion) {
                     SearchConfig {
                         memoize: false,
                         node_limit: Some(10_000_000),
+                        ..SearchConfig::default()
                     },
                 )
                 .unwrap()

@@ -1,0 +1,80 @@
+//! The `search` bench: the parallel, memory-bounded serialization search.
+//!
+//! `search/workers/N` runs the batch opacity check of the concurrent
+//! contention-knot workload ([`tm_bench::search_knot_history`]) with `N`
+//! work-stealing workers (`SearchConfig::search_jobs`). The workload is
+//! non-opaque by construction, so every run exhausts the same
+//! serialization space — wall-clock differences are pure parallel-search
+//! scaling, with no early-exit variance. `search/memo-cap/C` runs the same
+//! check under a bounded dead-end table, measuring what eviction-induced
+//! re-exploration costs at each capacity. The machine-readable companion
+//! numbers (node throughput per worker count, verdict-latency percentiles
+//! under a streaming monitor at several caps) are emitted by the `report`
+//! bin into `BENCH_search.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tm_bench::{search_knot_history, sequential_knot_search};
+use tm_model::SpecRegistry;
+use tm_opacity::search::Search;
+use tm_opacity::{SearchConfig, SearchMode};
+
+fn bench_worker_scaling(c: &mut Criterion) {
+    let specs = SpecRegistry::registers();
+    let h = search_knot_history(3, 3);
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8, 16] {
+        let config = SearchConfig {
+            search_jobs: workers,
+            ..SearchConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("workers", workers), &h, |b, h| {
+            b.iter(|| {
+                let out = Search::new(h, &specs, SearchMode::OPACITY, config)
+                    .expect("workload is well-formed")
+                    .run()
+                    .expect("workload is checkable");
+                assert!(!out.holds(), "the knot workload must stay non-opaque");
+                out.stats.nodes
+            })
+        });
+    }
+    // The bounded-memo axis rides the phased workload, whose peak table
+    // dwarfs its live working set — the shape a capacity bound is for.
+    // The peak is MEASURED from an unbounded run (a batch check never
+    // invalidates mid-check, so the final resident count is the peak);
+    // caps are the full peak, a half, and a quarter (the <20%-overhead
+    // acceptance point), labeled by fraction so bench IDs stay stable if
+    // the workload or engine shifts the absolute size.
+    let hp = sequential_knot_search(15, 3);
+    let peak = {
+        let mut s =
+            tm_opacity::CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        for e in hp.events() {
+            s.extend(e).expect("workload is well-formed");
+        }
+        assert!(!s.check().expect("workload is checkable").holds());
+        s.memo_resident().max(4)
+    };
+    for (label, cap) in [("full", peak), ("half", peak / 2), ("quarter", peak / 4)] {
+        let config = SearchConfig {
+            memo_capacity: Some(cap),
+            ..SearchConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("memo-cap", label), &hp, |b, h| {
+            b.iter(|| {
+                let out = Search::new(h, &specs, SearchMode::OPACITY, config)
+                    .expect("workload is well-formed")
+                    .run()
+                    .expect("workload is checkable");
+                assert!(!out.holds());
+                out.stats.nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_scaling);
+criterion_main!(benches);

@@ -6,19 +6,27 @@
 //!     baseline/BENCH_monitor.json BENCH_monitor.json [--max-regression-pct 20]
 //! ```
 //!
-//! Three artifact kinds are understood, keyed by their `"bench"` field:
+//! Four artifact kinds are understood, keyed by their `"bench"` field:
 //!
 //! | kind | tracked metric (higher is better) | point key |
 //! |------|-----------------------------------|-----------|
 //! | `monitor` | `node_ratio` (batch / incremental search nodes — deterministic) | history length (`events`) |
 //! | `typed-objects` | `commits_per_sec` of the typed storms | tm × object × threads |
 //! | `clocks` | `commits_per_sec` of the commit storm | tm × clock × threads |
+//! | `search` | `nodes_per_sec` of the parallel batch search | worker count |
+//!
+//! (The `search` artifact's verdict-latency points carry no `workers`
+//! field and are skipped — percentile latencies are not a higher-is-better
+//! trend metric.)
 //!
 //! A point regresses when the current metric drops more than the threshold
 //! below the baseline metric at the same key. Exit codes: `0` — no
 //! regression, `1` — regression detected, `2` — usage or parse error
-//! (including artifacts of different kinds). CI runs this as a warn-only
-//! step against the previous run's cached artifacts.
+//! (including artifacts of different kinds). A **missing baseline file is
+//! not an error**: a newly introduced artifact kind has no cached baseline
+//! on its first CI run, so the tool prints an informational "no baseline"
+//! line and exits `0`. CI runs this as a warn-only step against the
+//! previous run's cached artifacts.
 
 /// Extracts the leading JSON number after `"key":` in `line`.
 fn field(line: &str, key: &str) -> Option<f64> {
@@ -74,6 +82,11 @@ fn parse_artifact(json: &str) -> Option<Artifact> {
                     field(line, "threads")? as u64
                 );
                 Some((key, field(line, "commits_per_sec")?))
+            }
+            "search" => {
+                // Latency points have no "workers" field and drop out here.
+                let workers = field(line, "workers")? as u64;
+                Some((format!("workers={workers}"), field(line, "nodes_per_sec")?))
             }
             _ => None,
         })
@@ -150,6 +163,16 @@ fn main() {
             std::process::exit(2);
         })
     };
+    // A newly introduced artifact kind has no cached baseline on its first
+    // run: that is information, not an error — report it and succeed so CI
+    // seeds the cache without red noise.
+    if !std::path::Path::new(baseline_path.as_str()).exists() {
+        println!(
+            "bench_trend: no baseline at {baseline_path} — first run for this \
+             artifact; nothing to compare"
+        );
+        std::process::exit(0);
+    }
     let baseline = parse(baseline_path);
     let current = parse(current_path);
     if baseline.kind != current.kind {
@@ -170,6 +193,7 @@ fn main() {
     }
     let metric = match current.kind.as_str() {
         "monitor" => "node ratio",
+        "search" => "nodes/sec",
         _ => "commits/sec",
     };
     let deltas = compare(&baseline.points, &current.points);
@@ -240,6 +264,30 @@ mod tests {
                 ("events=32".to_string(), 8.0),
                 ("events=64".to_string(), 12.0)
             ]
+        );
+    }
+
+    const SEARCH: &str = r#"{
+  "bench": "search",
+  "points": [
+    {"workers": 1, "wall_ns": 1000000, "nodes": 33076, "nodes_per_sec": 33076000, "speedup": 1.00},
+    {"workers": 8, "wall_ns": 250000, "nodes": 33163, "nodes_per_sec": 132652000, "speedup": 4.00},
+    {"cap": "unbounded", "events": 192, "p50_ns": 900, "p95_ns": 4000, "p99_ns": 9000, "resident": 484, "evictions": 0, "total_nodes": 3567},
+    {"cap": 121, "events": 192, "p50_ns": 950, "p95_ns": 4200, "p99_ns": 9400, "resident": 120, "evictions": 214, "total_nodes": 3789}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_search_scaling_points_and_skips_latency_points() {
+        let a = parse_artifact(SEARCH).unwrap();
+        assert_eq!(a.kind, "search");
+        assert_eq!(
+            a.points,
+            vec![
+                ("workers=1".to_string(), 33_076_000.0),
+                ("workers=8".to_string(), 132_652_000.0),
+            ],
+            "latency points (no workers field) must not become trend points"
         );
     }
 

@@ -11,8 +11,11 @@
 //! markdown contains only machine-independent quantities (verdicts and
 //! exact node/step counts), so it is diff-stable across runs; wall-clock
 //! numbers go to **`BENCH_monitor.json`** (history length vs
-//! incremental/batch check time and node counts), the machine-readable
-//! artifact CI uploads so the perf trajectory of the resumable core is
+//! incremental/batch check time and node counts) and
+//! **`BENCH_search.json`** (parallel-search node throughput per worker
+//! count, bounded-memo node overheads, and verdict-latency percentiles
+//! under a streaming monitor at several memo caps), the machine-readable
+//! artifacts CI uploads so the perf trajectory of the resumable core is
 //! tracked from PR to PR.
 //!
 //! Flags: `--quick` shrinks the E7 sample and the monitor sweep for CI;
@@ -20,7 +23,7 @@
 
 use std::time::Instant;
 
-use tm_bench::{batch_prefix_nodes, monitor_workload};
+use tm_bench::{batch_prefix_nodes, monitor_workload, search_knot_history};
 use tm_harness::complexity::{paper_scenario, solo_scan, sweep};
 use tm_harness::parallel::default_jobs;
 use tm_harness::randhist::{cross_validate, GenConfig};
@@ -211,6 +214,235 @@ fn clocks_json(points: &[ClockPoint]) -> String {
             p.wall_ns,
             per_sec,
             if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One row of the parallel-search scaling study.
+struct SearchScalingPoint {
+    workers: usize,
+    wall_ns: u128,
+    nodes: usize,
+}
+
+/// Batch-checks the concurrent contention-knot workload once per worker
+/// count. The workload is non-opaque, so every run exhausts the same
+/// serialization space — no early-exit variance.
+fn search_scaling_points(
+    worker_counts: &[usize],
+    knots: u32,
+    writers: u32,
+) -> Vec<SearchScalingPoint> {
+    use tm_opacity::search::Search;
+    use tm_opacity::{SearchConfig, SearchMode};
+    let specs = SpecRegistry::registers();
+    let h = search_knot_history(knots, writers);
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let config = SearchConfig {
+                search_jobs: workers,
+                ..SearchConfig::default()
+            };
+            let t0 = Instant::now();
+            let out = Search::new(&h, &specs, SearchMode::OPACITY, config)
+                .expect("workload is well-formed")
+                .run()
+                .expect("workload is checkable");
+            let wall_ns = t0.elapsed().as_nanos();
+            assert!(!out.holds(), "the knot workload must stay non-opaque");
+            SearchScalingPoint {
+                workers,
+                wall_ns,
+                nodes: out.stats.nodes,
+            }
+        })
+        .collect()
+}
+
+/// One row of the bounded-memo verdict-latency study.
+struct SearchLatencyPoint {
+    /// `None` = unbounded.
+    cap: Option<usize>,
+    events: usize,
+    p50_ns: u128,
+    p95_ns: u128,
+    p99_ns: u128,
+    resident: usize,
+    evictions: usize,
+    total_nodes: usize,
+}
+
+/// The latency at percentile `p` of a sorted sample.
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Streams the contention-knot monitor workload through an
+/// `OpacityMonitor` per memo capacity, collecting per-verdict latencies.
+/// The first run is unbounded and determines the peak table size; the
+/// remaining caps are fractions of it (the ROADMAP's bounded-memory
+/// question: what does a memory budget cost in verdict latency?).
+fn search_latency_points(events: usize, fractions: &[usize]) -> Vec<SearchLatencyPoint> {
+    use tm_opacity::SearchConfig;
+    let specs = SpecRegistry::registers();
+    let h = monitor_workload(events);
+    let mut out = Vec::new();
+    let mut peak = 0usize;
+    for (i, cap) in std::iter::once(None)
+        .chain(fractions.iter().map(|&f| Some(f)))
+        .enumerate()
+    {
+        let config = match cap {
+            None => SearchConfig::default(),
+            Some(frac) => SearchConfig {
+                memo_capacity: Some((peak / frac).max(1)),
+                ..SearchConfig::default()
+            },
+        };
+        let mut m = OpacityMonitor::new(&specs).with_config(config);
+        let mut latencies: Vec<u128> = Vec::new();
+        let mut running_peak = 0usize;
+        for e in h.events() {
+            let is_response = e.is_response();
+            let t0 = Instant::now();
+            m.feed(e.clone()).expect("workload is opaque prefix-wise");
+            if is_response {
+                latencies.push(t0.elapsed().as_nanos());
+                running_peak = running_peak.max(m.memo_resident());
+            }
+        }
+        latencies.sort_unstable();
+        if i == 0 {
+            // The streaming peak, not the (invalidation-shrunk) final size.
+            peak = running_peak.max(1);
+        }
+        out.push(SearchLatencyPoint {
+            cap: config.memo_capacity,
+            events,
+            p50_ns: percentile(&latencies, 50.0),
+            p95_ns: percentile(&latencies, 95.0),
+            p99_ns: percentile(&latencies, 99.0),
+            resident: running_peak,
+            evictions: m.memo_evictions(),
+            total_nodes: m.lifetime_stats().nodes,
+        });
+    }
+    out
+}
+
+/// One row of the batch bounded-memo study (deterministic node counts).
+struct SearchMemoryPoint {
+    /// `None` = unbounded baseline.
+    cap: Option<usize>,
+    nodes: usize,
+    resident: usize,
+    evictions: usize,
+}
+
+/// Batch-checks the phased knot workload unbounded (establishing the peak
+/// table size), then at caps of peak/2 and peak/4 — the ROADMAP's
+/// "what does a memory budget cost" question, with exact node counts.
+fn search_memory_points(knots: u32, writers: u32) -> Vec<SearchMemoryPoint> {
+    use tm_opacity::{CheckSession, SearchConfig, SearchMode};
+    let specs = SpecRegistry::registers();
+    let h = tm_bench::sequential_knot_search(knots, writers);
+    let mut out = Vec::new();
+    let mut peak = 0usize;
+    for cap in [None, Some(2usize), Some(4)] {
+        let config = SearchConfig {
+            memo_capacity: cap.map(|frac| (peak / frac).max(1)),
+            ..SearchConfig::default()
+        };
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+        for e in h.events() {
+            s.extend(e).expect("workload is well-formed");
+        }
+        let r = s.check().expect("workload is checkable");
+        assert!(!r.holds(), "the phased knot workload must stay non-opaque");
+        if cap.is_none() {
+            peak = s.memo_resident().max(1);
+        }
+        out.push(SearchMemoryPoint {
+            cap: config.memo_capacity,
+            nodes: r.stats.nodes,
+            resident: s.memo_resident(),
+            evictions: r.stats.evictions,
+        });
+    }
+    out
+}
+
+/// Renders `BENCH_search.json` by hand (no serde in the tree): the
+/// node-throughput scaling points (tracked by `bench_trend`), the batch
+/// bounded-memo points, and the verdict-latency points.
+fn search_json(
+    scaling: &[SearchScalingPoint],
+    memory: &[SearchMemoryPoint],
+    latency: &[SearchLatencyPoint],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"search\",\n");
+    out.push_str(
+        "  \"workload\": \"concurrent contention knots (tm_bench::search_knot_history) + \
+         phased knots (tm_bench::sequential_knot_search) + streaming monitor knots \
+         (tm_bench::monitor_workload)\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    let base_ns = scaling.first().map(|p| p.wall_ns).unwrap_or(1).max(1);
+    let total = scaling.len() + memory.len() + latency.len();
+    let mut emitted = 0usize;
+    for p in scaling {
+        emitted += 1;
+        let per_sec = p.nodes as f64 / (p.wall_ns.max(1) as f64 / 1e9);
+        let speedup = base_ns as f64 / p.wall_ns.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ns\": {}, \"nodes\": {}, \
+             \"nodes_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            p.workers,
+            p.wall_ns,
+            p.nodes,
+            per_sec,
+            speedup,
+            if emitted == total { "" } else { "," }
+        ));
+    }
+    let membase = memory.first().map(|p| p.nodes).unwrap_or(1).max(1);
+    for p in memory {
+        emitted += 1;
+        let cap = p.cap.map_or("\"unbounded\"".to_string(), |c| c.to_string());
+        out.push_str(&format!(
+            "    {{\"batch_cap\": {}, \"nodes\": {}, \"resident\": {}, \"evictions\": {}, \
+             \"node_overhead_pct\": {:.2}}}{}\n",
+            cap,
+            p.nodes,
+            p.resident,
+            p.evictions,
+            (p.nodes as f64 / membase as f64 - 1.0) * 100.0,
+            if emitted == total { "" } else { "," }
+        ));
+    }
+    for p in latency {
+        emitted += 1;
+        let cap = p.cap.map_or("\"unbounded\"".to_string(), |c| c.to_string());
+        out.push_str(&format!(
+            "    {{\"cap\": {}, \"events\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"resident\": {}, \"evictions\": {}, \"total_nodes\": {}}}{}\n",
+            cap,
+            p.events,
+            p.p50_ns,
+            p.p95_ns,
+            p.p99_ns,
+            p.resident,
+            p.evictions,
+            p.total_nodes,
+            if emitted == total { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -462,6 +694,63 @@ fn main() {
     let cpath = "BENCH_clocks.json";
     std::fs::write(cpath, &cjson).expect("write BENCH_clocks.json");
     println!("\n_Wall-clock companion written to `{cpath}`._");
+
+    // ---- parallel search scaling + bounded-memo verdict latency -----------
+    println!("\n## Serialization search: work-stealing scaling and bounded memo\n");
+    let (worker_counts, knot_shape): (&[usize], (u32, u32)) = if quick {
+        (&[1, 2, 4, 8], (3, 3))
+    } else {
+        (&[1, 2, 4, 8, 16], (3, 4))
+    };
+    let spoints = search_scaling_points(worker_counts, knot_shape.0, knot_shape.1);
+    // Wall-clock scaling is machine-dependent and lives in the JSON; the
+    // markdown records only the deterministic exploration size.
+    println!(
+        "- batch workload: {} concurrent knots × {} writers, {} DFS nodes \
+         sequentially; per-worker node throughput and speedups in \
+         `BENCH_search.json`",
+        knot_shape.0, knot_shape.1, spoints[0].nodes
+    );
+    // Batch bounded-memo study: deterministic node counts on the phased
+    // knot workload (the cost-segmented-LRU acceptance numbers). Cheap
+    // enough to run at full size even in quick mode — and the small shapes
+    // sit too close to the expensive-spine cliff to be representative.
+    let (mknots, mwriters) = (15u32, 3u32);
+    let mpoints = search_memory_points(mknots, mwriters);
+    println!("\n### Bounded memo, batch check ({mknots} phased knots × {mwriters} writers)\n");
+    println!("| memo cap | resident | evictions | DFS nodes | node overhead |");
+    println!("|---|---|---|---|---|");
+    let membase = mpoints[0].nodes.max(1);
+    for p in &mpoints {
+        let cap = p.cap.map_or("unbounded".to_string(), |c| c.to_string());
+        println!(
+            "| {} | {} | {} | {} | {:+.1}% |",
+            cap,
+            p.resident,
+            p.evictions,
+            p.nodes,
+            (p.nodes as f64 / membase as f64 - 1.0) * 100.0
+        );
+    }
+    let monitor_events = if quick { 96 } else { 192 };
+    let lpoints = search_latency_points(monitor_events, &[2, 4, 8]);
+    println!(
+        "\n### Verdict latency under the streaming monitor ({monitor_events} events; \
+         wall-clock percentiles in the JSON)\n"
+    );
+    println!("| memo cap | peak resident | evictions | total nodes |");
+    println!("|---|---|---|---|");
+    for p in &lpoints {
+        let cap = p.cap.map_or("unbounded".to_string(), |c| c.to_string());
+        println!(
+            "| {} | {} | {} | {} |",
+            cap, p.resident, p.evictions, p.total_nodes
+        );
+    }
+    let sjson = search_json(&spoints, &mpoints, &lpoints);
+    let spath = "BENCH_search.json";
+    std::fs::write(spath, &sjson).expect("write BENCH_search.json");
+    println!("\n_Scaling + latency-percentile companion written to `{spath}`._");
 
     println!(
         "\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._"

@@ -93,6 +93,87 @@ pub fn monitor_workload(events: usize) -> History {
     b.build().prefix(events)
 }
 
+/// The workload of the `search/*` bench suite: `knots` mutually concurrent
+/// contention knots — `writers` blind writers plus one reader per knot,
+/// each knot on its own register — closed by a committed reader observing a
+/// value nobody ever wrote.
+///
+/// Every transaction's first event precedes every completion, so there are
+/// **no real-time edges at all**: every transaction is a root candidate,
+/// which gives the parallel search `knots × (writers + 1) + 1` independent
+/// root subtrees to distribute over its work-stealing pool. The impossible
+/// final read makes the history non-opaque, so a batch check must exhaust
+/// the entire serialization space — a deterministic node count with no
+/// early-exit variance, which is what a throughput-scaling bench needs.
+/// The per-knot state spaces multiply, so the dead-end memo grows into the
+/// thousands of entries even at small sizes (the stress case for
+/// `memo_capacity`).
+pub fn search_knot_history(knots: u32, writers: u32) -> History {
+    let mut b = HistoryBuilder::new();
+    // Phase 1: every operation completes before any transaction does, so
+    // pred masks stay empty and every placement order is real-time-legal.
+    for r in 0..knots {
+        let obj = format!("k{r}");
+        let base = r * (writers + 1);
+        for i in 1..=writers {
+            b = b.write(base + i, &obj, ((base + i) * 10) as i64);
+        }
+        // The knot reader observes the knot's FIRST writer, so only
+        // serializations where that writer is the latest write before the
+        // reader survive — the search must thread every knot's needle
+        // simultaneously.
+        b = b.read(base + writers + 1, &obj, ((base + 1) * 10) as i64);
+    }
+    let poison = knots * (writers + 1) + 1;
+    b = b.read(poison, "k0", -1);
+    // Phase 2: all completions.
+    for r in 0..knots {
+        let base = r * (writers + 1);
+        for i in 1..=writers + 1 {
+            b = b.try_commit(base + i).commit(base + i);
+        }
+    }
+    b = b.try_commit(poison).commit(poison);
+    b.build()
+}
+
+/// The memory-stress workload of the `search/*` suite: `knots`
+/// **real-time-sequenced** contention knots, all on ONE register, closed by
+/// a committed reader observing a value nobody wrote.
+///
+/// Real-time order makes the search strictly phased — knot `r+1`'s
+/// transactions are placeable only after every knot-`r` transaction — and
+/// the shared register makes the phases *converge*: whatever knot `r`'s
+/// last writer left behind, knot `r+1`'s first placement overwrites it, so
+/// cross-knot state products collapse and the unbounded node count grows
+/// only linearly in `knots`. The dead-end table, however, accumulates every
+/// knot's interior: its peak grows with the history while the *live*
+/// working set is roughly one knot's interior plus the convergence spine —
+/// exactly the shape on which a bounded memo should win, and the workload
+/// behind the "quarter-capacity costs <20% extra nodes" bar pinned in the
+/// tests below. (The impossible final read forces exhaustion, so node
+/// counts are deterministic.)
+pub fn sequential_knot_search(knots: u32, writers: u32) -> History {
+    let mut b = HistoryBuilder::new();
+    for r in 0..knots {
+        let base = r * (writers + 1);
+        let reader = base + writers + 1;
+        for i in 1..=writers {
+            b = b.write(base + i, "x", ((base + i) * 10) as i64);
+        }
+        b = b.try_commit(base + 1);
+        b = b.read(reader, "x", ((base + 1) * 10) as i64);
+        b = b.commit(base + 1);
+        for i in 2..=writers {
+            b = b.try_commit(base + i).commit(base + i);
+        }
+        b = b.try_commit(reader).commit(reader);
+    }
+    let poison = knots * (writers + 1) + 1;
+    b = b.read(poison, "x", -1).try_commit(poison).commit(poison);
+    b.build()
+}
+
 /// Builds a mixed reader/writer history with `n` committed transactions on
 /// two registers that exercises backtracking in the checker.
 pub fn mixed_history(n: u32) -> History {
@@ -155,6 +236,121 @@ mod tests {
             m.feed_all(&h).unwrap(),
             None,
             "every prefix of the standard workload must be opaque"
+        );
+    }
+
+    #[test]
+    fn search_knot_history_is_wellformed_nonopaque_and_root_parallel() {
+        use tm_opacity::search::Search;
+        use tm_opacity::{SearchConfig, SearchMode};
+        let specs = SpecRegistry::registers();
+        let h = search_knot_history(2, 3);
+        assert!(tm_model::is_well_formed(&h));
+        let seq = Search::new(&h, &specs, SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(!seq.holds(), "the poison read must defeat every witness");
+        // Parallel verdict identity on the bench workload itself.
+        for jobs in [2usize, 4, 8] {
+            let out = Search::new(
+                &h,
+                &specs,
+                SearchMode::OPACITY,
+                SearchConfig {
+                    search_jobs: jobs,
+                    ..SearchConfig::default()
+                },
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert_eq!(out.holds(), seq.holds(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn bounded_memo_quarter_cap_regresses_nodes_under_20_percent() {
+        // The ROADMAP's bounded-memory acceptance bar, pinned
+        // deterministically on the phased contention-knot workload: with
+        // the memo capped at 1/4 of the unbounded table's peak size, the
+        // resident count respects the cap, the cap genuinely binds
+        // (evictions happen), the verdict is unchanged, and the total
+        // search work grows by less than 20%.
+        use tm_opacity::{CheckSession, SearchConfig, SearchMode};
+        let specs = SpecRegistry::registers();
+        let h = sequential_knot_search(15, 3);
+        let mut unbounded = CheckSession::new(&specs, SearchMode::OPACITY, SearchConfig::default());
+        for e in h.events() {
+            unbounded.extend(e).unwrap();
+        }
+        let base = unbounded.check().unwrap();
+        assert!(!base.holds());
+        // A batch check never invalidates mid-check, so the table only
+        // grows: the post-check resident count IS the peak.
+        let peak = unbounded.memo_resident();
+        assert!(
+            peak >= 256,
+            "workload too small to exercise the bound: {peak}"
+        );
+        let cap = peak / 4;
+        let mut bounded = CheckSession::new(
+            &specs,
+            SearchMode::OPACITY,
+            SearchConfig {
+                memo_capacity: Some(cap),
+                ..SearchConfig::default()
+            },
+        );
+        for e in h.events() {
+            bounded.extend(e).unwrap();
+        }
+        let out = bounded.check().unwrap();
+        assert_eq!(out.holds(), base.holds(), "verdict unchanged");
+        assert!(
+            bounded.memo_resident() <= cap,
+            "resident {} exceeds cap {cap}",
+            bounded.memo_resident()
+        );
+        assert!(out.stats.evictions > 0, "the cap must actually bind");
+        let overhead = out.stats.nodes as f64 / base.stats.nodes.max(1) as f64 - 1.0;
+        assert!(
+            overhead < 0.20,
+            "quarter-capacity overhead {:.1}% (nodes {} vs {})",
+            overhead * 100.0,
+            out.stats.nodes,
+            base.stats.nodes
+        );
+    }
+
+    #[test]
+    fn bounded_memo_monitor_latency_path_degrades_gracefully() {
+        // The streaming half of the bounded-memory story: the monitor's
+        // invalidation already keeps its table small, and even an
+        // aggressive cap (an eighth of the streaming peak) costs only a
+        // modest amount of re-exploration — no thrash cliff.
+        use tm_opacity::incremental::OpacityMonitor;
+        use tm_opacity::SearchConfig;
+        let specs = SpecRegistry::registers();
+        let h = monitor_workload(192);
+        let mut unbounded = OpacityMonitor::new(&specs);
+        let mut peak = 0usize;
+        for e in h.events() {
+            unbounded.feed(e.clone()).unwrap();
+            peak = peak.max(unbounded.memo_resident());
+        }
+        let base_nodes = unbounded.lifetime_stats().nodes.max(1);
+        let cap = (peak / 8).max(1);
+        let mut bounded = OpacityMonitor::new(&specs).with_config(SearchConfig {
+            memo_capacity: Some(cap),
+            ..SearchConfig::default()
+        });
+        assert_eq!(bounded.feed_all(&h).unwrap(), None, "verdicts unchanged");
+        assert!(bounded.memo_resident() <= cap);
+        let nodes = bounded.lifetime_stats().nodes;
+        assert!(
+            nodes < base_nodes * 2,
+            "eighth-capacity streaming overhead too high: {nodes} vs {base_nodes}"
         );
     }
 

@@ -43,14 +43,23 @@ use tm_opacity::criteria;
 use tm_opacity::explain::explain_violation;
 use tm_opacity::graph::{build_opg, nonlocal, with_initial_tx};
 use tm_opacity::graphcheck::construct_graph_witness;
-use tm_opacity::opacity::is_opaque;
+use tm_opacity::opacity::is_opaque_with;
+use tm_opacity::SearchConfig;
 use tm_trace::{from_json, from_text, to_json_pretty, to_text};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// `check <file>`
-    Check(String),
+    /// `check <file> [--search-jobs N] [--memo-cap M]`
+    Check {
+        /// Input path (`-` = stdin).
+        file: String,
+        /// Worker threads for the serialization search itself (≥ 1).
+        search_jobs: usize,
+        /// Bound on resident dead-end memo entries (≥ 1; default
+        /// unbounded).
+        memo_cap: Option<usize>,
+    },
     /// `explain <file>`
     Explain(String),
     /// `criteria <file>`
@@ -77,11 +86,16 @@ pub enum Command {
         /// Emit JSON instead of text.
         json: bool,
     },
-    /// `conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
-    /// [--objects SET]`
+    /// `conformance [--jobs N] [--search-jobs N] [--memo-cap M] [--tm SPEC]
+    /// [--clock SCHEME] [--mutants] [--objects SET]`
     Conformance {
         /// Worker threads for the interleaving sweep (≥ 1).
         jobs: usize,
+        /// Worker threads for each individual serialization search (≥ 1).
+        search_jobs: usize,
+        /// Bound on each search's resident dead-end memo entries (≥ 1;
+        /// default unbounded).
+        memo_cap: Option<usize>,
         /// Restrict to one TM spec (`tl2`, `tl2+sharded:16`, …; default:
         /// the whole suite).
         tm: Option<String>,
@@ -106,17 +120,28 @@ tmcheck — opacity checker for transactional-memory traces
   (Guerraoui & Kapałka, \"On the Correctness of Transactional Memory\", PPoPP 2008)
 
 USAGE:
-  tmcheck check    <file>           opacity verdict + witness (exit 1 if violated)
+  tmcheck check    <file> [--search-jobs N] [--memo-cap M]
+                                    opacity verdict + witness (exit 1 if
+                                    violated); --search-jobs N explores the
+                                    serialization search's root placements
+                                    with N work-stealing workers sharing the
+                                    dead-end memo (verdict identical to the
+                                    sequential search); --memo-cap M bounds
+                                    the resident memo entries with
+                                    segmented-LRU eviction
   tmcheck explain  <file>           localize the first opacity violation
   tmcheck criteria <file>           verdicts for the full Section-3 criteria lattice
   tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
   tmcheck convert  <file> --json|--text    convert between trace formats
   tmcheck generate [--seed N] [--txs N] [--objs N] [--ops N] [--json]
-  tmcheck conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
-                      [--objects SET]
+  tmcheck conformance [--jobs N] [--search-jobs N] [--memo-cap M] [--tm SPEC]
+                      [--clock SCHEME] [--mutants] [--objects SET]
                                     run the TM conformance battery (exit 1 if
                                     any swept TM violates a contract); --jobs
-                                    shards the sweep deterministically; --tm
+                                    shards the sweep deterministically;
+                                    --search-jobs/--memo-cap configure each
+                                    individual history check as in `check`
+                                    (output is invariant under both); --tm
                                     takes a spec (tl2, tl2+sharded:16, …);
                                     --clock single|sharded[:N]|deferred sweeps
                                     the clocked TMs (tl2, mvstm, sistm) under
@@ -134,6 +159,19 @@ USAGE:
   see the tm-trace crate documentation for their grammar.
 ";
 
+/// Parses `--search-jobs`/`--memo-cap` style values: a number that must be
+/// at least 1, with the conformance-flag error style.
+fn positive_flag(
+    it: &mut std::slice::Iter<'_, String>,
+    cmd: &str,
+    flag: &str,
+) -> Result<usize, String> {
+    it.next()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("{cmd}: {flag} needs a number ≥ 1"))
+}
+
 /// Parses command-line arguments (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
@@ -144,7 +182,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             .ok_or_else(|| format!("{cmd}: missing <file> argument"))
     };
     match cmd.as_str() {
-        "check" => Ok(Command::Check(file_arg(&mut it)?)),
+        "check" => {
+            let file = file_arg(&mut it)?;
+            let mut search_jobs = 1usize;
+            let mut memo_cap = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--search-jobs" => {
+                        search_jobs = positive_flag(&mut it, "check", "--search-jobs")?;
+                    }
+                    "--memo-cap" => {
+                        memo_cap = Some(positive_flag(&mut it, "check", "--memo-cap")?);
+                    }
+                    other => return Err(format!("check: unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Check {
+                file,
+                search_jobs,
+                memo_cap,
+            })
+        }
         "explain" => Ok(Command::Explain(file_arg(&mut it)?)),
         "criteria" => Ok(Command::Criteria(file_arg(&mut it)?)),
         "graph" => Ok(Command::Graph(file_arg(&mut it)?)),
@@ -207,6 +265,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "list" => Ok(Command::List),
         "conformance" => {
             let mut jobs = 1usize;
+            let mut search_jobs = 1usize;
+            let mut memo_cap = None;
             let mut tm = None;
             let mut clock = None;
             let mut mutants = false;
@@ -214,11 +274,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--jobs" => {
-                        jobs = it
-                            .next()
-                            .and_then(|v| v.parse::<usize>().ok())
-                            .filter(|&n| n >= 1)
-                            .ok_or_else(|| "conformance: --jobs needs a number ≥ 1".to_string())?;
+                        jobs = positive_flag(&mut it, "conformance", "--jobs")?;
+                    }
+                    "--search-jobs" => {
+                        search_jobs = positive_flag(&mut it, "conformance", "--search-jobs")?;
+                    }
+                    "--memo-cap" => {
+                        memo_cap = Some(positive_flag(&mut it, "conformance", "--memo-cap")?);
                     }
                     "--tm" => {
                         tm = Some(
@@ -251,6 +313,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Conformance {
                 jobs,
+                search_jobs,
+                memo_cap,
                 tm,
                 clock,
                 mutants,
@@ -310,10 +374,19 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             w(out, USAGE.to_string())?;
             Ok(0)
         }
-        Command::Check(file) => {
+        Command::Check {
+            file,
+            search_jobs,
+            memo_cap,
+        } => {
             let h = load_history(file)?;
             tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
-            let report = is_opaque(&h, &specs).map_err(|e| e.to_string())?;
+            let config = SearchConfig {
+                search_jobs: *search_jobs,
+                memo_capacity: *memo_cap,
+                ..SearchConfig::default()
+            };
+            let report = is_opaque_with(&h, &specs, config).map_err(|e| e.to_string())?;
             w(
                 out,
                 format!(
@@ -515,12 +588,19 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
         }
         Command::Conformance {
             jobs,
+            search_jobs,
+            memo_cap,
             tm,
             clock,
             mutants,
             objects,
         } => {
-            use tm_harness::{conformance_parallel, object_conformance};
+            use tm_harness::{conformance_parallel_with, object_conformance_with};
+            let search = SearchConfig {
+                search_jobs: *search_jobs,
+                memo_capacity: *memo_cap,
+                ..SearchConfig::default()
+            };
             let reg = tm_stm::TmRegistry::suite();
             // Resolve the sweep into TM specs; every lookup is fallible and
             // the errors carry the registry's menu of valid names.
@@ -564,7 +644,7 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                 // against the objects' own sequential specifications.
                 w(out, tm_harness::object_header())?;
                 for (label, props, factory) in &selection {
-                    let report = object_conformance(factory.as_ref(), kinds, *jobs);
+                    let report = object_conformance_with(factory.as_ref(), kinds, *jobs, search);
                     // Well-formedness is unconditional; the full battery is
                     // the contract for opaque-by-design TMs, and committed
                     // transactions must stay serializable wherever the TM
@@ -598,7 +678,7 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                         let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
                             Box::new(MutantStm::new(k, mutation))
                         };
-                        let report = object_conformance(&factory, kinds, *jobs);
+                        let report = object_conformance_with(&factory, kinds, *jobs, search);
                         for probe in &report.probes {
                             w(out, probe.row(&report.name))?;
                         }
@@ -607,7 +687,7 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             } else {
                 w(out, tm_harness::conformance_header())?;
                 for (label, _props, factory) in &selection {
-                    let mut report = conformance_parallel(factory.as_ref(), *jobs);
+                    let mut report = conformance_parallel_with(factory.as_ref(), *jobs, search);
                     report.name = label.clone();
                     // Opacity is the contract under test; TMs that advertise
                     // a weaker criterion (sistm, nonopaque) are expected
@@ -629,7 +709,7 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                         let factory = move |k: usize| -> Box<dyn tm_stm::Stm> {
                             Box::new(MutantStm::new(k, mutation))
                         };
-                        let report = conformance_parallel(&factory, *jobs);
+                        let report = conformance_parallel_with(&factory, *jobs, search);
                         w(out, report.row())?;
                     }
                 }
@@ -678,6 +758,15 @@ mod tests {
         (code, String::from_utf8(buf).unwrap())
     }
 
+    /// A `check` command with default search knobs.
+    fn check_cmd(file: String) -> Command {
+        Command::Check {
+            file,
+            search_jobs: 1,
+            memo_cap: None,
+        }
+    }
+
     fn fixture(name: &str, content: &str) -> String {
         let path = std::env::temp_dir().join(format!("tmcheck-test-{name}-{}", std::process::id()));
         std::fs::write(&path, content).unwrap();
@@ -698,7 +787,15 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     #[test]
     fn parse_args_all_commands() {
         let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
-        assert_eq!(parse_args(&a("check f")), Ok(Command::Check("f".into())));
+        assert_eq!(parse_args(&a("check f")), Ok(check_cmd("f".into())));
+        assert_eq!(
+            parse_args(&a("check f --search-jobs 8 --memo-cap 4096")),
+            Ok(Command::Check {
+                file: "f".into(),
+                search_jobs: 8,
+                memo_cap: Some(4096),
+            })
+        );
         assert_eq!(
             parse_args(&a("explain f")),
             Ok(Command::Explain("f".into()))
@@ -730,6 +827,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             parse_args(&a("conformance")),
             Ok(Command::Conformance {
                 jobs: 1,
+                search_jobs: 1,
+                memo_cap: None,
                 tm: None,
                 clock: None,
                 mutants: false,
@@ -740,6 +839,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             parse_args(&a("conformance --jobs 4 --tm tl2 --mutants")),
             Ok(Command::Conformance {
                 jobs: 4,
+                search_jobs: 1,
+                memo_cap: None,
                 tm: Some("tl2".into()),
                 clock: None,
                 mutants: true,
@@ -750,6 +851,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             parse_args(&a("conformance --objects all")),
             Ok(Command::Conformance {
                 jobs: 1,
+                search_jobs: 1,
+                memo_cap: None,
                 tm: None,
                 clock: None,
                 mutants: false,
@@ -760,6 +863,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             parse_args(&a("conformance --objects set,queue --tm sistm")),
             Ok(Command::Conformance {
                 jobs: 1,
+                search_jobs: 1,
+                memo_cap: None,
                 tm: Some("sistm".into()),
                 clock: None,
                 mutants: false,
@@ -787,18 +892,76 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             ("generate --seed", "--seed needs a number"),
             ("conformance --jobs 0", "--jobs needs a number ≥ 1"),
             ("conformance --jobs -3", "--jobs needs a number ≥ 1"),
+            (
+                "conformance --search-jobs 0",
+                "--search-jobs needs a number ≥ 1",
+            ),
+            (
+                "conformance --search-jobs x",
+                "--search-jobs needs a number ≥ 1",
+            ),
+            ("conformance --memo-cap 0", "--memo-cap needs a number ≥ 1"),
+            ("conformance --memo-cap", "--memo-cap needs a number ≥ 1"),
+            (
+                "check f --search-jobs 0",
+                "--search-jobs needs a number ≥ 1",
+            ),
+            ("check f --search-jobs", "--search-jobs needs a number ≥ 1"),
+            ("check f --memo-cap -1", "--memo-cap needs a number ≥ 1"),
         ] {
             let err = parse_args(&a(args)).unwrap_err();
             assert!(err.contains(needle), "{args}: {err}");
         }
         // Boundary values stay accepted.
         assert!(parse_args(&a("generate --txs 1 --objs 1 --ops 1 --seed 0")).is_ok());
+        assert!(parse_args(&a("check f --search-jobs 1 --memo-cap 1")).is_ok());
+        assert!(parse_args(&a("conformance --search-jobs 1 --memo-cap 1")).is_ok());
+    }
+
+    #[test]
+    fn check_verdict_is_invariant_under_search_knobs() {
+        // The parallel, bounded search must not change any verdict the CLI
+        // reports — same exit code and same OPAQUE/NOT OPAQUE line.
+        for (trace, expected) in [(OPAQUE_TRACE, 0), (H1_TRACE, 1)] {
+            let f = fixture("knobs", trace);
+            let (code, _out) = run_str(&check_cmd(f.clone()));
+            assert_eq!(code, expected);
+            let (code_p, out_p) = run_str(&Command::Check {
+                file: f,
+                search_jobs: 4,
+                memo_cap: Some(8),
+            });
+            assert_eq!(code_p, expected, "{out_p}");
+        }
+    }
+
+    #[test]
+    fn conformance_output_is_invariant_under_search_knobs() {
+        let cmd = |search_jobs, memo_cap| Command::Conformance {
+            jobs: 1,
+            search_jobs,
+            memo_cap,
+            tm: Some("tl2".into()),
+            clock: None,
+            mutants: false,
+            objects: None,
+        };
+        let (code1, baseline) = run_str(&cmd(1, None));
+        assert_eq!(code1, 0, "{baseline}");
+        for (sj, cap) in [(2, None), (1, Some(32)), (3, Some(8))] {
+            let (code, out) = run_str(&cmd(sj, cap));
+            assert_eq!(code, 0, "{out}");
+            assert_eq!(
+                out, baseline,
+                "search-jobs={sj} memo-cap={cap:?} changed the battery"
+            );
+        }
     }
 
     #[test]
     fn check_opaque_trace_exits_zero() {
         let f = fixture("ok", OPAQUE_TRACE);
-        let (code, output) = run_str(&Command::Check(f));
+        let (code, output) = run_str(&check_cmd(f));
         assert_eq!(code, 0, "{output}");
         assert!(output.contains("OPAQUE"));
         assert!(output.contains("witness serialization"));
@@ -807,7 +970,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     #[test]
     fn check_h1_exits_one() {
         let f = fixture("h1", H1_TRACE);
-        let (code, output) = run_str(&Command::Check(f));
+        let (code, output) = run_str(&check_cmd(f));
         assert_eq!(code, 1, "{output}");
         assert!(output.contains("NOT OPAQUE"));
     }
@@ -898,6 +1061,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         // sweep across 4 workers is invisible in the rendered battery.
         let (code1, seq) = run_str(&Command::Conformance {
             jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
             tm: None,
             clock: None,
             mutants: false,
@@ -905,6 +1070,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         });
         let (code4, par) = run_str(&Command::Conformance {
             jobs: 4,
+            search_jobs: 1,
+            memo_cap: None,
             tm: None,
             clock: None,
             mutants: false,
@@ -921,6 +1088,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn conformance_single_tm_and_unknown_tm() {
         let (code, out) = run_str(&Command::Conformance {
             jobs: 2,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
@@ -931,6 +1100,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         assert!(!out.contains("glock"));
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("nonesuch".into()),
             clock: None,
             mutants: false,
@@ -947,6 +1118,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         // row, not a battery failure — exit code stays 0.
         let (code, out) = run_str(&Command::Conformance {
             jobs: 2,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("sistm".into()),
             clock: None,
             mutants: false,
@@ -962,6 +1135,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         // An opaque TM passes the same probe.
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
@@ -979,6 +1154,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn conformance_objects_output_is_identical_across_job_counts() {
         let cmd = |jobs| Command::Conformance {
             jobs,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
@@ -1006,6 +1183,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn conformance_clock_flag_sweeps_the_clocked_tms() {
         let (code, out) = run_str(&Command::Conformance {
             jobs: 2,
+            search_jobs: 1,
+            memo_cap: None,
             tm: None,
             clock: Some(tm_stm::ClockScheme::Sharded(4)),
             mutants: false,
@@ -1025,6 +1204,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn conformance_tm_accepts_full_specs() {
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("tl2+deferred".into()),
             clock: None,
             mutants: false,
@@ -1039,6 +1220,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         // Clock scheme on a clockless TM.
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("dstm".into()),
             clock: Some(tm_stm::ClockScheme::Deferred),
             mutants: false,
@@ -1049,6 +1232,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         // Clock given twice.
         let (code, out) = run_str(&Command::Conformance {
             jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("tl2+sharded:2".into()),
             clock: Some(tm_stm::ClockScheme::Deferred),
             mutants: false,
@@ -1069,6 +1254,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             parse_args(&a("conformance --clock sharded:16 --jobs 2")),
             Ok(Command::Conformance {
                 jobs: 2,
+                search_jobs: 1,
+                memo_cap: None,
                 tm: None,
                 clock: Some(tm_stm::ClockScheme::Sharded(16)),
                 mutants: false,
@@ -1081,6 +1268,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn conformance_objects_with_clock_scheme() {
         let (code, out) = run_str(&Command::Conformance {
             jobs: 2,
+            search_jobs: 1,
+            memo_cap: None,
             tm: Some("sistm".into()),
             clock: Some(tm_stm::ClockScheme::Sharded(2)),
             mutants: false,
@@ -1100,7 +1289,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
 
     #[test]
     fn missing_file_is_a_usage_error() {
-        let (code, output) = run_str(&Command::Check("/nonexistent/trace".into()));
+        let (code, output) = run_str(&check_cmd("/nonexistent/trace".into()));
         assert_eq!(code, 2);
         assert!(output.contains("error:"));
     }
@@ -1109,7 +1298,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
     fn ill_formed_trace_is_rejected() {
         // A response without its invocation.
         let f = fixture("wf", "ret T1 x read 0\n");
-        let (code, output) = run_str(&Command::Check(f));
+        let (code, output) = run_str(&check_cmd(f));
         assert_eq!(code, 2);
         assert!(output.contains("not well-formed"), "{output}");
     }

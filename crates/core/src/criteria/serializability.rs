@@ -12,12 +12,25 @@
 //! Neither criterion constrains live or aborted transactions — the gap
 //! opacity fills.
 
-use crate::search::{search, CheckError, SearchMode};
+use crate::search::{search, CheckError, Search, SearchConfig, SearchMode};
 use tm_model::{History, SpecRegistry};
 
 /// Final-state serializability of the committed transactions of `h`.
 pub fn is_serializable(h: &History, specs: &SpecRegistry) -> Result<bool, CheckError> {
     Ok(search(h, specs, SearchMode::SERIALIZABILITY)?.holds())
+}
+
+/// [`is_serializable`] with an explicit search configuration (parallel
+/// workers, bounded memo) — the knob the conformance pipeline threads
+/// through for adversarial recorded histories.
+pub fn is_serializable_with(
+    h: &History,
+    specs: &SpecRegistry,
+    config: SearchConfig,
+) -> Result<bool, CheckError> {
+    Ok(Search::new(h, specs, SearchMode::SERIALIZABILITY, config)?
+        .run()?
+        .holds())
 }
 
 /// Global atomicity (Weihl): serializability over arbitrary objects.

@@ -32,6 +32,16 @@
 //! costs linear replay time — see `crate::search` for the invalidation
 //! argument — making long monitored histories asymptotically cheaper than
 //! batch re-checks (the `monitor` bench in `tm-bench` quantifies this).
+//!
+//! The memo table would otherwise grow with the history: on a streaming
+//! workload most of its entries describe frontiers of long-resolved
+//! contention that no future check revisits. Configuring
+//! [`SearchConfig::memo_capacity`] bounds the resident entries with
+//! segmented-LRU eviction — sound because a dead-end entry is pure pruning
+//! (see `crate::memo`) — and on the standard contention-knot workload a
+//! table bounded to a quarter of its unbounded peak re-explores only a few
+//! percent more nodes (pinned in `tm-bench`; the `search/*` suite measures
+//! the verdict-latency percentiles under several caps).
 
 use crate::search::{CheckError, CheckSession, SearchConfig, SearchMode, SearchStats};
 use tm_model::{Event, History, SpecRegistry};
@@ -174,6 +184,20 @@ impl<'a> OpacityMonitor<'a> {
     /// re-checks over all prefixes.
     pub fn lifetime_stats(&self) -> SearchStats {
         self.session.lifetime_stats()
+    }
+
+    /// Dead-end memo entries currently resident in the session's search
+    /// core. Unbounded by default; capped (with segmented-LRU eviction)
+    /// when the monitor was configured with
+    /// [`SearchConfig::memo_capacity`].
+    pub fn memo_resident(&self) -> usize {
+        self.session.memo_resident()
+    }
+
+    /// Memo entries evicted by the capacity bound over the monitor's
+    /// lifetime (monotone).
+    pub fn memo_evictions(&self) -> usize {
+        self.session.memo_evictions()
     }
 }
 

@@ -19,6 +19,11 @@
 //!   around a **resumable [`SearchCore`]**: the memo table, transaction
 //!   metadata, and last witness survive across checks, so the monitor
 //!   extends the previous prefix's search state instead of recomputing it.
+//!   The core is also **parallel and memory-bounded**: `search_jobs` splits
+//!   a check at its root placements across a work-stealing pool of scoped
+//!   threads sharing a fingerprint-sharded dead-end memo, and
+//!   `memo_capacity` bounds the resident entries with segmented-LRU
+//!   eviction (both knobs on [`SearchConfig`]).
 //!
 //! ## Example: the paper's Figure 1 vs Figure 2
 //!
@@ -50,8 +55,10 @@ pub mod explain;
 pub mod graph;
 pub mod graphcheck;
 pub mod incremental;
+mod memo;
 pub mod opacity;
 pub mod search;
+mod steal;
 
 pub use criteria::{classify, CriteriaProfile};
 pub use explain::{explain_violation, StuckTransaction, ViolationExplanation};

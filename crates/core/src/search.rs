@@ -50,13 +50,50 @@
 //! stores a dead end into the memo table, and [`SearchStats`] reports both
 //! counts.
 //!
+//! ## The parallel, memory-bounded core
+//!
+//! Two knobs lift the engine from "one thread, unbounded table" to a core
+//! that exploits the machine and respects a memory budget:
+//!
+//! * **[`SearchConfig::search_jobs`]** splits a check at its root
+//!   placements: every first-level `(transaction, placement)` candidate
+//!   seeds an independent subtree, and the subtrees are driven by a
+//!   work-stealing pool of scoped threads (`crate::steal` — per-worker
+//!   deques seeded in the witness-biased order, idle workers steal from the
+//!   back). Workers share the dead-end memo through a fingerprint-sharded
+//!   concurrent table (`crate::memo`), a found witness raises a
+//!   cancellation flag that stops the remaining workers, and the node cap
+//!   is a *shared* budget while the `truncated` marker stays **per worker**
+//!   — a worker whose exploration was cut short (by the cap or by
+//!   cancellation) never inserts into the shared table, so one truncated
+//!   subtree cannot poison the others. The *verdict* is identical to the
+//!   sequential search (dead ends are path-independent facts and every
+//!   subtree is explored exhaustively unless the search is already
+//!   decided); the witness may be a different valid serialization.
+//!   Per-worker statistics (nodes, memo hits, steals, cancellations) are
+//!   merged in worker-index order, so the aggregation itself is
+//!   deterministic even though the per-worker split is scheduling-dependent.
+//! * **[`SearchConfig::memo_capacity`]** bounds the resident dead-end
+//!   entries with per-shard segmented-LRU eviction. Evicting a dead end is
+//!   always sound — the entry is pure pruning, so the search can only
+//!   re-pay the exploration that rediscovers it — and composes with the
+//!   invalidation rules above, which remove entries regardless of segment.
+//!   [`SearchStats::evictions`] reports the per-check eviction count.
+//!   Eviction priority is *recompute cost* (see `crate::memo`): the
+//!   entries that survive a tight budget are the ones whose loss would be
+//!   expensive, so bounded tables degrade gracefully instead of thrashing.
+//!
 //! Opacity checking over arbitrary histories is NP-hard (it embeds
 //! view-serializability), so the worst case is necessarily exponential; the
 //! memoized search is nonetheless fast for the history sizes produced by
 //! tests, the random-history cross-validation, and recorded STM executions.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
+use crate::memo::ShardedMemo;
+use crate::steal::StealQueues;
 use tm_model::legal::{replay_tx_mut, LegalityError};
 use tm_model::wellformed::WfError;
 use tm_model::{Event, History, ObjStates, SpecRegistry, StatesDelta, TxId, TxStatus, TxView};
@@ -151,6 +188,11 @@ impl SearchMode {
 }
 
 /// Statistics from a search, for the ablation benchmarks (E13).
+///
+/// Under a parallel check ([`SearchConfig::search_jobs`] > 1) the counters
+/// are the sum of the per-worker counters, merged in worker-index order
+/// (deterministic aggregation; the per-worker split itself depends on
+/// scheduling).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// DFS nodes expanded.
@@ -166,16 +208,26 @@ pub struct SearchStats {
     /// per placement expansion and one per memo probe, each of which the
     /// pre-resumable engine paid with a full snapshot clone.
     pub clones_saved: usize,
+    /// Root subtrees a worker took from another worker's deque.
+    pub steals: usize,
+    /// Root subtrees never explored because a witness was already found.
+    pub cancelled_tasks: usize,
+    /// Memo entries evicted by the capacity bound during this check.
+    pub evictions: usize,
 }
 
 impl SearchStats {
-    /// Accumulates `other` into `self` (used for lifetime totals).
+    /// Accumulates `other` into `self` (used for lifetime totals and for
+    /// the deterministic per-worker merge of parallel checks).
     pub fn absorb(&mut self, other: &SearchStats) {
         self.nodes += other.nodes;
         self.memo_hits += other.memo_hits;
         self.illegal_placements += other.illegal_placements;
         self.state_clones += other.state_clones;
         self.clones_saved += other.clones_saved;
+        self.steals += other.steals;
+        self.cancelled_tasks += other.cancelled_tasks;
+        self.evictions += other.evictions;
     }
 }
 
@@ -202,8 +254,18 @@ pub struct SearchConfig {
     pub memoize: bool,
     /// Hard cap on DFS nodes per check; `None` for unlimited. When hit, the
     /// search conservatively reports "no witness found" via
-    /// [`SearchOutcome::witness`] `= None` with `stats.nodes == cap`.
+    /// [`SearchOutcome::witness`] `= None`. Under a parallel check the cap
+    /// is a budget shared by all workers.
     pub node_limit: Option<usize>,
+    /// Worker threads for the root-split parallel DFS (≥ 1; clamped to the
+    /// number of root tasks). `1` — the default — runs the sequential
+    /// in-place engine with no thread spawns at all.
+    pub search_jobs: usize,
+    /// Bound on resident dead-end memo entries, enforced with per-shard
+    /// segmented-LRU eviction; `None` — the default — keeps every entry.
+    /// Rounded down to a multiple of the shard count, so the resident
+    /// total never exceeds the configured value.
+    pub memo_capacity: Option<usize>,
 }
 
 impl Default for SearchConfig {
@@ -211,6 +273,8 @@ impl Default for SearchConfig {
         SearchConfig {
             memoize: true,
             node_limit: None,
+            search_jobs: 1,
+            memo_capacity: None,
         }
     }
 }
@@ -246,6 +310,232 @@ struct TxCell {
     pred_mask: u64,
 }
 
+/// The read-only context one DFS (worker) borrows from the core during a
+/// check: transaction metadata, candidate order, the shared memo, and the
+/// cross-worker coordination cells.
+struct DfsShared<'a> {
+    specs: &'a SpecRegistry,
+    txs: &'a [TxCell],
+    by_bit: &'a [usize],
+    order: &'a [u32],
+    selected_mask: u64,
+    memoize: bool,
+    node_limit: Option<usize>,
+    memo: &'a ShardedMemo,
+    /// Nodes expanded by *all* workers this check (the shared node budget).
+    nodes_spent: &'a AtomicUsize,
+    /// Raised when some worker found a witness: everyone else unwinds.
+    cancel: &'a AtomicBool,
+}
+
+/// The per-worker mutable scratch of one DFS.
+struct Explorer {
+    states: ObjStates,
+    delta: StatesDelta,
+    stack: Vec<(TxId, Placement)>,
+    stats: SearchStats,
+    /// Set once this worker's current exploration became partial (node cap
+    /// or cancellation). From that moment every unwinding frame's subtree is
+    /// only partially explored, so its "dead end" is unreliable and must NOT
+    /// enter the shared memo table (a truncated false would otherwise poison
+    /// later checks and other workers).
+    truncated: bool,
+}
+
+impl Explorer {
+    fn new() -> Self {
+        Explorer {
+            states: ObjStates::new(),
+            delta: StatesDelta::new(),
+            stack: Vec::new(),
+            stats: SearchStats::default(),
+            truncated: false,
+        }
+    }
+
+    /// Resets the per-subtree scratch (statistics persist across tasks).
+    fn reset(&mut self) {
+        self.states = ObjStates::new();
+        self.delta = StatesDelta::new();
+        self.stack.clear();
+        self.truncated = false;
+    }
+}
+
+/// One root subtree of a parallel check: place `bit` with `placement`
+/// first, then search the remainder.
+#[derive(Clone, Copy)]
+struct RootTask {
+    bit: u32,
+    placement: Placement,
+}
+
+/// The placement decisions allowed for a transaction by its status in
+/// `H` (and the search mode).
+fn allowed_placements(status: TxStatus) -> &'static [Placement] {
+    match status {
+        TxStatus::Committed => &[Placement::Committed],
+        // A commit-pending transaction may appear committed or aborted
+        // (the dual semantics of Section 5.2).
+        TxStatus::CommitPending => &[Placement::Committed, Placement::Aborted],
+        // Aborted, abort-pending, and live transactions can only be
+        // aborted in a completion.
+        _ => &[Placement::Aborted],
+    }
+}
+
+/// The recursive search below the frontier `placed`, shared verbatim by the
+/// sequential engine (one `Explorer`, `cancel` never raised) and by every
+/// parallel worker.
+fn dfs(sh: &DfsShared<'_>, w: &mut Explorer, placed: u64) -> Result<bool, CheckError> {
+    if placed == sh.selected_mask {
+        return Ok(true);
+    }
+    if sh.cancel.load(Ordering::Relaxed) {
+        // Another worker already found a witness: unwind without caching
+        // (this subtree was not exhaustively explored).
+        w.truncated = true;
+        return Ok(false);
+    }
+    if let Some(limit) = sh.node_limit {
+        if sh.nodes_spent.load(Ordering::Relaxed) >= limit {
+            w.truncated = true;
+            return Ok(false);
+        }
+    }
+    sh.nodes_spent.fetch_add(1, Ordering::Relaxed);
+    let nodes_at_entry = w.stats.nodes;
+    w.stats.nodes += 1;
+    if sh.memoize {
+        w.stats.clones_saved += 1; // memo probe without a key clone
+        if sh.memo.probe(placed, &w.states) {
+            w.stats.memo_hits += 1;
+            return Ok(false);
+        }
+    }
+    for k in 0..sh.order.len() {
+        let b = sh.order[k];
+        let bit = 1u64 << b;
+        let ci = sh.by_bit[b as usize];
+        if placed & bit != 0 || sh.txs[ci].pred_mask & !placed != 0 {
+            continue;
+        }
+        let mark = w.delta.mark();
+        // Replay the candidate against the committed-prefix state.
+        match replay_tx_mut(&sh.txs[ci].view, &mut w.states, sh.specs, &mut w.delta) {
+            Ok(()) => {}
+            Err(LegalityError::NoSpec(op)) => {
+                return Err(CheckError::NoSpec(op.obj.name().to_string()));
+            }
+            Err(LegalityError::IllegalResponse { .. }) => {
+                w.stats.illegal_placements += 1;
+                continue;
+            }
+        }
+        let id = sh.txs[ci].id;
+        let status = sh.txs[ci].view.status;
+        for &placement in allowed_placements(status) {
+            if placement == Placement::Aborted {
+                // Validated above; effects are discarded.
+                w.delta.rollback_to(&mut w.states, mark);
+            }
+            w.stats.clones_saved += 1; // placement without a clone
+            w.stack.push((id, placement));
+            if dfs(sh, w, placed | bit)? {
+                return Ok(true);
+            }
+            w.stack.pop();
+        }
+        w.delta.rollback_to(&mut w.states, mark);
+    }
+    // Frames that finished exploring before the node limit (or a
+    // cancellation) fired are genuine dead ends; frames unwinding after it
+    // are not — caching them would let a truncated "no" poison every later
+    // check and every other worker.
+    if sh.memoize && !w.truncated {
+        w.stats.state_clones += 1;
+        // The entry's eviction priority is what it cost to establish: the
+        // nodes this worker expanded below (and including) this frontier.
+        sh.memo
+            .insert(placed, &w.states, w.stats.nodes - nodes_at_entry);
+    }
+    Ok(false)
+}
+
+/// Places one root candidate and searches its subtree.
+fn run_root_task(sh: &DfsShared<'_>, w: &mut Explorer, task: RootTask) -> Result<bool, CheckError> {
+    let ci = sh.by_bit[task.bit as usize];
+    let mark = w.delta.mark();
+    match replay_tx_mut(&sh.txs[ci].view, &mut w.states, sh.specs, &mut w.delta) {
+        Ok(()) => {}
+        Err(LegalityError::NoSpec(op)) => {
+            return Err(CheckError::NoSpec(op.obj.name().to_string()));
+        }
+        Err(LegalityError::IllegalResponse { .. }) => {
+            w.stats.illegal_placements += 1;
+            return Ok(false);
+        }
+    }
+    if task.placement == Placement::Aborted {
+        w.delta.rollback_to(&mut w.states, mark);
+    }
+    w.stats.clones_saved += 1;
+    w.stack.push((sh.txs[ci].id, task.placement));
+    dfs(sh, w, 1u64 << task.bit)
+}
+
+/// What one parallel worker hands back to the merge step.
+struct WorkerReport {
+    stats: SearchStats,
+    /// True if any of this worker's subtrees was cut short (node budget or
+    /// cancellation) — the root frame must then not be cached either.
+    truncated: bool,
+}
+
+/// The loop of one parallel worker: pop (or steal) root tasks until the
+/// queues are dry, publishing the first witness found and draining the
+/// remainder as cancelled.
+fn worker_loop(
+    wi: usize,
+    sh: &DfsShared<'_>,
+    queues: &StealQueues<RootTask>,
+    witness_slot: &Mutex<Option<Vec<(TxId, Placement)>>>,
+) -> Result<WorkerReport, CheckError> {
+    let mut w = Explorer::new();
+    let mut truncated = false;
+    while let Some((task, stolen)) = queues.pop(wi) {
+        if stolen {
+            w.stats.steals += 1;
+        }
+        if sh.cancel.load(Ordering::Relaxed) {
+            w.stats.cancelled_tasks += 1;
+            continue; // drain, so every unexplored subtree is counted once
+        }
+        w.reset();
+        match run_root_task(sh, &mut w, task) {
+            Ok(true) => {
+                let mut slot = witness_slot.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(w.stack.clone());
+                }
+                drop(slot);
+                sh.cancel.store(true, Ordering::Relaxed);
+            }
+            Ok(false) => {}
+            Err(e) => {
+                // A hard error decides the whole check; stop the others.
+                sh.cancel.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
+        truncated |= w.truncated;
+    }
+    Ok(WorkerReport {
+        stats: w.stats,
+        truncated,
+    })
+}
+
 /// The resumable serialization-search engine.
 ///
 /// Feed events with [`SearchCore::extend`]; ask for a verdict on everything
@@ -269,22 +559,16 @@ pub struct SearchCore<'a> {
     /// Bits of selected transactions that are completed (used to freeze
     /// `pred_mask` for transactions created later).
     completed_selected_mask: u64,
-    /// Dead ends: placed-set mask → canonical object states from which the
-    /// remaining transactions cannot be completed.
-    memo: HashMap<u64, HashSet<ObjStates>>,
+    /// Dead ends: placed-set mask × canonical object states from which the
+    /// remaining transactions cannot be completed. Sharded so parallel
+    /// workers share it; bounded per [`SearchConfig::memo_capacity`].
+    memo: ShardedMemo,
     last_witness: Option<Witness>,
     stats: SearchStats,
     lifetime: SearchStats,
     checks: usize,
-    /// DFS scratch: the serialization under construction.
-    stack: Vec<(TxId, Placement)>,
     /// DFS scratch: candidate bit order, biased by the last witness.
     order: Vec<u32>,
-    /// Set once the node limit fires during the current check. From that
-    /// moment every unwinding frame's subtree is only partially explored,
-    /// so its "dead end" is unreliable and must NOT enter the persistent
-    /// memo table (a truncated false would otherwise poison later checks).
-    truncated: bool,
 }
 
 impl<'a> SearchCore<'a> {
@@ -300,14 +584,12 @@ impl<'a> SearchCore<'a> {
             events_seen: 0,
             selected_mask: 0,
             completed_selected_mask: 0,
-            memo: HashMap::new(),
+            memo: ShardedMemo::new(config.memo_capacity),
             last_witness: None,
             stats: SearchStats::default(),
             lifetime: SearchStats::default(),
             checks: 0,
-            stack: Vec::new(),
             order: Vec::new(),
-            truncated: false,
         }
     }
 
@@ -329,6 +611,23 @@ impl<'a> SearchCore<'a> {
     /// Number of checks run since creation.
     pub fn checks(&self) -> usize {
         self.checks
+    }
+
+    /// Dead-end entries currently resident in the memo table.
+    pub fn memo_resident(&self) -> usize {
+        self.memo.resident()
+    }
+
+    /// Memo entries evicted by the capacity bound since creation (monotone).
+    pub fn memo_evictions(&self) -> usize {
+        self.memo.evictions()
+    }
+
+    /// The memo capacity actually enforced (the configured
+    /// [`SearchConfig::memo_capacity`] rounded down to a multiple of the
+    /// shard count); `None` when unbounded.
+    pub fn memo_capacity(&self) -> Option<usize> {
+        self.memo.capacity()
     }
 
     /// Consumes one event, updating transaction metadata incrementally and
@@ -543,22 +842,7 @@ impl<'a> SearchCore<'a> {
     /// could rescue.
     fn drop_entries_not_placing(&mut self, ci: usize) {
         if let Some(b) = self.txs[ci].bit {
-            let bit = 1u64 << b;
-            self.memo.retain(|&mask, _| mask & bit != 0);
-        }
-    }
-
-    /// The placement decisions allowed for a transaction by its status in
-    /// `H` (and the search mode).
-    fn allowed_placements(status: TxStatus) -> &'static [Placement] {
-        match status {
-            TxStatus::Committed => &[Placement::Committed],
-            // A commit-pending transaction may appear committed or aborted
-            // (the dual semantics of Section 5.2).
-            TxStatus::CommitPending => &[Placement::Committed, Placement::Aborted],
-            // Aborted, abort-pending, and live transactions can only be
-            // aborted in a completion.
-            _ => &[Placement::Aborted],
+            self.memo.retain_placing(1u64 << b);
         }
     }
 
@@ -566,11 +850,13 @@ impl<'a> SearchCore<'a> {
     ///
     /// The DFS candidate order is biased towards the previous check's
     /// witness, so a check whose new events merely extend the old
-    /// serialization runs in linear replay time with no backtracking.
+    /// serialization runs in linear replay time with no backtracking. With
+    /// [`SearchConfig::search_jobs`] > 1 the root placements are explored
+    /// by a work-stealing pool of scoped threads sharing the memo table;
+    /// the verdict is identical to the sequential search, the witness may
+    /// be a different valid serialization.
     pub fn check(&mut self) -> Result<SearchOutcome, CheckError> {
         self.checks += 1;
-        self.stats = SearchStats::default();
-        self.stack.clear();
         // Candidate order: last witness first (it remains real-time
         // compatible — appending events never orders two existing
         // transactions), then any transactions it does not cover, in
@@ -594,96 +880,149 @@ impl<'a> SearchCore<'a> {
                 self.order.push(b);
             }
         }
-        let mut states = ObjStates::new();
-        let mut delta = StatesDelta::new();
-        self.truncated = false;
-        let found = self.dfs(0, &mut states, &mut delta)?;
-        self.lifetime.absorb(&self.stats);
-        if found {
-            let witness = Witness {
-                order: self.stack.clone(),
-            };
-            self.last_witness = Some(witness.clone());
-            Ok(SearchOutcome {
-                witness: Some(witness),
-                stats: self.stats,
-            })
+        let evictions_before = self.memo.evictions();
+        let jobs = self.config.search_jobs.max(1);
+        let (witness_order, mut stats) = if jobs == 1 {
+            self.run_sequential()?
         } else {
-            Ok(SearchOutcome {
+            self.run_parallel(jobs)?
+        };
+        stats.evictions = self.memo.evictions() - evictions_before;
+        self.stats = stats;
+        self.lifetime.absorb(&stats);
+        match witness_order {
+            Some(order) => {
+                let witness = Witness { order };
+                self.last_witness = Some(witness.clone());
+                Ok(SearchOutcome {
+                    witness: Some(witness),
+                    stats,
+                })
+            }
+            None => Ok(SearchOutcome {
                 witness: None,
-                stats: self.stats,
-            })
+                stats,
+            }),
         }
     }
 
-    fn dfs(
+    /// The single-threaded check: one explorer, no spawns.
+    #[allow(clippy::type_complexity)]
+    fn run_sequential(
         &mut self,
-        placed: u64,
-        states: &mut ObjStates,
-        delta: &mut StatesDelta,
-    ) -> Result<bool, CheckError> {
-        if placed == self.selected_mask {
-            return Ok(true);
+    ) -> Result<(Option<Vec<(TxId, Placement)>>, SearchStats), CheckError> {
+        let nodes_spent = AtomicUsize::new(0);
+        let cancel = AtomicBool::new(false);
+        let sh = DfsShared {
+            specs: self.specs,
+            txs: &self.txs,
+            by_bit: &self.by_bit,
+            order: &self.order,
+            selected_mask: self.selected_mask,
+            memoize: self.config.memoize,
+            node_limit: self.config.node_limit,
+            memo: &self.memo,
+            nodes_spent: &nodes_spent,
+            cancel: &cancel,
+        };
+        let mut w = Explorer::new();
+        let found = dfs(&sh, &mut w, 0)?;
+        Ok((found.then_some(w.stack), w.stats))
+    }
+
+    /// The work-stealing check: split at root placements, share the memo,
+    /// cancel on the first witness.
+    #[allow(clippy::type_complexity)]
+    fn run_parallel(
+        &mut self,
+        jobs: usize,
+    ) -> Result<(Option<Vec<(TxId, Placement)>>, SearchStats), CheckError> {
+        let mut stats = SearchStats::default();
+        if self.selected_mask == 0 {
+            return Ok((Some(Vec::new()), stats));
         }
-        if let Some(limit) = self.config.node_limit {
-            if self.stats.nodes >= limit {
-                self.truncated = true;
-                return Ok(false);
-            }
-        }
-        self.stats.nodes += 1;
+        // The root frame (the sequential dfs(0) prologue): count it, probe
+        // the memo so a cached root dead end short-circuits the check.
+        stats.nodes += 1;
+        let initial = ObjStates::new();
         if self.config.memoize {
-            self.stats.clones_saved += 1; // memo probe without a key clone
-            if let Some(set) = self.memo.get(&placed) {
-                if set.contains(states) {
-                    self.stats.memo_hits += 1;
-                    return Ok(false);
-                }
+            stats.clones_saved += 1;
+            if self.memo.probe(0, &initial) {
+                stats.memo_hits += 1;
+                return Ok((None, stats));
             }
         }
-        for k in 0..self.order.len() {
-            let b = self.order[k];
-            let bit = 1u64 << b;
+        // Root tasks in the witness-biased candidate order.
+        let mut tasks = Vec::new();
+        for &b in self.order.iter() {
             let ci = self.by_bit[b as usize];
-            if placed & bit != 0 || self.txs[ci].pred_mask & !placed != 0 {
-                continue;
+            if self.txs[ci].pred_mask != 0 {
+                continue; // has unplaced real-time predecessors at the root
             }
-            let mark = delta.mark();
-            // Replay the candidate against the committed-prefix state.
-            match replay_tx_mut(&self.txs[ci].view, states, self.specs, delta) {
-                Ok(()) => {}
-                Err(LegalityError::NoSpec(op)) => {
-                    return Err(CheckError::NoSpec(op.obj.name().to_string()));
-                }
-                Err(LegalityError::IllegalResponse { .. }) => {
-                    self.stats.illegal_placements += 1;
-                    continue;
-                }
+            for &placement in allowed_placements(self.txs[ci].view.status) {
+                tasks.push(RootTask { bit: b, placement });
             }
-            let id = self.txs[ci].id;
-            let status = self.txs[ci].view.status;
-            for &placement in Self::allowed_placements(status) {
-                if placement == Placement::Aborted {
-                    // Validated above; effects are discarded.
-                    delta.rollback_to(states, mark);
-                }
-                self.stats.clones_saved += 1; // placement without a clone
-                self.stack.push((id, placement));
-                if self.dfs(placed | bit, states, delta)? {
-                    return Ok(true);
-                }
-                self.stack.pop();
-            }
-            delta.rollback_to(states, mark);
         }
-        // Frames that finished exploring before the node limit fired are
-        // genuine dead ends; frames unwinding after it are not — caching
-        // them would let a truncated "no" poison every later check.
-        if self.config.memoize && !self.truncated {
-            self.stats.state_clones += 1;
-            self.memo.entry(placed).or_default().insert(states.clone());
+        let nodes_spent = AtomicUsize::new(stats.nodes);
+        let cancel = AtomicBool::new(false);
+        let sh = DfsShared {
+            specs: self.specs,
+            txs: &self.txs,
+            by_bit: &self.by_bit,
+            order: &self.order,
+            selected_mask: self.selected_mask,
+            memoize: self.config.memoize,
+            node_limit: self.config.node_limit,
+            memo: &self.memo,
+            nodes_spent: &nodes_spent,
+            cancel: &cancel,
+        };
+        let workers = jobs.min(tasks.len()).max(1);
+        let queues = StealQueues::new(tasks, workers);
+        let witness_slot: Mutex<Option<Vec<(TxId, Placement)>>> = Mutex::new(None);
+        let reports: Vec<Result<WorkerReport, CheckError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|wi| {
+                    let sh = &sh;
+                    let queues = &queues;
+                    let witness_slot = &witness_slot;
+                    scope.spawn(move || worker_loop(wi, sh, queues, witness_slot))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        });
+        // Deterministic aggregation: merge per-worker stats (and surface
+        // the first error) in worker-index order.
+        let mut truncated = false;
+        let mut first_error = None;
+        for report in reports {
+            match report {
+                Ok(r) => {
+                    stats.absorb(&r.stats);
+                    truncated |= r.truncated;
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
         }
-        Ok(false)
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let witness = witness_slot.into_inner().unwrap_or_else(|e| e.into_inner());
+        if witness.is_none() && self.config.memoize && !truncated {
+            // Every root subtree was explored exhaustively: the empty
+            // frontier is a genuine dead end (mirrors the sequential
+            // dfs(0) epilogue), whose recompute cost is the whole check.
+            stats.state_clones += 1;
+            self.memo.insert(0, &initial, stats.nodes);
+        }
+        Ok((witness, stats))
     }
 }
 
@@ -750,6 +1089,22 @@ impl<'a> CheckSession<'a> {
     /// Number of checks run in this session.
     pub fn checks(&self) -> usize {
         self.core.checks()
+    }
+
+    /// Dead-end entries currently resident in the memo table.
+    pub fn memo_resident(&self) -> usize {
+        self.core.memo_resident()
+    }
+
+    /// Memo entries evicted by the capacity bound in this session
+    /// (monotone).
+    pub fn memo_evictions(&self) -> usize {
+        self.core.memo_evictions()
+    }
+
+    /// The memo capacity actually enforced; `None` when unbounded.
+    pub fn memo_capacity(&self) -> Option<usize> {
+        self.core.memo_capacity()
     }
 }
 
@@ -876,6 +1231,7 @@ mod tests {
             SearchConfig {
                 memoize: false,
                 node_limit: Some(2_000_000),
+                ..SearchConfig::default()
             },
         )
         .unwrap()
@@ -901,6 +1257,7 @@ mod tests {
             SearchConfig {
                 memoize: true,
                 node_limit: Some(1),
+                ..SearchConfig::default()
             },
         )
         .unwrap()
@@ -1104,6 +1461,7 @@ mod tests {
         let config = SearchConfig {
             memoize: true,
             node_limit: Some(3),
+            ..SearchConfig::default()
         };
         // H5 needs more than 3 nodes; per-check the limit resets, so the
         // second identical check must not be vetoed by entries recorded
@@ -1201,5 +1559,238 @@ mod tests {
         }
         assert_eq!(s.lifetime_stats().nodes, total);
         assert!(s.checks() > 0);
+    }
+
+    // ---- parallel root-split search ------------------------------------
+
+    /// A search config with `jobs` parallel workers.
+    fn par(jobs: usize) -> SearchConfig {
+        SearchConfig {
+            search_jobs: jobs,
+            ..SearchConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_verdicts_match_sequential_on_paper_histories() {
+        let specs = regs();
+        for h in [
+            paper::h1(),
+            paper::h2(),
+            paper::h3(),
+            paper::h4(),
+            paper::h5(),
+        ] {
+            let seq = search(&h, &specs, SearchMode::OPACITY).unwrap();
+            for jobs in [2, 4, 8] {
+                let out = Search::new(&h, &specs, SearchMode::OPACITY, par(jobs))
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                assert_eq!(out.holds(), seq.holds(), "{h} under jobs={jobs}");
+                // The witness may differ but must re-validate: check it
+                // through the sequential engine's own machinery.
+                if let Some(w) = &out.witness {
+                    let s = crate::opacity::witness_history(&h, w);
+                    assert!(
+                        tm_model::all_txs_legal(&s, &specs).is_ok(),
+                        "jobs={jobs} witness does not re-validate for {h}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_empty_and_trivial_histories() {
+        let specs = regs();
+        let h = History::new();
+        let out = Search::new(&h, &specs, SearchMode::OPACITY, par(4))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.holds());
+        let h = HistoryBuilder::new().write(1, "x", 1).commit_ok(1).build();
+        let out = Search::new(&h, &specs, SearchMode::OPACITY, par(4))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.holds());
+    }
+
+    #[test]
+    fn parallel_session_stays_resumable() {
+        // The shared memo and witness survive across checks of a parallel
+        // session exactly as in the sequential one: verdicts at every
+        // prefix match fresh sequential checks.
+        let specs = regs();
+        for h in [paper::h1(), paper::h4(), paper::h5()] {
+            let mut s = CheckSession::new(&specs, SearchMode::OPACITY, par(3));
+            for (i, e) in h.events().iter().enumerate() {
+                s.extend(e).unwrap();
+                let live = s.check().unwrap().holds();
+                let fresh = search(&h.prefix(i + 1), &specs, SearchMode::OPACITY)
+                    .unwrap()
+                    .holds();
+                assert_eq!(live, fresh, "prefix {} of {h}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_truncation_never_inserts_into_the_shared_memo() {
+        // The regression pinned here: with the node budget exhausted from
+        // the first expansion, every worker's frames unwind truncated and
+        // the shared table must stay EMPTY — a single cached entry would be
+        // a partial exploration masquerading as a dead end.
+        let specs = regs();
+        let mut b = HistoryBuilder::new();
+        for t in 1..=6u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        for t in 1..=6u32 {
+            b = b.commit_ok(t);
+        }
+        let h = b.build();
+        let config = SearchConfig {
+            node_limit: Some(1),
+            search_jobs: 4,
+            ..SearchConfig::default()
+        };
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+        for e in h.events() {
+            s.extend(e).unwrap();
+        }
+        assert!(!s.check().unwrap().holds(), "budget 1 cannot finish");
+        assert_eq!(
+            s.memo_resident(),
+            0,
+            "truncated workers must not populate the shared memo"
+        );
+        // And the truncation is not sticky knowledge: a session with the
+        // budget lifted finds the witness (h IS opaque).
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, par(4));
+        for e in h.events() {
+            s.extend(e).unwrap();
+        }
+        assert!(s.check().unwrap().holds());
+    }
+
+    #[test]
+    fn parallel_stats_account_for_cancellations() {
+        // An opaque history with many root candidates: once some worker
+        // finds the witness, the drained root tasks are reported as
+        // cancelled (nodes + cancellations give the full task accounting).
+        let specs = regs();
+        let mut b = HistoryBuilder::new();
+        for t in 1..=8u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        for t in 1..=8u32 {
+            b = b.commit_ok(t);
+        }
+        let h = b.build();
+        let out = Search::new(&h, &specs, SearchMode::OPACITY, par(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.holds());
+        // 8 root tasks, one of which succeeded: with 2 workers at least
+        // one task is typically drained, but scheduling may finish them
+        // all; the invariant is only that the counter never exceeds the
+        // task count minus the successful one.
+        assert!(out.stats.cancelled_tasks < 8, "{:?}", out.stats);
+    }
+
+    // ---- bounded memo --------------------------------------------------
+
+    #[test]
+    fn memo_capacity_bounds_resident_entries_without_changing_verdicts() {
+        let specs = regs();
+        // A non-opaque workload big enough to overflow a tiny table: the
+        // exhaustive search records many dead ends.
+        let mut b = HistoryBuilder::new();
+        for t in 1..=6u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        for t in 1..=6u32 {
+            b = b.commit_ok(t);
+        }
+        b = b.read(7, "x", -1).try_commit(7).commit(7); // impossible read
+        let h = b.build();
+        let unbounded = Search::new(&h, &specs, SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(!unbounded.holds());
+        for cap in [1usize, 8, 32] {
+            let config = SearchConfig {
+                memo_capacity: Some(cap),
+                ..SearchConfig::default()
+            };
+            let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+            for e in h.events() {
+                s.extend(e).unwrap();
+            }
+            let out = s.check().unwrap();
+            assert_eq!(out.holds(), unbounded.holds(), "cap={cap}");
+            assert!(
+                s.memo_resident() <= cap,
+                "cap={cap}: resident {}",
+                s.memo_resident()
+            );
+            if cap == 1 {
+                assert!(out.stats.evictions > 0, "cap=1 must evict");
+            }
+            assert_eq!(s.memo_evictions(), s.lifetime_stats().evictions);
+        }
+    }
+
+    #[test]
+    fn eviction_composes_with_invalidation() {
+        // Run the widening scenario (stale dead ends must be dropped) under
+        // a tiny capacity: correctness must not depend on which entries the
+        // LRU happened to keep.
+        let specs = regs();
+        let config = SearchConfig {
+            memo_capacity: Some(2),
+            ..SearchConfig::default()
+        };
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+        let prefix = HistoryBuilder::new()
+            .write(1, "x", 1)
+            .read(2, "x", 1)
+            .build();
+        for e in prefix.events() {
+            s.extend(e).unwrap();
+        }
+        assert!(!s.check().unwrap().holds());
+        s.extend(&Event::TryCommit(TxId(1))).unwrap();
+        assert!(s.check().unwrap().holds());
+    }
+
+    #[test]
+    fn parallel_and_bounded_compose() {
+        let specs = regs();
+        let mut b = HistoryBuilder::new();
+        for t in 1..=7u32 {
+            b = b.write(t, "x", t as i64);
+        }
+        for t in 1..=7u32 {
+            b = b.commit_ok(t);
+        }
+        b = b.read(8, "x", -1).try_commit(8).commit(8);
+        let h = b.build();
+        let config = SearchConfig {
+            search_jobs: 4,
+            memo_capacity: Some(16),
+            ..SearchConfig::default()
+        };
+        let mut s = CheckSession::new(&specs, SearchMode::OPACITY, config);
+        for e in h.events() {
+            s.extend(e).unwrap();
+        }
+        assert!(!s.check().unwrap().holds());
+        assert!(s.memo_resident() <= 16);
     }
 }

@@ -1,0 +1,138 @@
+//! A dependency-free work-stealing task pool for the parallel search.
+//!
+//! The parallel DFS splits a check at its root placements: every top-level
+//! `(transaction, placement)` candidate seeds an independent subtree. Those
+//! subtrees are wildly uneven — the witness-biased first candidate often
+//! finishes in linear time while a dead root exhausts a large subspace — so
+//! static sharding would idle most workers. Instead each worker owns a
+//! deque, seeded round-robin in the witness-biased candidate order, and a
+//! worker whose deque runs dry **steals from the back** of the nearest
+//! victim's deque (the classic Arora–Blumofe–Plaxton discipline: owners pop
+//! FIFO from the front where the bias-ordered tasks sit, thieves take the
+//! coldest work from the back, minimizing contention on the hot end).
+//!
+//! The pool is deliberately built from `std` only (`Mutex<VecDeque>` per
+//! worker, scoped threads at the call site) so `tm-opacity` stays free of
+//! harness and external dependencies. Tasks are all enqueued before the
+//! workers start and never spawn new tasks, which makes termination
+//! trivial: a worker exits when every deque is empty — no task can appear
+//! afterwards.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Per-worker task deques with stealing. `T` is the root-subtree seed.
+pub(crate) struct StealQueues<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealQueues<T> {
+    /// Distributes `tasks` round-robin over `workers` deques, preserving
+    /// order within each deque (task `i` goes to deque `i % workers`, so
+    /// worker 0's first task is the globally first — witness-biased —
+    /// candidate).
+    pub(crate) fn new(tasks: Vec<T>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            deques[i % workers].push_back(t);
+        }
+        StealQueues {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    #[cfg(test)]
+    pub(crate) fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Takes the next task for worker `w`: the front of its own deque, or —
+    /// once that is empty — the back of the first non-empty victim deque
+    /// (scanning the others in ring order). Returns the task and whether it
+    /// was stolen; `None` means every deque is empty, which is final
+    /// because tasks are never added after construction.
+    pub(crate) fn pop(&self, w: usize) -> Option<(T, bool)> {
+        fn lock<T>(d: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            d.lock().unwrap_or_else(|e| e.into_inner())
+        }
+        if let Some(t) = lock(&self.deques[w]).pop_front() {
+            return Some((t, false));
+        }
+        let n = self.deques.len();
+        for step in 1..n {
+            if let Some(t) = lock(&self.deques[(w + step) % n]).pop_back() {
+                return Some((t, true));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn every_task_delivered_exactly_once_across_workers() {
+        let queues = StealQueues::new((0..97usize).collect(), 5);
+        assert_eq!(queues.workers(), 5);
+        let seen = StdMutex::new(HashSet::new());
+        let steals = StdMutex::new(0usize);
+        std::thread::scope(|scope| {
+            for w in 0..5 {
+                let queues = &queues;
+                let seen = &seen;
+                let steals = &steals;
+                scope.spawn(move || {
+                    while let Some((t, stolen)) = queues.pop(w) {
+                        assert!(seen.lock().unwrap().insert(t), "task {t} delivered twice");
+                        if stolen {
+                            *steals.lock().unwrap() += 1;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(seen.lock().unwrap().len(), 97);
+    }
+
+    #[test]
+    fn owner_pops_in_seed_order_and_thief_steals_from_the_back() {
+        let queues = StealQueues::new(vec![10, 11, 12, 13], 2);
+        // Worker 0 owns [10, 12], worker 1 owns [11, 13].
+        assert_eq!(queues.pop(0), Some((10, false)));
+        // Worker 1's own deque front comes first...
+        assert_eq!(queues.pop(1), Some((11, false)));
+        assert_eq!(queues.pop(1), Some((13, false)));
+        // ...and once empty it steals worker 0's back task.
+        assert_eq!(queues.pop(1), Some((12, true)));
+        assert_eq!(queues.pop(0), None);
+        assert_eq!(queues.pop(1), None);
+    }
+
+    #[test]
+    fn single_worker_gets_everything_in_order() {
+        let queues = StealQueues::new(vec![1, 2, 3], 1);
+        assert_eq!(queues.pop(0), Some((1, false)));
+        assert_eq!(queues.pop(0), Some((2, false)));
+        assert_eq!(queues.pop(0), Some((3, false)));
+        assert_eq!(queues.pop(0), None);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let queues = StealQueues::new(vec![42], 8);
+        let mut got = 0;
+        for w in 0..8 {
+            if let Some((t, _)) = queues.pop(w) {
+                assert_eq!(t, 42);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 1);
+    }
+}

@@ -68,6 +68,7 @@ fn node_limit_makes_checker_conservative_not_wrong() {
         SearchConfig {
             memoize: true,
             node_limit: Some(3),
+            ..SearchConfig::default()
         },
     )
     .unwrap();
@@ -77,6 +78,7 @@ fn node_limit_makes_checker_conservative_not_wrong() {
         SearchConfig {
             memoize: true,
             node_limit: Some(10_000),
+            ..SearchConfig::default()
         },
     )
     .unwrap();
@@ -157,6 +159,7 @@ fn monitor_with_custom_config() {
     let mut m = OpacityMonitor::new(&specs).with_config(SearchConfig {
         memoize: true,
         node_limit: Some(100_000),
+        ..SearchConfig::default()
     });
     assert_eq!(m.feed_all(&paper::h5()).unwrap(), None);
     assert!(m.last_stats().nodes > 0);

@@ -1,0 +1,140 @@
+//! Property and battery tests for the parallel, memory-bounded search:
+//! the work-stealing root-split check must be **verdict-identical** to the
+//! sequential engine on arbitrary histories, with any witness it produces
+//! re-validating, and a bounded memo must never change an answer.
+
+use proptest::prelude::*;
+use tm_harness::randhist::{random_history, GenConfig};
+use tm_model::SpecRegistry;
+use tm_opacity::opacity::witness_history;
+use tm_opacity::search::Search;
+use tm_opacity::{CheckSession, SearchConfig, SearchMode};
+
+fn par(jobs: usize) -> SearchConfig {
+    SearchConfig {
+        search_jobs: jobs,
+        ..SearchConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random histories across three generator profiles: the parallel
+    /// verdict equals the sequential one for every worker count, and any
+    /// parallel witness re-validates through the model crate's own
+    /// legality machinery.
+    #[test]
+    fn parallel_search_is_verdict_identical_on_random_histories(
+        seed in 0u64..10_000,
+        profile in 0usize..3,
+    ) {
+        let config = match profile {
+            0 => GenConfig::default(),
+            1 => GenConfig {
+                txs: 6,
+                objs: 2,
+                max_ops: 5,
+                noise: 0.4,
+                commit_pending: 0.3,
+                abort: 0.2,
+            },
+            _ => GenConfig {
+                txs: 5,
+                objs: 1,
+                max_ops: 4,
+                noise: 0.6,
+                commit_pending: 0.2,
+                abort: 0.4,
+            },
+        };
+        let h = random_history(&config, seed);
+        let specs = SpecRegistry::registers();
+        let seq = Search::new(&h, &specs, SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        for jobs in [2usize, 4, 8] {
+            let out = Search::new(&h, &specs, SearchMode::OPACITY, par(jobs))
+                .unwrap()
+                .run()
+                .unwrap();
+            prop_assert_eq!(out.holds(), seq.holds(), "jobs={} on {}", jobs, h);
+            if let Some(w) = &out.witness {
+                let s = witness_history(&h, w);
+                prop_assert!(
+                    tm_model::all_txs_legal(&s, &specs).is_ok(),
+                    "jobs={} produced a witness that does not re-validate on {}",
+                    jobs,
+                    h
+                );
+            }
+        }
+    }
+
+    /// A tight memo capacity must never change a verdict either — eviction
+    /// only costs recomputation — including combined with parallel workers.
+    #[test]
+    fn bounded_memo_is_verdict_identical_on_random_histories(
+        seed in 0u64..10_000,
+        cap in 1usize..24,
+    ) {
+        let h = random_history(&GenConfig::default(), seed);
+        let specs = SpecRegistry::registers();
+        let seq = Search::new(&h, &specs, SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        for jobs in [1usize, 3] {
+            let config = SearchConfig {
+                search_jobs: jobs,
+                memo_capacity: Some(cap),
+                ..SearchConfig::default()
+            };
+            let out = Search::new(&h, &specs, SearchMode::OPACITY, config)
+                .unwrap()
+                .run()
+                .unwrap();
+            prop_assert_eq!(out.holds(), seq.holds(), "cap={} jobs={} on {}", cap, jobs, h);
+        }
+    }
+
+    /// Session use (the monitor's shape): extending and re-checking a
+    /// parallel bounded session at every prefix matches fresh sequential
+    /// checks — the shared memo's invalidation rules compose with eviction
+    /// and with cross-worker sharing.
+    #[test]
+    fn parallel_bounded_session_matches_batch_on_prefixes(seed in 0u64..3_000) {
+        let config = GenConfig {
+            txs: 5,
+            objs: 2,
+            max_ops: 4,
+            noise: 0.3,
+            commit_pending: 0.25,
+            abort: 0.25,
+        };
+        let h = random_history(&config, seed);
+        let specs = SpecRegistry::registers();
+        let session_config = SearchConfig {
+            search_jobs: 2,
+            memo_capacity: Some(8),
+            ..SearchConfig::default()
+        };
+        let mut session = CheckSession::new(&specs, SearchMode::OPACITY, session_config);
+        for (i, e) in h.events().iter().enumerate() {
+            session.extend(e).unwrap();
+            let live = session.check().unwrap().holds();
+            let fresh = Search::new(
+                &h.prefix(i + 1),
+                &specs,
+                SearchMode::OPACITY,
+                SearchConfig::default(),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+            .holds();
+            prop_assert_eq!(live, fresh, "prefix {} of {}", i + 1, h);
+        }
+    }
+}

@@ -29,8 +29,9 @@
 //! single-threaded wrapper.
 
 use tm_model::SpecRegistry;
-use tm_opacity::criteria::{is_serializable, snapshot_isolated};
-use tm_opacity::opacity::is_opaque;
+use tm_opacity::criteria::{is_serializable_with, snapshot_isolated};
+use tm_opacity::opacity::is_opaque_with;
+use tm_opacity::SearchConfig;
 use tm_stm::{run_tx, Stm};
 
 use crate::parallel::parallel_map;
@@ -195,6 +196,7 @@ fn run_sweep_item(
     make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync),
     blocking: bool,
     item: &SweepItem,
+    search: SearchConfig,
 ) -> SweepVerdict {
     let specs = SpecRegistry::registers();
     let stm = make(2);
@@ -219,8 +221,10 @@ fn run_sweep_item(
     }
     SweepVerdict {
         wf,
-        opaque: is_opaque(&h, &specs).map(|r| r.opaque).unwrap_or(false),
-        serializable: is_serializable(&h, &specs).unwrap_or(false),
+        opaque: is_opaque_with(&h, &specs, search)
+            .map(|r| r.opaque)
+            .unwrap_or(false),
+        serializable: is_serializable_with(&h, &specs, search).unwrap_or(false),
         snapshot_isolated: snapshot_isolated(&h, &specs).unwrap_or(false),
     }
 }
@@ -243,6 +247,25 @@ pub fn check_conformance(make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync)) -> Confo
 pub fn conformance_parallel(
     make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync),
     jobs: usize,
+) -> ConformanceReport {
+    conformance_parallel_with(make, jobs, SearchConfig::default())
+}
+
+/// [`conformance_parallel`] with an explicit serialization-search
+/// configuration for the per-history opacity/serializability checks.
+///
+/// This is how the *intra-history* parallel search composes with the
+/// *inter-history* sweep sharding: `jobs` spreads independent `(probe,
+/// schedule)` pairs across workers, while `search.search_jobs` parallelizes
+/// the root placements of each individual check and `search.memo_capacity`
+/// bounds its dead-end table. Verdicts are independent of both knobs (the
+/// parallel search is verdict-identical and eviction only costs
+/// recomputation), so the report stays byte-identical — pinned by the
+/// property tests.
+pub fn conformance_parallel_with(
+    make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync),
+    jobs: usize,
+    search: SearchConfig,
 ) -> ConformanceReport {
     let name = make(1).name().to_string();
     let blocking = make(1).blocking();
@@ -269,7 +292,7 @@ pub fn conformance_parallel(
     // ---- interleaving sweeps (sharded) ------------------------------------
     let items = sweep_items(blocking);
     let verdicts = parallel_map(items.len(), jobs, |i| {
-        run_sweep_item(make, blocking, &items[i])
+        run_sweep_item(make, blocking, &items[i], search)
     });
     for (item, v) in items.iter().zip(&verdicts) {
         let SweepItem { pname, sched, .. } = item;

@@ -34,12 +34,13 @@ pub mod workload;
 
 pub use complexity::{fraction_scenario, paper_scenario, solo_scan, sweep, ComplexityRow};
 pub use conformance::{
-    check_conformance, conformance_parallel, header as conformance_header, ConformanceReport,
+    check_conformance, conformance_parallel, conformance_parallel_with,
+    header as conformance_header, ConformanceReport,
 };
 pub use objconformance::{
-    execute_objects, execute_objects_serially, object_conformance, object_header, ObjExecOutcome,
-    ObjOp, ObjProgram, ObjScript, ObjTxOutcome, ObjectConformanceReport, ObjectKind,
-    ObjectProbeReport,
+    execute_objects, execute_objects_serially, object_conformance, object_conformance_with,
+    object_header, ObjExecOutcome, ObjOp, ObjProgram, ObjScript, ObjTxOutcome,
+    ObjectConformanceReport, ObjectKind, ObjectProbeReport,
 };
 pub use parallel::{default_jobs, parallel_map};
 pub use randhist::{batch, cross_validate, random_history, CrossValReport, GenConfig};

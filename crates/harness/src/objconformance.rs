@@ -26,8 +26,9 @@
 //! every job count.
 
 use tm_model::{OpName, Value};
-use tm_opacity::criteria::is_serializable;
-use tm_opacity::opacity::is_opaque;
+use tm_opacity::criteria::is_serializable_with;
+use tm_opacity::opacity::is_opaque_with;
+use tm_opacity::SearchConfig;
 use tm_stm::objects::encodings::{
     CasEnc, CounterEnc, LogEnc, MapEnc, PQueueEnc, QueueEnc, RegisterEnc, SetEnc, StackEnc,
 };
@@ -632,6 +633,21 @@ pub fn object_conformance(
     kinds: &[ObjectKind],
     jobs: usize,
 ) -> ObjectConformanceReport {
+    object_conformance_with(make, kinds, jobs, SearchConfig::default())
+}
+
+/// [`object_conformance`] with an explicit serialization-search
+/// configuration for the per-history checks: `search.search_jobs`
+/// parallelizes the root placements of each individual opacity /
+/// serializability decision and `search.memo_capacity` bounds its dead-end
+/// table. Verdicts — and therefore the rendered battery — are invariant
+/// under both knobs.
+pub fn object_conformance_with(
+    make: &(dyn Fn(usize) -> Box<dyn Stm> + Sync),
+    kinds: &[ObjectKind],
+    jobs: usize,
+    search: SearchConfig,
+) -> ObjectConformanceReport {
     let name = make(1).name().to_string();
     let blocking = make(1).blocking();
     let selected: Vec<ObjProbe> = probes()
@@ -682,8 +698,10 @@ pub fn object_conformance(
         }
         SweepVerdict {
             wf,
-            opaque: is_opaque(&h, &specs).map(|r| r.opaque).unwrap_or(false),
-            serializable: is_serializable(&h, &specs).unwrap_or(false),
+            opaque: is_opaque_with(&h, &specs, search)
+                .map(|r| r.opaque)
+                .unwrap_or(false),
+            serializable: is_serializable_with(&h, &specs, search).unwrap_or(false),
         }
     });
 

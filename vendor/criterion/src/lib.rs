@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -27,6 +28,31 @@ pub use std::hint::black_box;
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 /// Warm-up budget.
 const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Real criterion ≥ 0.5 accepts `--quick` (reduced sampling) on the bench
+/// binary's command line; honor the same flag here by shrinking the time
+/// budgets, so `cargo bench -- --quick` means the same thing against the
+/// stub as against the real crate.
+fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
+fn measure_budget() -> Duration {
+    if quick_mode() {
+        MEASURE_BUDGET / 10
+    } else {
+        MEASURE_BUDGET
+    }
+}
+
+fn warmup_budget() -> Duration {
+    if quick_mode() {
+        WARMUP_BUDGET / 10
+    } else {
+        WARMUP_BUDGET
+    }
+}
 
 /// The benchmark driver handed to the functions in a
 /// [`criterion_group!`].
@@ -115,7 +141,7 @@ impl Bencher {
         // Warm-up: establish a per-iteration estimate.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP_BUDGET {
+        while warm_start.elapsed() < warmup_budget() {
             black_box(f());
             warm_iters += 1;
             if warm_iters >= 1_000_000 {
@@ -128,11 +154,12 @@ impl Bencher {
             .unwrap_or_default();
 
         // Measurement: batches sized so each is ~10% of the budget.
-        let batch = (MEASURE_BUDGET.as_nanos() / 10 / per_iter.as_nanos().max(1))
-            .clamp(1, 1_000_000) as u64;
+        let budget = measure_budget();
+        let batch =
+            (budget.as_nanos() / 10 / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
         let start = Instant::now();
         let mut iters: u64 = 0;
-        while start.elapsed() < MEASURE_BUDGET {
+        while start.elapsed() < budget {
             for _ in 0..batch {
                 black_box(f());
             }
