@@ -1,0 +1,396 @@
+//! # tm-lint — the repository's source-discipline pass
+//!
+//! The step-level race analysis is only trustworthy if the memory-ordering
+//! surface it instruments is the *whole* surface: a raw `AtomicU64` access
+//! added anywhere else in `tm-stm` would be a shared-memory step the
+//! explorer never sees. This binary pins that discipline (and two house
+//! rules) as a CI gate, with `file:line` diagnostics:
+//!
+//! 1. **ordering-containment** — no `Ordering::` token in
+//!    `crates/stm/src` outside the sanctioned instrumentation layer
+//!    (`base.rs`, `clock.rs`, `recorder.rs`). TMs must go through the
+//!    metered `tm_stm::base` helpers, never raw atomics. (`std::cmp::Ordering`
+//!    counts too: the blanket token rule keeps the check un-foolable, and
+//!    comparator code has no business in the TM algorithms either.)
+//! 2. **forbid-unsafe** — every `crates/*/src/lib.rs` carries
+//!    `#![forbid(unsafe_code)]`.
+//! 3. **no-unwrap-in-cli** — no `.unwrap()` in non-test `crates/cli/src`
+//!    code; user-facing paths return friendly errors instead of panicking.
+//!    Everything from the first `#[cfg(test)]` line to the end of a file is
+//!    considered test code (the house style keeps test modules last).
+//!
+//! ```text
+//! tm-lint [--root DIR]     # DIR defaults to the workspace root
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage error. The std-only
+//! directory walk keeps the binary dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+/// One rule violation, rendered as `file:line: [rule] excerpt`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt
+        )
+    }
+}
+
+/// Collects every `.rs` file under `dir`, depth-first, sorted for
+/// deterministic output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        paths.push(entry.map_err(|e| format!("{}: {e}", dir.display()))?.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Comment lines are prose, not code: the token rules skip them (a doc
+/// sentence *about* `Ordering::` or `.unwrap()` is not a violation).
+fn is_comment(line: &str) -> bool {
+    line.trim_start().starts_with("//")
+}
+
+/// Rule 1: `Ordering::` stays inside the instrumentation layer.
+fn lint_ordering_containment(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    const ALLOWED: [&str; 3] = ["base.rs", "clock.rs", "recorder.rs"];
+    let dir = root.join("crates/stm/src");
+    let mut files = Vec::new();
+    rust_files(&dir, &mut files)?;
+    for file in files {
+        let name = file
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if ALLOWED.contains(&name.as_str()) {
+            continue;
+        }
+        for (i, line) in read(&file)?.lines().enumerate() {
+            if !is_comment(line) && line.contains("Ordering::") {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: i + 1,
+                    rule: "ordering-containment",
+                    excerpt: format!(
+                        "raw memory-ordering token outside base/clock/recorder: {}",
+                        line.trim()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rule 2: every crate root forbids `unsafe`.
+fn lint_forbid_unsafe(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).map_err(|e| format!("{}: {e}", crates.display()))?;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("{}: {e}", crates.display()))?
+            .path();
+        let lib = path.join("src/lib.rs");
+        if lib.is_file() {
+            roots.push(lib);
+        }
+    }
+    roots.sort();
+    for lib in roots {
+        if !read(&lib)?.contains("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                file: lib,
+                line: 1,
+                rule: "forbid-unsafe",
+                excerpt: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Rule 3: no `.unwrap()` on the CLI's user-facing paths.
+fn lint_no_unwrap_in_cli(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    let dir = root.join("crates/cli/src");
+    let mut files = Vec::new();
+    rust_files(&dir, &mut files)?;
+    for file in files {
+        let mut in_tests = false;
+        for (i, line) in read(&file)?.lines().enumerate() {
+            if line.contains("#[cfg(test)]") {
+                in_tests = true;
+            }
+            if !in_tests && !is_comment(line) && line.contains(".unwrap()") {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: i + 1,
+                    rule: "no-unwrap-in-cli",
+                    excerpt: format!(
+                        "panic on the user-facing path; return an error instead: {}",
+                        line.trim()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all rules under `root`, returning findings sorted by location.
+fn lint(root: &Path) -> Result<Vec<Finding>, String> {
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "'{}' is not the workspace root (no crates/ directory); \
+             pass it with --root",
+            root.display()
+        ));
+    }
+    let mut findings = Vec::new();
+    lint_ordering_containment(root, &mut findings)?;
+    lint_forbid_unsafe(root, &mut findings)?;
+    lint_no_unwrap_in_cli(root, &mut findings)?;
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Usage text shown on argument errors.
+const USAGE: &str = "\
+tm-lint — source-discipline gate (ordering containment, forbid(unsafe), no CLI unwraps)
+
+USAGE:
+  tm-lint [--root DIR]     DIR defaults to the workspace root containing crates/
+";
+
+/// Parses the argument list (without the program name).
+fn parse_args(args: &[String]) -> Result<PathBuf, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| "--root needs a directory".to_string())?;
+                let path = PathBuf::from(dir);
+                if !path.is_dir() {
+                    return Err(format!("--root '{dir}' is not a directory"));
+                }
+                root = Some(path);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    match root {
+        Some(r) => Ok(r),
+        // Default: walk up from the current directory to the workspace root.
+        None => {
+            let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            loop {
+                if dir.join("crates").is_dir() {
+                    return Ok(dir);
+                }
+                if !dir.pop() {
+                    return Err("no workspace root (crates/ directory) above the current \
+                         directory; pass --root"
+                        .to_string());
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match parse_args(&args).and_then(|root| lint(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("tm-lint: clean");
+            0
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("tm-lint: {} finding(s)", findings.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("tm-lint: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workspace root of this checkout.
+    fn repo_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap()
+    }
+
+    /// A scratch workspace with one stm file, one crate root, one cli file.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            let dir = std::env::temp_dir().join(format!("tm-lint-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            for sub in ["crates/stm/src", "crates/cli/src"] {
+                std::fs::create_dir_all(dir.join(sub)).unwrap();
+            }
+            std::fs::write(
+                dir.join("crates/stm/src/lib.rs"),
+                "#![forbid(unsafe_code)]\npub mod base;\n",
+            )
+            .unwrap();
+            std::fs::write(dir.join("crates/stm/src/base.rs"), "// sanctioned\n").unwrap();
+            std::fs::write(
+                dir.join("crates/cli/src/lib.rs"),
+                "#![forbid(unsafe_code)]\nfn ok() {}\n",
+            )
+            .unwrap();
+            Scratch(dir)
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            std::fs::write(self.0.join(rel), content).unwrap();
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn the_tree_is_clean() {
+        // The gate the CI job runs: this checkout has no violations.
+        let findings = lint(&repo_root()).unwrap();
+        assert!(
+            findings.is_empty(),
+            "{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn a_stray_ordering_token_is_flagged_with_file_and_line() {
+        let s = Scratch::new("ordering");
+        s.write(
+            "crates/stm/src/sneaky.rs",
+            "use std::sync::atomic::Ordering;\nfn f(x: &std::sync::atomic::AtomicU64) -> u64 {\n    x.load(Ordering::Relaxed)\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        let hit = findings
+            .iter()
+            .find(|f| f.rule == "ordering-containment")
+            .expect("the deliberate violation must be caught");
+        assert!(hit.file.ends_with("crates/stm/src/sneaky.rs"));
+        assert_eq!(hit.line, 3);
+        // The sanctioned files stay exempt.
+        s.write(
+            "crates/stm/src/base.rs",
+            "pub fn peek(x: &std::sync::atomic::AtomicU64) -> u64 {\n    x.load(std::sync::atomic::Ordering::SeqCst)\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        assert_eq!(
+            findings
+                .iter()
+                .filter(|f| f.rule == "ordering-containment")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn a_crate_root_without_forbid_unsafe_is_flagged() {
+        let s = Scratch::new("unsafe");
+        s.write("crates/stm/src/lib.rs", "pub mod base;\n");
+        let findings = lint(&s.0).unwrap();
+        let hit = findings
+            .iter()
+            .find(|f| f.rule == "forbid-unsafe")
+            .expect("missing forbid(unsafe_code) must be caught");
+        assert!(hit.file.ends_with("crates/stm/src/lib.rs"));
+    }
+
+    #[test]
+    fn an_unwrap_on_the_cli_path_is_flagged_but_test_code_is_exempt() {
+        let s = Scratch::new("unwrap");
+        s.write(
+            "crates/cli/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() { std::fs::read(\"x\").unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n    fn g() { std::fs::read(\"y\").unwrap(); }\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "no-unwrap-in-cli")
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn args_are_validated_with_friendly_errors() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert!(parse_args(&a("--root"))
+            .unwrap_err()
+            .contains("--root needs a directory"));
+        assert!(parse_args(&a("--root /nonexistent/nowhere"))
+            .unwrap_err()
+            .contains("is not a directory"));
+        assert!(parse_args(&a("--bogus"))
+            .unwrap_err()
+            .contains("unknown flag"));
+        let root = repo_root();
+        assert_eq!(
+            parse_args(&["--root".to_string(), root.display().to_string()]).unwrap(),
+            root
+        );
+        // A root without crates/ is rejected by lint() itself.
+        assert!(lint(Path::new("/tmp")).is_err());
+    }
+}

@@ -13,8 +13,17 @@
 //! tmcheck convert  <file> --json|--text   # format conversion
 //! tmcheck generate [--seed N --txs N --objs N --ops N --json]
 //! tmcheck conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
+//! tmcheck race     [--tm SPEC] [--steps N] [--preemptions K]
 //! tmcheck list              # the TM registry and its configuration axes
 //! ```
+//!
+//! `race` is the *step-level* analogue of `conformance`: it drives each
+//! non-blocking TM through the DPOR interleaving explorer (yield points at
+//! every instrumented base-object access, not every operation), runs the
+//! vector-clock clock-discipline checker and the committed-subset
+//! serializability oracle over every explored schedule, and — in suite
+//! mode — re-convicts the two seeded concurrency mutants as a self-test,
+//! printing each conviction's minimized replayable schedule.
 //!
 //! `conformance` runs the `tm-harness` conformance kit over the in-tree TM
 //! suite; `--jobs N` shards the interleaving sweep across `N` worker
@@ -108,6 +117,17 @@ pub enum Command {
         /// kinds. `None` runs the classic register battery.
         objects: Option<Vec<ObjectKind>>,
     },
+    /// `race [--tm SPEC] [--steps N] [--preemptions K]`
+    Race {
+        /// Restrict to one non-blocking TM spec (default: every
+        /// non-blocking TM in the suite, plus the concurrency-mutant
+        /// self-test).
+        tm: Option<String>,
+        /// Budget: maximum explored interleavings per probe (≥ 1).
+        steps: usize,
+        /// Preemption bound for the real-TM sweep (0 = serial orders only).
+        preemptions: usize,
+    },
     /// `list`
     List,
     /// `help`
@@ -151,6 +171,21 @@ USAGE:
                                     sets, producer/consumer queues, commutative
                                     counter storms — instead of the register
                                     battery
+  tmcheck race [--tm SPEC] [--steps N] [--preemptions K]
+                                    step-level race analysis: explore
+                                    instrumented base-object interleavings
+                                    with dynamic partial-order reduction,
+                                    check version-clock discipline
+                                    (vector-clock happens-before) and
+                                    committed-subset serializability on every
+                                    schedule (exit 1 on a conviction);
+                                    without --tm, sweeps every non-blocking
+                                    TM and re-convicts the two seeded
+                                    concurrency mutants as a self-test,
+                                    printing minimized replayable schedules;
+                                    --steps bounds explored interleavings per
+                                    probe, --preemptions bounds context
+                                    switches away from a runnable thread
   tmcheck list                      the TM registry: names, properties, and
                                     which configuration axes each TM accepts
   tmcheck help
@@ -319,6 +354,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 clock,
                 mutants,
                 objects,
+            })
+        }
+        "race" => {
+            let mut tm = None;
+            let mut steps = 200_000usize;
+            let mut preemptions = 2usize;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--tm" => {
+                        tm = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "race: --tm needs a name".to_string())?,
+                        );
+                    }
+                    "--steps" => {
+                        steps = positive_flag(&mut it, "race", "--steps")?;
+                    }
+                    "--preemptions" => {
+                        // 0 is meaningful here (serial orders only), so the
+                        // ≥ 1 helper does not apply.
+                        preemptions = it
+                            .next()
+                            .and_then(|v| v.parse::<usize>().ok())
+                            .ok_or_else(|| "race: --preemptions needs a number ≥ 0".to_string())?;
+                    }
+                    other => return Err(format!("race: unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::Race {
+                tm,
+                steps,
+                preemptions,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -723,6 +791,11 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                 Ok(1)
             }
         }
+        Command::Race {
+            tm,
+            steps,
+            preemptions,
+        } => run_race(out, tm.as_deref(), *steps, *preemptions),
         Command::Generate {
             seed,
             txs,
@@ -746,6 +819,262 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             Ok(0)
         }
     }
+}
+
+/// The step-level probe programs of the `race` sweep — the same §2 hazard
+/// shapes as the conformance battery, minus write skew: `sistm` commits
+/// write skew *by design* (a documented anomaly, not a clock-discipline
+/// race), so a skew probe would convict a TM that is exactly as weak as it
+/// advertises. The mutant self-test supplies the skew program where it
+/// belongs.
+fn race_probes() -> Vec<(&'static str, tm_harness::Program)> {
+    use tm_harness::TxScript;
+    vec![
+        (
+            "reader-vs-writer",
+            tm_harness::Program::new(vec![
+                TxScript::new().read(0).read(1),
+                TxScript::new().write(0, 7).write(1, 7),
+            ]),
+        ),
+        (
+            "rmw-vs-rmw",
+            tm_harness::Program::new(vec![
+                TxScript::new().read(0).write(0, 100),
+                TxScript::new().read(0).write(0, 200),
+            ]),
+        ),
+    ]
+}
+
+/// Explores every probe for one TM factory, printing a row per probe and
+/// the minimized replayable schedule for any conviction. Returns whether
+/// every probe came back clean.
+fn race_sweep_one(
+    out: &mut dyn Write,
+    label: &str,
+    factory: tm_harness::StmFactory<'_>,
+    cfg: &tm_harness::DporConfig,
+) -> Result<bool, String> {
+    use tm_harness::{committed_serializable, explore, replay_schedule, shrink_schedule};
+    let w = |out: &mut dyn Write, s: String| -> Result<(), String> {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    let mut clean = true;
+    for (pname, program) in race_probes() {
+        let res = explore(factory, &program, cfg);
+        let complete = if res.truncated {
+            "truncated"
+        } else {
+            "complete"
+        };
+        if res.violations.is_empty() {
+            w(
+                out,
+                format!(
+                    "{label:<28} {pname:<18} {:>13} {complete:>9}  clean",
+                    res.interleavings
+                ),
+            )?;
+            continue;
+        }
+        clean = false;
+        let conviction = &res.violations[0];
+        w(
+            out,
+            format!(
+                "{label:<28} {pname:<18} {:>13} {complete:>9}  CONVICTED: {}",
+                res.interleavings, conviction.kind
+            ),
+        )?;
+        // Minimize towards seriality while the replay still convicts; the
+        // printed schedule is the artifact — feeding it back through the
+        // stepper reproduces the violation deterministically.
+        let violates = |sched: &[usize]| {
+            let r = replay_schedule(factory, &program, sched);
+            !tm_harness::check_race_trace(&r.trace, program.threads.len()).is_empty()
+                || !committed_serializable(factory, &program, &r.outcomes, &r.final_state)
+        };
+        let minimized = if violates(&conviction.schedule) {
+            shrink_schedule(&conviction.schedule, violates)
+        } else {
+            conviction.schedule.clone()
+        };
+        let rendered: Vec<String> = minimized.iter().map(usize::to_string).collect();
+        w(
+            out,
+            format!(
+                "  minimized schedule (thread per step): {}",
+                rendered.join(" ")
+            ),
+        )?;
+    }
+    Ok(clean)
+}
+
+/// `tmcheck race`: the step-level analysis battery.
+fn run_race(
+    out: &mut dyn Write,
+    tm: Option<&str>,
+    steps: usize,
+    preemptions: usize,
+) -> Result<i32, String> {
+    use std::sync::Arc;
+    use tm_harness::{DporConfig, SharedStm};
+    use tm_stm::trace_cells::StepProbe;
+    use tm_stm::StmConfig;
+    let w = |out: &mut dyn Write, s: String| -> Result<(), String> {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+    let reg = tm_stm::TmRegistry::suite();
+    let specs: Vec<String> = match tm {
+        Some(s) => vec![s.to_string()],
+        None => reg
+            .specs()
+            .iter()
+            .filter(|s| !s.blocking)
+            .map(|s| s.name.to_string())
+            .collect(),
+    };
+    w(
+        out,
+        format!(
+            "{:<28} {:<18} {:>13} {:>9}  verdict",
+            "tm", "probe", "interleavings", "explored"
+        ),
+    )?;
+    let cfg = DporConfig {
+        max_interleavings: steps,
+        preemption_bound: Some(preemptions),
+        ..DporConfig::default()
+    };
+    let mut all_clean = true;
+    for spec in &specs {
+        let (tmspec, scheme) = {
+            let (t, scheme) = reg.parse_spec(spec).map_err(|e| format!("race: {e}"))?;
+            (*t, scheme)
+        };
+        if tmspec.blocking {
+            return Err(format!(
+                "race: '{spec}' is blocking — a transaction would hold the global \
+                 lock across yield points; the step-level explorer needs \
+                 non-blocking TMs"
+            ));
+        }
+        let factory = move |p: Option<Arc<dyn StepProbe>>| -> SharedStm {
+            let cfg = StmConfig::new(2).clock(scheme).recording(false);
+            let cfg = match p {
+                Some(probe) => cfg.probe(probe),
+                None => cfg,
+            };
+            Arc::from(tmspec.build(&cfg))
+        };
+        all_clean &= race_sweep_one(out, spec, &factory, &cfg)?;
+    }
+    // Suite mode doubles as a self-test of the analysis: the two seeded
+    // concurrency mutants — invisible to every op-granular sweep — must be
+    // convicted at step granularity, each with a replayable schedule. Their
+    // programs and preemption bounds are fixed (the smallest known to
+    // convict), independent of the sweep knobs.
+    let mut mutants_convicted = true;
+    if tm.is_none() {
+        use tm_harness::TxScript;
+        use tm_stm::{MutantStm, Mutation};
+        let teeth: [(&str, Mutation, tm_harness::Program, usize); 2] = [
+            (
+                "mutant:dropped-residue",
+                Mutation::DroppedResidue,
+                tm_harness::Program::new(vec![
+                    TxScript::new().write(0, 1),
+                    TxScript::new().write(1, 2),
+                ]),
+                2,
+            ),
+            (
+                "mutant:unlicensed-fast-path",
+                Mutation::UnlicensedFastPath,
+                tm_harness::Program::new(vec![
+                    TxScript::new().read(0).write(1, 5),
+                    TxScript::new().read(1).write(0, 7),
+                    TxScript::new().write(2, 1),
+                ]),
+                3,
+            ),
+        ];
+        for (label, mutation, program, bound) in teeth {
+            let k = program.required_k();
+            let factory = move |p: Option<Arc<dyn StepProbe>>| -> SharedStm {
+                let cfg = StmConfig::new(k).recording(false);
+                let cfg = match p {
+                    Some(probe) => cfg.probe(probe),
+                    None => cfg,
+                };
+                Arc::new(MutantStm::with_config(&cfg, mutation))
+            };
+            let mcfg = DporConfig {
+                max_interleavings: steps.max(200_000),
+                preemption_bound: Some(bound),
+                stop_on_violation: true,
+                ..DporConfig::default()
+            };
+            let res = tm_harness::explore(&factory, &program, &mcfg);
+            if let Some(conviction) = res.violations.first() {
+                w(
+                    out,
+                    format!(
+                        "{label:<28} {:<18} {:>13} {:>9}  CONVICTED (expected): {}",
+                        "seeded-hazard",
+                        res.interleavings,
+                        if res.truncated {
+                            "truncated"
+                        } else {
+                            "complete"
+                        },
+                        conviction.kind
+                    ),
+                )?;
+                let violates = |sched: &[usize]| {
+                    let r = tm_harness::replay_schedule(&factory, &program, sched);
+                    !tm_harness::check_race_trace(&r.trace, program.threads.len()).is_empty()
+                        || !tm_harness::committed_serializable(
+                            &factory,
+                            &program,
+                            &r.outcomes,
+                            &r.final_state,
+                        )
+                };
+                let minimized = if violates(&conviction.schedule) {
+                    tm_harness::shrink_schedule(&conviction.schedule, violates)
+                } else {
+                    conviction.schedule.clone()
+                };
+                let rendered: Vec<String> = minimized.iter().map(usize::to_string).collect();
+                w(
+                    out,
+                    format!(
+                        "  minimized schedule (thread per step): {}",
+                        rendered.join(" ")
+                    ),
+                )?;
+            } else {
+                mutants_convicted = false;
+                w(
+                    out,
+                    format!(
+                        "{label:<28} {:<18} {:>13} {:>9}  ESCAPED — the analysis lost its teeth",
+                        "seeded-hazard",
+                        res.interleavings,
+                        if res.truncated {
+                            "truncated"
+                        } else {
+                            "complete"
+                        },
+                    ),
+                )?;
+            }
+        }
+    }
+    Ok(if all_clean && mutants_convicted { 0 } else { 1 })
 }
 
 #[cfg(test)]
@@ -1285,6 +1614,94 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             skew_row.contains("NO"),
             "conviction must survive: {skew_row}"
         );
+    }
+
+    #[test]
+    fn race_flags_parse_with_friendly_errors() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert_eq!(
+            parse_args(&a("race")),
+            Ok(Command::Race {
+                tm: None,
+                steps: 200_000,
+                preemptions: 2
+            })
+        );
+        assert_eq!(
+            parse_args(&a("race --tm tl2+deferred --steps 500 --preemptions 0")),
+            Ok(Command::Race {
+                tm: Some("tl2+deferred".into()),
+                steps: 500,
+                preemptions: 0
+            })
+        );
+        for (args, needle) in [
+            ("race --steps 0", "--steps needs a number ≥ 1"),
+            ("race --steps x", "--steps needs a number ≥ 1"),
+            ("race --steps", "--steps needs a number ≥ 1"),
+            ("race --preemptions x", "--preemptions needs a number ≥ 0"),
+            ("race --preemptions", "--preemptions needs a number ≥ 0"),
+            ("race --tm", "--tm needs a name"),
+            ("race --bogus", "unknown flag"),
+        ] {
+            let err = parse_args(&a(args)).unwrap_err();
+            assert!(err.contains(needle), "{args}: {err}");
+        }
+    }
+
+    #[test]
+    fn race_acquits_a_single_real_tm() {
+        let (code, out) = run_str(&Command::Race {
+            tm: Some("tl2".into()),
+            steps: 2_000,
+            preemptions: 2,
+        });
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("reader-vs-writer"), "{out}");
+        assert!(out.contains("rmw-vs-rmw"), "{out}");
+        assert!(out.contains("clean"), "{out}");
+        assert!(!out.contains("CONVICTED"), "{out}");
+        // Single-TM mode has no mutant self-test rows.
+        assert!(!out.contains("mutant:"), "{out}");
+    }
+
+    #[test]
+    fn race_rejects_blocking_and_unknown_tms() {
+        let (code, out) = run_str(&Command::Race {
+            tm: Some("glock".into()),
+            steps: 100,
+            preemptions: 1,
+        });
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("blocking"), "{out}");
+        let (code, out) = run_str(&Command::Race {
+            tm: Some("nonesuch".into()),
+            steps: 100,
+            preemptions: 1,
+        });
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("unknown TM"), "{out}");
+    }
+
+    #[test]
+    fn race_suite_convicts_the_mutants_and_acquits_everyone_else() {
+        // The full battery: every non-blocking TM clean, both seeded
+        // concurrency mutants convicted with a printed schedule artifact.
+        let (code, out) = run_str(&Command::Race {
+            tm: None,
+            steps: 200_000,
+            preemptions: 2,
+        });
+        assert_eq!(code, 0, "{out}");
+        for name in ["tl2", "dstm", "sistm", "nonopaque", "tpl"] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(!out.contains("glock"), "blocking TM must be skipped: {out}");
+        assert!(out.contains("mutant:dropped-residue"), "{out}");
+        assert!(out.contains("mutant:unlicensed-fast-path"), "{out}");
+        assert_eq!(out.matches("CONVICTED (expected)").count(), 2, "{out}");
+        assert_eq!(out.matches("minimized schedule").count(), 2, "{out}");
+        assert!(!out.contains("ESCAPED"), "{out}");
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! the Ω(k) bound is a property of the *point*, not of one algorithm.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{AccessKind, CellId, StepProbe};
 use tm_model::{NestingInfo, NestingMode, TxId};
 
 /// Committed object state: value plus a modification counter that lets
@@ -45,6 +47,7 @@ pub struct AstmStm {
     /// (child, parent) pairs of closed-nested scopes opened so far, for
     /// flattening recorded histories (Section 7 / experiment E22).
     nested: Mutex<Vec<(u32, u32)>>,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl AstmStm {
@@ -66,6 +69,7 @@ impl AstmStm {
             recorder: cfg.build_recorder(),
             retry: cfg.retry_policy(),
             nested: Mutex::new(Vec::new()),
+            probe: cfg.step_probe(),
         }
     }
 
@@ -79,7 +83,7 @@ impl AstmStm {
             reads: Vec::new(),
             writes: Vec::new(),
             scope: None,
-            meter: Meter::new(),
+            meter: Meter::with_probe(_thread, self.probe.clone()),
             finished: false,
         }
     }
@@ -97,7 +101,7 @@ impl AstmStm {
 
     /// One metered load of the object's committed (value, modcount).
     fn snapshot(&self, obj: usize, m: &mut Meter) -> (i64, u64) {
-        m.step();
+        m.touch(CellId::Record(obj as u32), AccessKind::Read);
         *self.objs[obj].inner.lock()
     }
 }
@@ -229,8 +233,9 @@ impl AstmTx<'_> {
         let me = self.id.0 as u64;
         for i in 0..self.reads.len() {
             let (obj, seen) = self.reads[i];
-            self.meter.step();
-            let owner = stm.objs[obj].owned.load(Ordering::Acquire);
+            let owner = self
+                .meter
+                .load_u64(CellId::Lock(obj as u32), &stm.objs[obj].owned);
             if owner != 0 && owner != me {
                 return false;
             }
@@ -257,8 +262,8 @@ impl AstmTx<'_> {
     /// Releases commit-time ownership of `held` objects.
     fn release(&mut self, held: &[usize]) {
         for &obj in held {
-            self.meter.step();
-            self.stm.objs[obj].owned.store(0, Ordering::Release);
+            self.meter
+                .store_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].owned, 0);
         }
     }
 }
@@ -332,11 +337,12 @@ impl Tx for AstmTx<'_> {
         let writes = std::mem::take(&mut self.writes);
         let mut held: Vec<usize> = Vec::with_capacity(writes.len());
         for &(obj, _) in &writes {
-            self.meter.step();
-            let claimed = self.stm.objs[obj]
-                .owned
-                .compare_exchange(0, self.id.0 as u64, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok();
+            let claimed = self.meter.cas_u64(
+                CellId::Lock(obj as u32),
+                &self.stm.objs[obj].owned,
+                0,
+                self.id.0 as u64,
+            );
             if !claimed {
                 self.release(&held);
                 self.meter.end_op();
@@ -355,7 +361,8 @@ impl Tx for AstmTx<'_> {
             return Err(Aborted);
         }
         for &(obj, v) in &writes {
-            self.meter.step();
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Write);
             let mut g = self.stm.objs[obj].inner.lock();
             *g = (v, g.1 + 1);
         }

@@ -61,6 +61,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::base::Meter;
+use crate::trace_cells::CellId;
 
 /// A monotonically increasing global version clock.
 ///
@@ -133,12 +134,14 @@ impl VersionClock {
 
     /// Samples the clock (one step).
     pub fn sample(&self, m: &mut Meter) -> u64 {
-        m.load_u64(&self.now)
+        m.load_u64(CellId::Clock(0), &self.now)
     }
 
     /// Advances the clock and returns the new unique timestamp (one step).
     pub fn tick(&self, m: &mut Meter) -> u64 {
-        m.fetch_add_u64(&self.now, 1)
+        let t = m.fetch_add_u64(CellId::Clock(0), &self.now, 1);
+        m.note_stamp(t);
+        t
     }
 
     /// Unmetered read for assertions/tests.
@@ -157,11 +160,13 @@ impl GlobalClock for VersionClock {
     }
 
     fn reserve(&self, _thread: usize, m: &mut Meter) -> u64 {
-        m.load_u64(&self.now) + 1
+        let ts = m.load_u64(CellId::Clock(0), &self.now) + 1;
+        m.note_stamp(ts);
+        ts
     }
 
     fn publish(&self, ts: u64, m: &mut Meter) {
-        m.fetch_max_u64(&self.now, ts);
+        m.fetch_max_u64(CellId::Clock(0), &self.now, ts);
     }
 
     fn peek(&self) -> u64 {
@@ -211,7 +216,8 @@ impl ShardedClock {
     fn scan_max(&self, m: &mut Meter) -> u64 {
         self.shards
             .iter()
-            .map(|s| m.load_u64(&s.0))
+            .enumerate()
+            .map(|(i, s)| m.load_u64(CellId::Clock(i as u32), &s.0))
             .max()
             .expect("at least one shard")
     }
@@ -245,7 +251,7 @@ impl GlobalClock for ShardedClock {
         let mut base = 0;
         let mut cur = 0;
         for (i, s) in self.shards.iter().enumerate() {
-            let v = m.load_u64(&s.0);
+            let v = m.load_u64(CellId::Clock(i as u32), &s.0);
             if i == home {
                 cur = v;
             }
@@ -255,21 +261,24 @@ impl GlobalClock for ShardedClock {
             let cand = self.next_congruent(base.max(cur), home);
             // The CAS can only lose to another committer homed on the SAME
             // shard; distinct home shards never contend here.
-            if m.cas_u64(&self.shards[home].0, cur, cand) {
+            if m.cas_u64(CellId::Clock(home as u32), &self.shards[home].0, cur, cand) {
+                m.note_stamp(cand);
                 return cand;
             }
-            cur = m.load_u64(&self.shards[home].0);
+            cur = m.load_u64(CellId::Clock(home as u32), &self.shards[home].0);
         }
     }
 
     fn reserve(&self, thread: usize, m: &mut Meter) -> u64 {
         let home = self.home(thread);
-        self.next_congruent(self.scan_max(m), home)
+        let ts = self.next_congruent(self.scan_max(m), home);
+        m.note_stamp(ts);
+        ts
     }
 
     fn publish(&self, ts: u64, m: &mut Meter) {
         let shard = (ts % self.shards.len() as u64) as usize;
-        m.fetch_max_u64(&self.shards[shard].0, ts);
+        m.fetch_max_u64(CellId::Clock(shard as u32), &self.shards[shard].0, ts);
     }
 
     fn peek(&self) -> u64 {
@@ -317,28 +326,32 @@ impl DeferredClock {
 
 impl GlobalClock for DeferredClock {
     fn sample(&self, m: &mut Meter) -> u64 {
-        (m.load_u64(&self.now) << Self::HOME_BITS) | Self::HOME_MASK
+        (m.load_u64(CellId::Clock(0), &self.now) << Self::HOME_BITS) | Self::HOME_MASK
     }
 
     fn tick(&self, thread: usize, m: &mut Meter) -> u64 {
-        let cur = m.load_u64(&self.now);
-        if m.cas_u64(&self.now, cur, cur + 1) {
+        let cur = m.load_u64(CellId::Clock(0), &self.now);
+        let ts = if m.cas_u64(CellId::Clock(0), &self.now, cur, cur + 1) {
             Self::stamp(cur + 1, thread)
         } else {
             // Pass on failure: adopt the winner's advance instead of
             // re-contending for the line. The reload is strictly greater
             // than `cur`, so the adopted stamp stays strictly monotone for
             // this thread; the residue keeps it unique against the winner.
-            Self::stamp(m.load_u64(&self.now), thread)
-        }
+            Self::stamp(m.load_u64(CellId::Clock(0), &self.now), thread)
+        };
+        m.note_stamp(ts);
+        ts
     }
 
     fn reserve(&self, thread: usize, m: &mut Meter) -> u64 {
-        Self::stamp(m.load_u64(&self.now) + 1, thread)
+        let ts = Self::stamp(m.load_u64(CellId::Clock(0), &self.now) + 1, thread);
+        m.note_stamp(ts);
+        ts
     }
 
     fn publish(&self, ts: u64, m: &mut Meter) {
-        m.fetch_max_u64(&self.now, ts >> Self::HOME_BITS);
+        m.fetch_max_u64(CellId::Clock(0), &self.now, ts >> Self::HOME_BITS);
     }
 
     fn peek(&self) -> u64 {

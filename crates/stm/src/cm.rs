@@ -98,11 +98,16 @@ impl ContentionManager {
 /// Attempts to abort `victim` by CAS'ing its status from `ACTIVE` to
 /// `ABORTED` (one step). Returns the victim's final status.
 pub fn try_abort_tx(victim: &TxDesc, m: &mut Meter) -> u8 {
-    if m.cas_u8(&victim.status, status::ACTIVE, status::ABORTED) {
+    if m.cas_u8(
+        victim.status_cell(),
+        &victim.status,
+        status::ACTIVE,
+        status::ABORTED,
+    ) {
         status::ABORTED
     } else {
         // Lost the race: the victim committed or was already aborted.
-        m.load_u8(&victim.status)
+        m.load_u8(victim.status_cell(), &victim.status)
     }
 }
 
@@ -162,8 +167,7 @@ mod tests {
         let v = TxDesc::new(1);
         assert_eq!(try_abort_tx(&v, &mut m), status::ABORTED);
         let c = TxDesc::new(2);
-        c.status
-            .store(status::COMMITTED, std::sync::atomic::Ordering::SeqCst);
+        c.force_status(status::COMMITTED);
         assert_eq!(try_abort_tx(&c, &mut m), status::COMMITTED);
         m.end_op();
     }

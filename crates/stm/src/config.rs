@@ -29,6 +29,8 @@
 use crate::clock::{ClockScheme, GlobalClock};
 use crate::cm::ContentionManager;
 use crate::recorder::Recorder;
+use crate::trace_cells::StepProbe;
+use std::sync::Arc;
 
 /// Exponential backoff between transaction retries (spin-loop hints,
 /// doubling from `base_spins` up to `max_spins`).
@@ -110,6 +112,7 @@ pub struct StmConfig {
     initial: Vec<i64>,
     recording: bool,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl StmConfig {
@@ -124,6 +127,7 @@ impl StmConfig {
             initial: Vec::new(),
             recording: true,
             retry: RetryPolicy::default(),
+            probe: None,
         }
     }
 
@@ -186,6 +190,15 @@ impl StmConfig {
         self
     }
 
+    /// Attaches a [`StepProbe`] that every transaction's [`crate::Meter`]
+    /// reports its base-object accesses to (default none). This is how the
+    /// `tm-harness` race checker and DPOR explorer observe — and, for the
+    /// cooperative stepper, *control* — the step-level schedule.
+    pub fn probe(mut self, probe: Arc<dyn StepProbe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     // ---- getters (consumed by the TM constructors) -------------------------
 
     /// The number of registers.
@@ -216,6 +229,12 @@ impl StmConfig {
     /// The retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
         self.retry
+    }
+
+    /// The attached step probe, if any (cloned into every transaction's
+    /// meter by the TM constructors).
+    pub fn step_probe(&self) -> Option<Arc<dyn StepProbe>> {
+        self.probe.clone()
     }
 
     /// Builds the clock this configuration names.

@@ -35,6 +35,7 @@ use crate::base::{status, Meter, OpKind, StepReport, TxDesc};
 use crate::cm::{try_abort_tx, ContentionManager, Resolution};
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{AccessKind, CellId, StepProbe};
 use tm_model::TxId;
 
 /// A DSTM locator: the owner transaction plus its old/new values.
@@ -51,7 +52,7 @@ impl Locator {
         match &self.owner {
             None => self.old,
             Some(d) => {
-                if m.load_u8(&d.status) == status::COMMITTED {
+                if m.load_u8(d.status_cell(), &d.status) == status::COMMITTED {
                     self.new
                 } else {
                     self.old
@@ -73,6 +74,7 @@ pub struct DstmStm {
     recorder: Recorder,
     cm: ContentionManager,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl DstmStm {
@@ -104,15 +106,19 @@ impl DstmStm {
             recorder: cfg.build_recorder(),
             cm: cfg.cm(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 
     /// Reads the current committed value of `obj` (one locator load plus
     /// one status load).
     fn current_value(&self, obj: usize, m: &mut Meter) -> i64 {
-        m.step(); // the locator load
+        m.touch(CellId::Record(obj as u32), AccessKind::Read); // the locator load
         let loc = self.objs[obj].locator.lock();
-        loc.committed_value(m)
+        m.begin_atomic();
+        let v = loc.committed_value(m);
+        m.end_atomic();
+        v
     }
 }
 
@@ -146,7 +152,7 @@ impl Stm for DstmStm {
             desc: Arc::new(TxDesc::new(id.0)),
             reads: Vec::new(),
             writes: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(_thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -173,7 +179,9 @@ impl Stm for DstmStm {
 impl DstmTx<'_> {
     /// Is this transaction still active (nobody aborted it)?
     fn still_active(&mut self) -> bool {
-        self.meter.load_u8(&self.desc.status) == status::ACTIVE
+        self.meter
+            .load_u8(self.desc.status_cell(), &self.desc.status)
+            == status::ACTIVE
     }
 
     /// Re-validates the entire read set: every recorded value must still be
@@ -195,9 +203,7 @@ impl DstmTx<'_> {
         self.meter.end_op();
         self.finished = true;
         // Flip our own status so concurrent observers agree.
-        self.desc
-            .status
-            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc.force_status(status::ABORTED);
         self.stm.recorder.abort(self.id);
         Aborted
     }
@@ -213,12 +219,16 @@ impl Tx for DstmTx<'_> {
         // Current value: our own tentative value if we own the object,
         // otherwise the committed value.
         let v = {
-            self.meter.step(); // locator load
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Read); // locator load
             let loc = self.stm.objs[obj].locator.lock();
-            match &loc.owner {
+            self.meter.begin_atomic();
+            let v = match &loc.owner {
                 Some(d) if Arc::ptr_eq(d, &self.desc) => loc.new,
                 _ => loc.committed_value(&mut self.meter),
-            }
+            };
+            self.meter.end_atomic();
+            v
         };
         // Incremental validation: the *whole* read set (including this
         // read) must describe the current committed state.
@@ -241,14 +251,18 @@ impl Tx for DstmTx<'_> {
             return Err(self.abort_op());
         }
         loop {
-            self.meter.step(); // locator access (CAS-like acquisition)
+            // Locator access (CAS-like acquisition).
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Rmw);
             let mut loc = self.stm.objs[obj].locator.lock();
+            self.meter.begin_atomic();
             match loc.owner.clone() {
                 Some(d) if Arc::ptr_eq(&d, &self.desc) => {
                     loc.new = v;
+                    self.meter.end_atomic();
                     break;
                 }
-                Some(d) if self.meter.load_u8(&d.status) == status::ACTIVE => {
+                Some(d) if self.meter.load_u8(d.status_cell(), &d.status) == status::ACTIVE => {
                     // Writer-writer conflict with a live transaction: ask
                     // the contention manager.
                     match self.stm.cm.resolve(crate::cm::ConflictCtx {
@@ -259,9 +273,11 @@ impl Tx for DstmTx<'_> {
                     }) {
                         Resolution::AbortOther => {
                             try_abort_tx(&d, &mut self.meter);
+                            self.meter.end_atomic();
                             // Loop back and re-resolve the locator.
                         }
                         Resolution::AbortSelf => {
+                            self.meter.end_atomic();
                             drop(loc);
                             return Err(self.abort_op());
                         }
@@ -276,6 +292,7 @@ impl Tx for DstmTx<'_> {
                         new: v,
                     };
                     self.writes.push(obj);
+                    self.meter.end_atomic();
                     break;
                 }
             }
@@ -291,18 +308,19 @@ impl Tx for DstmTx<'_> {
         // Final validation, then the single linearizing status CAS.
         let valid = self.validate_read_set();
         let committed = valid
-            && self
-                .meter
-                .cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED);
+            && self.meter.cas_u8(
+                self.desc.status_cell(),
+                &self.desc.status,
+                status::ACTIVE,
+                status::COMMITTED,
+            );
         self.meter.end_op();
         self.finished = true;
         if committed {
             self.stm.recorder.commit(self.id);
             Ok(())
         } else {
-            self.desc
-                .status
-                .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+            self.desc.force_status(status::ABORTED);
             self.stm.recorder.abort(self.id);
             Err(Aborted)
         }
@@ -310,9 +328,7 @@ impl Tx for DstmTx<'_> {
 
     fn abort(mut self: Box<Self>) {
         self.stm.recorder.try_abort(self.id);
-        self.desc
-            .status
-            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc.force_status(status::ABORTED);
         self.finished = true;
         self.stm.recorder.abort(self.id);
     }
@@ -330,9 +346,7 @@ impl Drop for DstmTx<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.stm.recorder.try_abort(self.id);
-            self.desc
-                .status
-                .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+            self.desc.force_status(status::ABORTED);
             self.stm.recorder.abort(self.id);
             self.finished = true;
         }

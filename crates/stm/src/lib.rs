@@ -77,6 +77,7 @@ pub mod registry;
 pub mod sistm;
 pub mod tl2;
 pub mod tpl;
+pub mod trace_cells;
 pub mod visible;
 
 pub use api::{
@@ -101,6 +102,7 @@ pub use registry::{TmLookupError, TmRegistry, TmSpec};
 pub use sistm::SiStm;
 pub use tl2::Tl2Stm;
 pub use tpl::TplStm;
+pub use trace_cells::{AccessEvent, AccessKind, AccessLog, CellId, StepProbe, TraceEvent};
 pub use visible::VisibleStm;
 
 /// Constructs every TM in the suite under the default configuration, for

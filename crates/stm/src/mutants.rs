@@ -21,13 +21,25 @@
 //! validation is intact) — precisely the gap between serializability and
 //! opacity, detectable *only* by an opacity checker. `SkipCommitValidation`
 //! is coarser and already breaks the database-classical criterion.
+//!
+//! Two further mutants are *concurrency* bugs: they are invisible to any
+//! single-threaded test (every sequential execution is flawless) and exist
+//! to give the step-level race analysis (`tm-harness::dpor` / `::race`)
+//! something real to convict:
+//!
+//! | mutation | the bug | who catches it |
+//! |----------|---------|----------------|
+//! | [`Mutation::DroppedResidue`] | deferred clock drops the adopter's thread residue, so a CAS loser shares its stamp with the winner | `race::check` (duplicate commit timestamps) |
+//! | [`Mutation::UnlicensedFastPath`] | TL2's "clock advanced exactly once" fast path ported to the deferred clock by comparing tick *counts*, without the [`GlobalClock::tick_is_exclusive`] license | `dpor::explore` (a non-serializable write skew on 3 transactions) |
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
-use crate::clock::VersionClock;
+use crate::clock::{DeferredClock, GlobalClock, VersionClock};
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{CellId, StepProbe};
 use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::Arc;
 use tm_model::TxId;
 
 /// The protocol bug planted into [`MutantStm`].
@@ -47,15 +59,36 @@ pub enum Mutation {
     /// visible already to the serializability checker (and to semantic
     /// invariants under real threads).
     SkipCommitValidation,
+    /// The deferred (GV4-style) clock stamps `count << 8` on *both* the
+    /// CAS-win and the adopt-on-failure path, dropping the thread residue
+    /// that keeps adopters distinct from winners: two committers racing on
+    /// one clock advance share a commit timestamp. Every sequential
+    /// execution is perfect — only the step-level race checker (duplicate
+    /// stamps across threads) convicts it.
+    DroppedResidue,
+    /// The protocol keeps the (correct) deferred clock but ports TL2's
+    /// read-validation-skipping fast path to it by comparing tick *counts*:
+    /// "the clock advanced exactly once since my `rv`, so a single
+    /// committer interleaved — skip validation". Under GV1 the licensed
+    /// check ([`GlobalClock::tick_is_exclusive`] `&& wv == rv + 1`) proves
+    /// *zero* interleaved commits; under a pass-on-failure clock one tick
+    /// can carry arbitrarily many adopter commits, each of which may be
+    /// skipping the very lock checks it owes the others. Two adopters with
+    /// crossing read/write sets plus one count-winner commit a write skew.
+    /// Every sequential execution — and every op-granular interleaving —
+    /// is flawless; only the step-level explorer convicts it.
+    UnlicensedFastPath,
 }
 
 impl Mutation {
     /// All mutations, for sweeping tests.
-    pub fn all() -> [Mutation; 3] {
+    pub fn all() -> [Mutation; 5] {
         [
             Mutation::None,
             Mutation::SkipReadValidation,
             Mutation::SkipCommitValidation,
+            Mutation::DroppedResidue,
+            Mutation::UnlicensedFastPath,
         ]
     }
 
@@ -65,7 +98,60 @@ impl Mutation {
             Mutation::None => "mutant-none",
             Mutation::SkipReadValidation => "mutant-skip-read-validation",
             Mutation::SkipCommitValidation => "mutant-skip-commit-validation",
+            Mutation::DroppedResidue => "mutant-dropped-residue",
+            Mutation::UnlicensedFastPath => "mutant-unlicensed-fast-path",
         }
+    }
+}
+
+/// The seeded-bug variant of [`DeferredClock`]: identical protocol, but the
+/// stamp drops the ticking thread's residue (see
+/// [`Mutation::DroppedResidue`]).
+#[derive(Debug, Default)]
+struct BrokenDeferredClock {
+    now: AtomicU64,
+}
+
+impl BrokenDeferredClock {
+    const HOME_BITS: u32 = DeferredClock::HOME_BITS;
+    const HOME_MASK: u64 = DeferredClock::HOME_MASK;
+
+    /// THE MUTATION POINT: the faithful clock stamps
+    /// `count << 8 | thread-residue`; this one loses the residue, so the
+    /// adopter of a lost CAS collides with the winner.
+    fn stamp(count: u64) -> u64 {
+        count << Self::HOME_BITS
+    }
+}
+
+impl GlobalClock for BrokenDeferredClock {
+    fn sample(&self, m: &mut Meter) -> u64 {
+        (m.load_u64(CellId::Clock(0), &self.now) << Self::HOME_BITS) | Self::HOME_MASK
+    }
+
+    fn tick(&self, _thread: usize, m: &mut Meter) -> u64 {
+        let cur = m.load_u64(CellId::Clock(0), &self.now);
+        let ts = if m.cas_u64(CellId::Clock(0), &self.now, cur, cur + 1) {
+            Self::stamp(cur + 1)
+        } else {
+            Self::stamp(m.load_u64(CellId::Clock(0), &self.now))
+        };
+        m.note_stamp(ts);
+        ts
+    }
+
+    fn reserve(&self, _thread: usize, m: &mut Meter) -> u64 {
+        let ts = Self::stamp(m.load_u64(CellId::Clock(0), &self.now) + 1);
+        m.note_stamp(ts);
+        ts
+    }
+
+    fn publish(&self, ts: u64, m: &mut Meter) {
+        m.fetch_max_u64(CellId::Clock(0), &self.now, ts >> Self::HOME_BITS);
+    }
+
+    fn peek(&self) -> u64 {
+        (crate::base::peek_u64(&self.now) << Self::HOME_BITS) | Self::HOME_MASK
     }
 }
 
@@ -100,10 +186,11 @@ struct MutObj {
 #[derive(Debug)]
 pub struct MutantStm {
     objs: Vec<MutObj>,
-    clock: VersionClock,
+    clock: Box<dyn GlobalClock>,
     recorder: Recorder,
     mutation: Mutation,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl MutantStm {
@@ -113,9 +200,15 @@ impl MutantStm {
     }
 
     /// A mutant TM built from an explicit configuration (initial values,
-    /// recording, retry policy; the clock stays the plain single counter —
-    /// the planted bugs are about validation, not timestamps).
+    /// recording, retry policy). The validation mutants keep the plain
+    /// single counter; the two concurrency mutants carry the (broken or
+    /// faithfully deferred) clock their bug lives in.
     pub fn with_config(cfg: &StmConfig, mutation: Mutation) -> Self {
+        let clock: Box<dyn GlobalClock> = match mutation {
+            Mutation::DroppedResidue => Box::<BrokenDeferredClock>::default(),
+            Mutation::UnlicensedFastPath => Box::new(DeferredClock::new()),
+            _ => Box::new(VersionClock::new()),
+        };
         MutantStm {
             objs: (0..cfg.k())
                 .map(|i| MutObj {
@@ -123,10 +216,11 @@ impl MutantStm {
                     value: AtomicI64::new(cfg.initial(i)),
                 })
                 .collect(),
-            clock: VersionClock::new(),
+            clock,
             recorder: cfg.build_recorder(),
             mutation,
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 
@@ -140,6 +234,7 @@ impl MutantStm {
 pub struct MutantTx<'a> {
     stm: &'a MutantStm,
     id: TxId,
+    thread: usize,
     rv: u64,
     reads: Vec<usize>,
     writes: Vec<(usize, i64)>,
@@ -156,16 +251,17 @@ impl Stm for MutantStm {
         self.objs.len()
     }
 
-    fn begin(&self, _thread: usize) -> Box<dyn Tx + '_> {
+    fn begin(&self, thread: usize) -> Box<dyn Tx + '_> {
         let id = self.recorder.fresh_tx();
         let rv = self.clock.peek();
         Box::new(MutantTx {
             stm: self,
             id,
+            thread,
             rv,
             reads: Vec::new(),
             writes: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -183,7 +279,13 @@ impl Stm for MutantStm {
             progressive: false,
             single_version: true,
             invisible_reads: true,
-            opaque_by_design: self.mutation == Mutation::None,
+            // The two concurrency mutants *claim* correctness — every
+            // sequential execution honours it; the step-level race analysis
+            // exists to falsify the claim.
+            opaque_by_design: !matches!(
+                self.mutation,
+                Mutation::SkipReadValidation | Mutation::SkipCommitValidation
+            ),
             serializable_by_design: self.mutation != Mutation::SkipCommitValidation,
         }
     }
@@ -203,7 +305,8 @@ impl MutantTx<'_> {
 
     fn release_locks(&mut self, held: &[(usize, u64)]) {
         for &(obj, old_word) in held {
-            self.meter.store_u64(&self.stm.objs[obj].lock, old_word);
+            self.meter
+                .store_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock, old_word);
         }
     }
 }
@@ -218,9 +321,9 @@ impl Tx for MutantTx<'_> {
             return Ok(v);
         }
         let o = &self.stm.objs[obj];
-        let pre = self.meter.load_u64(&o.lock);
-        let v = self.meter.load_i64(&o.value);
-        let post = self.meter.load_u64(&o.lock);
+        let pre = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
+        let v = self.meter.load_i64(CellId::Value(obj as u32), &o.value);
+        let post = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
         // THE MUTATION POINT: a faithful protocol validates every read.
         if self.stm.mutation != Mutation::SkipReadValidation
             && (pre != post || is_locked(pre) || version_of(pre) > self.rv)
@@ -259,7 +362,9 @@ impl Tx for MutantTx<'_> {
             // serializable while its live reads are broken.
             if self.stm.mutation == Mutation::SkipReadValidation {
                 for &obj in &self.reads {
-                    let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                    let word = self
+                        .meter
+                        .load_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock);
                     if is_locked(word) || version_of(word) > self.rv {
                         self.meter.end_op();
                         self.finished = true;
@@ -279,9 +384,14 @@ impl Tx for MutantTx<'_> {
         let writes = std::mem::take(&mut self.writes);
         for &(obj, _) in &writes {
             let o = &self.stm.objs[obj];
-            let word = self.meter.load_u64(&o.lock);
+            let word = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
             let stale = validate && version_of(word) > self.rv;
-            if is_locked(word) || stale || !self.meter.cas_u64(&o.lock, word, locked(word)) {
+            if is_locked(word)
+                || stale
+                || !self
+                    .meter
+                    .cas_u64(CellId::Lock(obj as u32), &o.lock, word, locked(word))
+            {
                 self.release_locks(&held);
                 self.meter.end_op();
                 self.finished = true;
@@ -290,15 +400,32 @@ impl Tx for MutantTx<'_> {
             }
             held.push((obj, word));
         }
-        let wv = self.stm.clock.tick(&mut self.meter);
+        let wv = self.stm.clock.tick(self.thread, &mut self.meter);
+        // TL2's fast path: `wv == rv + 1` proves no interleaved committer —
+        // but only when tick() is the sole way time advances
+        // (`tick_is_exclusive`). THE MUTATION POINT for UnlicensedFastPath:
+        // it "ports" the fast path to the deferred clock by comparing tick
+        // *counts* — "the clock advanced exactly once, so one committer
+        // interleaved and it validated against my locks". One pass-on-failure
+        // tick can carry many adopter commits, and a fellow adopter taking
+        // this same shortcut skips the lock check it owed us: two adopters
+        // with crossing read/write sets commit a write skew.
+        let fast_path = match self.stm.mutation {
+            Mutation::UnlicensedFastPath => {
+                wv >> DeferredClock::HOME_BITS == (self.rv >> DeferredClock::HOME_BITS) + 1
+            }
+            _ => self.stm.clock.tick_is_exclusive() && wv == self.rv + 1,
+        };
         // Phase 3: read-set validation (THE MUTATION POINT for
         // SkipCommitValidation).
-        if validate {
+        if validate && !fast_path {
             for &obj in &self.reads {
                 if held.iter().any(|&(held_obj, _)| held_obj == obj) {
                     continue;
                 }
-                let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                let word = self
+                    .meter
+                    .load_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock);
                 if is_locked(word) || version_of(word) > self.rv {
                     self.release_locks(&held);
                     self.meter.end_op();
@@ -310,8 +437,9 @@ impl Tx for MutantTx<'_> {
         }
         for &(obj, v) in &writes {
             let o = &self.stm.objs[obj];
-            self.meter.store_i64(&o.value, v);
-            self.meter.store_u64(&o.lock, unlocked_at(wv));
+            self.meter.store_i64(CellId::Value(obj as u32), &o.value, v);
+            self.meter
+                .store_u64(CellId::Lock(obj as u32), &o.lock, unlocked_at(wv));
         }
         self.meter.end_op();
         self.finished = true;
@@ -419,7 +547,49 @@ mod tests {
         let mut dedup = names.clone();
         dedup.dedup();
         assert_eq!(names, dedup);
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn concurrency_mutants_are_sequentially_flawless() {
+        // The whole point of the seeded concurrency bugs: no
+        // single-threaded execution can tell them from a faithful TL2.
+        for m in [Mutation::DroppedResidue, Mutation::UnlicensedFastPath] {
+            let stm = MutantStm::new(2, m);
+            run_tx(&stm, 0, |tx| {
+                tx.write(0, 1)?;
+                tx.write(1, 2)
+            });
+            let ((a, b), _) = run_tx(&stm, 0, |tx| Ok((tx.read(0)?, tx.read(1)?)));
+            assert_eq!((a, b), (1, 2), "{}", m.name());
+            // The classic lost-update race is still refused sequentially…
+            let mut t1 = stm.begin(0);
+            let v1 = t1.read(0).unwrap();
+            let mut t2 = stm.begin(1);
+            let v2 = t2.read(0).unwrap();
+            t1.write(0, v1 + 10).unwrap();
+            t2.write(0, v2 + 20).unwrap();
+            t1.commit().unwrap();
+            assert_eq!(t2.commit(), Err(Aborted), "{}", m.name());
+            assert!(stm.properties().opaque_by_design, "the mutant's lie");
+        }
+    }
+
+    #[test]
+    fn broken_deferred_clock_duplicates_stamps_only_under_a_race() {
+        // Sequentially the broken clock is indistinguishable: each tick's
+        // CAS wins, stamps strictly increase.
+        let clock = BrokenDeferredClock::default();
+        let mut m = Meter::new();
+        m.begin_op(OpKind::Commit);
+        let a = clock.tick(0, &mut m);
+        let b = clock.tick(1, &mut m);
+        m.end_op();
+        assert!(b > a);
+        // The faithful clock keeps adopter ≠ winner even on a lost CAS;
+        // the broken stamp is residue-free, so a lost CAS collides.
+        assert_eq!(BrokenDeferredClock::stamp(1), 1 << 8);
+        assert_eq!(DeferredClock::new().peek() & DeferredClock::HOME_MASK, 0xff);
     }
 
     #[test]

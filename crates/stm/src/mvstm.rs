@@ -13,12 +13,14 @@
 //! fresh timestamp.
 
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
 use crate::clock::GlobalClock;
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{AccessKind, CellId, StepProbe};
 use tm_model::TxId;
 
 #[derive(Debug)]
@@ -36,6 +38,7 @@ pub struct MvStm {
     commit_lock: Mutex<()>,
     recorder: Recorder,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl MvStm {
@@ -58,13 +61,14 @@ impl MvStm {
             commit_lock: Mutex::new(()),
             recorder: cfg.build_recorder(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 
     /// The value of `obj` in the committed snapshot at `ts` (binary search;
     /// each probe is one step).
     fn value_at(&self, obj: usize, ts: u64, m: &mut Meter) -> i64 {
-        m.step(); // version-list access
+        m.touch(CellId::Record(obj as u32), AccessKind::Read); // version-list access
         let versions = self.objs[obj].versions.lock();
         // Binary search for the latest version with timestamp <= ts.
         let mut lo = 0usize;
@@ -83,7 +87,7 @@ impl MvStm {
 
     /// The newest committed timestamp of `obj`.
     fn latest_ts(&self, obj: usize, m: &mut Meter) -> u64 {
-        m.step();
+        m.touch(CellId::Record(obj as u32), AccessKind::Read);
         let versions = self.objs[obj].versions.lock();
         versions.last().expect("version list never empty").0
     }
@@ -125,7 +129,7 @@ impl Stm for MvStm {
             start_ts,
             reads: Vec::new(),
             writes: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -193,7 +197,7 @@ impl Tx for MvTx<'_> {
             self.stm.recorder.commit(self.id);
             return Ok(());
         }
-        self.meter.step(); // commit-lock acquisition
+        self.meter.acquire(CellId::CommitLock);
         let guard = self.stm.commit_lock.lock();
         // Validation: nothing we read or write was committed past start_ts.
         let stm = self.stm;
@@ -204,6 +208,7 @@ impl Tx for MvTx<'_> {
             .all(|&obj| stm.latest_ts(obj, &mut self.meter) <= self.start_ts);
         if !valid {
             drop(guard);
+            self.meter.release(CellId::CommitLock);
             self.meter.end_op();
             self.finished = true;
             self.stm.recorder.abort(self.id);
@@ -221,11 +226,13 @@ impl Tx for MvTx<'_> {
         // lock, satisfying the pair's mutual-exclusion contract.
         let wv = self.stm.clock.reserve(self.thread, &mut self.meter);
         for &(obj, v) in &self.writes {
-            self.meter.step();
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Write);
             stm.objs[obj].versions.lock().push((wv, v));
         }
         self.stm.clock.publish(wv, &mut self.meter);
         drop(guard);
+        self.meter.release(CellId::CommitLock);
         self.meter.end_op();
         self.finished = true;
         self.stm.recorder.commit(self.id);

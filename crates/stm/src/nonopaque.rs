@@ -18,11 +18,13 @@
 //! example of Section 2).
 
 use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::Arc;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{CellId, StepProbe};
 use tm_model::TxId;
 
 #[derive(Debug)]
@@ -38,6 +40,7 @@ pub struct NonOpaqueStm {
     objs: Vec<NoObj>,
     recorder: Recorder,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl NonOpaqueStm {
@@ -59,6 +62,7 @@ impl NonOpaqueStm {
                 .collect(),
             recorder: cfg.build_recorder(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 }
@@ -91,7 +95,7 @@ impl Stm for NonOpaqueStm {
             id,
             reads: Vec::new(),
             writes: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(_thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -125,7 +129,8 @@ impl NonOpaqueTx<'_> {
 
     fn release_locks(&mut self, held: &[(usize, u64)]) {
         for &(obj, old_word) in held {
-            self.meter.store_u64(&self.stm.objs[obj].lock, old_word);
+            self.meter
+                .store_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock, old_word);
         }
     }
 }
@@ -141,9 +146,9 @@ impl Tx for NonOpaqueTx<'_> {
         }
         let o = &self.stm.objs[obj];
         // Per-object atomic snapshot (no cross-object validation!).
-        let pre = self.meter.load_u64(&o.lock);
-        let v = self.meter.load_i64(&o.value);
-        let post = self.meter.load_u64(&o.lock);
+        let pre = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
+        let v = self.meter.load_i64(CellId::Value(obj as u32), &o.value);
+        let post = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
         if pre != post || pre & 1 == 1 {
             // The object is mid-commit by a live conflicting writer: abort
             // (still progressive — the writer is live and conflicting).
@@ -178,8 +183,12 @@ impl Tx for NonOpaqueTx<'_> {
         let mut held: Vec<(usize, u64)> = Vec::with_capacity(writes.len());
         for &(obj, _) in &writes {
             let o = &self.stm.objs[obj];
-            let word = self.meter.load_u64(&o.lock);
-            if word & 1 == 1 || !self.meter.cas_u64(&o.lock, word, word | 1) {
+            let word = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
+            if word & 1 == 1
+                || !self
+                    .meter
+                    .cas_u64(CellId::Lock(obj as u32), &o.lock, word, word | 1)
+            {
                 self.release_locks(&held);
                 self.meter.end_op();
                 self.finished = true;
@@ -195,7 +204,9 @@ impl Tx for NonOpaqueTx<'_> {
             let current_ver = match held.iter().find(|&&(o, _)| o == obj) {
                 Some(&(_, old_word)) => old_word >> 1,
                 None => {
-                    let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                    let word = self
+                        .meter
+                        .load_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock);
                     if word & 1 == 1 {
                         self.release_locks(&held);
                         self.meter.end_op();
@@ -217,9 +228,13 @@ impl Tx for NonOpaqueTx<'_> {
         for &(obj, v) in &writes {
             let o = &self.stm.objs[obj];
             let (_, old_word) = held.iter().find(|&&(ho, _)| ho == obj).copied().unwrap();
-            self.meter.store_i64(&o.value, v);
+            self.meter.store_i64(CellId::Value(obj as u32), &o.value, v);
             // Publish: bump the version, clear the lock bit.
-            self.meter.store_u64(&o.lock, ((old_word >> 1) + 1) << 1);
+            self.meter.store_u64(
+                CellId::Lock(obj as u32),
+                &o.lock,
+                ((old_word >> 1) + 1) << 1,
+            );
         }
         self.meter.end_op();
         self.finished = true;

@@ -31,12 +31,14 @@
 //! users actually need.
 
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
 use crate::clock::GlobalClock;
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{AccessKind, CellId, StepProbe};
 use tm_model::TxId;
 
 #[derive(Debug)]
@@ -68,6 +70,7 @@ pub struct SiStm {
     commit_lock: Mutex<()>,
     recorder: Recorder,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl SiStm {
@@ -90,12 +93,13 @@ impl SiStm {
             commit_lock: Mutex::new(()),
             recorder: cfg.build_recorder(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 
     /// The value of `obj` in the committed snapshot at `ts`.
     fn value_at(&self, obj: usize, ts: u64, m: &mut Meter) -> i64 {
-        m.step(); // version-list access
+        m.touch(CellId::Record(obj as u32), AccessKind::Read); // version-list access
         let versions = self.objs[obj].versions.lock();
         let mut lo = 0usize;
         let mut hi = versions.len();
@@ -113,7 +117,7 @@ impl SiStm {
 
     /// The newest committed timestamp of `obj`.
     fn latest_ts(&self, obj: usize, m: &mut Meter) -> u64 {
-        m.step();
+        m.touch(CellId::Record(obj as u32), AccessKind::Read);
         let versions = self.objs[obj].versions.lock();
         versions.last().expect("version list never empty").0
     }
@@ -154,7 +158,7 @@ impl Stm for SiStm {
             thread,
             start_ts,
             writes: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -217,7 +221,7 @@ impl Tx for SiTx<'_> {
             self.stm.recorder.commit(self.id);
             return Ok(());
         }
-        self.meter.step(); // commit-lock acquisition
+        self.meter.acquire(CellId::CommitLock);
         let guard = self.stm.commit_lock.lock();
         // First-committer-wins over the WRITE set only (the read set is
         // not consulted — compare MvStm::commit, which also validates
@@ -229,6 +233,7 @@ impl Tx for SiTx<'_> {
             .all(|&(obj, _)| stm.latest_ts(obj, &mut self.meter) <= self.start_ts);
         if !valid {
             drop(guard);
+            self.meter.release(CellId::CommitLock);
             self.meter.end_op();
             self.finished = true;
             self.stm.recorder.abort(self.id);
@@ -240,11 +245,13 @@ impl Tx for SiTx<'_> {
         // reserve/publish contract requires.
         let wv = self.stm.clock.reserve(self.thread, &mut self.meter);
         for &(obj, v) in &self.writes {
-            self.meter.step();
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Write);
             stm.objs[obj].versions.lock().push((wv, v));
         }
         self.stm.clock.publish(wv, &mut self.meter);
         drop(guard);
+        self.meter.release(CellId::CommitLock);
         self.meter.end_op();
         self.finished = true;
         self.stm.recorder.commit(self.id);

@@ -18,12 +18,14 @@
 //! serializes updates at their write-version.
 
 use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::Arc;
 
 use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{Meter, OpKind, StepReport};
 use crate::clock::GlobalClock;
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{CellId, StepProbe};
 use tm_model::TxId;
 
 /// Versioned write-lock encoding: `version << 1 | locked`.
@@ -61,6 +63,7 @@ pub struct Tl2Stm {
     clock: Box<dyn GlobalClock>,
     recorder: Recorder,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl Tl2Stm {
@@ -84,6 +87,7 @@ impl Tl2Stm {
             clock: cfg.build_clock(),
             recorder: cfg.build_recorder(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 }
@@ -125,7 +129,7 @@ impl Stm for Tl2Stm {
             rv,
             reads: Vec::new(),
             writes: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -165,7 +169,8 @@ impl Tl2Tx<'_> {
     /// Releases commit-time locks `held` (restoring their pre-lock words).
     fn release_locks(&mut self, held: &[(usize, u64)]) {
         for &(obj, old_word) in held {
-            self.meter.store_u64(&self.stm.objs[obj].lock, old_word);
+            self.meter
+                .store_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock, old_word);
         }
     }
 }
@@ -181,9 +186,9 @@ impl Tx for Tl2Tx<'_> {
             return Ok(v);
         }
         let o = &self.stm.objs[obj];
-        let pre = self.meter.load_u64(&o.lock);
-        let v = self.meter.load_i64(&o.value);
-        let post = self.meter.load_u64(&o.lock);
+        let pre = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
+        let v = self.meter.load_i64(CellId::Value(obj as u32), &o.value);
+        let post = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
         // TL2 read validation: stable, unlocked, and not newer than rv.
         if pre != post || is_locked(pre) || version_of(pre) > self.rv {
             return Err(self.abort_op());
@@ -224,10 +229,12 @@ impl Tx for Tl2Tx<'_> {
         let writes = std::mem::take(&mut self.writes);
         for &(obj, _) in &writes {
             let o = &self.stm.objs[obj];
-            let word = self.meter.load_u64(&o.lock);
+            let word = self.meter.load_u64(CellId::Lock(obj as u32), &o.lock);
             if is_locked(word)
                 || version_of(word) > self.rv
-                || !self.meter.cas_u64(&o.lock, word, locked(word))
+                || !self
+                    .meter
+                    .cas_u64(CellId::Lock(obj as u32), &o.lock, word, locked(word))
             {
                 self.release_locks(&held);
                 self.meter.end_op();
@@ -250,7 +257,9 @@ impl Tx for Tl2Tx<'_> {
                 if held.iter().any(|&(held_obj, _)| held_obj == obj) {
                     continue; // we hold it; version checked at lock time
                 }
-                let word = self.meter.load_u64(&self.stm.objs[obj].lock);
+                let word = self
+                    .meter
+                    .load_u64(CellId::Lock(obj as u32), &self.stm.objs[obj].lock);
                 if is_locked(word) || version_of(word) > self.rv {
                     self.release_locks(&held);
                     self.meter.end_op();
@@ -263,8 +272,9 @@ impl Tx for Tl2Tx<'_> {
         // Phase 4: publish values and release locks at version wv.
         for &(obj, v) in &writes {
             let o = &self.stm.objs[obj];
-            self.meter.store_i64(&o.value, v);
-            self.meter.store_u64(&o.lock, unlocked_at(wv));
+            self.meter.store_i64(CellId::Value(obj as u32), &o.value, v);
+            self.meter
+                .store_u64(CellId::Lock(obj as u32), &o.lock, unlocked_at(wv));
         }
         self.meter.end_op();
         self.finished = true;

@@ -41,7 +41,6 @@
 //! visible-reads hypothesis fails, and indeed every operation costs O(1)
 //! steps in `k`.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -50,6 +49,7 @@ use crate::api::{Aborted, Stm, StmProperties, Tx, TxResult};
 use crate::base::{status, Meter, OpKind, StepReport, TxDesc};
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{AccessKind, CellId, StepProbe};
 use tm_model::TxId;
 
 /// Per-object lock word: current value, pre-image while write-locked, and
@@ -69,7 +69,7 @@ impl TplCell {
     /// pre-image is restored. Each status inspection is one step.
     fn clean(&mut self, m: &mut Meter) {
         if let Some(w) = &self.writer {
-            match m.load_u8(&w.status) {
+            match m.load_u8(w.status_cell(), &w.status) {
                 status::ACTIVE => {}
                 status::COMMITTED => self.writer = None,
                 _ => {
@@ -80,7 +80,7 @@ impl TplCell {
         }
         self.readers.retain(|r| {
             m.step();
-            r.status.load(Ordering::Acquire) == status::ACTIVE
+            r.status_now() == status::ACTIVE
         });
     }
 }
@@ -102,6 +102,7 @@ pub struct TplStm {
     objs: Vec<Mutex<TplCell>>,
     recorder: Recorder,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl TplStm {
@@ -125,6 +126,7 @@ impl TplStm {
                 .collect(),
             recorder: cfg.build_recorder(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 }
@@ -159,7 +161,7 @@ impl Stm for TplStm {
             desc: Arc::new(TxDesc::new(id.0)),
             read_locked: Vec::new(),
             write_locked: Vec::new(),
-            meter: Meter::new(),
+            meter: Meter::with_probe(_thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -197,9 +199,12 @@ impl TplTx<'_> {
         if self.older_than(holder) {
             // Wound: either we flip it to ABORTED or it already completed;
             // both outcomes let `clean` dispose of the entry.
-            let _ = self
-                .meter
-                .cas_u8(&holder.status, status::ACTIVE, status::ABORTED);
+            let _ = self.meter.cas_u8(
+                holder.status_cell(),
+                &holder.status,
+                status::ACTIVE,
+                status::ABORTED,
+            );
             Ok(())
         } else {
             Err(Aborted)
@@ -210,7 +215,8 @@ impl TplTx<'_> {
     /// after a remote wound: only entries still owned are touched.
     fn release_all(&mut self, committed: bool) {
         for &obj in &self.write_locked {
-            self.meter.step();
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Rmw);
             let mut cell = self.stm.objs[obj].lock();
             let mine = cell.writer.as_ref().is_some_and(|w| w.id == self.desc.id);
             if mine {
@@ -221,7 +227,8 @@ impl TplTx<'_> {
             }
         }
         for &obj in &self.read_locked {
-            self.meter.step();
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Rmw);
             let mut cell = self.stm.objs[obj].lock();
             cell.readers.retain(|r| r.id != self.desc.id);
         }
@@ -232,7 +239,7 @@ impl TplTx<'_> {
     /// Forced-abort epilogue from inside an operation: roll back, release,
     /// record `A`, close the meter.
     fn abort_op(&mut self) -> Aborted {
-        self.desc.status.store(status::ABORTED, Ordering::Release);
+        self.desc.force_status(status::ABORTED);
         self.release_all(false);
         self.meter.end_op();
         self.finished = true;
@@ -242,7 +249,9 @@ impl TplTx<'_> {
 
     /// True if this transaction was wounded by a peer.
     fn wounded(&mut self) -> bool {
-        self.meter.load_u8(&self.desc.status) == status::ABORTED
+        self.meter
+            .load_u8(self.desc.status_cell(), &self.desc.status)
+            == status::ABORTED
     }
 }
 
@@ -253,12 +262,17 @@ impl Tx for TplTx<'_> {
         if self.wounded() {
             return Err(self.abort_op());
         }
-        self.meter.step(); // lock-word acquisition
+        // Lock-word acquisition: reads register in the lock word, so this is
+        // an RMW on the object's record.
+        self.meter
+            .touch(CellId::Record(obj as u32), AccessKind::Rmw);
         let mut cell = self.stm.objs[obj].lock();
+        self.meter.begin_atomic();
         cell.clean(&mut self.meter);
         if let Some(w) = cell.writer.clone() {
             if w.id != self.desc.id {
                 if self.wound_or_die(&w).is_err() {
+                    self.meter.end_atomic();
                     drop(cell);
                     return Err(self.abort_op());
                 }
@@ -272,6 +286,7 @@ impl Tx for TplTx<'_> {
             cell.readers.push(Arc::clone(&self.desc));
             self.read_locked.push(obj);
         }
+        self.meter.end_atomic();
         drop(cell);
         self.meter.end_op();
         self.stm.recorder.ret_read(self.id, obj, v);
@@ -284,12 +299,15 @@ impl Tx for TplTx<'_> {
         if self.wounded() {
             return Err(self.abort_op());
         }
-        self.meter.step(); // lock-word acquisition
+        self.meter
+            .touch(CellId::Record(obj as u32), AccessKind::Rmw); // lock-word acquisition
         let mut cell = self.stm.objs[obj].lock();
+        self.meter.begin_atomic();
         cell.clean(&mut self.meter);
         if let Some(w) = cell.writer.clone() {
             if w.id != self.desc.id {
                 if self.wound_or_die(&w).is_err() {
+                    self.meter.end_atomic();
                     drop(cell);
                     return Err(self.abort_op());
                 }
@@ -308,6 +326,7 @@ impl Tx for TplTx<'_> {
             }
         }
         if die {
+            self.meter.end_atomic();
             drop(cell);
             return Err(self.abort_op());
         }
@@ -318,6 +337,7 @@ impl Tx for TplTx<'_> {
             self.write_locked.push(obj);
         }
         cell.value = v;
+        self.meter.end_atomic();
         drop(cell);
         self.meter.end_op();
         self.stm.recorder.ret_write(self.id, obj);
@@ -329,10 +349,12 @@ impl Tx for TplTx<'_> {
         self.meter.begin_op(OpKind::Commit);
         // The commit point: one CAS on the own status word. Failure means a
         // peer wounded us first.
-        if !self
-            .meter
-            .cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED)
-        {
+        if !self.meter.cas_u8(
+            self.desc.status_cell(),
+            &self.desc.status,
+            status::ACTIVE,
+            status::COMMITTED,
+        ) {
             self.release_all(false);
             self.meter.end_op();
             self.finished = true;
@@ -348,7 +370,7 @@ impl Tx for TplTx<'_> {
 
     fn abort(mut self: Box<Self>) {
         self.stm.recorder.try_abort(self.id);
-        self.desc.status.store(status::ABORTED, Ordering::Release);
+        self.desc.force_status(status::ABORTED);
         self.release_all(false);
         self.finished = true;
         self.stm.recorder.abort(self.id);
@@ -367,7 +389,7 @@ impl Drop for TplTx<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.stm.recorder.try_abort(self.id);
-            self.desc.status.store(status::ABORTED, Ordering::Release);
+            self.desc.force_status(status::ABORTED);
             self.release_all(false);
             self.finished = true;
             self.stm.recorder.abort(self.id);

@@ -23,6 +23,7 @@ use crate::base::{status, Meter, OpKind, StepReport, TxDesc};
 use crate::cm::{try_abort_tx, ContentionManager, Resolution};
 use crate::config::{RetryPolicy, StmConfig};
 use crate::recorder::Recorder;
+use crate::trace_cells::{AccessKind, CellId, StepProbe};
 use tm_model::TxId;
 
 #[derive(Debug)]
@@ -40,7 +41,7 @@ impl VisObj {
     /// prunes completed readers. One logical access (metered by callers).
     fn settle(&mut self, m: &mut Meter) {
         if let Some((d, v)) = &self.writer {
-            match m.load_u8(&d.status) {
+            match m.load_u8(d.status_cell(), &d.status) {
                 status::COMMITTED => {
                     self.committed = *v;
                     self.writer = None;
@@ -49,8 +50,7 @@ impl VisObj {
                 _ => {}
             }
         }
-        self.readers
-            .retain(|d| d.status.load(std::sync::atomic::Ordering::Acquire) == status::ACTIVE);
+        self.readers.retain(|d| d.status_now() == status::ACTIVE);
     }
 }
 
@@ -61,6 +61,7 @@ pub struct VisibleStm {
     recorder: Recorder,
     cm: ContentionManager,
     retry: RetryPolicy,
+    probe: Option<Arc<dyn StepProbe>>,
 }
 
 impl VisibleStm {
@@ -91,6 +92,7 @@ impl VisibleStm {
             recorder: cfg.build_recorder(),
             cm: cfg.cm(),
             retry: cfg.retry_policy(),
+            probe: cfg.step_probe(),
         }
     }
 }
@@ -121,7 +123,7 @@ impl Stm for VisibleStm {
             id,
             desc: Arc::new(TxDesc::new(id.0)),
             work: 0,
-            meter: Meter::new(),
+            meter: Meter::with_probe(_thread, self.probe.clone()),
             finished: false,
         })
     }
@@ -147,15 +149,15 @@ impl Stm for VisibleStm {
 
 impl VisibleTx<'_> {
     fn still_active(&mut self) -> bool {
-        self.meter.load_u8(&self.desc.status) == status::ACTIVE
+        self.meter
+            .load_u8(self.desc.status_cell(), &self.desc.status)
+            == status::ACTIVE
     }
 
     fn abort_op(&mut self) -> Aborted {
         self.meter.end_op();
         self.finished = true;
-        self.desc
-            .status
-            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc.force_status(status::ABORTED);
         self.stm.recorder.abort(self.id);
         Aborted
     }
@@ -169,8 +171,12 @@ impl Tx for VisibleTx<'_> {
             return Err(self.abort_op());
         }
         let v = {
-            self.meter.step(); // object access
+            // A visible read *writes* the reader list: model it as one RMW
+            // on the object's record.
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Rmw);
             let mut o = self.stm.objs[obj].lock();
+            self.meter.begin_atomic();
             o.settle(&mut self.meter);
             // A live foreign writer holds the object: resolve.
             if let Some((d, _)) = o.writer.clone() {
@@ -186,6 +192,7 @@ impl Tx for VisibleTx<'_> {
                             o.settle(&mut self.meter);
                         }
                         Resolution::AbortSelf => {
+                            self.meter.end_atomic();
                             drop(o);
                             return Err(self.abort_op());
                         }
@@ -197,10 +204,12 @@ impl Tx for VisibleTx<'_> {
                 self.meter.step();
                 o.readers.push(self.desc.clone());
             }
-            match &o.writer {
+            let v = match &o.writer {
                 Some((d, v)) if Arc::ptr_eq(d, &self.desc) => *v, // own write
                 _ => o.committed,
-            }
+            };
+            self.meter.end_atomic();
+            v
         };
         self.work += 1;
         self.meter.end_op();
@@ -215,8 +224,10 @@ impl Tx for VisibleTx<'_> {
             return Err(self.abort_op());
         }
         {
-            self.meter.step(); // object access
+            self.meter
+                .touch(CellId::Record(obj as u32), AccessKind::Rmw); // object access
             let mut o = self.stm.objs[obj].lock();
+            self.meter.begin_atomic();
             o.settle(&mut self.meter);
             // Resolve a live foreign writer.
             if let Some((d, _)) = o.writer.clone() {
@@ -232,6 +243,7 @@ impl Tx for VisibleTx<'_> {
                             o.settle(&mut self.meter);
                         }
                         Resolution::AbortSelf => {
+                            self.meter.end_atomic();
                             drop(o);
                             return Err(self.abort_op());
                         }
@@ -246,7 +258,7 @@ impl Tx for VisibleTx<'_> {
                 .cloned()
                 .collect();
             for d in foreign {
-                if self.meter.load_u8(&d.status) != status::ACTIVE {
+                if self.meter.load_u8(d.status_cell(), &d.status) != status::ACTIVE {
                     continue;
                 }
                 match self.stm.cm.resolve(crate::cm::ConflictCtx {
@@ -259,6 +271,7 @@ impl Tx for VisibleTx<'_> {
                         try_abort_tx(&d, &mut self.meter);
                     }
                     Resolution::AbortSelf => {
+                        self.meter.end_atomic();
                         drop(o);
                         return Err(self.abort_op());
                     }
@@ -267,6 +280,7 @@ impl Tx for VisibleTx<'_> {
             o.settle(&mut self.meter);
             self.meter.step(); // install the pending write
             o.writer = Some((self.desc.clone(), v));
+            self.meter.end_atomic();
         }
         self.work += 1;
         self.meter.end_op();
@@ -278,9 +292,12 @@ impl Tx for VisibleTx<'_> {
         self.stm.recorder.try_commit(self.id);
         self.meter.begin_op(OpKind::Commit);
         // No validation: conflicts were resolved eagerly. One status CAS.
-        let committed = self
-            .meter
-            .cas_u8(&self.desc.status, status::ACTIVE, status::COMMITTED);
+        let committed = self.meter.cas_u8(
+            self.desc.status_cell(),
+            &self.desc.status,
+            status::ACTIVE,
+            status::COMMITTED,
+        );
         self.meter.end_op();
         self.finished = true;
         if committed {
@@ -294,9 +311,7 @@ impl Tx for VisibleTx<'_> {
 
     fn abort(mut self: Box<Self>) {
         self.stm.recorder.try_abort(self.id);
-        self.desc
-            .status
-            .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+        self.desc.force_status(status::ABORTED);
         self.finished = true;
         self.stm.recorder.abort(self.id);
     }
@@ -314,9 +329,7 @@ impl Drop for VisibleTx<'_> {
     fn drop(&mut self) {
         if !self.finished {
             self.stm.recorder.try_abort(self.id);
-            self.desc
-                .status
-                .store(status::ABORTED, std::sync::atomic::Ordering::Release);
+            self.desc.force_status(status::ABORTED);
             self.stm.recorder.abort(self.id);
             self.finished = true;
         }

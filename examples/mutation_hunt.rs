@@ -89,6 +89,13 @@ fn main() {
             Mutation::SkipCommitValidation => {
                 assert!(non_ser > 0, "lost updates break serializability");
             }
+            // The seeded *concurrency* bugs live below the operation level:
+            // op-granular interleavings cannot split a clock tick, so both
+            // oracles stay silent here — that blind spot is exactly what the
+            // step-level explorer (`tmcheck race`) exists to close.
+            Mutation::DroppedResidue | Mutation::UnlicensedFastPath => {
+                assert_eq!((non_opaque, non_ser), (0, 0), "invisible at op level")
+            }
         }
     }
 
