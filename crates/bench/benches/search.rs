@@ -5,7 +5,11 @@
 //! work-stealing workers (`SearchConfig::search_jobs`). The workload is
 //! non-opaque by construction, so every run exhausts the same
 //! serialization space — wall-clock differences are pure parallel-search
-//! scaling, with no early-exit variance. `search/memo-cap/C` runs the same
+//! scaling, with no early-exit variance. `search/rt-chain/N` does the same
+//! on the realtime-chained knot ([`tm_bench::rt_chain_knot_history`]),
+//! whose root fan-out is exactly 1: it scales only through depth-adaptive
+//! subtree donation, never through the root split.
+//! `search/memo-cap/C` runs the same
 //! check under a bounded dead-end table, measuring what eviction-induced
 //! re-exploration costs at each capacity. The machine-readable companion
 //! numbers (node throughput per worker count, verdict-latency percentiles
@@ -14,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tm_bench::{search_knot_history, sequential_knot_search};
+use tm_bench::{rt_chain_knot_history, search_knot_history, sequential_knot_search};
 use tm_model::SpecRegistry;
 use tm_opacity::search::Search;
 use tm_opacity::{SearchConfig, SearchMode};
@@ -36,6 +40,27 @@ fn bench_worker_scaling(c: &mut Criterion) {
                     .run()
                     .expect("workload is checkable");
                 assert!(!out.holds(), "the knot workload must stay non-opaque");
+                out.stats.nodes
+            })
+        });
+    }
+    // The RT-chained knot has root fan-out exactly 1, so any scaling here
+    // comes purely from depth-adaptive subtree donation — the root-only
+    // split is provably flat on this shape. Splitting stays at its default
+    // window; only the worker count varies.
+    let hrt = rt_chain_knot_history(3, 3);
+    for workers in [1usize, 2, 4, 8] {
+        let config = SearchConfig {
+            search_jobs: workers,
+            ..SearchConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("rt-chain", workers), &hrt, |b, h| {
+            b.iter(|| {
+                let out = Search::new(h, &specs, SearchMode::OPACITY, config)
+                    .expect("workload is well-formed")
+                    .run()
+                    .expect("workload is checkable");
+                assert!(!out.holds(), "the RT-chain workload must stay non-opaque");
                 out.stats.nodes
             })
         });

@@ -13,7 +13,7 @@
 //! | `monitor` | `node_ratio` (batch / incremental search nodes — deterministic) | history length (`events`) |
 //! | `typed-objects` | `commits_per_sec` of the typed storms | tm × object × threads |
 //! | `clocks` | `commits_per_sec` of the commit storm | tm × clock × threads |
-//! | `search` | `nodes_per_sec` of the parallel batch search | worker count |
+//! | `search` | `nodes_per_sec` of the parallel batch search | worker count, prefixed by the point's `workload` when present (e.g. `rt_chain/workers=8`) |
 //!
 //! (The `search` artifact's verdict-latency points carry no `workers`
 //! field and are skipped — percentile latencies are not a higher-is-better
@@ -85,8 +85,14 @@ fn parse_artifact(json: &str) -> Option<Artifact> {
             }
             "search" => {
                 // Latency points have no "workers" field and drop out here.
+                // Points with a "workload" discriminator (e.g. rt_chain) are
+                // keyed per workload; legacy knot points keep the bare key.
                 let workers = field(line, "workers")? as u64;
-                Some((format!("workers={workers}"), field(line, "nodes_per_sec")?))
+                let key = match sfield(line, "workload") {
+                    Some(w) => format!("{w}/workers={workers}"),
+                    None => format!("workers={workers}"),
+                };
+                Some((key, field(line, "nodes_per_sec")?))
             }
             _ => None,
         })
@@ -272,6 +278,8 @@ mod tests {
   "points": [
     {"workers": 1, "wall_ns": 1000000, "nodes": 33076, "nodes_per_sec": 33076000, "speedup": 1.00},
     {"workers": 8, "wall_ns": 250000, "nodes": 33163, "nodes_per_sec": 132652000, "speedup": 4.00},
+    {"workload": "rt_chain", "workers": 1, "wall_ns": 2000000, "nodes": 50000, "nodes_per_sec": 25000000, "speedup": 1.00, "splits": 0, "donated_tasks": 0},
+    {"workload": "rt_chain", "workers": 8, "wall_ns": 400000, "nodes": 50100, "nodes_per_sec": 125250000, "speedup": 5.00, "splits": 40, "donated_tasks": 90},
     {"cap": "unbounded", "events": 192, "p50_ns": 900, "p95_ns": 4000, "p99_ns": 9000, "resident": 484, "evictions": 0, "total_nodes": 3567},
     {"cap": 121, "events": 192, "p50_ns": 950, "p95_ns": 4200, "p99_ns": 9400, "resident": 120, "evictions": 214, "total_nodes": 3789}
   ]
@@ -286,8 +294,11 @@ mod tests {
             vec![
                 ("workers=1".to_string(), 33_076_000.0),
                 ("workers=8".to_string(), 132_652_000.0),
+                ("rt_chain/workers=1".to_string(), 25_000_000.0),
+                ("rt_chain/workers=8".to_string(), 125_250_000.0),
             ],
-            "latency points (no workers field) must not become trend points"
+            "latency points (no workers field) must not become trend points; \
+             rt_chain points get workload-prefixed keys"
         );
     }
 

@@ -19,11 +19,14 @@
 //! tracked from PR to PR.
 //!
 //! Flags: `--quick` shrinks the E7 sample and the monitor sweep for CI;
-//! `--jobs N` overrides the worker count (default: available parallelism).
+//! `--jobs N` overrides the worker count (default: available parallelism);
+//! `--rt-smoke` runs only the RT-chain split-scaling smoke (1 vs 4
+//! workers, prints the wall-clock ratio and split counters, writes no
+//! artifacts) — the warn-only CI probe for the depth-adaptive splitter.
 
 use std::time::Instant;
 
-use tm_bench::{batch_prefix_nodes, monitor_workload, search_knot_history};
+use tm_bench::{batch_prefix_nodes, monitor_workload, rt_chain_knot_history, search_knot_history};
 use tm_harness::complexity::{paper_scenario, solo_scan, sweep};
 use tm_harness::parallel::default_jobs;
 use tm_harness::randhist::{cross_validate, GenConfig};
@@ -262,6 +265,50 @@ fn search_scaling_points(
         .collect()
 }
 
+/// One row of the RT-chain split-scaling study: root fan-out is 1 by
+/// construction, so these points isolate the depth-adaptive splitter.
+struct RtChainPoint {
+    workers: usize,
+    wall_ns: u128,
+    nodes: usize,
+    splits: usize,
+    donated: usize,
+}
+
+/// Batch-checks the realtime-chained knot workload once per worker count.
+/// Like the concurrent knot it is non-opaque, so every run exhausts the
+/// same space; unlike it, the root split contributes nothing — all
+/// scaling comes from subtree donation.
+fn rt_chain_scaling_points(worker_counts: &[usize], knots: u32, writers: u32) -> Vec<RtChainPoint> {
+    use tm_opacity::search::Search;
+    use tm_opacity::{SearchConfig, SearchMode};
+    let specs = SpecRegistry::registers();
+    let h = rt_chain_knot_history(knots, writers);
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let config = SearchConfig {
+                search_jobs: workers,
+                ..SearchConfig::default()
+            };
+            let t0 = Instant::now();
+            let out = Search::new(&h, &specs, SearchMode::OPACITY, config)
+                .expect("workload is well-formed")
+                .run()
+                .expect("workload is checkable");
+            let wall_ns = t0.elapsed().as_nanos();
+            assert!(!out.holds(), "the RT-chain workload must stay non-opaque");
+            RtChainPoint {
+                workers,
+                wall_ns,
+                nodes: out.stats.nodes,
+                splits: out.stats.splits,
+                donated: out.stats.donated_tasks,
+            }
+        })
+        .collect()
+}
+
 /// One row of the bounded-memo verdict-latency study.
 struct SearchLatencyPoint {
     /// `None` = unbounded.
@@ -384,6 +431,7 @@ fn search_memory_points(knots: u32, writers: u32) -> Vec<SearchMemoryPoint> {
 /// bounded-memo points, and the verdict-latency points.
 fn search_json(
     scaling: &[SearchScalingPoint],
+    rt_chain: &[RtChainPoint],
     memory: &[SearchMemoryPoint],
     latency: &[SearchLatencyPoint],
 ) -> String {
@@ -391,12 +439,13 @@ fn search_json(
     out.push_str("  \"bench\": \"search\",\n");
     out.push_str(
         "  \"workload\": \"concurrent contention knots (tm_bench::search_knot_history) + \
+         RT-chained knots (tm_bench::rt_chain_knot_history) + \
          phased knots (tm_bench::sequential_knot_search) + streaming monitor knots \
          (tm_bench::monitor_workload)\",\n",
     );
     out.push_str("  \"points\": [\n");
     let base_ns = scaling.first().map(|p| p.wall_ns).unwrap_or(1).max(1);
-    let total = scaling.len() + memory.len() + latency.len();
+    let total = scaling.len() + rt_chain.len() + memory.len() + latency.len();
     let mut emitted = 0usize;
     for p in scaling {
         emitted += 1;
@@ -410,6 +459,27 @@ fn search_json(
             p.nodes,
             per_sec,
             speedup,
+            if emitted == total { "" } else { "," }
+        ));
+    }
+    // RT-chain points carry a "workload" discriminator so bench_trend can
+    // key them separately from the legacy knot points above.
+    let rt_base_ns = rt_chain.first().map(|p| p.wall_ns).unwrap_or(1).max(1);
+    for p in rt_chain {
+        emitted += 1;
+        let per_sec = p.nodes as f64 / (p.wall_ns.max(1) as f64 / 1e9);
+        let speedup = rt_base_ns as f64 / p.wall_ns.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"workload\": \"rt_chain\", \"workers\": {}, \"wall_ns\": {}, \
+             \"nodes\": {}, \"nodes_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"splits\": {}, \"donated_tasks\": {}}}{}\n",
+            p.workers,
+            p.wall_ns,
+            p.nodes,
+            per_sec,
+            speedup,
+            p.splits,
+            p.donated,
             if emitted == total { "" } else { "," }
         ));
     }
@@ -477,9 +547,40 @@ fn monitor_json(points: &[MonitorPoint], jobs: usize) -> String {
     out
 }
 
+/// The warn-only CI probe: RT-chain at 1 and 4 workers, wall-clock ratio
+/// and split counters to stdout, no artifacts.
+fn rt_smoke() {
+    let points = rt_chain_scaling_points(&[1, 4], 3, 3);
+    let (one, four) = (&points[0], &points[1]);
+    let ratio = one.wall_ns.max(1) as f64 / four.wall_ns.max(1) as f64;
+    println!("rt-chain split-scaling smoke (3 knots × 3 writers)");
+    println!(
+        "  1 worker : {} nodes in {:.2} ms",
+        one.nodes,
+        one.wall_ns as f64 / 1e6
+    );
+    println!(
+        "  4 workers: {} nodes in {:.2} ms ({} splits, {} donated tasks)",
+        four.nodes,
+        four.wall_ns as f64 / 1e6,
+        four.splits,
+        four.donated
+    );
+    println!("  scaling ratio (t1/t4): {ratio:.2}x");
+    if four.donated == 0 {
+        println!("  WARN: no donations happened — the splitter never engaged");
+    } else if ratio < 1.1 {
+        println!("  WARN: ratio below 1.1x — expected on few-core hosts, investigate otherwise");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--rt-smoke") {
+        rt_smoke();
+        return;
+    }
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")
@@ -711,6 +812,21 @@ fn main() {
          `BENCH_search.json`",
         knot_shape.0, knot_shape.1, spoints[0].nodes
     );
+    // The RT-chain study: root fan-out 1, so these points isolate the
+    // depth-adaptive splitter (root-only splitting is provably flat here).
+    let rt_workers: &[usize] = if quick {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let rt_shape = (3u32, 3u32);
+    let rpoints = rt_chain_scaling_points(rt_workers, rt_shape.0, rt_shape.1);
+    println!(
+        "- RT-chain workload: {} chained knots × {} writers (root fan-out 1), \
+         {} DFS nodes sequentially; split/donation counters and speedups in \
+         `BENCH_search.json`",
+        rt_shape.0, rt_shape.1, rpoints[0].nodes
+    );
     // Batch bounded-memo study: deterministic node counts on the phased
     // knot workload (the cost-segmented-LRU acceptance numbers). Cheap
     // enough to run at full size even in quick mode — and the small shapes
@@ -747,7 +863,7 @@ fn main() {
             cap, p.resident, p.evictions, p.total_nodes
         );
     }
-    let sjson = search_json(&spoints, &mpoints, &lpoints);
+    let sjson = search_json(&spoints, &rpoints, &mpoints, &lpoints);
     let spath = "BENCH_search.json";
     std::fs::write(spath, &sjson).expect("write BENCH_search.json");
     println!("\n_Scaling + latency-percentile companion written to `{spath}`._");

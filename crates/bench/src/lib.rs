@@ -174,6 +174,56 @@ pub fn sequential_knot_search(knots: u32, writers: u32) -> History {
     b.build()
 }
 
+/// The adversary of the root-split parallel search: `knots` contention
+/// knots (`writers` blind writers plus one needle reader per knot, each on
+/// its own register) **chained in real time behind one-transaction
+/// gates**, closed by a committed reader observing a value nobody wrote.
+///
+/// Each phase opens with a *gate* transaction that completes before any
+/// later transaction begins, so the gate is a real-time predecessor of
+/// everything after it — the history's **root fan-out is exactly 1 by
+/// construction** (only the first gate is placeable on an empty frontier,
+/// and it is committed, so it admits one placement). Root-only parallelism
+/// therefore degenerates to a sequential walk no matter how many workers
+/// are configured; only dynamic subtree splitting
+/// ([`tm_opacity::SearchConfig::split_depth`]) lets the pool distribute
+/// the wide interior of each knot (knot `r`'s `writers + 1` transactions
+/// are mutually concurrent, and the reader observes the knot's FIRST
+/// writer, so the needle prunes late). Distinct final writes per knot keep
+/// the phase-boundary states distinct, so the interior work grows with
+/// `writers ^ knots` — plenty of nodes to distribute. The impossible final
+/// read keeps the history non-opaque, so every check exhausts the space:
+/// deterministic sequential node counts with no early-exit variance.
+pub fn rt_chain_knot_history(knots: u32, writers: u32) -> History {
+    let mut b = HistoryBuilder::new();
+    let mut next = 1u32;
+    for r in 0..knots {
+        // The gate: completes before every later transaction's first event.
+        let gate = next;
+        next += 1;
+        b = b
+            .write(gate, &format!("g{r}"), 1)
+            .try_commit(gate)
+            .commit(gate);
+        // The knot: all invocations precede all completions, so the knot's
+        // transactions are mutually concurrent (no intra-knot RT edges).
+        let obj = format!("k{r}");
+        let base = next;
+        next += writers + 1;
+        for i in 0..writers {
+            b = b.write(base + i, &obj, ((base + i) * 10) as i64);
+        }
+        let reader = base + writers;
+        b = b.read(reader, &obj, (base * 10) as i64);
+        for i in 0..=writers {
+            b = b.try_commit(base + i).commit(base + i);
+        }
+    }
+    let poison = next;
+    b = b.read(poison, "k0", -1).try_commit(poison).commit(poison);
+    b.build()
+}
+
 /// Builds a mixed reader/writer history with `n` committed transactions on
 /// two registers that exercises backtracking in the checker.
 pub fn mixed_history(n: u32) -> History {
@@ -266,6 +316,65 @@ mod tests {
             .run()
             .unwrap();
             assert_eq!(out.holds(), seq.holds(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn rt_chain_knot_history_has_root_fanout_one_and_splits_feed_workers() {
+        use tm_opacity::search::Search;
+        use tm_opacity::{SearchConfig, SearchMode};
+        let specs = SpecRegistry::registers();
+        let h = rt_chain_knot_history(3, 3);
+        assert!(tm_model::is_well_formed(&h));
+        let seq = Search::new(&h, &specs, SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(!seq.holds(), "the poison read must defeat every witness");
+        // Root fan-out 1 by construction: with splitting disabled, the
+        // parallel engine degenerates to a single root task no matter the
+        // worker count — no steals, nothing donated.
+        let rootonly = Search::new(
+            &h,
+            &specs,
+            SearchMode::OPACITY,
+            SearchConfig {
+                search_jobs: 8,
+                split_depth: 0,
+                ..SearchConfig::default()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(rootonly.holds(), seq.holds());
+        assert_eq!(rootonly.stats.steals, 0, "root fan-out must be 1");
+        assert_eq!(rootonly.stats.donated_tasks, 0, "splitting was disabled");
+        // With splitting enabled the hungry workers actually get fed, and
+        // the verdict is unchanged.
+        for jobs in [4usize, 8] {
+            let out = Search::new(
+                &h,
+                &specs,
+                SearchMode::OPACITY,
+                SearchConfig {
+                    search_jobs: jobs,
+                    ..SearchConfig::default()
+                },
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+            assert_eq!(out.holds(), seq.holds(), "jobs={jobs}");
+            assert!(
+                out.stats.donated_tasks > 0,
+                "jobs={jobs}: splitting must feed the hungry workers"
+            );
+            assert!(out.stats.splits > 0, "jobs={jobs}");
+            assert!(
+                out.stats.splits <= out.stats.donated_tasks,
+                "each split donates at least one task"
+            );
         }
     }
 

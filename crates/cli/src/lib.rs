@@ -59,15 +59,21 @@ use tm_trace::{from_json, from_text, to_json_pretty, to_text};
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// `check <file> [--search-jobs N] [--memo-cap M]`
+    /// `check <file> [--search-jobs N] [--memo-cap M] [--split-depth D]
+    /// [--split-granularity G]`
     Check {
         /// Input path (`-` = stdin).
         file: String,
-        /// Worker threads for the serialization search itself (≥ 1).
+        /// Worker threads for the serialization search itself (`0` = auto:
+        /// one per hardware thread).
         search_jobs: usize,
         /// Bound on resident dead-end memo entries (≥ 1; default
         /// unbounded).
         memo_cap: Option<usize>,
+        /// Depth window for dynamic subtree splitting (`0` disables).
+        split_depth: usize,
+        /// Minimum untried candidates a frame needs to donate one (≥ 1).
+        split_granularity: usize,
     },
     /// `explain <file>`
     Explain(String),
@@ -100,11 +106,16 @@ pub enum Command {
     Conformance {
         /// Worker threads for the interleaving sweep (≥ 1).
         jobs: usize,
-        /// Worker threads for each individual serialization search (≥ 1).
+        /// Worker threads for each individual serialization search (`0` =
+        /// auto: one per hardware thread).
         search_jobs: usize,
         /// Bound on each search's resident dead-end memo entries (≥ 1;
         /// default unbounded).
         memo_cap: Option<usize>,
+        /// Depth window for dynamic subtree splitting (`0` disables).
+        split_depth: usize,
+        /// Minimum untried candidates a frame needs to donate one (≥ 1).
+        split_granularity: usize,
         /// Restrict to one TM spec (`tl2`, `tl2+sharded:16`, …; default:
         /// the whole suite).
         tm: Option<String>,
@@ -141,27 +152,37 @@ tmcheck — opacity checker for transactional-memory traces
 
 USAGE:
   tmcheck check    <file> [--search-jobs N] [--memo-cap M]
+                          [--split-depth D] [--split-granularity G]
                                     opacity verdict + witness (exit 1 if
-                                    violated); --search-jobs N explores the
-                                    serialization search's root placements
-                                    with N work-stealing workers sharing the
-                                    dead-end memo (verdict identical to the
-                                    sequential search); --memo-cap M bounds
-                                    the resident memo entries with
-                                    segmented-LRU eviction
+                                    violated); --search-jobs N drives the
+                                    serialization search with N work-stealing
+                                    workers sharing the dead-end memo (0 =
+                                    auto: one per hardware thread; verdict
+                                    identical to the sequential search);
+                                    --memo-cap M bounds the resident memo
+                                    entries with segmented-LRU eviction;
+                                    --split-depth D sets the window (relative
+                                    to each task's root) in which busy
+                                    workers donate untried branches to hungry
+                                    workers (0 = root-only parallelism,
+                                    default 8), --split-granularity G the
+                                    minimum untried candidates a frame needs
+                                    before donating one (default 1)
   tmcheck explain  <file>           localize the first opacity violation
   tmcheck criteria <file>           verdicts for the full Section-3 criteria lattice
   tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
   tmcheck convert  <file> --json|--text    convert between trace formats
   tmcheck generate [--seed N] [--txs N] [--objs N] [--ops N] [--json]
-  tmcheck conformance [--jobs N] [--search-jobs N] [--memo-cap M] [--tm SPEC]
+  tmcheck conformance [--jobs N] [--search-jobs N] [--memo-cap M]
+                      [--split-depth D] [--split-granularity G] [--tm SPEC]
                       [--clock SCHEME] [--mutants] [--objects SET]
                                     run the TM conformance battery (exit 1 if
                                     any swept TM violates a contract); --jobs
                                     shards the sweep deterministically;
-                                    --search-jobs/--memo-cap configure each
+                                    --search-jobs/--memo-cap/--split-depth/
+                                    --split-granularity configure each
                                     individual history check as in `check`
-                                    (output is invariant under both); --tm
+                                    (output is invariant under all); --tm
                                     takes a spec (tl2, tl2+sharded:16, …);
                                     --clock single|sharded[:N]|deferred sweeps
                                     the clocked TMs (tl2, mvstm, sistm) under
@@ -194,8 +215,8 @@ USAGE:
   see the tm-trace crate documentation for their grammar.
 ";
 
-/// Parses `--search-jobs`/`--memo-cap` style values: a number that must be
-/// at least 1, with the conformance-flag error style.
+/// Parses `--jobs`/`--memo-cap` style values: a number that must be at
+/// least 1, with the conformance-flag error style.
 fn positive_flag(
     it: &mut std::slice::Iter<'_, String>,
     cmd: &str,
@@ -205,6 +226,19 @@ fn positive_flag(
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .ok_or_else(|| format!("{cmd}: {flag} needs a number ≥ 1"))
+}
+
+/// Parses `--search-jobs`/`--split-depth` style values, where `0` is a
+/// meaningful setting (auto-parallelism / splitting disabled).
+fn nonneg_flag(
+    it: &mut std::slice::Iter<'_, String>,
+    cmd: &str,
+    flag: &str,
+    zero_means: &str,
+) -> Result<usize, String> {
+    it.next()
+        .and_then(|v| v.parse::<usize>().ok())
+        .ok_or_else(|| format!("{cmd}: {flag} needs a number ≥ 0 (0 = {zero_means})"))
 }
 
 /// Parses command-line arguments (without the program name).
@@ -219,15 +253,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "check" => {
             let file = file_arg(&mut it)?;
+            let defaults = SearchConfig::default();
             let mut search_jobs = 1usize;
             let mut memo_cap = None;
+            let mut split_depth = defaults.split_depth;
+            let mut split_granularity = defaults.split_granularity;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--search-jobs" => {
-                        search_jobs = positive_flag(&mut it, "check", "--search-jobs")?;
+                        search_jobs = nonneg_flag(&mut it, "check", "--search-jobs", "auto")?;
                     }
                     "--memo-cap" => {
                         memo_cap = Some(positive_flag(&mut it, "check", "--memo-cap")?);
+                    }
+                    "--split-depth" => {
+                        split_depth = nonneg_flag(&mut it, "check", "--split-depth", "disabled")?;
+                    }
+                    "--split-granularity" => {
+                        split_granularity = positive_flag(&mut it, "check", "--split-granularity")?;
                     }
                     other => return Err(format!("check: unknown flag '{other}'")),
                 }
@@ -236,6 +279,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 file,
                 search_jobs,
                 memo_cap,
+                split_depth,
+                split_granularity,
             })
         }
         "explain" => Ok(Command::Explain(file_arg(&mut it)?)),
@@ -299,9 +344,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "list" => Ok(Command::List),
         "conformance" => {
+            let defaults = SearchConfig::default();
             let mut jobs = 1usize;
             let mut search_jobs = 1usize;
             let mut memo_cap = None;
+            let mut split_depth = defaults.split_depth;
+            let mut split_granularity = defaults.split_granularity;
             let mut tm = None;
             let mut clock = None;
             let mut mutants = false;
@@ -312,10 +360,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         jobs = positive_flag(&mut it, "conformance", "--jobs")?;
                     }
                     "--search-jobs" => {
-                        search_jobs = positive_flag(&mut it, "conformance", "--search-jobs")?;
+                        search_jobs = nonneg_flag(&mut it, "conformance", "--search-jobs", "auto")?;
                     }
                     "--memo-cap" => {
                         memo_cap = Some(positive_flag(&mut it, "conformance", "--memo-cap")?);
+                    }
+                    "--split-depth" => {
+                        split_depth =
+                            nonneg_flag(&mut it, "conformance", "--split-depth", "disabled")?;
+                    }
+                    "--split-granularity" => {
+                        split_granularity =
+                            positive_flag(&mut it, "conformance", "--split-granularity")?;
                     }
                     "--tm" => {
                         tm = Some(
@@ -350,6 +406,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 jobs,
                 search_jobs,
                 memo_cap,
+                split_depth,
+                split_granularity,
                 tm,
                 clock,
                 mutants,
@@ -446,12 +504,16 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             file,
             search_jobs,
             memo_cap,
+            split_depth,
+            split_granularity,
         } => {
             let h = load_history(file)?;
             tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
             let config = SearchConfig {
                 search_jobs: *search_jobs,
                 memo_capacity: *memo_cap,
+                split_depth: *split_depth,
+                split_granularity: *split_granularity,
                 ..SearchConfig::default()
             };
             let report = is_opaque_with(&h, &specs, config).map_err(|e| e.to_string())?;
@@ -463,6 +525,21 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                     h.txs().len()
                 ),
             )?;
+            let parallel_line = |out: &mut dyn Write| -> Result<(), String> {
+                if *search_jobs != 1 {
+                    w(
+                        out,
+                        format!(
+                            "parallel: {} steals, {} splits, {} donated tasks, {} cancelled",
+                            report.stats.steals,
+                            report.stats.splits,
+                            report.stats.donated_tasks,
+                            report.stats.cancelled_tasks
+                        ),
+                    )?;
+                }
+                Ok(())
+            };
             if report.opaque {
                 w(out, "verdict: OPAQUE".to_string())?;
                 if let Some(witness) = &report.witness {
@@ -477,9 +554,15 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                     out,
                     format!("search: {} nodes explored", report.stats.nodes),
                 )?;
+                parallel_line(out)?;
                 Ok(0)
             } else {
                 w(out, "verdict: NOT OPAQUE".to_string())?;
+                w(
+                    out,
+                    format!("search: {} nodes explored", report.stats.nodes),
+                )?;
+                parallel_line(out)?;
                 w(
                     out,
                     "hint: run `tmcheck explain` for the violation localization".to_string(),
@@ -658,6 +741,8 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             jobs,
             search_jobs,
             memo_cap,
+            split_depth,
+            split_granularity,
             tm,
             clock,
             mutants,
@@ -667,6 +752,8 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             let search = SearchConfig {
                 search_jobs: *search_jobs,
                 memo_capacity: *memo_cap,
+                split_depth: *split_depth,
+                split_granularity: *split_granularity,
                 ..SearchConfig::default()
             };
             let reg = tm_stm::TmRegistry::suite();
@@ -1093,6 +1180,8 @@ mod tests {
             file,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
         }
     }
 
@@ -1123,6 +1212,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 file: "f".into(),
                 search_jobs: 8,
                 memo_cap: Some(4096),
+                split_depth: 8,
+                split_granularity: 1,
             })
         );
         assert_eq!(
@@ -1158,6 +1249,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 jobs: 1,
                 search_jobs: 1,
                 memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
                 tm: None,
                 clock: None,
                 mutants: false,
@@ -1170,6 +1263,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 jobs: 4,
                 search_jobs: 1,
                 memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
                 tm: Some("tl2".into()),
                 clock: None,
                 mutants: true,
@@ -1182,6 +1277,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 jobs: 1,
                 search_jobs: 1,
                 memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
                 tm: None,
                 clock: None,
                 mutants: false,
@@ -1194,6 +1291,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 jobs: 1,
                 search_jobs: 1,
                 memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
                 tm: Some("sistm".into()),
                 clock: None,
                 mutants: false,
@@ -1222,29 +1321,41 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             ("conformance --jobs 0", "--jobs needs a number ≥ 1"),
             ("conformance --jobs -3", "--jobs needs a number ≥ 1"),
             (
-                "conformance --search-jobs 0",
-                "--search-jobs needs a number ≥ 1",
-            ),
-            (
                 "conformance --search-jobs x",
-                "--search-jobs needs a number ≥ 1",
+                "--search-jobs needs a number ≥ 0 (0 = auto)",
             ),
             ("conformance --memo-cap 0", "--memo-cap needs a number ≥ 1"),
             ("conformance --memo-cap", "--memo-cap needs a number ≥ 1"),
             (
-                "check f --search-jobs 0",
-                "--search-jobs needs a number ≥ 1",
+                "check f --search-jobs -2",
+                "--search-jobs needs a number ≥ 0 (0 = auto)",
             ),
-            ("check f --search-jobs", "--search-jobs needs a number ≥ 1"),
+            (
+                "check f --search-jobs",
+                "--search-jobs needs a number ≥ 0 (0 = auto)",
+            ),
             ("check f --memo-cap -1", "--memo-cap needs a number ≥ 1"),
+            (
+                "check f --split-depth x",
+                "--split-depth needs a number ≥ 0 (0 = disabled)",
+            ),
+            (
+                "conformance --split-granularity 0",
+                "--split-granularity needs a number ≥ 1",
+            ),
         ] {
             let err = parse_args(&a(args)).unwrap_err();
             assert!(err.contains(needle), "{args}: {err}");
         }
-        // Boundary values stay accepted.
+        // Boundary values stay accepted; --search-jobs 0 now means "auto".
         assert!(parse_args(&a("generate --txs 1 --objs 1 --ops 1 --seed 0")).is_ok());
         assert!(parse_args(&a("check f --search-jobs 1 --memo-cap 1")).is_ok());
         assert!(parse_args(&a("conformance --search-jobs 1 --memo-cap 1")).is_ok());
+        assert!(parse_args(&a(
+            "check f --search-jobs 0 --split-depth 0 --split-granularity 1"
+        ))
+        .is_ok());
+        assert!(parse_args(&a("conformance --search-jobs 0 --split-depth 16")).is_ok());
     }
 
     #[test]
@@ -1259,30 +1370,68 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 file: f,
                 search_jobs: 4,
                 memo_cap: Some(8),
+                split_depth: 8,
+                split_granularity: 1,
             });
             assert_eq!(code_p, expected, "{out_p}");
         }
     }
 
     #[test]
+    fn parallel_check_surfaces_split_counters() {
+        // With more than one search job the check report must expose the
+        // work-stealing telemetry, including the new split counters.
+        let f = fixture("split-counters", OPAQUE_TRACE);
+        let (code, out) = run_str(&Command::Check {
+            file: f,
+            search_jobs: 4,
+            memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
+        });
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("splits"), "{out}");
+        assert!(out.contains("donated tasks"), "{out}");
+        // The sequential engine stays quiet about parallel telemetry.
+        let f = fixture("split-counters-seq", OPAQUE_TRACE);
+        let (code, out) = run_str(&check_cmd(f));
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("splits"), "{out}");
+    }
+
+    #[test]
     fn conformance_output_is_invariant_under_search_knobs() {
-        let cmd = |search_jobs, memo_cap| Command::Conformance {
+        let cmd = |search_jobs, memo_cap, split_depth, split_granularity| Command::Conformance {
             jobs: 1,
             search_jobs,
             memo_cap,
+            split_depth,
+            split_granularity,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
             objects: None,
         };
-        let (code1, baseline) = run_str(&cmd(1, None));
+        let (code1, baseline) = run_str(&cmd(1, None, 8, 1));
         assert_eq!(code1, 0, "{baseline}");
-        for (sj, cap) in [(2, None), (1, Some(32)), (3, Some(8))] {
-            let (code, out) = run_str(&cmd(sj, cap));
+        // Parallelism, bounded memo, and the splitting discipline (every
+        // split_depth/split_granularity corner incl. disabled and auto
+        // jobs) may only change speed, never a byte of the battery.
+        for (sj, cap, sd, sg) in [
+            (2, None, 8, 1),
+            (1, Some(32), 8, 1),
+            (3, Some(8), 8, 1),
+            (4, None, 0, 1),
+            (4, None, 1, 1),
+            (4, None, 64, 3),
+            (0, Some(16), 2, 2),
+        ] {
+            let (code, out) = run_str(&cmd(sj, cap, sd, sg));
             assert_eq!(code, 0, "{out}");
             assert_eq!(
                 out, baseline,
-                "search-jobs={sj} memo-cap={cap:?} changed the battery"
+                "search-jobs={sj} memo-cap={cap:?} split-depth={sd} \
+                 split-granularity={sg} changed the battery"
             );
         }
     }
@@ -1392,6 +1541,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: None,
             clock: None,
             mutants: false,
@@ -1401,6 +1552,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 4,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: None,
             clock: None,
             mutants: false,
@@ -1419,6 +1572,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 2,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
@@ -1431,6 +1586,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("nonesuch".into()),
             clock: None,
             mutants: false,
@@ -1449,6 +1606,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 2,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("sistm".into()),
             clock: None,
             mutants: false,
@@ -1466,6 +1625,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
@@ -1485,6 +1646,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("tl2".into()),
             clock: None,
             mutants: false,
@@ -1514,6 +1677,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 2,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: None,
             clock: Some(tm_stm::ClockScheme::Sharded(4)),
             mutants: false,
@@ -1535,6 +1700,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("tl2+deferred".into()),
             clock: None,
             mutants: false,
@@ -1551,6 +1718,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("dstm".into()),
             clock: Some(tm_stm::ClockScheme::Deferred),
             mutants: false,
@@ -1563,6 +1732,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 1,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("tl2+sharded:2".into()),
             clock: Some(tm_stm::ClockScheme::Deferred),
             mutants: false,
@@ -1585,6 +1756,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 jobs: 2,
                 search_jobs: 1,
                 memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
                 tm: None,
                 clock: Some(tm_stm::ClockScheme::Sharded(16)),
                 mutants: false,
@@ -1599,6 +1772,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             jobs: 2,
             search_jobs: 1,
             memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
             tm: Some("sistm".into()),
             clock: Some(tm_stm::ClockScheme::Sharded(2)),
             mutants: false,

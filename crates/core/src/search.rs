@@ -55,24 +55,34 @@
 //! Two knobs lift the engine from "one thread, unbounded table" to a core
 //! that exploits the machine and respects a memory budget:
 //!
-//! * **[`SearchConfig::search_jobs`]** splits a check at its root
-//!   placements: every first-level `(transaction, placement)` candidate
-//!   seeds an independent subtree, and the subtrees are driven by a
-//!   work-stealing pool of scoped threads (`crate::steal` — per-worker
-//!   deques seeded in the witness-biased order, idle workers steal from the
-//!   back). Workers share the dead-end memo through a fingerprint-sharded
-//!   concurrent table (`crate::memo`), a found witness raises a
-//!   cancellation flag that stops the remaining workers, and the node cap
-//!   is a *shared* budget while the `truncated` marker stays **per worker**
-//!   — a worker whose exploration was cut short (by the cap or by
-//!   cancellation) never inserts into the shared table, so one truncated
-//!   subtree cannot poison the others. The *verdict* is identical to the
-//!   sequential search (dead ends are path-independent facts and every
-//!   subtree is explored exhaustively unless the search is already
+//! * **[`SearchConfig::search_jobs`]** drives a check with a work-stealing
+//!   pool of scoped threads (`crate::steal`). The pool is seeded with the
+//!   root placements — every first-level `(transaction, placement)`
+//!   candidate is an independent subtree — and, because root fan-out can
+//!   be as low as 1 (realtime-chained histories), workers also **split
+//!   dynamically**: a worker whose DFS holds untried sibling branches
+//!   within the [`SearchConfig::split_depth`] window donates the coldest
+//!   of them the moment another worker goes hungry. A donated task carries
+//!   the `(bit, placement)` path to its branch — a reconstruction recipe
+//!   the thief replays in place, not a state clone — and the thief can
+//!   recursively split its own shallow frames, so deep chained searches
+//!   keep every worker busy. Workers share the dead-end memo through a
+//!   fingerprint-sharded concurrent table (`crate::memo`), a found witness
+//!   raises a cancellation flag that stops the remaining workers, and the
+//!   node cap is a *shared* budget while the `truncated` marker stays
+//!   **per worker** — a worker whose exploration was cut short (by the cap
+//!   or by cancellation) never inserts into the shared table, so one
+//!   truncated subtree cannot poison the others; a frame that *donated* a
+//!   branch likewise withholds its own (now non-exhaustive) dead end,
+//!   while the donated branch is explored exhaustively by its thief before
+//!   the pool can terminate. The *verdict* is identical to the sequential
+//!   search (dead ends are path-independent facts and every subtree is
+//!   explored exhaustively, by someone, unless the search is already
 //!   decided); the witness may be a different valid serialization.
-//!   Per-worker statistics (nodes, memo hits, steals, cancellations) are
-//!   merged in worker-index order, so the aggregation itself is
-//!   deterministic even though the per-worker split is scheduling-dependent.
+//!   Per-worker statistics (nodes, memo hits, steals, splits, donations,
+//!   cancellations) are merged in worker-index order, so the aggregation
+//!   itself is deterministic even though the per-worker split is
+//!   scheduling-dependent.
 //! * **[`SearchConfig::memo_capacity`]** bounds the resident dead-end
 //!   entries with per-shard segmented-LRU eviction. Evicting a dead end is
 //!   always sound — the entry is pure pruning, so the search can only
@@ -88,7 +98,7 @@
 //! memoized search is nonetheless fast for the history sizes produced by
 //! tests, the random-history cross-validation, and recorded STM executions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -208,9 +218,15 @@ pub struct SearchStats {
     /// per placement expansion and one per memo probe, each of which the
     /// pre-resumable engine paid with a full snapshot clone.
     pub clones_saved: usize,
-    /// Root subtrees a worker took from another worker's deque.
+    /// Tasks (root subtrees or donated branches) a worker took from
+    /// another worker's deque.
     pub steals: usize,
-    /// Root subtrees never explored because a witness was already found.
+    /// Donation events: times a worker split its DFS frontier because
+    /// another worker was hungry (each event donates ≥ 1 task).
+    pub splits: usize,
+    /// Branches donated to the pool as stealable tasks by frontier splits.
+    pub donated_tasks: usize,
+    /// Tasks never explored because a witness was already found.
     pub cancelled_tasks: usize,
     /// Memo entries evicted by the capacity bound during this check.
     pub evictions: usize,
@@ -226,6 +242,8 @@ impl SearchStats {
         self.state_clones += other.state_clones;
         self.clones_saved += other.clones_saved;
         self.steals += other.steals;
+        self.splits += other.splits;
+        self.donated_tasks += other.donated_tasks;
         self.cancelled_tasks += other.cancelled_tasks;
         self.evictions += other.evictions;
     }
@@ -257,15 +275,26 @@ pub struct SearchConfig {
     /// [`SearchOutcome::witness`] `= None`. Under a parallel check the cap
     /// is a budget shared by all workers.
     pub node_limit: Option<usize>,
-    /// Worker threads for the root-split parallel DFS (≥ 1; clamped to the
-    /// number of root tasks). `1` — the default — runs the sequential
-    /// in-place engine with no thread spawns at all.
+    /// Worker threads for the work-stealing parallel DFS. `1` — the
+    /// default — runs the sequential in-place engine with no thread spawns
+    /// at all; `0` means "auto": one worker per hardware thread reported
+    /// by `std::thread::available_parallelism()`.
     pub search_jobs: usize,
     /// Bound on resident dead-end memo entries, enforced with per-shard
     /// segmented-LRU eviction; `None` — the default — keeps every entry.
     /// Rounded down to a multiple of the shard count, so the resident
     /// total never exceeds the configured value.
     pub memo_capacity: Option<usize>,
+    /// Depth window (relative to a task's root) in which a parallel worker
+    /// materializes its untried sibling candidates so it can donate them
+    /// to hungry workers. `0` disables splitting (root-only parallelism);
+    /// frames deeper than the window run the allocation-free inline loop.
+    /// Default `8`. Ignored by the sequential engine.
+    pub split_depth: usize,
+    /// Minimum number of untried candidates a splittable frame must hold
+    /// to donate one (≥ 1, default `1`). Raising it keeps more local work
+    /// per split at the cost of slower work distribution.
+    pub split_granularity: usize,
 }
 
 impl Default for SearchConfig {
@@ -275,6 +304,8 @@ impl Default for SearchConfig {
             node_limit: None,
             search_jobs: 1,
             memo_capacity: None,
+            split_depth: 8,
+            split_granularity: 1,
         }
     }
 }
@@ -326,6 +357,29 @@ struct DfsShared<'a> {
     nodes_spent: &'a AtomicUsize,
     /// Raised when some worker found a witness: everyone else unwinds.
     cancel: &'a AtomicBool,
+    /// The task pool, present only under a parallel check: lets a worker
+    /// donate untried sibling branches to hungry workers. `None` on the
+    /// sequential path, which therefore never materializes frontiers.
+    queues: Option<&'a StealQueues<SearchTask>>,
+    /// [`SearchConfig::split_depth`] (relative donation window).
+    split_depth: usize,
+    /// [`SearchConfig::split_granularity`].
+    split_granularity: usize,
+}
+
+/// One splittable DFS frame of a parallel worker: the untried sibling
+/// candidates are materialized so the coldest (back) ones can be donated.
+struct SplitFrame {
+    /// Absolute frontier depth (`placed.count_ones()`) at frame entry ==
+    /// the length of the worker's placement path above this frame.
+    depth: usize,
+    /// True once any candidate of this frame was donated away: the donor
+    /// no longer explores this subtree exhaustively, so neither this frame
+    /// nor any ancestor frame of this task may cache a dead end.
+    donated: bool,
+    /// Untried `(bit, placement)` candidates in witness-biased order. The
+    /// owner pops from the front; donations pop from the back.
+    pending: VecDeque<(u32, Placement)>,
 }
 
 /// The per-worker mutable scratch of one DFS.
@@ -340,16 +394,32 @@ struct Explorer {
     /// enter the shared memo table (a truncated false would otherwise poison
     /// later checks and other workers).
     truncated: bool,
+    /// This worker's index in the pool (its own deque for donations).
+    worker: usize,
+    /// The current task's root depth (its path length): the donation window
+    /// `split_depth` is measured relative to it, so a thief that rehydrates
+    /// a deep branch can itself split its shallow-relative frames.
+    base_depth: usize,
+    /// The `(bit, placement)` path from the *empty* frontier through every
+    /// splittable frame — the reconstruction recipe a donated task carries.
+    /// Not maintained below the donation window (nothing there is donated).
+    path: Vec<(u32, Placement)>,
+    /// The stack of currently-open splittable frames, shallowest first.
+    frames: Vec<SplitFrame>,
 }
 
 impl Explorer {
-    fn new() -> Self {
+    fn new(worker: usize) -> Self {
         Explorer {
             states: ObjStates::new(),
             delta: StatesDelta::new(),
             stack: Vec::new(),
             stats: SearchStats::default(),
             truncated: false,
+            worker,
+            base_depth: 0,
+            path: Vec::new(),
+            frames: Vec::new(),
         }
     }
 
@@ -359,15 +429,20 @@ impl Explorer {
         self.delta = StatesDelta::new();
         self.stack.clear();
         self.truncated = false;
+        self.base_depth = 0;
+        self.path.clear();
+        self.frames.clear();
     }
 }
 
-/// One root subtree of a parallel check: place `bit` with `placement`
-/// first, then search the remainder.
-#[derive(Clone, Copy)]
-struct RootTask {
-    bit: u32,
-    placement: Placement,
+/// One stealable unit of a parallel check: the `(bit, placement)` path from
+/// the empty frontier to an unexplored branch. Root tasks carry a length-1
+/// path; donated tasks carry the donor's prefix plus the donated candidate.
+/// The path is a *reconstruction recipe*: the thief replays it against a
+/// fresh `ObjStates` via the same apply/undo delta machinery the search
+/// uses, so no object-state snapshot ever crosses threads.
+struct SearchTask {
+    path: Box<[(u32, Placement)]>,
 }
 
 /// The placement decisions allowed for a transaction by its status in
@@ -386,7 +461,8 @@ fn allowed_placements(status: TxStatus) -> &'static [Placement] {
 
 /// The recursive search below the frontier `placed`, shared verbatim by the
 /// sequential engine (one `Explorer`, `cancel` never raised) and by every
-/// parallel worker.
+/// parallel worker. Parallel frames within the donation window dispatch to
+/// [`dfs_split`]; everything else runs the allocation-free inline loop.
 fn dfs(sh: &DfsShared<'_>, w: &mut Explorer, placed: u64) -> Result<bool, CheckError> {
     if placed == sh.selected_mask {
         return Ok(true);
@@ -412,6 +488,15 @@ fn dfs(sh: &DfsShared<'_>, w: &mut Explorer, placed: u64) -> Result<bool, CheckE
             w.stats.memo_hits += 1;
             return Ok(false);
         }
+    }
+    if sh.queues.is_some() {
+        let depth = placed.count_ones() as usize;
+        if sh.split_depth > 0 && depth - w.base_depth < sh.split_depth {
+            return dfs_split(sh, w, placed, depth, nodes_at_entry);
+        }
+        // Deep (non-splittable) frames still feed hungry workers — from the
+        // shallow frames already materialized above — one poll per node.
+        maybe_donate(sh, w);
     }
     for k in 0..sh.order.len() {
         let b = sh.order[k];
@@ -462,26 +547,171 @@ fn dfs(sh: &DfsShared<'_>, w: &mut Explorer, placed: u64) -> Result<bool, CheckE
     Ok(false)
 }
 
-/// Places one root candidate and searches its subtree.
-fn run_root_task(sh: &DfsShared<'_>, w: &mut Explorer, task: RootTask) -> Result<bool, CheckError> {
-    let ci = sh.by_bit[task.bit as usize];
-    let mark = w.delta.mark();
-    match replay_tx_mut(&sh.txs[ci].view, &mut w.states, sh.specs, &mut w.delta) {
-        Ok(()) => {}
-        Err(LegalityError::NoSpec(op)) => {
-            return Err(CheckError::NoSpec(op.obj.name().to_string()));
+/// One frame within the donation window: materializes the untried sibling
+/// candidates into a [`SplitFrame`] so [`maybe_donate`] can hand the
+/// coldest ones to hungry workers, then explores the rest front-first in
+/// the usual witness-biased order.
+fn dfs_split(
+    sh: &DfsShared<'_>,
+    w: &mut Explorer,
+    placed: u64,
+    depth: usize,
+    nodes_at_entry: usize,
+) -> Result<bool, CheckError> {
+    let mut pending: VecDeque<(u32, Placement)> = VecDeque::new();
+    for &b in sh.order {
+        let bit = 1u64 << b;
+        let ci = sh.by_bit[b as usize];
+        if placed & bit != 0 || sh.txs[ci].pred_mask & !placed != 0 {
+            continue;
         }
-        Err(LegalityError::IllegalResponse { .. }) => {
-            w.stats.illegal_placements += 1;
-            return Ok(false);
+        // Legality replay stays lazy: an illegal candidate donated to a
+        // thief is rejected by the thief's own replay.
+        for &placement in allowed_placements(sh.txs[ci].view.status) {
+            pending.push_back((b, placement));
         }
     }
-    if task.placement == Placement::Aborted {
-        w.delta.rollback_to(&mut w.states, mark);
+    w.frames.push(SplitFrame {
+        depth,
+        donated: false,
+        pending,
+    });
+    let fi = w.frames.len() - 1;
+    let mut outcome: Result<bool, CheckError> = Ok(false);
+    loop {
+        maybe_donate(sh, w);
+        let Some((b, placement)) = w.frames[fi].pending.pop_front() else {
+            break;
+        };
+        let bit = 1u64 << b;
+        let ci = sh.by_bit[b as usize];
+        let mark = w.delta.mark();
+        match replay_tx_mut(&sh.txs[ci].view, &mut w.states, sh.specs, &mut w.delta) {
+            Ok(()) => {}
+            Err(LegalityError::NoSpec(op)) => {
+                outcome = Err(CheckError::NoSpec(op.obj.name().to_string()));
+                break;
+            }
+            Err(LegalityError::IllegalResponse { .. }) => {
+                w.stats.illegal_placements += 1;
+                continue;
+            }
+        }
+        if placement == Placement::Aborted {
+            // Validated above; effects are discarded.
+            w.delta.rollback_to(&mut w.states, mark);
+        }
+        w.stats.clones_saved += 1;
+        w.stack.push((sh.txs[ci].id, placement));
+        w.path.push((b, placement));
+        match dfs(sh, w, placed | bit) {
+            Ok(true) => {
+                // Keep the stack: it is the witness being published.
+                outcome = Ok(true);
+                break;
+            }
+            Ok(false) => {
+                w.stack.pop();
+                w.path.pop();
+                w.delta.rollback_to(&mut w.states, mark);
+            }
+            Err(e) => {
+                outcome = Err(e);
+                break;
+            }
+        }
     }
-    w.stats.clones_saved += 1;
-    w.stack.push((sh.txs[ci].id, task.placement));
-    dfs(sh, w, 1u64 << task.bit)
+    let frame = w.frames.pop().expect("frame pushed above");
+    if frame.donated {
+        // The donated branches now belong to other workers: this subtree —
+        // and transitively every ancestor of it in this task — is no longer
+        // exhaustively explored *by this worker*, so none of them may cache
+        // a dead end. (Donation does not set `truncated`: globally the
+        // donated branches are still explored before the pool terminates.)
+        if let Some(parent) = w.frames.last_mut() {
+            parent.donated = true;
+        }
+    }
+    if matches!(outcome, Ok(false)) && sh.memoize && !w.truncated && !frame.donated {
+        w.stats.state_clones += 1;
+        sh.memo
+            .insert(placed, &w.states, w.stats.nodes - nodes_at_entry);
+    }
+    outcome
+}
+
+/// Donates the coldest untried branches of this worker's shallowest
+/// eligible frames to the pool, one task per hungry worker. Called once
+/// per expanded node while parallel; the fast path is a single relaxed
+/// load of the hungry counter.
+fn maybe_donate(sh: &DfsShared<'_>, w: &mut Explorer) {
+    let Some(queues) = sh.queues else { return };
+    let mut hungry = queues.hungry();
+    if hungry == 0 || sh.cancel.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut donated = 0usize;
+    for fi in 0..w.frames.len() {
+        // Shallowest frames first: their back candidates root the largest
+        // unexplored subtrees (the steal-from-back discipline, one level
+        // up: donate the coldest work, keep the hot front).
+        while hungry > 0 && w.frames[fi].pending.len() >= sh.split_granularity.max(1) {
+            let (b, placement) = w.frames[fi].pending.pop_back().expect("len checked");
+            let depth = w.frames[fi].depth;
+            let mut path = Vec::with_capacity(depth + 1);
+            path.extend_from_slice(&w.path[..depth]);
+            path.push((b, placement));
+            queues.donate(
+                w.worker,
+                SearchTask {
+                    path: path.into_boxed_slice(),
+                },
+            );
+            w.frames[fi].donated = true;
+            donated += 1;
+            hungry -= 1;
+        }
+        if hungry == 0 {
+            break;
+        }
+    }
+    if donated > 0 {
+        w.stats.splits += 1;
+        w.stats.donated_tasks += donated;
+    }
+}
+
+/// Rehydrates a task's placement path against a fresh state — replaying
+/// each `(bit, placement)` with the same apply/undo delta machinery the
+/// search uses — then explores the subtree below it.
+fn run_task(sh: &DfsShared<'_>, w: &mut Explorer, task: &SearchTask) -> Result<bool, CheckError> {
+    w.reset();
+    let mut placed = 0u64;
+    for &(b, placement) in task.path.iter() {
+        let ci = sh.by_bit[b as usize];
+        let mark = w.delta.mark();
+        match replay_tx_mut(&sh.txs[ci].view, &mut w.states, sh.specs, &mut w.delta) {
+            Ok(()) => {}
+            Err(LegalityError::NoSpec(op)) => {
+                return Err(CheckError::NoSpec(op.obj.name().to_string()));
+            }
+            Err(LegalityError::IllegalResponse { .. }) => {
+                // Only the path's final (donated, never-tried) element can
+                // be illegal: the prefix was replayed by the donor.
+                w.stats.illegal_placements += 1;
+                return Ok(false);
+            }
+        }
+        if placement == Placement::Aborted {
+            w.delta.rollback_to(&mut w.states, mark);
+        }
+        w.stats.clones_saved += 1;
+        w.stack.push((sh.txs[ci].id, placement));
+        w.path.push((b, placement));
+        placed |= 1u64 << b;
+    }
+    w.base_depth = task.path.len();
+    dfs(sh, w, placed)
 }
 
 /// What one parallel worker hands back to the merge step.
@@ -492,16 +722,19 @@ struct WorkerReport {
     truncated: bool,
 }
 
-/// The loop of one parallel worker: pop (or steal) root tasks until the
-/// queues are dry, publishing the first witness found and draining the
-/// remainder as cancelled.
+/// The loop of one parallel worker: pop (or steal) tasks — root subtrees
+/// and donated branches alike — until the pool terminates, publishing the
+/// first witness found and draining the remainder as cancelled. Every
+/// popped task is acknowledged with `task_done` *after* its exploration
+/// (and hence after any donations it made), which is what lets the pool's
+/// inflight count prove termination.
 fn worker_loop(
     wi: usize,
     sh: &DfsShared<'_>,
-    queues: &StealQueues<RootTask>,
+    queues: &StealQueues<SearchTask>,
     witness_slot: &Mutex<Option<Vec<(TxId, Placement)>>>,
 ) -> Result<WorkerReport, CheckError> {
-    let mut w = Explorer::new();
+    let mut w = Explorer::new(wi);
     let mut truncated = false;
     while let Some((task, stolen)) = queues.pop(wi) {
         if stolen {
@@ -509,10 +742,12 @@ fn worker_loop(
         }
         if sh.cancel.load(Ordering::Relaxed) {
             w.stats.cancelled_tasks += 1;
+            queues.task_done();
             continue; // drain, so every unexplored subtree is counted once
         }
-        w.reset();
-        match run_root_task(sh, &mut w, task) {
+        let result = run_task(sh, &mut w, &task);
+        queues.task_done();
+        match result {
             Ok(true) => {
                 let mut slot = witness_slot.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
@@ -524,6 +759,8 @@ fn worker_loop(
             Ok(false) => {}
             Err(e) => {
                 // A hard error decides the whole check; stop the others.
+                // (Any tasks still queued are drained by the surviving
+                // workers, so the pool's inflight count still reaches 0.)
                 sh.cancel.store(true, Ordering::Relaxed);
                 return Err(e);
             }
@@ -881,7 +1118,13 @@ impl<'a> SearchCore<'a> {
             }
         }
         let evictions_before = self.memo.evictions();
-        let jobs = self.config.search_jobs.max(1);
+        // `search_jobs == 0` means "auto": one worker per hardware thread.
+        let jobs = match self.config.search_jobs {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
         let (witness_order, mut stats) = if jobs == 1 {
             self.run_sequential()?
         } else {
@@ -924,14 +1167,18 @@ impl<'a> SearchCore<'a> {
             memo: &self.memo,
             nodes_spent: &nodes_spent,
             cancel: &cancel,
+            queues: None,
+            split_depth: 0,
+            split_granularity: 1,
         };
-        let mut w = Explorer::new();
+        let mut w = Explorer::new(0);
         let found = dfs(&sh, &mut w, 0)?;
         Ok((found.then_some(w.stack), w.stats))
     }
 
-    /// The work-stealing check: split at root placements, share the memo,
-    /// cancel on the first witness.
+    /// The work-stealing check: seed at root placements, split subtrees
+    /// dynamically while workers are hungry, share the memo, cancel on the
+    /// first witness.
     #[allow(clippy::type_complexity)]
     fn run_parallel(
         &mut self,
@@ -960,9 +1207,23 @@ impl<'a> SearchCore<'a> {
                 continue; // has unplaced real-time predecessors at the root
             }
             for &placement in allowed_placements(self.txs[ci].view.status) {
-                tasks.push(RootTask { bit: b, placement });
+                tasks.push(SearchTask {
+                    path: Box::new([(b, placement)]),
+                });
             }
         }
+        // With splitting enabled, workers beyond the root fan-out are
+        // useful — they start hungry and receive donated branches — so the
+        // pool size is capped by the number of selected transactions (a
+        // parallelism ceiling) rather than by the root task count.
+        let splitting = self.config.split_depth > 0;
+        let ceiling = if splitting {
+            tasks.len().max(self.by_bit.len())
+        } else {
+            tasks.len()
+        };
+        let workers = jobs.min(ceiling).max(1);
+        let queues = StealQueues::new(tasks, workers);
         let nodes_spent = AtomicUsize::new(stats.nodes);
         let cancel = AtomicBool::new(false);
         let sh = DfsShared {
@@ -976,9 +1237,10 @@ impl<'a> SearchCore<'a> {
             memo: &self.memo,
             nodes_spent: &nodes_spent,
             cancel: &cancel,
+            queues: if splitting { Some(&queues) } else { None },
+            split_depth: self.config.split_depth,
+            split_granularity: self.config.split_granularity.max(1),
         };
-        let workers = jobs.min(tasks.len()).max(1);
-        let queues = StealQueues::new(tasks, workers);
         let witness_slot: Mutex<Option<Vec<(TxId, Placement)>>> = Mutex::new(None);
         let reports: Vec<Result<WorkerReport, CheckError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -1016,9 +1278,11 @@ impl<'a> SearchCore<'a> {
         }
         let witness = witness_slot.into_inner().unwrap_or_else(|e| e.into_inner());
         if witness.is_none() && self.config.memoize && !truncated {
-            // Every root subtree was explored exhaustively: the empty
-            // frontier is a genuine dead end (mirrors the sequential
-            // dfs(0) epilogue), whose recompute cost is the whole check.
+            // Every subtree — root-seeded or donated — was explored
+            // exhaustively by some worker (the pool only terminates once
+            // nothing is queued or executing): the empty frontier is a
+            // genuine dead end (mirrors the sequential dfs(0) epilogue),
+            // whose recompute cost is the whole check.
             stats.state_clones += 1;
             self.memo.insert(0, &initial, stats.nodes);
         }
@@ -1695,11 +1959,15 @@ mod tests {
             .run()
             .unwrap();
         assert!(out.holds());
-        // 8 root tasks, one of which succeeded: with 2 workers at least
-        // one task is typically drained, but scheduling may finish them
-        // all; the invariant is only that the counter never exceeds the
-        // task count minus the successful one.
-        assert!(out.stats.cancelled_tasks < 8, "{:?}", out.stats);
+        // The task universe is the 8 root tasks plus whatever branches
+        // were donated before the witness landed; at least the successful
+        // task was not drained, so the cancellation counter stays strictly
+        // below that total (how many are actually drained is scheduling).
+        assert!(
+            out.stats.cancelled_tasks < 8 + out.stats.donated_tasks,
+            "{:?}",
+            out.stats
+        );
     }
 
     // ---- bounded memo --------------------------------------------------

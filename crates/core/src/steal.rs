@@ -1,29 +1,68 @@
 //! A dependency-free work-stealing task pool for the parallel search.
 //!
-//! The parallel DFS splits a check at its root placements: every top-level
-//! `(transaction, placement)` candidate seeds an independent subtree. Those
-//! subtrees are wildly uneven — the witness-biased first candidate often
-//! finishes in linear time while a dead root exhausts a large subspace — so
-//! static sharding would idle most workers. Instead each worker owns a
-//! deque, seeded round-robin in the witness-biased candidate order, and a
-//! worker whose deque runs dry **steals from the back** of the nearest
-//! victim's deque (the classic Arora–Blumofe–Plaxton discipline: owners pop
-//! FIFO from the front where the bias-ordered tasks sit, thieves take the
-//! coldest work from the back, minimizing contention on the hot end).
+//! The parallel DFS seeds the pool with the root `(transaction, placement)`
+//! candidates, but — unlike the first iteration of this module — tasks also
+//! **spawn after the pool starts**: a worker deep in an uneven subtree can
+//! donate untried sibling branches (see `search.rs`) the moment another
+//! worker goes hungry. Each worker owns a deque, seeded round-robin in the
+//! witness-biased candidate order; an owner pops FIFO from the front where
+//! the bias-ordered tasks sit, and a worker whose deque runs dry **steals
+//! from the back** of the nearest victim's deque (the classic
+//! Arora–Blumofe–Plaxton discipline: thieves take the coldest — largest —
+//! work from the cold end, minimizing contention on the hot end).
+//!
+//! Because tasks spawn mid-run, "every deque is empty" is no longer a
+//! termination proof: a task being *executed* right now may still donate.
+//! Termination therefore tracks an `inflight` count of tasks that are
+//! queued or executing. A worker that finds every deque empty parks on a
+//! condvar and wakes when either a donation lands or `inflight` hits zero
+//! (final: nothing queued, nothing executing, so nothing can ever spawn).
+//! The protocol is lost-wakeup-free: a parking worker re-scans the deques
+//! *while holding the gate*, and every publisher (donation or the last
+//! `task_done`) notifies *under the same gate*, so any state change after
+//! the parked worker's scan is guaranteed to produce a wakeup it observes.
+//!
+//! The hungry count — pool size minus currently-executing tasks — is the
+//! donation trigger: busy workers poll it (one relaxed load per search
+//! node) and split their DFS frontier only when some worker has nothing
+//! to run, which keeps the hot exploration loop allocation-free. It is
+//! derived from the executing count rather than the parked count so the
+//! signal is up the moment the pool starts with fewer seed tasks than
+//! workers, independent of how quickly the idle threads get scheduled.
 //!
 //! The pool is deliberately built from `std` only (`Mutex<VecDeque>` per
-//! worker, scoped threads at the call site) so `tm-opacity` stays free of
-//! harness and external dependencies. Tasks are all enqueued before the
-//! workers start and never spawn new tasks, which makes termination
-//! trivial: a worker exits when every deque is empty — no task can appear
-//! afterwards.
+//! worker, `Condvar`, scoped threads at the call site) so `tm-opacity`
+//! stays free of harness and external dependencies.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
-/// Per-worker task deques with stealing. `T` is the root-subtree seed.
+fn lock<T>(d: &Mutex<T>) -> MutexGuard<'_, T> {
+    d.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Per-worker task deques with stealing, donation, and termination
+/// detection. `T` is the subtree seed (a placement path in the search).
 pub(crate) struct StealQueues<T> {
     deques: Vec<Mutex<VecDeque<T>>>,
+    /// Tasks that are queued in some deque or currently executing. A task
+    /// is counted from enqueue (`new` / `donate`) until its executor calls
+    /// [`StealQueues::task_done`]; `inflight == 0` is final because only
+    /// an executing task can donate.
+    inflight: AtomicUsize,
+    /// Tasks currently being executed (popped but not yet `task_done`).
+    /// The donation trigger is `workers - executing`: a deterministic
+    /// "someone has nothing to run" signal that does not depend on how
+    /// quickly idle threads get scheduled and actually park.
+    executing: AtomicUsize,
+    /// Workers currently parked in [`StealQueues::pop`] (diagnostic; the
+    /// donation trigger uses `executing` above).
+    parked: AtomicUsize,
+    /// Publishers notify under this gate; parked workers re-scan under it
+    /// before waiting, which closes the lost-wakeup window.
+    gate: Mutex<()>,
+    wakeup: Condvar,
 }
 
 impl<T> StealQueues<T> {
@@ -33,12 +72,18 @@ impl<T> StealQueues<T> {
     /// candidate).
     pub(crate) fn new(tasks: Vec<T>, workers: usize) -> Self {
         let workers = workers.max(1);
+        let inflight = AtomicUsize::new(tasks.len());
         let mut deques: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
         for (i, t) in tasks.into_iter().enumerate() {
             deques[i % workers].push_back(t);
         }
         StealQueues {
             deques: deques.into_iter().map(Mutex::new).collect(),
+            inflight,
+            executing: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            wakeup: Condvar::new(),
         }
     }
 
@@ -48,15 +93,56 @@ impl<T> StealQueues<T> {
         self.deques.len()
     }
 
-    /// Takes the next task for worker `w`: the front of its own deque, or —
-    /// once that is empty — the back of the first non-empty victim deque
-    /// (scanning the others in ring order). Returns the task and whether it
-    /// was stolen; `None` means every deque is empty, which is final
-    /// because tasks are never added after construction.
-    pub(crate) fn pop(&self, w: usize) -> Option<(T, bool)> {
-        fn lock<T>(d: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
-            d.lock().unwrap_or_else(|e| e.into_inner())
+    /// Number of workers with nothing to execute right now (pool size
+    /// minus currently-executing tasks). Busy workers poll this (relaxed;
+    /// staleness only delays or over-shoots a donation by one node) to
+    /// decide whether splitting their frontier is worth it. Deliberately
+    /// *not* the parked count: on a loaded machine an idle worker may take
+    /// a while to be scheduled and park, and the donor would race past
+    /// every split opportunity before the signal ever rose.
+    pub(crate) fn hungry(&self) -> usize {
+        self.deques
+            .len()
+            .saturating_sub(self.executing.load(Ordering::Relaxed))
+    }
+
+    /// Workers currently parked on the wakeup condvar (test observability).
+    #[cfg(test)]
+    pub(crate) fn parked_workers(&self) -> usize {
+        self.parked.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues a task spawned mid-run at the **back** of worker `w`'s own
+    /// deque — exactly where a thief steals from, so donated (coldest)
+    /// branches flow to hungry workers while the donor keeps its hot front.
+    /// The inflight count is raised *before* the push so no observer can
+    /// see the task queued while the count says the pool is idle.
+    pub(crate) fn donate(&self, w: usize, task: T) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        lock(&self.deques[w]).push_back(task);
+        // Publish under the gate: any worker that scanned-empty before this
+        // push is either already parked (gets the notify) or still holds
+        // the gate and will re-scan successfully.
+        let _g = lock(&self.gate);
+        self.wakeup.notify_one();
+    }
+
+    /// Marks one popped task as finished (it can no longer donate). Every
+    /// successful [`StealQueues::pop`] must be paired with exactly one
+    /// `task_done`, *after* any donations the task makes. The worker whose
+    /// `task_done` drops `inflight` to zero wakes everyone so they can
+    /// observe termination.
+    pub(crate) fn task_done(&self) {
+        self.executing.fetch_sub(1, Ordering::SeqCst);
+        if self.inflight.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = lock(&self.gate);
+            self.wakeup.notify_all();
         }
+    }
+
+    /// Non-blocking scan: the front of worker `w`'s own deque, else the
+    /// back of the first non-empty victim deque in ring order.
+    fn try_take(&self, w: usize) -> Option<(T, bool)> {
         if let Some(t) = lock(&self.deques[w]).pop_front() {
             return Some((t, false));
         }
@@ -68,11 +154,41 @@ impl<T> StealQueues<T> {
         }
         None
     }
+
+    /// Takes the next task for worker `w`, parking until a donation lands
+    /// if every deque is empty while tasks are still executing. Returns the
+    /// task and whether it was stolen; `None` means `inflight` reached
+    /// zero, which is final — nothing queued, nothing executing, so no task
+    /// can ever appear again.
+    pub(crate) fn pop(&self, w: usize) -> Option<(T, bool)> {
+        loop {
+            if let Some(hit) = self.try_take(w) {
+                self.executing.fetch_add(1, Ordering::SeqCst);
+                return Some(hit);
+            }
+            let mut gate = lock(&self.gate);
+            // Re-scan under the gate: a donor that pushed before we locked
+            // the gate is visible here; one that pushes after will notify
+            // under the gate and our wait observes it.
+            if let Some(hit) = self.try_take(w) {
+                self.executing.fetch_add(1, Ordering::SeqCst);
+                return Some(hit);
+            }
+            if self.inflight.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            self.parked.fetch_add(1, Ordering::SeqCst);
+            gate = self.wakeup.wait(gate).unwrap_or_else(|e| e.into_inner());
+            self.parked.fetch_sub(1, Ordering::SeqCst);
+            drop(gate);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::collections::HashSet;
     use std::sync::Mutex as StdMutex;
 
@@ -93,6 +209,7 @@ mod tests {
                         if stolen {
                             *steals.lock().unwrap() += 1;
                         }
+                        queues.task_done();
                     }
                 });
             }
@@ -105,11 +222,15 @@ mod tests {
         let queues = StealQueues::new(vec![10, 11, 12, 13], 2);
         // Worker 0 owns [10, 12], worker 1 owns [11, 13].
         assert_eq!(queues.pop(0), Some((10, false)));
+        queues.task_done();
         // Worker 1's own deque front comes first...
         assert_eq!(queues.pop(1), Some((11, false)));
+        queues.task_done();
         assert_eq!(queues.pop(1), Some((13, false)));
+        queues.task_done();
         // ...and once empty it steals worker 0's back task.
         assert_eq!(queues.pop(1), Some((12, true)));
+        queues.task_done();
         assert_eq!(queues.pop(0), None);
         assert_eq!(queues.pop(1), None);
     }
@@ -118,21 +239,120 @@ mod tests {
     fn single_worker_gets_everything_in_order() {
         let queues = StealQueues::new(vec![1, 2, 3], 1);
         assert_eq!(queues.pop(0), Some((1, false)));
+        queues.task_done();
         assert_eq!(queues.pop(0), Some((2, false)));
+        queues.task_done();
         assert_eq!(queues.pop(0), Some((3, false)));
+        queues.task_done();
         assert_eq!(queues.pop(0), None);
     }
 
     #[test]
-    fn more_workers_than_tasks() {
-        let queues = StealQueues::new(vec![42], 8);
-        let mut got = 0;
-        for w in 0..8 {
-            if let Some((t, _)) = queues.pop(w) {
-                assert_eq!(t, 42);
-                got += 1;
+    fn donated_task_lands_at_the_stealable_back() {
+        let queues = StealQueues::new(vec![1, 2], 2);
+        // Worker 0 executes task 1 and donates 10 mid-run.
+        assert_eq!(queues.pop(0), Some((1, false)));
+        queues.donate(0, 10);
+        queues.donate(0, 11);
+        // A thief takes the back-most donation first (coldest).
+        assert_eq!(queues.pop(1), Some((2, false)));
+        queues.task_done();
+        assert_eq!(queues.pop(1), Some((11, true)));
+        queues.task_done();
+        // The donor's own front pop sees the remaining donation.
+        queues.task_done(); // task 1 finishes
+        assert_eq!(queues.pop(0), Some((10, false)));
+        queues.task_done();
+        assert_eq!(queues.pop(0), None);
+        assert_eq!(queues.pop(1), None);
+    }
+
+    #[test]
+    fn parked_worker_wakes_for_a_donation() {
+        // Worker 1 starts with nothing; worker 0 donates only after worker
+        // 1 has actually parked. A lost wakeup here would hang the test.
+        let queues = StealQueues::new(vec![7usize], 2);
+        // Take the seed before the thief starts so it cannot be stolen.
+        let (t, _) = queues.pop(0).expect("seed task");
+        assert_eq!(t, 7);
+        let got = StdMutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let q = &queues;
+            let got = &got;
+            scope.spawn(move || {
+                while let Some((t, _)) = q.pop(1) {
+                    got.lock().unwrap().push(t);
+                    q.task_done();
+                }
+            });
+            // Still executing task 7 on worker 0: wait until the thief has
+            // actually parked, then donate. A lost wakeup would hang here.
+            while queues.parked_workers() == 0 {
+                std::thread::yield_now();
+            }
+            queues.donate(0, 8);
+            queues.task_done();
+            while let Some((t, _)) = queues.pop(0) {
+                got.lock().unwrap().push(t);
+                queues.task_done();
+            }
+        });
+        let mut got = got.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![8]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Spawn-after-start termination: tasks donate children according
+        /// to a random recipe while random workers race to steal them.
+        /// Every task must be delivered exactly once and the scope must
+        /// join (no lost-wakeup hang).
+        #[test]
+        fn donations_terminate_and_deliver_exactly_once(
+            seeds in 1usize..5,
+            workers in 1usize..7,
+            fanout in proptest::collection::vec(0usize..4, 12),
+        ) {
+            // Task ids are indices into `fanout` (wrapping): a popped task
+            // `t` donates `fanout[t % 12]` children with fresh ids while
+            // the total stays below a fixed budget.
+            let total_budget = 64usize;
+            let next_id = AtomicUsize::new(seeds);
+            let queues = StealQueues::new((0..seeds).collect::<Vec<usize>>(), workers);
+            let seen = StdMutex::new(HashSet::new());
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let seen = &seen;
+                    let next_id = &next_id;
+                    let fanout = &fanout;
+                    scope.spawn(move || {
+                        while let Some((t, _stolen)) = queues.pop(w) {
+                            assert!(
+                                seen.lock().unwrap().insert(t),
+                                "task {t} delivered twice"
+                            );
+                            for _ in 0..fanout[t % fanout.len()] {
+                                let id = next_id.fetch_add(1, Ordering::SeqCst);
+                                if id < total_budget {
+                                    queues.donate(w, id);
+                                }
+                            }
+                            queues.task_done();
+                        }
+                    });
+                }
+            });
+            let seen = seen.into_inner().unwrap();
+            // Exactly the ids that were actually donated (plus seeds) were
+            // delivered, each once.
+            let spawned = next_id.load(Ordering::SeqCst).min(total_budget);
+            prop_assert_eq!(seen.len(), spawned);
+            for id in 0..spawned {
+                prop_assert!(seen.contains(&id), "task {} lost", id);
             }
         }
-        assert_eq!(got, 1);
     }
 }

@@ -1,7 +1,8 @@
 //! Property and battery tests for the parallel, memory-bounded search:
-//! the work-stealing root-split check must be **verdict-identical** to the
-//! sequential engine on arbitrary histories, with any witness it produces
-//! re-validating, and a bounded memo must never change an answer.
+//! the work-stealing check — root splits plus depth-adaptive subtree
+//! donations — must be **verdict-identical** to the sequential engine on
+//! arbitrary histories, with any witness it produces re-validating, and a
+//! bounded memo must never change an answer.
 
 use proptest::prelude::*;
 use tm_harness::randhist::{random_history, GenConfig};
@@ -72,6 +73,65 @@ proptest! {
         }
     }
 
+    /// The splitting knobs sweep every interesting corner — disabled,
+    /// split-everything, the default window, coarse granularity — and none
+    /// of them may change a verdict or yield a non-validating witness.
+    #[test]
+    fn split_knobs_are_verdict_identical_on_random_histories(
+        seed in 0u64..10_000,
+        profile in 0usize..2,
+    ) {
+        let config = match profile {
+            0 => GenConfig::default(),
+            _ => GenConfig {
+                txs: 6,
+                objs: 2,
+                max_ops: 5,
+                noise: 0.4,
+                commit_pending: 0.3,
+                abort: 0.2,
+            },
+        };
+        let h = random_history(&config, seed);
+        let specs = SpecRegistry::registers();
+        let seq = Search::new(&h, &specs, SearchMode::OPACITY, SearchConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        for (jobs, split_depth, split_granularity) in
+            [(4usize, 0usize, 1usize), (4, 1, 1), (4, 2, 3), (8, 64, 1), (3, 8, 2)]
+        {
+            let config = SearchConfig {
+                search_jobs: jobs,
+                split_depth,
+                split_granularity,
+                ..SearchConfig::default()
+            };
+            let out = Search::new(&h, &specs, SearchMode::OPACITY, config)
+                .unwrap()
+                .run()
+                .unwrap();
+            prop_assert_eq!(
+                out.holds(),
+                seq.holds(),
+                "jobs={} split_depth={} split_granularity={} on {}",
+                jobs,
+                split_depth,
+                split_granularity,
+                h
+            );
+            if let Some(w) = &out.witness {
+                let s = witness_history(&h, w);
+                prop_assert!(
+                    tm_model::all_txs_legal(&s, &specs).is_ok(),
+                    "split_depth={} produced a witness that does not re-validate on {}",
+                    split_depth,
+                    h
+                );
+            }
+        }
+    }
+
     /// A tight memo capacity must never change a verdict either — eviction
     /// only costs recomputation — including combined with parallel workers.
     #[test]
@@ -115,9 +175,13 @@ proptest! {
         };
         let h = random_history(&config, seed);
         let specs = SpecRegistry::registers();
+        // An aggressive split window (donate from depth 2 down, one branch at
+        // a time) stresses the donated-frame memo rules on every prefix.
         let session_config = SearchConfig {
             search_jobs: 2,
             memo_capacity: Some(8),
+            split_depth: 2,
+            split_granularity: 1,
             ..SearchConfig::default()
         };
         let mut session = CheckSession::new(&specs, SearchMode::OPACITY, session_config);
