@@ -9,6 +9,9 @@
 //! on the realtime-chained knot ([`tm_bench::rt_chain_knot_history`]),
 //! whose root fan-out is exactly 1: it scales only through depth-adaptive
 //! subtree donation, never through the root split.
+//! `search/obs/{disabled,enabled}` reprices the sequential check with the
+//! observability handle off (the default no-op path, which must stay at
+//! noise level) and with a live metrics sink attached.
 //! `search/memo-cap/C` runs the same
 //! check under a bounded dead-end table, measuring what eviction-induced
 //! re-exploration costs at each capacity. The machine-readable companion
@@ -34,6 +37,33 @@ fn bench_worker_scaling(c: &mut Criterion) {
             ..SearchConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("workers", workers), &h, |b, h| {
+            b.iter(|| {
+                let out = Search::new(h, &specs, SearchMode::OPACITY, config)
+                    .expect("workload is well-formed")
+                    .run()
+                    .expect("workload is checkable");
+                assert!(!out.holds(), "the knot workload must stay non-opaque");
+                out.stats.nodes
+            })
+        });
+    }
+    // The observability axis: the identical sequential check with the
+    // handle disabled (the default — no sink, every call a no-op on a
+    // Copy handle) and with a live sink installed. CI tracks the pair
+    // warn-only; the disabled point must price at noise level (<2% of
+    // the uninstrumented baseline), the enabled point prices the
+    // per-check fold plus the per-kilonode liveness tick.
+    for (label, config) in [
+        ("disabled", SearchConfig::default()),
+        (
+            "enabled",
+            SearchConfig {
+                obs: tm_obs::ObsHandle::install(),
+                ..SearchConfig::default()
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("obs", label), &h, |b, h| {
             b.iter(|| {
                 let out = Search::new(h, &specs, SearchMode::OPACITY, config)
                     .expect("workload is well-formed")

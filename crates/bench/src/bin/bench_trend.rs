@@ -15,12 +15,16 @@
 //! | `clocks` | `commits_per_sec` of the commit storm | tm × clock × threads |
 //! | `search` | `nodes_per_sec` of the parallel batch search | worker count, prefixed by the point's `workload` when present (e.g. `rt_chain/workers=8`) |
 //!
-//! (The `search` artifact's verdict-latency points carry no `workers`
-//! field and are skipped — percentile latencies are not a higher-is-better
-//! trend metric.)
+//! The `search` artifact's verdict-latency points additionally contribute
+//! their folded `check.verdict_ns` histogram percentiles (`hist_p50_ns`,
+//! `hist_p95_ns`) as **lower-is-better** trend points keyed
+//! `latency/cap=…/…`; latency points without histogram fields (older
+//! baselines) are skipped. CI diffs these warn-only: timing percentiles
+//! are noisier than the deterministic node counts.
 //!
-//! A point regresses when the current metric drops more than the threshold
-//! below the baseline metric at the same key. Exit codes: `0` — no
+//! A point regresses when the current metric moves more than the threshold
+//! in its bad direction (down for throughput-like metrics, up for
+//! latency-like ones) against the baseline at the same key. Exit codes: `0` — no
 //! regression, `1` — regression detected, `2` — usage or parse error
 //! (including artifacts of different kinds). A **missing baseline file is
 //! not an error**: a newly introduced artifact kind has no cached baseline
@@ -47,56 +51,114 @@ fn sfield(line: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
-/// A parsed artifact: its kind plus `(key, metric)` pairs.
+/// A keyed trend point with its improvement direction.
+#[derive(Debug, PartialEq)]
+struct Point {
+    key: String,
+    value: f64,
+    /// `true` for latency-like metrics: a rise is the regression.
+    lower_is_better: bool,
+}
+
+impl Point {
+    fn higher(key: String, value: f64) -> Point {
+        Point {
+            key,
+            value,
+            lower_is_better: false,
+        }
+    }
+
+    fn lower(key: String, value: f64) -> Point {
+        Point {
+            key,
+            value,
+            lower_is_better: true,
+        }
+    }
+}
+
+/// A parsed artifact: its kind plus keyed metric points.
 #[derive(Debug, PartialEq)]
 struct Artifact {
     kind: String,
-    points: Vec<(String, f64)>,
+    points: Vec<Point>,
 }
 
 /// Parses a `BENCH_*.json` body (one point object per line, as the
 /// `report` bin writes them) into keyed metric points.
 fn parse_artifact(json: &str) -> Option<Artifact> {
     let kind = json.lines().find_map(|l| sfield(l, "bench"))?;
-    let points = json
-        .lines()
-        .filter_map(|line| match kind.as_str() {
+    let mut points = Vec::new();
+    for line in json.lines() {
+        match kind.as_str() {
             "monitor" => {
-                let events = field(line, "events")? as u64;
-                Some((format!("events={events}"), field(line, "node_ratio")?))
+                let Some(events) = field(line, "events") else {
+                    continue;
+                };
+                if let Some(v) = field(line, "node_ratio") {
+                    points.push(Point::higher(format!("events={}", events as u64), v));
+                }
             }
             "typed-objects" => {
-                let key = format!(
-                    "{}/{}/t{}",
-                    sfield(line, "tm")?,
-                    sfield(line, "object")?,
-                    field(line, "threads")? as u64
-                );
-                Some((key, field(line, "commits_per_sec")?))
+                let (Some(tm), Some(object), Some(threads)) = (
+                    sfield(line, "tm"),
+                    sfield(line, "object"),
+                    field(line, "threads"),
+                ) else {
+                    continue;
+                };
+                if let Some(v) = field(line, "commits_per_sec") {
+                    points.push(Point::higher(
+                        format!("{tm}/{object}/t{}", threads as u64),
+                        v,
+                    ));
+                }
             }
             "clocks" => {
-                let key = format!(
-                    "{}+{}/t{}",
-                    sfield(line, "tm")?,
-                    sfield(line, "clock")?,
-                    field(line, "threads")? as u64
-                );
-                Some((key, field(line, "commits_per_sec")?))
+                let (Some(tm), Some(clock), Some(threads)) = (
+                    sfield(line, "tm"),
+                    sfield(line, "clock"),
+                    field(line, "threads"),
+                ) else {
+                    continue;
+                };
+                if let Some(v) = field(line, "commits_per_sec") {
+                    points.push(Point::higher(
+                        format!("{tm}+{clock}/t{}", threads as u64),
+                        v,
+                    ));
+                }
             }
             "search" => {
-                // Latency points have no "workers" field and drop out here.
-                // Points with a "workload" discriminator (e.g. rt_chain) are
-                // keyed per workload; legacy knot points keep the bare key.
-                let workers = field(line, "workers")? as u64;
-                let key = match sfield(line, "workload") {
-                    Some(w) => format!("{w}/workers={workers}"),
-                    None => format!("workers={workers}"),
-                };
-                Some((key, field(line, "nodes_per_sec")?))
+                if let Some(workers) = field(line, "workers") {
+                    // Scaling points. Points with a "workload" discriminator
+                    // (e.g. rt_chain) are keyed per workload; legacy knot
+                    // points keep the bare key.
+                    let workers = workers as u64;
+                    let key = match sfield(line, "workload") {
+                        Some(w) => format!("{w}/workers={workers}"),
+                        None => format!("workers={workers}"),
+                    };
+                    if let Some(v) = field(line, "nodes_per_sec") {
+                        points.push(Point::higher(key, v));
+                    }
+                } else if field(line, "hist_count").is_some() {
+                    // Verdict-latency points: the folded histogram
+                    // percentiles trend lower-is-better, keyed per memo cap.
+                    let cap = sfield(line, "cap")
+                        .or_else(|| field(line, "cap").map(|c| (c as u64).to_string()))
+                        .unwrap_or_else(|| "?".to_string());
+                    for metric in ["hist_p50_ns", "hist_p95_ns"] {
+                        if let Some(v) = field(line, metric) {
+                            points.push(Point::lower(format!("latency/cap={cap}/{metric}"), v));
+                        }
+                    }
+                }
             }
-            _ => None,
-        })
-        .collect();
+            _ => {}
+        }
+    }
     Some(Artifact { kind, points })
 }
 
@@ -106,28 +168,40 @@ struct Delta {
     key: String,
     baseline: f64,
     current: f64,
+    lower_is_better: bool,
 }
 
 impl Delta {
-    /// Relative change of the metric (negative = worse).
+    /// Relative change of the metric (sign as measured; interpret via
+    /// [`Delta::regressed`]).
     fn change_pct(&self) -> f64 {
         if self.baseline <= 0.0 {
             return 0.0;
         }
         (self.current - self.baseline) / self.baseline * 100.0
     }
+
+    /// Did the metric move beyond `threshold_pct` in its bad direction?
+    fn regressed(&self, threshold_pct: f64) -> bool {
+        if self.lower_is_better {
+            self.change_pct() > threshold_pct
+        } else {
+            self.change_pct() < -threshold_pct
+        }
+    }
 }
 
 /// Pairs up baseline and current points by key.
-fn compare(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<Delta> {
+fn compare(baseline: &[Point], current: &[Point]) -> Vec<Delta> {
     current
         .iter()
-        .filter_map(|(key, cur)| {
-            let base = baseline.iter().find(|(k, _)| k == key)?.1;
+        .filter_map(|cur| {
+            let base = baseline.iter().find(|p| p.key == cur.key)?.value;
             Some(Delta {
-                key: key.clone(),
+                key: cur.key.clone(),
                 baseline: base,
-                current: *cur,
+                current: cur.value,
+                lower_is_better: cur.lower_is_better,
             })
         })
         .collect()
@@ -199,7 +273,7 @@ fn main() {
     }
     let metric = match current.kind.as_str() {
         "monitor" => "node ratio",
-        "search" => "nodes/sec",
+        "search" => "nodes/sec (or ns, lower-is-better on latency/ keys)",
         _ => "commits/sec",
     };
     let deltas = compare(&baseline.points, &current.points);
@@ -211,8 +285,7 @@ fn main() {
     println!("|---|---|---|---|");
     let mut regressed = false;
     for d in &deltas {
-        let change = d.change_pct();
-        let flag = if change < -max_regression_pct {
+        let flag = if d.regressed(max_regression_pct) {
             regressed = true;
             "  <-- REGRESSION"
         } else {
@@ -220,7 +293,10 @@ fn main() {
         };
         println!(
             "| {} | {:.2} | {:.2} | {:+.1}% |{flag}",
-            d.key, d.baseline, d.current, change
+            d.key,
+            d.baseline,
+            d.current,
+            d.change_pct()
         );
     }
     if regressed {
@@ -267,8 +343,8 @@ mod tests {
         assert_eq!(
             a.points,
             vec![
-                ("events=32".to_string(), 8.0),
-                ("events=64".to_string(), 12.0)
+                Point::higher("events=32".to_string(), 8.0),
+                Point::higher("events=64".to_string(), 12.0)
             ]
         );
     }
@@ -281,23 +357,26 @@ mod tests {
     {"workload": "rt_chain", "workers": 1, "wall_ns": 2000000, "nodes": 50000, "nodes_per_sec": 25000000, "speedup": 1.00, "splits": 0, "donated_tasks": 0},
     {"workload": "rt_chain", "workers": 8, "wall_ns": 400000, "nodes": 50100, "nodes_per_sec": 125250000, "speedup": 5.00, "splits": 40, "donated_tasks": 90},
     {"cap": "unbounded", "events": 192, "p50_ns": 900, "p95_ns": 4000, "p99_ns": 9000, "resident": 484, "evictions": 0, "total_nodes": 3567},
-    {"cap": 121, "events": 192, "p50_ns": 950, "p95_ns": 4200, "p99_ns": 9400, "resident": 120, "evictions": 214, "total_nodes": 3789}
+    {"cap": 121, "events": 192, "p50_ns": 950, "p95_ns": 4200, "p99_ns": 9400, "resident": 120, "evictions": 214, "total_nodes": 3789, "hist_count": 96, "hist_p50_ns": 1024, "hist_p95_ns": 4095, "hist_p99_ns": 8191}
   ]
 }"#;
 
     #[test]
-    fn extracts_search_scaling_points_and_skips_latency_points() {
+    fn extracts_search_scaling_points_and_latency_histograms() {
         let a = parse_artifact(SEARCH).unwrap();
         assert_eq!(a.kind, "search");
         assert_eq!(
             a.points,
             vec![
-                ("workers=1".to_string(), 33_076_000.0),
-                ("workers=8".to_string(), 132_652_000.0),
-                ("rt_chain/workers=1".to_string(), 25_000_000.0),
-                ("rt_chain/workers=8".to_string(), 125_250_000.0),
+                Point::higher("workers=1".to_string(), 33_076_000.0),
+                Point::higher("workers=8".to_string(), 132_652_000.0),
+                Point::higher("rt_chain/workers=1".to_string(), 25_000_000.0),
+                Point::higher("rt_chain/workers=8".to_string(), 125_250_000.0),
+                Point::lower("latency/cap=121/hist_p50_ns".to_string(), 1024.0),
+                Point::lower("latency/cap=121/hist_p95_ns".to_string(), 4095.0),
             ],
-            "latency points (no workers field) must not become trend points; \
+            "latency points trend only through their folded histogram \
+             fields (lower-is-better); pre-histogram baselines are skipped; \
              rt_chain points get workload-prefixed keys"
         );
     }
@@ -306,10 +385,16 @@ mod tests {
     fn extracts_clock_and_object_points() {
         let a = parse_artifact(CLOCKS).unwrap();
         assert_eq!(a.kind, "clocks");
-        assert_eq!(a.points, vec![("tl2+single/t8".to_string(), 2_400_000.0)]);
+        assert_eq!(
+            a.points,
+            vec![Point::higher("tl2+single/t8".to_string(), 2_400_000.0)]
+        );
         let a = parse_artifact(OBJECTS).unwrap();
         assert_eq!(a.kind, "typed-objects");
-        assert_eq!(a.points, vec![("tl2/counter/t2".to_string(), 60_000.0)]);
+        assert_eq!(
+            a.points,
+            vec![Point::higher("tl2/counter/t2".to_string(), 60_000.0)]
+        );
         assert!(parse_artifact("{}").is_none());
     }
 
@@ -324,8 +409,11 @@ mod tests {
 
     #[test]
     fn compare_pairs_by_key() {
-        let keyed = |pairs: &[(&str, f64)]| -> Vec<(String, f64)> {
-            pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+        let keyed = |pairs: &[(&str, f64)]| -> Vec<Point> {
+            pairs
+                .iter()
+                .map(|(k, v)| Point::higher(k.to_string(), *v))
+                .collect()
         };
         let base = keyed(&[("a", 8.0), ("b", 12.0), ("c", 20.0)]);
         let cur = keyed(&[("a", 9.0), ("b", 9.0), ("d", 30.0)]);
@@ -337,11 +425,35 @@ mod tests {
     }
 
     #[test]
+    fn regression_direction_follows_the_metric() {
+        let throughput = Delta {
+            key: "workers=8".to_string(),
+            baseline: 100.0,
+            current: 70.0,
+            lower_is_better: false,
+        };
+        assert!(throughput.regressed(20.0), "-30% throughput regresses");
+        let latency = Delta {
+            key: "latency/cap=121/hist_p95_ns".to_string(),
+            baseline: 100.0,
+            current: 70.0,
+            lower_is_better: true,
+        };
+        assert!(!latency.regressed(20.0), "-30% latency is an improvement");
+        let latency_up = Delta {
+            current: 130.0,
+            ..latency
+        };
+        assert!(latency_up.regressed(20.0), "+30% latency regresses");
+    }
+
+    #[test]
     fn zero_baseline_does_not_divide() {
         let d = Delta {
             key: "x".to_string(),
             baseline: 0.0,
             current: 5.0,
+            lower_is_better: false,
         };
         assert_eq!(d.change_pct(), 0.0);
     }

@@ -13,8 +13,9 @@
 //! numbers go to **`BENCH_monitor.json`** (history length vs
 //! incremental/batch check time and node counts) and
 //! **`BENCH_search.json`** (parallel-search node throughput per worker
-//! count, bounded-memo node overheads, and verdict-latency percentiles
-//! under a streaming monitor at several memo caps), the machine-readable
+//! count, bounded-memo node overheads, and verdict-latency percentiles —
+//! hand-timed and as folded `check.verdict_ns` histograms — under a
+//! streaming monitor at several memo caps), the machine-readable
 //! artifacts CI uploads so the perf trajectory of the resumable core is
 //! tracked from PR to PR.
 //!
@@ -320,6 +321,14 @@ struct SearchLatencyPoint {
     resident: usize,
     evictions: usize,
     total_nodes: usize,
+    /// The monitor's own `check.verdict_ns` histogram, folded from an
+    /// observability sink installed on the search config — the same
+    /// artifact `tmcheck --metrics-out` writes, so the two surfaces are
+    /// cross-checkable.
+    hist_count: u64,
+    hist_p50_ns: u64,
+    hist_p95_ns: u64,
+    hist_p99_ns: u64,
 }
 
 /// The latency at percentile `p` of a sorted sample.
@@ -346,10 +355,17 @@ fn search_latency_points(events: usize, fractions: &[usize]) -> Vec<SearchLatenc
         .chain(fractions.iter().map(|&f| Some(f)))
         .enumerate()
     {
+        // One sink per cap: the monitor's internal checks fold their
+        // verdict latencies into `check.verdict_ns`, isolated per run.
+        let obs = tm_obs::ObsHandle::install();
         let config = match cap {
-            None => SearchConfig::default(),
+            None => SearchConfig {
+                obs,
+                ..SearchConfig::default()
+            },
             Some(frac) => SearchConfig {
                 memo_capacity: Some((peak / frac).max(1)),
+                obs,
                 ..SearchConfig::default()
             },
         };
@@ -370,6 +386,18 @@ fn search_latency_points(events: usize, fractions: &[usize]) -> Vec<SearchLatenc
             // The streaming peak, not the (invalidation-shrunk) final size.
             peak = running_peak.max(1);
         }
+        let snap = obs.snapshot().expect("installed sink");
+        let (hist_count, hist_p50_ns, hist_p95_ns, hist_p99_ns) = snap
+            .histogram("check.verdict_ns")
+            .map(|h| {
+                (
+                    h.count(),
+                    h.quantile(0.5),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                )
+            })
+            .unwrap_or_default();
         out.push(SearchLatencyPoint {
             cap: config.memo_capacity,
             events,
@@ -379,6 +407,10 @@ fn search_latency_points(events: usize, fractions: &[usize]) -> Vec<SearchLatenc
             resident: running_peak,
             evictions: m.memo_evictions(),
             total_nodes: m.lifetime_stats().nodes,
+            hist_count,
+            hist_p50_ns,
+            hist_p95_ns,
+            hist_p99_ns,
         });
     }
     out
@@ -428,7 +460,9 @@ fn search_memory_points(knots: u32, writers: u32) -> Vec<SearchMemoryPoint> {
 
 /// Renders `BENCH_search.json` by hand (no serde in the tree): the
 /// node-throughput scaling points (tracked by `bench_trend`), the batch
-/// bounded-memo points, and the verdict-latency points.
+/// bounded-memo points, and the verdict-latency points — each carrying
+/// both hand-timed percentiles and the folded `check.verdict_ns`
+/// histogram (`hist_*` fields, trend-diffed lower-is-better).
 fn search_json(
     scaling: &[SearchScalingPoint],
     rt_chain: &[RtChainPoint],
@@ -503,7 +537,9 @@ fn search_json(
         let cap = p.cap.map_or("\"unbounded\"".to_string(), |c| c.to_string());
         out.push_str(&format!(
             "    {{\"cap\": {}, \"events\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
-             \"p99_ns\": {}, \"resident\": {}, \"evictions\": {}, \"total_nodes\": {}}}{}\n",
+             \"p99_ns\": {}, \"resident\": {}, \"evictions\": {}, \"total_nodes\": {}, \
+             \"hist_count\": {}, \"hist_p50_ns\": {}, \"hist_p95_ns\": {}, \
+             \"hist_p99_ns\": {}}}{}\n",
             cap,
             p.events,
             p.p50_ns,
@@ -512,6 +548,10 @@ fn search_json(
             p.resident,
             p.evictions,
             p.total_nodes,
+            p.hist_count,
+            p.hist_p50_ns,
+            p.hist_p95_ns,
+            p.hist_p99_ns,
             if emitted == total { "" } else { "," }
         ));
     }

@@ -18,6 +18,15 @@
 //!    code; user-facing paths return friendly errors instead of panicking.
 //!    Everything from the first `#[cfg(test)]` line to the end of a file is
 //!    considered test code (the house style keeps test modules last).
+//! 4. **atomic-telemetry** — telemetry counters live in `tm-obs`, not on
+//!    raw atomics. Any `AtomicU64`/`AtomicUsize` declared under a
+//!    telemetry-flavoured name (`count`, `stat`, `hits`, `evict`, …)
+//!    outside `crates/obs` and the sanctioned synchronization files
+//!    (`base.rs`, `clock.rs`, `steal.rs`) is flagged: one counter type
+//!    means one merge semantics and one snapshot surface. The rule matches
+//!    the *declared identifier* (the name left of `:`/`=`), not the whole
+//!    line, so `AtomicUsize::new(stats.nodes)` bound to a clean name stays
+//!    legal. Test code is exempt, as in rule 3.
 //!
 //! ```text
 //! tm-lint [--root DIR]     # DIR defaults to the workspace root
@@ -167,6 +176,110 @@ fn lint_no_unwrap_in_cli(root: &Path, findings: &mut Vec<Finding>) -> Result<(),
     Ok(())
 }
 
+/// Identifier names that mark an atomic as a telemetry counter.
+const TELEMETRY_TOKENS: [&str; 10] = [
+    "count", "counter", "meter", "stat", "hits", "evict", "sample", "tick", "total", "steals",
+];
+
+/// The identifier a declaration binds, given the text *before* the atomic
+/// type token: the last word left of the nearest `:` or `=` separator
+/// (skipping `::` path segments, so `name: std::sync::atomic::AtomicU64`
+/// resolves to `name`). `None` when the token is not a declaration site —
+/// imports, references in signatures, tuple structs.
+fn declared_identifier(before: &str) -> Option<&str> {
+    let bytes = before.as_bytes();
+    let mut i = bytes.len();
+    let mut sep = None;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b'=' => {
+                sep = Some(i);
+                break;
+            }
+            // A `::` path separator: skip both colons and keep scanning.
+            b':' if i > 0 && bytes[i - 1] == b':' => i -= 1,
+            b':' => {
+                sep = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let head = before[..sep?].trim_end();
+    let start = head
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let ident = &head[start..];
+    (!ident.is_empty()).then_some(ident)
+}
+
+/// Rule 4: telemetry counters go through `tm_obs::Counter`, never raw
+/// atomics — otherwise merge/snapshot semantics fragment per call site.
+fn lint_atomic_telemetry(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    const ALLOWED: [&str; 3] = ["base.rs", "clock.rs", "steal.rs"];
+    const KINDS: [&str; 2] = ["AtomicU64", "AtomicUsize"];
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).map_err(|e| format!("{}: {e}", crates.display()))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("{}: {e}", crates.display()))?
+            .path();
+        // The obs crate *implements* the sanctioned counter type.
+        if path.file_name().is_some_and(|n| n == "obs") {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            dirs.push(src);
+        }
+    }
+    dirs.sort();
+    for dir in dirs {
+        let mut files = Vec::new();
+        rust_files(&dir, &mut files)?;
+        for file in files {
+            let name = file
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if ALLOWED.contains(&name.as_str()) {
+                continue;
+            }
+            let mut in_tests = false;
+            for (i, line) in read(&file)?.lines().enumerate() {
+                if line.contains("#[cfg(test)]") {
+                    in_tests = true;
+                }
+                if in_tests || is_comment(line) {
+                    continue;
+                }
+                let Some(pos) = KINDS.iter().filter_map(|k| line.find(k)).min() else {
+                    continue;
+                };
+                let Some(ident) = declared_identifier(&line[..pos]) else {
+                    continue;
+                };
+                let lower = ident.to_lowercase();
+                if TELEMETRY_TOKENS.iter().any(|t| lower.contains(t)) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: i + 1,
+                        rule: "atomic-telemetry",
+                        excerpt: format!(
+                            "'{ident}' is a telemetry counter on a raw atomic; \
+                             use tm_obs::Counter (or rename if it synchronizes): {}",
+                            line.trim()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs all rules under `root`, returning findings sorted by location.
 fn lint(root: &Path) -> Result<Vec<Finding>, String> {
     if !root.join("crates").is_dir() {
@@ -180,13 +293,15 @@ fn lint(root: &Path) -> Result<Vec<Finding>, String> {
     lint_ordering_containment(root, &mut findings)?;
     lint_forbid_unsafe(root, &mut findings)?;
     lint_no_unwrap_in_cli(root, &mut findings)?;
+    lint_atomic_telemetry(root, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
 
 /// Usage text shown on argument errors.
 const USAGE: &str = "\
-tm-lint — source-discipline gate (ordering containment, forbid(unsafe), no CLI unwraps)
+tm-lint — source-discipline gate (ordering containment, forbid(unsafe), no CLI unwraps,
+          no raw-atomic telemetry outside tm-obs)
 
 USAGE:
   tm-lint [--root DIR]     DIR defaults to the workspace root containing crates/
@@ -371,6 +486,78 @@ mod tests {
             .collect();
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn a_telemetry_counter_on_a_raw_atomic_is_flagged() {
+        let s = Scratch::new("telemetry");
+        s.write(
+            "crates/stm/src/tally.rs",
+            "pub struct Tally {\n    retry_count: std::sync::atomic::AtomicU64,\n    lock: std::sync::atomic::AtomicU64,\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "atomic-telemetry")
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].file.ends_with("crates/stm/src/tally.rs"));
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].excerpt.contains("retry_count"), "{}", hits[0]);
+    }
+
+    #[test]
+    fn telemetry_exemptions_hold() {
+        let s = Scratch::new("telemetry-exempt");
+        // Sanctioned synchronization files may name their atomics anything:
+        // the steal deque's occupancy meters coordinate parking, they are
+        // not telemetry.
+        s.write(
+            "crates/stm/src/steal.rs",
+            "pub struct Q {\n    inflight_count: std::sync::atomic::AtomicUsize,\n}\n",
+        );
+        // The rule matches the declared identifier, not the whole line:
+        // `stats.nodes` contains the token \"stat\" but the binding is clean.
+        s.write(
+            "crates/stm/src/resume.rs",
+            "fn f(stats: &S) {\n    let nodes_spent = std::sync::atomic::AtomicUsize::new(stats.nodes);\n    let _ = nodes_spent;\n}\n",
+        );
+        // Test code may tally however it likes.
+        s.write(
+            "crates/cli/src/probe.rs",
+            "#[cfg(test)]\nmod tests {\n    static HIT_COUNT: std::sync::atomic::AtomicU64 =\n        std::sync::atomic::AtomicU64::new(0);\n}\n",
+        );
+        // The obs crate implements the counter type itself.
+        std::fs::create_dir_all(s.0.join("crates/obs/src")).unwrap();
+        s.write(
+            "crates/obs/src/registry.rs",
+            "pub struct R {\n    dropped_count: std::sync::atomic::AtomicU64,\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        assert!(
+            findings.iter().all(|f| f.rule != "atomic-telemetry"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn declared_identifier_sees_through_paths_and_skips_non_declarations() {
+        assert_eq!(
+            declared_identifier("    evict_total: "),
+            Some("evict_total")
+        );
+        assert_eq!(
+            declared_identifier("    let hits = std::sync::atomic::"),
+            Some("hits")
+        );
+        assert_eq!(
+            declared_identifier("static TICK_METER: std::sync::atomic::"),
+            Some("TICK_METER")
+        );
+        // Imports, bare references, and tuple structs bind no identifier.
+        assert_eq!(declared_identifier("use std::sync::atomic::{"), None);
+        assert_eq!(declared_identifier("struct Padded("), None);
+        assert_eq!(declared_identifier(""), None);
     }
 
     #[test]

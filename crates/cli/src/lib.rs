@@ -60,7 +60,8 @@ use tm_trace::{from_json, from_text, to_json_pretty, to_text};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
     /// `check <file> [--search-jobs N] [--memo-cap M] [--split-depth D]
-    /// [--split-granularity G]`
+    /// [--split-granularity G] [--metrics-out FILE] [--trace-out FILE]
+    /// [--progress]`
     Check {
         /// Input path (`-` = stdin).
         file: String,
@@ -74,6 +75,12 @@ pub enum Command {
         split_depth: usize,
         /// Minimum untried candidates a frame needs to donate one (≥ 1).
         split_granularity: usize,
+        /// Write a `tm-metrics/v1` JSON metrics snapshot here.
+        metrics_out: Option<String>,
+        /// Write a Chrome-trace JSON span file here.
+        trace_out: Option<String>,
+        /// Render a live single-line progress counter on stderr.
+        progress: bool,
     },
     /// `explain <file>`
     Explain(String),
@@ -127,8 +134,13 @@ pub enum Command {
         /// Typed-object probe battery: `--objects all` or a comma list of
         /// kinds. `None` runs the classic register battery.
         objects: Option<Vec<ObjectKind>>,
+        /// Write a `tm-metrics/v1` JSON metrics snapshot here.
+        metrics_out: Option<String>,
+        /// Write a Chrome-trace JSON span file here.
+        trace_out: Option<String>,
     },
-    /// `race [--tm SPEC] [--steps N] [--preemptions K]`
+    /// `race [--tm SPEC] [--steps N] [--preemptions K] [--metrics-out FILE]
+    /// [--trace-out FILE]`
     Race {
         /// Restrict to one non-blocking TM spec (default: every
         /// non-blocking TM in the suite, plus the concurrency-mutant
@@ -138,6 +150,10 @@ pub enum Command {
         steps: usize,
         /// Preemption bound for the real-TM sweep (0 = serial orders only).
         preemptions: usize,
+        /// Write a `tm-metrics/v1` JSON metrics snapshot here.
+        metrics_out: Option<String>,
+        /// Write a Chrome-trace JSON span file here.
+        trace_out: Option<String>,
     },
     /// `list`
     List,
@@ -153,6 +169,7 @@ tmcheck — opacity checker for transactional-memory traces
 USAGE:
   tmcheck check    <file> [--search-jobs N] [--memo-cap M]
                           [--split-depth D] [--split-granularity G]
+                          [--metrics-out FILE] [--trace-out FILE] [--progress]
                                     opacity verdict + witness (exit 1 if
                                     violated); --search-jobs N drives the
                                     serialization search with N work-stealing
@@ -167,7 +184,12 @@ USAGE:
                                     workers (0 = root-only parallelism,
                                     default 8), --split-granularity G the
                                     minimum untried candidates a frame needs
-                                    before donating one (default 1)
+                                    before donating one (default 1);
+                                    --metrics-out writes a tm-metrics/v1 JSON
+                                    snapshot of search/memo/verdict counters,
+                                    --trace-out a Chrome-trace (Perfetto-
+                                    loadable) span file, --progress renders a
+                                    live node counter on stderr
   tmcheck explain  <file>           localize the first opacity violation
   tmcheck criteria <file>           verdicts for the full Section-3 criteria lattice
   tmcheck graph    <file>           Graphviz DOT of the Section-5.4 opacity graph
@@ -176,6 +198,7 @@ USAGE:
   tmcheck conformance [--jobs N] [--search-jobs N] [--memo-cap M]
                       [--split-depth D] [--split-granularity G] [--tm SPEC]
                       [--clock SCHEME] [--mutants] [--objects SET]
+                      [--metrics-out FILE] [--trace-out FILE]
                                     run the TM conformance battery (exit 1 if
                                     any swept TM violates a contract); --jobs
                                     shards the sweep deterministically;
@@ -191,8 +214,11 @@ USAGE:
                                     sweeps typed-object probes — write-skew
                                     sets, producer/consumer queues, commutative
                                     counter storms — instead of the register
-                                    battery
+                                    battery; --metrics-out/--trace-out write
+                                    the observability artifacts as in `check`
+                                    (the battery text itself is unchanged)
   tmcheck race [--tm SPEC] [--steps N] [--preemptions K]
+               [--metrics-out FILE] [--trace-out FILE]
                                     step-level race analysis: explore
                                     instrumented base-object interleavings
                                     with dynamic partial-order reduction,
@@ -228,6 +254,17 @@ fn positive_flag(
         .ok_or_else(|| format!("{cmd}: {flag} needs a number ≥ 1"))
 }
 
+/// Parses `--metrics-out`/`--trace-out` style values: a file path.
+fn path_flag(
+    it: &mut std::slice::Iter<'_, String>,
+    cmd: &str,
+    flag: &str,
+) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{cmd}: {flag} needs a file path"))
+}
+
 /// Parses `--search-jobs`/`--split-depth` style values, where `0` is a
 /// meaningful setting (auto-parallelism / splitting disabled).
 fn nonneg_flag(
@@ -258,6 +295,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut memo_cap = None;
             let mut split_depth = defaults.split_depth;
             let mut split_granularity = defaults.split_granularity;
+            let mut metrics_out = None;
+            let mut trace_out = None;
+            let mut progress = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--search-jobs" => {
@@ -272,6 +312,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--split-granularity" => {
                         split_granularity = positive_flag(&mut it, "check", "--split-granularity")?;
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(path_flag(&mut it, "check", "--metrics-out")?);
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(path_flag(&mut it, "check", "--trace-out")?);
+                    }
+                    "--progress" => progress = true,
                     other => return Err(format!("check: unknown flag '{other}'")),
                 }
             }
@@ -281,6 +328,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 memo_cap,
                 split_depth,
                 split_granularity,
+                metrics_out,
+                trace_out,
+                progress,
             })
         }
         "explain" => Ok(Command::Explain(file_arg(&mut it)?)),
@@ -354,6 +404,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut clock = None;
             let mut mutants = false;
             let mut objects = None;
+            let mut metrics_out = None;
+            let mut trace_out = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--jobs" => {
@@ -399,6 +451,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             ObjectKind::parse_set(spec).map_err(|e| format!("conformance: {e}"))?,
                         );
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(path_flag(&mut it, "conformance", "--metrics-out")?);
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(path_flag(&mut it, "conformance", "--trace-out")?);
+                    }
                     other => return Err(format!("conformance: unknown flag '{other}'")),
                 }
             }
@@ -412,14 +470,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 clock,
                 mutants,
                 objects,
+                metrics_out,
+                trace_out,
             })
         }
         "race" => {
             let mut tm = None;
             let mut steps = 200_000usize;
             let mut preemptions = 2usize;
+            let mut metrics_out = None;
+            let mut trace_out = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--metrics-out" => {
+                        metrics_out = Some(path_flag(&mut it, "race", "--metrics-out")?);
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(path_flag(&mut it, "race", "--trace-out")?);
+                    }
                     "--tm" => {
                         tm = Some(
                             it.next()
@@ -445,6 +513,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 tm,
                 steps,
                 preemptions,
+                metrics_out,
+                trace_out,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -473,6 +543,86 @@ pub fn parse_trace(raw: &str) -> Result<History, String> {
         from_json(raw).map_err(|e| format!("JSON trace: {e}"))
     } else {
         from_text(raw).map_err(|e| format!("text trace: {e}"))
+    }
+}
+
+/// Installs a process-wide observability sink when any observability
+/// output was requested; returns the disabled (no-op) handle otherwise, so
+/// unobserved runs carry zero instrumentation cost.
+fn obs_for(
+    metrics_out: &Option<String>,
+    trace_out: &Option<String>,
+    progress: bool,
+) -> tm_obs::ObsHandle {
+    if metrics_out.is_some() || trace_out.is_some() || progress {
+        tm_obs::ObsHandle::install()
+    } else {
+        tm_obs::ObsHandle::disabled()
+    }
+}
+
+/// Writes the versioned observability artifacts: a `tm-metrics/v1` JSON
+/// snapshot and/or a Chrome-trace (Perfetto-loadable) span file.
+fn write_artifacts(
+    obs: tm_obs::ObsHandle,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    if let Some(path) = metrics_out {
+        let snap = obs
+            .snapshot()
+            .ok_or_else(|| "--metrics-out: observability sink missing".to_string())?;
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = trace_out {
+        let trace = tm_trace::chrome_trace_json(&obs.spans());
+        std::fs::write(path, trace).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// A live single-line progress display on stderr, fed by the observability
+/// sink's `search.nodes_live` counter (updated once per kilonode by the
+/// search workers). Dropping the guard stops the ticker and clears the
+/// line, so the verdict output below is never interleaved with it.
+struct Progress {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Progress {
+    fn spawn(obs: tm_obs::ObsHandle) -> Progress {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let seen = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut printed = false;
+            while !seen.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                if let Some(snap) = obs.snapshot() {
+                    let nodes = snap.counter("search.nodes_live").unwrap_or(0);
+                    eprint!("\rsearch: {nodes} nodes explored …");
+                    printed = true;
+                }
+            }
+            if printed {
+                // Clear the counter line before the verdict is printed.
+                eprint!("\r\x1b[2K");
+            }
+        });
+        Progress {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Progress {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -506,17 +656,25 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             memo_cap,
             split_depth,
             split_granularity,
+            metrics_out,
+            trace_out,
+            progress,
         } => {
             let h = load_history(file)?;
             tm_model::check_well_formed(&h).map_err(|e| format!("not well-formed: {e}"))?;
+            let obs = obs_for(metrics_out, trace_out, *progress);
             let config = SearchConfig {
                 search_jobs: *search_jobs,
                 memo_capacity: *memo_cap,
                 split_depth: *split_depth,
                 split_granularity: *split_granularity,
+                obs,
                 ..SearchConfig::default()
             };
+            let ticker = (*progress && obs.enabled()).then(|| Progress::spawn(obs));
             let report = is_opaque_with(&h, &specs, config).map_err(|e| e.to_string())?;
+            drop(ticker);
+            write_artifacts(obs, metrics_out.as_deref(), trace_out.as_deref())?;
             w(
                 out,
                 format!(
@@ -530,7 +688,9 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                     w(
                         out,
                         format!(
-                            "parallel: {} steals, {} splits, {} donated tasks, {} cancelled",
+                            "parallel: {} workers, {} steals, {} splits, {} donated tasks, \
+                             {} cancelled",
+                            report.stats.workers,
                             report.stats.steals,
                             report.stats.splits,
                             report.stats.donated_tasks,
@@ -747,13 +907,17 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             clock,
             mutants,
             objects,
+            metrics_out,
+            trace_out,
         } => {
             use tm_harness::{conformance_parallel_with, object_conformance_with};
+            let obs = obs_for(metrics_out, trace_out, false);
             let search = SearchConfig {
                 search_jobs: *search_jobs,
                 memo_capacity: *memo_cap,
                 split_depth: *split_depth,
                 split_granularity: *split_granularity,
+                obs,
                 ..SearchConfig::default()
             };
             let reg = tm_stm::TmRegistry::suite();
@@ -785,10 +949,24 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                     .map_err(|e| format!("conformance: {e}"))?
                     .0
                     .properties;
-                let factory = reg
-                    .factory(&spec)
-                    .map_err(|e| format!("conformance: {e}"))?;
-                selection.push((spec, props, Box::new(factory)));
+                let factory: Factory = if obs.enabled() {
+                    // Thread the observability handle into every TM the
+                    // battery builds, so the STM-layer commit/abort/clock
+                    // counters land in the metrics snapshot. The spec was
+                    // validated by parse_spec above.
+                    let spec = spec.clone();
+                    Box::new(move |k: usize| {
+                        tm_stm::TmRegistry::suite()
+                            .build_with(&spec, &tm_stm::StmConfig::new(k).obs(obs))
+                            .unwrap_or_else(|e| panic!("validated spec '{spec}': {e}"))
+                    })
+                } else {
+                    Box::new(
+                        reg.factory(&spec)
+                            .map_err(|e| format!("conformance: {e}"))?,
+                    )
+                };
+                selection.push((spec, props, factory));
             }
             // Deliberately job-count-free output: `--jobs N` must be
             // byte-identical to `--jobs 1` (deterministic sharded merge).
@@ -869,6 +1047,7 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
                     }
                 }
             }
+            write_artifacts(obs, metrics_out.as_deref(), trace_out.as_deref())?;
             if all_clean {
                 Ok(0)
             } else {
@@ -882,7 +1061,14 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             tm,
             steps,
             preemptions,
-        } => run_race(out, tm.as_deref(), *steps, *preemptions),
+            metrics_out,
+            trace_out,
+        } => {
+            let obs = obs_for(metrics_out, trace_out, false);
+            let code = run_race(out, tm.as_deref(), *steps, *preemptions, obs)?;
+            write_artifacts(obs, metrics_out.as_deref(), trace_out.as_deref())?;
+            Ok(code)
+        }
         Command::Generate {
             seed,
             txs,
@@ -999,12 +1185,16 @@ fn race_sweep_one(
     Ok(clean)
 }
 
-/// `tmcheck race`: the step-level analysis battery.
+/// `tmcheck race`: the step-level analysis battery. The observability
+/// handle (disabled unless `--metrics-out`/`--trace-out` was given) flows
+/// into every TM the battery builds, so STM commit/abort counters land in
+/// the metrics snapshot.
 fn run_race(
     out: &mut dyn Write,
     tm: Option<&str>,
     steps: usize,
     preemptions: usize,
+    obs: tm_obs::ObsHandle,
 ) -> Result<i32, String> {
     use std::sync::Arc;
     use tm_harness::{DporConfig, SharedStm};
@@ -1049,7 +1239,7 @@ fn run_race(
             ));
         }
         let factory = move |p: Option<Arc<dyn StepProbe>>| -> SharedStm {
-            let cfg = StmConfig::new(2).clock(scheme).recording(false);
+            let cfg = StmConfig::new(2).clock(scheme).recording(false).obs(obs);
             let cfg = match p {
                 Some(probe) => cfg.probe(probe),
                 None => cfg,
@@ -1091,7 +1281,7 @@ fn run_race(
         for (label, mutation, program, bound) in teeth {
             let k = program.required_k();
             let factory = move |p: Option<Arc<dyn StepProbe>>| -> SharedStm {
-                let cfg = StmConfig::new(k).recording(false);
+                let cfg = StmConfig::new(k).recording(false).obs(obs);
                 let cfg = match p {
                     Some(probe) => cfg.probe(probe),
                     None => cfg,
@@ -1182,6 +1372,9 @@ mod tests {
             memo_cap: None,
             split_depth: 8,
             split_granularity: 1,
+            metrics_out: None,
+            trace_out: None,
+            progress: false,
         }
     }
 
@@ -1214,6 +1407,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 memo_cap: Some(4096),
                 split_depth: 8,
                 split_granularity: 1,
+                metrics_out: None,
+                trace_out: None,
+                progress: false,
             })
         );
         assert_eq!(
@@ -1254,7 +1450,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 tm: None,
                 clock: None,
                 mutants: false,
-                objects: None
+                objects: None,
+                metrics_out: None,
+                trace_out: None
             })
         );
         assert_eq!(
@@ -1268,7 +1466,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 tm: Some("tl2".into()),
                 clock: None,
                 mutants: true,
-                objects: None
+                objects: None,
+                metrics_out: None,
+                trace_out: None
             })
         );
         assert_eq!(
@@ -1282,7 +1482,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 tm: None,
                 clock: None,
                 mutants: false,
-                objects: Some(ObjectKind::ALL.to_vec())
+                objects: Some(ObjectKind::ALL.to_vec()),
+                metrics_out: None,
+                trace_out: None
             })
         );
         assert_eq!(
@@ -1296,7 +1498,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 tm: Some("sistm".into()),
                 clock: None,
                 mutants: false,
-                objects: Some(vec![ObjectKind::Queue, ObjectKind::Set])
+                objects: Some(vec![ObjectKind::Queue, ObjectKind::Set]),
+                metrics_out: None,
+                trace_out: None
             })
         );
         assert!(parse_args(&a("conformance --jobs 0")).is_err());
@@ -1372,6 +1576,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 memo_cap: Some(8),
                 split_depth: 8,
                 split_granularity: 1,
+                metrics_out: None,
+                trace_out: None,
+                progress: false,
             });
             assert_eq!(code_p, expected, "{out_p}");
         }
@@ -1388,8 +1595,13 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             memo_cap: None,
             split_depth: 8,
             split_granularity: 1,
+            metrics_out: None,
+            trace_out: None,
+            progress: false,
         });
         assert_eq!(code, 0, "{out}");
+        assert!(out.contains("workers,"), "{out}");
+        assert!(!out.contains(" 0 workers"), "{out}");
         assert!(out.contains("splits"), "{out}");
         assert!(out.contains("donated tasks"), "{out}");
         // The sequential engine stays quiet about parallel telemetry.
@@ -1411,6 +1623,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         };
         let (code1, baseline) = run_str(&cmd(1, None, 8, 1));
         assert_eq!(code1, 0, "{baseline}");
@@ -1547,6 +1761,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         let (code4, par) = run_str(&Command::Conformance {
             jobs: 4,
@@ -1558,6 +1774,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code1, 0, "{seq}");
         assert_eq!(code4, 0, "{par}");
@@ -1578,6 +1796,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("tl2"));
@@ -1592,6 +1812,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 2);
         assert!(out.contains("unknown TM"), "{out}");
@@ -1612,6 +1834,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: Some(vec![ObjectKind::Set]),
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("set-write-skew"), "{out}");
@@ -1631,6 +1855,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: Some(vec![ObjectKind::Set, ObjectKind::Queue]),
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("queue-producer-consumer"), "{out}");
@@ -1652,6 +1878,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: Some(vec![ObjectKind::Counter, ObjectKind::Set]),
+            metrics_out: None,
+            trace_out: None,
         };
         let (code1, seq) = run_str(&cmd(1));
         let (code3, par) = run_str(&cmd(3));
@@ -1683,6 +1911,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: Some(tm_stm::ClockScheme::Sharded(4)),
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         for row in ["tl2+sharded:4", "mvstm+sharded:4", "sistm+sharded:4"] {
@@ -1706,6 +1936,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: None,
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("tl2+deferred"), "{out}");
@@ -1724,6 +1956,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: Some(tm_stm::ClockScheme::Deferred),
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 2);
         assert!(out.contains("no global clock"), "{out}");
@@ -1738,6 +1972,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: Some(tm_stm::ClockScheme::Deferred),
             mutants: false,
             objects: None,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 2);
         assert!(out.contains("clock given twice"), "{out}");
@@ -1761,7 +1997,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 tm: None,
                 clock: Some(tm_stm::ClockScheme::Sharded(16)),
                 mutants: false,
-                objects: None
+                objects: None,
+                metrics_out: None,
+                trace_out: None
             })
         );
     }
@@ -1778,6 +2016,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             clock: Some(tm_stm::ClockScheme::Sharded(2)),
             mutants: false,
             objects: Some(vec![ObjectKind::Set]),
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         let skew_row = out
@@ -1799,7 +2039,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Race {
                 tm: None,
                 steps: 200_000,
-                preemptions: 2
+                preemptions: 2,
+                metrics_out: None,
+                trace_out: None
             })
         );
         assert_eq!(
@@ -1807,7 +2049,9 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             Ok(Command::Race {
                 tm: Some("tl2+deferred".into()),
                 steps: 500,
-                preemptions: 0
+                preemptions: 0,
+                metrics_out: None,
+                trace_out: None
             })
         );
         for (args, needle) in [
@@ -1830,6 +2074,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             tm: Some("tl2".into()),
             steps: 2_000,
             preemptions: 2,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("reader-vs-writer"), "{out}");
@@ -1846,6 +2092,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             tm: Some("glock".into()),
             steps: 100,
             preemptions: 1,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("blocking"), "{out}");
@@ -1853,6 +2101,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             tm: Some("nonesuch".into()),
             steps: 100,
             preemptions: 1,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 2, "{out}");
         assert!(out.contains("unknown TM"), "{out}");
@@ -1866,6 +2116,8 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             tm: None,
             steps: 200_000,
             preemptions: 2,
+            metrics_out: None,
+            trace_out: None,
         });
         assert_eq!(code, 0, "{out}");
         for name in ["tl2", "dstm", "sistm", "nonopaque", "tpl"] {
@@ -1877,6 +2129,215 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         assert_eq!(out.matches("CONVICTED (expected)").count(), 2, "{out}");
         assert_eq!(out.matches("minimized schedule").count(), 2, "{out}");
         assert!(!out.contains("ESCAPED"), "{out}");
+    }
+
+    /// A `check` command with observability artifacts requested.
+    fn check_with_artifacts(file: String, metrics: &str, trace: &str) -> Command {
+        Command::Check {
+            file,
+            search_jobs: 1,
+            memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
+            metrics_out: Some(metrics.to_string()),
+            trace_out: Some(trace.to_string()),
+            progress: false,
+        }
+    }
+
+    fn artifact_path(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tmcheck-art-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn observability_flags_parse_with_friendly_errors() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert_eq!(
+            parse_args(&a(
+                "check f --progress --metrics-out m.json --trace-out t.json"
+            )),
+            Ok(Command::Check {
+                file: "f".into(),
+                search_jobs: 1,
+                memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
+                metrics_out: Some("m.json".into()),
+                trace_out: Some("t.json".into()),
+                progress: true,
+            })
+        );
+        for (args, needle) in [
+            ("check f --metrics-out", "--metrics-out needs a file path"),
+            ("check f --trace-out", "--trace-out needs a file path"),
+            (
+                "conformance --metrics-out",
+                "--metrics-out needs a file path",
+            ),
+            ("race --trace-out", "--trace-out needs a file path"),
+        ] {
+            let err = parse_args(&a(args)).unwrap_err();
+            assert!(err.contains(needle), "{args}: {err}");
+        }
+        assert!(parse_args(&a("conformance --metrics-out m --trace-out t")).is_ok());
+        assert!(parse_args(&a("race --metrics-out m --trace-out t")).is_ok());
+        // --progress is check-only.
+        assert!(parse_args(&a("conformance --progress")).is_err());
+    }
+
+    #[test]
+    fn check_writes_versioned_metrics_and_trace_artifacts() {
+        let f = fixture("artifacts", OPAQUE_TRACE);
+        let metrics = artifact_path("check-metrics");
+        let trace = artifact_path("check-trace");
+        // Observability must not change a byte of the verdict output.
+        let (code_bare, bare) = run_str(&check_cmd(f.clone()));
+        let (code, observed) = run_str(&check_with_artifacts(f, &metrics, &trace));
+        assert_eq!(code, code_bare);
+        assert_eq!(observed, bare, "observability changed the verdict output");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"schema\": \"tm-metrics/v1\""), "{m}");
+        assert!(m.contains("\"search.nodes\""), "{m}");
+        assert!(m.contains("\"check.verdict_ns\""), "{m}");
+        assert!(m.contains("\"search.workers\""), "{m}");
+        let t = std::fs::read_to_string(&trace).unwrap();
+        assert!(t.contains("\"schemaVersion\": 1"), "{t}");
+        assert!(t.contains("\"traceEvents\""), "{t}");
+        assert!(
+            t.contains("\"check\""),
+            "the check span must be present: {t}"
+        );
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn auto_search_jobs_reports_the_effective_worker_count() {
+        // `--search-jobs 0` resolves to the hardware parallelism; the
+        // parallel line and the metrics snapshot must both report the
+        // resolved count, never the literal 0.
+        let f = fixture("auto-workers", OPAQUE_TRACE);
+        let metrics = artifact_path("auto-workers-metrics");
+        let (code, out) = run_str(&Command::Check {
+            file: f,
+            search_jobs: 0,
+            memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
+            metrics_out: Some(metrics.clone()),
+            trace_out: None,
+            progress: false,
+        });
+        assert_eq!(code, 0, "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("parallel:"))
+            .expect("parallel line present under auto jobs");
+        assert!(!line.contains(" 0 workers"), "{line}");
+        let workers: u64 = line
+            .trim_start_matches("parallel: ")
+            .split(' ')
+            .next()
+            .and_then(|n| n.parse().ok())
+            .expect("leading worker count");
+        assert!(workers >= 1, "{line}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            m.contains(&format!("\"search.workers\": {workers}")),
+            "snapshot must record the same effective count: {m}"
+        );
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn conformance_metrics_cover_search_and_stm_layers() {
+        let metrics = artifact_path("conf-metrics");
+        let trace = artifact_path("conf-trace");
+        let cmd = |m: Option<String>, t: Option<String>| Command::Conformance {
+            jobs: 1,
+            search_jobs: 1,
+            memo_cap: None,
+            split_depth: 8,
+            split_granularity: 1,
+            tm: Some("tl2".into()),
+            clock: None,
+            mutants: false,
+            objects: None,
+            metrics_out: m,
+            trace_out: t,
+        };
+        let (code_bare, bare) = run_str(&cmd(None, None));
+        let (code, observed) = run_str(&cmd(Some(metrics.clone()), Some(trace.clone())));
+        assert_eq!(code, code_bare);
+        assert_eq!(observed, bare, "observability changed the battery output");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        for counter in [
+            "\"search.checks\"",
+            "\"search.nodes\"",
+            "\"memo.probes\"",
+            "\"stm.commits\"",
+            "\"stm.clock.ticks\"",
+        ] {
+            assert!(m.contains(counter), "missing {counter}: {m}");
+        }
+        assert!(std::fs::read_to_string(&trace)
+            .unwrap()
+            .contains("\"traceEvents\""));
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn conformance_monotone_counters_agree_across_job_counts() {
+        // The observability analogue of the byte-identical-output contract:
+        // sharding the sweep across jobs may only change timing, never a
+        // monotone counter. Counters serialize from a BTreeMap, so the
+        // whole section compares as a string.
+        let counters_for = |jobs: usize, tag: &str| {
+            let metrics = artifact_path(tag);
+            let (code, out) = run_str(&Command::Conformance {
+                jobs,
+                search_jobs: 1,
+                memo_cap: None,
+                split_depth: 8,
+                split_granularity: 1,
+                tm: Some("tl2".into()),
+                clock: None,
+                mutants: false,
+                objects: None,
+                metrics_out: Some(metrics.clone()),
+                trace_out: None,
+            });
+            assert_eq!(code, 0, "{out}");
+            let m = std::fs::read_to_string(&metrics).unwrap();
+            let _ = std::fs::remove_file(&metrics);
+            let start = m.find("\"counters\"").expect("counters section");
+            let end = m.find("\"gauges\"").expect("gauges section");
+            m[start..end].to_string()
+        };
+        let seq = counters_for(1, "jobs1-metrics");
+        let par = counters_for(3, "jobs3-metrics");
+        assert_eq!(seq, par, "jobs=3 counters diverged from jobs=1");
+    }
+
+    #[test]
+    fn race_writes_observability_artifacts() {
+        let metrics = artifact_path("race-metrics");
+        let (code, out) = run_str(&Command::Race {
+            tm: Some("tl2".into()),
+            steps: 2_000,
+            preemptions: 1,
+            metrics_out: Some(metrics.clone()),
+            trace_out: None,
+        });
+        assert_eq!(code, 0, "{out}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"schema\": \"tm-metrics/v1\""), "{m}");
+        assert!(m.contains("\"stm.commits\""), "{m}");
+        let _ = std::fs::remove_file(&metrics);
     }
 
     #[test]

@@ -120,6 +120,9 @@ impl<'a> OpacityMonitor<'a> {
     /// the first violation index. A hard error (ill-formed event, engine
     /// limit) is likewise sticky.
     pub fn feed(&mut self, e: Event) -> Result<MonitorVerdict, CheckError> {
+        // Covers extend + (skipped or run) check: the per-event cost of
+        // online monitoring in a trace. Inert while obs is disabled.
+        let _span = self.config.obs.span("monitor.feed", "monitor");
         let is_invocation = e.is_invocation();
         self.history.push(e.clone());
         if let Some(err) = &self.poisoned {

@@ -65,10 +65,10 @@
 //! live snapshot (`Arc<ObjStates>: Borrow<ObjStates>` does the lookup).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tm_model::ObjStates;
+use tm_obs::Counter;
 
 /// Default shard count (a power of two; also the upper bound when the
 /// configured capacity is smaller).
@@ -199,8 +199,10 @@ pub(crate) struct ShardedMemo {
     /// Per-shard entry cap; `None` = unbounded (no segment bookkeeping at
     /// all).
     per_shard_cap: Option<usize>,
-    /// Entries evicted by the capacity bound since creation (monotone).
-    evictions: AtomicUsize,
+    /// Entries evicted by the capacity bound since creation (monotone; a
+    /// `tm-obs` counter — the sanctioned home for embedded telemetry
+    /// tallies, see the `atomic-telemetry` lint).
+    evictions: Counter,
 }
 
 impl ShardedMemo {
@@ -229,7 +231,7 @@ impl ShardedMemo {
                 .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
             per_shard_cap,
-            evictions: AtomicUsize::new(0),
+            evictions: Counter::new(),
         }
     }
 
@@ -304,7 +306,7 @@ impl ShardedMemo {
             sh.enqueue(bucket, mask, arc, stamp);
             while sh.len > cap {
                 if sh.evict_one() {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.add(1);
                 } else {
                     break; // unreachable with len > 0; defensive
                 }
@@ -364,7 +366,7 @@ impl ShardedMemo {
     /// Total entries evicted by the capacity bound since creation
     /// (monotone; invalidation drops are not evictions).
     pub(crate) fn evictions(&self) -> usize {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get() as usize
     }
 
     /// The total capacity actually enforced (shard count × per-shard cap);

@@ -230,22 +230,57 @@ pub struct SearchStats {
     pub cancelled_tasks: usize,
     /// Memo entries evicted by the capacity bound during this check.
     pub evictions: usize,
+    /// Worker threads the check actually ran with (the *resolved* pool
+    /// size — 1 for the sequential engine, and the effective count when
+    /// `search_jobs = 0` asked for "auto"). Merged by maximum, not sum:
+    /// it is a property of the pool, not a per-worker tally.
+    pub workers: usize,
 }
 
+/// Number of monotone counter cells in [`SearchStats::counter_cells`].
+const STAT_CELLS: usize = 10;
+
 impl SearchStats {
+    /// The monotone counters as one flat cell array (everything except
+    /// [`SearchStats::workers`], which is not additive), in declaration
+    /// order — the shape consumed by [`tm_obs::merge_counters`].
+    fn counter_cells(&self) -> [u64; STAT_CELLS] {
+        [
+            self.nodes as u64,
+            self.memo_hits as u64,
+            self.illegal_placements as u64,
+            self.state_clones as u64,
+            self.clones_saved as u64,
+            self.steals as u64,
+            self.splits as u64,
+            self.donated_tasks as u64,
+            self.cancelled_tasks as u64,
+            self.evictions as u64,
+        ]
+    }
+
+    fn set_counter_cells(&mut self, cells: [u64; STAT_CELLS]) {
+        self.nodes = cells[0] as usize;
+        self.memo_hits = cells[1] as usize;
+        self.illegal_placements = cells[2] as usize;
+        self.state_clones = cells[3] as usize;
+        self.clones_saved = cells[4] as usize;
+        self.steals = cells[5] as usize;
+        self.splits = cells[6] as usize;
+        self.donated_tasks = cells[7] as usize;
+        self.cancelled_tasks = cells[8] as usize;
+        self.evictions = cells[9] as usize;
+    }
+
     /// Accumulates `other` into `self` (used for lifetime totals and for
-    /// the deterministic per-worker merge of parallel checks).
+    /// the deterministic per-worker merge of parallel checks). The
+    /// counters delegate to [`tm_obs::merge_counters`] — the workspace's
+    /// one telemetry-merge implementation; `workers` merges by maximum.
     pub fn absorb(&mut self, other: &SearchStats) {
-        self.nodes += other.nodes;
-        self.memo_hits += other.memo_hits;
-        self.illegal_placements += other.illegal_placements;
-        self.state_clones += other.state_clones;
-        self.clones_saved += other.clones_saved;
-        self.steals += other.steals;
-        self.splits += other.splits;
-        self.donated_tasks += other.donated_tasks;
-        self.cancelled_tasks += other.cancelled_tasks;
-        self.evictions += other.evictions;
+        let mut cells = self.counter_cells();
+        tm_obs::merge_counters(&mut cells, &other.counter_cells());
+        self.set_counter_cells(cells);
+        self.workers = self.workers.max(other.workers);
     }
 }
 
@@ -295,6 +330,11 @@ pub struct SearchConfig {
     /// to donate one (≥ 1, default `1`). Raising it keeps more local work
     /// per split at the cost of slower work distribution.
     pub split_granularity: usize,
+    /// Observability handle (disabled by default — every instrumented
+    /// path is then a no-op branch). When enabled, each check folds its
+    /// merged [`SearchStats`] into the sink's counters, records the
+    /// feed→verdict latency histogram, and emits worker-lifecycle spans.
+    pub obs: tm_obs::ObsHandle,
 }
 
 impl Default for SearchConfig {
@@ -306,6 +346,7 @@ impl Default for SearchConfig {
             memo_capacity: None,
             split_depth: 8,
             split_granularity: 1,
+            obs: tm_obs::ObsHandle::disabled(),
         }
     }
 }
@@ -365,6 +406,11 @@ struct DfsShared<'a> {
     split_depth: usize,
     /// [`SearchConfig::split_granularity`].
     split_granularity: usize,
+    /// [`SearchConfig::obs`]: a disabled handle outside `--metrics-out`/
+    /// `--trace-out`/`--progress` runs. The hot loop touches it only once
+    /// every 1024 nodes (the live-progress counter), so the disabled cost
+    /// is one masked branch per kilonode.
+    obs: tm_obs::ObsHandle,
 }
 
 /// One splittable DFS frame of a parallel worker: the untried sibling
@@ -482,6 +528,12 @@ fn dfs(sh: &DfsShared<'_>, w: &mut Explorer, placed: u64) -> Result<bool, CheckE
     sh.nodes_spent.fetch_add(1, Ordering::Relaxed);
     let nodes_at_entry = w.stats.nodes;
     w.stats.nodes += 1;
+    if w.stats.nodes & 0x3FF == 0 {
+        // Live-progress feed (`tmcheck check --progress`): amortized to one
+        // registry touch per 1024 nodes so enabled observability stays off
+        // the hot path; the exact totals are folded per check.
+        sh.obs.counter_add("search.nodes_live", 0x400);
+    }
     if sh.memoize {
         w.stats.clones_saved += 1; // memo probe without a key clone
         if sh.memo.probe(placed, &w.states) {
@@ -736,7 +788,14 @@ fn worker_loop(
 ) -> Result<WorkerReport, CheckError> {
     let mut w = Explorer::new(wi);
     let mut truncated = false;
-    while let Some((task, stolen)) = queues.pop(wi) {
+    loop {
+        // The wait span covers stealing attempts and condvar parking — the
+        // "worker starved" signal in a trace (inert when obs is disabled).
+        let popped = {
+            let _wait = sh.obs.span("task.wait", "search");
+            queues.pop(wi)
+        };
+        let Some((task, stolen)) = popped else { break };
         if stolen {
             w.stats.steals += 1;
         }
@@ -745,7 +804,10 @@ fn worker_loop(
             queues.task_done();
             continue; // drain, so every unexplored subtree is counted once
         }
-        let result = run_task(sh, &mut w, &task);
+        let result = {
+            let _exec = sh.obs.span("task.execute", "search");
+            run_task(sh, &mut w, &task)
+        };
         queues.task_done();
         match result {
             Ok(true) => {
@@ -1125,12 +1187,25 @@ impl<'a> SearchCore<'a> {
                 .unwrap_or(1),
             n => n,
         };
+        let obs = self.config.obs;
+        let _check_span = obs.span("check", "search");
+        let started = obs.enabled().then(std::time::Instant::now);
         let (witness_order, mut stats) = if jobs == 1 {
             self.run_sequential()?
         } else {
             self.run_parallel(jobs)?
         };
         stats.evictions = self.memo.evictions() - evictions_before;
+        // The resolved pool size (run_parallel records the effective worker
+        // count; every other path — sequential, trivial, fully memoized —
+        // ran on this one thread).
+        stats.workers = stats.workers.max(1);
+        if let Some(t0) = started {
+            // The feed→verdict latency: everything between the check request
+            // and the verdict for the events fed so far.
+            obs.observe("check.verdict_ns", t0.elapsed().as_nanos() as u64);
+            self.fold_stats(&stats);
+        }
         self.stats = stats;
         self.lifetime.absorb(&stats);
         match witness_order {
@@ -1147,6 +1222,33 @@ impl<'a> SearchCore<'a> {
                 stats,
             }),
         }
+    }
+
+    /// Folds one check's deterministically merged [`SearchStats`] into the
+    /// observability sink — per check, never per node, so enabled metrics
+    /// stay off the DFS hot path. Counter totals are therefore identical
+    /// for any sharding of the same work (the jobs=1 vs jobs=N agreement
+    /// pinned in `tm-cli`'s tests).
+    fn fold_stats(&self, stats: &SearchStats) {
+        let obs = self.config.obs;
+        obs.counter_add("search.checks", 1);
+        obs.counter_add("search.nodes", stats.nodes as u64);
+        obs.counter_add("search.illegal_placements", stats.illegal_placements as u64);
+        obs.counter_add("search.clones_saved", stats.clones_saved as u64);
+        obs.counter_add("search.steals", stats.steals as u64);
+        obs.counter_add("search.splits", stats.splits as u64);
+        obs.counter_add("search.donated_tasks", stats.donated_tasks as u64);
+        obs.counter_add("search.cancelled_tasks", stats.cancelled_tasks as u64);
+        // The memo lifecycle: with memoization on, every expanded node is
+        // exactly one probe, and every state clone is one insert.
+        if self.config.memoize {
+            obs.counter_add("memo.probes", stats.nodes as u64);
+        }
+        obs.counter_add("memo.hits", stats.memo_hits as u64);
+        obs.counter_add("memo.inserts", stats.state_clones as u64);
+        obs.counter_add("memo.evictions", stats.evictions as u64);
+        obs.gauge_set("memo.resident", self.memo.resident() as u64);
+        obs.gauge_set("search.workers", stats.workers as u64);
     }
 
     /// The single-threaded check: one explorer, no spawns.
@@ -1170,6 +1272,7 @@ impl<'a> SearchCore<'a> {
             queues: None,
             split_depth: 0,
             split_granularity: 1,
+            obs: self.config.obs,
         };
         let mut w = Explorer::new(0);
         let found = dfs(&sh, &mut w, 0)?;
@@ -1223,6 +1326,7 @@ impl<'a> SearchCore<'a> {
             tasks.len()
         };
         let workers = jobs.min(ceiling).max(1);
+        stats.workers = workers;
         let queues = StealQueues::new(tasks, workers);
         let nodes_spent = AtomicUsize::new(stats.nodes);
         let cancel = AtomicBool::new(false);
@@ -1240,6 +1344,7 @@ impl<'a> SearchCore<'a> {
             queues: if splitting { Some(&queues) } else { None },
             split_depth: self.config.split_depth,
             split_granularity: self.config.split_granularity.max(1),
+            obs: self.config.obs,
         };
         let witness_slot: Mutex<Option<Vec<(TxId, Placement)>>> = Mutex::new(None);
         let reports: Vec<Result<WorkerReport, CheckError>> = std::thread::scope(|scope| {

@@ -1,0 +1,78 @@
+//! Property tests for the histogram algebra (satellite of ISSUE 8): the
+//! log₂-histogram merge must be associative and commutative, because the
+//! parallel search folds per-worker telemetry in worker order while the
+//! conformance battery folds per-shard telemetry in shard order — every
+//! grouping has to read the same.
+
+use proptest::prelude::*;
+
+use tm_obs::{bucket_index, Histogram, BUCKETS};
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1 << 40, 0..40),
+        ys in proptest::collection::vec(0u64..1 << 40, 0..40),
+    ) {
+        let (a, b) = (build(&xs), build(&ys));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1 << 40, 0..30),
+        ys in proptest::collection::vec(0u64..1 << 40, 0..30),
+        zs in proptest::collection::vec(0u64..1 << 40, 0..30),
+    ) {
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn any_split_merges_back_to_the_whole(
+        values in proptest::collection::vec(0u64..1 << 40, 1..60),
+        cut in 0usize..60,
+    ) {
+        // Recording a stream in one histogram equals recording any split of
+        // it in two and merging — the invariant that makes jobs=1 and
+        // jobs=N snapshots agree.
+        let cut = cut.min(values.len());
+        let whole = build(&values);
+        let parts = merged(&build(&values[..cut]), &build(&values[cut..]));
+        prop_assert_eq!(whole.count(), parts.count());
+        prop_assert_eq!(&whole, &parts);
+        prop_assert_eq!(whole.count(), values.len() as u64);
+        prop_assert_eq!(whole.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn quantiles_bracket_observations(v in 0u64..1 << 40) {
+        let h = build(&[v]);
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        // The p100 read is the recorded value's bucket upper bound: within
+        // 2× of the true value (exact for 0).
+        let q = h.quantile(1.0);
+        prop_assert!(q >= v);
+        prop_assert!(i == 0 || q < v.saturating_mul(2).max(2));
+    }
+}

@@ -113,6 +113,7 @@ pub struct StmConfig {
     recording: bool,
     retry: RetryPolicy,
     probe: Option<Arc<dyn StepProbe>>,
+    obs: tm_obs::ObsHandle,
 }
 
 impl StmConfig {
@@ -128,6 +129,7 @@ impl StmConfig {
             recording: true,
             retry: RetryPolicy::default(),
             probe: None,
+            obs: tm_obs::ObsHandle::disabled(),
         }
     }
 
@@ -199,6 +201,17 @@ impl StmConfig {
         self
     }
 
+    /// Attaches an observability handle (default disabled). An enabled
+    /// handle makes [`StmConfig::build_recorder`] count
+    /// `stm.commits`/`stm.aborts` and [`StmConfig::build_clock`] wrap the
+    /// clock in a [`crate::obs::ObsClock`] counting
+    /// `stm.clock.samples`/`stm.clock.ticks`. A disabled handle changes
+    /// nothing: the built TM is bit-for-bit the uninstrumented one.
+    pub fn obs(mut self, obs: tm_obs::ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
     // ---- getters (consumed by the TM constructors) -------------------------
 
     /// The number of registers.
@@ -237,18 +250,33 @@ impl StmConfig {
         self.probe.clone()
     }
 
-    /// Builds the clock this configuration names.
+    /// The attached observability handle.
+    pub fn obs_handle(&self) -> tm_obs::ObsHandle {
+        self.obs
+    }
+
+    /// Builds the clock this configuration names. With an enabled
+    /// observability handle the clock is wrapped in a
+    /// [`crate::obs::ObsClock`] decorator; otherwise the bare clock is
+    /// returned — the disabled path has no wrapper at all.
     pub fn build_clock(&self) -> Box<dyn GlobalClock> {
-        self.clock.build()
+        let clock = self.clock.build();
+        if self.obs.enabled() {
+            Box::new(crate::obs::ObsClock::new(clock, self.obs))
+        } else {
+            clock
+        }
     }
 
     /// Builds the recorder this configuration names (recording toggle
-    /// applied, so a recording-off TM skips event construction entirely).
+    /// applied, so a recording-off TM skips event construction entirely;
+    /// observability handle attached, so commit/abort chokepoints count).
     pub fn build_recorder(&self) -> Recorder {
-        let r = Recorder::new(self.k);
+        let mut r = Recorder::new(self.k);
         if !self.recording {
             r.set_enabled(false);
         }
+        r.set_obs(self.obs);
         r
     }
 }

@@ -72,6 +72,7 @@ pub mod mutants;
 pub mod mvstm;
 pub mod nonopaque;
 pub mod objects;
+pub mod obs;
 pub mod recorder;
 pub mod registry;
 pub mod sistm;
@@ -97,6 +98,7 @@ pub use nonopaque::NonOpaqueStm;
 pub use objects::{
     run_typed_tx, try_run_typed_tx, ObjEncoding, TObj, TypedSpace, TypedStm, TypedTx,
 };
+pub use obs::{ObsClock, ObsStepProbe};
 pub use recorder::Recorder;
 pub use registry::{TmLookupError, TmRegistry, TmSpec};
 pub use sistm::SiStm;

@@ -49,8 +49,13 @@ pub struct Recorder {
     /// Mirror of `suppressed.len()`, so the (hot) register-level event
     /// helpers skip the suppression lock entirely while no typed-object
     /// operation is in flight anywhere — the permanent state of every
-    /// register-only workload.
-    suppressed_count: AtomicUsize,
+    /// register-only workload. (A synchronization fast path, not a
+    /// telemetry counter: it needs Acquire/Release and can go down.)
+    suppressed_len: AtomicUsize,
+    /// Observability handle: [`Recorder::commit`]/[`Recorder::abort`] count
+    /// `stm.commits`/`stm.aborts` through it even when event recording is
+    /// disabled. Disabled by default — zero cost.
+    obs: tm_obs::ObsHandle,
 }
 
 impl Recorder {
@@ -62,8 +67,15 @@ impl Recorder {
             names: (0..k).map(ObjId::register).collect(),
             next_tx: AtomicU32::new(1),
             suppressed: Mutex::new(Vec::new()),
-            suppressed_count: AtomicUsize::new(0),
+            suppressed_len: AtomicUsize::new(0),
+            obs: tm_obs::ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; subsequent [`Recorder::commit`]
+    /// and [`Recorder::abort`] calls count `stm.commits`/`stm.aborts`.
+    pub fn set_obs(&mut self, obs: tm_obs::ObsHandle) {
+        self.obs = obs;
     }
 
     /// Enables or disables recording.
@@ -98,7 +110,7 @@ impl Recorder {
         // Fast path: no transaction anywhere is inside an object op. A
         // transaction always observes its own suppression (same-thread
         // program order), so the relaxed count can never hide it.
-        if self.suppressed_count.load(Ordering::Acquire) == 0 {
+        if self.suppressed_len.load(Ordering::Acquire) == 0 {
             return false;
         }
         self.suppressed.lock().contains(&t)
@@ -108,14 +120,14 @@ impl Recorder {
     fn suppress(&self, t: TxId) {
         let mut set = self.suppressed.lock();
         set.push(t);
-        self.suppressed_count.store(set.len(), Ordering::Release);
+        self.suppressed_len.store(set.len(), Ordering::Release);
     }
 
     /// Removes `t` from the suppression set (idempotent).
     fn unsuppress(&self, t: TxId) {
         let mut set = self.suppressed.lock();
         set.retain(|&s| s != t);
-        self.suppressed_count.store(set.len(), Ordering::Release);
+        self.suppressed_len.store(set.len(), Ordering::Release);
     }
 
     /// Opens an object-level operation scope for `t`: records
@@ -215,13 +227,18 @@ impl Recorder {
         self.record(Event::TryAbort(t));
     }
 
-    /// Records `C_t`.
+    /// Records `C_t`. Counts `stm.commits` on the attached observability
+    /// handle regardless of the recording toggle — the commit happened
+    /// whether or not its event is kept.
     pub fn commit(&self, t: TxId) {
+        self.obs.counter_add("stm.commits", 1);
         self.record(Event::Commit(t));
     }
 
-    /// Records `A_t`.
+    /// Records `A_t`. Counts `stm.aborts` on the attached observability
+    /// handle regardless of the recording toggle.
     pub fn abort(&self, t: TxId) {
+        self.obs.counter_add("stm.aborts", 1);
         self.record(Event::Abort(t));
     }
 

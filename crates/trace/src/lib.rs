@@ -32,6 +32,10 @@
 //! (property-tested against the random history generator), and both reject
 //! malformed input with positioned errors rather than panics.
 //!
+//! A third, write-only surface ([`spans`]) renders `tm-obs` span records
+//! as Chrome Trace Event JSON (`chrome://tracing` / Perfetto) — the
+//! `tmcheck … --trace-out` artifact.
+//!
 //! Dependency note: the JSON surface is hand-rolled over a tiny internal
 //! document model (see [`json`]) rather than pulling in `serde`/`serde_json`
 //! — the build environment is offline and the schema is small. The wire
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod json;
+pub mod spans;
 pub mod text;
 
 use std::fmt;
@@ -51,6 +56,7 @@ use std::sync::Arc;
 use tm_model::OpName;
 
 pub use json::{from_json, to_json, to_json_pretty};
+pub use spans::{chrome_trace_json, TRACE_SCHEMA_VERSION};
 pub use text::{from_text, to_text};
 
 /// An error produced while parsing a trace.

@@ -5,7 +5,7 @@
 //! introduced *opacity*, the standard correctness condition for
 //! transactional memory.
 //!
-//! This facade crate re-exports the four member crates:
+//! This facade crate re-exports the library member crates:
 //!
 //! * [`model`] (`tm-model`) — the Section 4 formal model: events, histories,
 //!   real-time order, completions, sequential specifications, legality;
@@ -21,7 +21,12 @@
 //!   random history generation, workloads, and the Ω(k) lower-bound
 //!   experiments;
 //! * [`trace`] (`tm-trace`) — JSON and text interchange formats for
-//!   histories (the `tmcheck` CLI in `tm-cli` builds on them).
+//!   histories and Chrome-trace span emission (the `tmcheck` CLI in
+//!   `tm-cli` builds on them);
+//! * [`obs`] (`tm-obs`) — dependency-free metrics registry (counters,
+//!   gauges, log2 latency histograms) and span tracing behind a
+//!   zero-cost-when-disabled handle, threaded through the search, monitor,
+//!   and STM layers (`tmcheck --metrics-out/--trace-out`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +54,7 @@
 
 pub use tm_harness as harness;
 pub use tm_model as model;
+pub use tm_obs as obs;
 pub use tm_opacity as opacity;
 pub use tm_stm as stm;
 pub use tm_trace as trace;
