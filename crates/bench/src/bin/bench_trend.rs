@@ -6,7 +6,7 @@
 //!     baseline/BENCH_monitor.json BENCH_monitor.json [--max-regression-pct 20]
 //! ```
 //!
-//! Four artifact kinds are understood, keyed by their `"bench"` field:
+//! Five artifact kinds are understood, keyed by their `"bench"` field:
 //!
 //! | kind | tracked metric (higher is better) | point key |
 //! |------|-----------------------------------|-----------|
@@ -14,13 +14,16 @@
 //! | `typed-objects` | `commits_per_sec` of the typed storms | tm × object × threads |
 //! | `clocks` | `commits_per_sec` of the commit storm | tm × clock × threads |
 //! | `search` | `nodes_per_sec` of the parallel batch search | worker count, prefixed by the point's `workload` when present (e.g. `rt_chain/workers=8`) |
+//! | `serve` | `verdicts_per_sec` of the multiplexed replay daemon | session count × memo budget |
 //!
 //! The `search` artifact's verdict-latency points additionally contribute
 //! their folded `check.verdict_ns` histogram percentiles (`hist_p50_ns`,
 //! `hist_p95_ns`) as **lower-is-better** trend points keyed
 //! `latency/cap=…/…`; latency points without histogram fields (older
-//! baselines) are skipped. CI diffs these warn-only: timing percentiles
-//! are noisier than the deterministic node counts.
+//! baselines) are skipped. The `serve` artifact's points do the same with
+//! the daemon's `serve.verdict_ns` histogram, keyed
+//! `latency/sessions=…/budget=…/…`. CI diffs these warn-only: timing
+//! percentiles are noisier than the deterministic node counts.
 //!
 //! A point regresses when the current metric moves more than the threshold
 //! in its bad direction (down for throughput-like metrics, up for
@@ -156,6 +159,24 @@ fn parse_artifact(json: &str) -> Option<Artifact> {
                     }
                 }
             }
+            "serve" => {
+                let (Some(sessions), Some(budget)) = (
+                    field(line, "sessions"),
+                    sfield(line, "budget")
+                        .or_else(|| field(line, "budget").map(|b| (b as u64).to_string())),
+                ) else {
+                    continue;
+                };
+                let key = format!("sessions={}/budget={budget}", sessions as u64);
+                if let Some(v) = field(line, "verdicts_per_sec") {
+                    points.push(Point::higher(key.clone(), v));
+                }
+                for metric in ["hist_p50_ns", "hist_p95_ns"] {
+                    if let Some(v) = field(line, metric) {
+                        points.push(Point::lower(format!("latency/{key}/{metric}"), v));
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -244,12 +265,15 @@ fn main() {
         })
     };
     // A newly introduced artifact kind has no cached baseline on its first
-    // run: that is information, not an error — report it and succeed so CI
-    // seeds the cache without red noise.
+    // run: that is information, not an error — report it (naming the kind,
+    // read from the current artifact since the baseline is the missing
+    // side) and succeed so CI seeds the cache without red noise.
     if !std::path::Path::new(baseline_path.as_str()).exists() {
+        let current = parse(current_path);
         println!(
-            "bench_trend: no baseline at {baseline_path} — first run for this \
-             artifact; nothing to compare"
+            "bench_trend: no baseline at {baseline_path} for the `{}` artifact — \
+             first run for this kind; nothing to compare",
+            current.kind
         );
         std::process::exit(0);
     }
@@ -274,6 +298,7 @@ fn main() {
     let metric = match current.kind.as_str() {
         "monitor" => "node ratio",
         "search" => "nodes/sec (or ns, lower-is-better on latency/ keys)",
+        "serve" => "verdicts/sec (or ns, lower-is-better on latency/ keys)",
         _ => "commits/sec",
     };
     let deltas = compare(&baseline.points, &current.points);
@@ -378,6 +403,45 @@ mod tests {
             "latency points trend only through their folded histogram \
              fields (lower-is-better); pre-histogram baselines are skipped; \
              rt_chain points get workload-prefixed keys"
+        );
+    }
+
+    const SERVE: &str = r#"{
+  "bench": "serve",
+  "points": [
+    {"sessions": 64, "events": 700, "budget": "unbounded", "wall_ns": 1000000, "verdicts": 700, "turns": 770, "verdicts_per_sec": 700000, "hist_p50_ns": 2047, "hist_p95_ns": 16383, "hist_p99_ns": 32767},
+    {"sessions": 64, "events": 700, "budget": 65536, "wall_ns": 1250000, "verdicts": 700, "turns": 770, "verdicts_per_sec": 560000, "hist_p50_ns": 2047, "hist_p95_ns": 16383, "hist_p99_ns": 32767}
+  ]
+}"#;
+
+    #[test]
+    fn extracts_serve_throughput_and_latency_points() {
+        let a = parse_artifact(SERVE).unwrap();
+        assert_eq!(a.kind, "serve");
+        assert_eq!(
+            a.points,
+            vec![
+                Point::higher("sessions=64/budget=unbounded".to_string(), 700_000.0),
+                Point::lower(
+                    "latency/sessions=64/budget=unbounded/hist_p50_ns".to_string(),
+                    2047.0
+                ),
+                Point::lower(
+                    "latency/sessions=64/budget=unbounded/hist_p95_ns".to_string(),
+                    16_383.0
+                ),
+                Point::higher("sessions=64/budget=65536".to_string(), 560_000.0),
+                Point::lower(
+                    "latency/sessions=64/budget=65536/hist_p50_ns".to_string(),
+                    2047.0
+                ),
+                Point::lower(
+                    "latency/sessions=64/budget=65536/hist_p95_ns".to_string(),
+                    16_383.0
+                ),
+            ],
+            "budgeted and unbudgeted rows key separately; the daemon's \
+             serve.verdict_ns percentiles trend lower-is-better"
         );
     }
 

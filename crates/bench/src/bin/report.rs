@@ -15,9 +15,13 @@
 //! **`BENCH_search.json`** (parallel-search node throughput per worker
 //! count, bounded-memo node overheads, and verdict-latency percentiles —
 //! hand-timed and as folded `check.verdict_ns` histograms — under a
-//! streaming monitor at several memo caps), the machine-readable
-//! artifacts CI uploads so the perf trajectory of the resumable core is
-//! tracked from PR to PR.
+//! streaming monitor at several memo caps), and **`BENCH_serve.json`**
+//! (the serve daemon: N concurrent synthetic sessions interleaved through
+//! the deterministic replay engine, unbudgeted and under a starved global
+//! memo budget, with verdict-latency p50/p95/p99 folded from the daemon's
+//! `serve.verdict_ns` histogram) — the machine-readable artifacts CI
+//! uploads so the perf trajectory of the resumable core is tracked from
+//! PR to PR.
 //!
 //! Flags: `--quick` shrinks the E7 sample and the monitor sweep for CI;
 //! `--jobs N` overrides the worker count (default: available parallelism);
@@ -559,6 +563,142 @@ fn search_json(
     out
 }
 
+/// One row of the serve-daemon multiplexing study.
+struct ServePoint {
+    sessions: usize,
+    events: usize,
+    /// `None` = unbudgeted.
+    budget: Option<u64>,
+    wall_ns: u128,
+    verdicts: u64,
+    turns: u64,
+    /// The daemon's own `serve.verdict_ns` histogram, folded from the
+    /// observability sink — the same artifact `tmcheck serve
+    /// --metrics-out` writes.
+    hist_p50_ns: u64,
+    hist_p95_ns: u64,
+    hist_p99_ns: u64,
+}
+
+/// Builds the interleaved `tm-serve/v1` frame stream for `sessions`
+/// synthetic clients (round-robin, one event per session per round) and
+/// returns it with the total event count.
+fn serve_frame_stream(sessions: usize) -> (String, usize) {
+    use tm_serve::{render_client_frame, ClientFrame};
+    let histories: Vec<(String, tm_model::History)> = (0..sessions)
+        .map(|i| {
+            (
+                format!("s{i:03}"),
+                tm_harness::randhist::random_history(&GenConfig::default(), 9000 + i as u64),
+            )
+        })
+        .collect();
+    let mut events = 0usize;
+    let mut lines = Vec::new();
+    for (id, _) in &histories {
+        lines.push(render_client_frame(&ClientFrame::Open {
+            session: id.clone(),
+        }));
+    }
+    let max_len = histories.iter().map(|(_, h)| h.len()).max().unwrap_or(0);
+    for round in 0..max_len {
+        for (id, h) in &histories {
+            if let Some(e) = h.events().get(round) {
+                events += 1;
+                lines.push(render_client_frame(&ClientFrame::Feed {
+                    session: id.clone(),
+                    event: e.clone(),
+                }));
+            }
+        }
+    }
+    for (id, _) in &histories {
+        lines.push(render_client_frame(&ClientFrame::Close {
+            session: id.clone(),
+        }));
+    }
+    (lines.join("\n"), events)
+}
+
+/// Drives N concurrent synthetic sessions through the serve daemon's
+/// deterministic replay engine, unbudgeted and under a starved global memo
+/// budget, folding the daemon's `serve.verdict_ns` histogram into
+/// verdict-latency percentiles (the ISSUE's p50/p95/p99 numbers).
+fn serve_points(session_counts: &[usize]) -> Vec<ServePoint> {
+    let mut out = Vec::new();
+    for &sessions in session_counts {
+        let (stream, events) = serve_frame_stream(sessions);
+        // The starved budget apportions ~4 entries' worth of bytes per
+        // session — far below the governor's floor, so every session runs
+        // pinned at MIN_MEMO_CAP and the retune path stays hot.
+        let starved = sessions as u64 * 4 * tm_serve::EST_ENTRY_BYTES;
+        for budget in [None, Some(starved)] {
+            let obs = tm_obs::ObsHandle::install();
+            let config = tm_serve::ServeConfig {
+                memo_budget_bytes: budget,
+                obs,
+                ..tm_serve::ServeConfig::default()
+            };
+            let t0 = Instant::now();
+            let code = tm_serve::replay(config, &stream, &mut std::io::sink());
+            let wall_ns = t0.elapsed().as_nanos();
+            assert_eq!(code, 0, "the synthetic fleet must drain cleanly");
+            let snap = obs.snapshot().expect("installed sink");
+            let (hist_p50_ns, hist_p95_ns, hist_p99_ns) = snap
+                .histogram("serve.verdict_ns")
+                .map(|h| (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)))
+                .unwrap_or_default();
+            out.push(ServePoint {
+                sessions,
+                events,
+                budget,
+                wall_ns,
+                verdicts: snap.counter("serve.verdicts").unwrap_or(0),
+                turns: snap.counter("serve.turns").unwrap_or(0),
+                hist_p50_ns,
+                hist_p95_ns,
+                hist_p99_ns,
+            });
+        }
+    }
+    out
+}
+
+/// Renders `BENCH_serve.json` by hand (no serde in the tree).
+fn serve_json(points: &[ServePoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(
+        "  \"workload\": \"interleaved random-history fleets through \
+         tm_serve::replay (round-robin, one event per session per round)\",\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let budget = p
+            .budget
+            .map_or("\"unbounded\"".to_string(), |b| b.to_string());
+        let per_sec = p.verdicts as f64 / (p.wall_ns.max(1) as f64 / 1e9);
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"events\": {}, \"budget\": {}, \"wall_ns\": {}, \
+             \"verdicts\": {}, \"turns\": {}, \"verdicts_per_sec\": {:.0}, \
+             \"hist_p50_ns\": {}, \"hist_p95_ns\": {}, \"hist_p99_ns\": {}}}{}\n",
+            p.sessions,
+            p.events,
+            budget,
+            p.wall_ns,
+            p.verdicts,
+            p.turns,
+            per_sec,
+            p.hist_p50_ns,
+            p.hist_p95_ns,
+            p.hist_p99_ns,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders `BENCH_monitor.json` by hand (no serde in the tree).
 fn monitor_json(points: &[MonitorPoint], jobs: usize) -> String {
     let mut out = String::from("{\n");
@@ -907,6 +1047,27 @@ fn main() {
     let spath = "BENCH_search.json";
     std::fs::write(spath, &sjson).expect("write BENCH_search.json");
     println!("\n_Scaling + latency-percentile companion written to `{spath}`._");
+
+    // ---- serve daemon: multiplexed verdict throughput and latency ----------
+    println!("\n## Serve daemon: interleaved session fleets through replay\n");
+    let serve_counts: &[usize] = if quick { &[16, 64] } else { &[16, 64, 256] };
+    let vpoints = serve_points(serve_counts);
+    // Verdict and turn counts are deterministic (replay is a pure function
+    // of the frame stream); wall-clock and the serve.verdict_ns
+    // percentiles go to the JSON artifact only.
+    println!("| sessions | events | memo budget | verdicts | scheduler turns |");
+    println!("|---|---|---|---|---|");
+    for p in &vpoints {
+        let budget = p.budget.map_or("unbounded".to_string(), |b| b.to_string());
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            p.sessions, p.events, budget, p.verdicts, p.turns
+        );
+    }
+    let vjson = serve_json(&vpoints);
+    let vpath = "BENCH_serve.json";
+    std::fs::write(vpath, &vjson).expect("write BENCH_serve.json");
+    println!("\n_Verdict-latency percentile companion written to `{vpath}`._");
 
     println!(
         "\n_Exact deterministic base-object step counts; see EXPERIMENTS.md for interpretation._"

@@ -27,6 +27,13 @@
 //!    the *declared identifier* (the name left of `:`/`=`), not the whole
 //!    line, so `AtomicUsize::new(stats.nodes)` bound to a clean name stays
 //!    legal. Test code is exempt, as in rule 3.
+//! 5. **socket-containment** — no `std::net` / `std::os::unix::net` token
+//!    outside `crates/serve`. The serve daemon owns the process's entire
+//!    network surface: a listener opened anywhere else would be an ingest
+//!    path with none of the session table's backpressure, governance, or
+//!    shutdown discipline (and an audit surface CI doesn't know about).
+//!    Test code is exempt, as in rule 3: integration tests dial sockets to
+//!    exercise the daemon.
 //!
 //! ```text
 //! tm-lint [--root DIR]     # DIR defaults to the workspace root
@@ -280,6 +287,57 @@ fn lint_atomic_telemetry(root: &Path, findings: &mut Vec<Finding>) -> Result<(),
     Ok(())
 }
 
+/// Rule 5: network/socket primitives live only in the serve daemon —
+/// every other ingest path would bypass the session table's backpressure,
+/// memory governance, and shutdown discipline.
+fn lint_socket_containment(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    // Assembled with concat! so this binary's own source never contains the
+    // contiguous tokens it hunts for (the rule must pass its own gate).
+    const TOKENS: [&str; 2] = [concat!("std::", "net"), concat!("std::os::unix::", "net")];
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).map_err(|e| format!("{}: {e}", crates.display()))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("{}: {e}", crates.display()))?
+            .path();
+        // The serve crate *is* the sanctioned network surface.
+        if path.file_name().is_some_and(|n| n == "serve") {
+            continue;
+        }
+        let src = path.join("src");
+        if src.is_dir() {
+            dirs.push(src);
+        }
+    }
+    dirs.sort();
+    for dir in dirs {
+        let mut files = Vec::new();
+        rust_files(&dir, &mut files)?;
+        for file in files {
+            let mut in_tests = false;
+            for (i, line) in read(&file)?.lines().enumerate() {
+                if line.contains("#[cfg(test)]") {
+                    in_tests = true;
+                }
+                if !in_tests && !is_comment(line) && TOKENS.iter().any(|t| line.contains(t)) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: i + 1,
+                        rule: "socket-containment",
+                        excerpt: format!(
+                            "socket/network primitive outside crates/serve; \
+                             route ingest through the serve daemon: {}",
+                            line.trim()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs all rules under `root`, returning findings sorted by location.
 fn lint(root: &Path) -> Result<Vec<Finding>, String> {
     if !root.join("crates").is_dir() {
@@ -294,6 +352,7 @@ fn lint(root: &Path) -> Result<Vec<Finding>, String> {
     lint_forbid_unsafe(root, &mut findings)?;
     lint_no_unwrap_in_cli(root, &mut findings)?;
     lint_atomic_telemetry(root, &mut findings)?;
+    lint_socket_containment(root, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
@@ -301,7 +360,7 @@ fn lint(root: &Path) -> Result<Vec<Finding>, String> {
 /// Usage text shown on argument errors.
 const USAGE: &str = "\
 tm-lint — source-discipline gate (ordering containment, forbid(unsafe), no CLI unwraps,
-          no raw-atomic telemetry outside tm-obs)
+          no raw-atomic telemetry outside tm-obs, no sockets outside tm-serve)
 
 USAGE:
   tm-lint [--root DIR]     DIR defaults to the workspace root containing crates/
@@ -538,6 +597,31 @@ mod tests {
             findings.iter().all(|f| f.rule != "atomic-telemetry"),
             "{findings:?}"
         );
+    }
+
+    #[test]
+    fn a_socket_outside_the_serve_crate_is_flagged_and_serve_is_exempt() {
+        let s = Scratch::new("socket");
+        s.write(
+            "crates/stm/src/net_sneak.rs",
+            "// a doc line mentioning std::net is fine\n\
+             pub fn listen() {\n    let _l = std::os::unix::net::UnixListener::bind(\"/tmp/x\");\n}\n",
+        );
+        // The serve crate owns the network surface: identical code is legal there.
+        std::fs::create_dir_all(s.0.join("crates/serve/src")).unwrap();
+        s.write(
+            "crates/serve/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn listen() {\n    let _l = std::net::TcpListener::bind(\"127.0.0.1:0\");\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "socket-containment")
+            .collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].file.ends_with("crates/stm/src/net_sneak.rs"));
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].excerpt.contains("crates/serve"), "{}", hits[0]);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! tmcheck generate [--seed N --txs N --objs N --ops N --json]
 //! tmcheck conformance [--jobs N] [--tm SPEC] [--clock SCHEME] [--mutants]
 //! tmcheck race     [--tm SPEC] [--steps N] [--preemptions K]
+//! tmcheck serve    [--socket PATH | --replay FILE | --stdin] [--memo-budget BYTES]
 //! tmcheck list              # the TM registry and its configuration axes
 //! ```
 //!
@@ -24,6 +25,12 @@
 //! serializability oracle over every explored schedule, and — in suite
 //! mode — re-convicts the two seeded concurrency mutants as a self-test,
 //! printing each conviction's minimized replayable schedule.
+//!
+//! `serve` turns the checker into a long-lived streaming daemon (the
+//! `tm-serve` crate): line-delimited `tm-serve/v1` JSON frames open, feed,
+//! and close thousands of concurrent check sessions, each answered with a
+//! per-event opacity verdict — over stdin, a Unix socket, or a recorded
+//! replay file (the deterministic CI mode).
 //!
 //! `conformance` runs the `tm-harness` conformance kit over the in-tree TM
 //! suite; `--jobs N` shards the interleaving sweep across `N` worker
@@ -155,6 +162,29 @@ pub enum Command {
         /// Write a Chrome-trace JSON span file here.
         trace_out: Option<String>,
     },
+    /// `serve [--socket PATH | --replay FILE | --stdin] [--max-sessions N]
+    /// [--memo-budget BYTES] [--node-budget N] [--inbox-cap N]
+    /// [--metrics-out FILE] [--trace-out FILE]`
+    Serve {
+        /// Listen on a Unix socket at this path (mutually exclusive with
+        /// `replay`; default is the stdin transport).
+        socket: Option<String>,
+        /// Offline deterministic mode: drain a recorded frame file.
+        replay: Option<String>,
+        /// Maximum concurrently open sessions.
+        max_sessions: usize,
+        /// Global memo-byte ceiling apportioned across open sessions
+        /// (default: unbudgeted).
+        memo_budget: Option<u64>,
+        /// Search nodes one session may burn per scheduler turn.
+        node_budget: u64,
+        /// Unchecked events buffered per session before `busy` pushback.
+        inbox_cap: usize,
+        /// Write a `tm-metrics/v1` JSON metrics snapshot here.
+        metrics_out: Option<String>,
+        /// Write a Chrome-trace JSON span file here.
+        trace_out: Option<String>,
+    },
     /// `list`
     List,
     /// `help`
@@ -233,6 +263,28 @@ USAGE:
                                     --steps bounds explored interleavings per
                                     probe, --preemptions bounds context
                                     switches away from a runnable thread
+  tmcheck serve [--socket PATH | --replay FILE | --stdin]
+                [--max-sessions N] [--memo-budget BYTES] [--node-budget N]
+                [--inbox-cap N] [--metrics-out FILE] [--trace-out FILE]
+                                    the streaming monitoring daemon: ingest
+                                    line-delimited tm-serve/v1 JSON frames
+                                    (open/feed/close/shutdown), multiplex one
+                                    resumable opacity monitor per session with
+                                    fair round-robin turns, and answer every
+                                    event with a verdict frame; --socket
+                                    listens on a Unix socket (one frame stream
+                                    per connection), --replay drains a
+                                    recorded frame file deterministically (the
+                                    CI mode; output is a pure function of the
+                                    file), --stdin is the default live
+                                    single-stream mode; --max-sessions caps
+                                    open sessions, --memo-budget apportions a
+                                    global memo-byte ceiling across sessions,
+                                    --node-budget bounds one session's search
+                                    nodes per scheduler turn, --inbox-cap the
+                                    events buffered before `busy` pushback;
+                                    exits 0 on a clean drain, 1 if any session
+                                    was poisoned by a hard error
   tmcheck list                      the TM registry: names, properties, and
                                     which configuration axes each TM accepts
   tmcheck help
@@ -513,6 +565,69 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 tm,
                 steps,
                 preemptions,
+                metrics_out,
+                trace_out,
+            })
+        }
+        "serve" => {
+            let defaults = tm_serve::ServeConfig::default();
+            let mut socket = None;
+            let mut replay = None;
+            let mut stdin = false;
+            let mut max_sessions = defaults.max_sessions;
+            let mut memo_budget = None;
+            let mut node_budget = defaults.node_budget;
+            let mut inbox_cap = defaults.inbox_capacity;
+            let mut metrics_out = None;
+            let mut trace_out = None;
+            // u64-valued flags (byte/node budgets) that must be ≥ 1.
+            fn positive_u64(
+                it: &mut std::slice::Iter<'_, String>,
+                flag: &str,
+            ) -> Result<u64, String> {
+                it.next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("serve: {flag} needs a number ≥ 1"))
+            }
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--socket" => socket = Some(path_flag(&mut it, "serve", "--socket")?),
+                    "--replay" => replay = Some(path_flag(&mut it, "serve", "--replay")?),
+                    "--stdin" => stdin = true,
+                    "--max-sessions" => {
+                        max_sessions = positive_flag(&mut it, "serve", "--max-sessions")?;
+                    }
+                    "--memo-budget" => {
+                        memo_budget = Some(positive_u64(&mut it, "--memo-budget")?);
+                    }
+                    "--node-budget" => node_budget = positive_u64(&mut it, "--node-budget")?,
+                    "--inbox-cap" => {
+                        inbox_cap = positive_flag(&mut it, "serve", "--inbox-cap")?;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(path_flag(&mut it, "serve", "--metrics-out")?);
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(path_flag(&mut it, "serve", "--trace-out")?);
+                    }
+                    other => return Err(format!("serve: unknown flag '{other}'")),
+                }
+            }
+            let chosen =
+                usize::from(socket.is_some()) + usize::from(replay.is_some()) + usize::from(stdin);
+            if chosen > 1 {
+                return Err(
+                    "serve: --socket, --replay, and --stdin are mutually exclusive".to_string(),
+                );
+            }
+            Ok(Command::Serve {
+                socket,
+                replay,
+                max_sessions,
+                memo_budget,
+                node_budget,
+                inbox_cap,
                 metrics_out,
                 trace_out,
             })
@@ -1066,6 +1181,34 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
         } => {
             let obs = obs_for(metrics_out, trace_out, false);
             let code = run_race(out, tm.as_deref(), *steps, *preemptions, obs)?;
+            write_artifacts(obs, metrics_out.as_deref(), trace_out.as_deref())?;
+            Ok(code)
+        }
+        Command::Serve {
+            socket,
+            replay,
+            max_sessions,
+            memo_budget,
+            node_budget,
+            inbox_cap,
+            metrics_out,
+            trace_out,
+        } => {
+            let obs = obs_for(metrics_out, trace_out, false);
+            let config = tm_serve::ServeConfig {
+                max_sessions: *max_sessions,
+                memo_budget_bytes: *memo_budget,
+                inbox_capacity: *inbox_cap,
+                node_budget: *node_budget,
+                obs,
+                ..tm_serve::ServeConfig::default()
+            };
+            let transport = match (socket, replay) {
+                (Some(path), _) => tm_serve::Transport::Socket(path.into()),
+                (None, Some(path)) => tm_serve::Transport::Replay(path.into()),
+                (None, None) => tm_serve::Transport::Stdin,
+            };
+            let code = tm_serve::run(transport, config, out);
             write_artifacts(obs, metrics_out.as_deref(), trace_out.as_deref())?;
             Ok(code)
         }
@@ -2361,5 +2504,151 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
         let (code, output) = run_str(&Command::Help);
         assert_eq!(code, 0);
         assert!(output.contains("USAGE"));
+    }
+
+    /// A `serve` command with default knobs and the given transport flags.
+    fn serve_cmd(socket: Option<String>, replay: Option<String>) -> Command {
+        Command::Serve {
+            socket,
+            replay,
+            max_sessions: 4096,
+            memo_budget: None,
+            node_budget: 50_000,
+            inbox_cap: 1024,
+            metrics_out: None,
+            trace_out: None,
+        }
+    }
+
+    #[test]
+    fn serve_flags_parse_with_friendly_errors() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        assert_eq!(parse_args(&a("serve")), Ok(serve_cmd(None, None)));
+        assert_eq!(
+            parse_args(&a("serve --stdin")),
+            Ok(serve_cmd(None, None)),
+            "--stdin is the explicit spelling of the default transport"
+        );
+        assert_eq!(
+            parse_args(&a(
+                "serve --replay frames.jsonl --memo-budget 65536 --max-sessions 128"
+            )),
+            Ok(Command::Serve {
+                socket: None,
+                replay: Some("frames.jsonl".into()),
+                max_sessions: 128,
+                memo_budget: Some(65_536),
+                node_budget: 50_000,
+                inbox_cap: 1024,
+                metrics_out: None,
+                trace_out: None,
+            })
+        );
+        assert_eq!(
+            parse_args(&a(
+                "serve --socket /tmp/tm.sock --node-budget 1000 --inbox-cap 16"
+            )),
+            Ok(Command::Serve {
+                socket: Some("/tmp/tm.sock".into()),
+                replay: None,
+                max_sessions: 4096,
+                memo_budget: None,
+                node_budget: 1000,
+                inbox_cap: 16,
+                metrics_out: None,
+                trace_out: None,
+            })
+        );
+        for (args, needle) in [
+            ("serve --memo-budget 0", "--memo-budget needs a number ≥ 1"),
+            ("serve --memo-budget x", "--memo-budget needs a number ≥ 1"),
+            ("serve --node-budget 0", "--node-budget needs a number ≥ 1"),
+            (
+                "serve --max-sessions 0",
+                "--max-sessions needs a number ≥ 1",
+            ),
+            ("serve --inbox-cap 0", "--inbox-cap needs a number ≥ 1"),
+            ("serve --replay", "--replay needs a file path"),
+            ("serve --socket", "--socket needs a file path"),
+            ("serve --bogus", "unknown flag"),
+            ("serve --socket /tmp/s --replay f", "mutually exclusive"),
+            ("serve --stdin --replay f", "mutually exclusive"),
+        ] {
+            let err = parse_args(&a(args)).unwrap_err();
+            assert!(err.contains(needle), "{args}: {err}");
+        }
+    }
+
+    /// A recorded frame stream for H1 (violates at its last event).
+    fn h1_frame_stream(session: &str) -> String {
+        let h = tm_model::builder::paper::h1();
+        let mut lines = vec![tm_serve::render_client_frame(
+            &tm_serve::ClientFrame::Open {
+                session: session.to_string(),
+            },
+        )];
+        for e in h.events() {
+            lines.push(tm_serve::render_client_frame(
+                &tm_serve::ClientFrame::Feed {
+                    session: session.to_string(),
+                    event: e.clone(),
+                },
+            ));
+        }
+        lines.push(tm_serve::render_client_frame(
+            &tm_serve::ClientFrame::Close {
+                session: session.to_string(),
+            },
+        ));
+        lines.join("\n")
+    }
+
+    #[test]
+    fn serve_replay_reproduces_the_library_replay_byte_for_byte() {
+        let stream = h1_frame_stream("cli");
+        let file = fixture("serve-replay", &stream);
+        let (code, output) = run_str(&serve_cmd(None, Some(file)));
+        assert_eq!(code, 0, "{output}");
+        let mut expected = Vec::new();
+        let expected_code =
+            tm_serve::replay(tm_serve::ServeConfig::default(), &stream, &mut expected);
+        assert_eq!(code, expected_code);
+        assert_eq!(output, String::from_utf8(expected).unwrap());
+        assert!(output.contains("\"verdict\":\"violated\""), "{output}");
+        assert!(output.contains("\"frame\":\"closed\""), "{output}");
+    }
+
+    #[test]
+    fn serve_replay_missing_file_is_a_usage_error() {
+        let (code, _out) = run_str(&serve_cmd(None, Some("/nonexistent/frames.jsonl".into())));
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn serve_writes_observability_artifacts() {
+        let stream = h1_frame_stream("obs");
+        let file = fixture("serve-obs-frames", &stream);
+        let metrics = std::env::temp_dir().join(format!(
+            "tmcheck-test-serve-metrics-{}.json",
+            std::process::id()
+        ));
+        let cmd = Command::Serve {
+            socket: None,
+            replay: Some(file),
+            max_sessions: 4096,
+            memo_budget: Some(1 << 20),
+            node_budget: 50_000,
+            inbox_cap: 1024,
+            metrics_out: Some(metrics.to_string_lossy().into_owned()),
+            trace_out: None,
+        };
+        let (code, output) = run_str(&cmd);
+        assert_eq!(code, 0, "{output}");
+        let snapshot = std::fs::read_to_string(&metrics).unwrap();
+        let _ = std::fs::remove_file(&metrics);
+        assert!(snapshot.contains("tm-metrics/v1"), "{snapshot}");
+        for metric in ["serve.sessions_opened", "serve.verdicts", "serve.turns"] {
+            assert!(snapshot.contains(metric), "missing {metric}: {snapshot}");
+        }
     }
 }

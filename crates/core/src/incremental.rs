@@ -202,6 +202,17 @@ impl<'a> OpacityMonitor<'a> {
     pub fn memo_evictions(&self) -> usize {
         self.session.memo_evictions()
     }
+
+    /// Retunes the memo capacity of the live session (`None` = unbounded)
+    /// without replaying history — the hook through which a memory
+    /// governor (the `tm-serve` session table) apportions a global memo
+    /// budget across many monitors. Sound at any point in the stream:
+    /// memo entries are pure pruning, so no retune can change a verdict
+    /// (property-tested in `tm-serve`).
+    pub fn set_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.config.memo_capacity = capacity;
+        self.session.set_memo_capacity(capacity);
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +322,27 @@ mod tests {
                     }
                     _ => assert!(fresh, "monitor ok but prefix non-opaque at {i} of {h}"),
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_retunes_mid_stream_never_change_verdicts() {
+        // The memory-governance contract tm-serve leans on: a monitor whose
+        // memo capacity is retuned (shrunk, cleared-by-rebounding, grown)
+        // after every event produces verdicts identical to an untouched one.
+        for h in [paper::h1(), paper::h4(), paper::h5()] {
+            let specs = regs();
+            let mut plain = OpacityMonitor::new(&specs);
+            let mut tuned = OpacityMonitor::new(&specs);
+            let caps = [Some(512), Some(8), None, Some(1), Some(64)];
+            for (i, e) in h.events().iter().enumerate() {
+                tuned.set_memo_capacity(caps[i % caps.len()]);
+                assert_eq!(
+                    tuned.feed(e.clone()).unwrap(),
+                    plain.feed(e.clone()).unwrap(),
+                    "verdicts diverged at event {i} of {h}"
+                );
             }
         }
     }

@@ -65,6 +65,7 @@
 //! live snapshot (`Arc<ObjStates>: Borrow<ObjStates>` does the lookup).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tm_model::ObjStates;
@@ -196,9 +197,13 @@ impl MemoShard {
 /// The fingerprint-sharded dead-end table shared by all search workers.
 pub(crate) struct ShardedMemo {
     shards: Vec<Mutex<MemoShard>>,
-    /// Per-shard entry cap; `None` = unbounded (no segment bookkeeping at
-    /// all).
-    per_shard_cap: Option<usize>,
+    /// Per-shard entry cap; `0` = unbounded (no segment bookkeeping at
+    /// all). Atomic so a memory governor (the `tm-serve` session table)
+    /// can retune a live table without stopping its workers — inserts
+    /// read the cap once per call, so a mid-flight change only staggers
+    /// where the bound bites, never whether it holds after
+    /// [`ShardedMemo::set_capacity`] returns.
+    per_shard_cap: AtomicUsize,
     /// Entries evicted by the capacity bound since creation (monotone; a
     /// `tm-obs` counter — the sanctioned home for embedded telemetry
     /// tallies, see the `atomic-telemetry` lint).
@@ -230,8 +235,63 @@ impl ShardedMemo {
             shards: (0..nshards)
                 .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
-            per_shard_cap,
+            per_shard_cap: AtomicUsize::new(per_shard_cap.unwrap_or(0)),
             evictions: Counter::new(),
+        }
+    }
+
+    /// The per-shard cap currently in force (`None` = unbounded).
+    fn per_shard_cap(&self) -> Option<usize> {
+        match self.per_shard_cap.load(Ordering::Relaxed) {
+            0 => None,
+            cap => Some(cap),
+        }
+    }
+
+    /// Retunes the capacity bound of a live table (`None` = unbounded).
+    ///
+    /// The shard count is fixed at construction, so unlike
+    /// [`ShardedMemo::new`] the per-shard cap here is simply
+    /// `capacity / shards` floored to 1 — the enforced bound therefore
+    /// never drops below one entry per shard. A table meant for dynamic
+    /// governance should be *constructed* bounded so its shard count
+    /// matches its size class (the governor's per-session floor sits well
+    /// above any shard count anyway).
+    ///
+    /// Sound in both directions because entries are pure pruning (see the
+    /// module docs): shrinking evicts down to the new bound through the
+    /// normal cost-segmented-LRU policy; growing simply stops evicting.
+    /// The one structural transition is unbounded → bounded: entries
+    /// inserted while unbounded carry no queue records, so the eviction
+    /// queues cannot reach them — the table is cleared instead (a pure
+    /// re-discovery cost, never a verdict change).
+    pub(crate) fn set_capacity(&self, capacity: Option<usize>) {
+        let new_per_shard = capacity.map(|c| (c.max(1) / self.shards.len()).max(1));
+        let old = self
+            .per_shard_cap
+            .swap(new_per_shard.unwrap_or(0), Ordering::Relaxed);
+        let Some(cap) = new_per_shard else {
+            // Now unbounded: existing queue records go stale harmlessly
+            // (probes stop touching them, inserts stop enqueueing).
+            return;
+        };
+        if old == 0 {
+            // Unbounded → bounded: resident entries have no queue records.
+            self.clear();
+            return;
+        }
+        // Bounded → bounded: evict each shard down to the new cap.
+        for shard in &self.shards {
+            let mut guard = Self::lock(shard);
+            let sh = &mut *guard;
+            while sh.len > cap {
+                if sh.evict_one() {
+                    self.evictions.add(1);
+                } else {
+                    break; // unreachable with len > 0; defensive
+                }
+            }
+            sh.maybe_compact();
         }
     }
 
@@ -263,7 +323,7 @@ impl ShardedMemo {
         else {
             return false;
         };
-        if self.per_shard_cap.is_some() {
+        if self.per_shard_cap().is_some() {
             let stamp = sh.next_stamp();
             let meta = sh
                 .by_mask
@@ -302,7 +362,7 @@ impl ShardedMemo {
             .or_default()
             .insert(Arc::clone(&arc), EntryMeta { stamp, bucket });
         sh.len += 1;
-        if let Some(cap) = self.per_shard_cap {
+        if let Some(cap) = self.per_shard_cap() {
             sh.enqueue(bucket, mask, arc, stamp);
             while sh.len > cap {
                 if sh.evict_one() {
@@ -372,7 +432,7 @@ impl ShardedMemo {
     /// The total capacity actually enforced (shard count × per-shard cap);
     /// `None` when unbounded. At most the configured capacity.
     pub(crate) fn capacity(&self) -> Option<usize> {
-        self.per_shard_cap.map(|c| c * self.shards.len())
+        self.per_shard_cap().map(|c| c * self.shards.len())
     }
 }
 
@@ -526,6 +586,82 @@ mod tests {
             last = now;
         }
         assert!(memo.resident() <= 20);
+    }
+
+    #[test]
+    fn set_capacity_shrink_evicts_down_and_growth_stops_evicting() {
+        let memo = ShardedMemo::new(Some(64));
+        for i in 0..60 {
+            memo.insert(1 << (i % 60), &state(i), (i as usize) % 9 + 1);
+        }
+        let before = memo.resident();
+        assert!(before > 16, "resident {before}");
+        memo.set_capacity(Some(16));
+        assert!(memo.resident() <= 16, "resident {}", memo.resident());
+        assert_eq!(memo.capacity(), Some(16));
+        assert!(memo.evictions() >= before - 16);
+        // Growing back: the survivors stay, new inserts stop evicting.
+        memo.set_capacity(Some(1000));
+        let survivors = memo.resident();
+        for i in 100..140 {
+            memo.insert(1 << (i % 60), &state(i), 1);
+        }
+        assert!(memo.resident() >= survivors);
+        assert!(memo.resident() <= 1000);
+    }
+
+    #[test]
+    fn set_capacity_from_unbounded_clears_then_bounds() {
+        // Unbounded inserts carry no queue records, so the eviction queues
+        // cannot reach them: the transition clears (sound — entries are
+        // pure pruning) and the bound holds for everything inserted after.
+        let memo = ShardedMemo::new(None);
+        for i in 0..50 {
+            memo.insert(1 << (i % 50), &state(i), 1);
+        }
+        assert_eq!(memo.resident(), 50);
+        memo.set_capacity(Some(8));
+        assert_eq!(memo.resident(), 0);
+        // The unbounded table was built with the full shard count, so the
+        // enforced bound floors at one entry per shard.
+        let enforced = memo.capacity().unwrap();
+        assert!(enforced >= 8);
+        for i in 0..100 {
+            memo.insert(1 << (i % 50), &state(i), 1);
+        }
+        assert!(memo.resident() <= enforced, "resident {}", memo.resident());
+        // Bounded → unbounded → bounded again also re-clears.
+        memo.set_capacity(None);
+        assert_eq!(memo.capacity(), None);
+        for i in 200..260 {
+            memo.insert(1 << (i % 50), &state(i), 1);
+        }
+        let unbounded_resident = memo.resident();
+        memo.set_capacity(Some(4));
+        assert_eq!(memo.resident(), 0);
+        assert!(unbounded_resident > 8);
+    }
+
+    #[test]
+    fn set_capacity_races_with_inserts_without_losing_the_bound() {
+        let memo = ShardedMemo::new(Some(256));
+        std::thread::scope(|scope| {
+            let m = &memo;
+            scope.spawn(move || {
+                for i in 0..500 {
+                    m.insert((i as u64) % 61 + 1, &state(i), (i as usize) % 7 + 1);
+                }
+            });
+            scope.spawn(move || {
+                for cap in [128usize, 64, 32, 16] {
+                    m.set_capacity(Some(cap));
+                }
+            });
+        });
+        // The last cap wins: one more retune with no concurrent inserts
+        // leaves the table within it.
+        memo.set_capacity(Some(16));
+        assert!(memo.resident() <= 16, "resident {}", memo.resident());
     }
 
     #[test]

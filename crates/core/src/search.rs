@@ -929,6 +929,17 @@ impl<'a> SearchCore<'a> {
         self.memo.capacity()
     }
 
+    /// Retunes the memo capacity of a live core (`None` = unbounded) —
+    /// the hook a memory governor (the `tm-serve` session table) uses to
+    /// apportion a global memo budget across many sessions. Sound in both
+    /// directions: memo entries are pure pruning, so shrinking (which
+    /// evicts down to the new bound) and the unbounded → bounded clear can
+    /// only cost re-exploration, never change a verdict.
+    pub fn set_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.config.memo_capacity = capacity;
+        self.memo.set_capacity(capacity);
+    }
+
     /// Consumes one event, updating transaction metadata incrementally and
     /// invalidating exactly the memo entries the event can unsound.
     ///
@@ -1474,6 +1485,12 @@ impl<'a> CheckSession<'a> {
     /// The memo capacity actually enforced; `None` when unbounded.
     pub fn memo_capacity(&self) -> Option<usize> {
         self.core.memo_capacity()
+    }
+
+    /// Retunes the memo capacity mid-session. See
+    /// [`SearchCore::set_memo_capacity`].
+    pub fn set_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.core.set_memo_capacity(capacity)
     }
 }
 

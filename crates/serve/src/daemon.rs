@@ -1,0 +1,310 @@
+//! Transports and the daemon loop: stdin, offline replay, and a Unix
+//! socket, all driving the same transport-agnostic [`SessionTable`].
+//!
+//! ## Lifecycle and graceful shutdown
+//!
+//! Every transport ends the same way: drain every runnable session to
+//! empty (fair turns — even the final drain interleaves sessions), close
+//! any still-open session with its `closed` summary, and return an exit
+//! code of 1 if any session was ever poisoned by a hard error (0
+//! otherwise; opacity *violations* are normal verdict output, not
+//! failures). The drain triggers on EOF of the input stream or on a
+//! `shutdown` frame. A true SIGINT handler is impossible here by design —
+//! the workspace forbids `unsafe` and vendors no `libc` — so interactive
+//! users get the same guarantee by closing the daemon's stdin or sending
+//! `{"frame":"shutdown"}`.
+//!
+//! ## Replay determinism
+//!
+//! `--replay FILE` is the CI-facing offline mode: frames are applied in
+//! file order with exactly one scheduler turn per input line, and a full
+//! inbox *flow-controls the reader* (the daemon runs turns until space
+//! frees up) instead of emitting `busy`. Output is therefore a pure
+//! function of the file — byte-stable across runs and machines — while
+//! still exercising the same multiplexed scheduler the live transports
+//! use. The live transports (stdin, socket) cannot stall their input
+//! sources, so there `busy` frames carry the backpressure instead.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+
+use crate::frame::{parse_client_frame, ClientFrame, ServerFrame};
+use crate::table::{Routed, ServeConfig, SessionTable};
+
+/// Where the daemon reads client frames from.
+#[derive(Clone, Debug)]
+pub enum Transport {
+    /// Line-delimited frames on stdin, responses on the provided writer
+    /// (stdout in the CLI). The live single-stream mode.
+    Stdin,
+    /// Offline deterministic mode: drain a recorded frame file.
+    Replay(PathBuf),
+    /// A Unix listening socket; every connection is a frame stream and
+    /// receives its own sessions' responses.
+    Socket(PathBuf),
+}
+
+/// Applies one parsed client frame. Returns the immediate response frames
+/// and whether the frame requested shutdown.
+fn apply(table: &mut SessionTable, frame: ClientFrame, conn: usize) -> (Vec<Routed>, bool) {
+    match frame {
+        ClientFrame::Open { session } => (table.open(&session, conn), false),
+        ClientFrame::Feed { session, event } => (table.feed(&session, event, conn), false),
+        ClientFrame::Close { session } => (table.close(&session, conn), false),
+        ClientFrame::Shutdown => (Vec::new(), true),
+    }
+}
+
+/// Parses and applies one input line (empty lines are ignored); parse
+/// errors become `error` frames tagged with the input line number.
+fn apply_line(
+    table: &mut SessionTable,
+    line: &str,
+    lineno: usize,
+    conn: usize,
+) -> (Vec<Routed>, bool) {
+    if line.trim().is_empty() {
+        return (Vec::new(), false);
+    }
+    match parse_client_frame(line) {
+        Ok(frame) => apply(table, frame, conn),
+        Err(e) => (
+            vec![Routed {
+                conn,
+                frame: ServerFrame::Error {
+                    session: None,
+                    message: format!("input line {lineno}: {}", e.message),
+                },
+            }],
+            false,
+        ),
+    }
+}
+
+fn emit(out: &mut dyn Write, frames: &[Routed]) -> io::Result<()> {
+    for r in frames {
+        writeln!(out, "{}", r.frame.render())?;
+    }
+    Ok(())
+}
+
+/// Runs the daemon until EOF/shutdown and returns the process exit code:
+/// 0 on a clean drain, 1 if any session was poisoned by a hard error, 2 on
+/// usage/IO failures (unreadable replay file, unbindable socket). For the
+/// single-stream transports all responses go to `out`; the socket
+/// transport writes to its connections and uses `out` only for the
+/// startup banner.
+pub fn run(transport: Transport, config: ServeConfig, out: &mut dyn Write) -> i32 {
+    let obs = config.obs;
+    let mut table = SessionTable::new(config);
+    let code = match transport {
+        Transport::Stdin => {
+            let stdin = io::stdin();
+            run_stream(&mut table, stdin.lock(), out)
+        }
+        Transport::Replay(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => run_replay(&mut table, &text, out),
+            Err(e) => {
+                eprintln!(
+                    "tmcheck serve: cannot read replay file {}: {e}",
+                    path.display()
+                );
+                2
+            }
+        },
+        Transport::Socket(path) => run_socket(&mut table, &path, out),
+    };
+    obs.gauge_set("serve.memo_resident_final", table.memo_resident() as u64);
+    code
+}
+
+/// The live single-stream loop (stdin): one scheduler turn per input
+/// line, backpressure via `busy`, drain on EOF or `shutdown`.
+fn run_stream(table: &mut SessionTable, input: impl BufRead, out: &mut dyn Write) -> i32 {
+    let mut lineno = 0usize;
+    for line in input.lines() {
+        lineno += 1;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("tmcheck serve: input error: {e}");
+                return 2;
+            }
+        };
+        let (frames, shutdown) = apply_line(table, &line, lineno, 0);
+        let turn = table.pump_one();
+        if emit(out, &frames).and_then(|()| emit(out, &turn)).is_err() {
+            return 2; // the response stream is gone; nothing left to serve
+        }
+        if shutdown {
+            break;
+        }
+    }
+    let last = table.drain_and_close_all();
+    if emit(out, &last).is_err() {
+        return 2;
+    }
+    i32::from(table.any_poisoned())
+}
+
+/// Drains a recorded frame stream deterministically (the engine behind
+/// `--replay`, callable on an in-memory string — the bench driver and the
+/// replay tests use this directly). Same exit-code contract as [`run`].
+pub fn replay(config: ServeConfig, text: &str, out: &mut dyn Write) -> i32 {
+    let mut table = SessionTable::new(config);
+    run_replay(&mut table, text, out)
+}
+
+/// The offline deterministic loop: flow-controls full inboxes instead of
+/// emitting `busy`, so output is a pure function of the replay file.
+fn run_replay(table: &mut SessionTable, text: &str, out: &mut dyn Write) -> i32 {
+    let mut shutdown = false;
+    for (i, line) in text.lines().enumerate() {
+        if shutdown {
+            break;
+        }
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Flow control: a feed into a full inbox waits for the scheduler
+        // instead of bouncing (deterministically — `pump_one` always
+        // checks at least one event of a runnable session).
+        if let Ok(ClientFrame::Feed { session, .. }) = parse_client_frame(line) {
+            while !table.can_accept(&session) {
+                let turn = table.pump_one();
+                if emit(out, &turn).is_err() {
+                    return 2;
+                }
+            }
+        }
+        let (frames, stop) = apply_line(table, line, lineno, 0);
+        shutdown = stop;
+        let turn = table.pump_one();
+        if emit(out, &frames).and_then(|()| emit(out, &turn)).is_err() {
+            return 2;
+        }
+    }
+    let last = table.drain_and_close_all();
+    if emit(out, &last).is_err() {
+        return 2;
+    }
+    i32::from(table.any_poisoned())
+}
+
+/// Messages from the socket threads to the scheduler thread.
+enum SocketMsg {
+    /// A new client connection (its write half).
+    Conn(UnixStream),
+    /// One frame line from connection `conn`.
+    Line(usize, String),
+    /// Connection `conn` reached EOF.
+    Gone(usize),
+}
+
+/// The Unix-socket transport: an acceptor thread plus one reader thread
+/// per connection feed a channel; this thread owns the table and the
+/// write halves, interleaving scheduler turns with frame ingest. Runs
+/// until a `shutdown` frame arrives on any connection.
+fn run_socket(table: &mut SessionTable, path: &std::path::Path, out: &mut dyn Write) -> i32 {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = match UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("tmcheck serve: cannot bind {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let _ = writeln!(out, "tm-serve/v1 listening on {}", path.display());
+    let _ = out.flush();
+    let (tx, rx) = mpsc::channel::<SocketMsg>();
+    {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                if tx.send(SocketMsg::Conn(stream)).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+    // Write halves by connection index (`None` once the peer is gone),
+    // plus per-connection input line counts for error positions.
+    let mut writers: Vec<Option<UnixStream>> = Vec::new();
+    let mut line_counts: Vec<usize> = Vec::new();
+    let route = |writers: &mut Vec<Option<UnixStream>>, frames: &[Routed]| {
+        for r in frames {
+            let Some(Some(w)) = writers.get_mut(r.conn) else {
+                continue; // the session's connection is gone; drop the frame
+            };
+            if writeln!(w, "{}", r.frame.render()).is_err() {
+                writers[r.conn] = None;
+            }
+        }
+    };
+    loop {
+        // Idle: block for input. Busy: poll, and spend the gap on turns.
+        let msg = if table.idle() {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        } else {
+            match rx.try_recv() {
+                Ok(m) => m,
+                Err(mpsc::TryRecvError::Empty) => {
+                    let turn = table.pump_one();
+                    route(&mut writers, &turn);
+                    continue;
+                }
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        };
+        match msg {
+            SocketMsg::Conn(stream) => {
+                let conn = writers.len();
+                match stream.try_clone() {
+                    Ok(read_half) => {
+                        writers.push(Some(stream));
+                        line_counts.push(0);
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            let reader = BufReader::new(read_half);
+                            for line in reader.lines() {
+                                let Ok(line) = line else { break };
+                                if tx.send(SocketMsg::Line(conn, line)).is_err() {
+                                    return;
+                                }
+                            }
+                            let _ = tx.send(SocketMsg::Gone(conn));
+                        });
+                    }
+                    Err(_) => continue,
+                }
+            }
+            SocketMsg::Line(conn, line) => {
+                line_counts[conn] += 1;
+                let (frames, shutdown) = apply_line(table, &line, line_counts[conn], conn);
+                route(&mut writers, &frames);
+                if shutdown {
+                    let last = table.drain_and_close_all();
+                    route(&mut writers, &last);
+                    let _ = std::fs::remove_file(path);
+                    return i32::from(table.any_poisoned());
+                }
+                let turn = table.pump_one();
+                route(&mut writers, &turn);
+            }
+            SocketMsg::Gone(conn) => {
+                if let Some(w) = writers.get_mut(conn) {
+                    *w = None;
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    i32::from(table.any_poisoned())
+}

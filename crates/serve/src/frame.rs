@@ -1,0 +1,376 @@
+//! The `tm-serve/v1` wire protocol: versioned, line-delimited JSON frames.
+//!
+//! One frame per line, parsed and rendered through the hand-rolled
+//! [`tm_trace::Json`] document model (the same layer the trace format uses —
+//! no new dependencies, and `feed` frames embed trace events in exactly the
+//! `events`-array element shape of the JSON trace format).
+//!
+//! ## Client → server
+//!
+//! ```json
+//! {"frame":"open","v":1,"session":"s1"}
+//! {"frame":"feed","session":"s1","event":{"kind":"inv","tx":1,"obj":"x","op":"read"}}
+//! {"frame":"close","session":"s1"}
+//! {"frame":"shutdown"}
+//! ```
+//!
+//! `open` carries the protocol version (`"v":1`); the other client frames
+//! are version-bound by their session. `shutdown` asks the daemon to drain
+//! every in-flight session and exit (the line-oriented stand-in for a
+//! signal: the workspace forbids `unsafe`, so no signal handler can be
+//! installed — EOF on stdin/replay input drains identically).
+//!
+//! ## Server → client
+//!
+//! ```json
+//! {"frame":"opened","v":1,"session":"s1"}
+//! {"frame":"verdict","session":"s1","seq":3,"verdict":"opaque"}
+//! {"frame":"verdict","session":"s1","seq":7,"verdict":"violated","at":6}
+//! {"frame":"busy","session":"s1","inbox":1024}
+//! {"frame":"error","session":"s1","message":"..."}
+//! {"frame":"closed","session":"s1","events":9,"checks":4,"violated_at":6,"poisoned":false}
+//! ```
+//!
+//! One `verdict` frame per fed event, tagged with the 1-based sequence
+//! number of that event within the session's stream. `verdict` is
+//! `"opaque"` (a fresh check passed), `"opaque_skip"` (the monitor's
+//! invocation-skip argument applied — no check was needed), or
+//! `"violated"` with the sticky first violation index `at` (0-based, as
+//! the monitor reports it). A verdict frame is a pure function of the
+//! session's own event stream — never of what other multiplexed sessions
+//! are doing — which is the byte-identity contract the replay tests pin.
+//!
+//! Schema evolution follows the workspace rule: versions only increment,
+//! fields are only added, never repurposed.
+
+use tm_model::Event;
+use tm_trace::{event_from_doc, event_to_doc, Json, ParseError};
+
+/// The protocol version spoken by this build (the `"v"` of `open`/`opened`).
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// The protocol identifier (for banners and artifact metadata).
+pub const PROTOCOL: &str = "tm-serve/v1";
+
+/// A parsed client-side frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientFrame {
+    /// Open a new session under a client-chosen identifier.
+    Open {
+        /// The session identifier (any non-empty string).
+        session: String,
+    },
+    /// Append one trace event to a session's stream.
+    Feed {
+        /// The target session.
+        session: String,
+        /// The event, in the trace format's wire shape.
+        event: Event,
+    },
+    /// Close a session: its remaining inbox is drained, a `closed` summary
+    /// frame is emitted, and its resources are released.
+    Close {
+        /// The target session.
+        session: String,
+    },
+    /// Drain every in-flight session and exit.
+    Shutdown,
+}
+
+/// Parses one client frame from one input line.
+pub fn parse_client_frame(line: &str) -> Result<ClientFrame, ParseError> {
+    let doc = Json::parse(line)?;
+    let frame_err = |msg: String| ParseError {
+        line: doc.line(),
+        message: format!("invalid frame: {msg}"),
+    };
+    let Some(Json::Str(kind)) = doc.get("frame") else {
+        return Err(frame_err("missing string `frame` field".into()));
+    };
+    let session_of = |doc: &Json| -> Result<String, ParseError> {
+        match doc.get("session") {
+            Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+            Some(Json::Str(_)) => Err(frame_err("`session` must be non-empty".into())),
+            _ => Err(frame_err("missing string `session` field".into())),
+        }
+    };
+    match kind.as_str() {
+        "open" => {
+            match doc.get("v") {
+                Some(Json::Int(v)) if *v == PROTOCOL_VERSION => {}
+                Some(Json::Int(v)) => {
+                    return Err(frame_err(format!(
+                        "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                    )))
+                }
+                _ => return Err(frame_err("missing integer `v` field".into())),
+            }
+            Ok(ClientFrame::Open {
+                session: session_of(&doc)?,
+            })
+        }
+        "feed" => {
+            let session = session_of(&doc)?;
+            let event_doc = doc
+                .get("event")
+                .ok_or_else(|| frame_err("missing `event` field".into()))?;
+            Ok(ClientFrame::Feed {
+                session,
+                event: event_from_doc(event_doc)?,
+            })
+        }
+        "close" => Ok(ClientFrame::Close {
+            session: session_of(&doc)?,
+        }),
+        "shutdown" => Ok(ClientFrame::Shutdown),
+        other => Err(frame_err(format!("unknown frame kind `{other}`"))),
+    }
+}
+
+/// Renders a client frame as its wire line (used by the bench driver and
+/// fixture tooling; the daemon only parses this direction).
+pub fn render_client_frame(frame: &ClientFrame) -> String {
+    let doc = match frame {
+        ClientFrame::Open { session } => Json::Obj(
+            0,
+            vec![
+                ("frame".into(), Json::Str("open".into())),
+                ("v".into(), Json::Int(PROTOCOL_VERSION)),
+                ("session".into(), Json::Str(session.clone())),
+            ],
+        ),
+        ClientFrame::Feed { session, event } => Json::Obj(
+            0,
+            vec![
+                ("frame".into(), Json::Str("feed".into())),
+                ("session".into(), Json::Str(session.clone())),
+                ("event".into(), event_to_doc(event)),
+            ],
+        ),
+        ClientFrame::Close { session } => Json::Obj(
+            0,
+            vec![
+                ("frame".into(), Json::Str("close".into())),
+                ("session".into(), Json::Str(session.clone())),
+            ],
+        ),
+        ClientFrame::Shutdown => Json::Obj(0, vec![("frame".into(), Json::Str("shutdown".into()))]),
+    };
+    doc.to_compact_string()
+}
+
+/// A server-side frame, ready to render.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerFrame {
+    /// Acknowledges `open`.
+    Opened {
+        /// The session identifier.
+        session: String,
+    },
+    /// The per-event verdict.
+    Verdict {
+        /// The session identifier.
+        session: String,
+        /// 1-based index of the event within the session's stream.
+        seq: usize,
+        /// `"opaque"`, `"opaque_skip"`, or `"violated"`.
+        verdict: &'static str,
+        /// First violation index (0-based), present iff violated.
+        at: Option<usize>,
+    },
+    /// Backpressure: the session's inbox is full and the frame was NOT
+    /// accepted — the client must resend after the daemon catches up.
+    Busy {
+        /// The session identifier.
+        session: String,
+        /// The inbox bound that was hit.
+        inbox: usize,
+    },
+    /// A session-scoped or stream-scoped error. Frame-level errors carry no
+    /// session; feed errors on a poisoned session repeat its latched error.
+    Error {
+        /// The session, when the error is session-scoped.
+        session: Option<String>,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The end-of-session summary emitted once the inbox is drained.
+    Closed {
+        /// The session identifier.
+        session: String,
+        /// Events accepted over the session's lifetime.
+        events: usize,
+        /// Full checks run (the remainder were invocation-skips).
+        checks: usize,
+        /// Sticky first violation index, if any.
+        violated_at: Option<usize>,
+        /// Whether the session was poisoned by a hard error.
+        poisoned: bool,
+    },
+}
+
+impl ServerFrame {
+    /// Renders the frame as its compact wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        let doc = match self {
+            ServerFrame::Opened { session } => Json::Obj(
+                0,
+                vec![
+                    ("frame".into(), Json::Str("opened".into())),
+                    ("v".into(), Json::Int(PROTOCOL_VERSION)),
+                    ("session".into(), Json::Str(session.clone())),
+                ],
+            ),
+            ServerFrame::Verdict {
+                session,
+                seq,
+                verdict,
+                at,
+            } => {
+                let mut fields = vec![
+                    ("frame".into(), Json::Str("verdict".into())),
+                    ("session".into(), Json::Str(session.clone())),
+                    ("seq".into(), Json::Int(*seq as i64)),
+                    ("verdict".into(), Json::Str((*verdict).into())),
+                ];
+                if let Some(at) = at {
+                    fields.push(("at".into(), Json::Int(*at as i64)));
+                }
+                Json::Obj(0, fields)
+            }
+            ServerFrame::Busy { session, inbox } => Json::Obj(
+                0,
+                vec![
+                    ("frame".into(), Json::Str("busy".into())),
+                    ("session".into(), Json::Str(session.clone())),
+                    ("inbox".into(), Json::Int(*inbox as i64)),
+                ],
+            ),
+            ServerFrame::Error { session, message } => {
+                let mut fields = vec![("frame".into(), Json::Str("error".into()))];
+                if let Some(session) = session {
+                    fields.push(("session".into(), Json::Str(session.clone())));
+                }
+                fields.push(("message".into(), Json::Str(message.clone())));
+                Json::Obj(0, fields)
+            }
+            ServerFrame::Closed {
+                session,
+                events,
+                checks,
+                violated_at,
+                poisoned,
+            } => {
+                let mut fields = vec![
+                    ("frame".into(), Json::Str("closed".into())),
+                    ("session".into(), Json::Str(session.clone())),
+                    ("events".into(), Json::Int(*events as i64)),
+                    ("checks".into(), Json::Int(*checks as i64)),
+                ];
+                if let Some(at) = violated_at {
+                    fields.push(("violated_at".into(), Json::Int(*at as i64)));
+                }
+                fields.push(("poisoned".into(), Json::Bool(*poisoned)));
+                Json::Obj(0, fields)
+            }
+        };
+        doc.to_compact_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_model::TxId;
+
+    #[test]
+    fn client_frames_roundtrip_through_render_and_parse() {
+        let frames = [
+            ClientFrame::Open {
+                session: "s1".into(),
+            },
+            ClientFrame::Feed {
+                session: "s1".into(),
+                event: Event::TryCommit(TxId(3)),
+            },
+            ClientFrame::Close {
+                session: "s1".into(),
+            },
+            ClientFrame::Shutdown,
+        ];
+        for f in frames {
+            let line = render_client_frame(&f);
+            assert_eq!(parse_client_frame(&line).unwrap(), f, "{line}");
+        }
+    }
+
+    #[test]
+    fn open_checks_the_protocol_version() {
+        let e = parse_client_frame(r#"{"frame":"open","v":9,"session":"s"}"#).unwrap_err();
+        assert!(e.message.contains("unsupported protocol version 9"), "{e}");
+        let e = parse_client_frame(r#"{"frame":"open","session":"s"}"#).unwrap_err();
+        assert!(e.message.contains("missing integer `v`"), "{e}");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_with_positions() {
+        for (bad, needle) in [
+            (r#"{"v":1}"#, "missing string `frame`"),
+            (r#"{"frame":"zap"}"#, "unknown frame kind `zap`"),
+            (r#"{"frame":"feed","session":"s"}"#, "missing `event`"),
+            (r#"{"frame":"feed","session":"","event":{}}"#, "non-empty"),
+            (r#"{"frame":"close"}"#, "missing string `session`"),
+            (
+                r#"{"frame":"feed","session":"s","event":{"kind":"zap"}}"#,
+                "unknown event kind",
+            ),
+            ("not json", "invalid keyword"),
+        ] {
+            let e = parse_client_frame(bad).unwrap_err();
+            assert!(e.message.contains(needle), "{bad}: {e}");
+        }
+    }
+
+    #[test]
+    fn server_frames_render_compact_and_stable() {
+        assert_eq!(
+            ServerFrame::Verdict {
+                session: "s1".into(),
+                seq: 7,
+                verdict: "violated",
+                at: Some(6),
+            }
+            .render(),
+            r#"{"frame":"verdict","session":"s1","seq":7,"verdict":"violated","at":6}"#
+        );
+        assert_eq!(
+            ServerFrame::Verdict {
+                session: "s1".into(),
+                seq: 1,
+                verdict: "opaque_skip",
+                at: None,
+            }
+            .render(),
+            r#"{"frame":"verdict","session":"s1","seq":1,"verdict":"opaque_skip"}"#
+        );
+        assert_eq!(
+            ServerFrame::Closed {
+                session: "s".into(),
+                events: 9,
+                checks: 4,
+                violated_at: None,
+                poisoned: false,
+            }
+            .render(),
+            r#"{"frame":"closed","session":"s","events":9,"checks":4,"poisoned":false}"#
+        );
+        assert_eq!(
+            ServerFrame::Error {
+                session: None,
+                message: "line 3: bad".into(),
+            }
+            .render(),
+            r#"{"frame":"error","message":"line 3: bad"}"#
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # tm-serve — the streaming opacity-monitoring daemon
+//!
+//! The paper's checker as a *service*: `tmcheck serve` ingests `tm-trace`
+//! event streams from many concurrent client sessions and answers each
+//! event with an opacity verdict, multiplexing thousands of independent
+//! resumable [`tm_opacity::incremental::OpacityMonitor`]s behind one
+//! ingest → session → verdict → artifact pipeline.
+//!
+//! The crate splits along that pipeline:
+//!
+//! * [`frame`] — the versioned `tm-serve/v1` wire protocol: line-delimited
+//!   JSON frames (`open`/`feed`/`close`/`shutdown` in,
+//!   `opened`/`verdict`/`busy`/`error`/`closed` out), built on the
+//!   hand-rolled [`tm_trace::Json`] document model;
+//! * [`table`] — the [`SessionTable`]: fair round-robin scheduling under a
+//!   per-turn node budget, aggregate memory governance (a global memo-byte
+//!   ceiling apportioned across sessions via the monitors' sound
+//!   `set_memo_capacity` hook), and bounded-inbox backpressure;
+//! * [`daemon`] — the transports (stdin, offline `--replay` for CI, a Unix
+//!   socket) and the graceful drain that ends every run.
+//!
+//! ## The one invariant
+//!
+//! **Multiplexing is verdict-invisible.** A session's verdict frames are a
+//! pure function of its own event stream: scheduling order, node budgets,
+//! backpressure, and memory-governance retunes change *when* verdicts are
+//! emitted and what they cost, never their bytes. The replay tests pin
+//! this by interleaving ≥ 64 sessions and comparing every session's
+//! verdict frames byte-for-byte against a standalone monitor run — also
+//! under a deliberately starved `--memo-budget`, where the governor is
+//! shrinking every session's memo table mid-stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod frame;
+pub mod table;
+
+mod session;
+
+pub use daemon::{replay, run, Transport};
+pub use frame::{
+    parse_client_frame, render_client_frame, ClientFrame, ServerFrame, PROTOCOL, PROTOCOL_VERSION,
+};
+pub use table::{Routed, ServeConfig, SessionTable, EST_ENTRY_BYTES, MIN_MEMO_CAP};
+
+use std::sync::OnceLock;
+use tm_model::SpecRegistry;
+
+/// The process-wide specification registry sessions check against —
+/// `'static` so monitors (which borrow their registry) can live in the
+/// session table without lifetime plumbing. Register specs, matching the
+/// rest of the `tmcheck` surface.
+pub fn specs() -> &'static SpecRegistry {
+    static SPECS: OnceLock<SpecRegistry> = OnceLock::new();
+    SPECS.get_or_init(SpecRegistry::registers)
+}

@@ -1,0 +1,157 @@
+//! One multiplexed check session: a resumable [`OpacityMonitor`] plus the
+//! bounded inbox that decouples frame ingest from checking.
+//!
+//! The session is where the daemon's multiplexing discipline bottoms out in
+//! the paper's machinery: every accepted `feed` event eventually flows
+//! through [`OpacityMonitor::feed`], which drives the same resumable
+//! `CheckSession` a standalone caller would — so a session's verdict
+//! stream is a pure function of its own event stream. Scheduling (when the
+//! inbox drains), memory governance (what `memo_capacity` the monitor runs
+//! under), and backpressure (whether a `feed` was accepted at all) can
+//! change *when* verdicts appear and how much work they cost, never what
+//! they say.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use tm_model::Event;
+use tm_obs::ObsHandle;
+use tm_opacity::incremental::{MonitorVerdict, OpacityMonitor};
+use tm_opacity::search::SearchConfig;
+
+use crate::frame::ServerFrame;
+use crate::specs;
+
+/// One open session.
+pub(crate) struct Session {
+    /// The client-chosen identifier.
+    pub(crate) id: String,
+    /// The resumable checker.
+    monitor: OpacityMonitor<'static>,
+    /// Accepted-but-unchecked events, bounded by the table's inbox capacity.
+    pub(crate) inbox: VecDeque<Event>,
+    /// Events accepted over the session's lifetime (inbox + checked).
+    accepted: usize,
+    /// A `close` frame arrived; emit the summary once the inbox drains.
+    pub(crate) closing: bool,
+    /// Latched on the first hard check error (ill-formed event, engine
+    /// limit). Poisoned sessions reject further feeds with `error` frames.
+    pub(crate) poisoned: bool,
+    /// Sticky first violation index, mirrored from the monitor's verdicts.
+    violated_at: Option<usize>,
+    /// Transport routing tag (which connection opened the session).
+    pub(crate) conn: usize,
+}
+
+impl Session {
+    /// Opens a session whose monitor runs under `search` (the governed
+    /// `memo_capacity` is already folded in by the table).
+    pub(crate) fn new(id: String, conn: usize, search: SearchConfig) -> Self {
+        Session {
+            id,
+            monitor: OpacityMonitor::new(specs()).with_config(search),
+            inbox: VecDeque::new(),
+            accepted: 0,
+            closing: false,
+            poisoned: false,
+            violated_at: None,
+            conn,
+        }
+    }
+
+    /// Memo entries resident in the session's search core (telemetry).
+    pub(crate) fn memo_resident(&self) -> usize {
+        self.monitor.memo_resident()
+    }
+
+    /// Queues one event (capacity is enforced by the caller — the table
+    /// owns the inbox bound so backpressure is observable in one place).
+    pub(crate) fn enqueue(&mut self, event: Event) {
+        self.inbox.push_back(event);
+        self.accepted += 1;
+    }
+
+    /// Retunes the monitor's memo capacity (the governor's hook).
+    pub(crate) fn set_memo_capacity(&mut self, capacity: Option<usize>) {
+        self.monitor.set_memo_capacity(capacity);
+    }
+
+    /// Checks the oldest inbox event, returning the frame to emit and the
+    /// search nodes the check cost (the scheduler's budget currency).
+    /// Returns `None` when the inbox is empty.
+    pub(crate) fn step(&mut self, obs: ObsHandle) -> Option<(ServerFrame, u64)> {
+        let event = self.inbox.pop_front()?;
+        let seq = self.accepted - self.inbox.len();
+        if self.poisoned {
+            // The monitor latches hard errors; don't burn a feed to
+            // rediscover one we already reported.
+            return Some((
+                ServerFrame::Error {
+                    session: Some(self.id.clone()),
+                    message: "session poisoned by an earlier error".into(),
+                },
+                0,
+            ));
+        }
+        let start = Instant::now();
+        let fed = self.monitor.feed(event);
+        match fed {
+            Ok(verdict) => {
+                obs.observe("serve.verdict_ns", start.elapsed().as_nanos() as u64);
+                obs.counter_add("serve.verdicts", 1);
+                // Charge the scheduler only for checks that actually ran:
+                // invocation-skips and sticky repeat-violations are
+                // near-free, and `last_stats` still describes the previous
+                // check in those cases.
+                let checked = matches!(verdict, MonitorVerdict::OpaqueChecked)
+                    || (matches!(verdict, MonitorVerdict::Violated { .. })
+                        && self.violated_at.is_none());
+                let nodes = if checked {
+                    self.monitor.last_stats().nodes as u64
+                } else {
+                    0
+                };
+                let (verdict, at) = match verdict {
+                    MonitorVerdict::OpaqueChecked => ("opaque", None),
+                    MonitorVerdict::OpaqueBySkip => ("opaque_skip", None),
+                    MonitorVerdict::Violated { at } => {
+                        self.violated_at.get_or_insert(at);
+                        ("violated", Some(at))
+                    }
+                };
+                Some((
+                    ServerFrame::Verdict {
+                        session: self.id.clone(),
+                        seq,
+                        verdict,
+                        at,
+                    },
+                    nodes,
+                ))
+            }
+            Err(err) => {
+                self.poisoned = true;
+                obs.counter_add("serve.poisoned", 1);
+                Some((
+                    ServerFrame::Error {
+                        session: Some(self.id.clone()),
+                        message: err.to_string(),
+                    },
+                    0,
+                ))
+            }
+        }
+    }
+
+    /// The end-of-session summary.
+    pub(crate) fn summary(&self) -> ServerFrame {
+        let (checks, _skipped) = self.monitor.check_counts();
+        ServerFrame::Closed {
+            session: self.id.clone(),
+            events: self.accepted,
+            checks,
+            violated_at: self.violated_at,
+            poisoned: self.poisoned,
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The [`SessionTable`]: multiplexing, fair scheduling, memory governance,
+//! and backpressure — the daemon's brain, independent of any transport.
+//!
+//! ## Fairness and the node budget
+//!
+//! Runnable sessions (non-empty inbox) sit in a round-robin queue. One
+//! scheduler *turn* ([`SessionTable::pump_one`]) takes the front session
+//! and checks events from its inbox until the cumulative search nodes of
+//! the turn exceed [`ServeConfig::node_budget`] (checked *after* each
+//! event — events are atomic units, so the budget bounds when a session
+//! yields, never how much of an event gets checked). A session with work
+//! left re-queues at the back. One expensive session therefore delays its
+//! peers by at most one budget-slice per turn, and a poisoned or violated
+//! session (whose events become near-free) cannot monopolize anything —
+//! the per-site-progress discipline the CRDT literature argues for, here
+//! applied to check sessions.
+//!
+//! ## Memory governance
+//!
+//! With `--memo-budget BYTES` set, the table apportions a global memo-byte
+//! ceiling equally across open sessions: each session's monitor gets
+//! `budget / EST_ENTRY_BYTES / sessions` memo entries (floored at
+//! [`MIN_MEMO_CAP`]), reapplied on every open and close. The retune hook
+//! ([`tm_opacity::incremental::OpacityMonitor::set_memo_capacity`]) is
+//! verdict-sound — memo entries are pure pruning, so shrinking a session's
+//! table mid-stream costs re-exploration, never correctness (the replay
+//! property tests pin this frame-for-frame). This subsumes the old
+//! "adaptive memo capacity" roadmap item: capacity now adapts to fleet
+//! pressure rather than being fixed at monitor construction.
+//!
+//! ## Backpressure
+//!
+//! Each inbox holds at most [`ServeConfig::inbox_capacity`] unchecked
+//! events. A `feed` into a full inbox is **not** accepted: the table emits
+//! a `busy` frame and the client resends later. Offline replay instead
+//! flow-controls the reader (see `daemon.rs`), so replay output never
+//! contains `busy` frames and stays byte-stable.
+
+use std::collections::{HashMap, VecDeque};
+
+use tm_model::Event;
+use tm_obs::ObsHandle;
+use tm_opacity::search::SearchConfig;
+
+use crate::frame::ServerFrame;
+use crate::session::Session;
+
+/// Estimated resident bytes per memo entry (mask + canonical states +
+/// queue bookkeeping, measured on the register workloads; deliberately
+/// conservative so the byte ceiling errs toward under-use).
+pub const EST_ENTRY_BYTES: u64 = 256;
+
+/// Per-session memo-capacity floor: below this the table thrashes instead
+/// of pruning, so governance degrades gracefully to "tiny but useful"
+/// rather than disabling memoization (well above any shard count, so the
+/// one-entry-per-shard floor of the sharded table never binds first).
+pub const MIN_MEMO_CAP: usize = 64;
+
+/// Daemon-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Maximum concurrently open sessions; `open` beyond it is refused
+    /// with an `error` frame.
+    pub max_sessions: usize,
+    /// Global memo-byte ceiling apportioned across open sessions; `None`
+    /// leaves every session at `search.memo_capacity`.
+    pub memo_budget_bytes: Option<u64>,
+    /// Unchecked events buffered per session before `busy` pushback.
+    pub inbox_capacity: usize,
+    /// Search nodes one session may burn per scheduler turn before
+    /// yielding to the next runnable session.
+    pub node_budget: u64,
+    /// Base search configuration for every session's monitor.
+    pub search: SearchConfig,
+    /// Observability handle (sessions gauge, verdict-latency histogram,
+    /// backpressure/eviction counters).
+    pub obs: ObsHandle,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 4096,
+            memo_budget_bytes: None,
+            inbox_capacity: 1024,
+            node_budget: 50_000,
+            search: SearchConfig::default(),
+            obs: ObsHandle::disabled(),
+        }
+    }
+}
+
+/// A server frame routed to the connection that must receive it.
+#[derive(Clone, Debug)]
+pub struct Routed {
+    /// Transport routing tag (connection index; 0 for single-stream
+    /// transports).
+    pub conn: usize,
+    /// The frame.
+    pub frame: ServerFrame,
+}
+
+fn routed(conn: usize, frame: ServerFrame) -> Routed {
+    Routed { conn, frame }
+}
+
+/// The multiplexer: all open sessions plus the scheduler's run queue.
+pub struct SessionTable {
+    config: ServeConfig,
+    sessions: HashMap<String, Session>,
+    /// Round-robin queue of sessions with non-empty inboxes. A session id
+    /// appears at most once (enqueued when its inbox becomes non-empty).
+    run_queue: VecDeque<String>,
+    /// Latched when any session ever poisoned (drives the exit code).
+    any_poisoned: bool,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new(config: ServeConfig) -> Self {
+        config.obs.gauge_set("serve.sessions", 0);
+        SessionTable {
+            config,
+            sessions: HashMap::new(),
+            run_queue: VecDeque::new(),
+            any_poisoned: false,
+        }
+    }
+
+    /// Open sessions right now.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Did any session (open or since closed) ever hit a hard error?
+    pub fn any_poisoned(&self) -> bool {
+        self.any_poisoned
+    }
+
+    /// Is there no queued work?
+    pub fn idle(&self) -> bool {
+        self.run_queue.is_empty()
+    }
+
+    /// Does `session` exist and have inbox space for one more event?
+    /// (The replay driver's flow-control probe; unknown sessions report
+    /// `true` so the feed proceeds to its proper error path.)
+    pub fn can_accept(&self, session: &str) -> bool {
+        self.sessions
+            .get(session)
+            .map_or(true, |s| s.inbox.len() < self.config.inbox_capacity)
+    }
+
+    /// The per-session memo capacity the governor currently mandates
+    /// (`None` = no budget configured; fall back to the base config).
+    fn governed_capacity(&self, session_count: usize) -> Option<usize> {
+        let budget = self.config.memo_budget_bytes?;
+        let entries = (budget / EST_ENTRY_BYTES) as usize;
+        Some((entries / session_count.max(1)).max(MIN_MEMO_CAP))
+    }
+
+    /// Reapplies the governor to every open session (on open/close — the
+    /// points where the fair share changes).
+    fn apply_governor(&mut self) {
+        let Some(cap) = self.governed_capacity(self.sessions.len()) else {
+            return;
+        };
+        for s in self.sessions.values_mut() {
+            s.set_memo_capacity(Some(cap));
+        }
+        self.config
+            .obs
+            .gauge_set("serve.memo_capacity_per_session", cap as u64);
+    }
+
+    /// Handles an `open` frame.
+    pub fn open(&mut self, id: &str, conn: usize) -> Vec<Routed> {
+        if self.sessions.contains_key(id) {
+            return vec![routed(
+                conn,
+                ServerFrame::Error {
+                    session: Some(id.to_string()),
+                    message: format!("session `{id}` is already open"),
+                },
+            )];
+        }
+        if self.sessions.len() >= self.config.max_sessions {
+            self.config.obs.counter_add("serve.open_refused", 1);
+            return vec![routed(
+                conn,
+                ServerFrame::Error {
+                    session: Some(id.to_string()),
+                    message: format!(
+                        "session table full ({} open, --max-sessions {})",
+                        self.sessions.len(),
+                        self.config.max_sessions
+                    ),
+                },
+            )];
+        }
+        // Construct the monitor already bounded to the governed share so
+        // its memo table picks a shard count matching its size class
+        // (`set_capacity` keeps shard counts fixed).
+        let mut search = self.config.search;
+        if let Some(cap) = self.governed_capacity(self.sessions.len() + 1) {
+            search.memo_capacity = Some(cap);
+        }
+        self.sessions
+            .insert(id.to_string(), Session::new(id.to_string(), conn, search));
+        self.apply_governor();
+        let obs = self.config.obs;
+        obs.counter_add("serve.sessions_opened", 1);
+        obs.gauge_set("serve.sessions", self.sessions.len() as u64);
+        vec![routed(
+            conn,
+            ServerFrame::Opened {
+                session: id.to_string(),
+            },
+        )]
+    }
+
+    /// Handles a `feed` frame: enqueues the event, or pushes back with
+    /// `busy` when the session's inbox is full.
+    pub fn feed(&mut self, id: &str, event: Event, conn: usize) -> Vec<Routed> {
+        let inbox_capacity = self.config.inbox_capacity;
+        let obs = self.config.obs;
+        let Some(session) = self.sessions.get_mut(id) else {
+            return vec![routed(
+                conn,
+                ServerFrame::Error {
+                    session: Some(id.to_string()),
+                    message: format!("no open session `{id}`"),
+                },
+            )];
+        };
+        if session.closing {
+            return vec![routed(
+                conn,
+                ServerFrame::Error {
+                    session: Some(id.to_string()),
+                    message: format!("session `{id}` is closing"),
+                },
+            )];
+        }
+        if session.inbox.len() >= inbox_capacity {
+            obs.counter_add("serve.busy", 1);
+            return vec![routed(
+                conn,
+                ServerFrame::Busy {
+                    session: id.to_string(),
+                    inbox: inbox_capacity,
+                },
+            )];
+        }
+        let was_empty = session.inbox.is_empty();
+        session.enqueue(event);
+        obs.counter_add("serve.frames_fed", 1);
+        if was_empty {
+            self.run_queue.push_back(id.to_string());
+        }
+        Vec::new()
+    }
+
+    /// Handles a `close` frame: the session drains its inbox through the
+    /// scheduler as usual, then emits its `closed` summary and is removed
+    /// (immediately, when the inbox is already empty).
+    pub fn close(&mut self, id: &str, conn: usize) -> Vec<Routed> {
+        let Some(session) = self.sessions.get_mut(id) else {
+            return vec![routed(
+                conn,
+                ServerFrame::Error {
+                    session: Some(id.to_string()),
+                    message: format!("no open session `{id}`"),
+                },
+            )];
+        };
+        session.closing = true;
+        if session.inbox.is_empty() {
+            return self.finish(id);
+        }
+        Vec::new()
+    }
+
+    /// Removes a fully-drained closing session, emitting its summary.
+    fn finish(&mut self, id: &str) -> Vec<Routed> {
+        let Some(session) = self.sessions.remove(id) else {
+            return Vec::new();
+        };
+        debug_assert!(session.inbox.is_empty() && session.closing);
+        self.any_poisoned |= session.poisoned;
+        self.apply_governor();
+        let obs = self.config.obs;
+        obs.counter_add("serve.sessions_closed", 1);
+        obs.gauge_set("serve.sessions", self.sessions.len() as u64);
+        vec![routed(session.conn, session.summary())]
+    }
+
+    /// One fair scheduler turn: the front runnable session checks inbox
+    /// events until the turn's node budget is spent or its inbox drains.
+    /// Returns the frames the turn produced (empty when idle).
+    pub fn pump_one(&mut self) -> Vec<Routed> {
+        let Some(id) = self.run_queue.pop_front() else {
+            return Vec::new();
+        };
+        let obs = self.config.obs;
+        let node_budget = self.config.node_budget;
+        let mut out = Vec::new();
+        let mut spent = 0u64;
+        let Some(session) = self.sessions.get_mut(&id) else {
+            return Vec::new();
+        };
+        let conn = session.conn;
+        while spent < node_budget {
+            match session.step(obs) {
+                Some((frame, nodes)) => {
+                    spent = spent.saturating_add(nodes.max(1));
+                    out.push(routed(conn, frame));
+                }
+                None => break,
+            }
+        }
+        obs.counter_add("serve.turns", 1);
+        if !session.inbox.is_empty() {
+            self.run_queue.push_back(id);
+        } else if session.closing {
+            out.extend(self.finish(&id));
+        }
+        out
+    }
+
+    /// Drains every runnable session to empty (EOF / shutdown): repeated
+    /// fair turns, so even the final drain interleaves sessions.
+    pub fn pump_all(&mut self) -> Vec<Routed> {
+        let mut out = Vec::new();
+        while !self.idle() {
+            out.extend(self.pump_one());
+        }
+        out
+    }
+
+    /// Drains everything, then closes every still-open session (shutdown's
+    /// final sweep: no event is dropped, every session gets its summary).
+    /// Summaries are emitted in session-id order so shutdown output is
+    /// deterministic even though `HashMap` iteration is not.
+    pub fn drain_and_close_all(&mut self) -> Vec<Routed> {
+        let mut out = self.pump_all();
+        let mut ids: Vec<String> = self.sessions.keys().cloned().collect();
+        ids.sort();
+        for id in ids {
+            if let Some(session) = self.sessions.get_mut(&id) {
+                session.closing = true;
+            }
+            out.extend(self.finish(&id));
+        }
+        out
+    }
+
+    /// Total memo entries resident across open sessions (telemetry).
+    pub fn memo_resident(&self) -> usize {
+        self.sessions.values().map(Session::memo_resident).sum()
+    }
+
+    /// The per-session memo capacity the governor currently mandates
+    /// (`None` when no `--memo-budget` is configured).
+    pub fn memo_capacity_per_session(&self) -> Option<usize> {
+        self.governed_capacity(self.sessions.len())
+    }
+}

@@ -1,0 +1,202 @@
+//! Backpressure and memory-governance coverage: a session exceeding its
+//! inbox bound receives `busy` and *recovers* (resending after the daemon
+//! catches up loses nothing), and shrinking the global memo budget
+//! mid-stream — by crowding the table with new sessions — never changes a
+//! session's verdicts, frame for frame.
+
+use tm_harness::randhist::{random_history, GenConfig};
+use tm_model::Event;
+use tm_obs::ObsHandle;
+use tm_serve::{ServeConfig, ServerFrame, SessionTable, MIN_MEMO_CAP};
+
+fn verdict_lines(frames: &[tm_serve::Routed]) -> Vec<String> {
+    frames
+        .iter()
+        .filter(|r| matches!(r.frame, ServerFrame::Verdict { .. }))
+        .map(|r| r.frame.render())
+        .collect()
+}
+
+/// Feeds a whole history through a table, pumping only when pushed back,
+/// resending every `busy`-bounced event until accepted. Returns all
+/// verdict frames in emission order.
+fn feed_with_resends(table: &mut SessionTable, id: &str, events: &[Event]) -> (Vec<String>, usize) {
+    let mut verdicts = Vec::new();
+    let mut busy_seen = 0usize;
+    for e in events {
+        loop {
+            let frames = table.feed(id, e.clone(), 0);
+            let accepted = !frames
+                .iter()
+                .any(|r| matches!(r.frame, ServerFrame::Busy { .. }));
+            verdicts.extend(verdict_lines(&frames));
+            if accepted {
+                break;
+            }
+            // Bounced: catch up one scheduler turn, then resend.
+            busy_seen += 1;
+            let turn = table.pump_one();
+            verdicts.extend(verdict_lines(&turn));
+        }
+    }
+    let rest = table.pump_all();
+    verdicts.extend(verdict_lines(&rest));
+    (verdicts, busy_seen)
+}
+
+#[test]
+fn full_inbox_bounces_busy_and_the_session_recovers() {
+    let h = random_history(&GenConfig::default(), 42);
+    assert!(h.len() > 6, "need a non-trivial history");
+
+    // Reference: a roomy table that never pushes back.
+    let mut roomy = SessionTable::new(ServeConfig::default());
+    roomy.open("s", 0);
+    let (expected, roomy_busy) = feed_with_resends(&mut roomy, "s", h.events());
+    assert_eq!(roomy_busy, 0, "roomy table must not push back");
+
+    // A 3-slot inbox with no pumping between feeds: busy frames are
+    // guaranteed, and resending after one turn recovers every event.
+    let mut tight = SessionTable::new(ServeConfig {
+        inbox_capacity: 3,
+        ..ServeConfig::default()
+    });
+    tight.open("s", 0);
+    let (got, tight_busy) = feed_with_resends(&mut tight, "s", h.events());
+    assert!(tight_busy > 0, "3-slot inbox must bounce at least once");
+    assert_eq!(
+        got, expected,
+        "recovery after busy lost or reordered events"
+    );
+}
+
+#[test]
+fn governor_shrinks_capacity_as_sessions_crowd_in_and_restores_on_close() {
+    // 1 MiB budget: alone, a session gets the full entry allowance;
+    // with 63 peers it gets a 64th of it; when they close it grows back.
+    let budget = 1u64 << 20;
+    let mut table = SessionTable::new(ServeConfig {
+        memo_budget_bytes: Some(budget),
+        ..ServeConfig::default()
+    });
+    table.open("s0", 0);
+    let alone = table.memo_capacity_per_session().unwrap();
+    for i in 1..64 {
+        table.open(&format!("s{i}"), 0);
+    }
+    let crowded = table.memo_capacity_per_session().unwrap();
+    assert!(
+        crowded < alone,
+        "capacity must shrink under crowding ({alone} -> {crowded})"
+    );
+    assert!(crowded >= MIN_MEMO_CAP, "floor must hold");
+    assert_eq!(crowded, alone / 64);
+    for i in 1..64 {
+        table.close(&format!("s{i}"), 0);
+    }
+    table.pump_all();
+    assert_eq!(table.session_count(), 1);
+    assert_eq!(
+        table.memo_capacity_per_session().unwrap(),
+        alone,
+        "capacity must restore as sessions close"
+    );
+}
+
+#[test]
+fn mid_stream_budget_shrink_never_changes_verdicts() {
+    // The satellite's property, frame for frame: session `probe` checks
+    // the same history (a) alone on an unbudgeted table, and (b) while 40
+    // sessions pile in mid-stream on a starved table — the governor
+    // shrinking `probe`'s memo capacity between its feeds. Verdicts must
+    // be byte-identical.
+    for seed in [7u64, 99, 1234] {
+        let h = random_history(
+            &GenConfig {
+                txs: 6,
+                objs: 2,
+                max_ops: 5,
+                noise: 0.4,
+                commit_pending: 0.3,
+                abort: 0.2,
+            },
+            seed,
+        );
+        let mut plain = SessionTable::new(ServeConfig::default());
+        plain.open("probe", 0);
+        let (expected, _) = feed_with_resends(&mut plain, "probe", h.events());
+
+        let mut starved = SessionTable::new(ServeConfig {
+            memo_budget_bytes: Some(40 * 256),
+            ..ServeConfig::default()
+        });
+        starved.open("probe", 0);
+        let mut got = Vec::new();
+        for (i, e) in h.events().iter().enumerate() {
+            // Crowd the table while the probe session is mid-stream.
+            if i == h.len() / 2 {
+                for j in 0..40 {
+                    starved.open(&format!("crowd{j}"), 0);
+                }
+            }
+            got.extend(verdict_lines(&starved.feed("probe", e.clone(), 0)));
+            got.extend(verdict_lines(&starved.pump_one()));
+        }
+        got.extend(verdict_lines(&starved.pump_all()));
+        assert_eq!(got, expected, "seed {seed}: budget shrink changed verdicts");
+    }
+}
+
+#[test]
+fn open_and_feed_errors_are_frames_not_panics() {
+    let mut table = SessionTable::new(ServeConfig {
+        max_sessions: 2,
+        ..ServeConfig::default()
+    });
+    assert!(matches!(
+        table.open("a", 0)[0].frame,
+        ServerFrame::Opened { .. }
+    ));
+    // Duplicate open.
+    let dup = table.open("a", 0);
+    assert!(
+        matches!(&dup[0].frame, ServerFrame::Error { message, .. } if message.contains("already open"))
+    );
+    // Table full.
+    table.open("b", 0);
+    let full = table.open("c", 0);
+    assert!(
+        matches!(&full[0].frame, ServerFrame::Error { message, .. } if message.contains("table full"))
+    );
+    // Feed/close on unknown sessions.
+    let nofeed = table.feed("ghost", Event::TryCommit(tm_model::TxId(1)), 0);
+    assert!(
+        matches!(&nofeed[0].frame, ServerFrame::Error { message, .. } if message.contains("no open session"))
+    );
+    let noclose = table.close("ghost", 0);
+    assert!(matches!(&noclose[0].frame, ServerFrame::Error { .. }));
+    // Feeding a closing session is refused.
+    table.close("a", 0);
+    // "a" had an empty inbox, so it is gone entirely now.
+    let closed = table.feed("a", Event::TryCommit(tm_model::TxId(1)), 0);
+    assert!(matches!(&closed[0].frame, ServerFrame::Error { .. }));
+    assert_eq!(table.session_count(), 1);
+}
+
+#[test]
+fn obs_counters_track_busy_and_sessions() {
+    let obs = ObsHandle::install();
+    let mut table = SessionTable::new(ServeConfig {
+        inbox_capacity: 1,
+        obs,
+        ..ServeConfig::default()
+    });
+    table.open("s", 0);
+    let e = Event::TryCommit(tm_model::TxId(1));
+    table.feed("s", e.clone(), 0);
+    table.feed("s", e.clone(), 0); // bounced: inbox holds 1
+    let snap = obs.snapshot().expect("enabled");
+    assert_eq!(snap.counter("serve.busy"), Some(1));
+    assert_eq!(snap.counter("serve.sessions_opened"), Some(1));
+    assert_eq!(snap.counter("serve.frames_fed"), Some(1));
+}

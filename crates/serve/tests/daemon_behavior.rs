@@ -1,0 +1,237 @@
+//! Daemon lifecycle coverage: graceful drain on EOF, the `shutdown` frame,
+//! exit codes (poisoned sessions → 1), parse-error frames with line
+//! numbers, and a live Unix-socket round trip.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+
+use tm_model::builder::paper;
+use tm_serve::{render_client_frame, replay, run, ClientFrame, ServeConfig, Transport};
+use tm_trace::Json;
+
+fn frames_of(output: &[u8]) -> Vec<Json> {
+    String::from_utf8(output.to_vec())
+        .expect("daemon output is UTF-8")
+        .lines()
+        .map(|l| Json::parse(l).expect("daemon emits valid JSON"))
+        .collect()
+}
+
+fn kind(doc: &Json) -> String {
+    match doc.get("frame") {
+        Some(Json::Str(s)) => s.clone(),
+        other => panic!("frame field missing or non-string: {other:?}"),
+    }
+}
+
+fn stream(frames: &[ClientFrame]) -> String {
+    frames
+        .iter()
+        .map(render_client_frame)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn open_feed_all(id: &str, h: &tm_model::History) -> Vec<ClientFrame> {
+    let mut frames = vec![ClientFrame::Open {
+        session: id.to_string(),
+    }];
+    for e in h.events() {
+        frames.push(ClientFrame::Feed {
+            session: id.to_string(),
+            event: e.clone(),
+        });
+    }
+    frames
+}
+
+#[test]
+fn eof_drains_and_emits_closed_summaries_in_id_order() {
+    // Two sessions left open at EOF: the drain must still check every
+    // queued event and emit both `closed` summaries, sorted by id.
+    let mut input = open_feed_all("zeta", &paper::h4());
+    input.extend(open_feed_all("alpha", &paper::h5()));
+    let mut out = Vec::new();
+    let code = replay(ServeConfig::default(), &stream(&input), &mut out);
+    assert_eq!(code, 0);
+    let frames = frames_of(&out);
+    let closed: Vec<&Json> = frames.iter().filter(|f| kind(f) == "closed").collect();
+    assert_eq!(closed.len(), 2, "every open session gets a summary at EOF");
+    assert_eq!(closed[0].get("session"), Some(&Json::Str("alpha".into())));
+    assert_eq!(closed[1].get("session"), Some(&Json::Str("zeta".into())));
+    // The summaries account for every fed event as checked work.
+    assert_eq!(
+        closed[1].get("events"),
+        Some(&Json::Int(paper::h4().len() as i64))
+    );
+    let verdicts = frames.iter().filter(|f| kind(f) == "verdict").count();
+    assert_eq!(verdicts, paper::h4().len() + paper::h5().len());
+}
+
+#[test]
+fn shutdown_frame_stops_ingest_but_finishes_queued_work() {
+    // shutdown arrives while feeds are still queued behind it in the file;
+    // queued work before the frame completes, frames after it are ignored.
+    let mut input = open_feed_all("s", &paper::h4());
+    input.push(ClientFrame::Shutdown);
+    input.push(ClientFrame::Open {
+        session: "late".to_string(),
+    });
+    let mut out = Vec::new();
+    let code = replay(ServeConfig::default(), &stream(&input), &mut out);
+    assert_eq!(code, 0);
+    let frames = frames_of(&out);
+    assert!(
+        !frames
+            .iter()
+            .any(|f| f.get("session") == Some(&Json::Str("late".into()))),
+        "frames after shutdown must not be processed"
+    );
+    let verdicts = frames.iter().filter(|f| kind(f) == "verdict").count();
+    assert_eq!(verdicts, paper::h4().len(), "queued feeds still complete");
+    assert_eq!(frames.iter().filter(|f| kind(f) == "closed").count(), 1);
+}
+
+#[test]
+fn poisoned_session_sets_exit_code_one_and_summary_flag() {
+    // A malformed stream for the monitor: a `ret` with no matching `inv`
+    // is a hard WellFormedness error — the session poisons, later feeds
+    // answer with error frames, and the daemon exits 1.
+    let bad = tm_model::Event::Ret {
+        tx: tm_model::TxId(1),
+        obj: tm_model::ObjId::register(0),
+        op: tm_model::OpName::Read,
+        val: tm_model::Value::Int(0),
+    };
+    let input = vec![
+        ClientFrame::Open {
+            session: "bad".to_string(),
+        },
+        ClientFrame::Feed {
+            session: "bad".to_string(),
+            event: bad.clone(),
+        },
+        ClientFrame::Feed {
+            session: "bad".to_string(),
+            event: bad,
+        },
+        ClientFrame::Close {
+            session: "bad".to_string(),
+        },
+    ];
+    let mut out = Vec::new();
+    let code = replay(ServeConfig::default(), &stream(&input), &mut out);
+    assert_eq!(code, 1, "a poisoned session must surface in the exit code");
+    let frames = frames_of(&out);
+    let errors = frames.iter().filter(|f| kind(f) == "error").count();
+    assert_eq!(errors, 2, "the poisoning event and the poisoned follow-up");
+    let closed = frames
+        .iter()
+        .find(|f| kind(f) == "closed")
+        .expect("summary still emitted");
+    assert_eq!(closed.get("poisoned"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn garbage_lines_become_error_frames_with_line_numbers() {
+    let input = format!(
+        "{}\nnot json at all\n{{\"frame\":\"warble\"}}\n\n{}",
+        render_client_frame(&ClientFrame::Open {
+            session: "s".to_string()
+        }),
+        render_client_frame(&ClientFrame::Close {
+            session: "s".to_string()
+        }),
+    );
+    let mut out = Vec::new();
+    let code = replay(ServeConfig::default(), &input, &mut out);
+    assert_eq!(code, 0, "protocol errors are reported, not fatal");
+    let frames = frames_of(&out);
+    let errors: Vec<String> = frames
+        .iter()
+        .filter(|f| kind(f) == "error")
+        .map(|f| match f.get("message") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => panic!("error frame without message"),
+        })
+        .collect();
+    assert_eq!(errors.len(), 2);
+    assert!(errors[0].starts_with("input line 2:"), "got: {}", errors[0]);
+    assert!(errors[1].starts_with("input line 3:"), "got: {}", errors[1]);
+    // The blank line 4 is skipped, and the valid close still lands.
+    assert!(frames.iter().any(|f| kind(f) == "closed"));
+}
+
+#[test]
+fn missing_replay_file_is_a_usage_error() {
+    let mut out = Vec::new();
+    let code = run(
+        Transport::Replay("/nonexistent/frames.jsonl".into()),
+        ServeConfig::default(),
+        &mut out,
+    );
+    assert_eq!(code, 2);
+    assert!(out.is_empty(), "no frames on a usage failure");
+}
+
+#[test]
+fn socket_round_trip_serves_a_session_and_shuts_down() {
+    let dir = std::env::temp_dir().join(format!("tm-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("serve.sock");
+    let server = {
+        let path = path.clone();
+        std::thread::spawn(move || {
+            let mut banner = Vec::new();
+            run(Transport::Socket(path), ServeConfig::default(), &mut banner)
+        })
+    };
+    // The daemon removes stale files then binds; poll until it is up.
+    let mut conn = None;
+    for _ in 0..200 {
+        match UnixStream::connect(&path) {
+            Ok(c) => {
+                conn = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    let conn = conn.expect("daemon socket never came up");
+    let mut writer = conn.try_clone().expect("clone socket");
+    let mut reader = BufReader::new(conn);
+
+    let h = paper::h1(); // violates: exercises the full verdict vocabulary
+    let mut frames = open_feed_all("live", &h);
+    frames.push(ClientFrame::Close {
+        session: "live".to_string(),
+    });
+    for f in &frames {
+        writeln!(writer, "{}", render_client_frame(f)).expect("write frame");
+    }
+    let mut got = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read frame") == 0 {
+            panic!("socket closed before the session summary: {got:?}");
+        }
+        let doc = Json::parse(line.trim_end()).expect("server emits valid JSON");
+        let k = kind(&doc);
+        got.push(doc);
+        if k == "closed" {
+            break;
+        }
+    }
+    assert_eq!(kind(&got[0]), "opened");
+    let verdicts = got.iter().filter(|f| kind(f) == "verdict").count();
+    assert_eq!(verdicts, h.len(), "one verdict per fed event");
+    assert!(got
+        .iter()
+        .any(|f| f.get("verdict") == Some(&Json::Str("violated".into()))));
+
+    writeln!(writer, "{}", render_client_frame(&ClientFrame::Shutdown)).expect("write shutdown");
+    let code = server.join().expect("daemon thread");
+    assert_eq!(code, 0);
+    assert!(!path.exists(), "socket file removed on shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -167,26 +167,37 @@ impl From<&JsonEvent> for Event {
 }
 
 // ---------------------------------------------------------------------------
-// The internal JSON document model.
+// The JSON document model.
+//
+// Originally internal to this module; made public for the `tm-serve` wire
+// protocol (`tm-serve/v1` frames carry trace events inside framing objects),
+// which reuses this hand-rolled layer rather than growing a dependency.
 
 /// A parsed JSON document node. Numbers are restricted to `i64`: every
 /// number in the trace schema (versions, transaction ids, integer values)
 /// fits, and anything else is a schema violation anyway.
 #[derive(Clone, Debug, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// An integer (the only number shape the trace formats use).
     Int(i64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
-    /// Fields, plus the 1-based source line of the opening brace so schema
-    /// errors can point at the offending event (0 when built by the
-    /// serializer, which never reports errors).
+    /// An object's fields in source order, plus the 1-based source line of
+    /// the opening brace so schema errors can point at the offending node
+    /// (0 when built by a serializer, which never reports errors).
     Obj(usize, Vec<(String, Json)>),
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Looks up `key` in an object node (`None` for other node shapes and
+    /// missing keys).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(_, fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -194,11 +205,24 @@ impl Json {
     }
 
     /// Source line of this node, when known (objects only).
-    fn line(&self) -> usize {
+    pub fn line(&self) -> usize {
         match self {
             Json::Obj(line, _) => *line,
             _ => 0,
         }
+    }
+
+    /// Parses one JSON document (rejecting trailing input), tracking source
+    /// lines for [`ParseError`] positions.
+    pub fn parse(s: &str) -> Result<Json, ParseError> {
+        Parser::new(s).parse_document()
+    }
+
+    /// Renders this node as compact (single-line) JSON.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
     }
 
     fn write_compact(&self, out: &mut String) {
@@ -591,7 +615,10 @@ impl JsonValue {
 }
 
 impl JsonEvent {
-    fn to_doc(&self) -> Json {
+    /// Renders this event as its wire-format document node (the element
+    /// shape of the trace's `events` array, e.g.
+    /// `{"kind":"inv","tx":1,"obj":"x","op":"read"}`).
+    pub fn to_doc(&self) -> Json {
         let kind = |k: &str| ("kind".to_string(), Json::Str(k.to_string()));
         let tx_field = |tx: u32| ("tx".to_string(), Json::Int(i64::from(tx)));
         match self {
@@ -627,7 +654,9 @@ impl JsonEvent {
         }
     }
 
-    fn from_doc(doc: &Json) -> Result<JsonEvent, ParseError> {
+    /// Parses one event from its wire-format document node, reporting the
+    /// node's source line on schema violations.
+    pub fn from_doc(doc: &Json) -> Result<JsonEvent, ParseError> {
         let schema_err = |msg: String| ParseError {
             line: doc.line(),
             message: format!("invalid event: {msg}"),
@@ -722,6 +751,17 @@ impl JsonTrace {
 // ---------------------------------------------------------------------------
 // Public entry points.
 
+/// Renders a model [`Event`] as its wire-format document node — the shape
+/// carried by the trace's `events` array and by `tm-serve/v1` `feed` frames.
+pub fn event_to_doc(e: &Event) -> Json {
+    JsonEvent::from(e).to_doc()
+}
+
+/// Parses one model [`Event`] from its wire-format document node.
+pub fn event_from_doc(doc: &Json) -> Result<Event, ParseError> {
+    Ok((&JsonEvent::from_doc(doc)?).into())
+}
+
 /// Serializes a history to the compact JSON trace format.
 ///
 /// ```
@@ -762,7 +802,7 @@ pub fn to_json_pretty(h: &History) -> String {
 /// [`tm_model::check_well_formed`] themselves, which keeps this crate usable
 /// for deliberately ill-formed fixtures.
 pub fn from_json(s: &str) -> Result<History, ParseError> {
-    let doc = Parser::new(s).parse_document()?;
+    let doc = Json::parse(s)?;
     let trace = JsonTrace::from_doc(&doc)?;
     if trace.version != FORMAT_VERSION {
         return Err(ParseError {
@@ -917,6 +957,27 @@ mod tests {
         let e = from_json(s).unwrap_err();
         assert!(e.message.contains("unknown event kind `comit`"), "{e}");
         assert_eq!(e.line, 4, "{e}");
+    }
+
+    #[test]
+    fn public_doc_api_roundtrips_events_and_framing() {
+        // The surface tm-serve builds its wire frames on: parse a document,
+        // pull an embedded event out by key, convert it to a model event,
+        // and render frames compactly.
+        let doc =
+            Json::parse(r#"{"frame":"feed","session":"s1","event":{"kind":"commit","tx":3}}"#)
+                .unwrap();
+        assert_eq!(doc.get("frame"), Some(&Json::Str("feed".into())));
+        let event = event_from_doc(doc.get("event").unwrap()).unwrap();
+        assert_eq!(event, Event::Commit(TxId(3)));
+        let back = event_to_doc(&event);
+        assert_eq!(back.to_compact_string(), r#"{"kind":"commit","tx":3}"#);
+        assert_eq!(back.line(), 0, "serializer-built nodes carry no line");
+        // Schema errors out of an embedded event still carry its line.
+        let bad = Json::parse("{\n \"event\": {\"kind\": \"zap\"}\n}").unwrap();
+        let err = event_from_doc(bad.get("event").unwrap()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown event kind"), "{err}");
     }
 
     #[test]

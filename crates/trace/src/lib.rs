@@ -55,7 +55,7 @@ use std::sync::Arc;
 
 use tm_model::OpName;
 
-pub use json::{from_json, to_json, to_json_pretty};
+pub use json::{event_from_doc, event_to_doc, from_json, to_json, to_json_pretty, Json};
 pub use spans::{chrome_trace_json, TRACE_SCHEMA_VERSION};
 pub use text::{from_text, to_text};
 

@@ -26,7 +26,12 @@
 //! * [`obs`] (`tm-obs`) — dependency-free metrics registry (counters,
 //!   gauges, log2 latency histograms) and span tracing behind a
 //!   zero-cost-when-disabled handle, threaded through the search, monitor,
-//!   and STM layers (`tmcheck --metrics-out/--trace-out`).
+//!   and STM layers (`tmcheck --metrics-out/--trace-out`);
+//! * [`serve`] (`tm-serve`) — the streaming opacity-monitoring daemon:
+//!   a line-delimited `tm-serve/v1` wire protocol, a session table
+//!   multiplexing thousands of resumable check sessions under fair
+//!   round-robin scheduling and a global memo-byte budget, and stdin /
+//!   replay / unix-socket transports (`tmcheck serve`).
 //!
 //! ## Quickstart
 //!
@@ -56,5 +61,6 @@ pub use tm_harness as harness;
 pub use tm_model as model;
 pub use tm_obs as obs;
 pub use tm_opacity as opacity;
+pub use tm_serve as serve;
 pub use tm_stm as stm;
 pub use tm_trace as trace;
