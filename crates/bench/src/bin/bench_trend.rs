@@ -167,7 +167,14 @@ fn parse_artifact(json: &str) -> Option<Artifact> {
                 ) else {
                     continue;
                 };
-                let key = format!("sessions={}/budget={budget}", sessions as u64);
+                // faults=on points (chaos-plan overhead) trend separately;
+                // faults=off (and legacy artifacts without the field) keep
+                // the bare key so baselines stay comparable.
+                let chaos = match sfield(line, "faults") {
+                    Some(f) if f == "on" => "/faults=on",
+                    _ => "",
+                };
+                let key = format!("sessions={}/budget={budget}{chaos}", sessions as u64);
                 if let Some(v) = field(line, "verdicts_per_sec") {
                     points.push(Point::higher(key.clone(), v));
                 }

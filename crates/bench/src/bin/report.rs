@@ -569,6 +569,8 @@ struct ServePoint {
     events: usize,
     /// `None` = unbudgeted.
     budget: Option<u64>,
+    /// Was a verdict-preserving chaos plan injected into the link?
+    faults: bool,
     wall_ns: u128,
     verdicts: u64,
     turns: u64,
@@ -608,6 +610,7 @@ fn serve_frame_stream(sessions: usize) -> (String, usize) {
                 lines.push(render_client_frame(&ClientFrame::Feed {
                     session: id.clone(),
                     event: e.clone(),
+                    seq: None,
                 }));
             }
         }
@@ -632,17 +635,34 @@ fn serve_points(session_counts: &[usize]) -> Vec<ServePoint> {
         // session — far below the governor's floor, so every session runs
         // pinned at MIN_MEMO_CAP and the retune path stays hot.
         let starved = sessions as u64 * 4 * tm_serve::EST_ENTRY_BYTES;
-        for budget in [None, Some(starved)] {
+        // Third point: the starved fleet again, but through a seeded
+        // verdict-preserving chaos plan (torn/dropped/stalled frames plus
+        // budget spikes) — the faults=on overhead `bench_trend` watches.
+        for (budget, faults) in [(None, false), (Some(starved), false), (Some(starved), true)] {
+            let plan = if faults {
+                tm_serve::FaultPlan::generate(
+                    0xC0FFEE ^ sessions as u64,
+                    stream.lines().count(),
+                    24,
+                    tm_serve::faults::VERDICT_PRESERVING_KINDS,
+                )
+            } else {
+                tm_serve::FaultPlan::new()
+            };
             let obs = tm_obs::ObsHandle::install();
             let config = tm_serve::ServeConfig {
                 memo_budget_bytes: budget,
                 obs,
+                fault_plan: plan,
                 ..tm_serve::ServeConfig::default()
             };
             let t0 = Instant::now();
             let code = tm_serve::replay(config, &stream, &mut std::io::sink());
             let wall_ns = t0.elapsed().as_nanos();
-            assert_eq!(code, 0, "the synthetic fleet must drain cleanly");
+            assert!(
+                code <= 1,
+                "the synthetic fleet must drain without crashing (exit {code})"
+            );
             let snap = obs.snapshot().expect("installed sink");
             let (hist_p50_ns, hist_p95_ns, hist_p99_ns) = snap
                 .histogram("serve.verdict_ns")
@@ -652,6 +672,7 @@ fn serve_points(session_counts: &[usize]) -> Vec<ServePoint> {
                 sessions,
                 events,
                 budget,
+                faults,
                 wall_ns,
                 verdicts: snap.counter("serve.verdicts").unwrap_or(0),
                 turns: snap.counter("serve.turns").unwrap_or(0),
@@ -679,12 +700,14 @@ fn serve_json(points: &[ServePoint]) -> String {
             .map_or("\"unbounded\"".to_string(), |b| b.to_string());
         let per_sec = p.verdicts as f64 / (p.wall_ns.max(1) as f64 / 1e9);
         out.push_str(&format!(
-            "    {{\"sessions\": {}, \"events\": {}, \"budget\": {}, \"wall_ns\": {}, \
+            "    {{\"sessions\": {}, \"events\": {}, \"budget\": {}, \"faults\": \"{}\", \
+             \"wall_ns\": {}, \
              \"verdicts\": {}, \"turns\": {}, \"verdicts_per_sec\": {:.0}, \
              \"hist_p50_ns\": {}, \"hist_p95_ns\": {}, \"hist_p99_ns\": {}}}{}\n",
             p.sessions,
             p.events,
             budget,
+            if p.faults { "on" } else { "off" },
             p.wall_ns,
             p.verdicts,
             p.turns,
@@ -1055,13 +1078,18 @@ fn main() {
     // Verdict and turn counts are deterministic (replay is a pure function
     // of the frame stream); wall-clock and the serve.verdict_ns
     // percentiles go to the JSON artifact only.
-    println!("| sessions | events | memo budget | verdicts | scheduler turns |");
-    println!("|---|---|---|---|---|");
+    println!("| sessions | events | memo budget | faults | verdicts | scheduler turns |");
+    println!("|---|---|---|---|---|---|");
     for p in &vpoints {
         let budget = p.budget.map_or("unbounded".to_string(), |b| b.to_string());
         println!(
-            "| {} | {} | {} | {} | {} |",
-            p.sessions, p.events, budget, p.verdicts, p.turns
+            "| {} | {} | {} | {} | {} | {} |",
+            p.sessions,
+            p.events,
+            budget,
+            if p.faults { "on" } else { "off" },
+            p.verdicts,
+            p.turns
         );
     }
     let vjson = serve_json(&vpoints);

@@ -14,8 +14,11 @@
 //!    comparator code has no business in the TM algorithms either.)
 //! 2. **forbid-unsafe** — every `crates/*/src/lib.rs` carries
 //!    `#![forbid(unsafe_code)]`.
-//! 3. **no-unwrap-in-cli** — no `.unwrap()` in non-test `crates/cli/src`
-//!    code; user-facing paths return friendly errors instead of panicking.
+//! 3. **no-unwrap** — no `.unwrap()` / `.expect(` in non-test
+//!    `crates/cli/src` or `crates/serve/src` code; the CLI and the serve
+//!    daemon are the two long-lived user-facing surfaces, and a panic there
+//!    kills every multiplexed session instead of failing one check. Errors
+//!    return friendly messages or positioned `error` frames instead.
 //!    Everything from the first `#[cfg(test)]` line to the end of a file is
 //!    considered test code (the house style keeps test modules last).
 //! 4. **atomic-telemetry** — telemetry counters live in `tm-obs`, not on
@@ -156,27 +159,43 @@ fn lint_forbid_unsafe(root: &Path, findings: &mut Vec<Finding>) -> Result<(), St
     Ok(())
 }
 
-/// Rule 3: no `.unwrap()` on the CLI's user-facing paths.
-fn lint_no_unwrap_in_cli(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
-    let dir = root.join("crates/cli/src");
-    let mut files = Vec::new();
-    rust_files(&dir, &mut files)?;
-    for file in files {
-        let mut in_tests = false;
-        for (i, line) in read(&file)?.lines().enumerate() {
-            if line.contains("#[cfg(test)]") {
-                in_tests = true;
-            }
-            if !in_tests && !is_comment(line) && line.contains(".unwrap()") {
-                findings.push(Finding {
-                    file: file.clone(),
-                    line: i + 1,
-                    rule: "no-unwrap-in-cli",
-                    excerpt: format!(
-                        "panic on the user-facing path; return an error instead: {}",
-                        line.trim()
-                    ),
-                });
+/// The `#[cfg(test)]` marker, assembled so this binary's own source never
+/// contains the contiguous token (which would exempt everything below the
+/// rule implementations from the token rules).
+const TEST_MARKER: &str = concat!("#[cfg(", "test)]");
+
+/// Rule 3: no `.unwrap()` / `.expect(` on the user-facing paths of the
+/// CLI and the serve daemon — the two long-lived process surfaces, where a
+/// panic kills real sessions instead of failing one check. Errors must
+/// flow to `error` frames or friendly messages instead.
+fn lint_no_unwrap(root: &Path, findings: &mut Vec<Finding>) -> Result<(), String> {
+    // Assembled with concat! so this rule's own source passes its gate.
+    const TOKENS: [&str; 2] = [concat!(".unwrap", "()"), concat!(".expect", "(")];
+    const DIRS: [&str; 2] = ["crates/cli/src", "crates/serve/src"];
+    for dir in DIRS {
+        let dir = root.join(dir);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&dir, &mut files)?;
+        for file in files {
+            let mut in_tests = false;
+            for (i, line) in read(&file)?.lines().enumerate() {
+                if line.contains(TEST_MARKER) {
+                    in_tests = true;
+                }
+                if !in_tests && !is_comment(line) && TOKENS.iter().any(|t| line.contains(t)) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: i + 1,
+                        rule: "no-unwrap",
+                        excerpt: format!(
+                            "panic on the user-facing path; return an error instead: {}",
+                            line.trim()
+                        ),
+                    });
+                }
             }
         }
     }
@@ -256,7 +275,7 @@ fn lint_atomic_telemetry(root: &Path, findings: &mut Vec<Finding>) -> Result<(),
             }
             let mut in_tests = false;
             for (i, line) in read(&file)?.lines().enumerate() {
-                if line.contains("#[cfg(test)]") {
+                if line.contains(TEST_MARKER) {
                     in_tests = true;
                 }
                 if in_tests || is_comment(line) {
@@ -317,7 +336,7 @@ fn lint_socket_containment(root: &Path, findings: &mut Vec<Finding>) -> Result<(
         for file in files {
             let mut in_tests = false;
             for (i, line) in read(&file)?.lines().enumerate() {
-                if line.contains("#[cfg(test)]") {
+                if line.contains(TEST_MARKER) {
                     in_tests = true;
                 }
                 if !in_tests && !is_comment(line) && TOKENS.iter().any(|t| line.contains(t)) {
@@ -350,7 +369,7 @@ fn lint(root: &Path) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
     lint_ordering_containment(root, &mut findings)?;
     lint_forbid_unsafe(root, &mut findings)?;
-    lint_no_unwrap_in_cli(root, &mut findings)?;
+    lint_no_unwrap(root, &mut findings)?;
     lint_atomic_telemetry(root, &mut findings)?;
     lint_socket_containment(root, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -359,8 +378,9 @@ fn lint(root: &Path) -> Result<Vec<Finding>, String> {
 
 /// Usage text shown on argument errors.
 const USAGE: &str = "\
-tm-lint — source-discipline gate (ordering containment, forbid(unsafe), no CLI unwraps,
-          no raw-atomic telemetry outside tm-obs, no sockets outside tm-serve)
+tm-lint — source-discipline gate (ordering containment, forbid(unsafe), no unwraps on
+          cli/serve paths, no raw-atomic telemetry outside tm-obs, no sockets
+          outside tm-serve)
 
 USAGE:
   tm-lint [--root DIR]     DIR defaults to the workspace root containing crates/
@@ -539,11 +559,27 @@ mod tests {
              #[cfg(test)]\nmod tests {\n    fn g() { std::fs::read(\"y\").unwrap(); }\n}\n",
         );
         let findings = lint(&s.0).unwrap();
-        let hits: Vec<_> = findings
-            .iter()
-            .filter(|f| f.rule == "no-unwrap-in-cli")
-            .collect();
+        let hits: Vec<_> = findings.iter().filter(|f| f.rule == "no-unwrap").collect();
         assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+    }
+
+    #[test]
+    fn an_expect_in_the_serve_crate_is_flagged_too() {
+        // The daemon is a long-lived surface: rule 3 covers its crate and
+        // both panic spellings. A scratch tree without crates/serve (the
+        // other tests') must still lint — the dir is skipped when absent.
+        let s = Scratch::new("serve-expect");
+        std::fs::create_dir_all(s.0.join("crates/serve/src")).unwrap();
+        s.write(
+            "crates/serve/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn f() { std::fs::read(\"x\").expect(\"boom\"); }\n\
+             #[cfg(test)]\nmod tests {\n    fn g() { std::fs::read(\"y\").expect(\"fine\"); }\n}\n",
+        );
+        let findings = lint(&s.0).unwrap();
+        let hits: Vec<_> = findings.iter().filter(|f| f.rule == "no-unwrap").collect();
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].file.ends_with("crates/serve/src/lib.rs"));
         assert_eq!(hits[0].line, 2);
     }
 

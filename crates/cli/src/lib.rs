@@ -27,10 +27,14 @@
 //! printing each conviction's minimized replayable schedule.
 //!
 //! `serve` turns the checker into a long-lived streaming daemon (the
-//! `tm-serve` crate): line-delimited `tm-serve/v1` JSON frames open, feed,
-//! and close thousands of concurrent check sessions, each answered with a
-//! per-event opacity verdict — over stdin, a Unix socket, or a recorded
-//! replay file (the deterministic CI mode).
+//! `tm-serve` crate): line-delimited `tm-serve/v1.1` JSON frames open,
+//! feed, and close thousands of concurrent check sessions, each answered
+//! with a per-event opacity verdict — over stdin, a Unix socket, or a
+//! recorded replay file (the deterministic CI mode). `--journal`/`--resume`
+//! give it crash recovery (a restarted daemon continues every session with
+//! unchanged seq numbering), `--fault-plan` injects a seeded fault
+//! schedule for chaos testing, and the watermark/reap flags turn overload
+//! into `busy` pushback instead of failure.
 //!
 //! `conformance` runs the `tm-harness` conformance kit over the in-tree TM
 //! suite; `--jobs N` shards the interleaving sweep across `N` worker
@@ -42,7 +46,9 @@
 //! scheme.
 //!
 //! Exit codes: `0` — the property holds (or output was produced), `1` — the
-//! history violates opacity, `2` — usage or input error. `-` reads stdin.
+//! history violates opacity, `2` — usage or input error, `3` — a `serve`
+//! fault-plan injected crash fired (the crash-recovery harness's signal).
+//! `-` reads stdin.
 //!
 //! The library surface (`run`) is exercised directly by the test-suite; the
 //! binary in `main.rs` is a thin wrapper.
@@ -164,7 +170,9 @@ pub enum Command {
     },
     /// `serve [--socket PATH | --replay FILE | --stdin] [--max-sessions N]
     /// [--memo-budget BYTES] [--node-budget N] [--inbox-cap N]
-    /// [--metrics-out FILE] [--trace-out FILE]`
+    /// [--fault-plan FILE|SPEC] [--journal DIR] [--resume]
+    /// [--fsync-every N] [--idle-reap N] [--queue-watermark N]
+    /// [--memo-watermark BYTES] [--metrics-out FILE] [--trace-out FILE]`
     Serve {
         /// Listen on a Unix socket at this path (mutually exclusive with
         /// `replay`; default is the stdin transport).
@@ -180,6 +188,21 @@ pub enum Command {
         node_budget: u64,
         /// Unchecked events buffered per session before `busy` pushback.
         inbox_cap: usize,
+        /// Injected fault schedule: a `tm-faults/v1` JSON file path or an
+        /// inline `kind@frame[:args],...` spec.
+        fault_plan: Option<String>,
+        /// Append the crash-recovery session journal under this directory.
+        journal: Option<String>,
+        /// Rebuild the session table from `--journal`'s journal first.
+        resume: bool,
+        /// `sync_data` the journal every N records.
+        fsync_every: usize,
+        /// Reap sessions idle for N scheduler turns (default: never).
+        idle_reap: Option<u64>,
+        /// Shed feeds with hinted `busy` frames at this run-queue depth.
+        queue_watermark: Option<usize>,
+        /// Shed opens with hinted `busy` frames past this resident memo.
+        memo_watermark: Option<u64>,
         /// Write a `tm-metrics/v1` JSON metrics snapshot here.
         metrics_out: Option<String>,
         /// Write a Chrome-trace JSON span file here.
@@ -265,9 +288,12 @@ USAGE:
                                     switches away from a runnable thread
   tmcheck serve [--socket PATH | --replay FILE | --stdin]
                 [--max-sessions N] [--memo-budget BYTES] [--node-budget N]
-                [--inbox-cap N] [--metrics-out FILE] [--trace-out FILE]
+                [--inbox-cap N] [--fault-plan FILE|SPEC] [--journal DIR]
+                [--resume] [--fsync-every N] [--idle-reap N]
+                [--queue-watermark N] [--memo-watermark BYTES]
+                [--metrics-out FILE] [--trace-out FILE]
                                     the streaming monitoring daemon: ingest
-                                    line-delimited tm-serve/v1 JSON frames
+                                    line-delimited tm-serve/v1.1 JSON frames
                                     (open/feed/close/shutdown), multiplex one
                                     resumable opacity monitor per session with
                                     fair round-robin turns, and answer every
@@ -283,8 +309,23 @@ USAGE:
                                     --node-budget bounds one session's search
                                     nodes per scheduler turn, --inbox-cap the
                                     events buffered before `busy` pushback;
-                                    exits 0 on a clean drain, 1 if any session
-                                    was poisoned by a hard error
+                                    --fault-plan injects a fault schedule
+                                    (torn@F:K, drop@F:N, stall@F:T, werr@F:N,
+                                    memo@F:BxD, node@F:NxD, crash@F,
+                                    gen@SEED:HxC — a file path or inline
+                                    spec; injected crashes exit 3);
+                                    --journal DIR appends an fsync-batched
+                                    session journal, --resume rebuilds the
+                                    table from it so a restarted daemon
+                                    continues every session with unchanged
+                                    seq numbering, --fsync-every batches the
+                                    journal syncs; --idle-reap closes
+                                    sessions idle that many turns,
+                                    --queue-watermark / --memo-watermark
+                                    shed load with `busy` frames carrying
+                                    retry_after_turns hints; exits 0 on a
+                                    clean drain, 1 if any session was
+                                    poisoned by a hard error
   tmcheck list                      the TM registry: names, properties, and
                                     which configuration axes each TM accepts
   tmcheck help
@@ -578,6 +619,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut memo_budget = None;
             let mut node_budget = defaults.node_budget;
             let mut inbox_cap = defaults.inbox_capacity;
+            let mut fault_plan = None;
+            let mut journal = None;
+            let mut resume = false;
+            let mut fsync_every = defaults.fsync_every;
+            let mut idle_reap = None;
+            let mut queue_watermark = None;
+            let mut memo_watermark = None;
             let mut metrics_out = None;
             let mut trace_out = None;
             // u64-valued flags (byte/node budgets) that must be ≥ 1.
@@ -605,6 +653,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--inbox-cap" => {
                         inbox_cap = positive_flag(&mut it, "serve", "--inbox-cap")?;
                     }
+                    "--fault-plan" => {
+                        fault_plan = Some(path_flag(&mut it, "serve", "--fault-plan")?);
+                    }
+                    "--journal" => journal = Some(path_flag(&mut it, "serve", "--journal")?),
+                    "--resume" => resume = true,
+                    "--fsync-every" => {
+                        fsync_every = positive_flag(&mut it, "serve", "--fsync-every")?;
+                    }
+                    "--idle-reap" => idle_reap = Some(positive_u64(&mut it, "--idle-reap")?),
+                    "--queue-watermark" => {
+                        queue_watermark =
+                            Some(positive_flag(&mut it, "serve", "--queue-watermark")?);
+                    }
+                    "--memo-watermark" => {
+                        memo_watermark = Some(positive_u64(&mut it, "--memo-watermark")?);
+                    }
                     "--metrics-out" => {
                         metrics_out = Some(path_flag(&mut it, "serve", "--metrics-out")?);
                     }
@@ -621,6 +685,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "serve: --socket, --replay, and --stdin are mutually exclusive".to_string(),
                 );
             }
+            if resume && journal.is_none() {
+                return Err("serve: --resume requires --journal DIR".to_string());
+            }
             Ok(Command::Serve {
                 socket,
                 replay,
@@ -628,6 +695,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 memo_budget,
                 node_budget,
                 inbox_cap,
+                fault_plan,
+                journal,
+                resume,
+                fsync_every,
+                idle_reap,
+                queue_watermark,
+                memo_watermark,
                 metrics_out,
                 trace_out,
             })
@@ -1191,15 +1265,44 @@ fn execute(cmd: &Command, out: &mut dyn Write) -> Result<i32, String> {
             memo_budget,
             node_budget,
             inbox_cap,
+            fault_plan,
+            journal,
+            resume,
+            fsync_every,
+            idle_reap,
+            queue_watermark,
+            memo_watermark,
             metrics_out,
             trace_out,
         } => {
             let obs = obs_for(metrics_out, trace_out, false);
+            let plan = match fault_plan {
+                Some(arg) => {
+                    // A path wins when it exists; otherwise the argument is
+                    // an inline `kind@frame[:args],...` (or JSON) spec.
+                    let text = match std::fs::read_to_string(arg) {
+                        Ok(contents) => contents,
+                        Err(_) => arg.clone(),
+                    };
+                    match tm_serve::FaultPlan::parse(&text) {
+                        Ok(plan) => plan,
+                        Err(e) => return Err(format!("serve: --fault-plan: {e}")),
+                    }
+                }
+                None => tm_serve::FaultPlan::new(),
+            };
             let config = tm_serve::ServeConfig {
                 max_sessions: *max_sessions,
                 memo_budget_bytes: *memo_budget,
                 inbox_capacity: *inbox_cap,
                 node_budget: *node_budget,
+                fault_plan: plan,
+                journal_dir: journal.as_ref().map(std::path::PathBuf::from),
+                resume: *resume,
+                fsync_every: *fsync_every,
+                idle_reap_turns: *idle_reap,
+                queue_watermark: *queue_watermark,
+                memo_watermark_bytes: *memo_watermark,
                 obs,
                 ..tm_serve::ServeConfig::default()
             };
@@ -2515,6 +2618,13 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             memo_budget: None,
             node_budget: 50_000,
             inbox_cap: 1024,
+            fault_plan: None,
+            journal: None,
+            resume: false,
+            fsync_every: 32,
+            idle_reap: None,
+            queue_watermark: None,
+            memo_watermark: None,
             metrics_out: None,
             trace_out: None,
         }
@@ -2540,6 +2650,13 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 memo_budget: Some(65_536),
                 node_budget: 50_000,
                 inbox_cap: 1024,
+                fault_plan: None,
+                journal: None,
+                resume: false,
+                fsync_every: 32,
+                idle_reap: None,
+                queue_watermark: None,
+                memo_watermark: None,
                 metrics_out: None,
                 trace_out: None,
             })
@@ -2555,6 +2672,13 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 memo_budget: None,
                 node_budget: 1000,
                 inbox_cap: 16,
+                fault_plan: None,
+                journal: None,
+                resume: false,
+                fsync_every: 32,
+                idle_reap: None,
+                queue_watermark: None,
+                memo_watermark: None,
                 metrics_out: None,
                 trace_out: None,
             })
@@ -2573,10 +2697,113 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             ("serve --bogus", "unknown flag"),
             ("serve --socket /tmp/s --replay f", "mutually exclusive"),
             ("serve --stdin --replay f", "mutually exclusive"),
+            ("serve --resume", "--resume requires --journal"),
+            ("serve --journal", "--journal needs a file path"),
+            ("serve --fault-plan", "--fault-plan needs a file path"),
+            ("serve --fsync-every 0", "--fsync-every needs a number ≥ 1"),
+            ("serve --idle-reap 0", "--idle-reap needs a number ≥ 1"),
+            (
+                "serve --queue-watermark 0",
+                "--queue-watermark needs a number ≥ 1",
+            ),
+            (
+                "serve --memo-watermark 0",
+                "--memo-watermark needs a number ≥ 1",
+            ),
         ] {
             let err = parse_args(&a(args)).unwrap_err();
             assert!(err.contains(needle), "{args}: {err}");
         }
+    }
+
+    #[test]
+    fn serve_robustness_flags_parse() {
+        let a = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        let parsed = parse_args(&a(
+            "serve --replay f.jsonl --fault-plan torn@3:10,crash@9 --journal /tmp/j \
+             --resume --fsync-every 8 --idle-reap 100 --queue-watermark 32 \
+             --memo-watermark 1048576",
+        ))
+        .unwrap();
+        match parsed {
+            Command::Serve {
+                fault_plan,
+                journal,
+                resume,
+                fsync_every,
+                idle_reap,
+                queue_watermark,
+                memo_watermark,
+                ..
+            } => {
+                assert_eq!(fault_plan.as_deref(), Some("torn@3:10,crash@9"));
+                assert_eq!(journal.as_deref(), Some("/tmp/j"));
+                assert!(resume);
+                assert_eq!(fsync_every, 8);
+                assert_eq!(idle_reap, Some(100));
+                assert_eq!(queue_watermark, Some(32));
+                assert_eq!(memo_watermark, Some(1_048_576));
+            }
+            other => panic!("parsed to {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_a_bad_fault_plan_spec() {
+        let stream = h1_frame_stream("fp");
+        let file = fixture("serve-bad-plan", &stream);
+        let mut cmd = serve_cmd(None, Some(file));
+        if let Command::Serve { fault_plan, .. } = &mut cmd {
+            *fault_plan = Some("explode@1".into());
+        }
+        let (code, out) = run_str(&cmd);
+        assert_eq!(code, 2);
+        assert!(out.contains("--fault-plan"), "{out}");
+        assert!(out.contains("explode"), "{out}");
+    }
+
+    #[test]
+    fn serve_crash_then_resume_continues_the_replay() {
+        // A fault plan kills the daemon mid-replay (exit 3); re-running the
+        // same file with --resume completes it, and the concatenated
+        // verdict stream matches an uninterrupted run exactly.
+        let stream = h1_frame_stream("cr");
+        let file = fixture("serve-crash-resume", &stream);
+        let journal =
+            std::env::temp_dir().join(format!("tmcheck-test-serve-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&journal);
+        let journal_s = journal.to_string_lossy().into_owned();
+
+        let (clean_code, clean_out) = run_str(&serve_cmd(None, Some(file.clone())));
+        assert_eq!(clean_code, 0);
+
+        let mut crashed = serve_cmd(None, Some(file.clone()));
+        if let Command::Serve {
+            fault_plan,
+            journal,
+            ..
+        } = &mut crashed
+        {
+            *fault_plan = Some("crash@5".into());
+            *journal = Some(journal_s.clone());
+        }
+        let (code1, out1) = run_str(&crashed);
+        assert_eq!(code1, 3, "injected crash must exit 3: {out1}");
+
+        let mut resumed = serve_cmd(None, Some(file));
+        if let Command::Serve {
+            journal, resume, ..
+        } = &mut resumed
+        {
+            *journal = Some(journal_s);
+            *resume = true;
+        }
+        let (code2, out2) = run_str(&resumed);
+        assert_eq!(code2, clean_code, "{out2}");
+        let stitched: Vec<&str> = out1.lines().chain(out2.lines()).collect();
+        let clean: Vec<&str> = clean_out.lines().collect();
+        assert_eq!(stitched, clean, "resume must continue byte-identically");
+        let _ = std::fs::remove_dir_all(&journal);
     }
 
     /// A recorded frame stream for H1 (violates at its last event).
@@ -2592,6 +2819,7 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
                 &tm_serve::ClientFrame::Feed {
                     session: session.to_string(),
                     event: e.clone(),
+                    seq: None,
                 },
             ));
         }
@@ -2639,6 +2867,13 @@ inv T2 y read\nret T2 y read 2\ntryC T2\nA T2\n";
             memo_budget: Some(1 << 20),
             node_budget: 50_000,
             inbox_cap: 1024,
+            fault_plan: None,
+            journal: None,
+            resume: false,
+            fsync_every: 32,
+            idle_reap: None,
+            queue_watermark: None,
+            memo_watermark: None,
             metrics_out: Some(metrics.to_string_lossy().into_owned()),
             trace_out: None,
         };

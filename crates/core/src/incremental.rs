@@ -114,6 +114,26 @@ impl<'a> OpacityMonitor<'a> {
         self
     }
 
+    /// Rebuilds a monitor from a previously accepted event prefix — the
+    /// crash-recovery path (`tm-serve --resume` replays each session's
+    /// journal through this). Every event is re-fed **silently**: verdicts
+    /// for these events were already delivered before the crash, so the
+    /// caller wants only the resulting monitor state. Sticky violations
+    /// and poisoning re-latch at the same indices they first appeared at,
+    /// and the check/skip counters end up exactly where an uninterrupted
+    /// monitor's would — verdicts are a pure function of the event stream,
+    /// so reconstructing the stream reconstructs the monitor.
+    pub fn recover(specs: &'a SpecRegistry, config: SearchConfig, events: &[Event]) -> Self {
+        let mut monitor = OpacityMonitor::new(specs).with_config(config);
+        for e in events {
+            // Outcomes latch internally (violated_at / poisoned); a
+            // poisoned monitor keeps recording history without checking,
+            // matching what the live feed path did before the crash.
+            let _ = monitor.feed(e.clone());
+        }
+        monitor
+    }
+
     /// Feeds one event and reports the verdict for the new prefix.
     ///
     /// Once a violation is detected it is sticky: all later verdicts repeat
@@ -175,6 +195,16 @@ impl<'a> OpacityMonitor<'a> {
     /// `(checks run, checks skipped by the invocation argument)`.
     pub fn check_counts(&self) -> (usize, usize) {
         (self.checks_run, self.checks_skipped)
+    }
+
+    /// The sticky first violation index, if any prefix was non-opaque.
+    pub fn violated_at(&self) -> Option<usize> {
+        self.violated_at
+    }
+
+    /// Whether a hard error (ill-formed feed, engine limit) is latched.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Statistics of the most recent search.
@@ -324,6 +354,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn recover_rebuilds_the_exact_monitor_state_at_every_prefix() {
+        // The crash-recovery contract tm-serve leans on: rebuilding from
+        // the first k events leaves a monitor that (a) reports the same
+        // latched state an uninterrupted monitor had after k events, and
+        // (b) produces byte-identical verdicts for everything after k.
+        for h in [paper::h5(), paper::h1()] {
+            let specs = regs();
+            let events = h.events();
+            for k in 0..=events.len() {
+                let mut live = OpacityMonitor::new(&specs);
+                for e in &events[..k] {
+                    let _ = live.feed(e.clone());
+                }
+                let mut resumed =
+                    OpacityMonitor::recover(&specs, SearchConfig::default(), &events[..k]);
+                assert_eq!(resumed.violated_at(), live.violated_at(), "{h} at {k}");
+                assert_eq!(resumed.is_poisoned(), live.is_poisoned());
+                assert_eq!(resumed.check_counts(), live.check_counts());
+                for (i, e) in events[k..].iter().enumerate() {
+                    let a = live.feed(e.clone());
+                    let b = resumed.feed(e.clone());
+                    assert_eq!(a.is_ok(), b.is_ok(), "{h} split {k} event {i}");
+                    if let (Ok(a), Ok(b)) = (a, b) {
+                        assert_eq!(a, b, "{h} split {k} event {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recover_relatches_poisoning_at_the_same_point() {
+        // An ill-formed stream (ret with no matching inv) poisons; the
+        // recovered monitor must be poisoned too, with matching counters.
+        let specs = regs();
+        let bad = Event::Ret {
+            tx: TxId(1),
+            obj: tm_model::ObjId::register(0),
+            op: tm_model::OpName::Read,
+            val: tm_model::Value::Int(0),
+        };
+        let mut live = OpacityMonitor::new(&specs);
+        assert!(live.feed(bad.clone()).is_err());
+        let resumed = OpacityMonitor::recover(&specs, SearchConfig::default(), &[bad]);
+        assert!(resumed.is_poisoned());
+        assert_eq!(resumed.check_counts(), live.check_counts());
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! A resilient tm-serve client: capped exponential backoff, seq-tagged
+//! idempotent resends, and reconnect-with-re-open recovery.
+//!
+//! The daemon's degradation surface (`busy` pushback with
+//! `retry_after_turns` hints, dropped connections, lost response frames)
+//! only adds up to a usable protocol if clients can drive it without
+//! double-feeding events. This module is that driver: a [`Client`] runs
+//! one session over any [`FrameLink`], tagging every feed with its `seq`
+//! so resends after a bounce, reconnect, or suspected response loss are
+//! idempotent (the daemon answers duplicates with `ack` and never feeds
+//! an event twice — the chaos suite pins the resulting exactly-once
+//! semantics against a fault-free reference run).
+//!
+//! [`FrameLink`] abstracts the wire so the same client logic runs over a
+//! real Unix socket ([`SocketLink`]) and over the chaos harness's
+//! in-memory link, which injects connection drops and response losses on
+//! a seeded schedule.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tm_model::Event;
+
+use crate::frame::{parse_server_frame, render_client_frame, ClientFrame, ServerFrame};
+
+/// A bidirectional frame pipe to the daemon.
+///
+/// `recv` is polling-style: `Ok(None)` means "no frame right now" (idle
+/// or EOF), not an error — the client uses repeated idleness as its
+/// response-loss heuristic. `backoff` lets daemon time pass: wall-clock
+/// sleep on a real socket, scheduler turns on an in-memory harness.
+pub trait FrameLink {
+    /// Sends one rendered frame line (without trailing newline).
+    fn send(&mut self, line: &str) -> io::Result<()>;
+    /// Receives one response frame line, or `Ok(None)` when idle.
+    fn recv(&mut self) -> io::Result<Option<String>>;
+    /// Tears down and re-establishes the connection (the daemon sees a
+    /// new connection; the client re-opens to re-bind its session).
+    fn reconnect(&mut self) -> io::Result<()>;
+    /// Lets `turns` scheduler turns' worth of daemon time pass.
+    fn backoff(&mut self, turns: u64);
+}
+
+/// Capped exponential backoff policy for [`Client`].
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// First retry waits this many turns.
+    pub base_turns: u64,
+    /// Exponential growth is clamped here.
+    pub cap_turns: u64,
+    /// Consecutive recoveries (bounces, reconnects, resends) without
+    /// progress before the client gives up.
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base_turns: 1,
+            cap_turns: 64,
+            max_attempts: 16,
+        }
+    }
+}
+
+impl Backoff {
+    /// The wait for the `attempt`-th consecutive retry (1-based).
+    fn turns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        self.base_turns
+            .checked_shl(shift)
+            .unwrap_or(self.cap_turns)
+            .min(self.cap_turns)
+            .max(1)
+    }
+}
+
+/// Why a [`Client`] run gave up.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The backoff policy's attempt budget ran out without progress.
+    Exhausted,
+    /// The daemon sent something the protocol does not allow here.
+    Protocol(String),
+    /// The session disappeared server-side before its summary arrived.
+    SessionLost,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Exhausted => write!(f, "retry budget exhausted"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::SessionLost => write!(f, "session lost before its summary"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Recovery counters a finished run reports (the chaos suite asserts the
+/// faults it injected actually exercised these paths).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkStats {
+    /// `busy` frames absorbed (backoff-then-resend cycles).
+    pub busy_bounces: u64,
+    /// Link-level reconnects (send/recv errors recovered).
+    pub reconnects: u64,
+    /// Resend sweeps triggered by suspected response loss.
+    pub resends: u64,
+    /// Duplicate feeds answered with `ack` (proof the daemon deduped).
+    pub acks: u64,
+}
+
+/// What one session run produced.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The response line for each event, indexed by `seq - 1`. `None`
+    /// means the response was lost in transit and the event was confirmed
+    /// via a later `ack` instead (the event was still fed exactly once).
+    pub responses: Vec<Option<String>>,
+    /// The rendered `closed` summary, when it arrived (`None` only if the
+    /// summary itself was lost and the daemon confirmed the session gone).
+    pub summary: Option<String>,
+    /// Recovery counters.
+    pub stats: LinkStats,
+}
+
+/// How many feeds the client keeps in flight beyond the last confirmed
+/// acceptance (enough to exercise inbox pressure, small enough that a
+/// bounce's resend sweep stays cheap).
+const SEND_WINDOW: usize = 8;
+
+/// Consecutive idle `recv`s before the client suspects a lost response
+/// and resends from its acceptance cursor.
+const IDLE_SUSPECT: u32 = 3;
+
+/// Runs sessions over a [`FrameLink`] with a [`Backoff`] policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Client {
+    /// The retry policy.
+    pub policy: Backoff,
+}
+
+impl Client {
+    /// A client with the given policy.
+    pub fn new(policy: Backoff) -> Self {
+        Client { policy }
+    }
+
+    /// Opens `id`, feeds every event seq-tagged, closes, and collects the
+    /// responses — recovering from `busy` bounces, connection failures,
+    /// and lost responses along the way. Returns when the `closed`
+    /// summary arrives (or the daemon confirms the session already
+    /// finished after the summary was lost).
+    pub fn run_session<L: FrameLink>(
+        &self,
+        link: &mut L,
+        id: &str,
+        events: &[Event],
+    ) -> Result<SessionOutcome, ClientError> {
+        let n = events.len();
+        let mut responses: Vec<Option<String>> = vec![None; n];
+        let mut stats = LinkStats::default();
+        // `accepted` = highest seq the daemon has confirmed taking;
+        // `sent` = highest seq we have put on the wire this connection.
+        let mut accepted = 0usize;
+        let mut sent = 0usize;
+        let mut opened = false;
+        let mut close_sent = false;
+        let mut close_ever_sent = false;
+        let mut attempts = 0u32;
+        let mut idle_spins = 0u32;
+        'outer: loop {
+            macro_rules! bump_attempts {
+                () => {{
+                    attempts += 1;
+                    if attempts > self.policy.max_attempts {
+                        return Err(ClientError::Exhausted);
+                    }
+                }};
+            }
+            macro_rules! recover_link {
+                () => {{
+                    bump_attempts!();
+                    stats.reconnects += 1;
+                    link.backoff(self.policy.turns(attempts));
+                    let _ = link.reconnect();
+                    opened = false;
+                    sent = accepted;
+                    close_sent = false;
+                    continue 'outer;
+                }};
+            }
+            if !opened {
+                let line = render_client_frame(&ClientFrame::Open {
+                    session: id.to_string(),
+                });
+                if link.send(&line).is_err() {
+                    recover_link!();
+                }
+                opened = true;
+            }
+            while sent < n && sent < accepted + SEND_WINDOW {
+                let line = render_client_frame(&ClientFrame::Feed {
+                    session: id.to_string(),
+                    event: events[sent].clone(),
+                    seq: Some(sent + 1),
+                });
+                if link.send(&line).is_err() {
+                    recover_link!();
+                }
+                sent += 1;
+            }
+            if sent == n && accepted == n && !close_sent {
+                let line = render_client_frame(&ClientFrame::Close {
+                    session: id.to_string(),
+                });
+                if link.send(&line).is_err() {
+                    recover_link!();
+                }
+                close_sent = true;
+                close_ever_sent = true;
+            }
+            let received = match link.recv() {
+                Ok(r) => r,
+                Err(_) => recover_link!(),
+            };
+            let Some(line) = received else {
+                idle_spins += 1;
+                if idle_spins >= IDLE_SUSPECT {
+                    idle_spins = 0;
+                    if accepted < sent {
+                        // Suspected lost responses: rewind the send cursor;
+                        // duplicates are answered with `ack`.
+                        bump_attempts!();
+                        stats.resends += 1;
+                        sent = accepted;
+                    } else if close_sent {
+                        bump_attempts!();
+                        close_sent = false; // resend the close
+                    } else {
+                        bump_attempts!();
+                        link.backoff(self.policy.turns(attempts));
+                    }
+                } else {
+                    link.backoff(1);
+                }
+                continue 'outer;
+            };
+            idle_spins = 0;
+            let frame = parse_server_frame(&line).map_err(|e| ClientError::Protocol(e.message))?;
+            match frame {
+                ServerFrame::Opened { .. } => {
+                    attempts = 0;
+                }
+                ServerFrame::Ack { seq, .. } => {
+                    stats.acks += 1;
+                    accepted = accepted.max(seq);
+                    attempts = 0;
+                }
+                ServerFrame::Verdict { seq, .. } => {
+                    accepted = accepted.max(seq);
+                    if (1..=n).contains(&seq) && responses[seq - 1].is_none() {
+                        responses[seq - 1] = Some(line);
+                    }
+                    attempts = 0;
+                }
+                ServerFrame::Busy {
+                    seq,
+                    retry_after_turns,
+                    ..
+                } => {
+                    stats.busy_bounces += 1;
+                    bump_attempts!();
+                    match seq {
+                        // The daemon rejected seq k: everything from k on
+                        // must be resent once the pressure clears.
+                        Some(k) => sent = sent.min(k.saturating_sub(1)),
+                        // A shed open: re-offer it after the wait.
+                        None => opened = false,
+                    }
+                    let turns = retry_after_turns.unwrap_or_else(|| self.policy.turns(attempts));
+                    link.backoff(turns.min(self.policy.cap_turns).max(1));
+                }
+                ServerFrame::Error {
+                    seq: Some(k),
+                    session: Some(_),
+                    message,
+                } => {
+                    if message.contains("seq gap") {
+                        // A pipelined feed landed after an earlier one
+                        // bounced (and the bounce was lost in flight): the
+                        // daemon consumed nothing. Rewind to the last
+                        // confirmed acceptance; duplicates are acked.
+                        bump_attempts!();
+                        stats.resends += 1;
+                        sent = accepted;
+                        link.backoff(self.policy.turns(attempts));
+                    } else {
+                        // A positioned error *is* event k's response (a
+                        // poisoned session's latched diagnosis): record it
+                        // and advance — the daemon has consumed that seq.
+                        accepted = accepted.max(k);
+                        if (1..=n).contains(&k) && responses[k - 1].is_none() {
+                            responses[k - 1] = Some(line);
+                        }
+                        attempts = 0;
+                    }
+                }
+                ServerFrame::Error {
+                    session: Some(_),
+                    seq: None,
+                    message,
+                } => {
+                    if message.contains("already open") {
+                        // A benign re-open race; the session is ours.
+                        opened = true;
+                    } else if message.contains("no open session")
+                        && close_ever_sent
+                        && accepted == n
+                    {
+                        // The summary was lost but the daemon confirms the
+                        // session finished; everything was fed exactly once.
+                        return Ok(SessionOutcome {
+                            responses,
+                            summary: None,
+                            stats,
+                        });
+                    } else {
+                        return Err(ClientError::Protocol(message));
+                    }
+                }
+                ServerFrame::Error {
+                    session: None,
+                    message,
+                    ..
+                } => return Err(ClientError::Protocol(message)),
+                ServerFrame::Closed { .. } => {
+                    return Ok(SessionOutcome {
+                        responses,
+                        summary: Some(line),
+                        stats,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// [`FrameLink`] over a real Unix-domain socket to a live daemon.
+///
+/// `recv` uses a short read timeout so idleness maps to `Ok(None)`;
+/// partial lines interrupted by the timeout are stitched back together
+/// across calls, so a slow daemon never causes a torn frame client-side.
+pub struct SocketLink {
+    path: PathBuf,
+    stream: Option<Conn>,
+    /// Partial line carried across timed-out reads.
+    pending: String,
+    /// `backoff(1)`'s wall-clock value.
+    turn: Duration,
+}
+
+struct Conn {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl SocketLink {
+    /// A link that dials the daemon socket at `path` (connects lazily on
+    /// the first send).
+    pub fn new(path: PathBuf) -> Self {
+        SocketLink {
+            path,
+            stream: None,
+            pending: String::new(),
+            turn: Duration::from_millis(2),
+        }
+    }
+
+    fn conn(&mut self) -> io::Result<&mut Conn> {
+        if self.stream.is_none() {
+            let writer = UnixStream::connect(&self.path)?;
+            writer.set_read_timeout(Some(Duration::from_millis(20)))?;
+            let read_half = writer.try_clone()?;
+            self.stream = Some(Conn {
+                reader: BufReader::new(read_half),
+                writer,
+            });
+        }
+        match self.stream.as_mut() {
+            Some(conn) => Ok(conn),
+            None => Err(io::Error::new(ErrorKind::NotConnected, "not connected")),
+        }
+    }
+}
+
+impl FrameLink for SocketLink {
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        let conn = self.conn()?;
+        match writeln!(conn.writer, "{line}") {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn recv(&mut self) -> io::Result<Option<String>> {
+        let Some(conn) = self.stream.as_mut() else {
+            return Err(io::Error::new(ErrorKind::NotConnected, "not connected"));
+        };
+        let mut chunk = String::new();
+        match conn.reader.read_line(&mut chunk) {
+            Ok(0) => {
+                if self.pending.is_empty() {
+                    Ok(None)
+                } else {
+                    // EOF inside a partial frame: surface what we have;
+                    // the parser will answer with an error frame's worth
+                    // of diagnostics client-side.
+                    Ok(Some(std::mem::take(&mut self.pending)))
+                }
+            }
+            Ok(_) => {
+                let mut full = std::mem::take(&mut self.pending);
+                full.push_str(chunk.trim_end_matches(['\n', '\r']));
+                if chunk.ends_with('\n') {
+                    Ok(Some(full))
+                } else {
+                    // Timed out mid-line on a previous call boundary:
+                    // stitch and wait for the rest.
+                    self.pending = full;
+                    Ok(None)
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                self.pending.push_str(chunk.trim_end_matches(['\n', '\r']));
+                Ok(None)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Ok(None),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = None;
+        self.pending.clear();
+        self.conn().map(|_| ())
+    }
+
+    fn backoff(&mut self, turns: u64) {
+        std::thread::sleep(self.turn.saturating_mul(turns.min(1000) as u32));
+    }
+}

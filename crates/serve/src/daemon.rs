@@ -24,14 +24,40 @@
 //! still exercising the same multiplexed scheduler the live transports
 //! use. The live transports (stdin, socket) cannot stall their input
 //! sources, so there `busy` frames carry the backpressure instead.
+//!
+//! ## Fault plane and crash recovery
+//!
+//! The stdin and replay loops thread every input line through a
+//! [`FaultDriver`] built from [`ServeConfig::fault_plan`], which can tear
+//! or drop lines, stall the scheduler, arm transient response-write
+//! failures, spike the memo/node budgets, or kill the daemon outright
+//! (exit code 3, journal flushed, no drain — the crash-recovery tests'
+//! guillotine). With `--journal DIR` the table logs accepted work as it
+//! happens; `--resume` rebuilds the table from that journal before
+//! serving, so a restarted daemon continues every interrupted session
+//! with unchanged `seq` numbering. Input errors degrade instead of
+//! aborting: transient kinds (`Interrupted`, `WouldBlock`) are retried a
+//! bounded number of times, hard errors end the input and trigger the
+//! normal drain — a broken pipe mid-stream loses no accepted work.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::mpsc;
 
+use crate::faults::{FaultDriver, LineFate};
 use crate::frame::{parse_client_frame, ClientFrame, ServerFrame};
+use crate::journal::{read_journal, JournalWriter};
 use crate::table::{Routed, ServeConfig, SessionTable};
+
+/// Process exit code for an injected [`crate::faults::Fault::Crash`]:
+/// distinguishable from a clean drain (0), a poisoned session (1), and a
+/// usage/IO failure (2), so harnesses can assert the guillotine fired.
+pub const CRASH_EXIT_CODE: i32 = 3;
+
+/// Consecutive transient input/output errors (`Interrupted`,
+/// `WouldBlock`) tolerated before the stream is treated as gone.
+const MAX_TRANSIENT_RETRIES: u32 = 64;
 
 /// Where the daemon reads client frames from.
 #[derive(Clone, Debug)]
@@ -51,7 +77,11 @@ pub enum Transport {
 fn apply(table: &mut SessionTable, frame: ClientFrame, conn: usize) -> (Vec<Routed>, bool) {
     match frame {
         ClientFrame::Open { session } => (table.open(&session, conn), false),
-        ClientFrame::Feed { session, event } => (table.feed(&session, event, conn), false),
+        ClientFrame::Feed {
+            session,
+            event,
+            seq,
+        } => (table.feed(&session, event, seq, conn), false),
         ClientFrame::Close { session } => (table.close(&session, conn), false),
         ClientFrame::Shutdown => (Vec::new(), true),
     }
@@ -75,6 +105,7 @@ fn apply_line(
                 conn,
                 frame: ServerFrame::Error {
                     session: None,
+                    seq: None,
                     message: format!("input line {lineno}: {}", e.message),
                 },
             }],
@@ -83,29 +114,98 @@ fn apply_line(
     }
 }
 
-fn emit(out: &mut dyn Write, frames: &[Routed]) -> io::Result<()> {
+/// Writes response frames, consulting the fault driver before each one: an
+/// armed transient write failure swallows that frame (the daemon carries
+/// on — a lost response is the client library's problem to recover, and
+/// seq-tagged resends make that safe). Real transient errors from the
+/// writer are retried a bounded number of times.
+fn emit(out: &mut dyn Write, driver: &mut FaultDriver, frames: &[Routed]) -> io::Result<()> {
     for r in frames {
-        writeln!(out, "{}", r.frame.render())?;
+        if driver.take_write_failure() {
+            continue;
+        }
+        let rendered = r.frame.render();
+        let mut retries = 0u32;
+        loop {
+            match writeln!(out, "{rendered}") {
+                Ok(()) => break,
+                Err(e)
+                    if matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock)
+                        && retries < MAX_TRANSIENT_RETRIES =>
+                {
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
     Ok(())
 }
 
+/// Builds the table a run starts from: resume from the journal when
+/// configured (then keep appending to it), otherwise start a fresh journal
+/// (when configured) or none at all. Errors here are startup failures —
+/// the caller exits 2 before serving anything.
+fn prepare(config: ServeConfig) -> Result<(SessionTable, FaultDriver), i32> {
+    let driver = FaultDriver::new(config.fault_plan.clone());
+    let journal_dir = config.journal_dir.clone();
+    let resume = config.resume;
+    let fsync_every = config.fsync_every;
+    let mut table = SessionTable::new(config);
+    if let Some(dir) = journal_dir {
+        if resume {
+            match read_journal(&dir) {
+                Ok(state) => {
+                    table.resume_from(&state);
+                }
+                Err(e) => {
+                    eprintln!(
+                        "tmcheck serve: cannot resume from journal in {}: {e}",
+                        dir.display()
+                    );
+                    return Err(2);
+                }
+            }
+        }
+        let writer = if resume {
+            JournalWriter::append_to(&dir, fsync_every)
+        } else {
+            JournalWriter::create(&dir, fsync_every)
+        };
+        match writer {
+            Ok(w) => table.attach_journal(w),
+            Err(e) => {
+                eprintln!(
+                    "tmcheck serve: cannot open journal in {}: {e}",
+                    dir.display()
+                );
+                return Err(2);
+            }
+        }
+    }
+    Ok((table, driver))
+}
+
 /// Runs the daemon until EOF/shutdown and returns the process exit code:
 /// 0 on a clean drain, 1 if any session was poisoned by a hard error, 2 on
-/// usage/IO failures (unreadable replay file, unbindable socket). For the
-/// single-stream transports all responses go to `out`; the socket
+/// usage/IO failures (unreadable replay file, unbindable socket, broken
+/// journal), [`CRASH_EXIT_CODE`] when an injected crash fault fires. For
+/// the single-stream transports all responses go to `out`; the socket
 /// transport writes to its connections and uses `out` only for the
 /// startup banner.
 pub fn run(transport: Transport, config: ServeConfig, out: &mut dyn Write) -> i32 {
     let obs = config.obs;
-    let mut table = SessionTable::new(config);
+    let (mut table, mut driver) = match prepare(config) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
     let code = match transport {
         Transport::Stdin => {
             let stdin = io::stdin();
-            run_stream(&mut table, stdin.lock(), out)
+            run_stream(&mut table, &mut driver, stdin.lock(), out)
         }
         Transport::Replay(path) => match std::fs::read_to_string(&path) {
-            Ok(text) => run_replay(&mut table, &text, out),
+            Ok(text) => run_replay(&mut table, &mut driver, &text, out),
             Err(e) => {
                 eprintln!(
                     "tmcheck serve: cannot read replay file {}: {e}",
@@ -120,30 +220,105 @@ pub fn run(transport: Transport, config: ServeConfig, out: &mut dyn Write) -> i3
     code
 }
 
+/// Runs the live single-stream loop over an arbitrary buffered reader —
+/// the stdin transport with the input source under test control (the
+/// transport-error and chaos suites inject failing readers here). Same
+/// exit-code contract as [`run`].
+pub fn run_reader(config: ServeConfig, input: impl BufRead, out: &mut dyn Write) -> i32 {
+    let (mut table, mut driver) = match prepare(config) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    run_stream(&mut table, &mut driver, input, out)
+}
+
 /// The live single-stream loop (stdin): one scheduler turn per input
-/// line, backpressure via `busy`, drain on EOF or `shutdown`.
-fn run_stream(table: &mut SessionTable, input: impl BufRead, out: &mut dyn Write) -> i32 {
+/// line, backpressure via `busy`, drain on EOF or `shutdown`. Transient
+/// read errors are retried; hard read errors end the input and trigger
+/// the normal drain (accepted work is never dropped on a broken input).
+fn run_stream(
+    table: &mut SessionTable,
+    driver: &mut FaultDriver,
+    mut input: impl BufRead,
+    out: &mut dyn Write,
+) -> i32 {
     let mut lineno = 0usize;
-    for line in input.lines() {
-        lineno += 1;
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
-                eprintln!("tmcheck serve: input error: {e}");
-                return 2;
+    let mut buf = String::new();
+    let mut transient = 0u32;
+    let mut eof = false;
+    while !eof {
+        // Read one line, accumulating across transient failures — a
+        // WouldBlock mid-line must not discard the prefix already read
+        // (`read_line` appends, so retrying completes the line in place).
+        let got_line = loop {
+            match input.read_line(&mut buf) {
+                Ok(0) => {
+                    eof = true;
+                    break !buf.is_empty();
+                }
+                Ok(_) => {
+                    transient = 0;
+                    break true;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock) => {
+                    transient += 1;
+                    if transient > MAX_TRANSIENT_RETRIES {
+                        eof = true;
+                        break !buf.is_empty();
+                    }
+                }
+                Err(e) => {
+                    // A hard input error ends the stream like EOF would;
+                    // the drain below still answers everything accepted.
+                    let note = [Routed {
+                        conn: 0,
+                        frame: ServerFrame::Error {
+                            session: None,
+                            seq: None,
+                            message: format!("input stream error: {e}"),
+                        },
+                    }];
+                    let _ = emit(out, driver, &note);
+                    eof = true;
+                    break !buf.is_empty();
+                }
             }
+        };
+        if !got_line {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim_end_matches(['\n', '\r']).to_string();
+        buf.clear();
+        let (pumped, fate) = driver.on_line(table, &line);
+        if emit(out, driver, &pumped).is_err() {
+            return 2; // the response stream is gone; nothing left to serve
+        }
+        let line = match fate {
+            LineFate::Deliver(l) => l,
+            LineFate::Skip => {
+                let turn = table.pump_one();
+                if emit(out, driver, &turn).is_err() {
+                    return 2;
+                }
+                continue;
+            }
+            LineFate::Crash => return CRASH_EXIT_CODE,
         };
         let (frames, shutdown) = apply_line(table, &line, lineno, 0);
         let turn = table.pump_one();
-        if emit(out, &frames).and_then(|()| emit(out, &turn)).is_err() {
-            return 2; // the response stream is gone; nothing left to serve
+        if emit(out, driver, &frames)
+            .and_then(|()| emit(out, driver, &turn))
+            .is_err()
+        {
+            return 2;
         }
         if shutdown {
             break;
         }
     }
     let last = table.drain_and_close_all();
-    if emit(out, &last).is_err() {
+    if emit(out, driver, &last).is_err() {
         return 2;
     }
     i32::from(table.any_poisoned())
@@ -151,15 +326,25 @@ fn run_stream(table: &mut SessionTable, input: impl BufRead, out: &mut dyn Write
 
 /// Drains a recorded frame stream deterministically (the engine behind
 /// `--replay`, callable on an in-memory string — the bench driver and the
-/// replay tests use this directly). Same exit-code contract as [`run`].
+/// replay/chaos tests use this directly). Same exit-code contract as
+/// [`run`]; honors `fault_plan`/`journal_dir`/`resume` from `config`.
 pub fn replay(config: ServeConfig, text: &str, out: &mut dyn Write) -> i32 {
-    let mut table = SessionTable::new(config);
-    run_replay(&mut table, text, out)
+    let (mut table, mut driver) = match prepare(config) {
+        Ok(pair) => pair,
+        Err(code) => return code,
+    };
+    run_replay(&mut table, &mut driver, text, out)
 }
 
 /// The offline deterministic loop: flow-controls full inboxes instead of
-/// emitting `busy`, so output is a pure function of the replay file.
-fn run_replay(table: &mut SessionTable, text: &str, out: &mut dyn Write) -> i32 {
+/// emitting `busy`, so output is a pure function of the replay file (and
+/// the fault plan, which is part of that function's input).
+fn run_replay(
+    table: &mut SessionTable,
+    driver: &mut FaultDriver,
+    text: &str,
+    out: &mut dyn Write,
+) -> i32 {
     let mut shutdown = false;
     for (i, line) in text.lines().enumerate() {
         if shutdown {
@@ -169,26 +354,45 @@ fn run_replay(table: &mut SessionTable, text: &str, out: &mut dyn Write) -> i32 
         if line.trim().is_empty() {
             continue;
         }
-        // Flow control: a feed into a full inbox waits for the scheduler
-        // instead of bouncing (deterministically — `pump_one` always
-        // checks at least one event of a runnable session).
-        if let Ok(ClientFrame::Feed { session, .. }) = parse_client_frame(line) {
+        let (pumped, fate) = driver.on_line(table, line);
+        if emit(out, driver, &pumped).is_err() {
+            return 2;
+        }
+        let line = match fate {
+            LineFate::Deliver(l) => l,
+            LineFate::Skip => {
+                let turn = table.pump_one();
+                if emit(out, driver, &turn).is_err() {
+                    return 2;
+                }
+                continue;
+            }
+            LineFate::Crash => return CRASH_EXIT_CODE,
+        };
+        // Flow control: a feed into a full inbox (or past the queue
+        // watermark) waits for the scheduler instead of bouncing
+        // (deterministically — `pump_one` always checks at least one
+        // event of a runnable session).
+        if let Ok(ClientFrame::Feed { session, .. }) = parse_client_frame(&line) {
             while !table.can_accept(&session) {
                 let turn = table.pump_one();
-                if emit(out, &turn).is_err() {
+                if emit(out, driver, &turn).is_err() {
                     return 2;
                 }
             }
         }
-        let (frames, stop) = apply_line(table, line, lineno, 0);
+        let (frames, stop) = apply_line(table, &line, lineno, 0);
         shutdown = stop;
         let turn = table.pump_one();
-        if emit(out, &frames).and_then(|()| emit(out, &turn)).is_err() {
+        if emit(out, driver, &frames)
+            .and_then(|()| emit(out, driver, &turn))
+            .is_err()
+        {
             return 2;
         }
     }
     let last = table.drain_and_close_all();
-    if emit(out, &last).is_err() {
+    if emit(out, driver, &last).is_err() {
         return 2;
     }
     i32::from(table.any_poisoned())
@@ -200,14 +404,48 @@ enum SocketMsg {
     Conn(UnixStream),
     /// One frame line from connection `conn`.
     Line(usize, String),
-    /// Connection `conn` reached EOF.
+    /// Connection `conn` reached EOF or a hard read error.
     Gone(usize),
+}
+
+/// The per-connection reader loop: forwards complete lines, retries
+/// transient errors a bounded number of times, forwards a final partial
+/// line without its newline (a torn frame — the parser answers with a
+/// positioned `error`), and reports `Gone` on EOF or hard errors. Never
+/// panics: a misbehaving client can at worst disconnect itself.
+fn run_conn_reader(conn: usize, read_half: UnixStream, tx: mpsc::Sender<SocketMsg>) {
+    let mut reader = BufReader::new(read_half);
+    let mut buf = String::new();
+    let mut transient = 0u32;
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => {
+                transient = 0;
+                let line = buf.trim_end_matches(['\n', '\r']).to_string();
+                if tx.send(SocketMsg::Line(conn, line)).is_err() {
+                    return;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock) => {
+                transient += 1;
+                if transient > MAX_TRANSIENT_RETRIES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = tx.send(SocketMsg::Gone(conn));
 }
 
 /// The Unix-socket transport: an acceptor thread plus one reader thread
 /// per connection feed a channel; this thread owns the table and the
 /// write halves, interleaving scheduler turns with frame ingest. Runs
-/// until a `shutdown` frame arrives on any connection.
+/// until a `shutdown` frame arrives on any connection. Peer failures
+/// degrade per-connection — a write error or disconnect marks that
+/// connection gone and the daemon serves on.
 fn run_socket(table: &mut SessionTable, path: &std::path::Path, out: &mut dyn Write) -> i32 {
     // A stale socket file from a previous run would make bind fail.
     let _ = std::fs::remove_file(path);
@@ -218,7 +456,12 @@ fn run_socket(table: &mut SessionTable, path: &std::path::Path, out: &mut dyn Wr
             return 2;
         }
     };
-    let _ = writeln!(out, "tm-serve/v1 listening on {}", path.display());
+    let _ = writeln!(
+        out,
+        "{} listening on {}",
+        crate::frame::PROTOCOL,
+        path.display()
+    );
     let _ = out.flush();
     let (tx, rx) = mpsc::channel::<SocketMsg>();
     {
@@ -237,11 +480,28 @@ fn run_socket(table: &mut SessionTable, path: &std::path::Path, out: &mut dyn Wr
     let mut line_counts: Vec<usize> = Vec::new();
     let route = |writers: &mut Vec<Option<UnixStream>>, frames: &[Routed]| {
         for r in frames {
-            let Some(Some(w)) = writers.get_mut(r.conn) else {
+            let Some(slot) = writers.get_mut(r.conn) else {
                 continue; // the session's connection is gone; drop the frame
             };
-            if writeln!(w, "{}", r.frame.render()).is_err() {
-                writers[r.conn] = None;
+            let Some(w) = slot.as_mut() else {
+                continue;
+            };
+            let rendered = r.frame.render();
+            let mut retries = 0u32;
+            loop {
+                match writeln!(w, "{rendered}") {
+                    Ok(()) => break,
+                    Err(e)
+                        if matches!(e.kind(), ErrorKind::Interrupted | ErrorKind::WouldBlock)
+                            && retries < MAX_TRANSIENT_RETRIES =>
+                    {
+                        retries += 1;
+                    }
+                    Err(_) => {
+                        *slot = None;
+                        break;
+                    }
+                }
             }
         }
     };
@@ -271,16 +531,7 @@ fn run_socket(table: &mut SessionTable, path: &std::path::Path, out: &mut dyn Wr
                         writers.push(Some(stream));
                         line_counts.push(0);
                         let tx = tx.clone();
-                        std::thread::spawn(move || {
-                            let reader = BufReader::new(read_half);
-                            for line in reader.lines() {
-                                let Ok(line) = line else { break };
-                                if tx.send(SocketMsg::Line(conn, line)).is_err() {
-                                    return;
-                                }
-                            }
-                            let _ = tx.send(SocketMsg::Gone(conn));
-                        });
+                        std::thread::spawn(move || run_conn_reader(conn, read_half, tx));
                     }
                     Err(_) => continue,
                 }
@@ -305,6 +556,7 @@ fn run_socket(table: &mut SessionTable, path: &std::path::Path, out: &mut dyn Wr
             }
         }
     }
+    table.journal_flush();
     let _ = std::fs::remove_file(path);
     i32::from(table.any_poisoned())
 }

@@ -1,4 +1,4 @@
-//! The `tm-serve/v1` wire protocol: versioned, line-delimited JSON frames.
+//! The `tm-serve/v1.1` wire protocol: versioned, line-delimited JSON frames.
 //!
 //! One frame per line, parsed and rendered through the hand-rolled
 //! [`tm_trace::Json`] document model (the same layer the trace format uses —
@@ -8,26 +8,34 @@
 //! ## Client → server
 //!
 //! ```json
-//! {"frame":"open","v":1,"session":"s1"}
-//! {"frame":"feed","session":"s1","event":{"kind":"inv","tx":1,"obj":"x","op":"read"}}
+//! {"frame":"open","v":1,"minor":1,"session":"s1"}
+//! {"frame":"feed","session":"s1","event":{"kind":"inv","tx":1,"obj":"x","op":"read"},"seq":4}
 //! {"frame":"close","session":"s1"}
 //! {"frame":"shutdown"}
 //! ```
 //!
-//! `open` carries the protocol version (`"v":1`); the other client frames
-//! are version-bound by their session. `shutdown` asks the daemon to drain
-//! every in-flight session and exit (the line-oriented stand-in for a
-//! signal: the workspace forbids `unsafe`, so no signal handler can be
-//! installed — EOF on stdin/replay input drains identically).
+//! `open` carries the protocol version (`"v":1`, minor `1`); the other
+//! client frames are version-bound by their session. Re-`open`ing an
+//! already-open session from a *different* connection re-binds the session
+//! to that connection — the reconnect path; from the same connection it
+//! stays an error. `feed` may tag the event with its 1-based `seq` within
+//! the session's stream: a tagged feed is **idempotent** (a duplicate of an
+//! already-accepted `seq` is answered with `ack` instead of being fed
+//! twice), which is what makes client-side resend after a lost response
+//! safe. `shutdown` asks the daemon to drain every in-flight session and
+//! exit (the line-oriented stand-in for a signal: the workspace forbids
+//! `unsafe`, so no signal handler can be installed — EOF on stdin/replay
+//! input drains identically).
 //!
 //! ## Server → client
 //!
 //! ```json
-//! {"frame":"opened","v":1,"session":"s1"}
+//! {"frame":"opened","v":1,"minor":1,"session":"s1"}
 //! {"frame":"verdict","session":"s1","seq":3,"verdict":"opaque"}
 //! {"frame":"verdict","session":"s1","seq":7,"verdict":"violated","at":6}
-//! {"frame":"busy","session":"s1","inbox":1024}
-//! {"frame":"error","session":"s1","message":"..."}
+//! {"frame":"ack","session":"s1","seq":4}
+//! {"frame":"busy","session":"s1","inbox":1024,"seq":9,"retry_after_turns":3}
+//! {"frame":"error","session":"s1","seq":2,"message":"..."}
 //! {"frame":"closed","session":"s1","events":9,"checks":4,"violated_at":6,"poisoned":false}
 //! ```
 //!
@@ -40,22 +48,40 @@
 //! session's own event stream — never of what other multiplexed sessions
 //! are doing — which is the byte-identity contract the replay tests pin.
 //!
+//! v1.1 additions (all additive; a v1 frame still parses):
+//!
+//! * `busy` carries the rejected event's would-be `seq` (resend precisely
+//!   from there) and, when the overload governor is shedding, a
+//!   `retry_after_turns` hint;
+//! * `ack` answers a duplicate seq-tagged feed: events through `seq` are
+//!   already accepted (their verdicts may have been lost in flight);
+//! * session-scoped `error` frames caused by a specific event carry that
+//!   event's `seq` (positioned errors);
+//! * `closed` carries `"reaped":true` when the session was closed by the
+//!   idle-deadline reaper rather than a client `close`.
+//!
 //! Schema evolution follows the workspace rule: versions only increment,
 //! fields are only added, never repurposed.
 
 use tm_model::Event;
 use tm_trace::{event_from_doc, event_to_doc, Json, ParseError};
 
-/// The protocol version spoken by this build (the `"v"` of `open`/`opened`).
+/// The protocol major version (the `"v"` of `open`/`opened`).
 pub const PROTOCOL_VERSION: i64 = 1;
 
+/// The protocol minor version (the `"minor"` of `open`/`opened`): additive
+/// schema revisions within a major version. Frames without the field are
+/// minor 0.
+pub const PROTOCOL_MINOR: i64 = 1;
+
 /// The protocol identifier (for banners and artifact metadata).
-pub const PROTOCOL: &str = "tm-serve/v1";
+pub const PROTOCOL: &str = "tm-serve/v1.1";
 
 /// A parsed client-side frame.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ClientFrame {
-    /// Open a new session under a client-chosen identifier.
+    /// Open a new session under a client-chosen identifier (or re-bind an
+    /// open session to a new connection after a reconnect).
     Open {
         /// The session identifier (any non-empty string).
         session: String,
@@ -66,6 +92,10 @@ pub enum ClientFrame {
         session: String,
         /// The event, in the trace format's wire shape.
         event: Event,
+        /// The event's 1-based sequence number, when the client wants
+        /// idempotent delivery (duplicates answered with `ack`, gaps
+        /// rejected). Untagged feeds are accepted in arrival order.
+        seq: Option<usize>,
     },
     /// Close a session: its remaining inbox is drained, a `closed` summary
     /// frame is emitted, and its resources are released.
@@ -75,6 +105,14 @@ pub enum ClientFrame {
     },
     /// Drain every in-flight session and exit.
     Shutdown,
+}
+
+fn opt_seq(doc: &Json, key: &str) -> Result<Option<usize>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(Json::Int(v)) if *v >= 1 => Ok(Some(*v as usize)),
+        Some(_) => Err(format!("`{key}` must be a positive integer")),
+    }
 }
 
 /// Parses one client frame from one input line.
@@ -105,6 +143,8 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, ParseError> {
                 }
                 _ => return Err(frame_err("missing integer `v` field".into())),
             }
+            // `minor` is advisory: minors are additive, so any minor of a
+            // supported major parses (v1 frames simply omit the field).
             Ok(ClientFrame::Open {
                 session: session_of(&doc)?,
             })
@@ -114,9 +154,11 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, ParseError> {
             let event_doc = doc
                 .get("event")
                 .ok_or_else(|| frame_err("missing `event` field".into()))?;
+            let seq = opt_seq(&doc, "seq").map_err(&frame_err)?;
             Ok(ClientFrame::Feed {
                 session,
                 event: event_from_doc(event_doc)?,
+                seq,
             })
         }
         "close" => Ok(ClientFrame::Close {
@@ -127,8 +169,8 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, ParseError> {
     }
 }
 
-/// Renders a client frame as its wire line (used by the bench driver and
-/// fixture tooling; the daemon only parses this direction).
+/// Renders a client frame as its wire line (used by the client library,
+/// the bench driver, and fixture tooling).
 pub fn render_client_frame(frame: &ClientFrame) -> String {
     let doc = match frame {
         ClientFrame::Open { session } => Json::Obj(
@@ -136,17 +178,25 @@ pub fn render_client_frame(frame: &ClientFrame) -> String {
             vec![
                 ("frame".into(), Json::Str("open".into())),
                 ("v".into(), Json::Int(PROTOCOL_VERSION)),
+                ("minor".into(), Json::Int(PROTOCOL_MINOR)),
                 ("session".into(), Json::Str(session.clone())),
             ],
         ),
-        ClientFrame::Feed { session, event } => Json::Obj(
-            0,
-            vec![
+        ClientFrame::Feed {
+            session,
+            event,
+            seq,
+        } => {
+            let mut fields = vec![
                 ("frame".into(), Json::Str("feed".into())),
                 ("session".into(), Json::Str(session.clone())),
                 ("event".into(), event_to_doc(event)),
-            ],
-        ),
+            ];
+            if let Some(seq) = seq {
+                fields.push(("seq".into(), Json::Int(*seq as i64)));
+            }
+            Json::Obj(0, fields)
+        }
         ClientFrame::Close { session } => Json::Obj(
             0,
             vec![
@@ -162,7 +212,7 @@ pub fn render_client_frame(frame: &ClientFrame) -> String {
 /// A server-side frame, ready to render.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ServerFrame {
-    /// Acknowledges `open`.
+    /// Acknowledges `open` (including a reconnect re-bind).
     Opened {
         /// The session identifier.
         session: String,
@@ -178,19 +228,36 @@ pub enum ServerFrame {
         /// First violation index (0-based), present iff violated.
         at: Option<usize>,
     },
-    /// Backpressure: the session's inbox is full and the frame was NOT
-    /// accepted — the client must resend after the daemon catches up.
+    /// Answers a duplicate seq-tagged feed: events through `seq` are
+    /// already accepted, nothing was fed twice.
+    Ack {
+        /// The session identifier.
+        session: String,
+        /// Events accepted so far (the session's acceptance cursor).
+        seq: usize,
+    },
+    /// Backpressure: the frame was NOT accepted — the client must resend
+    /// after the daemon catches up.
     Busy {
         /// The session identifier.
         session: String,
-        /// The inbox bound that was hit.
+        /// The inbox bound in force.
         inbox: usize,
+        /// The rejected event's would-be 1-based `seq` — resend from here.
+        /// Absent when the rejected frame was an `open`.
+        seq: Option<usize>,
+        /// Overload-governor hint: scheduler turns to back off before
+        /// resending. Absent on plain inbox backpressure.
+        retry_after_turns: Option<u64>,
     },
     /// A session-scoped or stream-scoped error. Frame-level errors carry no
     /// session; feed errors on a poisoned session repeat its latched error.
     Error {
         /// The session, when the error is session-scoped.
         session: Option<String>,
+        /// The 1-based `seq` of the event that caused the error, when the
+        /// error is positioned on a specific accepted event.
+        seq: Option<usize>,
         /// Human-readable description.
         message: String,
     },
@@ -206,6 +273,9 @@ pub enum ServerFrame {
         violated_at: Option<usize>,
         /// Whether the session was poisoned by a hard error.
         poisoned: bool,
+        /// Whether the idle-deadline reaper (not a client `close`) ended
+        /// the session.
+        reaped: bool,
     },
 }
 
@@ -218,6 +288,7 @@ impl ServerFrame {
                 vec![
                     ("frame".into(), Json::Str("opened".into())),
                     ("v".into(), Json::Int(PROTOCOL_VERSION)),
+                    ("minor".into(), Json::Int(PROTOCOL_MINOR)),
                     ("session".into(), Json::Str(session.clone())),
                 ],
             ),
@@ -238,18 +309,44 @@ impl ServerFrame {
                 }
                 Json::Obj(0, fields)
             }
-            ServerFrame::Busy { session, inbox } => Json::Obj(
+            ServerFrame::Ack { session, seq } => Json::Obj(
                 0,
                 vec![
+                    ("frame".into(), Json::Str("ack".into())),
+                    ("session".into(), Json::Str(session.clone())),
+                    ("seq".into(), Json::Int(*seq as i64)),
+                ],
+            ),
+            ServerFrame::Busy {
+                session,
+                inbox,
+                seq,
+                retry_after_turns,
+            } => {
+                let mut fields = vec![
                     ("frame".into(), Json::Str("busy".into())),
                     ("session".into(), Json::Str(session.clone())),
                     ("inbox".into(), Json::Int(*inbox as i64)),
-                ],
-            ),
-            ServerFrame::Error { session, message } => {
+                ];
+                if let Some(seq) = seq {
+                    fields.push(("seq".into(), Json::Int(*seq as i64)));
+                }
+                if let Some(turns) = retry_after_turns {
+                    fields.push(("retry_after_turns".into(), Json::Int(*turns as i64)));
+                }
+                Json::Obj(0, fields)
+            }
+            ServerFrame::Error {
+                session,
+                seq,
+                message,
+            } => {
                 let mut fields = vec![("frame".into(), Json::Str("error".into()))];
                 if let Some(session) = session {
                     fields.push(("session".into(), Json::Str(session.clone())));
+                }
+                if let Some(seq) = seq {
+                    fields.push(("seq".into(), Json::Int(*seq as i64)));
                 }
                 fields.push(("message".into(), Json::Str(message.clone())));
                 Json::Obj(0, fields)
@@ -260,6 +357,7 @@ impl ServerFrame {
                 checks,
                 violated_at,
                 poisoned,
+                reaped,
             } => {
                 let mut fields = vec![
                     ("frame".into(), Json::Str("closed".into())),
@@ -271,10 +369,111 @@ impl ServerFrame {
                     fields.push(("violated_at".into(), Json::Int(*at as i64)));
                 }
                 fields.push(("poisoned".into(), Json::Bool(*poisoned)));
+                if *reaped {
+                    fields.push(("reaped".into(), Json::Bool(true)));
+                }
                 Json::Obj(0, fields)
             }
         };
         doc.to_compact_string()
+    }
+}
+
+/// Parses one server frame from one response line — the client library's
+/// half of the protocol. Accepts both v1 and v1.1 renders (every v1.1
+/// field is optional on parse).
+pub fn parse_server_frame(line: &str) -> Result<ServerFrame, ParseError> {
+    let doc = Json::parse(line)?;
+    let frame_err = |msg: String| ParseError {
+        line: doc.line(),
+        message: format!("invalid server frame: {msg}"),
+    };
+    let Some(Json::Str(kind)) = doc.get("frame") else {
+        return Err(frame_err("missing string `frame` field".into()));
+    };
+    let session_of = |doc: &Json| -> Result<String, ParseError> {
+        match doc.get("session") {
+            Some(Json::Str(s)) if !s.is_empty() => Ok(s.clone()),
+            _ => Err(frame_err("missing string `session` field".into())),
+        }
+    };
+    let int_of = |doc: &Json, key: &str| -> Result<usize, ParseError> {
+        match doc.get(key) {
+            Some(Json::Int(v)) if *v >= 0 => Ok(*v as usize),
+            _ => Err(frame_err(format!("missing integer `{key}` field"))),
+        }
+    };
+    match kind.as_str() {
+        "opened" => Ok(ServerFrame::Opened {
+            session: session_of(&doc)?,
+        }),
+        "verdict" => {
+            let verdict = match doc.get("verdict") {
+                Some(Json::Str(s)) => match s.as_str() {
+                    "opaque" => "opaque",
+                    "opaque_skip" => "opaque_skip",
+                    "violated" => "violated",
+                    other => return Err(frame_err(format!("unknown verdict `{other}`"))),
+                },
+                _ => return Err(frame_err("missing string `verdict` field".into())),
+            };
+            let at = match doc.get("at") {
+                Some(Json::Int(v)) if *v >= 0 => Some(*v as usize),
+                None => None,
+                Some(_) => return Err(frame_err("`at` must be a non-negative integer".into())),
+            };
+            Ok(ServerFrame::Verdict {
+                session: session_of(&doc)?,
+                seq: int_of(&doc, "seq")?,
+                verdict,
+                at,
+            })
+        }
+        "ack" => Ok(ServerFrame::Ack {
+            session: session_of(&doc)?,
+            seq: int_of(&doc, "seq")?,
+        }),
+        "busy" => Ok(ServerFrame::Busy {
+            session: session_of(&doc)?,
+            inbox: int_of(&doc, "inbox")?,
+            seq: opt_seq(&doc, "seq").map_err(&frame_err)?,
+            retry_after_turns: match doc.get("retry_after_turns") {
+                Some(Json::Int(v)) if *v >= 0 => Some(*v as u64),
+                None => None,
+                Some(_) => {
+                    return Err(frame_err(
+                        "`retry_after_turns` must be a non-negative integer".into(),
+                    ))
+                }
+            },
+        }),
+        "error" => {
+            let session = match doc.get("session") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            };
+            let message = match doc.get("message") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => return Err(frame_err("missing string `message` field".into())),
+            };
+            Ok(ServerFrame::Error {
+                session,
+                seq: opt_seq(&doc, "seq").map_err(&frame_err)?,
+                message,
+            })
+        }
+        "closed" => Ok(ServerFrame::Closed {
+            session: session_of(&doc)?,
+            events: int_of(&doc, "events")?,
+            checks: int_of(&doc, "checks")?,
+            violated_at: match doc.get("violated_at") {
+                Some(Json::Int(v)) if *v >= 0 => Some(*v as usize),
+                _ => None,
+            },
+            poisoned: matches!(doc.get("poisoned"), Some(Json::Bool(true))),
+            reaped: matches!(doc.get("reaped"), Some(Json::Bool(true))),
+        }),
+        other => Err(frame_err(format!("unknown frame kind `{other}`"))),
     }
 }
 
@@ -292,6 +491,12 @@ mod tests {
             ClientFrame::Feed {
                 session: "s1".into(),
                 event: Event::TryCommit(TxId(3)),
+                seq: None,
+            },
+            ClientFrame::Feed {
+                session: "s1".into(),
+                event: Event::TryCommit(TxId(3)),
+                seq: Some(7),
             },
             ClientFrame::Close {
                 session: "s1".into(),
@@ -301,6 +506,103 @@ mod tests {
         for f in frames {
             let line = render_client_frame(&f);
             assert_eq!(parse_client_frame(&line).unwrap(), f, "{line}");
+        }
+    }
+
+    #[test]
+    fn v1_frames_still_parse_under_v1_1() {
+        // Exactly the bytes a v1 peer renders: no `minor`, no `seq`, no
+        // `retry_after_turns`, no `reaped`. All must parse, defaulting the
+        // v1.1 fields.
+        let open = parse_client_frame(r#"{"frame":"open","v":1,"session":"s"}"#).unwrap();
+        assert_eq!(
+            open,
+            ClientFrame::Open {
+                session: "s".into()
+            }
+        );
+        let feed = parse_client_frame(
+            r#"{"frame":"feed","session":"s","event":{"kind":"try_commit","tx":3}}"#,
+        )
+        .unwrap();
+        assert!(matches!(feed, ClientFrame::Feed { seq: None, .. }));
+        let opened = parse_server_frame(r#"{"frame":"opened","v":1,"session":"s"}"#).unwrap();
+        assert_eq!(
+            opened,
+            ServerFrame::Opened {
+                session: "s".into()
+            }
+        );
+        let busy = parse_server_frame(r#"{"frame":"busy","session":"s","inbox":1024}"#).unwrap();
+        assert_eq!(
+            busy,
+            ServerFrame::Busy {
+                session: "s".into(),
+                inbox: 1024,
+                seq: None,
+                retry_after_turns: None,
+            }
+        );
+        let error = parse_server_frame(r#"{"frame":"error","session":"s","message":"m"}"#).unwrap();
+        assert_eq!(
+            error,
+            ServerFrame::Error {
+                session: Some("s".into()),
+                seq: None,
+                message: "m".into(),
+            }
+        );
+        let closed = parse_server_frame(
+            r#"{"frame":"closed","session":"s","events":9,"checks":4,"poisoned":false}"#,
+        )
+        .unwrap();
+        assert!(matches!(closed, ServerFrame::Closed { reaped: false, .. }));
+    }
+
+    #[test]
+    fn server_frames_roundtrip_through_render_and_parse() {
+        let frames = [
+            ServerFrame::Opened {
+                session: "s1".into(),
+            },
+            ServerFrame::Verdict {
+                session: "s1".into(),
+                seq: 7,
+                verdict: "violated",
+                at: Some(6),
+            },
+            ServerFrame::Ack {
+                session: "s1".into(),
+                seq: 4,
+            },
+            ServerFrame::Busy {
+                session: "s1".into(),
+                inbox: 8,
+                seq: Some(9),
+                retry_after_turns: Some(3),
+            },
+            ServerFrame::Error {
+                session: Some("s1".into()),
+                seq: Some(2),
+                message: "boom".into(),
+            },
+            ServerFrame::Error {
+                session: None,
+                seq: None,
+                message: "input line 3: bad".into(),
+            },
+            ServerFrame::Closed {
+                session: "s1".into(),
+                events: 9,
+                checks: 4,
+                violated_at: Some(6),
+                poisoned: false,
+                reaped: true,
+            },
+        ];
+        for f in frames {
+            let line = f.render();
+            assert_eq!(parse_server_frame(&line).unwrap(), f, "{line}");
         }
     }
 
@@ -324,9 +626,21 @@ mod tests {
                 r#"{"frame":"feed","session":"s","event":{"kind":"zap"}}"#,
                 "unknown event kind",
             ),
+            (
+                r#"{"frame":"feed","session":"s","event":{"kind":"try_commit","tx":3},"seq":0}"#,
+                "positive integer",
+            ),
             ("not json", "invalid keyword"),
         ] {
             let e = parse_client_frame(bad).unwrap_err();
+            assert!(e.message.contains(needle), "{bad}: {e}");
+        }
+        for (bad, needle) in [
+            (r#"{"frame":"warble"}"#, "unknown frame kind"),
+            (r#"{"frame":"verdict","session":"s","seq":1}"#, "verdict"),
+            (r#"{"frame":"closed","session":"s"}"#, "missing integer"),
+        ] {
+            let e = parse_server_frame(bad).unwrap_err();
             assert!(e.message.contains(needle), "{bad}: {e}");
         }
     }
@@ -353,6 +667,8 @@ mod tests {
             .render(),
             r#"{"frame":"verdict","session":"s1","seq":1,"verdict":"opaque_skip"}"#
         );
+        // v1.1 fields stay off the wire when unset, so a `closed` without
+        // a reap and a `busy` without a hint render exactly their v1 bytes.
         assert_eq!(
             ServerFrame::Closed {
                 session: "s".into(),
@@ -360,13 +676,25 @@ mod tests {
                 checks: 4,
                 violated_at: None,
                 poisoned: false,
+                reaped: false,
             }
             .render(),
             r#"{"frame":"closed","session":"s","events":9,"checks":4,"poisoned":false}"#
         );
         assert_eq!(
+            ServerFrame::Busy {
+                session: "s".into(),
+                inbox: 8,
+                seq: Some(3),
+                retry_after_turns: None,
+            }
+            .render(),
+            r#"{"frame":"busy","session":"s","inbox":8,"seq":3}"#
+        );
+        assert_eq!(
             ServerFrame::Error {
                 session: None,
+                seq: None,
                 message: "line 3: bad".into(),
             }
             .render(),

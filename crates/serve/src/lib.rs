@@ -8,16 +8,26 @@
 //!
 //! The crate splits along that pipeline:
 //!
-//! * [`frame`] — the versioned `tm-serve/v1` wire protocol: line-delimited
-//!   JSON frames (`open`/`feed`/`close`/`shutdown` in,
-//!   `opened`/`verdict`/`busy`/`error`/`closed` out), built on the
+//! * [`frame`] — the versioned `tm-serve/v1.1` wire protocol:
+//!   line-delimited JSON frames (`open`/`feed`/`close`/`shutdown` in,
+//!   `opened`/`verdict`/`ack`/`busy`/`error`/`closed` out), built on the
 //!   hand-rolled [`tm_trace::Json`] document model;
 //! * [`table`] — the [`SessionTable`]: fair round-robin scheduling under a
 //!   per-turn node budget, aggregate memory governance (a global memo-byte
 //!   ceiling apportioned across sessions via the monitors' sound
-//!   `set_memo_capacity` hook), and bounded-inbox backpressure;
+//!   `set_memo_capacity` hook), bounded-inbox backpressure, overload
+//!   shedding, idle reaping, and the journal hooks;
+//! * [`journal`] — the append-only, fsync-batched session journal and its
+//!   torn-tail-tolerant reader, the substrate of `--journal`/`--resume`
+//!   crash recovery;
+//! * [`faults`] — the seeded fault plane ([`faults::FaultPlan`] /
+//!   [`faults::FaultDriver`]): torn and dropped frames, stalls, transient
+//!   write failures, budget spikes, and an injected crash, schedulable
+//!   from `--fault-plan` and from the chaos tests;
 //! * [`daemon`] — the transports (stdin, offline `--replay` for CI, a Unix
-//!   socket) and the graceful drain that ends every run.
+//!   socket) and the graceful drain that ends every run;
+//! * [`client`] — the resilient client library: seq-tagged idempotent
+//!   resends, capped exponential backoff, reconnect-and-re-open recovery.
 //!
 //! ## The one invariant
 //!
@@ -33,16 +43,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod daemon;
+pub mod faults;
 pub mod frame;
+pub mod journal;
 pub mod table;
 
 mod session;
 
-pub use daemon::{replay, run, Transport};
+pub use client::{Backoff, Client, ClientError, FrameLink, SessionOutcome, SocketLink};
+pub use daemon::{replay, run, run_reader, Transport, CRASH_EXIT_CODE};
+pub use faults::{Fault, FaultDriver, FaultKind, FaultPlan, LineFate};
 pub use frame::{
-    parse_client_frame, render_client_frame, ClientFrame, ServerFrame, PROTOCOL, PROTOCOL_VERSION,
+    parse_client_frame, parse_server_frame, render_client_frame, ClientFrame, ServerFrame,
+    PROTOCOL, PROTOCOL_MINOR, PROTOCOL_VERSION,
 };
+pub use journal::{read_journal, JournalState, JournalWriter};
 pub use table::{Routed, ServeConfig, SessionTable, EST_ENTRY_BYTES, MIN_MEMO_CAP};
 
 use std::sync::OnceLock;

@@ -9,7 +9,9 @@
 //! inbox drains), memory governance (what `memo_capacity` the monitor runs
 //! under), and backpressure (whether a `feed` was accepted at all) can
 //! change *when* verdicts appear and how much work they cost, never what
-//! they say.
+//! they say. That purity is also what makes crash recovery sound: a
+//! session rebuilt by [`Session::recover`] from its journaled event prefix
+//! is indistinguishable from the one the crash destroyed.
 
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -39,8 +41,16 @@ pub(crate) struct Session {
     pub(crate) poisoned: bool,
     /// Sticky first violation index, mirrored from the monitor's verdicts.
     violated_at: Option<usize>,
-    /// Transport routing tag (which connection opened the session).
+    /// Transport routing tag (which connection opened the session; re-bound
+    /// when the client reconnects and re-opens).
     pub(crate) conn: usize,
+    /// Scheduler-clock value of the session's last activity (open, accepted
+    /// feed, or a turn that drained inbox work) — the idle reaper's input.
+    pub(crate) last_active: u64,
+    /// The response cursor last written to the journal (events answered).
+    pub(crate) journaled_cursor: usize,
+    /// Set by the idle reaper so the summary carries `"reaped":true`.
+    pub(crate) reaped: bool,
 }
 
 impl Session {
@@ -56,12 +66,56 @@ impl Session {
             poisoned: false,
             violated_at: None,
             conn,
+            last_active: 0,
+            journaled_cursor: 0,
+            reaped: false,
+        }
+    }
+
+    /// Rebuilds a session from its journaled state: the first `checked`
+    /// events are re-fed silently through a fresh monitor (their response
+    /// frames were delivered before the crash), the rest re-enter the
+    /// inbox to be answered normally. `accepted` counts every journaled
+    /// event, so `seq` numbering continues exactly where it stopped.
+    pub(crate) fn recover(
+        id: String,
+        conn: usize,
+        search: SearchConfig,
+        events: Vec<Event>,
+        checked: usize,
+    ) -> Self {
+        let checked = checked.min(events.len());
+        let monitor = OpacityMonitor::recover(specs(), search, &events[..checked]);
+        let inbox: VecDeque<Event> = events[checked..].iter().cloned().collect();
+        Session {
+            id,
+            poisoned: monitor.is_poisoned(),
+            violated_at: monitor.violated_at(),
+            monitor,
+            inbox,
+            accepted: events.len(),
+            closing: false,
+            conn,
+            last_active: 0,
+            journaled_cursor: checked,
+            reaped: false,
         }
     }
 
     /// Memo entries resident in the session's search core (telemetry).
     pub(crate) fn memo_resident(&self) -> usize {
         self.monitor.memo_resident()
+    }
+
+    /// Events accepted over the session's lifetime.
+    pub(crate) fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Events already answered with a response frame (the journal's `ck`
+    /// cursor): everything accepted that is no longer in the inbox.
+    pub(crate) fn response_cursor(&self) -> usize {
+        self.accepted - self.inbox.len()
     }
 
     /// Queues one event (capacity is enforced by the caller — the table
@@ -88,6 +142,7 @@ impl Session {
             return Some((
                 ServerFrame::Error {
                     session: Some(self.id.clone()),
+                    seq: Some(seq),
                     message: "session poisoned by an earlier error".into(),
                 },
                 0,
@@ -135,6 +190,7 @@ impl Session {
                 Some((
                     ServerFrame::Error {
                         session: Some(self.id.clone()),
+                        seq: Some(seq),
                         message: err.to_string(),
                     },
                     0,
@@ -152,6 +208,7 @@ impl Session {
             checks,
             violated_at: self.violated_at,
             poisoned: self.poisoned,
+            reaped: self.reaped,
         }
     }
 }

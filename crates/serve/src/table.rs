@@ -1,5 +1,6 @@
 //! The [`SessionTable`]: multiplexing, fair scheduling, memory governance,
-//! and backpressure — the daemon's brain, independent of any transport.
+//! backpressure, graceful degradation, and the journal hooks — the
+//! daemon's brain, independent of any transport.
 //!
 //! ## Fairness and the node budget
 //!
@@ -24,17 +25,41 @@
 //! ([`tm_opacity::incremental::OpacityMonitor::set_memo_capacity`]) is
 //! verdict-sound — memo entries are pure pruning, so shrinking a session's
 //! table mid-stream costs re-exploration, never correctness (the replay
-//! property tests pin this frame-for-frame). This subsumes the old
-//! "adaptive memo capacity" roadmap item: capacity now adapts to fleet
-//! pressure rather than being fixed at monitor construction.
+//! property tests pin this frame-for-frame). Budgets can also be retuned
+//! at runtime ([`SessionTable::set_memo_budget`],
+//! [`SessionTable::set_node_budget`]) — the fault plane's budget-spike
+//! hook, sound for the same reason.
 //!
-//! ## Backpressure
+//! ## Backpressure and graceful degradation
 //!
 //! Each inbox holds at most [`ServeConfig::inbox_capacity`] unchecked
 //! events. A `feed` into a full inbox is **not** accepted: the table emits
-//! a `busy` frame and the client resends later. Offline replay instead
-//! flow-controls the reader (see `daemon.rs`), so replay output never
-//! contains `busy` frames and stays byte-stable.
+//! a `busy` frame carrying the rejected event's would-be `seq` and the
+//! client resends later. Offline replay instead flow-controls the reader
+//! (see `daemon.rs`), so replay output never contains `busy` frames and
+//! stays byte-stable. Three degradation knobs, all off by default:
+//!
+//! * [`ServeConfig::queue_watermark`] — when the run queue backs up past
+//!   the watermark, further feeds are shed with `busy` frames carrying a
+//!   `retry_after_turns` hint (the replay flow-control probe honors the
+//!   same watermark, so replay remains busy-free);
+//! * [`ServeConfig::memo_watermark_bytes`] — when resident memo exceeds
+//!   the watermark, *opens* are shed with the same hinted `busy` (opens,
+//!   not feeds: pumping cannot shrink memo, so shedding feeds on memo
+//!   pressure could deadlock the replay flow control);
+//! * [`ServeConfig::idle_reap_turns`] — sessions with an empty inbox and
+//!   no activity for that many scheduler turns are closed by the reaper,
+//!   their summary tagged `"reaped":true`.
+//!
+//! ## Seq-tagged feeds and the journal
+//!
+//! A feed tagged with `seq` is idempotent: `seq` ≤ the session's accepted
+//! count is answered with `ack` (nothing fed twice), a gap is a positioned
+//! error. With `--journal DIR`, accepted opens/events, per-session
+//! response cursors, and closes are appended to the session journal (see
+//! `journal.rs`); [`SessionTable::resume_from`] rebuilds the table from a
+//! recovered [`JournalState`] and arranges for a re-fed input stream to
+//! skip exactly the already-journaled prefix.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -42,7 +67,9 @@ use tm_model::Event;
 use tm_obs::ObsHandle;
 use tm_opacity::search::SearchConfig;
 
+use crate::faults::FaultPlan;
 use crate::frame::ServerFrame;
+use crate::journal::{JournalState, JournalWriter};
 use crate::session::Session;
 
 /// Estimated resident bytes per memo entry (mask + canonical states +
@@ -57,7 +84,7 @@ pub const EST_ENTRY_BYTES: u64 = 256;
 pub const MIN_MEMO_CAP: usize = 64;
 
 /// Daemon-wide configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Maximum concurrently open sessions; `open` beyond it is refused
     /// with an `error` frame.
@@ -75,6 +102,23 @@ pub struct ServeConfig {
     /// Observability handle (sessions gauge, verdict-latency histogram,
     /// backpressure/eviction counters).
     pub obs: ObsHandle,
+    /// Reap sessions idle (empty inbox, no accepted feed) for this many
+    /// scheduler turns; `None` disables the reaper.
+    pub idle_reap_turns: Option<u64>,
+    /// Shed feeds with hinted `busy` frames once the run queue reaches
+    /// this depth; `None` disables queue shedding.
+    pub queue_watermark: Option<usize>,
+    /// Shed opens with hinted `busy` frames once resident memo exceeds
+    /// this many bytes; `None` disables memo shedding.
+    pub memo_watermark_bytes: Option<u64>,
+    /// Injected faults for the daemon loops (empty = none).
+    pub fault_plan: FaultPlan,
+    /// Append the session journal under this directory.
+    pub journal_dir: Option<std::path::PathBuf>,
+    /// Rebuild the table from `journal_dir`'s journal before serving.
+    pub resume: bool,
+    /// `sync_data` the journal every this many records.
+    pub fsync_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +130,13 @@ impl Default for ServeConfig {
             node_budget: 50_000,
             search: SearchConfig::default(),
             obs: ObsHandle::disabled(),
+            idle_reap_turns: None,
+            queue_watermark: None,
+            memo_watermark_bytes: None,
+            fault_plan: FaultPlan::new(),
+            journal_dir: None,
+            resume: false,
+            fsync_every: 32,
         }
     }
 }
@@ -104,6 +155,19 @@ fn routed(conn: usize, frame: ServerFrame) -> Routed {
     Routed { conn, frame }
 }
 
+/// Input-stream records `--resume` must skip because their effects are
+/// already journaled (the pre-crash prefix of a re-fed stream).
+#[derive(Clone, Copy, Debug, Default)]
+struct SkipCounts {
+    /// Skip the session's (already journaled) `open` line.
+    open: bool,
+    /// Untagged `feed` lines to swallow (seq-tagged feeds dedup by `seq`
+    /// instead, so they never consume skip counts).
+    feeds: usize,
+    /// Skip the `close` line of a session that completed before the crash.
+    close: bool,
+}
+
 /// The multiplexer: all open sessions plus the scheduler's run queue.
 pub struct SessionTable {
     config: ServeConfig,
@@ -113,6 +177,14 @@ pub struct SessionTable {
     run_queue: VecDeque<String>,
     /// Latched when any session ever poisoned (drives the exit code).
     any_poisoned: bool,
+    /// Scheduler clock: one tick per `pump_one` (the reaper's time base).
+    clock: u64,
+    /// The attached journal writer, if `--journal` is in force. Dropped on
+    /// the first write error (graceful degradation: serving continues,
+    /// journaling stops, one error frame reports it).
+    journal: Option<JournalWriter>,
+    /// Per-session skip counts installed by [`SessionTable::resume_from`].
+    resume_skip: HashMap<String, SkipCounts>,
 }
 
 impl SessionTable {
@@ -124,6 +196,9 @@ impl SessionTable {
             sessions: HashMap::new(),
             run_queue: VecDeque::new(),
             any_poisoned: false,
+            clock: 0,
+            journal: None,
+            resume_skip: HashMap::new(),
         }
     }
 
@@ -142,10 +217,143 @@ impl SessionTable {
         self.run_queue.is_empty()
     }
 
-    /// Does `session` exist and have inbox space for one more event?
-    /// (The replay driver's flow-control probe; unknown sessions report
-    /// `true` so the feed proceeds to its proper error path.)
+    /// Scheduler turns taken so far (the reaper's clock).
+    pub fn turns(&self) -> u64 {
+        self.clock
+    }
+
+    /// The per-turn node budget currently in force.
+    pub fn node_budget(&self) -> u64 {
+        self.config.node_budget
+    }
+
+    /// Retunes the per-turn node budget (the fault plane's CPU-spike hook;
+    /// scheduling-only, so verdict bytes cannot change).
+    pub fn set_node_budget(&mut self, nodes: u64) {
+        self.config.node_budget = nodes.max(1);
+    }
+
+    /// The global memo budget currently in force.
+    pub fn memo_budget(&self) -> Option<u64> {
+        self.config.memo_budget_bytes
+    }
+
+    /// Retunes the global memo budget and reapportions it across open
+    /// sessions (the fault plane's memory-spike hook; memo is pure
+    /// pruning, so verdict bytes cannot change).
+    pub fn set_memo_budget(&mut self, bytes: Option<u64>) {
+        self.config.memo_budget_bytes = bytes;
+        self.apply_governor();
+    }
+
+    /// Attaches a journal writer; subsequent opens/feeds/cursor
+    /// advances/closes are logged through it.
+    pub fn attach_journal(&mut self, writer: JournalWriter) {
+        self.journal = Some(writer);
+    }
+
+    /// Whether a journal is currently attached and healthy.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Flushes and syncs the journal (drain, shutdown, injected crash).
+    pub fn journal_flush(&mut self) {
+        if let Some(w) = self.journal.as_mut() {
+            if w.flush_sync().is_err() {
+                self.journal = None;
+            }
+        }
+    }
+
+    /// Runs one journal write, disabling journaling (and producing one
+    /// session-less error frame) on failure — a full disk degrades the
+    /// daemon to journal-less serving instead of killing sessions.
+    fn journal_write(
+        &mut self,
+        write: impl FnOnce(&mut JournalWriter) -> std::io::Result<()>,
+    ) -> Option<Routed> {
+        let writer = self.journal.as_mut()?;
+        match write(writer) {
+            Ok(()) => {
+                self.config.obs.counter_add("serve.journal_records", 1);
+                None
+            }
+            Err(e) => {
+                self.journal = None;
+                self.config.obs.counter_add("serve.journal_failed", 1);
+                Some(routed(
+                    0,
+                    ServerFrame::Error {
+                        session: None,
+                        seq: None,
+                        message: format!("journal write failed; journaling disabled: {e}"),
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Rebuilds the table from a recovered journal: closed sessions are
+    /// skipped entirely (their poisoned flag still feeds the exit code),
+    /// live sessions are reconstructed via `Session::recover` with their
+    /// unanswered tail back in the inbox. Returns the number of live
+    /// sessions recovered. Re-feeding the same input stream afterwards
+    /// replays only what the journal had not yet seen: journaled opens,
+    /// untagged feeds, and completed closes are skipped by count.
+    pub fn resume_from(&mut self, state: &JournalState) -> usize {
+        let obs = self.config.obs;
+        let mut recovered = 0usize;
+        for (id, js) in &state.sessions {
+            if js.closed {
+                self.any_poisoned |= js.poisoned_at_close;
+                self.resume_skip.insert(
+                    id.clone(),
+                    SkipCounts {
+                        open: true,
+                        feeds: js.events.len(),
+                        close: true,
+                    },
+                );
+                continue;
+            }
+            let mut search = self.config.search;
+            if let Some(cap) = self.governed_capacity(self.sessions.len() + 1) {
+                search.memo_capacity = Some(cap);
+            }
+            obs.counter_add("serve.recovery_events", js.events.len() as u64);
+            let session = Session::recover(id.clone(), 0, search, js.events.clone(), js.checked);
+            if !session.inbox.is_empty() {
+                self.run_queue.push_back(id.clone());
+            }
+            self.resume_skip.insert(
+                id.clone(),
+                SkipCounts {
+                    open: true,
+                    feeds: session.accepted(),
+                    close: false,
+                },
+            );
+            self.sessions.insert(id.clone(), session);
+            recovered += 1;
+        }
+        self.apply_governor();
+        obs.counter_add("serve.recovered_sessions", recovered as u64);
+        obs.gauge_set("serve.sessions", self.sessions.len() as u64);
+        recovered
+    }
+
+    /// Does `session` exist and have room for one more event? (The replay
+    /// driver's flow-control probe; unknown sessions report `true` so the
+    /// feed proceeds to its proper error path.) Honors the queue
+    /// watermark, so replay under `--queue-watermark` flow-controls
+    /// instead of shedding and stays busy-free.
     pub fn can_accept(&self, session: &str) -> bool {
+        if let Some(wm) = self.config.queue_watermark {
+            if self.run_queue.len() >= wm && self.sessions.contains_key(session) {
+                return false;
+            }
+        }
         self.sessions
             .get(session)
             .map_or(true, |s| s.inbox.len() < self.config.inbox_capacity)
@@ -159,27 +367,63 @@ impl SessionTable {
         Some((entries / session_count.max(1)).max(MIN_MEMO_CAP))
     }
 
-    /// Reapplies the governor to every open session (on open/close — the
-    /// points where the fair share changes).
+    /// Reapplies the governor to every open session (on open/close and on
+    /// runtime budget retunes — the points where the fair share changes).
+    /// With no budget in force, sessions return to the base capacity (the
+    /// spike-restore path needs the explicit reset).
     fn apply_governor(&mut self) {
-        let Some(cap) = self.governed_capacity(self.sessions.len()) else {
-            return;
-        };
-        for s in self.sessions.values_mut() {
-            s.set_memo_capacity(Some(cap));
+        match self.governed_capacity(self.sessions.len()) {
+            Some(cap) => {
+                for s in self.sessions.values_mut() {
+                    s.set_memo_capacity(Some(cap));
+                }
+                self.config
+                    .obs
+                    .gauge_set("serve.memo_capacity_per_session", cap as u64);
+            }
+            None => {
+                let base = self.config.search.memo_capacity;
+                for s in self.sessions.values_mut() {
+                    s.set_memo_capacity(base);
+                }
+            }
         }
-        self.config
-            .obs
-            .gauge_set("serve.memo_capacity_per_session", cap as u64);
+    }
+
+    /// The overload hint attached to shed `busy` frames: one full cycle of
+    /// the current run queue, after which the shed frame's turn comes up.
+    fn retry_hint(&self) -> u64 {
+        self.run_queue.len() as u64 + 1
     }
 
     /// Handles an `open` frame.
     pub fn open(&mut self, id: &str, conn: usize) -> Vec<Routed> {
-        if self.sessions.contains_key(id) {
+        if let Some(skip) = self.resume_skip.get_mut(id) {
+            if skip.open {
+                // The journaled open already happened before the crash;
+                // its `opened` frame was delivered then.
+                skip.open = false;
+                return Vec::new();
+            }
+        }
+        if let Some(session) = self.sessions.get_mut(id) {
+            if session.conn != conn {
+                // A reconnecting client re-opens to re-bind its session to
+                // the new connection; state and seq numbering carry over.
+                session.conn = conn;
+                self.config.obs.counter_add("serve.rebinds", 1);
+                return vec![routed(
+                    conn,
+                    ServerFrame::Opened {
+                        session: id.to_string(),
+                    },
+                )];
+            }
             return vec![routed(
                 conn,
                 ServerFrame::Error {
                     session: Some(id.to_string()),
+                    seq: None,
                     message: format!("session `{id}` is already open"),
                 },
             )];
@@ -190,6 +434,7 @@ impl SessionTable {
                 conn,
                 ServerFrame::Error {
                     session: Some(id.to_string()),
+                    seq: None,
                     message: format!(
                         "session table full ({} open, --max-sessions {})",
                         self.sessions.len(),
@@ -198,6 +443,20 @@ impl SessionTable {
                 },
             )];
         }
+        if let Some(wm) = self.config.memo_watermark_bytes {
+            if self.memo_resident() as u64 * EST_ENTRY_BYTES >= wm {
+                self.config.obs.counter_add("serve.shed_opens", 1);
+                return vec![routed(
+                    conn,
+                    ServerFrame::Busy {
+                        session: id.to_string(),
+                        inbox: self.config.inbox_capacity,
+                        seq: None,
+                        retry_after_turns: Some(self.retry_hint()),
+                    },
+                )];
+            }
+        }
         // Construct the monitor already bounded to the governed share so
         // its memo table picks a shard count matching its size class
         // (`set_capacity` keeps shard counts fixed).
@@ -205,39 +464,88 @@ impl SessionTable {
         if let Some(cap) = self.governed_capacity(self.sessions.len() + 1) {
             search.memo_capacity = Some(cap);
         }
-        self.sessions
-            .insert(id.to_string(), Session::new(id.to_string(), conn, search));
+        let mut session = Session::new(id.to_string(), conn, search);
+        session.last_active = self.clock;
+        self.sessions.insert(id.to_string(), session);
         self.apply_governor();
         let obs = self.config.obs;
         obs.counter_add("serve.sessions_opened", 1);
         obs.gauge_set("serve.sessions", self.sessions.len() as u64);
-        vec![routed(
+        let mut out = Vec::new();
+        if let Some(err) = self.journal_write(|w| w.open(id)) {
+            out.push(err);
+        }
+        out.push(routed(
             conn,
             ServerFrame::Opened {
                 session: id.to_string(),
             },
-        )]
+        ));
+        out
     }
 
     /// Handles a `feed` frame: enqueues the event, or pushes back with
-    /// `busy` when the session's inbox is full.
-    pub fn feed(&mut self, id: &str, event: Event, conn: usize) -> Vec<Routed> {
+    /// `busy` when the session's inbox is full or the overload governor is
+    /// shedding. Seq-tagged feeds are idempotent: duplicates are answered
+    /// with `ack`, gaps with a positioned error.
+    pub fn feed(&mut self, id: &str, event: Event, seq: Option<usize>, conn: usize) -> Vec<Routed> {
+        if seq.is_none() {
+            if let Some(skip) = self.resume_skip.get_mut(id) {
+                if skip.feeds > 0 {
+                    // Journaled before the crash: the event is already in
+                    // the recovered monitor/inbox (or the closed summary).
+                    skip.feeds -= 1;
+                    return Vec::new();
+                }
+            }
+        }
         let inbox_capacity = self.config.inbox_capacity;
+        let queue_watermark = self.config.queue_watermark;
         let obs = self.config.obs;
+        let clock = self.clock;
+        let hint = self.retry_hint();
+        let queue_depth = self.run_queue.len();
         let Some(session) = self.sessions.get_mut(id) else {
             return vec![routed(
                 conn,
                 ServerFrame::Error {
                     session: Some(id.to_string()),
+                    seq: None,
                     message: format!("no open session `{id}`"),
                 },
             )];
         };
+        let would_be = session.accepted() + 1;
+        if let Some(seq) = seq {
+            if seq < would_be {
+                // Idempotent resend of an already-accepted event: ack the
+                // acceptance cursor instead of feeding twice.
+                obs.counter_add("serve.dup_feeds", 1);
+                return vec![routed(
+                    conn,
+                    ServerFrame::Ack {
+                        session: id.to_string(),
+                        seq: session.accepted(),
+                    },
+                )];
+            }
+            if seq > would_be {
+                return vec![routed(
+                    conn,
+                    ServerFrame::Error {
+                        session: Some(id.to_string()),
+                        seq: Some(seq),
+                        message: format!("feed seq gap: got {seq}, expected {would_be}"),
+                    },
+                )];
+            }
+        }
         if session.closing {
             return vec![routed(
                 conn,
                 ServerFrame::Error {
                     session: Some(id.to_string()),
+                    seq: None,
                     message: format!("session `{id}` is closing"),
                 },
             )];
@@ -249,27 +557,56 @@ impl SessionTable {
                 ServerFrame::Busy {
                     session: id.to_string(),
                     inbox: inbox_capacity,
+                    seq: Some(would_be),
+                    retry_after_turns: None,
                 },
             )];
         }
+        if let Some(wm) = queue_watermark {
+            if queue_depth >= wm {
+                obs.counter_add("serve.shed_feeds", 1);
+                return vec![routed(
+                    conn,
+                    ServerFrame::Busy {
+                        session: id.to_string(),
+                        inbox: inbox_capacity,
+                        seq: Some(would_be),
+                        retry_after_turns: Some(hint),
+                    },
+                )];
+            }
+        }
         let was_empty = session.inbox.is_empty();
-        session.enqueue(event);
+        session.enqueue(event.clone());
+        session.last_active = clock;
         obs.counter_add("serve.frames_fed", 1);
         if was_empty {
             self.run_queue.push_back(id.to_string());
         }
-        Vec::new()
+        let mut out = Vec::new();
+        if let Some(err) = self.journal_write(|w| w.event(id, &event)) {
+            out.push(err);
+        }
+        out
     }
 
     /// Handles a `close` frame: the session drains its inbox through the
     /// scheduler as usual, then emits its `closed` summary and is removed
     /// (immediately, when the inbox is already empty).
     pub fn close(&mut self, id: &str, conn: usize) -> Vec<Routed> {
+        if let Some(skip) = self.resume_skip.get_mut(id) {
+            if skip.close {
+                // The session completed (summary delivered) pre-crash.
+                skip.close = false;
+                return Vec::new();
+            }
+        }
         let Some(session) = self.sessions.get_mut(id) else {
             return vec![routed(
                 conn,
                 ServerFrame::Error {
                     session: Some(id.to_string()),
+                    seq: None,
                     message: format!("no open session `{id}`"),
                 },
             )];
@@ -292,24 +629,61 @@ impl SessionTable {
         let obs = self.config.obs;
         obs.counter_add("serve.sessions_closed", 1);
         obs.gauge_set("serve.sessions", self.sessions.len() as u64);
-        vec![routed(session.conn, session.summary())]
+        let mut out = Vec::new();
+        if let Some(err) = self.journal_write(|w| w.close(id, session.poisoned)) {
+            out.push(err);
+        }
+        out.push(routed(session.conn, session.summary()));
+        out
+    }
+
+    /// Closes every session whose inbox is empty and whose last activity
+    /// is at least `deadline` turns old (in id order, so reap output is
+    /// deterministic). The reaper never touches sessions with queued work:
+    /// a backlogged session is busy, not idle.
+    fn reap_idle(&mut self, deadline: u64, out: &mut Vec<Routed>) {
+        let mut due: Vec<String> = self
+            .sessions
+            .values()
+            .filter(|s| {
+                s.inbox.is_empty()
+                    && !s.closing
+                    && self.clock.saturating_sub(s.last_active) >= deadline
+            })
+            .map(|s| s.id.clone())
+            .collect();
+        due.sort();
+        for id in due {
+            if let Some(session) = self.sessions.get_mut(&id) {
+                session.closing = true;
+                session.reaped = true;
+                self.config.obs.counter_add("serve.reaped", 1);
+                out.extend(self.finish(&id));
+            }
+        }
     }
 
     /// One fair scheduler turn: the front runnable session checks inbox
     /// events until the turn's node budget is spent or its inbox drains.
-    /// Returns the frames the turn produced (empty when idle).
+    /// Advances the scheduler clock and runs the idle reaper. Returns the
+    /// frames the turn produced (empty when idle).
     pub fn pump_one(&mut self) -> Vec<Routed> {
+        self.clock += 1;
+        let mut out = Vec::new();
+        if let Some(deadline) = self.config.idle_reap_turns {
+            self.reap_idle(deadline, &mut out);
+        }
         let Some(id) = self.run_queue.pop_front() else {
-            return Vec::new();
+            return out;
         };
         let obs = self.config.obs;
         let node_budget = self.config.node_budget;
-        let mut out = Vec::new();
-        let mut spent = 0u64;
+        let clock = self.clock;
         let Some(session) = self.sessions.get_mut(&id) else {
-            return Vec::new();
+            return out;
         };
         let conn = session.conn;
+        let mut spent = 0u64;
         while spent < node_budget {
             match session.step(obs) {
                 Some((frame, nodes)) => {
@@ -319,10 +693,22 @@ impl SessionTable {
                 None => break,
             }
         }
+        session.last_active = clock;
+        let cursor = session.response_cursor();
+        let advanced = cursor > session.journaled_cursor;
+        if advanced {
+            session.journaled_cursor = cursor;
+        }
         obs.counter_add("serve.turns", 1);
-        if !session.inbox.is_empty() {
+        let requeue = !session.inbox.is_empty();
+        if advanced {
+            if let Some(err) = self.journal_write(|w| w.checked(&id, cursor)) {
+                out.push(err);
+            }
+        }
+        if requeue {
             self.run_queue.push_back(id);
-        } else if session.closing {
+        } else if self.sessions.get(&id).is_some_and(|s| s.closing) {
             out.extend(self.finish(&id));
         }
         out
@@ -341,7 +727,8 @@ impl SessionTable {
     /// Drains everything, then closes every still-open session (shutdown's
     /// final sweep: no event is dropped, every session gets its summary).
     /// Summaries are emitted in session-id order so shutdown output is
-    /// deterministic even though `HashMap` iteration is not.
+    /// deterministic even though `HashMap` iteration is not. Ends with a
+    /// journal flush so a clean exit leaves a clean journal tail.
     pub fn drain_and_close_all(&mut self) -> Vec<Routed> {
         let mut out = self.pump_all();
         let mut ids: Vec<String> = self.sessions.keys().cloned().collect();
@@ -352,6 +739,7 @@ impl SessionTable {
             }
             out.extend(self.finish(&id));
         }
+        self.journal_flush();
         out
     }
 

@@ -25,7 +25,7 @@ fn feed_with_resends(table: &mut SessionTable, id: &str, events: &[Event]) -> (V
     let mut busy_seen = 0usize;
     for e in events {
         loop {
-            let frames = table.feed(id, e.clone(), 0);
+            let frames = table.feed(id, e.clone(), None, 0);
             let accepted = !frames
                 .iter()
                 .any(|r| matches!(r.frame, ServerFrame::Busy { .. }));
@@ -139,7 +139,7 @@ fn mid_stream_budget_shrink_never_changes_verdicts() {
                     starved.open(&format!("crowd{j}"), 0);
                 }
             }
-            got.extend(verdict_lines(&starved.feed("probe", e.clone(), 0)));
+            got.extend(verdict_lines(&starved.feed("probe", e.clone(), None, 0)));
             got.extend(verdict_lines(&starved.pump_one()));
         }
         got.extend(verdict_lines(&starved.pump_all()));
@@ -169,7 +169,7 @@ fn open_and_feed_errors_are_frames_not_panics() {
         matches!(&full[0].frame, ServerFrame::Error { message, .. } if message.contains("table full"))
     );
     // Feed/close on unknown sessions.
-    let nofeed = table.feed("ghost", Event::TryCommit(tm_model::TxId(1)), 0);
+    let nofeed = table.feed("ghost", Event::TryCommit(tm_model::TxId(1)), None, 0);
     assert!(
         matches!(&nofeed[0].frame, ServerFrame::Error { message, .. } if message.contains("no open session"))
     );
@@ -178,7 +178,7 @@ fn open_and_feed_errors_are_frames_not_panics() {
     // Feeding a closing session is refused.
     table.close("a", 0);
     // "a" had an empty inbox, so it is gone entirely now.
-    let closed = table.feed("a", Event::TryCommit(tm_model::TxId(1)), 0);
+    let closed = table.feed("a", Event::TryCommit(tm_model::TxId(1)), None, 0);
     assert!(matches!(&closed[0].frame, ServerFrame::Error { .. }));
     assert_eq!(table.session_count(), 1);
 }
@@ -193,8 +193,8 @@ fn obs_counters_track_busy_and_sessions() {
     });
     table.open("s", 0);
     let e = Event::TryCommit(tm_model::TxId(1));
-    table.feed("s", e.clone(), 0);
-    table.feed("s", e.clone(), 0); // bounced: inbox holds 1
+    table.feed("s", e.clone(), None, 0);
+    table.feed("s", e.clone(), None, 0); // bounced: inbox holds 1
     let snap = obs.snapshot().expect("enabled");
     assert_eq!(snap.counter("serve.busy"), Some(1));
     assert_eq!(snap.counter("serve.sessions_opened"), Some(1));

@@ -40,6 +40,7 @@ fn open_feed_all(id: &str, h: &tm_model::History) -> Vec<ClientFrame> {
         frames.push(ClientFrame::Feed {
             session: id.to_string(),
             event: e.clone(),
+            seq: None,
         });
     }
     frames
@@ -110,10 +111,12 @@ fn poisoned_session_sets_exit_code_one_and_summary_flag() {
         ClientFrame::Feed {
             session: "bad".to_string(),
             event: bad.clone(),
+            seq: None,
         },
         ClientFrame::Feed {
             session: "bad".to_string(),
             event: bad,
+            seq: None,
         },
         ClientFrame::Close {
             session: "bad".to_string(),

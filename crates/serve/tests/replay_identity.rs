@@ -30,6 +30,7 @@ fn interleaved_stream(sessions: &[(String, History)]) -> String {
                 lines.push(render_client_frame(&ClientFrame::Feed {
                     session: id.clone(),
                     event: event.clone(),
+                    seq: None,
                 }));
             }
         }

@@ -50,6 +50,7 @@ fn fixture_frames() -> String {
                 lines.push(render_client_frame(&ClientFrame::Feed {
                     session: id.clone(),
                     event: e.clone(),
+                    seq: None,
                 }));
             }
         }
